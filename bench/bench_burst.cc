@@ -1,0 +1,96 @@
+// Figure 4(a): burst detection precision on burst.dat (substitute).
+//
+// F = SUM, K = 20, m = 50 query windows (20, 40, ..., 1000), thresholds
+// trained on a 1K prefix as tau_w = mu + lambda * sigma. We sweep the
+// threshold factor lambda and the Stardust box capacity c, and compare the
+// precision (true alarms / alarms raised) of Stardust against SWT.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/swt.h"
+#include "bench_util.h"
+#include "core/aggregate_monitor.h"
+#include "stream/dataset.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+namespace {
+
+constexpr std::size_t kBaseWindow = 20;  // K
+constexpr std::size_t kNumWindows = 50;  // m
+
+StardustConfig MonitorConfig(std::size_t c) {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = kBaseWindow;
+  config.num_levels = 6;  // b = w / K up to 50 < 64
+  config.history = 2048;  // covers the largest query window (1000)
+  config.box_capacity = c;
+  config.update_period = 1;
+  return config;
+}
+
+void Run() {
+  bench::PrintHeader("Burst detection on burst.dat (event counts)",
+                     "Figure 4(a), Section 6.1.1");
+  // Paper: burst.dat has 9,382 points, first 1K used for training.
+  const std::size_t length = 9382;
+  const Dataset data = MakeBurstDataset(length, bench::BenchSeed());
+  const std::vector<double>& stream = data.streams[0];
+  const std::vector<double> training(stream.begin(), stream.begin() + 1000);
+
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= kNumWindows; ++i) {
+    windows.push_back(i * kBaseWindow);
+  }
+
+  const std::vector<std::size_t> capacities{1, 5, 25, 150};
+  std::printf("%8s %14s %12s %12s %10s\n", "lambda", "technique", "alarms",
+              "true", "precision");
+  for (double lambda : {6.0, 8.0, 10.0, 12.0, 14.0, 16.0}) {
+    const auto thresholds = TrainThresholds(AggregateKind::kSum, training,
+                                            windows, lambda);
+    for (std::size_t c : capacities) {
+      auto monitor =
+          std::move(AggregateMonitor::Create(MonitorConfig(c), thresholds))
+              .value();
+      for (double v : stream) {
+        const Status st = monitor->Append(v);
+        if (!st.ok()) {
+          std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+          return;
+        }
+      }
+      const AlarmStats total = monitor->TotalStats();
+      std::printf("%8.0f %10s c=%-3zu %12llu %12llu %10.3f\n", lambda,
+                  "Stardust", c,
+                  static_cast<unsigned long long>(total.candidates),
+                  static_cast<unsigned long long>(total.true_alarms),
+                  total.Precision());
+    }
+    auto swt = std::move(SwtMonitor::Create(AggregateKind::kSum, kBaseWindow,
+                                            thresholds))
+                   .value();
+    for (double v : stream) swt->Append(v);
+    const AlarmStats total = swt->TotalStats();
+    std::printf("%8.0f %14s %12llu %12llu %10.3f\n", lambda, "SWT",
+                static_cast<unsigned long long>(total.candidates),
+                static_cast<unsigned long long>(total.true_alarms),
+                total.Precision());
+  }
+  std::printf(
+      "\nPaper shape: Stardust c=1 is exact (precision 1.0); precision\n"
+      "degrades gracefully with c; every Stardust capacity except the\n"
+      "degenerate c=150 beats SWT, and the gap widens with lambda\n"
+      "(e.g. paper: c=25 -> 0.82 vs SWT 0.57 at lambda=10).\n");
+}
+
+}  // namespace
+}  // namespace stardust
+
+int main() {
+  stardust::Run();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Table 1: total time (ms) spent on correlation detection for an
+// increasing number of streams, Stardust vs StatStream.
+//
+// Synthetic random-walk streams, N = 256, W = 16, f = 2; the StatStream
+// grid cell is 0.01 as in the paper; the correlation (distance) threshold
+// r sweeps {0.01, 0.02, 0.04, 0.08}. Each stream is warmed up with N
+// values and then observed for 256 arrivals; the reported time covers
+// summary maintenance plus correlation detection over the observed range,
+// as in the paper.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/statstream.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/correlation_monitor.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+constexpr std::size_t kHistory = 256;      // N
+constexpr std::size_t kBasicWindow = 16;   // W
+constexpr std::size_t kCoefficients = 2;   // f
+constexpr std::size_t kArrivals = 256;     // observed arrivals per stream
+
+StardustConfig MonitorConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = kCoefficients;
+  config.base_window = kBasicWindow;
+  config.num_levels = 5;  // N = W * 2^4
+  config.history = kHistory;
+  config.box_capacity = 1;
+  config.update_period = kBasicWindow;
+  return config;
+}
+
+void Run() {
+  bench::PrintHeader("Correlation detection scalability (random walks)",
+                     "Table 1, Section 6.3.1 (N=256, W=16, f=2)");
+  std::vector<std::size_t> stream_counts{64, 128, 256, 512, 1024};
+  if (bench::FullScale()) {
+    stream_counts = {256, 512, 1024, 2048, 4096, 8192};
+  }
+  const std::vector<double> radii{0.01, 0.02, 0.04, 0.08};
+
+  std::printf("%9s", "M");
+  for (double r : radii) {
+    std::printf("   SS(r=%.2f) SD(r=%.2f)", r, r);
+  }
+  std::printf("\n");
+  for (std::size_t m : stream_counts) {
+    const Dataset data =
+        MakeRandomWalkDataset(m, kHistory + kArrivals, bench::BenchSeed());
+    std::printf("%9zu", m);
+    for (double radius : radii) {
+      // --- StatStream ---
+      StatStreamOptions ss_options;
+      ss_options.history = kHistory;
+      ss_options.basic_window = kBasicWindow;
+      ss_options.coefficients = kCoefficients;
+      ss_options.cell_size = 0.01;  // paper's cell radius
+      ss_options.radius = radius;
+      auto ss = std::move(StatStream::Create(ss_options, m)).value();
+      std::vector<double> values(m);
+      Stopwatch ss_watch;
+      ss_watch.Start();
+      for (std::size_t t = 0; t < data.length(); ++t) {
+        for (std::size_t i = 0; i < m; ++i) values[i] = data.streams[i][t];
+        if (!ss->AppendAll(values).ok()) std::abort();
+      }
+      ss_watch.Stop();
+
+      // --- Stardust ---
+      auto sd = std::move(CorrelationMonitor::Create(MonitorConfig(), m,
+                                                     radius))
+                    .value();
+      Stopwatch sd_watch;
+      sd_watch.Start();
+      for (std::size_t t = 0; t < data.length(); ++t) {
+        for (std::size_t i = 0; i < m; ++i) values[i] = data.streams[i][t];
+        if (!sd->AppendAll(values).ok()) std::abort();
+      }
+      sd_watch.Stop();
+
+      std::printf(" %11lld %10lld",
+                  static_cast<long long>(ss_watch.ElapsedMillis()),
+                  static_cast<long long>(sd_watch.ElapsedMillis()));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape (Table 1): StatStream's cost grows sharply with the\n"
+      "radius (a grid with cell 0.01 probes (2*ceil(r/0.01)+1)^f cells\n"
+      "per stream — ~10x from r=0.01 to r=0.08 here) while Stardust is\n"
+      "flat in r: the mechanism behind the paper's crossover. The\n"
+      "absolute crossover does not appear at this scale because our\n"
+      "reimplemented StatStream (flat hash grid, cached verification) is\n"
+      "far stronger than the 2002 original; see EXPERIMENTS.md.\n");
+}
+
+}  // namespace
+}  // namespace stardust
+
+int main() {
+  stardust::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figures 6(a) and 6(b): effect of the number of coefficients f on
+// correlation detection precision and time.
+//
+// Synthetic random-walk streams, N = 1024, W = 64, 2048 points each;
+// StatStream runs at f = 2 with cell 0.1 (its performance degrades with
+// f, as the paper notes, so larger f is only run for Stardust);
+// Stardust sweeps f in {2, 4, 8, 16}. The distance threshold sweeps up
+// to r = 1.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/statstream.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/correlation_monitor.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+constexpr std::size_t kHistory = 1024;    // N
+constexpr std::size_t kBasicWindow = 64;  // W
+
+StardustConfig MonitorConfig(std::size_t f) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = f;
+  config.base_window = kBasicWindow;
+  config.num_levels = 5;  // N = W * 2^4
+  config.history = kHistory;
+  config.box_capacity = 1;
+  config.update_period = kBasicWindow;
+  return config;
+}
+
+void Run() {
+  bench::PrintHeader("Correlation detection vs dimensionality f",
+                     "Figures 6(a) and 6(b), Section 6.3.2 "
+                     "(N=1024, W=64)");
+  const std::size_t m = bench::FullScale() ? 1000 : 250;
+  const std::size_t length = 2048;
+  const Dataset data = MakeRandomWalkDataset(m, length, bench::BenchSeed());
+  const std::vector<double> radii{0.25, 0.5, 0.75, 1.0};
+
+  std::printf("%10s %8s %10s %12s %12s %12s\n", "technique", "r",
+              "precision", "candidates", "true", "time(ms)");
+  std::vector<double> values(m);
+  for (double radius : radii) {
+    // StatStream at f = 2, cell 0.1 (paper setting).
+    StatStreamOptions ss_options;
+    ss_options.history = kHistory;
+    ss_options.basic_window = kBasicWindow;
+    ss_options.coefficients = 2;
+    ss_options.cell_size = 0.1;
+    ss_options.radius = radius;
+    auto ss = std::move(StatStream::Create(ss_options, m)).value();
+    Stopwatch ss_watch;
+    ss_watch.Start();
+    for (std::size_t t = 0; t < length; ++t) {
+      for (std::size_t i = 0; i < m; ++i) values[i] = data.streams[i][t];
+      if (!ss->AppendAll(values).ok()) std::abort();
+    }
+    ss_watch.Stop();
+    std::printf("%10s %8.2f %10.3f %12llu %12llu %12lld\n", "StatStream",
+                radius, ss->stats().Precision(),
+                static_cast<unsigned long long>(ss->stats().candidates),
+                static_cast<unsigned long long>(ss->stats().true_pairs),
+                static_cast<long long>(ss_watch.ElapsedMillis()));
+
+    for (std::size_t f : {2u, 4u, 8u, 16u}) {
+      auto sd = std::move(CorrelationMonitor::Create(MonitorConfig(f), m,
+                                                     radius))
+                    .value();
+      Stopwatch sd_watch;
+      sd_watch.Start();
+      for (std::size_t t = 0; t < length; ++t) {
+        for (std::size_t i = 0; i < m; ++i) values[i] = data.streams[i][t];
+        if (!sd->AppendAll(values).ok()) std::abort();
+      }
+      sd_watch.Stop();
+      std::printf("%7s f=%-2zu %6.2f %10.3f %12llu %12llu %12lld\n",
+                  "Stardust", f, radius, sd->stats().Precision(),
+                  static_cast<unsigned long long>(sd->stats().candidates),
+                  static_cast<unsigned long long>(sd->stats().true_pairs),
+                  static_cast<long long>(sd_watch.ElapsedMillis()));
+    }
+  }
+  std::printf(
+      "\nPaper shape (Figure 6): raising f sharpens Stardust's feature\n"
+      "filter — precision rises and detection time falls (fewer false\n"
+      "candidates to verify), e.g. paper r=1: precision 0.29 -> 0.74 and\n"
+      "time 325.9s -> 135.8s going from f=2 to f=16; StatStream degrades\n"
+      "with f and is dominated at thresholds beyond ~0.5.\n");
+}
+
+}  // namespace
+}  // namespace stardust
+
+int main() {
+  stardust::Run();
+  return 0;
+}

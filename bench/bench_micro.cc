@@ -1,0 +1,296 @@
+// Micro-benchmarks (google-benchmark): per-item maintenance cost as a
+// function of the paper's tuning knobs (Theorem 4.3), plus the substrate
+// kernels (R*-tree operations, Haar transforms, sliding trackers).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/correlation_monitor.h"
+#include "core/stardust.h"
+#include "core/surprise_monitor.h"
+#include "dwt/haar.h"
+#include "dwt/incremental.h"
+#include "rtree/rtree.h"
+#include "stream/random_walk.h"
+#include "transform/sliding_tracker.h"
+
+namespace stardust {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-item maintenance: incremental (Θ(f) per level) vs exact recompute
+// (Θ(w_j) per level, the MR-Index cost the paper improves on).
+// ---------------------------------------------------------------------------
+
+void BM_AppendIncrementalDwt(benchmark::State& state) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = static_cast<std::size_t>(state.range(0));
+  config.r_max = 110.0;
+  config.base_window = 64;
+  config.num_levels = 5;
+  config.history = 2048;
+  config.box_capacity = static_cast<std::size_t>(state.range(1));
+  config.update_period = 1;
+  StreamSummarizer summarizer(config);
+  RandomWalkSource source(1);
+  for (int i = 0; i < 2048; ++i) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  for (auto _ : state) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendIncrementalDwt)
+    ->ArgsProduct({{2, 4, 8, 16}, {1, 64}})
+    ->ArgNames({"f", "c"});
+
+void BM_AppendExactLevels(benchmark::State& state) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 2;
+  config.r_max = 110.0;
+  config.base_window = 64;
+  config.num_levels = static_cast<std::size_t>(state.range(0));
+  config.history = 64 << (config.num_levels - 1);
+  config.box_capacity = 64;
+  config.update_period = 1;
+  config.exact_levels = true;  // the MR-Index configuration
+  StreamSummarizer summarizer(config);
+  RandomWalkSource source(2);
+  for (std::size_t i = 0; i < config.history; ++i) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  for (auto _ : state) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendExactLevels)->Arg(3)->Arg(4)->Arg(5)->ArgName("levels");
+
+void BM_AppendBatchDwt(benchmark::State& state) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 2;
+  config.base_window = 64;
+  config.num_levels = 5;
+  config.history = 1024;
+  config.box_capacity = 1;
+  config.update_period = 64;
+  StreamSummarizer summarizer(config);
+  RandomWalkSource source(3);
+  for (int i = 0; i < 1024; ++i) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  for (auto _ : state) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendBatchDwt);
+
+void BM_AppendAggregate(benchmark::State& state) {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 20;
+  config.num_levels = 6;
+  config.history = 2048;
+  config.box_capacity = static_cast<std::size_t>(state.range(0));
+  config.update_period = 1;
+  StreamSummarizer summarizer(config);
+  RandomWalkSource source(4);
+  for (int i = 0; i < 2048; ++i) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  for (auto _ : state) {
+    summarizer.Append(source.Next(), nullptr, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AppendAggregate)->Arg(1)->Arg(25)->Arg(150)->ArgName("c");
+
+// ---------------------------------------------------------------------------
+// Substrate kernels.
+// ---------------------------------------------------------------------------
+
+void BM_RTreeInsertDelete(benchmark::State& state) {
+  RTree tree(2, RTreeOptions{.max_entries =
+                                 static_cast<std::size_t>(state.range(0))});
+  Rng rng(5);
+  std::vector<std::pair<Mbr, RecordId>> live;
+  RecordId next = 0;
+  // Warm to steady state of 4096 entries.
+  while (live.size() < 4096) {
+    Mbr box = Mbr::FromPoint({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    (void)tree.Insert(box, next);
+    live.emplace_back(std::move(box), next++);
+  }
+  std::size_t head = 0;
+  for (auto _ : state) {
+    Mbr box = Mbr::FromPoint({rng.NextDouble(0, 100), rng.NextDouble(0, 100)});
+    benchmark::DoNotOptimize(tree.Insert(box, next));
+    live.emplace_back(std::move(box), next++);
+    benchmark::DoNotOptimize(
+        tree.Delete(live[head].first, live[head].second));
+    ++head;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeInsertDelete)->Arg(16)->Arg(32)->Arg(64)->ArgName("fanout");
+
+void BM_RTreeSplitPolicy(benchmark::State& state) {
+  const SplitPolicy policy = state.range(0) == 0 ? SplitPolicy::kRStar
+                                                 : SplitPolicy::kQuadratic;
+  Rng rng(55);
+  for (auto _ : state) {
+    RTree tree(2, RTreeOptions{.max_entries = 16, .split_policy = policy});
+    for (RecordId id = 0; id < 2048; ++id) {
+      benchmark::DoNotOptimize(tree.Insert(
+          Mbr::FromPoint({rng.NextDouble(0, 100), rng.NextDouble(0, 100)}),
+          id));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_RTreeSplitPolicy)->Arg(0)->Arg(1)->ArgName("policy");
+
+void BM_RTreeRangeQuery(benchmark::State& state) {
+  RTree tree(2);
+  Rng rng(6);
+  for (RecordId id = 0; id < static_cast<RecordId>(state.range(0)); ++id) {
+    (void)tree.Insert(
+        Mbr::FromPoint({rng.NextDouble(0, 100), rng.NextDouble(0, 100)}), id);
+  }
+  std::vector<RTreeEntry> out;
+  for (auto _ : state) {
+    out.clear();
+    tree.SearchWithin({rng.NextDouble(0, 100), rng.NextDouble(0, 100)}, 2.0,
+                      &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RTreeRangeQuery)->Arg(1024)->Arg(8192)->Arg(65536)->ArgName("n");
+
+void BM_HaarDwtFull(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
+  for (double& v : x) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HaarDwt(x));
+  }
+  state.SetBytesProcessed(state.iterations() * x.size() * sizeof(double));
+}
+BENCHMARK(BM_HaarDwtFull)->Arg(64)->Arg(256)->Arg(1024)->ArgName("w");
+
+void BM_HaarMergeHalves(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<double> left(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> right(left.size());
+  for (double& v : left) v = rng.NextDouble();
+  for (double& v : right) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MergeHalvesHaar(left, right));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HaarMergeHalves)->Arg(2)->Arg(8)->Arg(32)->ArgName("f");
+
+void BM_SlidingTrackerPush(benchmark::State& state) {
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= static_cast<std::size_t>(state.range(0));
+       ++i) {
+    windows.push_back(i * 20);
+  }
+  SlidingAggregateTracker tracker(AggregateKind::kSpread, windows);
+  Rng rng(9);
+  for (auto _ : state) {
+    tracker.Push(rng.NextDouble(0, 100));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingTrackerPush)->Arg(10)->Arg(50)->Arg(80)->ArgName("m");
+
+void BM_SurpriseAppend(benchmark::State& state) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 8;
+  config.r_max = 110.0;
+  config.base_window = 32;
+  config.num_levels = 3;
+  config.history = 4096;
+  config.box_capacity = 1;
+  config.update_period = 1;
+  config.index_features = true;
+  auto monitor =
+      std::move(SurpriseMonitor::Create(config, 1, 0.02)).value();
+  RandomWalkSource source(20);
+  for (int i = 0; i < 4096; ++i) {
+    (void)monitor->Append(0, source.Next());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor->Append(0, source.Next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SurpriseAppend);
+
+void BM_CorrelationRound(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 4;
+  config.base_window = 16;
+  config.num_levels = 5;
+  config.history = 256;
+  config.box_capacity = 1;
+  config.update_period = 16;
+  auto monitor =
+      std::move(CorrelationMonitor::Create(config, m, 0.1)).value();
+  std::vector<RandomWalkSource> sources;
+  for (std::size_t i = 0; i < m; ++i) sources.emplace_back(30 + i);
+  std::vector<double> values(m);
+  for (int t = 0; t < 256; ++t) {
+    for (std::size_t i = 0; i < m; ++i) values[i] = sources[i].Next();
+    (void)monitor->AppendAll(values);
+  }
+  for (auto _ : state) {
+    // One basic window = one maintenance + detection round.
+    for (int t = 0; t < 16; ++t) {
+      for (std::size_t i = 0; i < m; ++i) values[i] = sources[i].Next();
+      benchmark::DoNotOptimize(monitor->AppendAll(values));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * m);
+}
+BENCHMARK(BM_CorrelationRound)->Arg(64)->Arg(256)->ArgName("streams");
+
+void BM_AggregateInterval(benchmark::State& state) {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 20;
+  config.num_levels = 6;
+  config.history = 2048;
+  config.box_capacity = 25;
+  config.update_period = 1;
+  auto core = std::move(Stardust::Create(config)).value();
+  const StreamId s = core->AddStream();
+  RandomWalkSource source(10);
+  for (int i = 0; i < 2048; ++i) (void)core->Append(s, source.Next());
+  const std::size_t window = static_cast<std::size_t>(state.range(0)) * 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core->AggregateInterval(s, window));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AggregateInterval)->Arg(1)->Arg(13)->Arg(50)->ArgName("b");
+
+}  // namespace
+}  // namespace stardust

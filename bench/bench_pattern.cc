@@ -1,0 +1,235 @@
+// Figure 5: average precision of variable-length pattern queries on the
+// Host Load dataset (substitute), N = 1024, W = 64, M = 25, c = 64, f = 2.
+//
+// Four techniques, exactly the paper's panel:
+//   - Stardust online (incremental extent features, Algorithm 3),
+//   - Stardust batch  (T = W exact features, Algorithm 4),
+//   - MR-Index        (exact per-level features, Algorithm 3's search),
+//   - GeneralMatch    (single-resolution dual windowing).
+// Queries are uniformly random lengths in [192, 1024] (multiples of W),
+// drawn as random-walk-perturbed subsequences of the data so they live in
+// the data's value regime (see the workload comment below). We sweep the
+// query radius, reporting average selectivity, average precision, and
+// total query response time per technique.
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "baselines/generalmatch.h"
+#include "baselines/mrindex.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/pattern_query.h"
+#include "stream/dataset.h"
+#include "common/rng.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+constexpr std::size_t kBaseWindow = 64;   // W
+constexpr std::size_t kNumLevels = 5;     // windows 64 .. 1024 (= N)
+constexpr std::size_t kBoxCapacity = 64;  // c
+constexpr std::size_t kCoefficients = 2;  // f
+
+StardustConfig OnlineConfig(const Dataset& data) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = kCoefficients;
+  config.r_max = data.r_max;
+  config.base_window = kBaseWindow;
+  config.num_levels = kNumLevels;
+  config.history = data.length();  // keep all data verifiable offline
+  config.box_capacity = kBoxCapacity;
+  config.update_period = 1;
+  config.index_features = true;
+  return config;
+}
+
+std::unique_ptr<Stardust> Feed(const StardustConfig& config,
+                               const Dataset& data) {
+  auto core = std::move(Stardust::Create(config)).value();
+  for (std::size_t i = 0; i < data.num_streams(); ++i) {
+    const StreamId id = core->AddStream();
+    for (double v : data.streams[i]) {
+      if (!core->Append(id, v).ok()) std::abort();
+    }
+  }
+  return core;
+}
+
+/// All normalized distances of one query against every window position,
+/// for deriving ground truth at several radii in one pass.
+std::vector<std::vector<double>> AllDistances(
+    const Dataset& data, const std::vector<double>& query) {
+  std::vector<std::vector<double>> out(data.num_streams());
+  const std::vector<double> qn =
+      NormalizeUnitSphere(query, data.r_max);
+  std::vector<double> window;
+  for (std::size_t s = 0; s < data.num_streams(); ++s) {
+    const auto& stream = data.streams[s];
+    if (stream.size() < query.size()) continue;
+    out[s].reserve(stream.size() - query.size() + 1);
+    for (std::size_t start = 0; start + query.size() <= stream.size();
+         ++start) {
+      window.assign(stream.begin() + start,
+                    stream.begin() + start + query.size());
+      const std::vector<double> wn =
+          NormalizeUnitSphere(window, data.r_max);
+      out[s].push_back(std::sqrt(Dist2(qn, wn)));
+    }
+  }
+  return out;
+}
+
+struct TechniqueStats {
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  std::uint64_t queries = 0;
+  std::int64_t micros = 0;
+
+  void Add(const PatternResult& result, std::size_t true_matches,
+           std::int64_t us) {
+    precision_sum += result.Precision();
+    recall_sum += true_matches == 0
+                      ? 1.0
+                      : static_cast<double>(result.matches.size()) /
+                            static_cast<double>(true_matches);
+    ++queries;
+    micros += us;
+  }
+};
+
+void Run() {
+  bench::PrintHeader(
+      "Variable-length pattern queries on Host Load traces",
+      "Figure 5, Section 6.2.1 (N=1024, W=64, M=25, c=64, f=2)");
+  const std::size_t m = 25;
+  const std::size_t length = 3000;
+  const Dataset data = MakeHostLoadDataset(m, length, bench::BenchSeed());
+
+  // Build the four competitors.
+  StardustConfig online_config = OnlineConfig(data);
+  StardustConfig batch_config = online_config;
+  batch_config.box_capacity = 1;
+  batch_config.update_period = kBaseWindow;
+  auto online_core = Feed(online_config, data);
+  auto batch_core = Feed(batch_config, data);
+  PatternQueryEngine online(*online_core);
+  PatternQueryEngine batch(*batch_core);
+
+  MrIndexOptions mr_options;
+  mr_options.base_window = kBaseWindow;
+  mr_options.num_levels = kNumLevels;
+  mr_options.box_capacity = kBoxCapacity;
+  mr_options.coefficients = kCoefficients;
+  mr_options.history = data.length();
+  mr_options.r_max = data.r_max;
+  auto mr = std::move(MrIndex::Build(data, mr_options)).value();
+
+  GeneralMatchOptions gm_options;
+  // Largest power-of-two window serving the minimum query length 192 with
+  // strictly disjoint data windows (needs |Q| >= 2w - 1).
+  gm_options.window = 64;
+  gm_options.coefficients = kCoefficients;
+  gm_options.r_max = data.r_max;
+  auto gm = std::move(GeneralMatch::Build(data, gm_options)).value();
+
+  // Query workload: uniformly random lengths 192, 256, ..., 1024. The
+  // paper's random-walk query generator produces sequences in the scale
+  // of its (rescaled) datasets; our host-load substitute lives on a
+  // different scale, so queries are noisy subsequences of the data —
+  // random-walk-perturbed — keeping selectivities in the same regime.
+  std::vector<std::size_t> lengths;
+  for (std::size_t l = 192; l <= 1024; l += 64) lengths.push_back(l);
+  const std::size_t num_queries = bench::FullScale() ? 100 : 30;
+  std::vector<std::vector<double>> queries;
+  {
+    Rng rng(bench::BenchSeed() + 1);
+    for (std::size_t q = 0; q < num_queries; ++q) {
+      const std::size_t len = lengths[rng.NextUint64(lengths.size())];
+      const std::size_t stream = rng.NextUint64(m);
+      const std::size_t start =
+          rng.NextUint64(data.length() - len + 1);
+      std::vector<double> query(data.streams[stream].begin() + start,
+                                data.streams[stream].begin() + start + len);
+      double drift = 0.0;
+      for (double& v : query) {
+        drift += 0.002 * data.r_max * (rng.NextDouble() - 0.5);
+        v = std::max(0.0, v + drift);
+      }
+      queries.push_back(std::move(query));
+    }
+  }
+
+  const std::vector<double> radii{0.005, 0.01, 0.02, 0.04, 0.08};
+  // stats[radius][technique]; ground-truth distances computed once per
+  // query and shared by every radius.
+  std::vector<std::array<TechniqueStats, 4>> stats(radii.size());
+  std::vector<double> selectivity_sum(radii.size(), 0.0);
+  for (const auto& query : queries) {
+    const auto distances = AllDistances(data, query);
+    for (std::size_t ri = 0; ri < radii.size(); ++ri) {
+      const double radius = radii[ri];
+      std::size_t true_matches = 0, positions = 0;
+      for (const auto& row : distances) {
+        positions += row.size();
+        for (double d : row) {
+          if (d <= radius) ++true_matches;
+        }
+      }
+      selectivity_sum[ri] += positions == 0
+                                 ? 0.0
+                                 : static_cast<double>(true_matches) /
+                                       static_cast<double>(positions);
+      Stopwatch watch;
+      const auto timed = [&](auto&& call) {
+        watch.Reset();
+        watch.Start();
+        auto result = call();
+        watch.Stop();
+        return result;
+      };
+      auto r1 = timed([&] { return online.QueryOnline(query, radius); });
+      stats[ri][0].Add(r1.value(), true_matches, watch.ElapsedMicros());
+      auto r2 = timed([&] { return batch.QueryBatch(query, radius); });
+      stats[ri][1].Add(r2.value(), true_matches, watch.ElapsedMicros());
+      auto r3 = timed([&] { return mr->Query(query, radius); });
+      stats[ri][2].Add(r3.value(), true_matches, watch.ElapsedMicros());
+      auto r4 = timed([&] { return gm->Query(query, radius); });
+      stats[ri][3].Add(r4.value(), true_matches, watch.ElapsedMicros());
+    }
+  }
+  std::printf("%8s %16s %10s %10s %10s %12s\n", "radius", "technique",
+              "precision", "recall", "select.", "time(ms)");
+  const char* names[4] = {"Stardust-online", "Stardust-batch", "MR-Index",
+                          "GeneralMatch"};
+  for (std::size_t ri = 0; ri < radii.size(); ++ri) {
+    for (int k = 0; k < 4; ++k) {
+      const TechniqueStats& s = stats[ri][k];
+      std::printf("%8.3f %16s %10.3f %10.3f %10.5f %12.2f\n", radii[ri],
+                  names[k], s.precision_sum / s.queries,
+                  s.recall_sum / s.queries, selectivity_sum[ri] / s.queries,
+                  s.micros / 1000.0);
+    }
+  }
+  std::printf(
+      "\nPaper shape: online Stardust is less precise than MR-Index (the\n"
+      "cost of extent-merged features) and recall is 1.0 everywhere\n"
+      "(sound filters + exact verification) — both reproduced. Deviation:\n"
+      "our GeneralMatch, with full multi-piece refinement over its many\n"
+      "fine disjoint pieces, is the most precise overall rather than only\n"
+      "at high selectivity; see EXPERIMENTS.md.\n");
+}
+
+}  // namespace
+}  // namespace stardust
+
+int main() {
+  stardust::Run();
+  return 0;
+}

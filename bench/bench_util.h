@@ -1,0 +1,41 @@
+// Shared helpers for the table/figure reproduction harnesses.
+#ifndef STARDUST_BENCH_BENCH_UTIL_H_
+#define STARDUST_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace stardust::bench {
+
+/// True when STARDUST_FULL=1: run at the paper's full data scale instead
+/// of the time-bounded default (see EXPERIMENTS.md).
+inline bool FullScale() {
+  const char* env = std::getenv("STARDUST_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+/// Seed shared by all harnesses; override with STARDUST_SEED.
+inline std::uint64_t BenchSeed() {
+  const char* env = std::getenv("STARDUST_SEED");
+  if (env == nullptr) return 20050405;  // ICDE 2005 :-)
+  return std::strtoull(env, nullptr, 10);
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("\n=============================================================="
+              "==========\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("Seed: %llu%s\n",
+              static_cast<unsigned long long>(BenchSeed()),
+              FullScale() ? "  [FULL SCALE]" : "  [default scale; set "
+                                               "STARDUST_FULL=1 for paper "
+                                               "scale]");
+  std::printf("================================================================"
+              "========\n");
+}
+
+}  // namespace stardust::bench
+
+#endif  // STARDUST_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,98 @@
+// Figures 4(b) and 4(c): volatility (SPREAD) monitoring on packet.dat
+// (substitute).
+//
+// F = SPREAD = MAX - MIN, K = 100, m (the number of query windows, "NW")
+// in {50, 60, 70, 80}, Stardust box capacity c in {1, 10, 100, 1000}.
+// Reports precision (4b) and the total number of alarms raised (4c) for
+// Stardust and SWT.
+//
+// The paper sets the threshold factor lambda to 0.12 on packet.dat to
+// produce "many more alarms than what domain experts are interested in".
+// Our synthetic packet trace has different absolute statistics, so lambda
+// is calibrated (2.5) to land in the same regime: millions of alarms with
+// a meaningful false-alarm gap between the techniques (see
+// EXPERIMENTS.md).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/swt.h"
+#include "bench_util.h"
+#include "core/aggregate_monitor.h"
+#include "stream/dataset.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+namespace {
+
+constexpr std::size_t kBaseWindow = 100;  // K
+constexpr double kLambda = 2.5;
+
+StardustConfig MonitorConfig(std::size_t c) {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSpread;
+  config.base_window = kBaseWindow;
+  config.num_levels = 7;   // b up to 80 < 128
+  config.history = 8192;   // covers the largest query window (8000)
+  config.box_capacity = c;
+  config.update_period = 1;
+  return config;
+}
+
+void Run() {
+  bench::PrintHeader("Volatility detection on packet.dat (packet counts)",
+                     "Figures 4(b) and 4(c), Section 6.1.2");
+  // Paper: packet.dat has 360,000 points; 8K prefix trains thresholds.
+  const std::size_t length = bench::FullScale() ? 360000 : 120000;
+  const Dataset data = MakePacketDataset(length, bench::BenchSeed());
+  const std::vector<double>& stream = data.streams[0];
+  const std::vector<double> training(stream.begin(), stream.begin() + 8000);
+
+  std::printf("%6s %16s %14s %14s %10s\n", "NW", "technique", "alarms",
+              "true", "precision");
+  for (std::size_t m : {50u, 60u, 70u, 80u}) {
+    std::vector<std::size_t> windows;
+    for (std::size_t i = 1; i <= m; ++i) windows.push_back(i * kBaseWindow);
+    const auto thresholds = TrainThresholds(AggregateKind::kSpread, training,
+                                            windows, kLambda);
+    for (std::size_t c : {1u, 10u, 100u, 1000u}) {
+      auto monitor =
+          std::move(AggregateMonitor::Create(MonitorConfig(c), thresholds))
+              .value();
+      for (double v : stream) {
+        const Status st = monitor->Append(v);
+        if (!st.ok()) {
+          std::fprintf(stderr, "append failed: %s\n", st.ToString().c_str());
+          return;
+        }
+      }
+      const AlarmStats total = monitor->TotalStats();
+      std::printf("%6zu %10s c=%-5zu %14llu %14llu %10.4f\n", m, "Stardust",
+                  c, static_cast<unsigned long long>(total.candidates),
+                  static_cast<unsigned long long>(total.true_alarms),
+                  total.Precision());
+    }
+    auto swt = std::move(SwtMonitor::Create(AggregateKind::kSpread,
+                                            kBaseWindow, thresholds))
+                   .value();
+    for (double v : stream) swt->Append(v);
+    const AlarmStats total = swt->TotalStats();
+    std::printf("%6zu %16s %14llu %14llu %10.4f\n", m, "SWT",
+                static_cast<unsigned long long>(total.candidates),
+                static_cast<unsigned long long>(total.true_alarms),
+                total.Precision());
+  }
+  std::printf(
+      "\nPaper shape: Stardust outperforms SWT at every NW; it raises far\n"
+      "fewer (and far more precise) alarms — e.g. paper NW=60: Stardust\n"
+      "c=100 precision 0.89 with 116,976 alarms vs SWT 0.64 with 180,224.\n");
+}
+
+}  // namespace
+}  // namespace stardust
+
+int main() {
+  stardust::Run();
+  return 0;
+}

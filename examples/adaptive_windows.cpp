@@ -1,0 +1,104 @@
+// Adaptive window selection — the paper's proposed extension (§7):
+// use incremental regression/statistics to *estimate the right window
+// sizes to monitor* instead of guessing them a priori.
+//
+//   $ ./build/examples/adaptive_windows
+//
+// A stream hides bursts of one characteristic duration. The WindowAdvisor
+// watches all dyadic windows, ranks them by robust peak excursion, and
+// recommends the monitoring window — which is then handed to a live
+// AggregateMonitor with thresholds estimated by the advisor itself
+// (no separate training pass).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/aggregate_monitor.h"
+#include "core/window_advisor.h"
+
+namespace {
+
+/// Background Poisson-ish counts with hidden bursts of duration ~96.
+std::vector<double> HiddenBurstStream(std::size_t length,
+                                      std::uint64_t seed) {
+  stardust::Rng rng(seed);
+  std::vector<double> out(length);
+  std::size_t burst_left = 0, next_burst = 900;
+  for (std::size_t t = 0; t < length; ++t) {
+    double rate = 25.0;
+    if (burst_left > 0) {
+      rate += 18.0;
+      --burst_left;
+    } else if (--next_burst == 0) {
+      burst_left = 96;
+      next_burst = 900;
+    }
+    out[t] = std::max(0.0, rate + std::sqrt(rate) * rng.NextGaussian());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stardust;
+
+  const auto history = HiddenBurstStream(30000, 2026);
+
+  // Phase 1: watch the stream and learn which timescale is interesting.
+  auto advisor =
+      std::move(WindowAdvisor::Create(AggregateKind::kSum, 8, 8)).value();
+  for (double v : history) advisor->Append(v);
+
+  std::printf("window ranking after %zu arrivals (lambda = 4):\n",
+              history.size());
+  std::printf("%8s %10s %14s %12s %12s\n", "window", "score", "threshold",
+              "alarm rate", "drift");
+  for (const auto& advice : advisor->Advise(4.0)) {
+    std::printf("%8zu %10.2f %14.1f %12.5f %12.4f\n", advice.window,
+                advice.score, advice.threshold, advice.alarm_rate,
+                advice.drift);
+  }
+  const auto recommended = advisor->RecommendWindow();
+  if (!recommended.ok()) {
+    std::fprintf(stderr, "%s\n", recommended.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrecommended monitoring window: %zu (hidden burst "
+              "duration: 96)\n\n",
+              recommended.value());
+
+  // Phase 2: monitor the recommended window with the advisor's threshold.
+  const std::size_t window = recommended.value();
+  double threshold = 0.0;
+  for (const auto& advice : advisor->Advise(4.0)) {
+    if (advice.window == window) threshold = advice.threshold;
+  }
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = window;  // monitor exactly the advised scale
+  config.num_levels = 1;
+  config.history = 4 * window;
+  config.box_capacity = 4;
+  config.update_period = 1;
+  auto monitor = std::move(AggregateMonitor::Create(
+                               config, {{window, threshold}}))
+                     .value();
+  const auto live = HiddenBurstStream(20000, 2027);
+  for (double v : live) {
+    if (!monitor->Append(v).ok()) return 1;
+  }
+  const AlarmStats stats = monitor->TotalStats();
+  std::printf("live monitoring at window %zu, threshold %.1f:\n", window,
+              threshold);
+  std::printf("  %llu alarms raised, %llu verified true "
+              "(precision %.3f)\n",
+              static_cast<unsigned long long>(stats.candidates),
+              static_cast<unsigned long long>(stats.true_alarms),
+              stats.Precision());
+  std::printf("\nThe advisor picked the bursts' own timescale and a\n"
+              "threshold that fires on them without a training pass.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Gamma-ray burst detection — the paper's motivating astrophysics
+// scenario (Section 1): a photon detector produces an event count per
+// tick; a burst may last "a few milliseconds, a few hours, or even a few
+// days", so the monitor must watch every timescale at once.
+//
+//   $ ./build/examples/gamma_ray_burst
+//
+// Sets up an AggregateMonitor over 24 window sizes spanning two orders of
+// magnitude, with thresholds trained on a quiet prefix, and reports the
+// alarms as they happen — then compares against the SWT baseline.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/swt.h"
+#include "core/aggregate_monitor.h"
+#include "stream/bursty_source.h"
+#include "stream/threshold.h"
+
+int main() {
+  using namespace stardust;
+
+  // The detector: Poisson-like background with injected bursts whose
+  // durations are log-uniform over [8, 1200] ticks.
+  BurstySourceOptions source_options;
+  source_options.background_rate = 12.0;
+  source_options.mean_burst_gap = 600.0;
+  BurstySource detector(/*seed=*/2025, source_options);
+
+  // Train thresholds tau_w = mu + 4 sigma on a quiet training prefix.
+  BurstySource training_detector(/*seed=*/1905,
+                                 BurstySourceOptions{
+                                     .background_rate = 12.0,
+                                     .mean_burst_gap = 1e9,  // no bursts
+                                 });
+  const std::vector<double> training = training_detector.Take(6000);
+  const std::size_t base = 10;
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= 24; ++i) windows.push_back(i * base);
+  const auto thresholds =
+      TrainThresholds(AggregateKind::kSum, training, windows, 4.0);
+
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = base;
+  config.num_levels = 5;  // covers b = w/W up to 24
+  config.history = 512;
+  config.box_capacity = 4;
+  config.update_period = 1;
+  auto monitor_or = AggregateMonitor::Create(config, thresholds);
+  if (!monitor_or.ok()) {
+    std::fprintf(stderr, "%s\n", monitor_or.status().ToString().c_str());
+    return 1;
+  }
+  auto monitor = std::move(monitor_or).value();
+  auto swt =
+      std::move(SwtMonitor::Create(AggregateKind::kSum, base, thresholds))
+          .value();
+
+  // Stream 30,000 ticks; print a line whenever a new burst epoch begins.
+  std::uint64_t last_alarm_tick = 0;
+  std::uint64_t previous_true = 0;
+  for (std::uint64_t t = 0; t < 30000; ++t) {
+    const double count = detector.Next();
+    if (!monitor->Append(count).ok()) return 1;
+    swt->Append(count);
+    const std::uint64_t now_true = monitor->TotalStats().true_alarms;
+    if (now_true > previous_true && t > last_alarm_tick + 50) {
+      // Report which timescales see the burst right now.
+      std::printf("t=%6llu  burst detected on windows:",
+                  static_cast<unsigned long long>(t));
+      int printed = 0;
+      for (std::size_t i = 0; i < monitor->num_windows() && printed < 6;
+           ++i) {
+        auto answer = monitor->stardust().AggregateQuery(
+            0, monitor->threshold(i).window, monitor->threshold(i).threshold);
+        if (answer.ok() && answer.value().alarm) {
+          std::printf(" %zu", monitor->threshold(i).window);
+          ++printed;
+        }
+      }
+      std::printf("\n");
+      last_alarm_tick = t;
+    }
+    previous_true = now_true;
+  }
+
+  const AlarmStats sd = monitor->TotalStats();
+  const AlarmStats sw = swt->TotalStats();
+  std::printf("\n%-10s  alarms raised %8llu  true %8llu  precision %.3f\n",
+              "Stardust",
+              static_cast<unsigned long long>(sd.candidates),
+              static_cast<unsigned long long>(sd.true_alarms),
+              sd.Precision());
+  std::printf("%-10s  alarms raised %8llu  true %8llu  precision %.3f\n",
+              "SWT", static_cast<unsigned long long>(sw.candidates),
+              static_cast<unsigned long long>(sw.true_alarms),
+              sw.Precision());
+  std::printf("\nBoth monitors catch every true burst (sound filters);\n"
+              "Stardust wastes far fewer verifications doing so.\n");
+  return 0;
+}

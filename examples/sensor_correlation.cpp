@@ -1,0 +1,91 @@
+// Correlation monitoring across a sensor network (paper Sections 1, 2.4,
+// 5.3): continuously report pairs of sensors whose recent histories are
+// correlated above a chosen coefficient.
+//
+//   $ ./build/examples/sensor_correlation
+//
+// Builds 12 temperature-like sensor streams where sensors 0-2 share a
+// common weather signal, 3-4 share another (inverted for 4), and the rest
+// drift independently; then monitors Pearson correlation >= 0.9 over a
+// sliding history of 256 samples.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/correlation_monitor.h"
+#include "transform/feature.h"
+
+int main() {
+  using namespace stardust;
+
+  const std::size_t num_sensors = 12;
+  const std::size_t history = 256;     // N
+  const std::size_t basic_window = 16; // W: features refresh every 16
+
+  // Correlation >= 0.9 corresponds to z-normalized distance <= sqrt(0.2).
+  const double min_correlation = 0.9;
+  const double radius = DistanceForMinCorrelation(min_correlation);
+
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 8;
+  config.base_window = basic_window;
+  config.num_levels = 5;  // N = W * 2^4
+  config.history = history;
+  config.box_capacity = 1;            // batch algorithm (c = 1, T = W)
+  config.update_period = basic_window;
+
+  auto monitor_or = CorrelationMonitor::Create(config, num_sensors, radius);
+  if (!monitor_or.ok()) {
+    std::fprintf(stderr, "%s\n", monitor_or.status().ToString().c_str());
+    return 1;
+  }
+  auto monitor = std::move(monitor_or).value();
+
+  // Simulate the sensor field.
+  Rng rng(99);
+  double weather_a = 20.0, weather_b = 5.0;
+  std::vector<double> independent(num_sensors, 15.0);
+  std::vector<double> values(num_sensors);
+  std::size_t rounds_printed = 0;
+  for (std::size_t t = 0; t < 1200; ++t) {
+    weather_a += 0.3 * rng.NextGaussian();
+    weather_b += 0.3 * rng.NextGaussian();
+    for (std::size_t i = 0; i < num_sensors; ++i) {
+      if (i <= 2) {
+        values[i] = weather_a + 0.05 * rng.NextGaussian();
+      } else if (i == 3) {
+        values[i] = weather_b + 0.05 * rng.NextGaussian();
+      } else if (i == 4) {
+        values[i] = -weather_b + 0.05 * rng.NextGaussian();  // anti-corr.
+      } else {
+        independent[i] += 0.3 * rng.NextGaussian();
+        values[i] = independent[i];
+      }
+    }
+    if (!monitor->AppendAll(values).ok()) return 1;
+    if (!monitor->last_round().empty() && rounds_printed < 5 &&
+        t % 128 == 0) {
+      std::printf("t=%4zu correlated pairs:", t);
+      for (const auto& pair : monitor->last_round()) {
+        if (!pair.verified) continue;
+        std::printf(" (%u,%u corr=%.3f)", pair.a, pair.b,
+                    CorrelationFromDist2(pair.distance * pair.distance));
+      }
+      std::printf("\n");
+      ++rounds_printed;
+    }
+  }
+
+  std::printf("\nover the whole run: %llu candidate pairs, %llu verified "
+              "(precision %.3f)\n",
+              static_cast<unsigned long long>(monitor->stats().candidates),
+              static_cast<unsigned long long>(monitor->stats().true_pairs),
+              monitor->stats().Precision());
+  std::printf("expected: the (0,1), (0,2), (1,2) weather-A group pairs;\n"
+              "sensor 4 tracks weather B inversely, so (3,4) only shows up\n"
+              "if you monitor |corr| — anti-correlation maps to distance\n"
+              "near 2, outside this query's radius.\n");
+  return 0;
+}

@@ -1,0 +1,375 @@
+// stardust_cli — run the framework on your own CSV traces.
+//
+//   stardust_cli monitor   <data.csv> [--base K] [--windows m]
+//                          [--lambda L] [--capacity c] [--training n]
+//   stardust_cli patterns  <data.csv> <query.csv> [--radius r] [--base W]
+//                          [--levels J] [--capacity c] [--coefficients f]
+//   stardust_cli correlate <data.csv> [--radius r] [--window N]
+//                          [--basic W] [--coefficients f]
+//   stardust_cli advise    <data.csv> [--base W] [--levels J] [--lambda L]
+//   stardust_cli surprise  <data.csv> [--threshold d] [--base W]
+//                          [--levels J] [--coefficients f]
+//
+// Preprocessing flags accepted by every command, applied in this order:
+//   --fill-gaps 1        linearly interpolate NaN/Inf gaps
+//   --resample k         average non-overlapping blocks of k rows
+//   --detrend 1          remove each stream's linear trend
+//
+// Data format: one row per time step, one column per stream; an optional
+// header row is skipped (see src/stream/io.h). The query file for
+// `patterns` uses its first column.
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/aggregate_monitor.h"
+#include "core/correlation_monitor.h"
+#include "core/pattern_query.h"
+#include "core/surprise_monitor.h"
+#include "core/window_advisor.h"
+#include "stream/io.h"
+#include "stream/preprocess.h"
+#include "stream/threshold.h"
+#include "dwt/haar.h"
+#include "transform/feature.h"
+
+namespace {
+
+using namespace stardust;
+
+/// --flag value option map; positional arguments in order.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::atof(it->second.c_str());
+  }
+  std::size_t GetSize(const std::string& key, std::size_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end()
+               ? fallback
+               : static_cast<std::size_t>(
+                     std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.options[arg.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Loads a dataset and applies the shared preprocessing flags.
+Result<Dataset> LoadAndPreprocess(const Args& args,
+                                  const std::string& path) {
+  Result<Dataset> data = LoadDatasetCsv(path);
+  if (!data.ok()) return data;
+  if (args.GetSize("fill-gaps", 0) != 0) {
+    data = FillGaps(data.value());
+    if (!data.ok()) return data;
+  }
+  const std::size_t factor = args.GetSize("resample", 1);
+  if (factor > 1) {
+    data = Resample(data.value(), factor);
+    if (!data.ok()) return data;
+  }
+  if (args.GetSize("detrend", 0) != 0) {
+    data = Detrend(data.value());
+    if (!data.ok()) return data;
+  }
+  return data;
+}
+
+int RunSurprise(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "surprise: missing <data.csv>\n");
+    return 2;
+  }
+  Result<Dataset> data = LoadAndPreprocess(args, args.positional[0]);
+  if (!data.ok()) return Fail(data.status());
+  const double threshold = args.GetDouble("threshold", 0.05);
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = args.GetSize("coefficients", 8);
+  config.r_max = data.value().r_max;
+  config.base_window = args.GetSize("base", 16);
+  config.num_levels = args.GetSize("levels", 3);
+  config.history = data.value().length();
+  config.box_capacity = 1;
+  config.update_period = 1;
+  config.index_features = true;
+  Result<std::unique_ptr<SurpriseMonitor>> monitor =
+      SurpriseMonitor::Create(config, data.value().num_streams(),
+                              threshold);
+  if (!monitor.ok()) return Fail(monitor.status());
+  std::vector<SurpriseEvent> events;
+  for (std::size_t t = 0; t < data.value().length(); ++t) {
+    for (std::size_t s = 0; s < data.value().num_streams(); ++s) {
+      const Status st =
+          monitor.value()->Append(static_cast<StreamId>(s),
+                                  data.value().streams[s][t], &events);
+      if (!st.ok()) return Fail(st);
+    }
+  }
+  std::printf("threshold %.4f: %zu novelty event(s)\n", threshold,
+              events.size());
+  for (const auto& event : events) {
+    std::printf("  stream %u, rows %llu..%llu (window %zu), novelty "
+                "%.4f\n",
+                event.stream,
+                static_cast<unsigned long long>(event.end_time + 1 -
+                                                event.window),
+                static_cast<unsigned long long>(event.end_time),
+                event.window, event.novelty);
+  }
+  return 0;
+}
+
+int RunMonitor(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "monitor: missing <data.csv>\n");
+    return 2;
+  }
+  Result<Dataset> data = LoadAndPreprocess(args, args.positional[0]);
+  if (!data.ok()) return Fail(data.status());
+  const std::size_t base = args.GetSize("base", 10);
+  const std::size_t m = args.GetSize("windows", 16);
+  const double lambda = args.GetDouble("lambda", 3.0);
+  const std::size_t capacity = args.GetSize("capacity", 4);
+  const std::size_t training_len =
+      args.GetSize("training", data.value().length() / 4);
+
+  std::size_t levels = 1;
+  while ((std::size_t{1} << levels) <= m) ++levels;
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= m; ++i) windows.push_back(i * base);
+
+  std::printf("%zu stream(s), %zu values each; windows %zu..%zu, "
+              "lambda %.2f, c=%zu\n",
+              data.value().num_streams(), data.value().length(), base,
+              m * base, lambda, capacity);
+  for (std::size_t s = 0; s < data.value().num_streams(); ++s) {
+    const std::vector<double>& stream = data.value().streams[s];
+    if (stream.size() <= training_len) continue;
+    const std::vector<double> training(stream.begin(),
+                                       stream.begin() + training_len);
+    const auto thresholds =
+        TrainThresholds(AggregateKind::kSum, training, windows, lambda);
+    if (thresholds.empty()) continue;
+    StardustConfig config;
+    config.transform = TransformKind::kAggregate;
+    config.aggregate = AggregateKind::kSum;
+    config.base_window = base;
+    config.num_levels = levels;
+    config.history =
+        std::max(m * base, base << (levels - 1));
+    config.box_capacity = capacity;
+    config.update_period = 1;
+    Result<std::unique_ptr<AggregateMonitor>> monitor =
+        AggregateMonitor::Create(config, thresholds);
+    if (!monitor.ok()) return Fail(monitor.status());
+    for (double v : stream) {
+      const Status st = monitor.value()->Append(v);
+      if (!st.ok()) return Fail(st);
+    }
+    const AlarmStats total = monitor.value()->TotalStats();
+    std::printf("stream %zu: %llu alarms raised, %llu true, "
+                "precision %.3f\n",
+                s, static_cast<unsigned long long>(total.candidates),
+                static_cast<unsigned long long>(total.true_alarms),
+                total.Precision());
+  }
+  return 0;
+}
+
+int RunPatterns(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "patterns: need <data.csv> <query.csv>\n");
+    return 2;
+  }
+  Result<Dataset> data = LoadAndPreprocess(args, args.positional[0]);
+  if (!data.ok()) return Fail(data.status());
+  Result<Dataset> query_data = LoadDatasetCsv(args.positional[1]);
+  if (!query_data.ok()) return Fail(query_data.status());
+  const std::vector<double>& query = query_data.value().streams[0];
+  const double radius = args.GetDouble("radius", 0.05);
+  const std::size_t base = args.GetSize("base", 16);
+  const std::size_t levels = args.GetSize("levels", 4);
+  const std::size_t capacity = args.GetSize("capacity", 8);
+  const std::size_t f = args.GetSize("coefficients", 4);
+
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = f;
+  config.r_max = data.value().r_max;
+  config.base_window = base;
+  config.num_levels = levels;
+  config.history = data.value().length();
+  config.box_capacity = capacity;
+  config.update_period = 1;
+  config.index_features = true;
+  Result<std::unique_ptr<Stardust>> core = Stardust::Create(config);
+  if (!core.ok()) return Fail(core.status());
+  for (const auto& stream : data.value().streams) {
+    const StreamId id = core.value()->AddStream();
+    for (double v : stream) {
+      const Status st = core.value()->Append(id, v);
+      if (!st.ok()) return Fail(st);
+    }
+  }
+  PatternQueryEngine engine(*core.value());
+  Result<PatternResult> result = engine.QueryOnline(query, radius);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("query length %zu, radius %.4f: %zu match(es), "
+              "%llu candidates checked\n",
+              query.size(), radius, result.value().matches.size(),
+              static_cast<unsigned long long>(result.value().candidates));
+  for (const auto& match : result.value().matches) {
+    std::printf("  stream %u, rows %llu..%llu, distance %.6f\n",
+                match.stream,
+                static_cast<unsigned long long>(match.end_time + 1 -
+                                                query.size()),
+                static_cast<unsigned long long>(match.end_time),
+                match.distance);
+  }
+  return 0;
+}
+
+int RunCorrelate(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "correlate: missing <data.csv>\n");
+    return 2;
+  }
+  Result<Dataset> data = LoadAndPreprocess(args, args.positional[0]);
+  if (!data.ok()) return Fail(data.status());
+  const std::size_t basic = args.GetSize("basic", 16);
+  std::size_t n = args.GetSize("window", 256);
+  const std::size_t f = args.GetSize("coefficients", 4);
+  const double radius = args.GetDouble("radius", 0.5);
+  std::size_t levels = 1;
+  while ((basic << (levels - 1)) < n) ++levels;
+  n = basic << (levels - 1);
+
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = f;
+  config.base_window = basic;
+  config.num_levels = levels;
+  config.history = n;
+  config.box_capacity = 1;
+  config.update_period = basic;
+  Result<std::unique_ptr<CorrelationMonitor>> monitor =
+      CorrelationMonitor::Create(config, data.value().num_streams(),
+                                 radius);
+  if (!monitor.ok()) return Fail(monitor.status());
+  std::vector<double> values(data.value().num_streams());
+  for (std::size_t t = 0; t < data.value().length(); ++t) {
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      values[i] = data.value().streams[i][t];
+    }
+    const Status st = monitor.value()->AppendAll(values);
+    if (!st.ok()) return Fail(st);
+  }
+  std::printf("window %zu, distance radius %.3f (corr >= %.3f): "
+              "%llu candidates, %llu verified over the run\n",
+              n, radius, CorrelationFromDist2(radius * radius),
+              static_cast<unsigned long long>(
+                  monitor.value()->stats().candidates),
+              static_cast<unsigned long long>(
+                  monitor.value()->stats().true_pairs));
+  std::printf("final round:\n");
+  for (const auto& pair : monitor.value()->last_round()) {
+    if (!pair.verified) continue;
+    std::printf("  streams (%u, %u): corr %.4f\n", pair.a, pair.b,
+                CorrelationFromDist2(pair.distance * pair.distance));
+  }
+  return 0;
+}
+
+int RunAdvise(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "advise: missing <data.csv>\n");
+    return 2;
+  }
+  Result<Dataset> data = LoadAndPreprocess(args, args.positional[0]);
+  if (!data.ok()) return Fail(data.status());
+  const std::size_t base = args.GetSize("base", 8);
+  const std::size_t levels = args.GetSize("levels", 8);
+  const double lambda = args.GetDouble("lambda", 4.0);
+  for (std::size_t s = 0; s < data.value().num_streams(); ++s) {
+    Result<std::unique_ptr<WindowAdvisor>> advisor =
+        WindowAdvisor::Create(AggregateKind::kSum, base, levels);
+    if (!advisor.ok()) return Fail(advisor.status());
+    for (double v : data.value().streams[s]) advisor.value()->Append(v);
+    std::printf("stream %zu:\n", s);
+    std::printf("  %8s %10s %14s %12s\n", "window", "score", "threshold",
+                "alarm rate");
+    for (const auto& advice : advisor.value()->Advise(lambda)) {
+      std::printf("  %8zu %10.2f %14.2f %12.5f\n", advice.window,
+                  advice.score, advice.threshold, advice.alarm_rate);
+    }
+  }
+  // DWT coefficient suggestion for pattern/correlation monitoring
+  // (Section 4's energy-concentration premise, measured on this data).
+  const std::size_t w = args.GetSize("window", 64);
+  if (IsPowerOfTwo(w) && data.value().length() >= w) {
+    std::vector<std::vector<double>> samples;
+    const std::size_t stride =
+        std::max<std::size_t>(1, (data.value().length() - w) / 50 + 1);
+    for (const auto& stream : data.value().streams) {
+      for (std::size_t start = 0; start + w <= stream.size();
+           start += stride) {
+        samples.emplace_back(stream.begin() + start,
+                             stream.begin() + start + w);
+        if (samples.size() >= 200) break;
+      }
+      if (samples.size() >= 200) break;
+    }
+    std::printf("\nDWT coefficients for %zu-step windows: f = %zu keeps "
+                ">=95%% of the energy, f = %zu keeps >=99%%\n",
+                w, SuggestCoefficientCount(samples, 0.95),
+                SuggestCoefficientCount(samples, 0.99));
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: stardust_cli <monitor|patterns|correlate|advise|surprise> ...\n"
+      "see the header of examples/stardust_cli.cpp for options\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args = ParseArgs(argc, argv);
+  if (command == "monitor") return RunMonitor(args);
+  if (command == "patterns") return RunPatterns(args);
+  if (command == "correlate") return RunCorrelate(args);
+  if (command == "advise") return RunAdvise(args);
+  if (command == "surprise") return RunSurprise(args);
+  return Usage();
+}

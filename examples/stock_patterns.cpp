@@ -1,0 +1,113 @@
+// Variable-length pattern search over price-like streams (paper Sections
+// 1 and 5.2): "find all time periods during which the movement of a
+// particular stock follows an interesting trend", without fixing the
+// trend's duration in advance.
+//
+//   $ ./build/examples/stock_patterns
+//
+// Indexes 8 random-walk "price" streams online, then issues the same
+// head-and-shoulders-like template at three different durations — the
+// variable-length capability single-resolution indexes lack.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <vector>
+
+#include "core/pattern_query.h"
+#include "stream/dataset.h"
+
+namespace {
+
+// A smooth three-peak template resampled to any length, scaled into the
+// value range of the data.
+std::vector<double> TrendTemplate(std::size_t length, double level,
+                                  double amplitude) {
+  std::vector<double> out(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    const double x = static_cast<double>(i) / (length - 1);  // [0, 1]
+    const double shoulders = std::sin(3.0 * std::numbers::pi * x);
+    const double head = std::exp(-40.0 * (x - 0.5) * (x - 0.5));
+    out[i] = level + amplitude * (0.4 * shoulders + 0.8 * head);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace stardust;
+
+  // Price streams, with the template planted into stream 5 at two
+  // different durations.
+  Dataset data = MakeRandomWalkDataset(8, 4096, /*seed=*/31);
+  const auto short_trend = TrendTemplate(128, 55.0, 6.0);
+  const auto long_trend = TrendTemplate(512, 48.0, 9.0);
+  for (std::size_t i = 0; i < short_trend.size(); ++i) {
+    data.streams[5][800 + i] = short_trend[i];
+  }
+  for (std::size_t i = 0; i < long_trend.size(); ++i) {
+    data.streams[5][2600 + i] = long_trend[i];
+  }
+
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 8;
+  config.r_max = data.r_max;
+  config.base_window = 64;
+  config.num_levels = 4;  // query lengths up to 64 * 15
+  config.history = 4096;
+  config.box_capacity = 16;
+  config.update_period = 1;  // online algorithm -> Algorithm 3 queries
+  config.index_features = true;
+
+  auto core_or = Stardust::Create(config);
+  if (!core_or.ok()) {
+    std::fprintf(stderr, "%s\n", core_or.status().ToString().c_str());
+    return 1;
+  }
+  auto core = std::move(core_or).value();
+  for (std::size_t i = 0; i < data.num_streams(); ++i) {
+    const StreamId id = core->AddStream();
+    for (double v : data.streams[i]) {
+      if (!core->Append(id, v).ok()) return 1;
+    }
+  }
+  PatternQueryEngine engine(*core);
+
+  // The same trend at three durations — no re-indexing required.
+  for (std::size_t duration : {128u, 256u, 512u}) {
+    const auto query = TrendTemplate(duration, 50.0, 8.0);
+    const double radius = 0.02;
+    auto result = engine.QueryOnline(query, radius);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("trend of %3zu days, radius %.2f: %2zu match(es), "
+                "%llu candidates checked (precision %.2f)\n",
+                duration, radius, result.value().matches.size(),
+                static_cast<unsigned long long>(result.value().candidates),
+                result.value().Precision());
+    // Matches come in runs of near-identical alignments; show the best
+    // few only.
+    std::vector<PatternMatch> top = result.value().matches;
+    std::sort(top.begin(), top.end(),
+              [](const PatternMatch& a, const PatternMatch& b) {
+                return a.distance < b.distance;
+              });
+    for (std::size_t i = 0; i < top.size() && i < 3; ++i) {
+      std::printf("    stream %u, days %llu..%llu, distance %.4f\n",
+                  top[i].stream,
+                  static_cast<unsigned long long>(
+                      top[i].end_time - duration + 1),
+                  static_cast<unsigned long long>(top[i].end_time),
+                  top[i].distance);
+    }
+  }
+  std::printf("\nThe 128- and 512-day plants surface at their own\n"
+              "timescales; the multi-resolution index answered all three\n"
+              "durations from the same summary.\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Network traffic operations — the paper's telecom motivation (Section 1)
+// end to end: a fleet of link counters is monitored for volume bursts at
+// many timescales, while a lag-correlation monitor discovers which links
+// feed which (propagation paths) without being told the topology.
+//
+//   $ ./build/examples/traffic_ops
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fleet_monitor.h"
+#include "core/lag_correlation.h"
+#include "stream/threshold.h"
+
+int main() {
+  using namespace stardust;
+
+  // Topology (hidden from the monitors): ingress link 0 feeds link 3
+  // after 32 ticks and link 5 after 64; links 1, 2, 4 are independent.
+  const std::size_t links = 6;
+  Rng rng(8080);
+  auto traffic_step = [&](std::uint64_t t,
+                          std::vector<std::vector<double>>& history) {
+    std::vector<double> values(links);
+    // Ingress: diurnal-ish base + bursts.
+    const double base =
+        400.0 + 150.0 * std::sin(2.0 * 3.14159 * t / 4000.0);
+    const bool burst = (t / 500) % 7 == 3;
+    values[0] = std::max(
+        0.0, base + (burst ? 350.0 : 0.0) + 20.0 * rng.NextGaussian());
+    for (std::size_t i : {1u, 2u, 4u}) {
+      values[i] =
+          std::max(0.0, 300.0 + 60.0 * std::sin(2.0 * 3.14159 * t /
+                                                (900.0 + 200.0 * i)) +
+                            15.0 * rng.NextGaussian());
+    }
+    values[3] = t >= 32 ? 0.92 * history[0][t - 32] +
+                              8.0 * rng.NextGaussian()
+                        : 300.0;
+    values[5] = t >= 64 ? 0.85 * history[0][t - 64] +
+                              8.0 * rng.NextGaussian()
+                        : 300.0;
+    for (std::size_t i = 0; i < links; ++i) {
+      values[i] = std::max(0.0, values[i]);
+      history[i].push_back(values[i]);
+    }
+    return values;
+  };
+
+  // --- Fleet burst monitoring over windows 25..400 ----------------------
+  std::vector<std::vector<double>> warmup_history(links);
+  std::vector<double> training;
+  {
+    for (std::uint64_t t = 0; t < 4000; ++t) {
+      const auto v = traffic_step(t, warmup_history);
+      training.push_back(v[0]);
+    }
+  }
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= 16; ++i) windows.push_back(i * 25);
+  const auto thresholds =
+      TrainThresholds(AggregateKind::kSum, training, windows, 2.0);
+  StardustConfig fleet_config;
+  fleet_config.transform = TransformKind::kAggregate;
+  fleet_config.aggregate = AggregateKind::kSum;
+  fleet_config.base_window = 25;
+  fleet_config.num_levels = 5;
+  fleet_config.history = 800;
+  fleet_config.box_capacity = 5;
+  fleet_config.update_period = 1;
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             fleet_config, thresholds, links))
+                   .value();
+
+  // --- Lag correlation over windows of 256, lags up to 128 --------------
+  StardustConfig lag_config;
+  lag_config.transform = TransformKind::kDwt;
+  lag_config.normalization = Normalization::kZNorm;
+  lag_config.coefficients = 8;
+  lag_config.base_window = 32;
+  lag_config.num_levels = 4;  // N = 256
+  lag_config.history = 256 + 128;
+  lag_config.box_capacity = 1;
+  lag_config.update_period = 32;
+  auto lag_monitor = std::move(LagCorrelationMonitor::Create(
+                                   lag_config, links, 0.45, 128))
+                         .value();
+
+  std::vector<std::vector<double>> history(links);
+  for (std::uint64_t t = 0; t < 8000; ++t) {
+    const auto values = traffic_step(t, history);
+    if (!fleet->AppendAll(values).ok()) return 1;
+    if (!lag_monitor->AppendAll(values).ok()) return 1;
+  }
+
+  std::printf("fleet burst monitoring (16 windows x %zu links):\n", links);
+  for (StreamId link = 0; link < links; ++link) {
+    const AlarmStats stats = fleet->StreamTotal(link);
+    std::printf("  link %u: %8llu alarms, %8llu true (precision %.3f)\n",
+                link, static_cast<unsigned long long>(stats.candidates),
+                static_cast<unsigned long long>(stats.true_alarms),
+                stats.Precision());
+  }
+
+  std::printf("\ndiscovered propagation (last round, verified lagged "
+              "pairs):\n");
+  bool any = false;
+  for (const auto& pair : lag_monitor->last_round()) {
+    if (!pair.verified || pair.lag == 0) continue;
+    std::printf("  link %u -> link %u after %zu ticks (corr %.3f)\n",
+                pair.leader, pair.follower, pair.lag,
+                1.0 - pair.distance * pair.distance / 2.0);
+    any = true;
+  }
+  if (!any) std::printf("  (none this round)\n");
+  std::printf("\nexpected: 0 -> 3 after ~32 ticks and 0 -> 5 after ~64\n"
+              "(lag granularity = the 32-tick feature refresh).\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+#include "baselines/generalmatch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "core/stardust.h"
+#include "dwt/haar.h"
+
+namespace stardust {
+
+namespace {
+
+double BudgetScale(const GeneralMatchOptions& options, std::size_t w) {
+  if (options.normalization == Normalization::kUnitSphere) {
+    return static_cast<double>(w) * options.r_max * options.r_max;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GeneralMatch>> GeneralMatch::Build(
+    const Dataset& dataset, const GeneralMatchOptions& options) {
+  if (!IsPowerOfTwo(options.window)) {
+    return Status::InvalidArgument("window must be a power of two");
+  }
+  if (!IsPowerOfTwo(options.coefficients) ||
+      options.coefficients > options.window) {
+    return Status::InvalidArgument(
+        "coefficients must be a power of two not exceeding the window");
+  }
+  if (options.normalization == Normalization::kUnitSphere &&
+      options.r_max <= 0.0) {
+    return Status::InvalidArgument("r_max must be positive");
+  }
+  if (dataset.num_streams() == 0 || dataset.length() < options.window) {
+    return Status::InvalidArgument("dataset smaller than one window");
+  }
+  auto gm = std::unique_ptr<GeneralMatch>(
+      new GeneralMatch(dataset, options));
+  const std::size_t w = options.window;
+  gm->features_.resize(dataset.num_streams());
+  for (std::size_t i = 0; i < dataset.num_streams(); ++i) {
+    const std::vector<double>& stream = dataset.streams[i];
+    for (std::size_t k = 0; (k + 1) * w <= stream.size(); ++k) {
+      std::vector<double> window(stream.begin() + k * w,
+                                 stream.begin() + (k + 1) * w);
+      const std::vector<double> normalized = NormalizeWindow(
+          window, options.normalization, options.r_max);
+      Point feature = DwtFeature(normalized, options.coefficients);
+      SD_RETURN_NOT_OK(gm->index_.Insert(
+          Mbr::FromPoint(feature),
+          MakeRecordId(static_cast<StreamId>(i), k)));
+      gm->features_[i].push_back(std::move(feature));
+    }
+  }
+  return gm;
+}
+
+GeneralMatch::GeneralMatch(const Dataset& dataset,
+                           const GeneralMatchOptions& options)
+    : dataset_(dataset),
+      options_(options),
+      index_(options.coefficients, RTreeOptions{}) {}
+
+Result<PatternResult> GeneralMatch::Query(const std::vector<double>& query,
+                                          double radius) const {
+  if (radius < 0.0) return Status::InvalidArgument("negative radius");
+  const std::size_t w = options_.window;
+  if (query.size() < 2 * w - 1) {
+    return Status::InvalidArgument("query must be at least 2w - 1 long");
+  }
+  const std::size_t p = (query.size() - w + 1) / w;
+  const double r_piece2 = radius * radius *
+                          BudgetScale(options_, query.size()) /
+                          (static_cast<double>(p) * BudgetScale(options_, w));
+  const double r_piece = std::sqrt(r_piece2);
+
+  // Probe the index with every sliding query piece; each hit proposes one
+  // alignment.
+  std::vector<std::pair<StreamId, std::size_t>> starts;
+  std::vector<RTreeEntry> hits;
+  for (std::size_t i = 0; i + w <= query.size(); ++i) {
+    std::vector<double> piece(query.begin() + i, query.begin() + i + w);
+    const std::vector<double> normalized =
+        NormalizeWindow(piece, options_.normalization, options_.r_max);
+    const Point feature = DwtFeature(normalized, options_.coefficients);
+    hits.clear();
+    index_.SearchWithin(feature, r_piece, &hits);
+    for (const RTreeEntry& hit : hits) {
+      const StreamId stream = RecordStream(hit.id);
+      const std::size_t s = RecordSeq(hit.id) * w;
+      if (s < i) continue;
+      const std::size_t start = s - i;
+      if (start + query.size() > dataset_.length()) continue;
+      starts.emplace_back(stream, start);
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  starts.erase(std::unique(starts.begin(), starts.end()), starts.end());
+
+  // Multi-piece refinement (Faloutsos et al.): the squared distances of
+  // ALL disjoint data windows inside an alignment add up against the
+  // total unnormalized budget.
+  const double total_budget =
+      radius * radius * BudgetScale(options_, query.size());
+  const double piece_scale = BudgetScale(options_, w);
+  std::vector<std::pair<StreamId, std::size_t>> refined;
+  refined.reserve(starts.size());
+  for (const auto& [stream, start] : starts) {
+    const std::size_t first_k = (start + w - 1) / w;
+    double used = 0.0;
+    bool pruned = false;
+    std::vector<double> piece(w);
+    for (std::size_t k = first_k;
+         (k + 1) * w <= start + query.size() &&
+         k < features_[stream].size();
+         ++k) {
+      const std::size_t offset = k * w - start;
+      piece.assign(query.begin() + offset, query.begin() + offset + w);
+      const std::vector<double> normalized =
+          NormalizeWindow(piece, options_.normalization, options_.r_max);
+      const Point qf = DwtFeature(normalized, options_.coefficients);
+      used += Dist2(qf, features_[stream][k]) * piece_scale;
+      if (used > total_budget) {
+        pruned = true;
+        break;
+      }
+    }
+    if (!pruned) refined.emplace_back(stream, start);
+  }
+
+  // Exact verification against the dataset.
+  PatternResult result;
+  const std::vector<double> query_norm =
+      NormalizeWindow(query, options_.normalization, options_.r_max);
+  const double r2 = radius * radius;
+  for (const auto& [stream, start] : refined) {
+    ++result.candidates;
+    std::vector<double> window(
+        dataset_.streams[stream].begin() + start,
+        dataset_.streams[stream].begin() + start + query.size());
+    const std::vector<double> window_norm =
+        NormalizeWindow(window, options_.normalization, options_.r_max);
+    const double d2 = Dist2(query_norm, window_norm);
+    if (d2 <= r2) {
+      result.matches.push_back({stream, start + query.size() - 1,
+                                std::sqrt(d2)});
+    }
+  }
+  return result;
+}
+
+}  // namespace stardust

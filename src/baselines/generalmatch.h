@@ -1,0 +1,62 @@
+// GeneralMatch (Moon, Whang & Han, SIGMOD 2002) — the single-resolution
+// dual-windowing comparator of the paper's Figure 5.
+//
+// The data sequences are divided into *disjoint* windows of a fixed size w
+// (indexed), and the query into *sliding* windows (probes) — the dual of
+// the conventional FRM arrangement. A match within radius r must contain
+// at least p = ⌊(|Q| − w + 1)/w⌋ disjoint data windows, so at least one of
+// them is within the multi-piece radius of the corresponding query piece
+// (Faloutsos et al.); each index hit yields one alignment hypothesis,
+// which is verified exactly. As in core/pattern_query.cc, radii are scaled
+// to keep the arithmetic sound under Equation-2 normalization.
+#ifndef STARDUST_BASELINES_GENERALMATCH_H_
+#define STARDUST_BASELINES_GENERALMATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pattern_query.h"
+#include "rtree/rtree.h"
+#include "stream/dataset.h"
+#include "transform/feature.h"
+
+namespace stardust {
+
+/// GeneralMatch parameters.
+struct GeneralMatchOptions {
+  /// Disjoint data-window size w. The original chooses the largest w with
+  /// 1 <= ⌊(min|Q| − W + 1)/w⌋ given the a-priori minimum query length.
+  std::size_t window = 128;
+  std::size_t coefficients = 2;  // f
+  Normalization normalization = Normalization::kUnitSphere;
+  double r_max = 1.0;
+};
+
+/// Offline GeneralMatch index over a finite dataset.
+class GeneralMatch {
+ public:
+  /// Builds the disjoint-window index. The dataset must outlive the index.
+  static Result<std::unique_ptr<GeneralMatch>> Build(
+      const Dataset& dataset, const GeneralMatchOptions& options);
+
+  /// One-time pattern query; |query| >= 2w - 1.
+  Result<PatternResult> Query(const std::vector<double>& query,
+                              double radius) const;
+
+  const RTree& index() const { return index_; }
+
+ private:
+  GeneralMatch(const Dataset& dataset, const GeneralMatchOptions& options);
+
+  const Dataset& dataset_;
+  GeneralMatchOptions options_;
+  RTree index_;
+  /// features_[stream][k]: feature of the k-th disjoint window, for the
+  /// multi-piece alignment refinement at query time.
+  std::vector<std::vector<Point>> features_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_BASELINES_GENERALMATCH_H_

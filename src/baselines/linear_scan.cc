@@ -1,0 +1,78 @@
+#include "baselines/linear_scan.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "transform/sliding_tracker.h"
+
+namespace stardust {
+
+std::vector<PatternMatch> ScanPatternMatches(const Dataset& dataset,
+                                             const std::vector<double>& query,
+                                             double radius,
+                                             Normalization normalization,
+                                             double r_max) {
+  SD_CHECK(!query.empty());
+  std::vector<PatternMatch> matches;
+  const std::vector<double> query_norm =
+      NormalizeWindow(query, normalization, r_max);
+  const double r2 = radius * radius;
+  std::vector<double> window;
+  for (std::size_t s = 0; s < dataset.num_streams(); ++s) {
+    const std::vector<double>& stream = dataset.streams[s];
+    if (stream.size() < query.size()) continue;
+    for (std::size_t start = 0; start + query.size() <= stream.size();
+         ++start) {
+      window.assign(stream.begin() + start,
+                    stream.begin() + start + query.size());
+      const std::vector<double> window_norm =
+          NormalizeWindow(window, normalization, r_max);
+      const double d2 = Dist2(query_norm, window_norm);
+      if (d2 <= r2) {
+        matches.push_back({static_cast<StreamId>(s),
+                           start + query.size() - 1, std::sqrt(d2)});
+      }
+    }
+  }
+  return matches;
+}
+
+std::uint64_t ScanAggregateAlarms(AggregateKind kind,
+                                  const std::vector<double>& data,
+                                  std::size_t window, double threshold) {
+  SD_CHECK(window >= 1);
+  if (data.size() < window) return 0;
+  SlidingAggregateTracker tracker(kind, {window});
+  std::uint64_t alarms = 0;
+  for (double v : data) {
+    tracker.Push(v);
+    if (tracker.Ready(0) && tracker.Current(0) >= threshold) ++alarms;
+  }
+  return alarms;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ScanCorrelatedPairs(
+    const Dataset& dataset, std::size_t window, double radius) {
+  SD_CHECK(window >= 1);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  const std::size_t len = dataset.length();
+  SD_CHECK(len >= window);
+  std::vector<std::vector<double>> normalized;
+  normalized.reserve(dataset.num_streams());
+  for (const auto& stream : dataset.streams) {
+    std::vector<double> suffix(stream.end() - window, stream.end());
+    normalized.push_back(ZNormalize(suffix));
+  }
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < normalized.size(); ++i) {
+    for (std::size_t j = i + 1; j < normalized.size(); ++j) {
+      if (Dist2(normalized[i], normalized[j]) <= r2) {
+        pairs.emplace_back(static_cast<std::uint32_t>(i),
+                           static_cast<std::uint32_t>(j));
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace stardust

@@ -1,0 +1,39 @@
+// Exact brute-force oracles ("linear scan"). These provide the ground
+// truth against which every technique's precision and recall is measured,
+// and double as the naive baseline the paper's comparators are themselves
+// benchmarked against.
+#ifndef STARDUST_BASELINES_LINEAR_SCAN_H_
+#define STARDUST_BASELINES_LINEAR_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pattern_query.h"
+#include "stream/dataset.h"
+#include "transform/aggregate.h"
+#include "transform/feature.h"
+
+namespace stardust {
+
+/// All true pattern matches of `query` in `dataset` under the given
+/// normalization: every (stream, end) with normalized distance <= radius.
+std::vector<PatternMatch> ScanPatternMatches(const Dataset& dataset,
+                                             const std::vector<double>& query,
+                                             double radius,
+                                             Normalization normalization,
+                                             double r_max);
+
+/// Number of times the exact sliding aggregate of `data` over `window`
+/// reaches `threshold` (one check per end position).
+std::uint64_t ScanAggregateAlarms(AggregateKind kind,
+                                  const std::vector<double>& data,
+                                  std::size_t window, double threshold);
+
+/// All pairs (i < j) whose z-normalized suffix windows of size `window`
+/// are within Euclidean distance `radius` (ending at the last position).
+std::vector<std::pair<std::uint32_t, std::uint32_t>> ScanCorrelatedPairs(
+    const Dataset& dataset, std::size_t window, double radius);
+
+}  // namespace stardust
+
+#endif  // STARDUST_BASELINES_LINEAR_SCAN_H_

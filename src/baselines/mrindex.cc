@@ -1,0 +1,40 @@
+#include "baselines/mrindex.h"
+
+namespace stardust {
+
+Result<std::unique_ptr<MrIndex>> MrIndex::Build(
+    const Dataset& dataset, const MrIndexOptions& options) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = options.coefficients;
+  config.r_max = options.r_max;
+  config.base_window = options.base_window;
+  config.num_levels = options.num_levels;
+  config.history = options.history;
+  config.box_capacity = options.box_capacity;
+  config.update_period = 1;
+  config.exact_levels = true;  // the defining difference from Stardust
+  config.index_features = true;
+  Result<std::unique_ptr<Stardust>> core = Stardust::Create(config);
+  if (!core.ok()) return core.status();
+  auto index =
+      std::unique_ptr<MrIndex>(new MrIndex(std::move(core).value()));
+  for (std::size_t i = 0; i < dataset.num_streams(); ++i) {
+    const StreamId id = index->core_->AddStream();
+    for (double v : dataset.streams[i]) {
+      SD_RETURN_NOT_OK(index->core_->Append(id, v));
+    }
+  }
+  return index;
+}
+
+MrIndex::MrIndex(std::unique_ptr<Stardust> core)
+    : core_(std::move(core)), engine_(*core_) {}
+
+Result<PatternResult> MrIndex::Query(const std::vector<double>& query,
+                                     double radius) const {
+  return engine_.QueryOnline(query, radius);
+}
+
+}  // namespace stardust

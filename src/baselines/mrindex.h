@@ -1,0 +1,56 @@
+// MR-Index (Kahveci & Singh, ICDE 2001) — the offline multi-resolution
+// comparator of the paper's Figure 5.
+//
+// MR-Index extracts *exact* DWT features with a sliding window at every
+// resolution, groups c consecutive features into MBRs stored per stream,
+// and answers variable-length queries with binary decomposition plus
+// hierarchical radius refinement. That is precisely Stardust's online
+// configuration with `exact_levels` set: features are recomputed from raw
+// data at every resolution (per-item cost Θ(Σ w_j), fine offline, too
+// expensive for streams — the gap Stardust's incremental merge closes).
+// The query algorithm is shared with PatternQueryEngine::QueryOnline.
+#ifndef STARDUST_BASELINES_MRINDEX_H_
+#define STARDUST_BASELINES_MRINDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/pattern_query.h"
+#include "core/stardust.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+
+/// MR-Index parameters (mirrors the relevant Stardust knobs).
+struct MrIndexOptions {
+  std::size_t base_window = 64;   // W
+  std::size_t num_levels = 5;     // resolutions W .. W·2^{J}
+  std::size_t box_capacity = 64;  // c
+  std::size_t coefficients = 2;   // f
+  std::size_t history = 4096;     // N (offline: cover the whole dataset)
+  double r_max = 1.0;
+};
+
+/// Offline MR-Index over a finite dataset.
+class MrIndex {
+ public:
+  static Result<std::unique_ptr<MrIndex>> Build(const Dataset& dataset,
+                                                const MrIndexOptions& options);
+
+  /// Variable-length query (Algorithm 3's shared search path).
+  Result<PatternResult> Query(const std::vector<double>& query,
+                              double radius) const;
+
+  const Stardust& core() const { return *core_; }
+
+ private:
+  explicit MrIndex(std::unique_ptr<Stardust> core);
+
+  std::unique_ptr<Stardust> core_;
+  PatternQueryEngine engine_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_BASELINES_MRINDEX_H_

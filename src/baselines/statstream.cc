@@ -1,0 +1,216 @@
+#include "baselines/statstream.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "geom/mbr.h"
+#include "transform/feature.h"
+
+namespace stardust {
+
+Result<std::unique_ptr<StatStream>> StatStream::Create(
+    const StatStreamOptions& options, std::size_t num_streams) {
+  if (options.history == 0 || options.basic_window == 0) {
+    return Status::InvalidArgument("history and basic_window must be > 0");
+  }
+  if (options.history % options.basic_window != 0) {
+    return Status::InvalidArgument(
+        "history must be a multiple of the basic window");
+  }
+  if (options.coefficients == 0 || options.coefficients % 2 != 0) {
+    return Status::InvalidArgument(
+        "coefficients must be a positive even number (f/2 complex)");
+  }
+  if (options.coefficients / 2 >= options.history) {
+    return Status::InvalidArgument("too many coefficients for the history");
+  }
+  if (options.cell_size <= 0.0) {
+    return Status::InvalidArgument("cell_size must be positive");
+  }
+  if (options.radius < 0.0) {
+    return Status::InvalidArgument("negative radius");
+  }
+  if (num_streams == 0) {
+    return Status::InvalidArgument("need at least one stream");
+  }
+  return std::unique_ptr<StatStream>(new StatStream(options, num_streams));
+}
+
+StatStream::StatStream(const StatStreamOptions& options,
+                       std::size_t num_streams)
+    : options_(options) {
+  streams_.reserve(num_streams);
+  // Ring capacity N + W so the departing basic window is still available
+  // at refresh time.
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    streams_.emplace_back(options_.history + options_.basic_window);
+    streams_.back().dft.assign(options_.coefficients / 2, {0.0, 0.0});
+  }
+  const std::size_t n = options_.history;
+  const std::size_t half_f = options_.coefficients / 2;
+  twiddle_.resize(half_f);
+  for (std::size_t k = 0; k < half_f; ++k) {
+    twiddle_[k].resize(n);
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>((k + 1) * idx) /
+                           static_cast<double>(n);
+      twiddle_[k][idx] = {std::cos(angle), std::sin(angle)};
+    }
+  }
+}
+
+void StatStream::RefreshStream(std::size_t i) {
+  StreamState& s = streams_[i];
+  const std::size_t n = options_.history;
+  const std::size_t w = options_.basic_window;
+  const std::size_t half_f = options_.coefficients / 2;
+  const std::uint64_t end = count_ - 1;  // current window is [end-N+1, end]
+
+  if (s.dft_initialized) {
+    // Incremental update over the basic window:
+    //   X_k(e) = ω^{-kW} (X_k(e-W) − Σ_{m<W} old[m] ω^{km})
+    //            + Σ_{n=N-W..N-1} new[n-(N-W)] ω^{kn}.
+    const std::uint64_t old_first = end - w - n + 1;  // departing values
+    for (std::size_t k = 0; k < half_f; ++k) {
+      std::complex<double> x = s.dft[k];
+      for (std::size_t m = 0; m < w; ++m) {
+        x -= s.values.At(old_first + m) * twiddle_[k][m % n];
+      }
+      // ω^{-kW} = conj(twiddle[k][W mod N]).
+      x *= std::conj(twiddle_[k][w % n]);
+      for (std::size_t idx = n - w; idx < n; ++idx) {
+        x += s.values.At(end - n + 1 + idx) * twiddle_[k][idx];
+      }
+      s.dft[k] = x;
+    }
+  } else {
+    // First full window: direct DFT, O(N f/2).
+    for (std::size_t k = 0; k < half_f; ++k) {
+      std::complex<double> x{0.0, 0.0};
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        x += s.values.At(end - n + 1 + idx) * twiddle_[k][idx];
+      }
+      s.dft[k] = x;
+    }
+    s.dft_initialized = true;
+  }
+
+  // z-normalized, unitary-scaled feature with the conjugate-mirror √2.
+  const double norm2 =
+      s.running_sumsq - s.running_sum * s.running_sum / static_cast<double>(n);
+  const double inv_norm = norm2 > 1e-12 ? 1.0 / std::sqrt(norm2) : 0.0;
+  const double scale =
+      std::sqrt(2.0) / std::sqrt(static_cast<double>(n)) * inv_norm;
+  s.feature.resize(options_.coefficients);
+  for (std::size_t k = 0; k < half_f; ++k) {
+    s.feature[2 * k] = s.dft[k].real() * scale;
+    s.feature[2 * k + 1] = s.dft[k].imag() * scale;
+  }
+}
+
+StatStream::CellKey StatStream::CellOf(const Point& feature) const {
+  CellKey key;
+  key.coords.resize(feature.size());
+  for (std::size_t d = 0; d < feature.size(); ++d) {
+    key.coords[d] = static_cast<std::int64_t>(
+        std::floor(feature[d] / options_.cell_size));
+  }
+  return key;
+}
+
+Status StatStream::AppendAll(const std::vector<double>& values) {
+  if (values.size() != streams_.size()) {
+    return Status::InvalidArgument("value count != stream count");
+  }
+  const std::size_t n = options_.history;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    StreamState& s = streams_[i];
+    s.values.Push(values[i]);
+    s.running_sum += values[i];
+    s.running_sumsq += values[i] * values[i];
+    if (s.values.size() > n) {
+      const double leaving = s.values.At(s.values.size() - n - 1);
+      s.running_sum -= leaving;
+      s.running_sumsq -= leaving * leaving;
+    }
+  }
+  ++count_;
+  if (count_ >= n && (count_ - n) % options_.basic_window == 0) {
+    SD_RETURN_NOT_OK(Detect());
+  }
+  return Status::OK();
+}
+
+Status StatStream::Detect() {
+  // Refresh features and grid membership.
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    StreamState& s = streams_[i];
+    if (s.in_grid) {
+      auto it = grid_.find(CellOf(s.feature));
+      SD_CHECK(it != grid_.end());
+      auto& bucket = it->second;
+      for (std::size_t b = 0; b < bucket.size(); ++b) {
+        if (bucket[b] == i) {
+          bucket[b] = bucket.back();
+          bucket.pop_back();
+          break;
+        }
+      }
+      if (bucket.empty()) grid_.erase(it);
+    }
+    RefreshStream(i);
+    grid_[CellOf(s.feature)].push_back(static_cast<std::uint32_t>(i));
+    s.in_grid = true;
+  }
+
+  // Probe neighborhoods: cells within Chebyshev reach ⌈r / cell⌉.
+  const std::int64_t reach = static_cast<std::int64_t>(
+      std::ceil(options_.radius / options_.cell_size - 1e-12));
+  const std::size_t dims = options_.coefficients;
+  const std::uint64_t end = count_ - 1;
+  const std::size_t n = options_.history;
+  // z-normalized windows computed lazily, once per stream per round.
+  std::vector<double> window;
+  std::vector<std::vector<double>> znormed(streams_.size());
+  auto znorm_of = [&](std::size_t s) -> const std::vector<double>& {
+    if (znormed[s].empty()) {
+      streams_[s].values.CopyWindow(end - n + 1, n, &window);
+      znormed[s] = ZNormalize(window);
+    }
+    return znormed[s];
+  };
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    const CellKey home = CellOf(streams_[i].feature);
+    // Odometer over the (2·reach+1)^dims neighborhood.
+    CellKey probe = home;
+    std::vector<std::int64_t> offset(dims, -reach);
+    for (;;) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        probe.coords[d] = home.coords[d] + offset[d];
+      }
+      auto it = grid_.find(probe);
+      if (it != grid_.end()) {
+        for (std::uint32_t j : it->second) {
+          if (j <= i) continue;
+          ++stats_.candidates;
+          const double d2 = Dist2(znorm_of(i), znorm_of(j));
+          if (d2 <= options_.radius * options_.radius) {
+            ++stats_.true_pairs;
+          }
+        }
+      }
+      // Advance the odometer.
+      std::size_t d = 0;
+      while (d < dims && ++offset[d] > reach) {
+        offset[d] = -reach;
+        ++d;
+      }
+      if (d == dims) break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stardust

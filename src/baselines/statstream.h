@@ -1,0 +1,110 @@
+// StatStream (Zhu & Shasha, VLDB 2002): statistical monitoring of many
+// streams with basic-window DFT features and an orthogonal grid.
+//
+// Each stream keeps the first f/2 (non-DC) complex DFT coefficients of its
+// sliding history window of size N, updated incrementally once per basic
+// window of W arrivals (cost Θ(f · W) per stream per refresh). Because the
+// non-DC coefficients of the all-ones vector vanish, z-normalization is a
+// pure rescale of the coefficients by 1/‖x − μ‖, maintained from running
+// sums. The f-dimensional feature (real/imag parts, unitary scaling with
+// the conjugate-mirror factor √2) lower-bounds the z-normalized window
+// distance by Parseval.
+//
+// Detection superimposes a regular grid with cells of side `cell_size` on
+// the feature space; a stream is a correlation candidate of every stream
+// in its own or a neighboring cell (neighborhood reach ⌈r / cell⌉ cells
+// per axis, (2⌈r/cell⌉+1)^f cells per probe — the paper's §6.3 analysis of
+// why StatStream degrades for large r and large f). Candidates are
+// verified against the exact z-normalized window distance.
+#ifndef STARDUST_BASELINES_STATSTREAM_H_
+#define STARDUST_BASELINES_STATSTREAM_H_
+
+#include <complex>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "common/status.h"
+#include "core/correlation_monitor.h"
+
+namespace stardust {
+
+/// StatStream parameters.
+struct StatStreamOptions {
+  std::size_t history = 256;      // N
+  std::size_t basic_window = 16;  // W (called b in the original paper)
+  std::size_t coefficients = 2;   // f (even): f/2 complex coefficients
+  double cell_size = 0.01;        // grid cell side
+  double radius = 0.01;           // correlation distance threshold r
+};
+
+/// Correlation detection over M synchronized streams.
+class StatStream {
+ public:
+  static Result<std::unique_ptr<StatStream>> Create(
+      const StatStreamOptions& options, std::size_t num_streams);
+
+  /// Feeds one synchronized arrival; detection runs at basic-window
+  /// boundaries once the history window is full.
+  Status AppendAll(const std::vector<double>& values);
+
+  const PairStats& stats() const { return stats_; }
+  std::size_t num_streams() const { return streams_.size(); }
+
+  /// Current feature of a stream (for tests). Valid after the first
+  /// detection round.
+  const Point& feature(std::size_t i) const { return streams_[i].feature; }
+
+ private:
+  StatStream(const StatStreamOptions& options, std::size_t num_streams);
+
+  struct StreamState {
+    explicit StreamState(std::size_t history) : values(history) {}
+    RingBuffer<double> values;
+    /// Unnormalized sliding-window DFT coefficients X_1 .. X_{f/2}.
+    std::vector<std::complex<double>> dft;
+    /// Arrivals since the last refresh.
+    std::vector<double> pending;
+    double running_sum = 0.0;
+    double running_sumsq = 0.0;
+    Point feature;      // current grid feature
+    bool in_grid = false;
+    bool dft_initialized = false;
+  };
+
+  /// Cell coordinate key (one int per dimension), hashable.
+  struct CellKey {
+    std::vector<std::int64_t> coords;
+    bool operator==(const CellKey& other) const {
+      return coords == other.coords;
+    }
+  };
+  struct CellKeyHash {
+    std::size_t operator()(const CellKey& key) const {
+      std::size_t h = 1469598103934665603ULL;
+      for (std::int64_t c : key.coords) {
+        h ^= static_cast<std::size_t>(c);
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+
+  void RefreshStream(std::size_t i);
+  CellKey CellOf(const Point& feature) const;
+  Status Detect();
+
+  StatStreamOptions options_;
+  std::vector<StreamState> streams_;
+  std::unordered_map<CellKey, std::vector<std::uint32_t>, CellKeyHash> grid_;
+  /// Precomputed twiddle factors e^{-2πi·k·n/N} for k = 1..f/2, n = 0..N-1.
+  std::vector<std::vector<std::complex<double>>> twiddle_;
+  PairStats stats_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_BASELINES_STATSTREAM_H_

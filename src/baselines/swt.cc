@@ -1,0 +1,106 @@
+#include "baselines/swt.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stardust {
+
+Result<std::unique_ptr<SwtMonitor>> SwtMonitor::Create(
+    AggregateKind kind, std::size_t base_window,
+    std::vector<WindowThreshold> thresholds) {
+  if (kind == AggregateKind::kMin) {
+    return Status::InvalidArgument(
+        "SWT's superset-window filter requires an aggregate that is "
+        "monotone non-decreasing in the window (SUM/MAX/SPREAD)");
+  }
+  if (base_window == 0) {
+    return Status::InvalidArgument("base_window must be positive");
+  }
+  if (thresholds.empty()) {
+    return Status::InvalidArgument("no windows to monitor");
+  }
+  // Assign each window to the lowest level j with w <= 2^j * W.
+  std::size_t max_level = 0;
+  std::vector<std::size_t> window_level(thresholds.size());
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    if (thresholds[i].window == 0) {
+      return Status::InvalidArgument("window sizes must be positive");
+    }
+    std::size_t level = 0;
+    while ((base_window << level) < thresholds[i].window) ++level;
+    window_level[i] = level;
+    max_level = std::max(max_level, level);
+  }
+  std::vector<std::size_t> level_windows(max_level + 1);
+  std::vector<double> level_thresholds(
+      max_level + 1, std::numeric_limits<double>::infinity());
+  for (std::size_t j = 0; j <= max_level; ++j) {
+    level_windows[j] = base_window << j;
+  }
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    level_thresholds[window_level[i]] = std::min(
+        level_thresholds[window_level[i]], thresholds[i].threshold);
+  }
+  return std::unique_ptr<SwtMonitor>(new SwtMonitor(
+      kind, std::move(thresholds), std::move(level_windows),
+      std::move(level_thresholds), std::move(window_level)));
+}
+
+SwtMonitor::SwtMonitor(AggregateKind kind,
+                       std::vector<WindowThreshold> thresholds,
+                       std::vector<std::size_t> level_windows,
+                       std::vector<double> level_thresholds,
+                       std::vector<std::size_t> window_level)
+    : kind_(kind),
+      thresholds_(std::move(thresholds)),
+      level_windows_(std::move(level_windows)),
+      level_thresholds_(std::move(level_thresholds)),
+      window_level_(std::move(window_level)),
+      level_tracker_(kind, level_windows_),
+      query_tracker_(kind,
+                     [&] {
+                       std::vector<std::size_t> windows;
+                       windows.reserve(thresholds_.size());
+                       for (const auto& wt : thresholds_) {
+                         windows.push_back(wt.window);
+                       }
+                       return windows;
+                     }()),
+      stats_(thresholds_.size()) {}
+
+void SwtMonitor::Append(double value) {
+  level_tracker_.Push(value);
+  query_tracker_.Push(value);
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    if (!query_tracker_.Ready(i)) continue;
+    AlarmStats& stats = stats_[i];
+    ++stats.checks;
+    const std::size_t level = window_level_[i];
+    // The level aggregate needs its full window; before that, fall back to
+    // whatever data exists (the aggregate over the full prefix still
+    // dominates the query window's aggregate).
+    const double level_value = level_tracker_.Ready(level)
+                                   ? level_tracker_.Current(level)
+                                   : query_tracker_.Current(i);
+    if (level_value < level_thresholds_[level]) continue;
+    ++stats.candidates;
+    if (query_tracker_.Current(i) >= thresholds_[i].threshold) {
+      ++stats.true_alarms;
+    }
+  }
+}
+
+AlarmStats SwtMonitor::TotalStats() const {
+  AlarmStats total;
+  for (const AlarmStats& s : stats_) {
+    total.candidates += s.candidates;
+    total.true_alarms += s.true_alarms;
+    total.checks += s.checks;
+  }
+  return total;
+}
+
+}  // namespace stardust

@@ -1,0 +1,73 @@
+// SWT — Shifted-Wavelet-Tree burst detection (Zhu & Shasha, SIGKDD 2003),
+// as summarized in the paper's Related Work and false-alarm analysis §5.1.
+//
+// For query windows w_1 <= ... <= w_m, SWT maintains one moving aggregate
+// per dyadic level; window w_i is monitored by the lowest level j with
+// w_i <= 2^j · W, and the level threshold τ_j is the smallest threshold of
+// the windows monitored at that level. Whenever the level-j moving
+// aggregate reaches τ_j, every window of that level is checked exactly
+// (brute force) — each such check is one raised alarm.
+//
+// We maintain the level aggregates as exact sliding aggregates updated
+// every arrival (monotonic deques / running sums), which is the most
+// favorable variant for SWT: the true shifted-window structure can lag by
+// up to half a level window, and its containing window is never smaller.
+// The aggregate must be monotone under window growth (SUM over
+// non-negative values, MAX, SPREAD) for the filter to be sound.
+#ifndef STARDUST_BASELINES_SWT_H_
+#define STARDUST_BASELINES_SWT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/aggregate_monitor.h"
+#include "stream/threshold.h"
+#include "transform/sliding_tracker.h"
+
+namespace stardust {
+
+/// SWT burst/volatility monitor over one stream.
+class SwtMonitor {
+ public:
+  /// `base_window` is the paper's W (the windows' common granularity K in
+  /// the experiments). Window sizes must be positive; thresholds trained
+  /// upstream (stream/threshold.h).
+  static Result<std::unique_ptr<SwtMonitor>> Create(
+      AggregateKind kind, std::size_t base_window,
+      std::vector<WindowThreshold> thresholds);
+
+  /// Feeds one value and runs the level triggers.
+  void Append(double value);
+
+  std::size_t num_windows() const { return thresholds_.size(); }
+  const WindowThreshold& threshold(std::size_t i) const {
+    return thresholds_[i];
+  }
+  const AlarmStats& stats(std::size_t i) const { return stats_[i]; }
+  AlarmStats TotalStats() const;
+
+ private:
+  SwtMonitor(AggregateKind kind, std::vector<WindowThreshold> thresholds,
+             std::vector<std::size_t> level_windows,
+             std::vector<double> level_thresholds,
+             std::vector<std::size_t> window_level);
+
+  AggregateKind kind_;
+  std::vector<WindowThreshold> thresholds_;
+  /// Dyadic monitoring windows 2^j * W, one per level in use.
+  std::vector<std::size_t> level_windows_;
+  /// τ_j = min threshold among the windows of level j.
+  std::vector<double> level_thresholds_;
+  /// Level index of each query window.
+  std::vector<std::size_t> window_level_;
+  /// Exact sliding aggregates over the level windows, then query windows.
+  SlidingAggregateTracker level_tracker_;
+  SlidingAggregateTracker query_tracker_;
+  std::vector<AlarmStats> stats_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_BASELINES_SWT_H_

@@ -1,0 +1,28 @@
+// Internal invariant checks. SD_CHECK is always on (programming errors abort
+// with a message); SD_DCHECK compiles out in NDEBUG builds. These are for
+// invariants inside the library, not for validating user input — user input
+// errors are reported through Status.
+#ifndef STARDUST_COMMON_CHECK_H_
+#define STARDUST_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SD_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SD_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define SD_DCHECK(cond) \
+  do {                  \
+  } while (0)
+#else
+#define SD_DCHECK(cond) SD_CHECK(cond)
+#endif
+
+#endif  // STARDUST_COMMON_CHECK_H_

@@ -1,0 +1,83 @@
+// Fixed-capacity ring buffer over the most recent values of a stream.
+// Stardust keeps the raw tail of each stream (history of interest, size N)
+// here so that candidate alarms and candidate matches can be verified
+// exactly against the original data (paper, Algorithm 2 post-check).
+#ifndef STARDUST_COMMON_RING_BUFFER_H_
+#define STARDUST_COMMON_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace stardust {
+
+/// Ring buffer indexed by the global, monotonically increasing position of
+/// each appended element. Element at global position p is retrievable while
+/// p >= size() - capacity (i.e., it is among the `capacity` most recent).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity), data_(capacity) {
+    SD_CHECK(capacity > 0);
+  }
+
+  /// Appends a value; the oldest value is overwritten once full.
+  void Push(const T& value) {
+    data_[size_ % capacity_] = value;
+    ++size_;
+  }
+
+  /// Total number of values ever appended.
+  std::uint64_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Global position of the oldest retrievable element.
+  std::uint64_t first_position() const {
+    return size_ > capacity_ ? size_ - capacity_ : 0;
+  }
+
+  /// True if the element at global position `pos` is still buffered.
+  bool Contains(std::uint64_t pos) const {
+    return pos < size_ && pos >= first_position();
+  }
+
+  /// Element at global position `pos`. Requires Contains(pos).
+  const T& At(std::uint64_t pos) const {
+    SD_DCHECK(Contains(pos));
+    return data_[pos % capacity_];
+  }
+
+  /// Copies the window [first, first + count) into `out` (resized).
+  /// Requires the whole window to be buffered.
+  void CopyWindow(std::uint64_t first, std::size_t count,
+                  std::vector<T>* out) const {
+    SD_DCHECK(count == 0 || (Contains(first) && Contains(first + count - 1)));
+    out->resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      (*out)[i] = data_[(first + i) % capacity_];
+    }
+  }
+
+  /// Rebuilds the buffer to the state where `total_count` values were
+  /// ever appended and `tail` (oldest first) holds the most recent
+  /// min(total_count, capacity) of them. Used by snapshot restore.
+  void RestoreTail(std::uint64_t total_count, const std::vector<T>& tail) {
+    SD_CHECK(tail.size() ==
+             (total_count < capacity_ ? total_count : capacity_));
+    size_ = total_count - tail.size();
+    for (const T& v : tail) Push(v);
+    SD_DCHECK(size_ == total_count);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t size_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_COMMON_RING_BUFFER_H_

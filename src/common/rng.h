@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation. All stochastic components
+// of the library (stream generators, query workloads) draw from these
+// engines with explicit seeds so every experiment is reproducible.
+#ifndef STARDUST_COMMON_RNG_H_
+#define STARDUST_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace stardust {
+
+/// SplitMix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256** — fast, high-quality, deterministic PRNG
+/// (Blackman & Vigna). Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return Next(); }
+
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi);
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t NextUint64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal variate (Marsaglia polar method).
+  double NextGaussian();
+
+  /// Exponential variate with the given rate (rate > 0).
+  double NextExponential(double rate);
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_COMMON_RNG_H_

@@ -1,0 +1,135 @@
+// Minimal binary (de)serialization substrate for snapshots.
+//
+// Fixed-width little-endian encoding, bounds-checked reads, and an FNV-1a
+// payload checksum at the envelope level (core/snapshot.h). No exceptions:
+// every read returns Status.
+#ifndef STARDUST_COMMON_SERIALIZE_H_
+#define STARDUST_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stardust {
+
+/// Appends primitives to a growing byte buffer.
+class Writer {
+ public:
+  void U8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void U32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void U64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) U8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  void Bytes(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  void DoubleVector(const std::vector<double>& values) {
+    U64(values.size());
+    for (double v : values) F64(v);
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+/// Bounds-checked sequential reader over a byte buffer.
+class Reader {
+ public:
+  explicit Reader(const std::string& buffer) : buffer_(buffer) {}
+
+  std::size_t remaining() const { return buffer_.size() - offset_; }
+  bool AtEnd() const { return remaining() == 0; }
+
+  Status U8(std::uint8_t* out) {
+    if (remaining() < 1) return Truncated();
+    *out = static_cast<std::uint8_t>(buffer_[offset_++]);
+    return Status::OK();
+  }
+
+  Status U32(std::uint32_t* out) {
+    if (remaining() < 4) return Truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(buffer_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status U64(std::uint64_t* out) {
+    if (remaining() < 8) return Truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(buffer_[offset_ + i]))
+           << (8 * i);
+    }
+    offset_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status F64(double* out) {
+    std::uint64_t bits = 0;
+    SD_RETURN_NOT_OK(U64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::OK();
+  }
+
+  /// Reads a length-prefixed vector with a sanity cap against corrupt
+  /// lengths blowing up memory.
+  Status DoubleVector(std::vector<double>* out,
+                      std::uint64_t max_size = (1ULL << 32)) {
+    std::uint64_t size = 0;
+    SD_RETURN_NOT_OK(U64(&size));
+    if (size > max_size || size * 8 > remaining()) return Truncated();
+    out->resize(size);
+    for (std::uint64_t i = 0; i < size; ++i) {
+      SD_RETURN_NOT_OK(F64(&(*out)[i]));
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated() {
+    return Status::InvalidArgument("snapshot truncated or corrupt");
+  }
+
+  const std::string& buffer_;
+  std::size_t offset_ = 0;
+};
+
+/// FNV-1a 64-bit checksum.
+inline std::uint64_t Fnv1a(const std::string& data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace stardust
+
+#endif  // STARDUST_COMMON_SERIALIZE_H_

@@ -1,0 +1,38 @@
+#include "common/stopwatch.h"
+
+#include "common/check.h"
+
+namespace stardust {
+
+void Stopwatch::Start() {
+  SD_DCHECK(!running_);
+  start_ = Clock::now();
+  running_ = true;
+}
+
+void Stopwatch::Stop() {
+  SD_DCHECK(running_);
+  accumulated_ += Clock::now() - start_;
+  running_ = false;
+}
+
+void Stopwatch::Reset() {
+  accumulated_ = Clock::duration::zero();
+  running_ = false;
+}
+
+double Stopwatch::ElapsedSeconds() const {
+  return std::chrono::duration<double>(accumulated_).count();
+}
+
+std::int64_t Stopwatch::ElapsedMillis() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(accumulated_)
+      .count();
+}
+
+std::int64_t Stopwatch::ElapsedMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(accumulated_)
+      .count();
+}
+
+}  // namespace stardust

@@ -1,0 +1,37 @@
+// Wall-clock stopwatch used by the benchmark harnesses to report the
+// maintenance + query times the paper measures (Section 6).
+#ifndef STARDUST_COMMON_STOPWATCH_H_
+#define STARDUST_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace stardust {
+
+/// Accumulating wall-clock timer. Start/Stop may be called repeatedly;
+/// elapsed time across all completed intervals is summed.
+class Stopwatch {
+ public:
+  Stopwatch() = default;
+
+  void Start();
+  /// Stops the current interval and adds it to the accumulated total.
+  void Stop();
+  /// Clears the accumulated total.
+  void Reset();
+
+  /// Accumulated elapsed time, excluding a currently running interval.
+  double ElapsedSeconds() const;
+  std::int64_t ElapsedMillis() const;
+  std::int64_t ElapsedMicros() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_{};
+  Clock::duration accumulated_{Clock::duration::zero()};
+  bool running_ = false;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_COMMON_STOPWATCH_H_

@@ -1,0 +1,94 @@
+#include "core/aggregate_monitor.h"
+
+#include <utility>
+
+namespace stardust {
+
+namespace {
+
+std::vector<std::size_t> WindowSizes(
+    const std::vector<WindowThreshold>& thresholds) {
+  std::vector<std::size_t> out;
+  out.reserve(thresholds.size());
+  for (const auto& wt : thresholds) out.push_back(wt.window);
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AggregateMonitor>> AggregateMonitor::Create(
+    const StardustConfig& config, std::vector<WindowThreshold> thresholds) {
+  if (config.transform != TransformKind::kAggregate) {
+    return Status::InvalidArgument(
+        "aggregate monitoring requires an aggregate transform");
+  }
+  if (config.update_period != 1 ||
+      config.update_schedule != UpdateSchedule::kUniform) {
+    // Algorithm 2 composes sub-aggregates for every current time; strided
+    // schedules only have features at aligned times.
+    return Status::InvalidArgument(
+        "continuous aggregate monitoring requires the online algorithm "
+        "(uniform T == 1)");
+  }
+  if (thresholds.empty()) {
+    return Status::InvalidArgument("no windows to monitor");
+  }
+  for (const auto& wt : thresholds) {
+    if (wt.window == 0 || wt.window % config.base_window != 0) {
+      return Status::InvalidArgument(
+          "window sizes must be positive multiples of the base window");
+    }
+    const std::size_t b = wt.window / config.base_window;
+    if (b >> config.num_levels != 0) {
+      return Status::InvalidArgument(
+          "window too large for the configured number of levels");
+    }
+    if (wt.window > config.history) {
+      return Status::InvalidArgument("window exceeds the history");
+    }
+  }
+  Result<std::unique_ptr<Stardust>> core = Stardust::Create(config);
+  if (!core.ok()) return core.status();
+  return std::unique_ptr<AggregateMonitor>(new AggregateMonitor(
+      std::move(core).value(), std::move(thresholds)));
+}
+
+AggregateMonitor::AggregateMonitor(std::unique_ptr<Stardust> stardust,
+                                   std::vector<WindowThreshold> thresholds)
+    : stardust_(std::move(stardust)),
+      thresholds_(std::move(thresholds)),
+      tracker_(stardust_->config().aggregate, WindowSizes(thresholds_)),
+      stats_(thresholds_.size()) {
+  stream_ = stardust_->AddStream();
+}
+
+Status AggregateMonitor::Append(double value) {
+  SD_RETURN_NOT_OK(stardust_->Append(stream_, value));
+  tracker_.Push(value);
+  for (std::size_t i = 0; i < thresholds_.size(); ++i) {
+    if (!tracker_.Ready(i)) continue;
+    Result<ScalarInterval> interval =
+        stardust_->AggregateInterval(stream_, thresholds_[i].window);
+    if (!interval.ok()) return interval.status();
+    AlarmStats& stats = stats_[i];
+    ++stats.checks;
+    if (interval.value().hi < thresholds_[i].threshold) continue;
+    ++stats.candidates;
+    if (tracker_.Current(i) >= thresholds_[i].threshold) {
+      ++stats.true_alarms;
+    }
+  }
+  return Status::OK();
+}
+
+AlarmStats AggregateMonitor::TotalStats() const {
+  AlarmStats total;
+  for (const AlarmStats& s : stats_) {
+    total.candidates += s.candidates;
+    total.true_alarms += s.true_alarms;
+    total.checks += s.checks;
+  }
+  return total;
+}
+
+}  // namespace stardust

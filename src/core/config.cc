@@ -1,0 +1,79 @@
+#include "core/config.h"
+
+#include "dwt/haar.h"
+
+namespace stardust {
+
+Status StardustConfig::Validate() const {
+  if (base_window == 0) {
+    return Status::InvalidArgument("base_window must be positive");
+  }
+  if (num_levels == 0) {
+    return Status::InvalidArgument("num_levels must be positive");
+  }
+  if (num_levels > 32) {
+    return Status::InvalidArgument("num_levels too large");
+  }
+  if (box_capacity == 0) {
+    return Status::InvalidArgument("box_capacity must be positive");
+  }
+  if (update_period == 0) {
+    return Status::InvalidArgument("update_period must be positive");
+  }
+  if (update_period > 1 && box_capacity != 1) {
+    return Status::InvalidArgument(
+        "batch algorithm (update_period > 1) requires box_capacity == 1");
+  }
+  if (update_schedule == UpdateSchedule::kDyadic) {
+    if (box_capacity != 1) {
+      return Status::InvalidArgument(
+          "the dyadic (SWAT) schedule is a batch algorithm: "
+          "box_capacity must be 1");
+    }
+    if (LevelPeriod(num_levels - 1) / update_period !=
+        (std::size_t{1} << (num_levels - 1))) {
+      return Status::InvalidArgument("dyadic level period overflow");
+    }
+  }
+  const std::size_t top_window = LevelWindow(num_levels - 1);
+  if (top_window / base_window != (std::size_t{1} << (num_levels - 1))) {
+    return Status::InvalidArgument("level window overflow");
+  }
+  if (history < top_window) {
+    return Status::InvalidArgument(
+        "history must cover the largest level window");
+  }
+  if (transform == TransformKind::kDwt) {
+    if (!IsPowerOfTwo(base_window)) {
+      return Status::InvalidArgument(
+          "DWT transform requires a power-of-two base_window");
+    }
+    if (!IsPowerOfTwo(coefficients)) {
+      return Status::InvalidArgument(
+          "DWT transform requires a power-of-two coefficient count");
+    }
+    if (coefficients > base_window) {
+      return Status::InvalidArgument(
+          "coefficients must not exceed base_window");
+    }
+    if (normalization == Normalization::kZNorm &&
+        coefficients >= base_window) {
+      // The z-norm feature skips the identically-zero DC coefficient, so
+      // it needs f + 1 coefficients from the base window.
+      return Status::InvalidArgument(
+          "z-normalized features require coefficients < base_window");
+    }
+    if (normalization == Normalization::kUnitSphere && r_max <= 0.0) {
+      return Status::InvalidArgument("r_max must be positive");
+    }
+    if (normalization == Normalization::kZNorm && update_period == 1 &&
+        !exact_levels) {
+      return Status::InvalidArgument(
+          "z-normalization is not linear across levels; use the batch "
+          "algorithm (update_period == base_window) or exact_levels");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace stardust

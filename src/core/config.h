@@ -1,0 +1,106 @@
+// Stardust configuration: the tunable parameters of Section 4.
+#ifndef STARDUST_CORE_CONFIG_H_
+#define STARDUST_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "transform/aggregate.h"
+#include "transform/feature.h"
+
+namespace stardust {
+
+/// Which transform F extracts features (Section 4: "SUM for burst
+/// detection, MAX-MIN for volatility detection, DWT for detecting
+/// correlations and finding surprising patterns").
+enum class TransformKind {
+  kAggregate,
+  kDwt,
+};
+
+/// How the update period scales across levels.
+enum class UpdateSchedule {
+  /// Every level refreshes every `update_period` arrivals (the paper's
+  /// online and batch algorithms).
+  kUniform,
+  /// Level j refreshes every `update_period`·2^j arrivals — the schedule
+  /// of the authors' earlier SWAT system ("a batch algorithm with
+  /// T_j = 2^j"), giving O(log N) summary space for a stream of size N.
+  kDyadic,
+};
+
+/// Stardust parameters. The per-item processing cost and space overhead are
+/// tuned via the box capacity c and update period T (Theorem 4.3):
+///   - online algorithm: T = 1, c free (aggregate monitoring);
+///   - batch algorithm:  c = 1, T = W (patterns and correlations).
+struct StardustConfig {
+  TransformKind transform = TransformKind::kAggregate;
+
+  /// Aggregate function (TransformKind::kAggregate only).
+  AggregateKind aggregate = AggregateKind::kSum;
+
+  /// Window normalization before DWT (TransformKind::kDwt only).
+  Normalization normalization = Normalization::kUnitSphere;
+  /// Number of DWT coefficients retained per feature: f.
+  std::size_t coefficients = 2;
+  /// Upper bound R_max of the value range (Equation 2).
+  double r_max = 1.0;
+
+  /// Sliding window size at the lowest resolution: W. Power of two for the
+  /// DWT transform; any positive size for aggregates.
+  std::size_t base_window = 16;
+  /// Number of resolution levels J + 1; level j uses windows of W * 2^j.
+  std::size_t num_levels = 4;
+  /// History of interest N: features for windows ending more than N steps
+  /// in the past are expired. Must cover the largest level window.
+  std::size_t history = 1024;
+
+  /// Box capacity c: features per MBR.
+  std::size_t box_capacity = 1;
+  /// Update period T: a new feature every T arrivals. T > 1 (batch)
+  /// requires c == 1 and computes features exactly from the raw window.
+  std::size_t update_period = 1;
+  /// Per-level scaling of the update period (see UpdateSchedule). The
+  /// dyadic schedule requires c == 1 (its levels are all batch-computed).
+  UpdateSchedule update_schedule = UpdateSchedule::kUniform;
+
+  /// Compute every level's features exactly from the raw window even when
+  /// T == 1 (cost Θ(w_j) per item instead of Θ(f)). This is the MR-Index
+  /// baseline configuration — an offline multi-resolution index — and the
+  /// ablation axis for the paper's incremental-computation claim.
+  bool exact_levels = false;
+
+  /// Maintain per-level R*-trees over sealed boxes (needed by pattern and
+  /// correlation queries; aggregate monitoring only needs the per-stream
+  /// threads, Section 4).
+  bool index_features = false;
+
+  /// Sliding window size at level j: W * 2^j.
+  std::size_t LevelWindow(std::size_t level) const {
+    return base_window << level;
+  }
+
+  /// Update period at level j: T (uniform) or T * 2^j (dyadic).
+  std::size_t LevelPeriod(std::size_t level) const {
+    return update_schedule == UpdateSchedule::kDyadic
+               ? update_period << level
+               : update_period;
+  }
+
+  /// Dimensionality of a feature at every level.
+  std::size_t FeatureDims() const {
+    return transform == TransformKind::kDwt
+               ? coefficients
+               : AggregateFeatureDims(aggregate);
+  }
+
+  Status Validate() const;
+};
+
+/// Identifier of a stream within a Stardust instance.
+using StreamId = std::uint32_t;
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_CONFIG_H_

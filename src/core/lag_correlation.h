@@ -1,0 +1,85 @@
+// Lagged correlation monitoring — an extension of Section 5.3 covering
+// StatStream's "lag time" capability that the paper cites in Related
+// Work: continuously report pairs (leader j, follower i, lag ℓ) whose
+// windows satisfy  distance(ẑ_i[t−N+1 : t], ẑ_j[t−ℓ−N+1 : t−ℓ]) <= r,
+// for every lag ℓ in {0, W, 2W, ..., max_lag}.
+//
+// Implementation: one R*-tree holds the feature points of the last
+// max_lag/W + 1 detection rounds of every stream (RecordId encodes
+// (stream, round)); each round inserts the fresh features, expires the
+// ones that fell out of the lag horizon, and runs one range query per
+// stream whose hits decode directly into (partner, lag) pairs.
+#ifndef STARDUST_CORE_LAG_CORRELATION_H_
+#define STARDUST_CORE_LAG_CORRELATION_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/correlation_monitor.h"
+#include "core/stardust.h"
+#include "rtree/rtree.h"
+
+namespace stardust {
+
+/// A reported lagged pair: `follower`'s current window matches `leader`'s
+/// window `lag` arrivals ago.
+struct LaggedPair {
+  StreamId leader = 0;
+  StreamId follower = 0;
+  std::size_t lag = 0;
+  /// Exact z-normalized window distance.
+  double distance = 0.0;
+  bool verified = false;
+};
+
+/// Continuous lagged-correlation detection over M synchronized streams.
+class LagCorrelationMonitor {
+ public:
+  /// `config`: a batch DWT/z-norm configuration whose top-level window is
+  /// the correlation window N; `config.history` must be at least
+  /// N + max_lag so lagged windows stay verifiable. `max_lag` must be a
+  /// multiple of the base window W (lag granularity follows the feature
+  /// refresh rate, as in StatStream).
+  static Result<std::unique_ptr<LagCorrelationMonitor>> Create(
+      const StardustConfig& config, std::size_t num_streams, double radius,
+      std::size_t max_lag);
+
+  /// Feeds one synchronized arrival; detection runs at feature refreshes.
+  Status AppendAll(const std::vector<double>& values);
+
+  const PairStats& stats() const { return stats_; }
+  const std::vector<LaggedPair>& last_round() const { return last_round_; }
+  double radius() const { return radius_; }
+  std::size_t max_lag() const { return max_lag_; }
+  const Stardust& stardust() const { return *core_; }
+
+ private:
+  LagCorrelationMonitor(std::unique_ptr<Stardust> core,
+                        std::size_t num_streams, double radius,
+                        std::size_t max_lag);
+
+  Status Detect(std::uint64_t t);
+
+  std::unique_ptr<Stardust> core_;
+  RTree features_;
+  double radius_;
+  std::size_t max_lag_;
+  std::size_t top_level_;
+  std::uint64_t round_ = 0;  // detection round counter
+  PairStats stats_;
+  std::vector<LaggedPair> last_round_;
+  /// Entries currently in the tree, oldest first, for expiry.
+  struct LiveEntry {
+    Point feature;
+    StreamId stream;
+    std::uint64_t round;
+  };
+  std::deque<LiveEntry> live_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_LAG_CORRELATION_H_

@@ -1,0 +1,105 @@
+// Per-stream, per-level feature boxes ("threaded MBRs").
+//
+// At every resolution level the features of one stream are grouped, c at a
+// time and in arrival order, into MBRs. The MBRs of a stream are threaded
+// together (here: a deque) "to provide sequential access to the summary
+// information about the stream ... resulting in a constant retrieval time
+// of the MBRs" (Section 4). Retrieval by feature end-time is O(1) index
+// arithmetic because feature times are evenly spaced by the update period.
+#ifndef STARDUST_CORE_LEVEL_STATE_H_
+#define STARDUST_CORE_LEVEL_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "geom/mbr.h"
+
+namespace stardust {
+
+/// One MBR of up to c consecutive features at a level of one stream.
+struct FeatureBox {
+  /// Bounding box of the features currently in the box.
+  Mbr extent;
+  /// Feature end-time of the first feature in the box.
+  std::uint64_t first_time = 0;
+  /// Number of features in the box (== capacity once sealed).
+  std::uint32_t count = 0;
+  /// Sequence number of this box within its (stream, level) thread,
+  /// counting from the beginning of the stream. Used to build RecordIds.
+  std::uint64_t seq = 0;
+  /// A box seals when it reaches capacity; sealed boxes are what the level
+  /// index stores.
+  bool sealed = false;
+};
+
+/// The thread of feature boxes of one stream at one level.
+class LevelThread {
+ public:
+  /// `dims`: feature dimensionality; `capacity`: box capacity c;
+  /// `stride`: update period T (spacing of feature end-times).
+  LevelThread(std::size_t dims, std::size_t capacity, std::size_t stride);
+
+  /// Appends the feature extent for feature end-time `t`. Times must be
+  /// appended in increasing order, spaced exactly by the stride. Returns
+  /// the box sealed by this append, or nullptr.
+  const FeatureBox* Append(std::uint64_t t, const Mbr& feature);
+
+  /// The box covering feature end-time `t` (sealed or still filling), or
+  /// nullptr if `t` is misaligned, expired, or not yet produced.
+  const FeatureBox* Find(std::uint64_t t) const;
+
+  /// Box with the given sequence number, or nullptr if expired / unknown.
+  const FeatureBox* FindBySeq(std::uint64_t seq) const;
+
+  /// Removes boxes whose last feature time is < `min_time`; calls
+  /// `on_remove` for each removed *sealed* box so the owner can delete it
+  /// from the level index. The currently filling box is never removed.
+  void ExpireBefore(std::uint64_t min_time,
+                    const std::function<void(const FeatureBox&)>& on_remove);
+
+  /// The still-filling box (not yet in any level index), or nullptr when
+  /// the most recent box is sealed. Range queries must consult it in
+  /// addition to the index to see the freshest features.
+  const FeatureBox* filling_box() const {
+    if (boxes_.empty() || boxes_.back().sealed) return nullptr;
+    return &boxes_.back();
+  }
+
+  /// Number of boxes currently retained (sealed + filling).
+  std::size_t box_count() const { return boxes_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t stride() const { return stride_; }
+  bool empty() const { return boxes_.empty(); }
+
+  /// Feature end-time of the most recently appended feature. Requires
+  /// !empty().
+  std::uint64_t last_time() const;
+
+  /// Invokes `fn` on every retained box, oldest first.
+  void ForEachBox(const std::function<void(const FeatureBox&)>& fn) const;
+
+  /// Snapshot support (core/snapshot.cc): serializes the thread state.
+  void SaveTo(Writer* writer) const;
+  /// Restores a serialized thread. Validates structural invariants
+  /// (ordered times/seqs, box counts within capacity, only the last box
+  /// unsealed); the thread's dims/capacity/stride must match the saved
+  /// ones.
+  Status RestoreFrom(Reader* reader);
+
+ private:
+  std::size_t dims_;
+  std::size_t capacity_;
+  std::size_t stride_;
+  std::deque<FeatureBox> boxes_;
+  bool has_first_ = false;
+  /// End-time of the very first feature at this level (alignment anchor).
+  std::uint64_t anchor_time_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_LEVEL_STATE_H_

@@ -1,0 +1,110 @@
+// Pattern monitoring queries (Section 5.2).
+//
+// Two search algorithms, matching the two index-construction algorithms:
+//
+//  - QueryOnline (Algorithm 3): for online-built (T = 1, boxed) indexes.
+//    The query is partitioned by the binary representation of |Q|/W into
+//    sub-queries of increasing resolution, anchored at the query's most
+//    recent end. A range query at the first sub-query's level seeds the
+//    candidate set; hierarchical radius refinement (Kahveci & Singh)
+//    shrinks the remaining budget with d_min of each further sub-query to
+//    the candidate's boxes, following the per-stream MBR threads.
+//
+//  - QueryBatch (Algorithm 4): for batch-built (c = 1, T = W) indexes.
+//    All W·p prefix/disjoint-piece features of the query are gathered into
+//    one query MBR, enlarged by the multi-piece radius, and one range
+//    query retrieves candidate features; alignments are reconstructed and
+//    piece-filtered before exact verification.
+//
+// Distances are Euclidean between unit-hypersphere-normalized windows
+// (Equation 2). Because that normalization divides by √w·R_max, distances
+// of sub-windows of different lengths do not add directly; both algorithms
+// therefore track the refinement budget in *unnormalized* squared distance
+// (d²_unnorm = d²_norm · w · R_max²), which restores additivity and keeps
+// every pruning step sound. The paper's r/√p enlargement is the special
+// case of this arithmetic for unnormalized windows.
+#ifndef STARDUST_CORE_PATTERN_QUERY_H_
+#define STARDUST_CORE_PATTERN_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stardust.h"
+
+namespace stardust {
+
+/// A verified match: the stream window ending at `end_time` is within the
+/// query radius of the query sequence.
+struct PatternMatch {
+  StreamId stream = 0;
+  std::uint64_t end_time = 0;
+  /// Normalized Euclidean distance to the query.
+  double distance = 0.0;
+};
+
+/// Result of one pattern query.
+struct PatternResult {
+  /// Distinct candidate positions that were exact-checked.
+  std::uint64_t candidates = 0;
+  /// Candidate positions whose raw window had already left the history
+  /// buffer and could not be verified (skipped, not counted as candidates).
+  std::uint64_t unverifiable = 0;
+  std::vector<PatternMatch> matches;
+
+  /// True matches / candidates checked; 1.0 when nothing was retrieved.
+  double Precision() const {
+    return candidates == 0
+               ? 1.0
+               : static_cast<double>(matches.size()) /
+                     static_cast<double>(candidates);
+  }
+};
+
+/// Pattern search over a Stardust instance (configured with the DWT
+/// transform, unit-sphere normalization and index_features).
+class PatternQueryEngine {
+ public:
+  explicit PatternQueryEngine(const Stardust& core) : core_(core) {}
+
+  /// Algorithm 3. Requires an online configuration (update_period == 1).
+  /// |query| must be a positive multiple of W with |Q|/W < 2^num_levels.
+  Result<PatternResult> QueryOnline(const std::vector<double>& query,
+                                    double radius) const;
+
+  /// Algorithm 4. Requires a batch configuration (update_period == W,
+  /// box_capacity == 1) and |query| >= 2W - 1.
+  Result<PatternResult> QueryBatch(const std::vector<double>& query,
+                                   double radius) const;
+
+  /// The (up to) k closest stream windows to the query, sorted by
+  /// ascending distance — an extension built on the online index: a
+  /// best-first k-NN probe of the first sub-query's level (Roussopoulos
+  /// et al.) seeds a sound lower bound on the k-th match distance, which
+  /// an expanding-radius sequence of Algorithm-3 range queries then
+  /// confirms. Same configuration requirements as QueryOnline.
+  Result<std::vector<PatternMatch>> TopKOnline(
+      const std::vector<double>& query, std::size_t k) const;
+
+ private:
+  /// Candidate during hierarchical refinement: a run of possible match end
+  /// positions of one stream plus the remaining unnormalized budget.
+  struct Candidate {
+    StreamId stream = 0;
+    std::uint64_t end_lo = 0;
+    std::uint64_t end_hi = 0;
+    double budget = 0.0;  // remaining unnormalized squared distance
+  };
+
+  /// Exact-checks distinct (stream, end) positions; fills `result`.
+  void VerifyPositions(const std::vector<double>& query, double radius,
+                       std::vector<std::pair<StreamId, std::uint64_t>>*
+                           positions,
+                       PatternResult* result) const;
+
+  const Stardust& core_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_PATTERN_QUERY_H_

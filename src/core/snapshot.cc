@@ -1,0 +1,150 @@
+#include "core/snapshot.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/serialize.h"
+
+namespace stardust {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'D', 'S', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+void SaveConfig(const StardustConfig& config, Writer* writer) {
+  writer->U8(static_cast<std::uint8_t>(config.transform));
+  writer->U8(static_cast<std::uint8_t>(config.aggregate));
+  writer->U8(static_cast<std::uint8_t>(config.normalization));
+  writer->U64(config.coefficients);
+  writer->F64(config.r_max);
+  writer->U64(config.base_window);
+  writer->U64(config.num_levels);
+  writer->U64(config.history);
+  writer->U64(config.box_capacity);
+  writer->U64(config.update_period);
+  writer->U8(static_cast<std::uint8_t>(config.update_schedule));
+  writer->U8(config.exact_levels ? 1 : 0);
+  writer->U8(config.index_features ? 1 : 0);
+}
+
+Status LoadConfig(Reader* reader, StardustConfig* config) {
+  std::uint8_t transform = 0, aggregate = 0, normalization = 0;
+  std::uint8_t schedule = 0, exact = 0, indexed = 0;
+  SD_RETURN_NOT_OK(reader->U8(&transform));
+  SD_RETURN_NOT_OK(reader->U8(&aggregate));
+  SD_RETURN_NOT_OK(reader->U8(&normalization));
+  if (transform > 1 || aggregate > 3 || normalization > 2) {
+    return Status::InvalidArgument("snapshot config enum out of range");
+  }
+  config->transform = static_cast<TransformKind>(transform);
+  config->aggregate = static_cast<AggregateKind>(aggregate);
+  config->normalization = static_cast<Normalization>(normalization);
+  std::uint64_t value = 0;
+  SD_RETURN_NOT_OK(reader->U64(&value));
+  config->coefficients = value;
+  SD_RETURN_NOT_OK(reader->F64(&config->r_max));
+  SD_RETURN_NOT_OK(reader->U64(&value));
+  config->base_window = value;
+  SD_RETURN_NOT_OK(reader->U64(&value));
+  config->num_levels = value;
+  SD_RETURN_NOT_OK(reader->U64(&value));
+  config->history = value;
+  SD_RETURN_NOT_OK(reader->U64(&value));
+  config->box_capacity = value;
+  SD_RETURN_NOT_OK(reader->U64(&value));
+  config->update_period = value;
+  SD_RETURN_NOT_OK(reader->U8(&schedule));
+  if (schedule > 1) {
+    return Status::InvalidArgument("snapshot schedule out of range");
+  }
+  config->update_schedule = static_cast<UpdateSchedule>(schedule);
+  SD_RETURN_NOT_OK(reader->U8(&exact));
+  SD_RETURN_NOT_OK(reader->U8(&indexed));
+  config->exact_levels = exact != 0;
+  config->index_features = indexed != 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string SerializeSnapshot(const Stardust& stardust) {
+  Writer payload;
+  SaveConfig(stardust.config(), &payload);
+  payload.U64(stardust.num_streams());
+  for (StreamId s = 0; s < stardust.num_streams(); ++s) {
+    stardust.summarizer(s).SaveTo(&payload);
+  }
+  Writer envelope;
+  envelope.Bytes(kMagic, sizeof(kMagic));
+  envelope.U32(kVersion);
+  envelope.U64(Fnv1a(payload.buffer()));
+  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
+  return std::move(envelope.TakeBuffer());
+}
+
+Result<std::unique_ptr<Stardust>> DeserializeSnapshot(
+    const std::string& bytes) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 8) {
+    return Status::InvalidArgument("snapshot too small");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a Stardust snapshot (bad magic)");
+  }
+  const std::string header(bytes.substr(sizeof(kMagic), 12));
+  Reader header_reader(header);
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;
+  SD_RETURN_NOT_OK(header_reader.U32(&version));
+  SD_RETURN_NOT_OK(header_reader.U64(&checksum));
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+  const std::string payload = bytes.substr(sizeof(kMagic) + 12);
+  if (Fnv1a(payload) != checksum) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+
+  Reader reader(payload);
+  StardustConfig config;
+  SD_RETURN_NOT_OK(LoadConfig(&reader, &config));
+  Result<std::unique_ptr<Stardust>> created = Stardust::Create(config);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<Stardust> stardust = std::move(created).value();
+  std::uint64_t num_streams = 0;
+  SD_RETURN_NOT_OK(reader.U64(&num_streams));
+  if (num_streams > (std::uint64_t{1} << 32)) {
+    return Status::InvalidArgument("snapshot stream count out of range");
+  }
+  for (std::uint64_t s = 0; s < num_streams; ++s) {
+    const StreamId id = stardust->AddStream();
+    SD_RETURN_NOT_OK(stardust->mutable_summarizer(id)->RestoreFrom(&reader));
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("snapshot has trailing bytes");
+  }
+  SD_RETURN_NOT_OK(stardust->RebuildIndexes());
+  return stardust;
+}
+
+Status SaveSnapshot(const Stardust& stardust, const std::string& path) {
+  const std::string bytes = SerializeSnapshot(stardust);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out) return Status::Internal("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Stardust>> LoadSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeSnapshot(buffer.str());
+}
+
+}  // namespace stardust

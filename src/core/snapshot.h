@@ -1,0 +1,37 @@
+// Snapshot / recovery of a Stardust instance.
+//
+// A monitoring system that may run for weeks needs restartability: the
+// snapshot captures the full framework state — configuration, the raw
+// tail of every stream, every level thread — behind a versioned,
+// checksummed envelope, and restore rebuilds the per-level R*-trees from
+// the sealed boxes. After a restore, continued appends produce bit-exact
+// identical summaries and query answers to an uninterrupted run (tested
+// in tests/snapshot_test.cc).
+#ifndef STARDUST_CORE_SNAPSHOT_H_
+#define STARDUST_CORE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/stardust.h"
+
+namespace stardust {
+
+/// Serializes a Stardust instance into a self-contained byte string
+/// (magic + version + FNV-1a checksum + payload).
+std::string SerializeSnapshot(const Stardust& stardust);
+
+/// Reconstructs a Stardust instance from SerializeSnapshot output.
+/// Rejects bad magic, unsupported versions, checksum mismatches, and any
+/// structurally inconsistent payload.
+Result<std::unique_ptr<Stardust>> DeserializeSnapshot(
+    const std::string& bytes);
+
+/// File convenience wrappers.
+Status SaveSnapshot(const Stardust& stardust, const std::string& path);
+Result<std::unique_ptr<Stardust>> LoadSnapshot(const std::string& path);
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_SNAPSHOT_H_

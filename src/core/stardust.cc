@@ -1,0 +1,144 @@
+#include "core/stardust.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace stardust {
+
+Result<std::unique_ptr<Stardust>> Stardust::Create(
+    const StardustConfig& config) {
+  const Status st = config.Validate();
+  if (!st.ok()) return st;
+  return std::unique_ptr<Stardust>(new Stardust(config));
+}
+
+Stardust::Stardust(const StardustConfig& config) : config_(config) {
+  if (config_.index_features) {
+    indexes_.reserve(config_.num_levels);
+    for (std::size_t j = 0; j < config_.num_levels; ++j) {
+      indexes_.push_back(
+          std::make_unique<RTree>(config_.FeatureDims(), RTreeOptions{}));
+    }
+  }
+}
+
+StreamId Stardust::AddStream() {
+  streams_.push_back(std::make_unique<StreamSummarizer>(config_));
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+Status Stardust::Append(StreamId stream, double value) {
+  if (stream >= streams_.size()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  if (!std::isfinite(value)) {
+    // A NaN/Inf would silently poison every box it is merged into.
+    return Status::InvalidArgument("stream values must be finite");
+  }
+  sealed_scratch_.clear();
+  expired_scratch_.clear();
+  streams_[stream]->Append(value, &sealed_scratch_, &expired_scratch_);
+  if (config_.index_features) {
+    for (const BoxRef& box : sealed_scratch_) {
+      SD_RETURN_NOT_OK(indexes_[box.level]->Insert(
+          box.extent, MakeRecordId(stream, box.seq)));
+    }
+    for (const BoxRef& box : expired_scratch_) {
+      SD_RETURN_NOT_OK(indexes_[box.level]->Delete(
+          box.extent, MakeRecordId(stream, box.seq)));
+    }
+  }
+  return Status::OK();
+}
+
+Status Stardust::RebuildIndexes() {
+  if (!config_.index_features) return Status::OK();
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    indexes_[j] =
+        std::make_unique<RTree>(config_.FeatureDims(), RTreeOptions{});
+  }
+  Status status = Status::OK();
+  for (StreamId s = 0; s < streams_.size(); ++s) {
+    for (std::size_t j = 0; j < config_.num_levels; ++j) {
+      streams_[s]->thread(j).ForEachBox([&](const FeatureBox& box) {
+        if (!box.sealed || !status.ok()) return;
+        const Status st =
+            indexes_[j]->Insert(box.extent, MakeRecordId(s, box.seq));
+        if (!st.ok()) status = st;
+      });
+    }
+  }
+  return status;
+}
+
+Result<ScalarInterval> Stardust::AggregateInterval(StreamId stream,
+                                                   std::size_t window) const {
+  if (stream >= streams_.size()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  if (config_.transform != TransformKind::kAggregate) {
+    return Status::FailedPrecondition(
+        "aggregate queries require an aggregate transform");
+  }
+  const std::size_t w_base = config_.base_window;
+  if (window == 0 || window % w_base != 0) {
+    return Status::InvalidArgument(
+        "query window must be a positive multiple of the base window");
+  }
+  const std::size_t b = window / w_base;
+  if (b >> config_.num_levels != 0) {
+    return Status::InvalidArgument(
+        "query window exceeds the largest indexed resolution");
+  }
+  const StreamSummarizer& summarizer = *streams_[stream];
+  if (summarizer.now() < window) {
+    return Status::OutOfRange("stream shorter than the query window");
+  }
+  // Algorithm 2: walk the ones of b from the least significant bit; the
+  // smallest sub-window is anchored at the most recent data.
+  std::uint64_t t = summarizer.now() - 1;
+  Mbr extent;
+  bool first = true;
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    if (((b >> j) & 1) == 0) continue;
+    const FeatureBox* box = summarizer.thread(j).Find(t);
+    if (box == nullptr) {
+      return Status::OutOfRange("sub-aggregate not available at level " +
+                                std::to_string(j));
+    }
+    if (first) {
+      extent = box->extent;
+      first = false;
+    } else {
+      extent =
+          AggregateMergeExtents(config_.aggregate, box->extent, extent);
+    }
+    t -= config_.LevelWindow(j);
+  }
+  SD_DCHECK(!first);
+  return AggregateScalarBound(config_.aggregate, extent);
+}
+
+Result<Stardust::AggregateAnswer> Stardust::AggregateQuery(
+    StreamId stream, std::size_t window, double threshold) const {
+  Result<ScalarInterval> interval = AggregateInterval(stream, window);
+  if (!interval.ok()) return interval.status();
+  AggregateAnswer answer;
+  answer.approx = interval.value();
+  answer.exact = std::numeric_limits<double>::quiet_NaN();
+  if (answer.approx.hi < threshold) return answer;
+  answer.candidate = true;
+  // Verification: retrieve the most recent subsequence of length w and
+  // compute the true aggregate (Algorithm 2's post-check).
+  const StreamSummarizer& summarizer = *streams_[stream];
+  Result<Point> feature =
+      summarizer.ExactFeature(summarizer.now() - 1, window);
+  if (!feature.ok()) return feature.status();
+  answer.exact = AggregateScalar(config_.aggregate, feature.value());
+  answer.alarm = answer.exact >= threshold;
+  return answer;
+}
+
+}  // namespace stardust

@@ -1,0 +1,98 @@
+// Stardust: the paper's unified stream-monitoring framework.
+//
+// A Stardust instance maintains, for M streams, multi-resolution feature
+// summaries (StreamSummarizer per stream) and one R*-tree per resolution
+// level combining the sealed boxes of all streams (Section 4). On top of
+// this state sit the three query classes of Section 5:
+//   - aggregate monitoring  (Algorithm 2; also core/aggregate_monitor.h),
+//   - pattern monitoring    (Algorithms 3 and 4; core/pattern_query.h),
+//   - correlation monitoring (Section 5.3; core/correlation_monitor.h).
+#ifndef STARDUST_CORE_STARDUST_H_
+#define STARDUST_CORE_STARDUST_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/summarizer.h"
+#include "rtree/rtree.h"
+
+namespace stardust {
+
+/// Packs (stream, box sequence number) into an R*-tree RecordId.
+inline RecordId MakeRecordId(StreamId stream, std::uint64_t seq) {
+  SD_DCHECK(seq < (std::uint64_t{1} << 32));
+  return (static_cast<std::uint64_t>(stream) << 32) | seq;
+}
+inline StreamId RecordStream(RecordId id) {
+  return static_cast<StreamId>(id >> 32);
+}
+inline std::uint64_t RecordSeq(RecordId id) {
+  return id & 0xffffffffULL;
+}
+
+/// The framework facade.
+class Stardust {
+ public:
+  /// Validates `config` and builds an instance with no streams yet.
+  static Result<std::unique_ptr<Stardust>> Create(
+      const StardustConfig& config);
+
+  /// Registers a new stream and returns its id (dense, starting at 0).
+  StreamId AddStream();
+
+  std::size_t num_streams() const { return streams_.size(); }
+  const StardustConfig& config() const { return config_; }
+  const StreamSummarizer& summarizer(StreamId stream) const {
+    return *streams_[stream];
+  }
+  /// Level index (only maintained when config.index_features is set).
+  const RTree& index(std::size_t level) const { return *indexes_[level]; }
+
+  /// Feeds one value of one stream, maintaining threads and level indexes.
+  Status Append(StreamId stream, double value);
+
+  /// Approximate aggregate over the window of size `window` ending at the
+  /// stream's latest value — the composition step of Algorithm 2. `window`
+  /// must be a positive multiple of W with w/W < 2^num_levels.
+  Result<ScalarInterval> AggregateInterval(StreamId stream,
+                                           std::size_t window) const;
+
+  /// Outcome of one aggregate monitoring check.
+  struct AggregateAnswer {
+    ScalarInterval approx;
+    /// True iff the upper bound reached the threshold (filter fired).
+    bool candidate = false;
+    /// True iff the verified exact aggregate reached the threshold.
+    bool alarm = false;
+    /// The exact aggregate (only computed when `candidate`).
+    double exact = 0.0;
+  };
+
+  /// Full Algorithm 2: compose the approximate interval, and on a
+  /// candidate retrieve the raw subsequence and verify exactly.
+  Result<AggregateAnswer> AggregateQuery(StreamId stream, std::size_t window,
+                                         double threshold) const;
+
+  /// Snapshot support (core/snapshot.cc): mutable summarizer access and
+  /// index reconstruction from the threads' sealed boxes.
+  StreamSummarizer* mutable_summarizer(StreamId stream) {
+    return streams_[stream].get();
+  }
+  Status RebuildIndexes();
+
+ private:
+  explicit Stardust(const StardustConfig& config);
+
+  StardustConfig config_;
+  std::vector<std::unique_ptr<StreamSummarizer>> streams_;
+  std::vector<std::unique_ptr<RTree>> indexes_;
+  std::vector<BoxRef> sealed_scratch_;
+  std::vector<BoxRef> expired_scratch_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_STARDUST_H_

@@ -1,0 +1,160 @@
+#include "core/summarizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dwt/haar.h"
+#include "dwt/mbr_transform.h"
+#include "transform/feature.h"
+
+namespace stardust {
+
+StreamSummarizer::StreamSummarizer(const StardustConfig& config)
+    : config_(config), raw_(config.history) {
+  SD_CHECK(config_.Validate().ok());
+  threads_.reserve(config_.num_levels);
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    threads_.emplace_back(config_.FeatureDims(), config_.box_capacity,
+                          config_.LevelPeriod(j));
+  }
+}
+
+Status StreamSummarizer::GetWindow(std::uint64_t end_time, std::size_t length,
+                                   std::vector<double>* out) const {
+  if (length == 0) return Status::InvalidArgument("empty window");
+  if (end_time >= raw_.size()) {
+    return Status::OutOfRange("window ends in the future");
+  }
+  if (end_time + 1 < length) {
+    return Status::OutOfRange("window starts before the stream");
+  }
+  const std::uint64_t start = end_time + 1 - length;
+  if (start < raw_.first_position()) {
+    return Status::OutOfRange("window has left the history of interest");
+  }
+  raw_.CopyWindow(start, length, out);
+  return Status::OK();
+}
+
+Point StreamSummarizer::ExactFeatureFromRaw(
+    std::vector<double>* window) const {
+  if (config_.transform == TransformKind::kAggregate) {
+    return AggregateExactFeature(config_.aggregate, *window);
+  }
+  NormalizeWindowInPlace(window, config_.normalization, config_.r_max);
+  if (config_.normalization == Normalization::kZNorm) {
+    // A z-normalized window has zero mean, so the leading (scaled-mean)
+    // DWT coefficient is identically zero. Keeping it would waste one of
+    // the f feature dimensions; use the f coefficients after it instead
+    // (any orthonormal-coefficient subset preserves the lower-bound
+    // property). StatStream's feature does the same by excluding the DC
+    // term of the DFT. Implementation: reduce to the 2f-long
+    // approximation vector (whose ordered DWT is the first 2f ordered
+    // coefficients of the full transform), then read coefficients 1..f.
+    const std::size_t f = config_.coefficients;
+    HaarApproxInPlace(window, 2 * f);
+    const std::vector<double> prefix = HaarDwt(*window);
+    return Point(prefix.begin() + 1, prefix.begin() + 1 + f);
+  }
+  HaarApproxInPlace(window, config_.coefficients);
+  return *window;
+}
+
+Result<Point> StreamSummarizer::ExactFeature(std::uint64_t end_time,
+                                             std::size_t length) const {
+  std::vector<double> window;
+  const Status st = GetWindow(end_time, length, &window);
+  if (!st.ok()) return st;
+  return ExactFeatureFromRaw(&window);
+}
+
+void StreamSummarizer::SaveTo(Writer* writer) const {
+  writer->U64(raw_.size());
+  const std::uint64_t retained = raw_.size() - raw_.first_position();
+  std::vector<double> tail;
+  raw_.CopyWindow(raw_.first_position(), retained, &tail);
+  writer->DoubleVector(tail);
+  writer->U64(threads_.size());
+  for (const LevelThread& thread : threads_) thread.SaveTo(writer);
+}
+
+Status StreamSummarizer::RestoreFrom(Reader* reader) {
+  std::uint64_t total = 0;
+  SD_RETURN_NOT_OK(reader->U64(&total));
+  std::vector<double> tail;
+  SD_RETURN_NOT_OK(reader->DoubleVector(&tail, config_.history));
+  const std::uint64_t expected_tail =
+      total < config_.history ? total : config_.history;
+  if (tail.size() != expected_tail) {
+    return Status::InvalidArgument("snapshot raw tail size mismatch");
+  }
+  raw_.RestoreTail(total, tail);
+  std::uint64_t thread_count = 0;
+  SD_RETURN_NOT_OK(reader->U64(&thread_count));
+  if (thread_count != threads_.size()) {
+    return Status::InvalidArgument("snapshot level count mismatch");
+  }
+  for (LevelThread& thread : threads_) {
+    SD_RETURN_NOT_OK(thread.RestoreFrom(reader));
+  }
+  return Status::OK();
+}
+
+std::size_t StreamSummarizer::TotalBoxCount() const {
+  std::size_t total = 0;
+  for (const LevelThread& thread : threads_) total += thread.box_count();
+  return total;
+}
+
+Mbr StreamSummarizer::ComputeFeature(std::size_t level, std::uint64_t t) {
+  const std::size_t w = config_.LevelWindow(level);
+  const bool exact = level == 0 || config_.exact_levels ||
+                     config_.LevelPeriod(level) > 1;
+  if (exact) {
+    const Status st = GetWindow(t, w, &scratch_);
+    SD_CHECK(st.ok());
+    return Mbr::FromPoint(ExactFeatureFromRaw(&scratch_));
+  }
+  // Incremental path: merge the level-(j-1) boxes holding the features of
+  // the two halves (Algorithm 1, else-branch).
+  const std::size_t half = w / 2;
+  const FeatureBox* left = threads_[level - 1].Find(t - half);
+  const FeatureBox* right = threads_[level - 1].Find(t);
+  SD_CHECK(left != nullptr && right != nullptr);
+  if (config_.transform == TransformKind::kAggregate) {
+    return AggregateMergeExtents(config_.aggregate, left->extent,
+                                 right->extent);
+  }
+  // Unit-sphere normalization divides by √w·R_max; the doubled window
+  // needs an extra 1/√2 relative to its halves.
+  const double rescale = config_.normalization == Normalization::kUnitSphere
+                             ? 1.0 / std::sqrt(2.0)
+                             : 1.0;
+  return MergeMbrHalvesHaar(left->extent, right->extent, rescale);
+}
+
+void StreamSummarizer::Append(double value, std::vector<BoxRef>* sealed,
+                              std::vector<BoxRef>* expired) {
+  raw_.Push(value);
+  const std::uint64_t t = raw_.size() - 1;
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    const std::size_t w = config_.LevelWindow(j);
+    if (t + 1 < w) break;  // higher levels have even larger windows
+    if ((t + 1 - w) % config_.LevelPeriod(j) != 0) continue;
+    const Mbr feature = ComputeFeature(j, t);
+    const FeatureBox* sealed_box = threads_[j].Append(t, feature);
+    if (sealed_box != nullptr && sealed != nullptr) {
+      sealed->push_back({j, sealed_box->extent, sealed_box->seq});
+    }
+    if (t + 1 > config_.history) {
+      const std::uint64_t min_time = t + 1 - config_.history;
+      threads_[j].ExpireBefore(min_time, [&](const FeatureBox& box) {
+        if (expired != nullptr) {
+          expired->push_back({j, box.extent, box.seq});
+        }
+      });
+    }
+  }
+}
+
+}  // namespace stardust

@@ -1,0 +1,89 @@
+// Per-stream multi-resolution feature computation — Algorithm 1 of the
+// paper (Compute_Coefficients).
+//
+// On each arrival (or every T arrivals in batch mode) a feature is
+// produced at every live level j:
+//   - level 0 computes F(y) directly on the raw window y of size W;
+//   - level j > 0 merges the level-(j-1) boxes containing the features of
+//     the two halves of its window (Lemmas 4.1/4.2 and A.1/A.2), in Θ(f)
+//     time — or computes exactly from raw when `exact_levels` is set
+//     (the MR-Index baseline configuration).
+// Features land in per-level LevelThreads; the summarizer reports newly
+// sealed and newly expired boxes so the owner can maintain level indexes.
+#ifndef STARDUST_CORE_SUMMARIZER_H_
+#define STARDUST_CORE_SUMMARIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/level_state.h"
+
+namespace stardust {
+
+/// A sealed or expired box surfaced to the index owner.
+struct BoxRef {
+  std::size_t level = 0;
+  Mbr extent;
+  std::uint64_t seq = 0;
+};
+
+/// Summary state of a single stream: raw tail + one LevelThread per level.
+class StreamSummarizer {
+ public:
+  /// `config` must have been validated by the caller.
+  explicit StreamSummarizer(const StardustConfig& config);
+
+  /// Feeds one value. Newly sealed boxes are appended to `sealed` and
+  /// expired sealed boxes to `expired` (either may be nullptr).
+  void Append(double value, std::vector<BoxRef>* sealed,
+              std::vector<BoxRef>* expired);
+
+  /// Number of values consumed so far; the latest value has time now()-1.
+  std::uint64_t now() const { return raw_.size(); }
+
+  const RingBuffer<double>& raw() const { return raw_; }
+  const LevelThread& thread(std::size_t level) const {
+    return threads_[level];
+  }
+  const StardustConfig& config() const { return config_; }
+
+  /// Copies the raw window of `length` values ending at time `end_time`
+  /// into `out`. Fails if any part of the window has left the buffer.
+  Status GetWindow(std::uint64_t end_time, std::size_t length,
+                   std::vector<double>* out) const;
+
+  /// The exact feature of the raw window of `length` ending at `end_time`
+  /// under this summarizer's transform (used for verification and tests).
+  Result<Point> ExactFeature(std::uint64_t end_time,
+                             std::size_t length) const;
+
+  /// Number of feature boxes currently retained across all levels — the
+  /// summary's space (Theorem 4.3: Θ(Σ_j 2^j W / (c·T_j)) boxes).
+  std::size_t TotalBoxCount() const;
+
+  /// Snapshot support (core/snapshot.cc): serializes the raw tail and
+  /// every level thread. The configuration is serialized by the owner.
+  void SaveTo(Writer* writer) const;
+  /// Restores a serialized summarizer; the instance must have been
+  /// constructed with the same configuration the snapshot was taken with.
+  Status RestoreFrom(Reader* reader);
+
+ private:
+  /// Feature extent for level `level` ending at time t (Algorithm 1 body).
+  Mbr ComputeFeature(std::size_t level, std::uint64_t t);
+  /// Point feature computed exactly from the raw window; consumes the
+  /// buffer (in-place normalization and transform — the hot path).
+  Point ExactFeatureFromRaw(std::vector<double>* window) const;
+
+  StardustConfig config_;
+  RingBuffer<double> raw_;
+  std::vector<LevelThread> threads_;
+  std::vector<double> scratch_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_SUMMARIZER_H_

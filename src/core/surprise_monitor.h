@@ -1,0 +1,98 @@
+// Surprise (novelty) monitoring — the query class the paper motivates as
+// "finding surprising levels of a data stream" (§1, §2.2) and exercises
+// as "monitoring for surprising patterns" (§6.2), turned around: instead
+// of matching against a pattern database, report windows that match
+// NOTHING seen before.
+//
+// A window ending at t at level j is *surprising* when its normalized
+// distance to every disjoint earlier window of the recent history (all
+// streams, or the same stream only) exceeds the threshold. The level
+// R*-tree answers this with one range query per fresh feature — no hits
+// within the threshold proves novelty outright (feature distances
+// lower-bound window distances), and any hits are verified against the
+// raw windows before the event is suppressed.
+#ifndef STARDUST_CORE_SURPRISE_MONITOR_H_
+#define STARDUST_CORE_SURPRISE_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/stardust.h"
+
+namespace stardust {
+
+/// A verified novelty event.
+struct SurpriseEvent {
+  StreamId stream = 0;
+  std::size_t level = 0;
+  std::size_t window = 0;
+  /// End time of the surprising window.
+  std::uint64_t end_time = 0;
+  /// Exact normalized distance to the nearest disjoint earlier window
+  /// that could be verified; +inf when the feature space already proved
+  /// there is nothing within the threshold.
+  double novelty = 0.0;
+};
+
+/// Counters for the surprise monitor.
+struct SurpriseStats {
+  /// Feature refreshes that ran the novelty check.
+  std::uint64_t checks = 0;
+  /// Range-query hits that had to be verified against raw windows.
+  std::uint64_t verifications = 0;
+  /// Verified novelty events.
+  std::uint64_t events = 0;
+};
+
+/// Continuous novelty detection over M streams.
+class SurpriseMonitor {
+ public:
+  /// `config` must be an online, unit-box (c == 1, T == 1) indexed DWT
+  /// configuration so that every feature is an exact point. `threshold`
+  /// is the minimum normalized distance for a window to count as novel.
+  /// `monitor_levels` defaults to the top level. When `within_stream` is
+  /// true, novelty is judged against the stream's own history only.
+  static Result<std::unique_ptr<SurpriseMonitor>> Create(
+      const StardustConfig& config, std::size_t num_streams,
+      double threshold, std::vector<std::size_t> monitor_levels = {},
+      bool within_stream = false);
+
+  /// Feeds one value of one stream; novelty checks run for every level
+  /// that produced a feature. New events append to `new_events`
+  /// (optional).
+  Status Append(StreamId stream, double value,
+                std::vector<SurpriseEvent>* new_events = nullptr);
+
+  const SurpriseStats& stats() const { return stats_; }
+  const Stardust& stardust() const { return *core_; }
+  double threshold() const { return threshold_; }
+
+ private:
+  SurpriseMonitor(std::unique_ptr<Stardust> core, double threshold,
+                  std::vector<std::size_t> monitor_levels,
+                  bool within_stream);
+
+  /// Runs the novelty check for (stream, level) at end time t.
+  Status Check(StreamId stream, std::size_t level, std::uint64_t t,
+               std::vector<SurpriseEvent>* new_events);
+
+  std::unique_ptr<Stardust> core_;
+  double threshold_;
+  std::vector<std::size_t> monitored_levels_;
+  bool within_stream_;
+  SurpriseStats stats_;
+  /// Debounce state: last reported event time per (stream, level).
+  struct LastEvent {
+    bool has_value = false;
+    std::uint64_t time = 0;
+  };
+  std::map<std::pair<StreamId, std::size_t>, LastEvent> last_event_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_CORE_SURPRISE_MONITOR_H_

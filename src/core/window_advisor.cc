@@ -1,0 +1,152 @@
+#include "core/window_advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "transform/sliding_tracker.h"
+
+namespace stardust {
+
+const std::vector<double>& WindowAdvisor::LambdaGrid() {
+  static const std::vector<double>* kGrid =
+      new std::vector<double>{0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0};
+  return *kGrid;
+}
+
+Result<std::unique_ptr<WindowAdvisor>> WindowAdvisor::Create(
+    AggregateKind kind, std::size_t base_window, std::size_t num_levels) {
+  if (base_window == 0) {
+    return Status::InvalidArgument("base_window must be positive");
+  }
+  if (num_levels == 0 || num_levels > 32) {
+    return Status::InvalidArgument("num_levels out of range");
+  }
+  const std::size_t top = base_window << (num_levels - 1);
+  if (top / base_window != (std::size_t{1} << (num_levels - 1))) {
+    return Status::InvalidArgument("window overflow");
+  }
+  return std::unique_ptr<WindowAdvisor>(
+      new WindowAdvisor(kind, base_window, num_levels));
+}
+
+WindowAdvisor::WindowAdvisor(AggregateKind kind, std::size_t base_window,
+                             std::size_t num_levels)
+    : kind_(kind), base_window_(base_window), levels_(num_levels) {
+  std::vector<std::size_t> windows;
+  windows.reserve(num_levels);
+  for (std::size_t j = 0; j < num_levels; ++j) {
+    windows.push_back(base_window << j);
+    levels_[j].exceed_counts.assign(LambdaGrid().size(), 0);
+  }
+  tracker_ = std::make_unique<SlidingAggregateTracker>(kind, windows);
+}
+
+WindowAdvisor::~WindowAdvisor() = default;
+
+void WindowAdvisor::Append(double value) {
+  tracker_->Push(value);
+  ++count_;
+  for (std::size_t j = 0; j < levels_.size(); ++j) {
+    if (!tracker_->Ready(j)) continue;
+    const double aggregate = tracker_->Current(j);
+    LevelStats& stats = levels_[j];
+    // Exceedance against the *running* robust threshold — what a monitor
+    // that set its thresholds from everything seen so far would have
+    // alarmed on. Skip the warm-up where the quantiles are meaningless.
+    if (stats.moments.count() >= 8) {
+      const double median = stats.q50.Value();
+      const double robust_sd =
+          (stats.q75.Value() - stats.q25.Value()) / 1.349;
+      const auto& grid = LambdaGrid();
+      for (std::size_t g = 0; g < grid.size(); ++g) {
+        if (aggregate > median + grid[g] * robust_sd) {
+          ++stats.exceed_counts[g];
+        }
+      }
+    }
+    stats.moments.Add(aggregate);
+    stats.trend.Add(static_cast<double>(count_), aggregate);
+    stats.q25.Add(aggregate);
+    stats.q50.Add(aggregate);
+    stats.q75.Add(aggregate);
+    if (!stats.has_max || aggregate > stats.max_aggregate) {
+      stats.max_aggregate = aggregate;
+      stats.has_max = true;
+    }
+  }
+}
+
+namespace {
+
+/// Robust standardized peak excursion (max − median)/IQR; 0 while the
+/// quantile estimators have too little data or the scale is degenerate.
+double PeakScore(const WindowAdvisor::LevelStats& stats) {
+  if (!stats.has_max || stats.q50.count() < 16) return 0.0;
+  const double iqr = stats.q75.Value() - stats.q25.Value();
+  if (iqr < 1e-12) return 0.0;
+  return (stats.max_aggregate - stats.q50.Value()) / iqr;
+}
+
+}  // namespace
+
+std::vector<WindowAdvice> WindowAdvisor::Advise(double lambda) const {
+  std::vector<WindowAdvice> out;
+  const auto& grid = LambdaGrid();
+  for (std::size_t j = 0; j < levels_.size(); ++j) {
+    const LevelStats& stats = levels_[j];
+    WindowAdvice advice;
+    advice.window = window(j);
+    if (stats.moments.count() >= 2) {
+      advice.score =
+          PeakScore(stats);
+      advice.threshold =
+          stats.q50.Value() +
+          lambda * (stats.q75.Value() - stats.q25.Value()) / 1.349;
+      advice.drift = stats.trend.Slope();
+      // Alarm rate at the nearest λ grid point.
+      std::size_t nearest = 0;
+      for (std::size_t g = 1; g < grid.size(); ++g) {
+        if (std::abs(grid[g] - lambda) <
+            std::abs(grid[nearest] - lambda)) {
+          nearest = g;
+        }
+      }
+      const std::uint64_t samples =
+          stats.moments.count() > 8 ? stats.moments.count() - 8 : 0;
+      advice.alarm_rate =
+          samples == 0 ? 0.0
+                       : static_cast<double>(stats.exceed_counts[nearest]) /
+                             static_cast<double>(samples);
+    }
+    out.push_back(advice);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WindowAdvice& a, const WindowAdvice& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+Result<std::size_t> WindowAdvisor::RecommendWindow(
+    std::uint64_t min_samples) const {
+  double best_score = -1.0;
+  std::size_t best_window = 0;
+  for (std::size_t j = 0; j < levels_.size(); ++j) {
+    const LevelStats& stats = levels_[j];
+    if (stats.moments.count() < min_samples) continue;
+    const double score =
+        PeakScore(stats);
+    if (score > best_score) {
+      best_score = score;
+      best_window = window(j);
+    }
+  }
+  if (best_score < 0.0) {
+    return Status::FailedPrecondition(
+        "not enough aggregates observed at any level");
+  }
+  return best_window;
+}
+
+}  // namespace stardust

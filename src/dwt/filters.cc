@@ -1,0 +1,38 @@
+#include "dwt/filters.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stardust {
+
+double WaveletFilter::DeltaAmplitude() const {
+  double min_tap = 0.0;
+  for (double h : lowpass) min_tap = std::min(min_tap, h);
+  return -min_tap;
+}
+
+const WaveletFilter& HaarFilter() {
+  static const WaveletFilter* kFilter = [] {
+    auto* f = new WaveletFilter;
+    f->name = "haar";
+    const double s = 1.0 / std::sqrt(2.0);
+    f->lowpass = {s, s};
+    return f;
+  }();
+  return *kFilter;
+}
+
+const WaveletFilter& Daubechies4Filter() {
+  static const WaveletFilter* kFilter = [] {
+    auto* f = new WaveletFilter;
+    f->name = "db4";
+    const double r3 = std::sqrt(3.0);
+    const double denom = 4.0 * std::sqrt(2.0);
+    f->lowpass = {(1.0 + r3) / denom, (3.0 + r3) / denom,
+                  (3.0 - r3) / denom, (1.0 - r3) / denom};
+    return f;
+  }();
+  return *kFilter;
+}
+
+}  // namespace stardust

@@ -1,0 +1,37 @@
+// Wavelet decomposition filters.
+//
+// The paper's incremental feature computation (Appendix A) is expressed in
+// terms of a low-pass decomposition filter h̃: approximation coefficients at
+// level j+1 are obtained by convolving level-j coefficients with h̃ and
+// downsampling by two (Equations 11-12). Haar is the filter used throughout
+// the paper's experiments; Daubechies-4 is provided to exercise the
+// general-filter path of Lemma A.2 (the amplitude-shift δ trick is only
+// needed when h̃ has negative entries, which Haar does not).
+#ifndef STARDUST_DWT_FILTERS_H_
+#define STARDUST_DWT_FILTERS_H_
+
+#include <string>
+#include <vector>
+
+namespace stardust {
+
+/// A low-pass wavelet decomposition filter.
+struct WaveletFilter {
+  std::string name;
+  /// Low-pass decomposition taps h̃[0..len).
+  std::vector<double> lowpass;
+
+  /// Smallest non-negative amplitude δ such that every entry of h̃ + δ is
+  /// non-negative (Lemma A.2). Zero for filters with non-negative taps.
+  double DeltaAmplitude() const;
+};
+
+/// Haar: h̃ = [1/√2, 1/√2]. All taps non-negative (δ = 0).
+const WaveletFilter& HaarFilter();
+
+/// Daubechies-4: four taps, one negative (δ > 0).
+const WaveletFilter& Daubechies4Filter();
+
+}  // namespace stardust
+
+#endif  // STARDUST_DWT_FILTERS_H_

@@ -1,0 +1,59 @@
+#include "dwt/incremental.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stardust {
+
+std::vector<double> LowpassDownsample(const std::vector<double>& in,
+                                      const WaveletFilter& filter) {
+  SD_CHECK(!in.empty() && in.size() % 2 == 0);
+  const std::size_t n = in.size();
+  const std::size_t half = n / 2;
+  std::vector<double> out(half, 0.0);
+  for (std::size_t k = 0; k < half; ++k) {
+    double acc = 0.0;
+    for (std::size_t m = 0; m < filter.lowpass.size(); ++m) {
+      acc += filter.lowpass[m] * in[(2 * k + m) % n];
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> MergeHalvesHaar(const std::vector<double>& left,
+                                    const std::vector<double>& right,
+                                    double rescale) {
+  SD_CHECK(left.size() == right.size());
+  SD_CHECK(!left.empty());
+  const std::size_t f = left.size();
+  const double scale = rescale / std::sqrt(2.0);
+  std::vector<double> out(f);
+  // Concatenated vector c = [left | right]; Haar low-pass pairs c[2k],
+  // c[2k+1]. Avoid materializing c.
+  auto at = [&](std::size_t i) -> double {
+    return i < f ? left[i] : right[i - f];
+  };
+  for (std::size_t k = 0; k < f; ++k) {
+    out[k] = (at(2 * k) + at(2 * k + 1)) * scale;
+  }
+  return out;
+}
+
+std::vector<double> MergeHalves(const std::vector<double>& left,
+                                const std::vector<double>& right,
+                                const WaveletFilter& filter, double rescale) {
+  SD_CHECK(left.size() == right.size());
+  std::vector<double> concat;
+  concat.reserve(left.size() * 2);
+  concat.insert(concat.end(), left.begin(), left.end());
+  concat.insert(concat.end(), right.begin(), right.end());
+  std::vector<double> out = LowpassDownsample(concat, filter);
+  if (rescale != 1.0) {
+    for (double& v : out) v *= rescale;
+  }
+  return out;
+}
+
+}  // namespace stardust

@@ -1,0 +1,47 @@
+// Incremental cross-resolution feature computation (Lemma A.1).
+//
+// The level-j feature of window x[t-w+1 : t] is computed exactly from the
+// level-(j-1) features of the two halves x[t-w+1 : t-w/2] and
+// x[t-w/2+1 : t]: concatenating the two length-f approximation vectors
+// yields the 2f approximation coefficients of the whole window one depth
+// finer, and a single low-pass + downsample step produces the length-f
+// approximation at level j. This is the "compute higher-level features from
+// lower-level features" single-pass scheme of Figure 1(b).
+#ifndef STARDUST_DWT_INCREMENTAL_H_
+#define STARDUST_DWT_INCREMENTAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dwt/filters.h"
+
+namespace stardust {
+
+/// One periodized low-pass decomposition step: convolve with `filter` and
+/// downsample by two. |in| must be even; output has |in| / 2 entries.
+/// out[n] = Σ_m h̃[m] · in[(2n + m) mod |in|].
+std::vector<double> LowpassDownsample(const std::vector<double>& in,
+                                      const WaveletFilter& filter);
+
+/// Lemma A.1 for Haar: merges the approximation vectors of the two halves
+/// of a window into the approximation vector of the whole window at the
+/// same output length f. `left` and `right` must have equal size f.
+///
+/// `rescale` multiplies the merged coefficients; pass 1.0 for raw windows.
+/// When features are unit-hypersphere normalized (Equation 2 divides by
+/// √w·R_max), the normalization factor of the doubled window differs by √2
+/// from the halves', so pass 1/√2 to keep features normalized per level.
+std::vector<double> MergeHalvesHaar(const std::vector<double>& left,
+                                    const std::vector<double>& right,
+                                    double rescale = 1.0);
+
+/// General-filter version of the half merge: concatenate then one
+/// periodized low-pass step with `filter`, scaled by `rescale`.
+std::vector<double> MergeHalves(const std::vector<double>& left,
+                                const std::vector<double>& right,
+                                const WaveletFilter& filter,
+                                double rescale = 1.0);
+
+}  // namespace stardust
+
+#endif  // STARDUST_DWT_INCREMENTAL_H_

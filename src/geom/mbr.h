@@ -1,0 +1,101 @@
+// Minimum bounding rectangles in f-dimensional feature space.
+//
+// MBRs are the central approximation object of the paper: every box of c
+// consecutive features at a resolution level is summarized by its MBR
+// (Section 4, Figure 1(c)), and all approximate feature computation
+// (Lemma 4.2 / Lemma A.2) is interval arithmetic on MBR extents.
+#ifndef STARDUST_GEOM_MBR_H_
+#define STARDUST_GEOM_MBR_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace stardust {
+
+/// A point in f-dimensional feature space.
+using Point = std::vector<double>;
+
+/// Axis-aligned box with `dims()` dimensions. An empty MBR (containing no
+/// points) has inverted extents and reports empty() == true.
+class Mbr {
+ public:
+  Mbr() = default;
+
+  /// An empty MBR of the given dimensionality.
+  explicit Mbr(std::size_t dims)
+      : lo_(dims, std::numeric_limits<double>::infinity()),
+        hi_(dims, -std::numeric_limits<double>::infinity()) {}
+
+  /// A box with explicit extents. Requires lo.size() == hi.size() and
+  /// lo[d] <= hi[d] for all d.
+  Mbr(Point lo, Point hi);
+
+  /// The degenerate box containing exactly one point.
+  static Mbr FromPoint(const Point& p);
+
+  std::size_t dims() const { return lo_.size(); }
+  bool empty() const;
+
+  double lo(std::size_t d) const { return lo_[d]; }
+  double hi(std::size_t d) const { return hi_[d]; }
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  /// Center of the box (midpoint per dimension). Requires !empty().
+  Point Center() const;
+
+  /// Grows the box to include the point / other box.
+  void Expand(const Point& p);
+  void Expand(const Mbr& other);
+
+  /// Grows the box by `delta` on both sides of every dimension.
+  void Inflate(double delta);
+
+  /// Product of extents. Zero-width dimensions contribute factor 0.
+  double Area() const;
+
+  /// Sum of extents over all dimensions (the R*-tree "margin").
+  double Margin() const;
+
+  /// Area of the intersection with `other`; 0 if disjoint.
+  double OverlapArea(const Mbr& other) const;
+
+  /// Area(this ∪ {p or other}) - Area(this).
+  double Enlargement(const Point& p) const;
+  double Enlargement(const Mbr& other) const;
+
+  bool Intersects(const Mbr& other) const;
+  bool Contains(const Point& p) const;
+  bool Contains(const Mbr& other) const;
+
+  /// Minimum squared L2 distance from point `p` to this box
+  /// (0 if p is inside). This is d_min^2 of the paper's Section 5.2.
+  double MinDist2(const Point& p) const;
+
+  /// Minimum squared L2 distance between two boxes (0 if they intersect).
+  double MinDist2(const Mbr& other) const;
+
+  /// Maximum squared L2 distance from point `p` to any point in this box.
+  double MaxDist2(const Point& p) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Mbr& a, const Mbr& b) {
+    return a.lo_ == b.lo_ && a.hi_ == b.hi_;
+  }
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+/// Squared L2 distance between equal-dimension points.
+double Dist2(const Point& a, const Point& b);
+
+}  // namespace stardust
+
+#endif  // STARDUST_GEOM_MBR_H_

@@ -1,0 +1,723 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stardust {
+
+struct RTree::Node {
+  /// 0 for leaves; an internal node at level L holds children at level L-1.
+  std::size_t level = 0;
+
+  struct Slot {
+    Mbr box;
+    RecordId id = 0;               // meaningful at level 0
+    std::unique_ptr<Node> child;   // non-null above level 0
+  };
+
+  std::vector<Slot> slots;
+
+  bool IsLeaf() const { return level == 0; }
+
+  Mbr BoundingBox(std::size_t dims) const {
+    Mbr box(dims);
+    for (const auto& s : slots) box.Expand(s.box);
+    return box;
+  }
+};
+
+namespace {
+
+/// Resolved option values (fills the computed defaults).
+struct Params {
+  std::size_t max_entries;
+  std::size_t min_entries;
+  std::size_t reinsert_entries;
+};
+
+Params Resolve(const RTreeOptions& options) {
+  Params p;
+  p.max_entries = std::max<std::size_t>(4, options.max_entries);
+  p.min_entries = options.min_entries != 0
+                      ? options.min_entries
+                      : std::max<std::size_t>(2, (p.max_entries * 2) / 5);
+  SD_CHECK(p.min_entries * 2 <= p.max_entries + 1);
+  p.reinsert_entries =
+      options.reinsert_entries != 0
+          ? options.reinsert_entries
+          : std::max<std::size_t>(1, (p.max_entries * 3) / 10);
+  SD_CHECK(p.reinsert_entries < p.max_entries);
+  return p;
+}
+
+}  // namespace
+
+RTree::RTree(std::size_t dims, RTreeOptions options)
+    : dims_(dims), options_(options), root_(std::make_unique<Node>()) {
+  SD_CHECK(dims > 0);
+  const Params p = Resolve(options_);
+  options_.max_entries = p.max_entries;
+  options_.min_entries = p.min_entries;
+  options_.reinsert_entries = p.reinsert_entries;
+}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+std::size_t RTree::height() const { return root_->level + 1; }
+
+// ---------------------------------------------------------------------------
+// Insertion
+// ---------------------------------------------------------------------------
+
+RTree::Node* RTree::ChooseSubtree(const Mbr& box, std::size_t target_level,
+                                  std::vector<Node*>* path) {
+  Node* node = root_.get();
+  path->push_back(node);
+  while (node->level > target_level) {
+    std::size_t best = 0;
+    if (node->level == target_level + 1 && node->level == 1) {
+      // Children are leaves: minimize overlap enlargement
+      // (ties: area enlargement, then area).
+      double best_overlap = std::numeric_limits<double>::infinity();
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < node->slots.size(); ++i) {
+        Mbr grown = node->slots[i].box;
+        grown.Expand(box);
+        double overlap_delta = 0.0;
+        for (std::size_t j = 0; j < node->slots.size(); ++j) {
+          if (j == i) continue;
+          overlap_delta += grown.OverlapArea(node->slots[j].box) -
+                           node->slots[i].box.OverlapArea(node->slots[j].box);
+        }
+        const double enlarge = node->slots[i].box.Enlargement(box);
+        const double area = node->slots[i].box.Area();
+        if (overlap_delta < best_overlap ||
+            (overlap_delta == best_overlap &&
+             (enlarge < best_enlarge ||
+              (enlarge == best_enlarge && area < best_area)))) {
+          best_overlap = overlap_delta;
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    } else {
+      // Minimize area enlargement (ties: area).
+      double best_enlarge = std::numeric_limits<double>::infinity();
+      double best_area = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < node->slots.size(); ++i) {
+        const double enlarge = node->slots[i].box.Enlargement(box);
+        const double area = node->slots[i].box.Area();
+        if (enlarge < best_enlarge ||
+            (enlarge == best_enlarge && area < best_area)) {
+          best_enlarge = enlarge;
+          best_area = area;
+          best = i;
+        }
+      }
+    }
+    node = node->slots[best].child.get();
+    path->push_back(node);
+  }
+  return node;
+}
+
+void RTree::AdjustBoxesUpward(std::vector<Node*>& path) {
+  // Recompute each parent slot box bottom-up.
+  for (std::size_t i = path.size(); i-- > 1;) {
+    Node* child = path[i];
+    Node* parent = path[i - 1];
+    for (auto& slot : parent->slots) {
+      if (slot.child.get() == child) {
+        slot.box = child->BoundingBox(dims_);
+        break;
+      }
+    }
+  }
+}
+
+void RTree::InsertEntry(const Mbr& box, RecordId id,
+                        std::unique_ptr<Node> child, std::size_t target_level,
+                        std::vector<bool>* reinserted) {
+  SD_CHECK(root_->level >= target_level);
+  std::vector<Node*> path;
+  Node* node = ChooseSubtree(box, target_level, &path);
+  Node::Slot slot;
+  slot.box = box;
+  slot.id = id;
+  slot.child = std::move(child);
+  node->slots.push_back(std::move(slot));
+  AdjustBoxesUpward(path);
+  if (node->slots.size() > options_.max_entries) {
+    HandleOverflow(node, path, reinserted);
+  }
+}
+
+void RTree::HandleOverflow(Node* node, std::vector<Node*>& path,
+                           std::vector<bool>* reinserted) {
+  const bool is_root = (node == root_.get());
+  if (!is_root && node->level < reinserted->size() &&
+      !(*reinserted)[node->level]) {
+    (*reinserted)[node->level] = true;
+    Reinsert(node, path, reinserted);
+  } else {
+    SplitNode(node, path);
+  }
+}
+
+void RTree::Reinsert(Node* node, std::vector<Node*>& path,
+                     std::vector<bool>* reinserted) {
+  const Point center = node->BoundingBox(dims_).Center();
+  // Sort entries by distance of their box center to the node center,
+  // descending ("far reinsert").
+  std::vector<std::size_t> order(node->slots.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> dist(node->slots.size());
+  for (std::size_t i = 0; i < node->slots.size(); ++i) {
+    dist[i] = Dist2(node->slots[i].box.Center(), center);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return dist[a] > dist[b]; });
+
+  const std::size_t p = options_.reinsert_entries;
+  std::vector<Node::Slot> removed;
+  removed.reserve(p);
+  std::vector<bool> take(node->slots.size(), false);
+  for (std::size_t i = 0; i < p; ++i) take[order[i]] = true;
+  std::vector<Node::Slot> kept;
+  kept.reserve(node->slots.size() - p);
+  for (std::size_t i = 0; i < node->slots.size(); ++i) {
+    if (take[i]) {
+      removed.push_back(std::move(node->slots[i]));
+    } else {
+      kept.push_back(std::move(node->slots[i]));
+    }
+  }
+  node->slots = std::move(kept);
+  AdjustBoxesUpward(path);
+
+  const std::size_t target_level = node->level;
+  for (auto& slot : removed) {
+    InsertEntry(slot.box, slot.id, std::move(slot.child), target_level,
+                reinserted);
+  }
+}
+
+std::vector<std::size_t> RTree::ChooseSplitRStar(const Node& node) const {
+  const std::size_t m = options_.min_entries;
+  const std::size_t total = node.slots.size();
+
+  // R* ChooseSplitAxis: for every axis, sort by lo and by hi and sum the
+  // margins of all legal distributions; pick the axis with minimal sum.
+  std::size_t best_axis = 0;
+  bool best_axis_by_hi = false;
+  double best_margin_sum = std::numeric_limits<double>::infinity();
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  std::size_t best_split = m;
+
+  std::vector<std::size_t> order(total);
+  for (std::size_t axis = 0; axis < dims_; ++axis) {
+    for (int by_hi = 0; by_hi < 2; ++by_hi) {
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const Mbr& ba = node.slots[a].box;
+        const Mbr& bb = node.slots[b].box;
+        return by_hi ? ba.hi(axis) < bb.hi(axis) : ba.lo(axis) < bb.lo(axis);
+      });
+      // Prefix / suffix bounding boxes.
+      std::vector<Mbr> prefix(total, Mbr(dims_));
+      std::vector<Mbr> suffix(total, Mbr(dims_));
+      Mbr acc(dims_);
+      for (std::size_t i = 0; i < total; ++i) {
+        acc.Expand(node.slots[order[i]].box);
+        prefix[i] = acc;
+      }
+      acc = Mbr(dims_);
+      for (std::size_t i = total; i-- > 0;) {
+        acc.Expand(node.slots[order[i]].box);
+        suffix[i] = acc;
+      }
+      double margin_sum = 0.0;
+      for (std::size_t k = m; k + m <= total; ++k) {
+        margin_sum += prefix[k - 1].Margin() + suffix[k].Margin();
+      }
+      // Track the best distribution under this sort for later use.
+      for (std::size_t k = m; k + m <= total; ++k) {
+        const double overlap = prefix[k - 1].OverlapArea(suffix[k]);
+        const double area = prefix[k - 1].Area() + suffix[k].Area();
+        if (margin_sum < best_margin_sum ||
+            (margin_sum == best_margin_sum &&
+             (overlap < best_overlap ||
+              (overlap == best_overlap && area < best_area)))) {
+          best_margin_sum = margin_sum;
+          best_overlap = overlap;
+          best_area = area;
+          best_axis = axis;
+          best_axis_by_hi = by_hi != 0;
+          best_split = k;
+        }
+      }
+    }
+  }
+
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const Mbr& ba = node.slots[a].box;
+    const Mbr& bb = node.slots[b].box;
+    return best_axis_by_hi ? ba.hi(best_axis) < bb.hi(best_axis)
+                           : ba.lo(best_axis) < bb.lo(best_axis);
+  });
+  return std::vector<std::size_t>(order.begin() + best_split, order.end());
+}
+
+std::vector<std::size_t> RTree::ChooseSplitQuadratic(const Node& node) const {
+  const std::size_t m = options_.min_entries;
+  const std::size_t total = node.slots.size();
+
+  // PickSeeds: the pair wasting the most area together.
+  std::size_t seed_a = 0, seed_b = 1;
+  double worst_waste = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t j = i + 1; j < total; ++j) {
+      Mbr joint = node.slots[i].box;
+      joint.Expand(node.slots[j].box);
+      const double waste = joint.Area() - node.slots[i].box.Area() -
+                           node.slots[j].box.Area();
+      if (waste > worst_waste) {
+        worst_waste = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Mbr box_a = node.slots[seed_a].box;
+  Mbr box_b = node.slots[seed_b].box;
+  std::vector<std::size_t> group_a{seed_a}, group_b{seed_b};
+  std::vector<bool> assigned(total, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  std::size_t remaining = total - 2;
+
+  while (remaining > 0) {
+    // Force-assign when one group must take everything left to reach m.
+    if (group_a.size() + remaining == m) {
+      for (std::size_t i = 0; i < total; ++i) {
+        if (!assigned[i]) {
+          group_a.push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (group_b.size() + remaining == m) {
+      for (std::size_t i = 0; i < total; ++i) {
+        if (!assigned[i]) {
+          group_b.push_back(i);
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // PickNext: the entry with the strongest preference.
+    std::size_t pick = 0;
+    double best_diff = -1.0;
+    double pick_da = 0.0, pick_db = 0.0;
+    for (std::size_t i = 0; i < total; ++i) {
+      if (assigned[i]) continue;
+      const double da = box_a.Enlargement(node.slots[i].box);
+      const double db = box_b.Enlargement(node.slots[i].box);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        pick = i;
+        pick_da = da;
+        pick_db = db;
+      }
+    }
+    const bool to_a =
+        pick_da < pick_db ||
+        (pick_da == pick_db && group_a.size() <= group_b.size());
+    if (to_a) {
+      group_a.push_back(pick);
+      box_a.Expand(node.slots[pick].box);
+    } else {
+      group_b.push_back(pick);
+      box_b.Expand(node.slots[pick].box);
+    }
+    assigned[pick] = true;
+    --remaining;
+  }
+  return group_b;
+}
+
+void RTree::SplitNode(Node* node, std::vector<Node*>& path) {
+  [[maybe_unused]] const std::size_t m = options_.min_entries;
+  const std::size_t total = node->slots.size();
+  SD_DCHECK(total >= 2 * m);
+
+  const std::vector<std::size_t> second_group =
+      options_.split_policy == SplitPolicy::kQuadratic
+          ? ChooseSplitQuadratic(*node)
+          : ChooseSplitRStar(*node);
+  SD_DCHECK(second_group.size() >= m);
+  SD_DCHECK(total - second_group.size() >= m);
+
+  std::vector<bool> to_sibling(total, false);
+  for (std::size_t i : second_group) to_sibling[i] = true;
+  auto sibling = std::make_unique<Node>();
+  sibling->level = node->level;
+  std::vector<Node::Slot> first_group;
+  first_group.reserve(total - second_group.size());
+  for (std::size_t i = 0; i < total; ++i) {
+    if (to_sibling[i]) {
+      sibling->slots.push_back(std::move(node->slots[i]));
+    } else {
+      first_group.push_back(std::move(node->slots[i]));
+    }
+  }
+  node->slots = std::move(first_group);
+
+  if (node == root_.get()) {
+    auto new_root = std::make_unique<Node>();
+    new_root->level = node->level + 1;
+    Node::Slot left;
+    left.box = node->BoundingBox(dims_);
+    left.child = std::move(root_);
+    Node::Slot right;
+    right.box = sibling->BoundingBox(dims_);
+    right.child = std::move(sibling);
+    new_root->slots.push_back(std::move(left));
+    new_root->slots.push_back(std::move(right));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  // Attach the sibling to the parent; the parent may overflow in turn.
+  SD_DCHECK(path.size() >= 2 && path.back() == node);
+  Node* parent = path[path.size() - 2];
+  Node::Slot slot;
+  slot.box = sibling->BoundingBox(dims_);
+  slot.child = std::move(sibling);
+  parent->slots.push_back(std::move(slot));
+  // Refresh the split node's box in the parent.
+  for (auto& s : parent->slots) {
+    if (s.child.get() == node) {
+      s.box = node->BoundingBox(dims_);
+      break;
+    }
+  }
+  path.pop_back();
+  AdjustBoxesUpward(path);
+  if (parent->slots.size() > options_.max_entries) {
+    // Forced reinsert already happened (or the parent is the root): split.
+    SplitNode(parent, path);
+  }
+}
+
+Status RTree::Insert(const Mbr& box, RecordId id) {
+  if (box.dims() != dims_) {
+    return Status::InvalidArgument("box dimensionality mismatch");
+  }
+  if (box.empty()) {
+    return Status::InvalidArgument("cannot index an empty box");
+  }
+  std::vector<bool> reinserted(root_->level + 1, false);
+  InsertEntry(box, id, nullptr, 0, &reinserted);
+  ++size_;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Deletion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Finds the leaf containing (box, id); fills `path` root..leaf.
+bool FindLeafImpl(RTree::Node* node, const Mbr& box, RecordId id,
+                  std::vector<RTree::Node*>* path, std::size_t* slot_index) {
+  path->push_back(node);
+  if (node->IsLeaf()) {
+    for (std::size_t i = 0; i < node->slots.size(); ++i) {
+      if (node->slots[i].id == id && node->slots[i].box == box) {
+        *slot_index = i;
+        return true;
+      }
+    }
+    path->pop_back();
+    return false;
+  }
+  for (auto& slot : node->slots) {
+    if (slot.box.Contains(box)) {
+      if (FindLeafImpl(slot.child.get(), box, id, path, slot_index)) {
+        return true;
+      }
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+}  // namespace
+
+Status RTree::Delete(const Mbr& box, RecordId id) {
+  if (box.dims() != dims_) {
+    return Status::InvalidArgument("box dimensionality mismatch");
+  }
+  std::vector<Node*> path;
+  std::size_t slot_index = 0;
+  if (!FindLeafImpl(root_.get(), box, id, &path, &slot_index)) {
+    return Status::NotFound("record not present");
+  }
+  Node* leaf = path.back();
+  leaf->slots.erase(leaf->slots.begin() +
+                    static_cast<std::ptrdiff_t>(slot_index));
+  --size_;
+
+  // Condense: dissolve underfull nodes bottom-up and collect their entries
+  // (with the level they must re-enter at).
+  std::vector<std::pair<Node::Slot, std::size_t>> orphans;
+  for (std::size_t i = path.size(); i-- > 1;) {
+    Node* node = path[i];
+    Node* parent = path[i - 1];
+    if (node->slots.size() < options_.min_entries) {
+      for (auto& slot : node->slots) {
+        orphans.emplace_back(std::move(slot), node->level);
+      }
+      for (std::size_t j = 0; j < parent->slots.size(); ++j) {
+        if (parent->slots[j].child.get() == node) {
+          parent->slots.erase(parent->slots.begin() +
+                              static_cast<std::ptrdiff_t>(j));
+          break;
+        }
+      }
+    } else {
+      for (auto& slot : parent->slots) {
+        if (slot.child.get() == node) {
+          slot.box = node->BoundingBox(dims_);
+          break;
+        }
+      }
+    }
+  }
+
+  // Shrink the root while it is an internal node with a single child.
+  while (!root_->IsLeaf() && root_->slots.size() == 1) {
+    root_ = std::move(root_->slots[0].child);
+  }
+  if (!root_->IsLeaf() && root_->slots.empty()) {
+    root_ = std::make_unique<Node>();
+  }
+
+  // Reinsert orphaned entries, highest levels first so subtrees have a home.
+  std::sort(orphans.begin(), orphans.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  for (auto& [slot, level] : orphans) {
+    if (slot.child == nullptr) {
+      std::vector<bool> reinserted(root_->level + 1, false);
+      InsertEntry(slot.box, slot.id, nullptr, 0, &reinserted);
+    } else if (slot.child->level + 1 > root_->level) {
+      // The tree shrank below this subtree's height: splice its entries.
+      std::vector<Node::Slot> pending;
+      for (auto& s : slot.child->slots) {
+        pending.push_back(std::move(s));
+      }
+      for (auto& s : pending) {
+        std::vector<bool> reinserted(root_->level + 1, false);
+        if (s.child == nullptr) {
+          InsertEntry(s.box, s.id, nullptr, 0, &reinserted);
+        } else {
+          const std::size_t target = s.child->level + 1;
+          InsertEntry(s.box, 0, std::move(s.child), target, &reinserted);
+        }
+      }
+    } else {
+      std::vector<bool> reinserted(root_->level + 1, false);
+      const std::size_t target = slot.child->level + 1;
+      InsertEntry(slot.box, 0, std::move(slot.child), target, &reinserted);
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void SearchIntersectsImpl(const RTree::Node* node, const Mbr& query,
+                          std::vector<RTreeEntry>* out) {
+  for (const auto& slot : node->slots) {
+    if (!slot.box.Intersects(query)) continue;
+    if (node->IsLeaf()) {
+      out->push_back({slot.box, slot.id});
+    } else {
+      SearchIntersectsImpl(slot.child.get(), query, out);
+    }
+  }
+}
+
+void SearchWithinImpl(const RTree::Node* node, const Point& q, double r2,
+                      std::vector<RTreeEntry>* out) {
+  for (const auto& slot : node->slots) {
+    if (slot.box.MinDist2(q) > r2) continue;
+    if (node->IsLeaf()) {
+      out->push_back({slot.box, slot.id});
+    } else {
+      SearchWithinImpl(slot.child.get(), q, r2, out);
+    }
+  }
+}
+
+void SearchBoxWithinImpl(const RTree::Node* node, const Mbr& query, double r2,
+                         std::vector<RTreeEntry>* out) {
+  for (const auto& slot : node->slots) {
+    if (slot.box.MinDist2(query) > r2) continue;
+    if (node->IsLeaf()) {
+      out->push_back({slot.box, slot.id});
+    } else {
+      SearchBoxWithinImpl(slot.child.get(), query, r2, out);
+    }
+  }
+}
+
+void ForEachImpl(const RTree::Node* node,
+                 const std::function<void(const RTreeEntry&)>& fn) {
+  for (const auto& slot : node->slots) {
+    if (node->IsLeaf()) {
+      fn({slot.box, slot.id});
+    } else {
+      ForEachImpl(slot.child.get(), fn);
+    }
+  }
+}
+
+}  // namespace
+
+void RTree::SearchIntersects(const Mbr& query,
+                             std::vector<RTreeEntry>* out) const {
+  SD_CHECK(query.dims() == dims_);
+  SearchIntersectsImpl(root_.get(), query, out);
+}
+
+void RTree::SearchWithin(const Point& q, double radius,
+                         std::vector<RTreeEntry>* out) const {
+  SD_CHECK(q.size() == dims_);
+  SD_CHECK(radius >= 0.0);
+  SearchWithinImpl(root_.get(), q, radius * radius, out);
+}
+
+void RTree::SearchBoxWithin(const Mbr& query, double radius,
+                            std::vector<RTreeEntry>* out) const {
+  SD_CHECK(query.dims() == dims_);
+  SD_CHECK(radius >= 0.0);
+  SearchBoxWithinImpl(root_.get(), query, radius * radius, out);
+}
+
+void RTree::ForEach(const std::function<void(const RTreeEntry&)>& fn) const {
+  ForEachImpl(root_.get(), fn);
+}
+
+void RTree::SearchKNearest(const Point& q, std::size_t k,
+                           std::vector<RTreeEntry>* out) const {
+  out->clear();
+  if (k == 0 || size_ == 0) return;
+  SD_CHECK(q.size() == dims_);
+  // Best-first search: a min-heap of nodes and leaf records keyed by
+  // MinDist². A record popped from the heap is closer than everything
+  // still enqueued, so the first k popped records are the answer.
+  struct Item {
+    double dist2;
+    const Node* node;       // non-null for subtree items
+    const Node::Slot* slot; // non-null for leaf-record items
+  };
+  struct Cmp {
+    bool operator()(const Item& a, const Item& b) const {
+      return a.dist2 > b.dist2;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Cmp> heap;
+  heap.push({0.0, root_.get(), nullptr});
+  while (!heap.empty() && out->size() < k) {
+    const Item item = heap.top();
+    heap.pop();
+    if (item.slot != nullptr) {
+      out->push_back({item.slot->box, item.slot->id});
+      continue;
+    }
+    for (const auto& slot : item.node->slots) {
+      if (item.node->IsLeaf()) {
+        heap.push({slot.box.MinDist2(q), nullptr, &slot});
+      } else {
+        heap.push({slot.box.MinDist2(q), slot.child.get(), nullptr});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status CheckNode(const RTree::Node* node, std::size_t dims,
+                 const RTreeOptions& options, bool is_root,
+                 std::size_t* record_count) {
+  if (!is_root && node->slots.size() < options.min_entries) {
+    return Status::Internal("underfull node");
+  }
+  if (node->slots.size() > options.max_entries) {
+    return Status::Internal("overfull node");
+  }
+  for (const auto& slot : node->slots) {
+    if (node->IsLeaf()) {
+      if (slot.child != nullptr) {
+        return Status::Internal("leaf slot has a child");
+      }
+      ++*record_count;
+    } else {
+      if (slot.child == nullptr) {
+        return Status::Internal("internal slot missing child");
+      }
+      if (slot.child->level + 1 != node->level) {
+        return Status::Internal("level mismatch between parent and child");
+      }
+      const Mbr expect = slot.child->BoundingBox(dims);
+      if (!(slot.box == expect)) {
+        return Status::Internal("parent slot box does not match child");
+      }
+      SD_RETURN_NOT_OK(
+          CheckNode(slot.child.get(), dims, options, false, record_count));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RTree::CheckInvariants() const {
+  std::size_t record_count = 0;
+  SD_RETURN_NOT_OK(
+      CheckNode(root_.get(), dims_, options_, true, &record_count));
+  if (record_count != size_) {
+    std::ostringstream os;
+    os << "size mismatch: counted " << record_count << ", tracked " << size_;
+    return Status::Internal(os.str());
+  }
+  return Status::OK();
+}
+
+}  // namespace stardust

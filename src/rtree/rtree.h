@@ -1,0 +1,142 @@
+// R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990).
+//
+// The paper indexes the MBRs of every resolution level in "the R*-Tree
+// family of index structures" (Section 4). This is a from-scratch, in-memory
+// R*-tree with the full R* insertion heuristics:
+//   - ChooseSubtree: minimum overlap enlargement at the leaf level, minimum
+//     area enlargement above it;
+//   - OverflowTreatment: forced reinsertion of the p entries farthest from
+//     the node center on the first overflow per level per insertion;
+//   - R* split: axis chosen by minimum margin sum, distribution chosen by
+//     minimum overlap (ties broken by area).
+// Deletion condenses the tree (underfull nodes are dissolved and their
+// entries reinserted), which Stardust uses to expire features that fall out
+// of the history of interest.
+#ifndef STARDUST_RTREE_RTREE_H_
+#define STARDUST_RTREE_RTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "geom/mbr.h"
+
+namespace stardust {
+
+/// Opaque identifier of an indexed record. Stardust encodes
+/// (stream id, box sequence number) pairs into it.
+using RecordId = std::uint64_t;
+
+/// A leaf-level record: a box and its identifier.
+struct RTreeEntry {
+  Mbr box;
+  RecordId id = 0;
+};
+
+/// Node split algorithm. The paper indexes with "the R*-tree family";
+/// the classic Guttman quadratic split is provided as an ablation and a
+/// faster-build alternative.
+enum class SplitPolicy {
+  /// Beckmann et al.: axis by margin sum, distribution by overlap.
+  kRStar,
+  /// Guttman 1984: quadratic seed picking + greedy assignment.
+  kQuadratic,
+};
+
+/// Tuning knobs. Defaults follow the R*-tree paper (m = 40% of M,
+/// p = 30% of M reinserted on overflow).
+struct RTreeOptions {
+  std::size_t max_entries = 32;
+  /// Computed as max(2, 0.4 * max_entries) when zero.
+  std::size_t min_entries = 0;
+  /// Computed as max(1, 0.3 * max_entries) when zero.
+  std::size_t reinsert_entries = 0;
+  SplitPolicy split_policy = SplitPolicy::kRStar;
+};
+
+/// Dynamic R*-tree over f-dimensional MBRs. Not thread-safe; Stardust
+/// serializes maintenance and queries per level.
+class RTree {
+ public:
+  /// Tree node; defined in the implementation file. Public only so that
+  /// internal helper functions can name it — not part of the stable API.
+  struct Node;
+
+  /// Creates a tree for boxes of dimensionality `dims`.
+  RTree(std::size_t dims, RTreeOptions options = {});
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  std::size_t dims() const { return dims_; }
+  /// Number of records currently indexed.
+  std::size_t size() const { return size_; }
+  /// Height of the tree; 1 when only a root leaf exists.
+  std::size_t height() const;
+
+  /// Inserts a record. `box` must be non-empty and of dims() dimensions.
+  Status Insert(const Mbr& box, RecordId id);
+
+  /// Removes the record with the given id whose stored box equals `box`.
+  /// Returns NotFound if no such record exists.
+  Status Delete(const Mbr& box, RecordId id);
+
+  /// Collects all records whose box intersects `query`.
+  void SearchIntersects(const Mbr& query,
+                        std::vector<RTreeEntry>* out) const;
+
+  /// Collects all records whose box has MinDist(center) <= radius — the
+  /// candidate set of a range query with center `q` and radius `radius`
+  /// (every box possibly containing a feature within `radius` of q).
+  void SearchWithin(const Point& q, double radius,
+                    std::vector<RTreeEntry>* out) const;
+
+  /// Collects all records whose box is within MinDist <= radius of the
+  /// query box (box-to-box range query used by Algorithm 4).
+  void SearchBoxWithin(const Mbr& query, double radius,
+                       std::vector<RTreeEntry>* out) const;
+
+  /// The k records with smallest MinDist to `q` (best-first branch and
+  /// bound, Roussopoulos et al. — the paper's reference [17]), sorted by
+  /// ascending distance. Returns fewer than k when the tree is smaller.
+  void SearchKNearest(const Point& q, std::size_t k,
+                      std::vector<RTreeEntry>* out) const;
+
+  /// Invokes `fn` on every stored record (tree order).
+  void ForEach(const std::function<void(const RTreeEntry&)>& fn) const;
+
+  /// Verifies structural invariants (entry counts, parent boxes covering
+  /// children, uniform leaf depth). Used by property tests; returns a
+  /// failure description on violation.
+  Status CheckInvariants() const;
+
+ private:
+  void InsertEntry(const Mbr& box, RecordId id, std::unique_ptr<Node> child,
+                   std::size_t target_level, std::vector<bool>* reinserted);
+  Node* ChooseSubtree(const Mbr& box, std::size_t target_level,
+                      std::vector<Node*>* path);
+  void HandleOverflow(Node* node, std::vector<Node*>& path,
+                      std::vector<bool>* reinserted);
+  void SplitNode(Node* node, std::vector<Node*>& path);
+  /// Partitions an overfull node's slots; returns the second group.
+  std::vector<std::size_t> ChooseSplitRStar(const Node& node) const;
+  std::vector<std::size_t> ChooseSplitQuadratic(const Node& node) const;
+  void Reinsert(Node* node, std::vector<Node*>& path,
+                std::vector<bool>* reinserted);
+  void AdjustBoxesUpward(std::vector<Node*>& path);
+
+  std::size_t dims_;
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_RTREE_RTREE_H_

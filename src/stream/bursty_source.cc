@@ -1,0 +1,65 @@
+#include "stream/bursty_source.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stardust {
+
+BurstySource::BurstySource(std::uint64_t seed, BurstySourceOptions options)
+    : rng_(seed), options_(options) {
+  SD_CHECK(options_.background_rate > 0.0);
+  SD_CHECK(options_.mean_burst_gap > 0.0);
+  SD_CHECK(options_.min_burst_duration >= 1.0);
+  SD_CHECK(options_.max_burst_duration >= options_.min_burst_duration);
+  next_burst_in_ = static_cast<std::int64_t>(
+      std::ceil(rng_.NextExponential(1.0 / options_.mean_burst_gap)));
+}
+
+double BurstySource::PoissonSample(double mean) {
+  // Knuth's method for small means; Gaussian approximation for large ones.
+  if (mean > 64.0) {
+    const double v = mean + std::sqrt(mean) * rng_.NextGaussian();
+    return std::max(0.0, std::round(v));
+  }
+  const double limit = std::exp(-mean);
+  double product = rng_.NextDouble();
+  double count = 0.0;
+  while (product > limit) {
+    product *= rng_.NextDouble();
+    count += 1.0;
+  }
+  return count;
+}
+
+void BurstySource::MaybeStartBurst() {
+  if (burst_remaining_ > 0) return;
+  if (--next_burst_in_ > 0) return;
+  // Log-uniform duration across the configured decades.
+  const double log_min = std::log(options_.min_burst_duration);
+  const double log_max = std::log(options_.max_burst_duration);
+  const double duration = std::exp(rng_.NextDouble(log_min, log_max));
+  burst_remaining_ = static_cast<std::int64_t>(std::ceil(duration));
+  const double boost =
+      rng_.NextDouble(options_.min_burst_boost, options_.max_burst_boost);
+  // Attenuate long bursts: intensity falls with √duration so long bursts
+  // are visible only when summed over long windows.
+  const double atten =
+      std::sqrt(options_.min_burst_duration / duration);
+  burst_rate_ = options_.background_rate * (boost - 1.0) *
+                std::max(atten, 0.05);
+  next_burst_in_ = static_cast<std::int64_t>(
+      std::ceil(rng_.NextExponential(1.0 / options_.mean_burst_gap)));
+}
+
+double BurstySource::Next() {
+  MaybeStartBurst();
+  double rate = options_.background_rate;
+  if (burst_remaining_ > 0) {
+    rate += burst_rate_;
+    --burst_remaining_;
+  }
+  return PoissonSample(rate);
+}
+
+}  // namespace stardust

@@ -1,0 +1,58 @@
+// Synthetic substitute for the UCR `burst.dat` series (see DESIGN.md §2).
+//
+// Models an event-count stream such as a Gamma-Ray-Burst photon detector
+// (paper, Introduction): a noisy Poisson-like background plus occasional
+// bursts whose durations span several orders of magnitude, so that
+// different bursts are only detectable at different monitoring timescales —
+// the property that motivates multi-resolution aggregate monitoring.
+#ifndef STARDUST_STREAM_BURSTY_SOURCE_H_
+#define STARDUST_STREAM_BURSTY_SOURCE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace stardust {
+
+/// Tuning for the bursty event source.
+struct BurstySourceOptions {
+  /// Mean of the background event count per tick.
+  double background_rate = 10.0;
+  /// Mean gap (ticks) between burst onsets.
+  double mean_burst_gap = 400.0;
+  /// Burst durations are log-uniform in [min, max] ticks, covering the
+  /// "milliseconds to days" spread of timescales at trace resolution.
+  double min_burst_duration = 8.0;
+  double max_burst_duration = 1200.0;
+  /// Burst intensity as a multiple of the background rate, uniform in
+  /// [min, max]. Long bursts are attenuated (energy roughly conserved) so
+  /// that short bursts are sharp and long bursts are shallow.
+  double min_burst_boost = 1.5;
+  double max_burst_boost = 6.0;
+};
+
+/// Event-count stream: background + injected variable-duration bursts.
+class BurstySource : public StreamSource {
+ public:
+  BurstySource(std::uint64_t seed, BurstySourceOptions options = {});
+
+  double Next() override;
+
+  /// True if a burst was active at the most recently produced tick.
+  bool burst_active() const { return burst_remaining_ > 0; }
+
+ private:
+  void MaybeStartBurst();
+  double PoissonSample(double mean);
+
+  Rng rng_;
+  BurstySourceOptions options_;
+  std::int64_t next_burst_in_ = 0;
+  std::int64_t burst_remaining_ = 0;
+  double burst_rate_ = 0.0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_BURSTY_SOURCE_H_

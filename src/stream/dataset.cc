@@ -1,0 +1,109 @@
+#include "stream/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "stream/bursty_source.h"
+#include "stream/host_load_source.h"
+#include "stream/packet_source.h"
+#include "stream/random_walk.h"
+
+namespace stardust {
+
+namespace {
+
+/// Computes [r_min, r_max] over all values, widened a little so later
+/// values from the same generator family stay in range.
+void FitRange(Dataset* dataset) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : dataset->streams) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(lo <= hi)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  dataset->r_min = std::min(0.0, lo);
+  dataset->r_max = hi + 0.05 * std::max(1.0, hi - lo);
+}
+
+}  // namespace
+
+Dataset MakeRandomWalkDataset(std::size_t num_streams, std::size_t length,
+                              std::uint64_t seed) {
+  Dataset dataset;
+  dataset.streams.reserve(num_streams);
+  SplitMix64 mix(seed);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    RandomWalkSource source(mix.Next());
+    dataset.streams.push_back(source.Take(length));
+  }
+  FitRange(&dataset);
+  return dataset;
+}
+
+Dataset MakeHostLoadDataset(std::size_t num_streams, std::size_t length,
+                            std::uint64_t seed) {
+  Dataset dataset;
+  dataset.streams.reserve(num_streams);
+  SplitMix64 mix(seed);
+  for (std::size_t i = 0; i < num_streams; ++i) {
+    HostLoadSource source(mix.Next());
+    dataset.streams.push_back(source.Take(length));
+  }
+  FitRange(&dataset);
+  return dataset;
+}
+
+Dataset MakeBurstDataset(std::size_t length, std::uint64_t seed) {
+  Dataset dataset;
+  BurstySource source(seed);
+  dataset.streams.push_back(source.Take(length));
+  FitRange(&dataset);
+  return dataset;
+}
+
+Dataset MakePacketDataset(std::size_t length, std::uint64_t seed) {
+  Dataset dataset;
+  PacketSource source(seed);
+  dataset.streams.push_back(source.Take(length));
+  FitRange(&dataset);
+  return dataset;
+}
+
+std::vector<std::vector<double>> MakeQueryWorkload(
+    std::size_t count, const std::vector<std::size_t>& lengths,
+    std::uint64_t seed) {
+  SD_CHECK(!lengths.empty());
+  std::vector<std::vector<double>> queries;
+  queries.reserve(count);
+  SplitMix64 mix(seed);
+  Rng pick(mix.Next());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = lengths[pick.NextUint64(lengths.size())];
+    RandomWalkSource source(mix.Next());
+    queries.push_back(source.Take(len));
+  }
+  return queries;
+}
+
+void RescaleDataset(Dataset* dataset, double r_max_target) {
+  SD_CHECK(r_max_target > 0.0);
+  SD_CHECK(dataset->r_max > dataset->r_min);
+  const double lo = dataset->r_min;
+  const double scale = r_max_target / (dataset->r_max - lo);
+  for (auto& s : dataset->streams) {
+    for (double& v : s) v = (v - lo) * scale;
+  }
+  dataset->r_min = 0.0;
+  dataset->r_max = r_max_target;
+}
+
+}  // namespace stardust

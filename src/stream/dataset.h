@@ -1,0 +1,51 @@
+// In-memory multi-stream datasets and query workloads.
+#ifndef STARDUST_STREAM_DATASET_H_
+#define STARDUST_STREAM_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stardust {
+
+/// A finite collection of M equal-length streams plus the value range
+/// [r_min, r_max] used for unit-sphere normalization (Section 2.1 assumes
+/// values in a bounded range with R_min = 0).
+struct Dataset {
+  std::vector<std::vector<double>> streams;
+  double r_min = 0.0;
+  double r_max = 1.0;
+
+  std::size_t num_streams() const { return streams.size(); }
+  std::size_t length() const {
+    return streams.empty() ? 0 : streams[0].size();
+  }
+};
+
+/// M random-walk streams of the given length (paper's synthetic data).
+Dataset MakeRandomWalkDataset(std::size_t num_streams, std::size_t length,
+                              std::uint64_t seed);
+
+/// M host-load traces of the given length (Host Load substitute).
+Dataset MakeHostLoadDataset(std::size_t num_streams, std::size_t length,
+                            std::uint64_t seed);
+
+/// One bursty event-count stream (burst.dat substitute).
+Dataset MakeBurstDataset(std::size_t length, std::uint64_t seed);
+
+/// One packet-count stream (packet.dat substitute).
+Dataset MakePacketDataset(std::size_t length, std::uint64_t seed);
+
+/// Pattern-query workload: `count` random-walk query sequences with lengths
+/// drawn uniformly from `lengths` (paper §6: "queries of uniformly random
+/// length generated using the random walk model").
+std::vector<std::vector<double>> MakeQueryWorkload(
+    std::size_t count, const std::vector<std::size_t>& lengths,
+    std::uint64_t seed);
+
+/// Rescales every stream (and r_max) so values fall in [0, r_max_target].
+void RescaleDataset(Dataset* dataset, double r_max_target);
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_DATASET_H_

@@ -1,0 +1,39 @@
+#include "stream/host_load_source.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace stardust {
+
+HostLoadSource::HostLoadSource(std::uint64_t seed, HostLoadOptions options)
+    : rng_(seed), options_(options) {
+  SD_CHECK(options_.ar_coefficient > 0.0 && options_.ar_coefficient < 1.0);
+  phase_ = rng_.NextDouble(0.0, 2.0 * std::numbers::pi);
+  task_remaining_ = static_cast<std::int64_t>(
+      std::ceil(rng_.NextExponential(1.0 / options_.mean_task_gap)));
+}
+
+double HostLoadSource::Next() {
+  if (--task_remaining_ <= 0) {
+    // A task arrives or departs: the load level steps up or down.
+    task_level_ += rng_.NextDouble(-0.8, 1.0);
+    task_level_ = std::max(-options_.mean_load * 0.5, task_level_);
+    task_remaining_ = static_cast<std::int64_t>(
+        std::ceil(rng_.NextExponential(1.0 / options_.mean_task_gap)));
+  }
+  deviation_ = options_.ar_coefficient * deviation_ +
+               options_.noise_std * rng_.NextGaussian();
+  const double daily =
+      options_.daily_amplitude *
+      std::sin(2.0 * std::numbers::pi * static_cast<double>(t_) /
+                   options_.daily_period +
+               phase_);
+  ++t_;
+  const double load =
+      options_.mean_load + daily + task_level_ + deviation_;
+  return std::max(0.0, load);
+}
+
+}  // namespace stardust

@@ -1,0 +1,51 @@
+// Synthetic substitute for the CMU Host Load traces (see DESIGN.md §2).
+//
+// The CMU traces (Dinda, 1997) record UNIX one-minute load averages: they
+// are strongly autocorrelated, have daily periodic structure, and show
+// occasional level shifts when tasks arrive or finish. We model each trace
+// as an AR(1) process around a slowly moving periodic baseline with
+// task-arrival jumps — the same smooth-but-shifting shape the paper's
+// pattern-query experiment (Figure 5) searches over.
+#ifndef STARDUST_STREAM_HOST_LOAD_SOURCE_H_
+#define STARDUST_STREAM_HOST_LOAD_SOURCE_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace stardust {
+
+/// Tuning for the host-load source.
+struct HostLoadOptions {
+  double ar_coefficient = 0.97;
+  double noise_std = 0.06;
+  /// Period of the "daily" baseline component in ticks.
+  double daily_period = 1440.0;
+  double daily_amplitude = 0.6;
+  /// Mean gap between task arrival/departure level shifts.
+  double mean_task_gap = 300.0;
+  /// Baseline mean load.
+  double mean_load = 1.2;
+};
+
+/// Host load average trace.
+class HostLoadSource : public StreamSource {
+ public:
+  HostLoadSource(std::uint64_t seed, HostLoadOptions options = {});
+
+  double Next() override;
+
+ private:
+  Rng rng_;
+  HostLoadOptions options_;
+  double deviation_ = 0.0;   // AR(1) state around the baseline
+  double task_level_ = 0.0;  // current task-induced load offset
+  std::int64_t task_remaining_ = 0;
+  double phase_ = 0.0;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_HOST_LOAD_SOURCE_H_

@@ -1,0 +1,141 @@
+#include "stream/io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace stardust {
+
+namespace {
+
+/// Splits one CSV line on commas (no quoting: numeric data only).
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+/// Strict double parse of a trimmed field.
+bool ParseDouble(const std::string& field, double* out) {
+  std::size_t begin = field.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return false;
+  std::size_t end = field.find_last_not_of(" \t\r") + 1;
+  const char* first = field.data() + begin;
+  const char* last = field.data() + end;
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last;
+}
+
+void FitRange(Dataset* dataset) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : dataset->streams) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(lo <= hi)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  dataset->r_min = std::min(0.0, lo);
+  dataset->r_max = hi + 0.05 * std::max(1.0, hi - lo);
+}
+
+}  // namespace
+
+Result<Dataset> ParseDatasetCsv(const std::string& text) {
+  Dataset dataset;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t columns = 0;
+  std::size_t line_no = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    const std::vector<std::string> fields = SplitFields(line);
+    std::vector<double> row(fields.size());
+    bool numeric = true;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (!ParseDouble(fields[i], &row[i])) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) {
+      if (first_data_line) continue;  // header row
+      return Status::InvalidArgument("non-numeric field at line " +
+                                     std::to_string(line_no));
+    }
+    if (first_data_line) {
+      columns = row.size();
+      dataset.streams.resize(columns);
+      first_data_line = false;
+    } else if (row.size() != columns) {
+      return Status::InvalidArgument(
+          "inconsistent column count at line " + std::to_string(line_no));
+    }
+    for (std::size_t i = 0; i < columns; ++i) {
+      dataset.streams[i].push_back(row[i]);
+    }
+  }
+  if (dataset.streams.empty() || dataset.streams[0].empty()) {
+    return Status::InvalidArgument("no data rows");
+  }
+  FitRange(&dataset);
+  return dataset;
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDatasetCsv(buffer.str());
+}
+
+std::string FormatDatasetCsv(const Dataset& dataset) {
+  std::string out;
+  char field[64];
+  for (std::size_t t = 0; t < dataset.length(); ++t) {
+    for (std::size_t s = 0; s < dataset.num_streams(); ++s) {
+      const int len = std::snprintf(field, sizeof(field), "%.17g",
+                                    dataset.streams[s][t]);
+      if (s > 0) out += ',';
+      out.append(field, static_cast<std::size_t>(len));
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out << FormatDatasetCsv(dataset);
+  if (!out) {
+    return Status::Internal("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace stardust

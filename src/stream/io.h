@@ -1,0 +1,34 @@
+// Dataset CSV I/O.
+//
+// Lets users run the framework and the experiment harnesses on their own
+// traces. Format: one row per time step, one column per stream, comma
+// separated; an optional first header row (detected by non-numeric
+// content) is skipped. All rows must have the same number of columns.
+#ifndef STARDUST_STREAM_IO_H_
+#define STARDUST_STREAM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+
+/// Parses a dataset from CSV text (see the file header for the format).
+/// The value range [r_min, r_max] is fitted from the data with a small
+/// safety margin, like the synthetic generators do.
+Result<Dataset> ParseDatasetCsv(const std::string& text);
+
+/// Loads a dataset from a CSV file.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+/// Serializes a dataset to CSV text (streams as columns, 17 significant
+/// digits — round-trip exact for doubles).
+std::string FormatDatasetCsv(const Dataset& dataset);
+
+/// Writes a dataset to a CSV file (overwrites).
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_IO_H_

@@ -1,0 +1,44 @@
+#include "stream/packet_source.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace stardust {
+
+PacketSource::PacketSource(std::uint64_t seed, PacketSourceOptions options)
+    : rng_(seed), options_(std::move(options)) {
+  SD_CHECK(options_.base_rate > 0.0);
+  SD_CHECK(!options_.periods.empty());
+  phases_.reserve(options_.periods.size());
+  for (std::size_t i = 0; i < options_.periods.size(); ++i) {
+    phases_.push_back(rng_.NextDouble(0.0, 2.0 * std::numbers::pi));
+  }
+  regime_remaining_ = static_cast<std::int64_t>(
+      std::ceil(rng_.NextExponential(1.0 / options_.mean_regime_gap)));
+}
+
+double PacketSource::Next() {
+  if (--regime_remaining_ <= 0) {
+    // New regime: rate level jumps by a factor in [0.5, 2.0].
+    regime_factor_ = rng_.NextDouble(0.5, 2.0);
+    regime_remaining_ = static_cast<std::int64_t>(
+        std::ceil(rng_.NextExponential(1.0 / options_.mean_regime_gap)));
+  }
+  double modulation = 1.0;
+  for (std::size_t i = 0; i < options_.periods.size(); ++i) {
+    modulation *=
+        1.0 + options_.amplitude *
+                  std::sin(2.0 * std::numbers::pi *
+                               static_cast<double>(t_) / options_.periods[i] +
+                           phases_[i]);
+  }
+  ++t_;
+  const double rate = options_.base_rate * regime_factor_ * modulation;
+  const double noisy =
+      rate + rate * options_.noise_fraction * rng_.NextGaussian();
+  return std::max(0.0, noisy);
+}
+
+}  // namespace stardust

@@ -1,0 +1,51 @@
+// Synthetic substitute for the UCR `packet.dat` series (see DESIGN.md §2).
+//
+// Models a network packet-count stream: aggregated traffic is long-range
+// dependent, which we approximate by multiplicatively modulating a base
+// rate with sinusoidal components at several timescales plus random regime
+// shifts, and adding heteroscedastic noise. The result has local ranges
+// (SPREAD) that fluctuate at multiple scales — the structure the paper's
+// volatility-monitoring experiment (Figure 4(b,c)) exercises.
+#ifndef STARDUST_STREAM_PACKET_SOURCE_H_
+#define STARDUST_STREAM_PACKET_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace stardust {
+
+/// Tuning for the packet-count source.
+struct PacketSourceOptions {
+  double base_rate = 500.0;
+  /// Periods (ticks) of the multiplicative modulation components.
+  std::vector<double> periods = {97.0, 1009.0, 10007.0};
+  /// Relative amplitude of each component.
+  double amplitude = 0.35;
+  /// Mean gap between regime shifts (sudden rate-level changes).
+  double mean_regime_gap = 5000.0;
+  /// Noise std dev as a fraction of the instantaneous rate.
+  double noise_fraction = 0.15;
+};
+
+/// Self-similar-like packet-count stream.
+class PacketSource : public StreamSource {
+ public:
+  PacketSource(std::uint64_t seed, PacketSourceOptions options = {});
+
+  double Next() override;
+
+ private:
+  Rng rng_;
+  PacketSourceOptions options_;
+  std::vector<double> phases_;
+  double regime_factor_ = 1.0;
+  std::int64_t regime_remaining_ = 0;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_PACKET_SOURCE_H_

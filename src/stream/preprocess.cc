@@ -1,0 +1,111 @@
+#include "stream/preprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "transform/regression.h"
+
+namespace stardust {
+
+namespace {
+
+void RefitRange(Dataset* dataset) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : dataset->streams) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!(lo <= hi)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  dataset->r_min = std::min(0.0, lo);
+  dataset->r_max = hi + 0.05 * std::max(1.0, hi - lo);
+}
+
+}  // namespace
+
+Result<Dataset> FillGaps(const Dataset& dataset) {
+  Dataset out = dataset;
+  for (std::size_t s = 0; s < out.streams.size(); ++s) {
+    auto& stream = out.streams[s];
+    // Indexes of finite samples.
+    std::vector<std::size_t> finite;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (std::isfinite(stream[i])) finite.push_back(i);
+    }
+    if (finite.empty()) {
+      return Status::InvalidArgument(
+          "stream " + std::to_string(s) + " has no finite values");
+    }
+    // Clamp the edges.
+    for (std::size_t i = 0; i < finite.front(); ++i) {
+      stream[i] = stream[finite.front()];
+    }
+    for (std::size_t i = finite.back() + 1; i < stream.size(); ++i) {
+      stream[i] = stream[finite.back()];
+    }
+    // Interpolate interior gaps.
+    for (std::size_t k = 0; k + 1 < finite.size(); ++k) {
+      const std::size_t a = finite[k];
+      const std::size_t b = finite[k + 1];
+      for (std::size_t i = a + 1; i < b; ++i) {
+        const double frac = static_cast<double>(i - a) /
+                            static_cast<double>(b - a);
+        stream[i] = stream[a] + frac * (stream[b] - stream[a]);
+      }
+    }
+  }
+  RefitRange(&out);
+  return out;
+}
+
+Result<Dataset> Resample(const Dataset& dataset, std::size_t factor) {
+  if (factor == 0) return Status::InvalidArgument("factor must be positive");
+  if (dataset.length() < factor) {
+    return Status::InvalidArgument("dataset shorter than one block");
+  }
+  Dataset out;
+  out.streams.reserve(dataset.num_streams());
+  for (const auto& stream : dataset.streams) {
+    std::vector<double> down;
+    down.reserve(stream.size() / factor);
+    for (std::size_t start = 0; start + factor <= stream.size();
+         start += factor) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < factor; ++i) sum += stream[start + i];
+      down.push_back(sum / static_cast<double>(factor));
+    }
+    out.streams.push_back(std::move(down));
+  }
+  RefitRange(&out);
+  return out;
+}
+
+Result<Dataset> Detrend(const Dataset& dataset) {
+  if (dataset.length() < 2) {
+    return Status::InvalidArgument("need at least two values to detrend");
+  }
+  Dataset out = dataset;
+  for (auto& stream : out.streams) {
+    OnlineLinearRegression regression;
+    for (std::size_t t = 0; t < stream.size(); ++t) {
+      regression.Add(static_cast<double>(t), stream[t]);
+    }
+    const double slope = regression.Slope();
+    const double mid =
+        slope * (static_cast<double>(stream.size() - 1) / 2.0);
+    for (std::size_t t = 0; t < stream.size(); ++t) {
+      // Remove the trend but keep the level (rotate about the midpoint).
+      stream[t] -= slope * static_cast<double>(t) - mid;
+    }
+  }
+  RefitRange(&out);
+  return out;
+}
+
+}  // namespace stardust

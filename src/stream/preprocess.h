@@ -1,0 +1,34 @@
+// Dataset preprocessing for real-world traces.
+//
+// The framework requires finite values at a uniform rate; raw operational
+// CSVs rarely oblige. These utilities bridge the gap: NaN-gap
+// interpolation, resampling to a coarser rate, and linear detrending —
+// each a pure function over Dataset so pipelines stay explicit.
+#ifndef STARDUST_STREAM_PREPROCESS_H_
+#define STARDUST_STREAM_PREPROCESS_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+
+/// Replaces non-finite values by linear interpolation between the nearest
+/// finite neighbours (edges clamp to the nearest finite value). Fails if
+/// any stream has no finite value at all.
+Result<Dataset> FillGaps(const Dataset& dataset);
+
+/// Downsamples every stream by averaging non-overlapping blocks of
+/// `factor` values (a trailing partial block is dropped). Fails when the
+/// result would be empty.
+Result<Dataset> Resample(const Dataset& dataset, std::size_t factor);
+
+/// Removes each stream's least-squares linear trend (keeps the mean), so
+/// volatility and correlation monitors see fluctuations rather than
+/// drift. Requires at least two values.
+Result<Dataset> Detrend(const Dataset& dataset);
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_PREPROCESS_H_

@@ -1,0 +1,14 @@
+#include "stream/random_walk.h"
+
+namespace stardust {
+
+RandomWalkSource::RandomWalkSource(std::uint64_t seed) : rng_(seed) {
+  value_ = rng_.NextDouble(0.0, 100.0);
+}
+
+double RandomWalkSource::Next() {
+  value_ += rng_.NextDouble() - 0.5;
+  return value_;
+}
+
+}  // namespace stardust

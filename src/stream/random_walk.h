@@ -1,0 +1,28 @@
+// The paper's synthetic stream model (Section 6): for a stream x,
+//   x[i] = R + Σ_{j=1..i} (u_j − 0.5)
+// where R is uniform in [0, 100] and u_j uniform in [0, 1].
+#ifndef STARDUST_STREAM_RANDOM_WALK_H_
+#define STARDUST_STREAM_RANDOM_WALK_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "stream/stream_source.h"
+
+namespace stardust {
+
+/// Random-walk stream source, identical to the paper's construction.
+class RandomWalkSource : public StreamSource {
+ public:
+  explicit RandomWalkSource(std::uint64_t seed);
+
+  double Next() override;
+
+ private:
+  Rng rng_;
+  double value_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_RANDOM_WALK_H_

@@ -1,0 +1,36 @@
+// Abstract stream source. All data in the experiments is produced by
+// deterministic, seeded sources (see DESIGN.md §2 for how each synthetic
+// source substitutes for the paper's datasets).
+#ifndef STARDUST_STREAM_STREAM_SOURCE_H_
+#define STARDUST_STREAM_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stardust {
+
+/// Produces one unbounded sequence of stream values.
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// The next value of the stream.
+  virtual double Next() = 0;
+
+  /// Appends `n` values to `out`.
+  void Generate(std::size_t n, std::vector<double>* out) {
+    out->reserve(out->size() + n);
+    for (std::size_t i = 0; i < n; ++i) out->push_back(Next());
+  }
+
+  /// Returns `n` values as a fresh vector.
+  std::vector<double> Take(std::size_t n) {
+    std::vector<double> out;
+    Generate(n, &out);
+    return out;
+  }
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_STREAM_SOURCE_H_

@@ -1,0 +1,86 @@
+#include "stream/threshold.h"
+
+#include <cmath>
+#include <deque>
+
+#include "common/check.h"
+
+namespace stardust {
+
+namespace {
+
+/// Sliding max (or min) via a monotonic deque of indices; O(n) total.
+std::vector<double> SlidingExtreme(const std::vector<double>& x,
+                                   std::size_t w, bool want_max) {
+  std::vector<double> out;
+  out.reserve(x.size() - w + 1);
+  std::deque<std::size_t> dq;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    while (!dq.empty() &&
+           (want_max ? x[dq.back()] <= x[i] : x[dq.back()] >= x[i])) {
+      dq.pop_back();
+    }
+    dq.push_back(i);
+    if (dq.front() + w <= i) dq.pop_front();
+    if (i + 1 >= w) out.push_back(x[dq.front()]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> SlidingAggregate(AggregateKind kind,
+                                     const std::vector<double>& x,
+                                     std::size_t w) {
+  SD_CHECK(w >= 1);
+  SD_CHECK(x.size() >= w);
+  switch (kind) {
+    case AggregateKind::kSum: {
+      std::vector<double> out;
+      out.reserve(x.size() - w + 1);
+      double sum = 0.0;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        sum += x[i];
+        if (i >= w) sum -= x[i - w];
+        if (i + 1 >= w) out.push_back(sum);
+      }
+      return out;
+    }
+    case AggregateKind::kMax:
+      return SlidingExtreme(x, w, /*want_max=*/true);
+    case AggregateKind::kMin:
+      return SlidingExtreme(x, w, /*want_max=*/false);
+    case AggregateKind::kSpread: {
+      std::vector<double> hi = SlidingExtreme(x, w, /*want_max=*/true);
+      std::vector<double> lo = SlidingExtreme(x, w, /*want_max=*/false);
+      std::vector<double> out(hi.size());
+      for (std::size_t i = 0; i < hi.size(); ++i) out[i] = hi[i] - lo[i];
+      return out;
+    }
+  }
+  return {};
+}
+
+std::vector<WindowThreshold> TrainThresholds(
+    AggregateKind kind, const std::vector<double>& training,
+    const std::vector<std::size_t>& windows, double lambda) {
+  std::vector<WindowThreshold> out;
+  out.reserve(windows.size());
+  for (std::size_t w : windows) {
+    if (w == 0 || w > training.size()) continue;
+    const std::vector<double> y = SlidingAggregate(kind, training, w);
+    double mean = 0.0;
+    for (double v : y) mean += v;
+    mean /= static_cast<double>(y.size());
+    double var = 0.0;
+    for (double v : y) {
+      const double d = v - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(y.size());
+    out.push_back({w, mean + lambda * std::sqrt(var)});
+  }
+  return out;
+}
+
+}  // namespace stardust

@@ -1,0 +1,35 @@
+// Threshold training for aggregate monitoring (paper §6.1): for each query
+// window size w, compute the sliding-window aggregate series y over a
+// training prefix and set the alarm threshold to τ_w = μ_y + λ·σ_y.
+#ifndef STARDUST_STREAM_THRESHOLD_H_
+#define STARDUST_STREAM_THRESHOLD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "transform/aggregate.h"
+
+namespace stardust {
+
+/// One monitored window: its size and trained threshold (Section 2.2).
+struct WindowThreshold {
+  std::size_t window = 0;
+  double threshold = 0.0;
+};
+
+/// Sliding-window aggregate series of `training` with window size w.
+/// For SUM this is O(n) via a running sum; MAX/MIN/SPREAD use monotonic
+/// deques, also O(n).
+std::vector<double> SlidingAggregate(AggregateKind kind,
+                                     const std::vector<double>& training,
+                                     std::size_t window);
+
+/// Trains τ_w = μ + λσ of the sliding aggregate for every window size.
+/// Window sizes larger than the training data are skipped.
+std::vector<WindowThreshold> TrainThresholds(
+    AggregateKind kind, const std::vector<double>& training,
+    const std::vector<std::size_t>& windows, double lambda);
+
+}  // namespace stardust
+
+#endif  // STARDUST_STREAM_THRESHOLD_H_

@@ -1,0 +1,105 @@
+#include "transform/aggregate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stardust {
+
+const char* AggregateKindName(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kSum:
+      return "SUM";
+    case AggregateKind::kMax:
+      return "MAX";
+    case AggregateKind::kMin:
+      return "MIN";
+    case AggregateKind::kSpread:
+      return "SPREAD";
+  }
+  return "?";
+}
+
+std::size_t AggregateFeatureDims(AggregateKind kind) {
+  return kind == AggregateKind::kSpread ? 2 : 1;
+}
+
+Point AggregateExactFeature(AggregateKind kind,
+                            const std::vector<double>& window) {
+  SD_CHECK(!window.empty());
+  switch (kind) {
+    case AggregateKind::kSum: {
+      double sum = 0.0;
+      for (double v : window) sum += v;
+      return {sum};
+    }
+    case AggregateKind::kMax:
+      return {*std::max_element(window.begin(), window.end())};
+    case AggregateKind::kMin:
+      return {*std::min_element(window.begin(), window.end())};
+    case AggregateKind::kSpread: {
+      const auto [mn, mx] = std::minmax_element(window.begin(), window.end());
+      return {*mx, *mn};
+    }
+  }
+  return {};
+}
+
+Point AggregateMergeFeatures(AggregateKind kind, const Point& left,
+                             const Point& right) {
+  SD_DCHECK(left.size() == AggregateFeatureDims(kind));
+  SD_DCHECK(right.size() == AggregateFeatureDims(kind));
+  switch (kind) {
+    case AggregateKind::kSum:
+      return {left[0] + right[0]};
+    case AggregateKind::kMax:
+      return {std::max(left[0], right[0])};
+    case AggregateKind::kMin:
+      return {std::min(left[0], right[0])};
+    case AggregateKind::kSpread:
+      return {std::max(left[0], right[0]), std::min(left[1], right[1])};
+  }
+  return {};
+}
+
+Mbr AggregateMergeExtents(AggregateKind kind, const Mbr& left,
+                          const Mbr& right) {
+  SD_DCHECK(!left.empty() && !right.empty());
+  SD_DCHECK(left.dims() == AggregateFeatureDims(kind));
+  SD_DCHECK(right.dims() == AggregateFeatureDims(kind));
+  switch (kind) {
+    case AggregateKind::kSum:
+      return Mbr({left.lo(0) + right.lo(0)}, {left.hi(0) + right.hi(0)});
+    case AggregateKind::kMax:
+      return Mbr({std::max(left.lo(0), right.lo(0))},
+                 {std::max(left.hi(0), right.hi(0))});
+    case AggregateKind::kMin:
+      return Mbr({std::min(left.lo(0), right.lo(0))},
+                 {std::min(left.hi(0), right.hi(0))});
+    case AggregateKind::kSpread:
+      return Mbr({std::max(left.lo(0), right.lo(0)),
+                  std::min(left.lo(1), right.lo(1))},
+                 {std::max(left.hi(0), right.hi(0)),
+                  std::min(left.hi(1), right.hi(1))});
+  }
+  return Mbr();
+}
+
+double AggregateScalar(AggregateKind kind, const Point& feature) {
+  SD_DCHECK(feature.size() == AggregateFeatureDims(kind));
+  if (kind == AggregateKind::kSpread) return feature[0] - feature[1];
+  return feature[0];
+}
+
+ScalarInterval AggregateScalarBound(AggregateKind kind, const Mbr& extent) {
+  SD_DCHECK(!extent.empty());
+  SD_DCHECK(extent.dims() == AggregateFeatureDims(kind));
+  if (kind == AggregateKind::kSpread) {
+    // max ∈ [lo0, hi0], min ∈ [lo1, hi1] ⇒ spread ∈ [lo0 − hi1, hi0 − lo1].
+    return {std::max(0.0, extent.lo(0) - extent.hi(1)),
+            extent.hi(0) - extent.lo(1)};
+  }
+  return {extent.lo(0), extent.hi(0)};
+}
+
+}  // namespace stardust

@@ -1,0 +1,92 @@
+#include "transform/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stardust {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  SD_CHECK(p > 0.0 && p < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+  increments_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+double P2Quantile::Parabolic(int i, double d) const {
+  const double n_prev = positions_[i - 1];
+  const double n = positions_[i];
+  const double n_next = positions_[i + 1];
+  const double q_prev = heights_[i - 1];
+  const double q = heights_[i];
+  const double q_next = heights_[i + 1];
+  return q + d / (n_next - n_prev) *
+                 ((n - n_prev + d) * (q_next - q) / (n_next - n) +
+                  (n_next - n - d) * (q - q_prev) / (n - n_prev));
+}
+
+double P2Quantile::Linear(int i, int d) const {
+  return heights_[i] + d * (heights_[i + d] - heights_[i]) /
+                           (positions_[i + d] - positions_[i]);
+}
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+
+  // Which cell does the observation fall into?
+  int k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], value);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && value >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust the inner markers.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      const int dir = d >= 0.0 ? 1 : -1;
+      const double candidate = Parabolic(i, dir);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = Linear(i, dir);
+      }
+      positions_[i] += dir;
+    }
+  }
+}
+
+double P2Quantile::Value() const {
+  SD_DCHECK(count_ >= 1);
+  if (count_ >= 5) return heights_[2];
+  // Exact small-sample quantile on the sorted prefix.
+  std::array<double, 5> sorted{};
+  std::copy(heights_.begin(), heights_.begin() + count_, sorted.begin());
+  std::sort(sorted.begin(), sorted.begin() + count_);
+  const double rank = p_ * static_cast<double>(count_ - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace stardust

@@ -1,0 +1,42 @@
+// P² online quantile estimation (Jain & Chlamtac, CACM 1985).
+//
+// Estimates a single quantile of a stream in O(1) space and O(1) time per
+// observation with five markers whose heights are adjusted by a piecewise
+// parabolic (P²) formula. The window advisor uses three of these (q25,
+// q50, q75) for a burst-robust location/scale estimate of each level's
+// aggregate distribution.
+#ifndef STARDUST_TRANSFORM_QUANTILE_H_
+#define STARDUST_TRANSFORM_QUANTILE_H_
+
+#include <array>
+#include <cstdint>
+
+namespace stardust {
+
+/// Streaming estimator of the p-quantile (0 < p < 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void Add(double value);
+
+  std::uint64_t count() const { return count_; }
+  /// Current estimate. Exact while count() <= 5; P² approximation after.
+  /// Requires count() >= 1.
+  double Value() const;
+
+ private:
+  double Parabolic(int i, double d) const;
+  double Linear(int i, int d) const;
+
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights q_i
+  std::array<double, 5> positions_{}; // actual positions n_i
+  std::array<double, 5> desired_{};   // desired positions n'_i
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_TRANSFORM_QUANTILE_H_

@@ -1,0 +1,65 @@
+#include "transform/regression.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stardust {
+
+void OnlineMoments::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double OnlineMoments::Mean() const {
+  SD_DCHECK(count_ >= 1);
+  return mean_;
+}
+
+double OnlineMoments::Variance() const {
+  SD_DCHECK(count_ >= 1);
+  return m2_ / static_cast<double>(count_);
+}
+
+double OnlineMoments::StdDev() const { return std::sqrt(Variance()); }
+
+double OnlineMoments::CoefficientOfVariation() const {
+  const double mean = std::abs(Mean());
+  if (mean < 1e-12) return 0.0;
+  return StdDev() / mean;
+}
+
+void OnlineLinearRegression::Add(double x, double y) {
+  ++count_;
+  const double n = static_cast<double>(count_);
+  const double dx = x - mean_x_;
+  const double dy = y - mean_y_;
+  mean_x_ += dx / n;
+  mean_y_ += dy / n;
+  m2_x_ += dx * (x - mean_x_);
+  m2_y_ += dy * (y - mean_y_);
+  co_xy_ += dx * (y - mean_y_);
+}
+
+double OnlineLinearRegression::Slope() const {
+  if (m2_x_ <= 0.0) return 0.0;
+  return co_xy_ / m2_x_;
+}
+
+double OnlineLinearRegression::Intercept() const {
+  return mean_y_ - Slope() * mean_x_;
+}
+
+double OnlineLinearRegression::R2() const {
+  if (m2_x_ <= 0.0 || m2_y_ <= 0.0) return 0.0;
+  const double r = co_xy_ / std::sqrt(m2_x_ * m2_y_);
+  return r * r;
+}
+
+double OnlineLinearRegression::Predict(double x) const {
+  return Intercept() + Slope() * x;
+}
+
+}  // namespace stardust

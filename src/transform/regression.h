@@ -1,0 +1,66 @@
+// Incremental regression and moment tracking.
+//
+// The paper's concluding remarks propose "fitting incremental regression
+// models in our framework in order to enable parameter estimation, e.g.,
+// determining the right window sizes to monitor" (Section 7). This module
+// provides the numeric substrate: numerically stable online moments
+// (Welford) and online simple linear regression over (x, y) pairs, both
+// O(1) per update. core/window_advisor.h builds the window-selection
+// logic on top.
+#ifndef STARDUST_TRANSFORM_REGRESSION_H_
+#define STARDUST_TRANSFORM_REGRESSION_H_
+
+#include <cstdint>
+
+namespace stardust {
+
+/// Online mean / variance (Welford's algorithm).
+class OnlineMoments {
+ public:
+  void Add(double value);
+
+  std::uint64_t count() const { return count_; }
+  /// Requires count() >= 1.
+  double Mean() const;
+  /// Population variance; requires count() >= 1.
+  double Variance() const;
+  /// Population standard deviation.
+  double StdDev() const;
+  /// Coefficient of variation σ/|μ|; 0 when the mean is ~0.
+  double CoefficientOfVariation() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Online simple linear regression y ≈ intercept + slope·x, maintained
+/// from co-moments in O(1) per observation (numerically stable centered
+/// updates).
+class OnlineLinearRegression {
+ public:
+  void Add(double x, double y);
+
+  std::uint64_t count() const { return count_; }
+  /// Least-squares slope; 0 when x has no variance. Requires count() >= 2
+  /// for a meaningful value.
+  double Slope() const;
+  double Intercept() const;
+  /// Coefficient of determination R² in [0, 1]; 0 when degenerate.
+  double R2() const;
+  /// Prediction at x.
+  double Predict(double x) const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;   // Σ (x - μx)²
+  double m2_y_ = 0.0;   // Σ (y - μy)²
+  double co_xy_ = 0.0;  // Σ (x - μx)(y - μy)
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_TRANSFORM_REGRESSION_H_

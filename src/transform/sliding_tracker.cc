@@ -1,0 +1,81 @@
+#include "transform/sliding_tracker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace stardust {
+
+void SlidingAggregateTracker::MonotonicDeque::Push(std::uint64_t t, double v,
+                                                   bool want_max,
+                                                   std::uint64_t w) {
+  while (!entries.empty() && (want_max ? entries.back().second <= v
+                                       : entries.back().second >= v)) {
+    entries.pop_back();
+  }
+  entries.emplace_back(t, v);
+  // Drop entries that fell out of the window [t - w + 1, t].
+  while (entries.front().first + w <= t) entries.pop_front();
+}
+
+SlidingAggregateTracker::SlidingAggregateTracker(
+    AggregateKind kind, std::vector<std::size_t> windows)
+    : kind_(kind), windows_(std::move(windows)) {
+  SD_CHECK(!windows_.empty());
+  for (std::size_t w : windows_) SD_CHECK(w >= 1);
+  recent_capacity_ = *std::max_element(windows_.begin(), windows_.end());
+  const bool needs_max =
+      kind_ == AggregateKind::kMax || kind_ == AggregateKind::kSpread;
+  const bool needs_min =
+      kind_ == AggregateKind::kMin || kind_ == AggregateKind::kSpread;
+  if (kind_ == AggregateKind::kSum) {
+    sums_.assign(windows_.size(), 0.0);
+    recent_.assign(recent_capacity_, 0.0);
+  }
+  if (needs_max) maxes_.resize(windows_.size());
+  if (needs_min) mins_.resize(windows_.size());
+}
+
+void SlidingAggregateTracker::Push(double value) {
+  const std::uint64_t t = count_;
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    const std::uint64_t w = windows_[i];
+    switch (kind_) {
+      case AggregateKind::kSum:
+        sums_[i] += value;
+        if (t >= w) sums_[i] -= recent_[(t - w) % recent_capacity_];
+        break;
+      case AggregateKind::kMax:
+        maxes_[i].Push(t, value, /*want_max=*/true, w);
+        break;
+      case AggregateKind::kMin:
+        mins_[i].Push(t, value, /*want_max=*/false, w);
+        break;
+      case AggregateKind::kSpread:
+        maxes_[i].Push(t, value, /*want_max=*/true, w);
+        mins_[i].Push(t, value, /*want_max=*/false, w);
+        break;
+    }
+  }
+  if (kind_ == AggregateKind::kSum) {
+    recent_[t % recent_capacity_] = value;
+  }
+  ++count_;
+}
+
+double SlidingAggregateTracker::Current(std::size_t i) const {
+  SD_DCHECK(Ready(i));
+  switch (kind_) {
+    case AggregateKind::kSum:
+      return sums_[i];
+    case AggregateKind::kMax:
+      return maxes_[i].Front();
+    case AggregateKind::kMin:
+      return mins_[i].Front();
+    case AggregateKind::kSpread:
+      return maxes_[i].Front() - mins_[i].Front();
+  }
+  return 0.0;
+}
+
+}  // namespace stardust

@@ -1,0 +1,58 @@
+// Exact sliding-window aggregates maintained incrementally.
+//
+// O(1) amortized per arrival per window via running sums (SUM) and
+// monotonic deques (MAX / MIN / SPREAD). Used as the ground-truth oracle
+// when measuring precision (the "linear scan" the paper's baselines are
+// compared against) and as the verification fast path of the continuous
+// aggregate monitor.
+#ifndef STARDUST_TRANSFORM_SLIDING_TRACKER_H_
+#define STARDUST_TRANSFORM_SLIDING_TRACKER_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "transform/aggregate.h"
+
+namespace stardust {
+
+/// Tracks the exact aggregate of the most recent w values, for a set of
+/// window sizes, over one stream.
+class SlidingAggregateTracker {
+ public:
+  SlidingAggregateTracker(AggregateKind kind,
+                          std::vector<std::size_t> windows);
+
+  void Push(double value);
+
+  std::size_t num_windows() const { return windows_.size(); }
+  std::size_t window(std::size_t i) const { return windows_[i]; }
+  /// Number of values consumed.
+  std::uint64_t now() const { return count_; }
+  /// True once at least window(i) values have been consumed.
+  bool Ready(std::size_t i) const { return count_ >= windows_[i]; }
+  /// Exact aggregate over the last window(i) values. Requires Ready(i).
+  double Current(std::size_t i) const;
+
+ private:
+  struct MonotonicDeque {
+    /// Indices into the global time axis; values kept monotonic.
+    std::deque<std::pair<std::uint64_t, double>> entries;
+    void Push(std::uint64_t t, double v, bool want_max, std::uint64_t w);
+    double Front() const { return entries.front().second; }
+  };
+
+  AggregateKind kind_;
+  std::vector<std::size_t> windows_;
+  std::uint64_t count_ = 0;
+  /// Ring of the last max(windows) values (for running sums).
+  std::vector<double> recent_;
+  std::size_t recent_capacity_ = 0;
+  std::vector<double> sums_;                  // per window (kSum)
+  std::vector<MonotonicDeque> maxes_;         // per window (kMax / kSpread)
+  std::vector<MonotonicDeque> mins_;          // per window (kMin / kSpread)
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_TRANSFORM_SLIDING_TRACKER_H_

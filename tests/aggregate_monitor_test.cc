@@ -1,0 +1,189 @@
+#include "core/aggregate_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/bursty_source.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig MonitorConfig(AggregateKind kind, std::size_t base,
+                             std::size_t levels, std::size_t c) {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = kind;
+  config.base_window = base;
+  config.num_levels = levels;
+  config.history = base << (levels - 1);
+  config.box_capacity = c;
+  config.update_period = 1;
+  return config;
+}
+
+std::vector<WindowThreshold> TrainedThresholds(AggregateKind kind,
+                                               std::size_t base,
+                                               std::size_t m, double lambda,
+                                               std::uint64_t seed) {
+  BurstySource source(seed);
+  const std::vector<double> training = source.Take(4000);
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= m; ++i) windows.push_back(i * base);
+  return TrainThresholds(kind, training, windows, lambda);
+}
+
+TEST(AggregateMonitorTest, CreateValidation) {
+  const StardustConfig config = MonitorConfig(AggregateKind::kSum, 20, 6, 5);
+  EXPECT_FALSE(
+      AggregateMonitor::Create(config, {}).ok());  // no windows
+  EXPECT_FALSE(
+      AggregateMonitor::Create(config, {{30, 1.0}}).ok());  // not multiple
+  EXPECT_FALSE(
+      AggregateMonitor::Create(config, {{20 * 64, 1.0}}).ok());  // too large
+  StardustConfig dwt = config;
+  dwt.transform = TransformKind::kDwt;
+  dwt.base_window = 16;
+  dwt.history = 16 << 5;
+  EXPECT_FALSE(AggregateMonitor::Create(dwt, {{16, 1.0}}).ok());
+  StardustConfig batch = config;
+  batch.update_period = config.base_window;
+  batch.box_capacity = 1;
+  EXPECT_FALSE(AggregateMonitor::Create(batch, {{20, 1.0}}).ok());
+  StardustConfig dyadic = config;
+  dyadic.update_schedule = UpdateSchedule::kDyadic;
+  dyadic.box_capacity = 1;
+  EXPECT_FALSE(AggregateMonitor::Create(dyadic, {{20, 1.0}}).ok());
+  EXPECT_TRUE(AggregateMonitor::Create(config, {{20, 1.0}, {40, 2.0}}).ok());
+}
+
+// Stardust with c = 1 is the exact algorithm: no false alarms, precision 1
+// (paper §6.1.1: "Stardust with c = 1 is the exact algorithm").
+TEST(AggregateMonitorTest, UnitBoxCapacityHasNoFalseAlarms) {
+  const auto thresholds =
+      TrainedThresholds(AggregateKind::kSum, 20, 10, 4.0, 1);
+  ASSERT_FALSE(thresholds.empty());
+  auto monitor = std::move(AggregateMonitor::Create(
+                               MonitorConfig(AggregateKind::kSum, 20, 5, 1),
+                               thresholds))
+                     .value();
+  BurstySource source(2);
+  for (int t = 0; t < 8000; ++t) {
+    ASSERT_TRUE(monitor->Append(source.Next()).ok());
+  }
+  const AlarmStats total = monitor->TotalStats();
+  EXPECT_GT(total.candidates, 0u);  // some bursts fired
+  EXPECT_EQ(total.candidates, total.true_alarms);
+  EXPECT_EQ(total.Precision(), 1.0);
+}
+
+// Candidates always include every true alarm (the filter is an upper
+// bound — no false dismissals), at any box capacity.
+class MonitorNoFalseDismissals
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MonitorNoFalseDismissals, CandidatesCoverExactAlarms) {
+  const auto thresholds =
+      TrainedThresholds(AggregateKind::kSum, 20, 8, 3.0, 3);
+  ASSERT_FALSE(thresholds.empty());
+  auto monitor =
+      std::move(AggregateMonitor::Create(
+                    MonitorConfig(AggregateKind::kSum, 20, 5, GetParam()),
+                    thresholds))
+          .value();
+  // Track exact alarms independently.
+  std::vector<std::size_t> windows;
+  for (const auto& wt : thresholds) windows.push_back(wt.window);
+  SlidingAggregateTracker oracle(AggregateKind::kSum, windows);
+  BurstySource source(4);
+  std::uint64_t exact_alarms = 0;
+  for (int t = 0; t < 6000; ++t) {
+    const double v = source.Next();
+    ASSERT_TRUE(monitor->Append(v).ok());
+    oracle.Push(v);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (oracle.Ready(i) &&
+          oracle.Current(i) >= thresholds[i].threshold) {
+        ++exact_alarms;
+      }
+    }
+  }
+  const AlarmStats total = monitor->TotalStats();
+  EXPECT_EQ(total.true_alarms, exact_alarms);
+  EXPECT_GE(total.candidates, total.true_alarms);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoxCapacities, MonitorNoFalseDismissals,
+                         ::testing::Values(1, 5, 25, 100));
+
+// Larger box capacity means a looser filter: candidate counts are
+// monotone non-decreasing in c on identical data (the accuracy/space
+// trade-off of Section 4).
+TEST(AggregateMonitorTest, PrecisionDegradesGracefullyWithBoxCapacity) {
+  const auto thresholds =
+      TrainedThresholds(AggregateKind::kSum, 20, 8, 3.0, 5);
+  ASSERT_FALSE(thresholds.empty());
+  std::uint64_t prev_candidates = 0;
+  bool first = true;
+  for (std::size_t c : {1u, 5u, 25u, 125u}) {
+    auto monitor = std::move(AggregateMonitor::Create(
+                                 MonitorConfig(AggregateKind::kSum, 20, 5, c),
+                                 thresholds))
+                       .value();
+    BurstySource source(6);
+    for (int t = 0; t < 6000; ++t) {
+      ASSERT_TRUE(monitor->Append(source.Next()).ok());
+    }
+    const AlarmStats total = monitor->TotalStats();
+    if (!first) {
+      EXPECT_GE(total.candidates, prev_candidates) << "c=" << c;
+    }
+    prev_candidates = total.candidates;
+    first = false;
+  }
+}
+
+TEST(AggregateMonitorTest, SpreadMonitoringWorks) {
+  BurstySource training_source(7);
+  const std::vector<double> training = training_source.Take(3000);
+  const auto thresholds = TrainThresholds(AggregateKind::kSpread, training,
+                                          {50, 100, 200}, 2.0);
+  ASSERT_EQ(thresholds.size(), 3u);
+  auto monitor =
+      std::move(AggregateMonitor::Create(
+                    MonitorConfig(AggregateKind::kSpread, 50, 3, 10),
+                    thresholds))
+          .value();
+  BurstySource source(8);
+  for (int t = 0; t < 4000; ++t) {
+    ASSERT_TRUE(monitor->Append(source.Next()).ok());
+  }
+  const AlarmStats total = monitor->TotalStats();
+  EXPECT_GT(total.checks, 0u);
+  EXPECT_GE(total.candidates, total.true_alarms);
+}
+
+TEST(AggregateMonitorTest, PerWindowStatsSumToTotal) {
+  const auto thresholds =
+      TrainedThresholds(AggregateKind::kSum, 20, 5, 2.0, 9);
+  auto monitor = std::move(AggregateMonitor::Create(
+                               MonitorConfig(AggregateKind::kSum, 20, 4, 5),
+                               thresholds))
+                     .value();
+  BurstySource source(10);
+  for (int t = 0; t < 3000; ++t) {
+    ASSERT_TRUE(monitor->Append(source.Next()).ok());
+  }
+  AlarmStats manual;
+  for (std::size_t i = 0; i < monitor->num_windows(); ++i) {
+    manual.candidates += monitor->stats(i).candidates;
+    manual.true_alarms += monitor->stats(i).true_alarms;
+    manual.checks += monitor->stats(i).checks;
+  }
+  const AlarmStats total = monitor->TotalStats();
+  EXPECT_EQ(total.candidates, manual.candidates);
+  EXPECT_EQ(total.true_alarms, manual.true_alarms);
+  EXPECT_EQ(total.checks, manual.checks);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,135 @@
+#include "transform/aggregate.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+std::vector<double> RandomWindow(Rng* rng, std::size_t n) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng->NextDouble(-10.0, 10.0);
+  return x;
+}
+
+TEST(AggregateTest, FeatureDims) {
+  EXPECT_EQ(AggregateFeatureDims(AggregateKind::kSum), 1u);
+  EXPECT_EQ(AggregateFeatureDims(AggregateKind::kMax), 1u);
+  EXPECT_EQ(AggregateFeatureDims(AggregateKind::kMin), 1u);
+  EXPECT_EQ(AggregateFeatureDims(AggregateKind::kSpread), 2u);
+}
+
+TEST(AggregateTest, Names) {
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kSum), "SUM");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kSpread), "SPREAD");
+}
+
+TEST(AggregateTest, ExactFeatures) {
+  const std::vector<double> w{3.0, -1.0, 4.0, 1.0};
+  EXPECT_EQ(AggregateExactFeature(AggregateKind::kSum, w), Point{7.0});
+  EXPECT_EQ(AggregateExactFeature(AggregateKind::kMax, w), Point{4.0});
+  EXPECT_EQ(AggregateExactFeature(AggregateKind::kMin, w), Point{-1.0});
+  EXPECT_EQ(AggregateExactFeature(AggregateKind::kSpread, w),
+            (Point{4.0, -1.0}));
+}
+
+TEST(AggregateTest, ScalarValues) {
+  EXPECT_EQ(AggregateScalar(AggregateKind::kSum, {7.0}), 7.0);
+  EXPECT_EQ(AggregateScalar(AggregateKind::kSpread, {4.0, -1.0}), 5.0);
+}
+
+// Lemma 4.1: merging the exact features of the two halves gives the exact
+// feature of the whole window.
+TEST(AggregatePropertyTest, MergeFeaturesIsExact) {
+  Rng rng(31);
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kMax, AggregateKind::kMin,
+        AggregateKind::kSpread}) {
+    for (int iter = 0; iter < 200; ++iter) {
+      const std::size_t half = 1 + rng.NextUint64(32);
+      const std::vector<double> a = RandomWindow(&rng, half);
+      const std::vector<double> b = RandomWindow(&rng, half);
+      std::vector<double> whole = a;
+      whole.insert(whole.end(), b.begin(), b.end());
+      const Point merged =
+          AggregateMergeFeatures(kind, AggregateExactFeature(kind, a),
+                                 AggregateExactFeature(kind, b));
+      const Point direct = AggregateExactFeature(kind, whole);
+      ASSERT_EQ(merged.size(), direct.size());
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        // SUM accumulates in a different order: allow rounding slack.
+        EXPECT_NEAR(merged[i], direct[i],
+                    1e-12 * (1.0 + std::abs(direct[i])));
+      }
+    }
+  }
+}
+
+// Lemma 4.2: the merged extent of two boxes brackets the merged feature of
+// any pair of features inside them.
+TEST(AggregatePropertyTest, MergeExtentsBracketInnerFeatures) {
+  Rng rng(32);
+  for (AggregateKind kind :
+       {AggregateKind::kSum, AggregateKind::kMax, AggregateKind::kMin,
+        AggregateKind::kSpread}) {
+    const std::size_t dims = AggregateFeatureDims(kind);
+    for (int iter = 0; iter < 300; ++iter) {
+      // Build each box the way the system does: bound a handful of valid
+      // features (max >= min for SPREAD) and sample one of them.
+      auto random_feature_box = [&](Point* sample) {
+        Mbr box(dims);
+        std::vector<Point> features;
+        for (int k = 0; k < 4; ++k) {
+          Point f(dims);
+          for (std::size_t d = 0; d < dims; ++d) {
+            f[d] = rng.NextDouble(-10, 10);
+          }
+          if (kind == AggregateKind::kSpread && f[0] < f[1]) {
+            std::swap(f[0], f[1]);
+          }
+          box.Expand(f);
+          features.push_back(std::move(f));
+        }
+        *sample = features[rng.NextUint64(features.size())];
+        return box;
+      };
+      Point fa, fb;
+      const Mbr ba = random_feature_box(&fa);
+      const Mbr bb = random_feature_box(&fb);
+      const Mbr merged_box = AggregateMergeExtents(kind, ba, bb);
+      const Point merged_feature = AggregateMergeFeatures(kind, fa, fb);
+      for (std::size_t d = 0; d < dims; ++d) {
+        EXPECT_GE(merged_feature[d], merged_box.lo(d) - 1e-12);
+        EXPECT_LE(merged_feature[d], merged_box.hi(d) + 1e-12);
+      }
+      // And the scalar bound brackets the scalar value.
+      const ScalarInterval bound = AggregateScalarBound(kind, merged_box);
+      const double scalar = AggregateScalar(kind, merged_feature);
+      EXPECT_GE(scalar, bound.lo - 1e-12);
+      EXPECT_LE(scalar, bound.hi + 1e-12);
+    }
+  }
+}
+
+TEST(AggregateTest, SpreadScalarBoundClampsAtZero) {
+  // max in [0, 1], min in [0.5, 2]: lower spread bound would be -2.
+  const Mbr extent({0.0, 0.5}, {1.0, 2.0});
+  const ScalarInterval bound =
+      AggregateScalarBound(AggregateKind::kSpread, extent);
+  EXPECT_EQ(bound.lo, 0.0);
+  EXPECT_EQ(bound.hi, 0.5);
+}
+
+TEST(AggregateTest, SumExtentMergeAddsEndpoints) {
+  const Mbr a({1.0}, {2.0});
+  const Mbr b({10.0}, {20.0});
+  const Mbr merged = AggregateMergeExtents(AggregateKind::kSum, a, b);
+  EXPECT_EQ(merged.lo(0), 11.0);
+  EXPECT_EQ(merged.hi(0), 22.0);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,48 @@
+// Death tests for the invariant-check macros: programming errors abort
+// with a useful message rather than corrupting state silently.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include "common/ring_buffer.h"
+#include "dwt/haar.h"
+#include "geom/mbr.h"
+
+namespace stardust {
+namespace {
+
+TEST(CheckDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH(SD_CHECK(1 == 2), "SD_CHECK failed");
+}
+
+TEST(CheckDeathTest, CheckPassesSilently) {
+  SD_CHECK(true);
+  SUCCEED();
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, InvertedMbrExtentsAbort) {
+  // Per-dimension extent ordering is a debug-only check.
+  EXPECT_DEATH(Mbr({2.0}, {1.0}), "SD_CHECK failed");
+}
+#endif
+
+TEST(CheckDeathTest, NonPowerOfTwoDwtAborts) {
+  const std::vector<double> x(6, 1.0);
+  EXPECT_DEATH(HaarDwt(x), "SD_CHECK failed");
+}
+
+TEST(CheckDeathTest, ZeroCapacityRingBufferAborts) {
+  EXPECT_DEATH(RingBuffer<int>(0), "SD_CHECK failed");
+}
+
+#ifdef NDEBUG
+TEST(CheckDeathTest, DcheckCompiledOutInRelease) {
+  // SD_DCHECK is a no-op with NDEBUG: this must not abort.
+  SD_DCHECK(1 == 2);
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,120 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace stardust {
+namespace {
+
+StardustConfig AggregateConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 20;
+  config.num_levels = 6;
+  config.history = 20 << 5;
+  config.box_capacity = 5;
+  config.update_period = 1;
+  return config;
+}
+
+StardustConfig DwtConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 2;
+  config.r_max = 1.0;
+  config.base_window = 16;
+  config.num_levels = 4;
+  config.history = 16 << 3;
+  config.box_capacity = 4;
+  config.update_period = 1;
+  config.index_features = true;
+  return config;
+}
+
+TEST(ConfigTest, ValidConfigsPass) {
+  EXPECT_TRUE(AggregateConfig().Validate().ok());
+  EXPECT_TRUE(DwtConfig().Validate().ok());
+}
+
+TEST(ConfigTest, LevelWindowDoubles) {
+  const StardustConfig config = DwtConfig();
+  EXPECT_EQ(config.LevelWindow(0), 16u);
+  EXPECT_EQ(config.LevelWindow(1), 32u);
+  EXPECT_EQ(config.LevelWindow(3), 128u);
+}
+
+TEST(ConfigTest, FeatureDims) {
+  StardustConfig config = AggregateConfig();
+  EXPECT_EQ(config.FeatureDims(), 1u);
+  config.aggregate = AggregateKind::kSpread;
+  EXPECT_EQ(config.FeatureDims(), 2u);
+  EXPECT_EQ(DwtConfig().FeatureDims(), 2u);
+}
+
+TEST(ConfigTest, RejectsZeroParameters) {
+  StardustConfig config = AggregateConfig();
+  config.base_window = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AggregateConfig();
+  config.num_levels = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AggregateConfig();
+  config.box_capacity = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = AggregateConfig();
+  config.update_period = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, BatchRequiresUnitBoxCapacity) {
+  StardustConfig config = AggregateConfig();
+  config.update_period = 20;
+  config.box_capacity = 5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.box_capacity = 1;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigTest, HistoryMustCoverTopWindow) {
+  StardustConfig config = DwtConfig();
+  config.history = config.LevelWindow(config.num_levels - 1) - 1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, DwtRequiresPowerOfTwoWindowAndCoefficients) {
+  StardustConfig config = DwtConfig();
+  config.base_window = 24;
+  EXPECT_FALSE(config.Validate().ok());
+  config = DwtConfig();
+  config.coefficients = 3;
+  EXPECT_FALSE(config.Validate().ok());
+  config = DwtConfig();
+  config.coefficients = 32;  // > base_window
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigTest, ZNormOnlineIncrementalIsRejected) {
+  StardustConfig config = DwtConfig();
+  config.normalization = Normalization::kZNorm;
+  config.update_period = 1;
+  EXPECT_FALSE(config.Validate().ok());
+  // Batch mode is the supported correlation configuration.
+  config.update_period = config.base_window;
+  config.box_capacity = 1;
+  EXPECT_TRUE(config.Validate().ok());
+  // As is exact recomputation per level.
+  config.update_period = 1;
+  config.exact_levels = true;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigTest, AggregateAllowsNonPowerOfTwoBaseWindow) {
+  StardustConfig config = AggregateConfig();
+  config.base_window = 100;
+  config.history = 100 << 5;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,71 @@
+// Randomized configuration sweep for correlation detection: under random
+// (W, levels, f, M, radius) the verified pairs of the final round must
+// equal the exact oracle, and candidates must always cover them.
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "core/correlation_monitor.h"
+#include "stream/dataset.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+class CorrelationConfigFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CorrelationConfigFuzz, FinalRoundMatchesOracle) {
+  Rng rng(GetParam() * 977 + 11);
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.base_window = std::size_t{8} << rng.NextUint64(3);  // 8/16/32
+  config.num_levels = 3 + rng.NextUint64(3);                 // 3..5
+  config.coefficients = std::min<std::size_t>(
+      config.base_window / 2, std::size_t{2} << rng.NextUint64(3));
+  config.history = config.LevelWindow(config.num_levels - 1);
+  config.box_capacity = 1;
+  config.update_period = config.base_window;
+  ASSERT_TRUE(config.Validate().ok());
+  const std::size_t n = config.history;
+
+  const std::size_t m = 4 + rng.NextUint64(6);
+  const double radius = 0.2 + rng.NextDouble() * 1.2;
+
+  auto monitor =
+      std::move(CorrelationMonitor::Create(config, m, radius)).value();
+
+  // Random-walk streams with one planted near-duplicate pair.
+  Dataset dataset = MakeRandomWalkDataset(m, n * 2, GetParam() * 3 + 1);
+  for (std::size_t t = 0; t < dataset.length(); ++t) {
+    dataset.streams[1][t] =
+        dataset.streams[0][t] + 0.02 * rng.NextGaussian();
+  }
+  std::vector<double> values(m);
+  for (std::size_t t = 0; t < dataset.length(); ++t) {
+    for (std::size_t i = 0; i < m; ++i) values[i] = dataset.streams[i][t];
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+
+  const auto oracle = ScanCorrelatedPairs(dataset, n, radius);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> expected(
+      oracle.begin(), oracle.end());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> verified;
+  for (const auto& pair : monitor->last_round()) {
+    if (pair.verified) verified.insert({pair.a, pair.b});
+  }
+  ASSERT_EQ(verified, expected)
+      << "W=" << config.base_window << " J=" << config.num_levels
+      << " f=" << config.coefficients << " m=" << m << " r=" << radius;
+  EXPECT_TRUE(expected.count({0, 1}) == 1);  // the planted pair is real
+  EXPECT_GE(monitor->stats().candidates, monitor->stats().true_pairs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorrelationConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace stardust

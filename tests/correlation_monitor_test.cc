@@ -1,0 +1,166 @@
+#include "core/correlation_monitor.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig CorrelationConfig(std::size_t w, std::size_t levels,
+                                 std::size_t f) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = f;
+  config.base_window = w;
+  config.num_levels = levels;
+  config.history = w << (levels - 1);  // N = W · 2^J
+  config.box_capacity = 1;
+  config.update_period = w;
+  return config;
+}
+
+/// Builds M streams where streams 0 and 1 are strongly correlated (shared
+/// signal plus small independent noise) and the rest are independent.
+Dataset CorrelatedDataset(std::size_t m, std::size_t len,
+                          std::uint64_t seed) {
+  Dataset dataset;
+  Rng rng(seed);
+  std::vector<double> shared(len);
+  double walk = 50.0;
+  for (double& v : shared) {
+    walk += rng.NextDouble() - 0.5;
+    v = walk;
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> stream(len);
+    if (i < 2) {
+      for (std::size_t t = 0; t < len; ++t) {
+        stream[t] = shared[t] + 0.02 * rng.NextGaussian();
+      }
+    } else {
+      double independent = rng.NextDouble(0.0, 100.0);
+      for (std::size_t t = 0; t < len; ++t) {
+        independent += rng.NextDouble() - 0.5;
+        stream[t] = independent;
+      }
+    }
+    dataset.streams.push_back(std::move(stream));
+  }
+  dataset.r_min = 0.0;
+  dataset.r_max = 200.0;
+  return dataset;
+}
+
+TEST(CorrelationMonitorTest, CreateValidation) {
+  StardustConfig config = CorrelationConfig(16, 5, 2);
+  EXPECT_TRUE(CorrelationMonitor::Create(config, 4, 0.1).ok());
+  EXPECT_FALSE(CorrelationMonitor::Create(config, 0, 0.1).ok());
+  EXPECT_FALSE(CorrelationMonitor::Create(config, 4, -1.0).ok());
+  StardustConfig online = config;
+  online.update_period = 1;
+  online.exact_levels = true;
+  EXPECT_FALSE(CorrelationMonitor::Create(online, 4, 0.1).ok());
+  StardustConfig wrong_norm = config;
+  wrong_norm.normalization = Normalization::kUnitSphere;
+  EXPECT_FALSE(CorrelationMonitor::Create(wrong_norm, 4, 0.1).ok());
+  StardustConfig short_history = config;
+  short_history.history = config.history * 2;
+  EXPECT_FALSE(CorrelationMonitor::Create(short_history, 4, 0.1).ok());
+}
+
+TEST(CorrelationMonitorTest, DetectsPlantedCorrelatedPair) {
+  const std::size_t len = 512;
+  const Dataset dataset = CorrelatedDataset(6, len, 42);
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               CorrelationConfig(16, 5, 4), 6, 0.2))
+                     .value();
+  std::vector<double> values(6);
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t i = 0; i < 6; ++i) values[i] = dataset.streams[i][t];
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  // The planted pair (0, 1) must have been reported and verified.
+  bool found = false;
+  for (const auto& pair : monitor->last_round()) {
+    if (pair.a == 0 && pair.b == 1) {
+      found = true;
+      EXPECT_TRUE(pair.verified);
+      EXPECT_LT(pair.distance, 0.2);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(monitor->stats().true_pairs, 0u);
+}
+
+// Soundness + completeness of one detection round against the exact
+// oracle: every truly correlated pair is a candidate (feature distance
+// lower-bounds window distance), and verified pairs match the oracle.
+TEST(CorrelationMonitorTest, LastRoundMatchesLinearScan) {
+  const std::size_t w = 16, levels = 4;  // N = 128
+  const std::size_t n = w << (levels - 1);
+  const std::size_t len = 256;
+  const double radius = 0.6;
+  const Dataset dataset = CorrelatedDataset(8, len, 7);
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               CorrelationConfig(w, levels, 4), 8, radius))
+                     .value();
+  std::vector<double> values(8);
+  for (std::size_t t = 0; t < len; ++t) {
+    for (std::size_t i = 0; i < 8; ++i) values[i] = dataset.streams[i][t];
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  const auto expected = ScanCorrelatedPairs(dataset, n, radius);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> expected_set(
+      expected.begin(), expected.end());
+  std::set<std::pair<std::uint32_t, std::uint32_t>> verified_set;
+  for (const auto& pair : monitor->last_round()) {
+    if (pair.verified) verified_set.insert({pair.a, pair.b});
+  }
+  EXPECT_EQ(verified_set, expected_set);
+  // Candidates of the round dominate the verified pairs.
+  EXPECT_GE(monitor->last_round().size(), verified_set.size());
+}
+
+TEST(CorrelationMonitorTest, NoDetectionBeforeHistoryFills) {
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               CorrelationConfig(8, 3, 2), 3, 0.5))
+                     .value();
+  std::vector<double> values{1.0, 2.0, 3.0};
+  for (int t = 0; t < 31; ++t) {  // N = 32: one short of a full window
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  EXPECT_EQ(monitor->stats().candidates, 0u);
+  EXPECT_TRUE(monitor->last_round().empty());
+}
+
+TEST(CorrelationMonitorTest, IdenticalStreamsAlwaysPair) {
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               CorrelationConfig(8, 3, 2), 2, 0.1))
+                     .value();
+  Rng rng(3);
+  double walk = 10.0;
+  for (int t = 0; t < 128; ++t) {
+    walk += rng.NextDouble() - 0.5;
+    ASSERT_TRUE(monitor->AppendAll({walk, walk}).ok());
+  }
+  EXPECT_GT(monitor->stats().candidates, 0u);
+  EXPECT_EQ(monitor->stats().candidates, monitor->stats().true_pairs);
+  EXPECT_EQ(monitor->stats().Precision(), 1.0);
+}
+
+TEST(CorrelationMonitorTest, ValueCountMustMatchStreams) {
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               CorrelationConfig(8, 3, 2), 3, 0.5))
+                     .value();
+  EXPECT_FALSE(monitor->AppendAll({1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,125 @@
+#include "transform/feature.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+std::vector<double> RandomWindow(Rng* rng, std::size_t n, double lo,
+                                 double hi) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng->NextDouble(lo, hi);
+  return x;
+}
+
+TEST(FeatureTest, UnitSphereNormalizationFormula) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> n = NormalizeUnitSphere(x, 10.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(n[i], x[i] / (2.0 * 10.0));
+  }
+}
+
+// Equation 2 maps any window with values in [0, R_max] into the unit
+// hyper-sphere (norm <= 1).
+TEST(FeatureTest, UnitSphereNormIsAtMostOne) {
+  Rng rng(1);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::vector<double> x = RandomWindow(&rng, 64, 0.0, 7.5);
+    const std::vector<double> n = NormalizeUnitSphere(x, 7.5);
+    double norm2 = 0.0;
+    for (double v : n) norm2 += v * v;
+    EXPECT_LE(norm2, 1.0 + 1e-12);
+  }
+}
+
+TEST(FeatureTest, ZNormalizeHasZeroMeanUnitNorm) {
+  Rng rng(2);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::vector<double> x = RandomWindow(&rng, 32, -5.0, 5.0);
+    const std::vector<double> z = ZNormalize(x);
+    double mean = 0.0, norm2 = 0.0;
+    for (double v : z) {
+      mean += v;
+      norm2 += v * v;
+    }
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(norm2, 1.0, 1e-9);
+  }
+}
+
+TEST(FeatureTest, ZNormalizeConstantWindowIsZero) {
+  const std::vector<double> z = ZNormalize({3.0, 3.0, 3.0});
+  for (double v : z) EXPECT_EQ(v, 0.0);
+}
+
+TEST(FeatureTest, ZNormalizeIsShiftAndScaleInvariant) {
+  Rng rng(3);
+  const std::vector<double> x = RandomWindow(&rng, 16, -1.0, 1.0);
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = 4.0 * x[i] + 11.0;
+  const std::vector<double> zx = ZNormalize(x);
+  const std::vector<double> zy = ZNormalize(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(zx[i], zy[i], 1e-9);
+  }
+}
+
+// corr = 1 - d²/2 identity (Section 2.4): Pearson correlation computed
+// directly equals the one recovered from the z-normalized distance.
+TEST(FeatureTest, CorrelationDistanceIdentity) {
+  Rng rng(4);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::vector<double> x = RandomWindow(&rng, 64, -5.0, 5.0);
+    const std::vector<double> y = RandomWindow(&rng, 64, -5.0, 5.0);
+    const double d2 = Dist2(ZNormalize(x), ZNormalize(y));
+    const double via_distance = CorrelationFromDist2(d2);
+    const double direct = PearsonCorrelation(x, y);
+    EXPECT_NEAR(via_distance, direct, 1e-9);
+  }
+}
+
+TEST(FeatureTest, PerfectCorrelationAndAnticorrelation) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> pos(x.size()), neg(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    pos[i] = 2.0 * x[i] + 1.0;
+    neg[i] = -3.0 * x[i] + 2.0;
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, pos), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, neg), -1.0, 1e-12);
+}
+
+TEST(FeatureTest, DistanceForMinCorrelationRoundTrip) {
+  for (double corr : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    const double d = DistanceForMinCorrelation(corr);
+    EXPECT_NEAR(CorrelationFromDist2(d * d), corr, 1e-12);
+  }
+}
+
+TEST(FeatureTest, DwtFeatureLengthAndLinearity) {
+  Rng rng(5);
+  const std::vector<double> x = RandomWindow(&rng, 32, -1.0, 1.0);
+  const Point f = DwtFeature(x, 4);
+  ASSERT_EQ(f.size(), 4u);
+  // Linearity: feature of 2x equals 2·feature of x.
+  std::vector<double> x2(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) x2[i] = 2.0 * x[i];
+  const Point f2 = DwtFeature(x2, 4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(f2[i], 2.0 * f[i], 1e-12);
+}
+
+TEST(FeatureTest, NormalizeWindowDispatch) {
+  const std::vector<double> x{2.0, 4.0};
+  EXPECT_EQ(NormalizeWindow(x, Normalization::kNone, 1.0), x);
+  EXPECT_EQ(NormalizeWindow(x, Normalization::kUnitSphere, 2.0),
+            NormalizeUnitSphere(x, 2.0));
+  EXPECT_EQ(NormalizeWindow(x, Normalization::kZNorm, 1.0), ZNormalize(x));
+}
+
+}  // namespace
+}  // namespace stardust

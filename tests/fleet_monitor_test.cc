@@ -1,0 +1,152 @@
+#include "core/fleet_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/correlation_monitor.h"
+#include "stream/bursty_source.h"
+#include "stream/random_walk.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig FleetConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 10;
+  config.num_levels = 4;
+  config.history = 200;
+  config.box_capacity = 2;
+  config.update_period = 1;
+  return config;
+}
+
+std::vector<WindowThreshold> FleetThresholds(double lambda) {
+  BurstySource source(21);
+  const std::vector<double> training = source.Take(3000);
+  return TrainThresholds(AggregateKind::kSum, training, {10, 20, 40},
+                         lambda);
+}
+
+TEST(FleetMonitorTest, CreateValidation) {
+  EXPECT_FALSE(
+      FleetAggregateMonitor::Create(FleetConfig(), FleetThresholds(3.0), 0)
+          .ok());
+  EXPECT_FALSE(
+      FleetAggregateMonitor::Create(FleetConfig(), {}, 3).ok());
+  EXPECT_TRUE(
+      FleetAggregateMonitor::Create(FleetConfig(), FleetThresholds(3.0), 3)
+          .ok());
+}
+
+TEST(FleetMonitorTest, PerStreamAndFleetTotalsAreConsistent) {
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             FleetConfig(), FleetThresholds(2.0), 4))
+                   .value();
+  std::vector<std::unique_ptr<BurstySource>> sources;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    sources.push_back(std::make_unique<BurstySource>(100 + i));
+  }
+  std::vector<double> values(4);
+  for (int t = 0; t < 2000; ++t) {
+    for (std::size_t i = 0; i < 4; ++i) values[i] = sources[i]->Next();
+    ASSERT_TRUE(fleet->AppendAll(values).ok());
+  }
+  AlarmStats manual;
+  for (StreamId i = 0; i < 4; ++i) {
+    const AlarmStats s = fleet->StreamTotal(i);
+    manual.candidates += s.candidates;
+    manual.true_alarms += s.true_alarms;
+    manual.checks += s.checks;
+  }
+  const AlarmStats total = fleet->FleetTotal();
+  EXPECT_EQ(total.candidates, manual.candidates);
+  EXPECT_EQ(total.true_alarms, manual.true_alarms);
+  EXPECT_EQ(total.checks, manual.checks);
+  EXPECT_GT(total.checks, 0u);
+}
+
+TEST(FleetMonitorTest, CurrentlyAlarmingPicksTheHotStream) {
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             FleetConfig(), FleetThresholds(3.0), 3))
+                   .value();
+  // Stream 1 runs hot (values far above the trained thresholds).
+  BurstySource calm_a(200), calm_b(201);
+  for (int t = 0; t < 500; ++t) {
+    ASSERT_TRUE(fleet->Append(0, calm_a.Next()).ok());
+    ASSERT_TRUE(fleet->Append(1, 10000.0).ok());
+    ASSERT_TRUE(fleet->Append(2, calm_b.Next()).ok());
+  }
+  for (std::size_t window_index = 0; window_index < fleet->num_windows();
+       ++window_index) {
+    Result<std::vector<StreamId>> alarming =
+        fleet->CurrentlyAlarming(window_index);
+    ASSERT_TRUE(alarming.ok());
+    ASSERT_EQ(alarming.value().size(), 1u) << "window " << window_index;
+    EXPECT_EQ(alarming.value()[0], 1u);
+  }
+  EXPECT_FALSE(fleet->CurrentlyAlarming(99).ok());
+}
+
+TEST(FleetMonitorTest, ShortStreamIsNotAlarming) {
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             FleetConfig(), FleetThresholds(3.0), 2))
+                   .value();
+  ASSERT_TRUE(fleet->Append(0, 1.0).ok());  // far too short for window 10
+  Result<std::vector<StreamId>> alarming = fleet->CurrentlyAlarming(0);
+  ASSERT_TRUE(alarming.ok());
+  EXPECT_TRUE(alarming.value().empty());
+}
+
+TEST(FleetMonitorTest, AppendValidation) {
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             FleetConfig(), FleetThresholds(3.0), 2))
+                   .value();
+  EXPECT_FALSE(fleet->Append(5, 1.0).ok());
+  EXPECT_FALSE(fleet->AppendAll({1.0}).ok());
+  EXPECT_TRUE(fleet->AppendAll({1.0, 2.0}).ok());
+}
+
+// TopKPairs extension of the correlation monitor (tested here to keep
+// the correlation test file focused on the paper's semantics).
+TEST(TopKPairsTest, RanksThePlantedPairFirst) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 4;
+  config.base_window = 8;
+  config.num_levels = 4;  // N = 64
+  config.history = 64;
+  config.box_capacity = 1;
+  config.update_period = 8;
+  auto monitor =
+      std::move(CorrelationMonitor::Create(config, 5, 0.1)).value();
+  EXPECT_FALSE(monitor->TopKPairs(2).ok());  // no round yet
+  RandomWalkSource base(7);
+  std::vector<double> walks{0, 0, 40, 80, 120};
+  Rng rng(8);
+  std::vector<double> values(5);
+  for (int t = 0; t < 200; ++t) {
+    const double shared = base.Next();
+    values[0] = shared;
+    values[1] = shared + 0.01 * rng.NextGaussian();
+    for (std::size_t i = 2; i < 5; ++i) {
+      walks[i] += rng.NextDouble() - 0.5;
+      values[i] = walks[i];
+    }
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  Result<std::vector<CorrelationMonitor::ReportedPair>> top =
+      monitor->TopKPairs(3);
+  ASSERT_TRUE(top.ok()) << top.status().ToString();
+  ASSERT_EQ(top.value().size(), 3u);
+  EXPECT_EQ(top.value()[0].a, 0u);
+  EXPECT_EQ(top.value()[0].b, 1u);
+  for (std::size_t i = 1; i < top.value().size(); ++i) {
+    EXPECT_GE(top.value()[i].distance, top.value()[i - 1].distance);
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,96 @@
+#include "baselines/generalmatch.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+GeneralMatchOptions Options(const Dataset& dataset, std::size_t w,
+                            std::size_t f) {
+  GeneralMatchOptions options;
+  options.window = w;
+  options.coefficients = f;
+  options.normalization = Normalization::kUnitSphere;
+  options.r_max = dataset.r_max;
+  return options;
+}
+
+std::set<std::pair<StreamId, std::uint64_t>> MatchSet(
+    const std::vector<PatternMatch>& matches) {
+  std::set<std::pair<StreamId, std::uint64_t>> out;
+  for (const auto& m : matches) out.emplace(m.stream, m.end_time);
+  return out;
+}
+
+TEST(GeneralMatchTest, BuildValidation) {
+  const Dataset dataset = MakeRandomWalkDataset(2, 256, 1);
+  GeneralMatchOptions options = Options(dataset, 48, 2);  // not power of 2
+  EXPECT_FALSE(GeneralMatch::Build(dataset, options).ok());
+  options = Options(dataset, 32, 64);  // f > w
+  EXPECT_FALSE(GeneralMatch::Build(dataset, options).ok());
+  options = Options(dataset, 32, 2);
+  EXPECT_TRUE(GeneralMatch::Build(dataset, options).ok());
+}
+
+TEST(GeneralMatchTest, IndexHoldsDisjointWindows) {
+  const Dataset dataset = MakeRandomWalkDataset(3, 256, 2);
+  auto gm =
+      std::move(GeneralMatch::Build(dataset, Options(dataset, 32, 2)))
+          .value();
+  EXPECT_EQ(gm->index().size(), 3u * (256 / 32));
+}
+
+TEST(GeneralMatchTest, PlantedSubsequenceIsFound) {
+  const Dataset dataset = MakeRandomWalkDataset(4, 512, 3);
+  auto gm =
+      std::move(GeneralMatch::Build(dataset, Options(dataset, 32, 4)))
+          .value();
+  const std::size_t len = 100, start = 217;
+  std::vector<double> query(dataset.streams[3].begin() + start,
+                            dataset.streams[3].begin() + start + len);
+  const auto result = gm->Query(query, 1e-9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(MatchSet(result.value().matches).count({3, start + len - 1}),
+            1u);
+}
+
+// Completeness against the linear-scan oracle at several radii.
+class GeneralMatchCompleteness : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeneralMatchCompleteness, EqualsLinearScan) {
+  const double radius = GetParam();
+  const Dataset dataset = MakeRandomWalkDataset(4, 512, 44);
+  auto gm =
+      std::move(GeneralMatch::Build(dataset, Options(dataset, 32, 4)))
+          .value();
+  const auto queries = MakeQueryWorkload(5, {96, 128, 160}, 45);
+  for (const auto& query : queries) {
+    const auto result = gm->Query(query, radius);
+    ASSERT_TRUE(result.ok());
+    const auto expected = MatchSet(
+        ScanPatternMatches(dataset, query, radius,
+                           Normalization::kUnitSphere, dataset.r_max));
+    EXPECT_EQ(MatchSet(result.value().matches), expected);
+    EXPECT_GE(result.value().candidates, result.value().matches.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, GeneralMatchCompleteness,
+                         ::testing::Values(0.002, 0.01, 0.05));
+
+TEST(GeneralMatchTest, QueryShorterThanTwoWindowsRejected) {
+  const Dataset dataset = MakeRandomWalkDataset(2, 256, 5);
+  auto gm =
+      std::move(GeneralMatch::Build(dataset, Options(dataset, 64, 2)))
+          .value();
+  EXPECT_FALSE(gm->Query(std::vector<double>(100, 1.0), 0.1).ok());
+  EXPECT_TRUE(gm->Query(std::vector<double>(127, 1.0), 0.1).ok());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,231 @@
+#include "dwt/haar.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dwt/filters.h"
+
+namespace stardust {
+namespace {
+
+std::vector<double> RandomSignal(Rng* rng, std::size_t n) {
+  std::vector<double> x(n);
+  for (double& v : x) v = rng->NextDouble(-5.0, 5.0);
+  return x;
+}
+
+double Energy(const std::vector<double>& x) {
+  double e = 0.0;
+  for (double v : x) e += v * v;
+  return e;
+}
+
+TEST(IsPowerOfTwoTest, Basics) {
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_TRUE(IsPowerOfTwo(1024));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_FALSE(IsPowerOfTwo(1023));
+}
+
+TEST(HaarTest, LengthOneIsIdentity) {
+  const std::vector<double> x{3.5};
+  EXPECT_EQ(HaarDwt(x), x);
+  EXPECT_EQ(HaarInverse(x), x);
+}
+
+TEST(HaarTest, KnownTransformOfConstantSignal) {
+  // A constant signal has all its energy in the approximation coefficient.
+  const std::vector<double> x(8, 2.0);
+  const std::vector<double> coeffs = HaarDwt(x);
+  EXPECT_NEAR(coeffs[0], 2.0 * std::sqrt(8.0), 1e-12);
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    EXPECT_NEAR(coeffs[i], 0.0, 1e-12);
+  }
+}
+
+TEST(HaarTest, KnownTransformOfStep) {
+  const std::vector<double> x{1.0, 1.0, -1.0, -1.0};
+  const std::vector<double> coeffs = HaarDwt(x);
+  EXPECT_NEAR(coeffs[0], 0.0, 1e-12);  // mean zero
+  EXPECT_NEAR(coeffs[1], 2.0, 1e-12);  // the step lives at the top detail
+  EXPECT_NEAR(coeffs[2], 0.0, 1e-12);
+  EXPECT_NEAR(coeffs[3], 0.0, 1e-12);
+}
+
+TEST(HaarTest, InverseRoundTrip) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 4u, 8u, 64u, 256u}) {
+    const std::vector<double> x = RandomSignal(&rng, n);
+    const std::vector<double> back = HaarInverse(HaarDwt(x));
+    ASSERT_EQ(back.size(), x.size());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-9);
+  }
+}
+
+TEST(HaarTest, EnergyPreserved) {
+  Rng rng(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::vector<double> x = RandomSignal(&rng, 128);
+    EXPECT_NEAR(Energy(HaarDwt(x)), Energy(x), 1e-8);
+  }
+}
+
+TEST(HaarTest, ApproxFullLengthIsIdentity) {
+  Rng rng(3);
+  const std::vector<double> x = RandomSignal(&rng, 16);
+  EXPECT_EQ(HaarApprox(x, 16), x);
+}
+
+TEST(HaarTest, ApproxOneIsScaledMean) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> a = HaarApprox(x, 1);
+  ASSERT_EQ(a.size(), 1u);
+  // Orthonormal scaling: a = sum / sqrt(n).
+  EXPECT_NEAR(a[0], 10.0 / 2.0, 1e-12);
+}
+
+TEST(HaarTest, PrefixMatchesFullTransform) {
+  Rng rng(4);
+  const std::vector<double> x = RandomSignal(&rng, 64);
+  const std::vector<double> full = HaarDwt(x);
+  const std::vector<double> prefix = HaarPrefix(x, 8);
+  ASSERT_EQ(prefix.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(prefix[i], full[i]);
+}
+
+// The property the feature representation relies on (see dwt/haar.h): the
+// length-f approximation vector is a unitary change of basis of the first
+// f ordered DWT coefficients, so pairwise L2 distances are identical.
+TEST(HaarPropertyTest, ApproxAndPrefixDistancesAgree) {
+  Rng rng(5);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::size_t n = 64;
+    for (std::size_t f : {1u, 2u, 4u, 8u, 16u}) {
+      const std::vector<double> x = RandomSignal(&rng, n);
+      const std::vector<double> y = RandomSignal(&rng, n);
+      auto dist2 = [](const std::vector<double>& a,
+                      const std::vector<double>& b) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          s += (a[i] - b[i]) * (a[i] - b[i]);
+        }
+        return s;
+      };
+      const double approx_d =
+          dist2(HaarApprox(x, f), HaarApprox(y, f));
+      const double prefix_d = dist2(HaarPrefix(x, f), HaarPrefix(y, f));
+      EXPECT_NEAR(approx_d, prefix_d, 1e-9 * (1.0 + approx_d));
+    }
+  }
+}
+
+// Truncated-feature distance lower-bounds the true distance (the index
+// filter's soundness).
+TEST(HaarPropertyTest, FeatureDistanceLowerBoundsSignalDistance) {
+  Rng rng(6);
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::vector<double> x = RandomSignal(&rng, 64);
+    const std::vector<double> y = RandomSignal(&rng, 64);
+    double signal_d = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      signal_d += (x[i] - y[i]) * (x[i] - y[i]);
+    }
+    for (std::size_t f : {1u, 2u, 4u, 8u, 32u}) {
+      const std::vector<double> fx = HaarApprox(x, f);
+      const std::vector<double> fy = HaarApprox(y, f);
+      double feature_d = 0.0;
+      for (std::size_t i = 0; i < f; ++i) {
+        feature_d += (fx[i] - fy[i]) * (fx[i] - fy[i]);
+      }
+      EXPECT_LE(feature_d, signal_d + 1e-9);
+    }
+  }
+}
+
+TEST(EnergyFractionTest, FullLengthKeepsEverything) {
+  Rng rng(20);
+  std::vector<std::vector<double>> windows;
+  for (int i = 0; i < 10; ++i) windows.push_back(RandomSignal(&rng, 32));
+  EXPECT_NEAR(ApproxEnergyFraction(windows, 32), 1.0, 1e-12);
+}
+
+TEST(EnergyFractionTest, MonotoneInF) {
+  Rng rng(21);
+  std::vector<std::vector<double>> windows;
+  for (int i = 0; i < 20; ++i) windows.push_back(RandomSignal(&rng, 64));
+  double prev = 0.0;
+  for (std::size_t f = 1; f <= 64; f *= 2) {
+    const double fraction = ApproxEnergyFraction(windows, f);
+    EXPECT_GE(fraction, prev - 1e-12) << "f=" << f;
+    EXPECT_LE(fraction, 1.0 + 1e-12);
+    prev = fraction;
+  }
+}
+
+TEST(EnergyFractionTest, ZeroWindowsCountAsFull) {
+  const std::vector<std::vector<double>> windows{{0.0, 0.0, 0.0, 0.0}};
+  EXPECT_EQ(ApproxEnergyFraction(windows, 1), 1.0);
+}
+
+// The paper's premise (§4): smooth real-world-like series concentrate
+// energy in very few coefficients, so the suggested f is tiny relative
+// to the window; white noise spreads energy evenly, so the suggested f
+// approaches the window length.
+TEST(SuggestCoefficientsTest, SmoothSeriesNeedFewNoiseNeedsMany) {
+  Rng rng(22);
+  std::vector<std::vector<double>> smooth, noise;
+  for (int i = 0; i < 20; ++i) {
+    std::vector<double> s(64);
+    double walk = 100.0;
+    for (double& v : s) {
+      walk += rng.NextDouble() - 0.5;
+      v = walk;
+    }
+    smooth.push_back(std::move(s));
+    std::vector<double> n(64);
+    for (double& v : n) v = rng.NextGaussian();
+    noise.push_back(std::move(n));
+  }
+  const std::size_t f_smooth = SuggestCoefficientCount(smooth, 0.95);
+  const std::size_t f_noise = SuggestCoefficientCount(noise, 0.95);
+  EXPECT_LE(f_smooth, 4u);
+  EXPECT_GE(f_noise, 32u);
+  EXPECT_TRUE(IsPowerOfTwo(f_smooth));
+}
+
+TEST(SuggestCoefficientsTest, ExactFractionBoundary) {
+  // A constant window puts all energy in f = 1.
+  const std::vector<std::vector<double>> windows{{3.0, 3.0, 3.0, 3.0}};
+  EXPECT_EQ(SuggestCoefficientCount(windows, 1.0), 1u);
+}
+
+TEST(FiltersTest, HaarTapsAndDelta) {
+  const WaveletFilter& haar = HaarFilter();
+  ASSERT_EQ(haar.lowpass.size(), 2u);
+  EXPECT_NEAR(haar.lowpass[0], 1.0 / std::sqrt(2.0), 1e-15);
+  EXPECT_EQ(haar.DeltaAmplitude(), 0.0);
+}
+
+TEST(FiltersTest, Db4HasNegativeTapAndPositiveDelta) {
+  const WaveletFilter& db4 = Daubechies4Filter();
+  ASSERT_EQ(db4.lowpass.size(), 4u);
+  const double min_tap =
+      *std::min_element(db4.lowpass.begin(), db4.lowpass.end());
+  EXPECT_LT(min_tap, 0.0);
+  EXPECT_NEAR(db4.DeltaAmplitude(), -min_tap, 1e-15);
+  // Orthonormal filter: taps sum to sqrt(2), squared taps sum to 1.
+  const double sum =
+      std::accumulate(db4.lowpass.begin(), db4.lowpass.end(), 0.0);
+  EXPECT_NEAR(sum, std::sqrt(2.0), 1e-12);
+  double sumsq = 0.0;
+  for (double h : db4.lowpass) sumsq += h * h;
+  EXPECT_NEAR(sumsq, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,92 @@
+#include "stream/io.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+TEST(CsvTest, ParsesPlainNumericCsv) {
+  const std::string text = "1.0,2.0\n3.5,-4.0\n5,6\n";
+  Result<Dataset> result = ParseDatasetCsv(text);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Dataset& d = result.value();
+  EXPECT_EQ(d.num_streams(), 2u);
+  EXPECT_EQ(d.length(), 3u);
+  EXPECT_EQ(d.streams[0], (std::vector<double>{1.0, 3.5, 5.0}));
+  EXPECT_EQ(d.streams[1], (std::vector<double>{2.0, -4.0, 6.0}));
+  EXPECT_LE(d.r_min, -4.0);
+  EXPECT_GE(d.r_max, 6.0);
+}
+
+TEST(CsvTest, SkipsHeaderRow) {
+  const std::string text = "sensor_a,sensor_b\n1,2\n3,4\n";
+  Result<Dataset> result = ParseDatasetCsv(text);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().length(), 2u);
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCarriageReturns) {
+  const std::string text = "1,2\r\n\n3,4\r\n";
+  Result<Dataset> result = ParseDatasetCsv(text);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().length(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseDatasetCsv("1,2\n3\n").ok());
+}
+
+TEST(CsvTest, RejectsNonNumericDataRow) {
+  EXPECT_FALSE(ParseDatasetCsv("1,2\n3,oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseDatasetCsv("").ok());
+  EXPECT_FALSE(ParseDatasetCsv("only,a,header\n").ok());
+}
+
+TEST(CsvTest, SingleColumn) {
+  Result<Dataset> result = ParseDatasetCsv("1\n2\n3\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_streams(), 1u);
+  EXPECT_EQ(result.value().length(), 3u);
+}
+
+TEST(CsvTest, RoundTripIsExact) {
+  const Dataset original = MakeRandomWalkDataset(3, 50, 123);
+  const std::string text = FormatDatasetCsv(original);
+  Result<Dataset> result = ParseDatasetCsv(text);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().num_streams(), original.num_streams());
+  for (std::size_t s = 0; s < original.num_streams(); ++s) {
+    ASSERT_EQ(result.value().streams[s].size(), original.streams[s].size());
+    for (std::size_t t = 0; t < original.streams[s].size(); ++t) {
+      EXPECT_EQ(result.value().streams[s][t], original.streams[s][t])
+          << "stream " << s << " t " << t;
+    }
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const Dataset original = MakeHostLoadDataset(2, 40, 9);
+  const std::string path = ::testing::TempDir() + "/stardust_io_test.csv";
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+  Result<Dataset> loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().streams, original.streams);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  Result<Dataset> result = LoadDatasetCsv("/no/such/file.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,198 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pattern_query.h"
+#include "rtree/rtree.h"
+#include "stream/dataset.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RTree::SearchKNearest
+// ---------------------------------------------------------------------------
+
+Mbr RandomBox(Rng* rng, std::size_t dims) {
+  Point lo(dims), hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    lo[d] = rng->NextDouble(-50, 50);
+    hi[d] = lo[d] + rng->NextDouble(0, 4);
+  }
+  return Mbr(lo, hi);
+}
+
+TEST(KnnTest, EmptyTreeAndZeroK) {
+  RTree tree(2);
+  std::vector<RTreeEntry> out;
+  tree.SearchKNearest({0.0, 0.0}, 3, &out);
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(tree.Insert(Mbr::FromPoint({1.0, 1.0}), 1).ok());
+  tree.SearchKNearest({0.0, 0.0}, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(KnnTest, KLargerThanTreeReturnsEverything) {
+  RTree tree(2);
+  for (RecordId id = 0; id < 5; ++id) {
+    ASSERT_TRUE(
+        tree.Insert(Mbr::FromPoint({double(id), 0.0}), id).ok());
+  }
+  std::vector<RTreeEntry> out;
+  tree.SearchKNearest({0.0, 0.0}, 50, &out);
+  EXPECT_EQ(out.size(), 5u);
+  // Sorted by distance: ids 0..4 in order.
+  for (RecordId id = 0; id < 5; ++id) EXPECT_EQ(out[id].id, id);
+}
+
+struct KnnParam {
+  std::size_t dims;
+  std::size_t count;
+  std::size_t k;
+};
+
+class KnnMatchesBruteForce : public ::testing::TestWithParam<KnnParam> {};
+
+TEST_P(KnnMatchesBruteForce, DistancesAgree) {
+  const KnnParam param = GetParam();
+  RTree tree(param.dims, RTreeOptions{.max_entries = 8});
+  Rng rng(500 + param.count + param.k);
+  std::vector<RTreeEntry> reference;
+  for (RecordId id = 0; id < param.count; ++id) {
+    const Mbr box = RandomBox(&rng, param.dims);
+    ASSERT_TRUE(tree.Insert(box, id).ok());
+    reference.push_back({box, id});
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    Point q(param.dims);
+    for (std::size_t d = 0; d < param.dims; ++d) {
+      q[d] = rng.NextDouble(-60, 60);
+    }
+    std::vector<RTreeEntry> out;
+    tree.SearchKNearest(q, param.k, &out);
+    ASSERT_EQ(out.size(), std::min(param.k, param.count));
+    // Brute-force k smallest MinDists.
+    std::vector<double> dists;
+    for (const auto& e : reference) dists.push_back(e.box.MinDist2(q));
+    std::sort(dists.begin(), dists.end());
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      EXPECT_NEAR(out[i].box.MinDist2(q), dists[i], 1e-9)
+          << "rank " << i;
+      if (i > 0) {
+        EXPECT_GE(out[i].box.MinDist2(q), out[i - 1].box.MinDist2(q));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KnnMatchesBruteForce,
+    ::testing::Values(KnnParam{2, 100, 1}, KnnParam{2, 500, 10},
+                      KnnParam{4, 300, 5}, KnnParam{1, 200, 25},
+                      KnnParam{8, 200, 3}));
+
+// ---------------------------------------------------------------------------
+// PatternQueryEngine::TopKOnline
+// ---------------------------------------------------------------------------
+
+class TopKTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = MakeRandomWalkDataset(4, 512, 777);
+    StardustConfig config;
+    config.transform = TransformKind::kDwt;
+    config.normalization = Normalization::kUnitSphere;
+    config.coefficients = 4;
+    config.r_max = dataset_.r_max;
+    config.base_window = 16;
+    config.num_levels = 4;
+    config.history = 1024;
+    config.box_capacity = 8;
+    config.update_period = 1;
+    config.index_features = true;
+    core_ = std::move(Stardust::Create(config)).value();
+    for (std::size_t i = 0; i < dataset_.num_streams(); ++i) {
+      const StreamId id = core_->AddStream();
+      for (double v : dataset_.streams[i]) {
+        ASSERT_TRUE(core_->Append(id, v).ok());
+      }
+    }
+  }
+
+  /// All (stream, end, distance) sorted ascending — the oracle.
+  std::vector<PatternMatch> Oracle(const std::vector<double>& query) const {
+    std::vector<PatternMatch> all;
+    const std::vector<double> qn =
+        NormalizeUnitSphere(query, dataset_.r_max);
+    for (std::size_t s = 0; s < dataset_.num_streams(); ++s) {
+      const auto& stream = dataset_.streams[s];
+      for (std::size_t start = 0; start + query.size() <= stream.size();
+           ++start) {
+        std::vector<double> window(stream.begin() + start,
+                                   stream.begin() + start + query.size());
+        const std::vector<double> wn =
+            NormalizeUnitSphere(window, dataset_.r_max);
+        all.push_back({static_cast<StreamId>(s),
+                       start + query.size() - 1,
+                       std::sqrt(Dist2(qn, wn))});
+      }
+    }
+    std::sort(all.begin(), all.end(),
+              [](const PatternMatch& a, const PatternMatch& b) {
+                return a.distance < b.distance;
+              });
+    return all;
+  }
+
+  Dataset dataset_;
+  std::unique_ptr<Stardust> core_;
+};
+
+TEST_F(TopKTest, TopOneIsTheNearestWindow) {
+  PatternQueryEngine engine(*core_);
+  const auto queries = MakeQueryWorkload(5, {48, 80}, 3);
+  for (const auto& query : queries) {
+    const auto result = engine.TopKOnline(query, 1);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value().size(), 1u);
+    const auto oracle = Oracle(query);
+    EXPECT_NEAR(result.value()[0].distance, oracle[0].distance, 1e-9);
+  }
+}
+
+TEST_F(TopKTest, TopKDistancesMatchOracle) {
+  PatternQueryEngine engine(*core_);
+  // Query drawn from the data so near matches exist.
+  std::vector<double> query(dataset_.streams[1].begin() + 100,
+                            dataset_.streams[1].begin() + 100 + 64);
+  for (std::size_t k : {1u, 5u, 20u}) {
+    const auto result = engine.TopKOnline(query, k);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result.value().size(), k);
+    const auto oracle = Oracle(query);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(result.value()[i].distance, oracle[i].distance, 1e-9)
+          << "rank " << i << " k " << k;
+    }
+  }
+}
+
+TEST_F(TopKTest, ZeroKReturnsEmpty) {
+  PatternQueryEngine engine(*core_);
+  std::vector<double> query(48, 1.0);
+  const auto result = engine.TopKOnline(query, 0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST_F(TopKTest, InvalidQueryLengthPropagates) {
+  PatternQueryEngine engine(*core_);
+  EXPECT_FALSE(engine.TopKOnline(std::vector<double>(50, 1.0), 3).ok());
+}
+
+}  // namespace
+}  // namespace stardust

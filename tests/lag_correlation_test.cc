@@ -1,0 +1,150 @@
+#include "core/lag_correlation.h"
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig LagConfig(std::size_t w, std::size_t levels,
+                         std::size_t extra_history) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 4;
+  config.base_window = w;
+  config.num_levels = levels;
+  config.history = (w << (levels - 1)) + extra_history;
+  config.box_capacity = 1;
+  config.update_period = w;
+  return config;
+}
+
+TEST(LagCorrelationTest, CreateValidation) {
+  // history == N: no room for lags > 0.
+  EXPECT_TRUE(
+      LagCorrelationMonitor::Create(LagConfig(8, 3, 0), 4, 0.5, 0).ok());
+  EXPECT_FALSE(
+      LagCorrelationMonitor::Create(LagConfig(8, 3, 0), 4, 0.5, 8).ok());
+  EXPECT_TRUE(
+      LagCorrelationMonitor::Create(LagConfig(8, 3, 16), 4, 0.5, 16).ok());
+  // max_lag must be a multiple of W.
+  EXPECT_FALSE(
+      LagCorrelationMonitor::Create(LagConfig(8, 3, 16), 4, 0.5, 12).ok());
+  EXPECT_FALSE(
+      LagCorrelationMonitor::Create(LagConfig(8, 3, 16), 0, 0.5, 8).ok());
+  EXPECT_FALSE(
+      LagCorrelationMonitor::Create(LagConfig(8, 3, 16), 4, -0.5, 8).ok());
+}
+
+TEST(LagCorrelationTest, DetectsPlantedLaggedPair) {
+  const std::size_t w = 8, levels = 4;  // N = 64
+  const std::size_t lag = 16;           // two feature rounds
+  auto monitor = std::move(LagCorrelationMonitor::Create(
+                               LagConfig(w, levels, 64), 4, 0.3, 32))
+                     .value();
+  // Stream 1 follows stream 0 with the given lag; 2 and 3 independent.
+  Rng rng(5);
+  std::vector<double> leader_history;
+  double walk = 10.0, w2 = 40.0, w3 = 80.0;
+  for (std::size_t t = 0; t < 400; ++t) {
+    walk += rng.NextDouble() - 0.5;
+    leader_history.push_back(walk);
+    w2 += rng.NextDouble() - 0.5;
+    w3 += rng.NextDouble() - 0.5;
+    const double follower =
+        t >= lag ? leader_history[t - lag] + 0.001 * rng.NextGaussian()
+                 : 0.0;
+    ASSERT_TRUE(monitor->AppendAll({walk, follower, w2, w3}).ok());
+  }
+  bool found = false;
+  for (const auto& pair : monitor->last_round()) {
+    if (pair.leader == 0 && pair.follower == 1 && pair.lag == lag) {
+      found = true;
+      EXPECT_TRUE(pair.verified);
+      EXPECT_LT(pair.distance, 0.3);
+    }
+  }
+  EXPECT_TRUE(found) << "planted lagged pair not reported";
+  EXPECT_GT(monitor->stats().true_pairs, 0u);
+}
+
+// With max_lag = 0 the monitor reduces to plain correlation detection:
+// verified lag-0 pairs match the exact oracle.
+TEST(LagCorrelationTest, ZeroLagMatchesExactPairs) {
+  const std::size_t w = 8, levels = 4;
+  const std::size_t n = w << (levels - 1);
+  auto monitor = std::move(LagCorrelationMonitor::Create(
+                               LagConfig(w, levels, 0), 6, 0.8, 0))
+                     .value();
+  Rng rng(9);
+  std::vector<std::vector<double>> streams(6);
+  std::vector<double> values(6);
+  std::vector<double> walks{10, 10.05, 50, 90, 130, 170};
+  for (std::size_t t = 0; t < 200; ++t) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      walks[i] += rng.NextDouble() - 0.5;
+      // Streams 0 and 1 share increments (strong correlation).
+      if (i == 1) walks[1] = walks[0] + 0.05;
+      values[i] = walks[i];
+      streams[i].push_back(values[i]);
+    }
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  // Exact pairs over the final window.
+  std::set<std::pair<StreamId, StreamId>> oracle;
+  std::vector<std::vector<double>> z(6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::vector<double> window(streams[i].end() - n, streams[i].end());
+    z[i] = ZNormalize(window);
+  }
+  for (StreamId i = 0; i < 6; ++i) {
+    for (StreamId j = i + 1; j < 6; ++j) {
+      if (Dist2(z[i], z[j]) <= 0.8 * 0.8) oracle.insert({i, j});
+    }
+  }
+  std::set<std::pair<StreamId, StreamId>> reported;
+  for (const auto& pair : monitor->last_round()) {
+    EXPECT_EQ(pair.lag, 0u);
+    if (pair.verified) {
+      reported.insert({std::min(pair.leader, pair.follower),
+                       std::max(pair.leader, pair.follower)});
+    }
+  }
+  EXPECT_EQ(reported, oracle);
+  EXPECT_TRUE(oracle.count({0, 1}) == 1);
+}
+
+TEST(LagCorrelationTest, CandidatesDominateVerified) {
+  auto monitor = std::move(LagCorrelationMonitor::Create(
+                               LagConfig(8, 3, 32), 5, 0.9, 32))
+                     .value();
+  Rng rng(11);
+  std::vector<double> values(5);
+  std::vector<double> walks{10, 30, 50, 70, 90};
+  for (std::size_t t = 0; t < 300; ++t) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      walks[i] += rng.NextDouble() - 0.5;
+      values[i] = walks[i];
+    }
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  EXPECT_GE(monitor->stats().candidates, monitor->stats().true_pairs);
+  EXPECT_LE(monitor->stats().Precision(), 1.0);
+}
+
+TEST(LagCorrelationTest, RejectsWrongValueCount) {
+  auto monitor = std::move(LagCorrelationMonitor::Create(
+                               LagConfig(8, 3, 16), 3, 0.5, 8))
+                     .value();
+  EXPECT_FALSE(monitor->AppendAll({1.0}).ok());
+}
+
+}  // namespace
+}  // namespace stardust

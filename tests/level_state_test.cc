@@ -1,0 +1,114 @@
+#include "core/level_state.h"
+
+#include <gtest/gtest.h>
+
+namespace stardust {
+namespace {
+
+Mbr PointBox(double v) { return Mbr::FromPoint({v}); }
+
+TEST(LevelThreadTest, BoxesSealAtCapacity) {
+  LevelThread thread(/*dims=*/1, /*capacity=*/3, /*stride=*/1);
+  EXPECT_EQ(thread.Append(0, PointBox(1.0)), nullptr);
+  EXPECT_EQ(thread.Append(1, PointBox(2.0)), nullptr);
+  const FeatureBox* sealed = thread.Append(2, PointBox(3.0));
+  ASSERT_NE(sealed, nullptr);
+  EXPECT_TRUE(sealed->sealed);
+  EXPECT_EQ(sealed->count, 3u);
+  EXPECT_EQ(sealed->first_time, 0u);
+  EXPECT_EQ(sealed->seq, 0u);
+  EXPECT_EQ(sealed->extent.lo(0), 1.0);
+  EXPECT_EQ(sealed->extent.hi(0), 3.0);
+}
+
+TEST(LevelThreadTest, NextBoxStartsAfterSeal) {
+  LevelThread thread(1, 2, 1);
+  thread.Append(5, PointBox(1.0));
+  thread.Append(6, PointBox(2.0));
+  EXPECT_EQ(thread.Append(7, PointBox(9.0)), nullptr);
+  EXPECT_EQ(thread.box_count(), 2u);
+  const FeatureBox* second = thread.Find(7);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->seq, 1u);
+  EXPECT_EQ(second->first_time, 7u);
+  EXPECT_FALSE(second->sealed);
+}
+
+TEST(LevelThreadTest, FindMapsTimesToBoxes) {
+  LevelThread thread(1, 2, 1);
+  for (int t = 0; t < 6; ++t) {
+    thread.Append(t, PointBox(static_cast<double>(t)));
+  }
+  for (int t = 0; t < 6; ++t) {
+    const FeatureBox* box = thread.Find(t);
+    ASSERT_NE(box, nullptr) << "t=" << t;
+    EXPECT_EQ(box->seq, static_cast<std::uint64_t>(t / 2));
+  }
+  EXPECT_EQ(thread.Find(6), nullptr);   // future
+  EXPECT_EQ(thread.last_time(), 5u);
+}
+
+TEST(LevelThreadTest, StridedFeatureTimes) {
+  LevelThread thread(1, 1, 4);  // batch: stride 4, capacity 1
+  thread.Append(7, PointBox(1.0));
+  thread.Append(11, PointBox(2.0));
+  thread.Append(15, PointBox(3.0));
+  EXPECT_NE(thread.Find(7), nullptr);
+  EXPECT_NE(thread.Find(11), nullptr);
+  EXPECT_EQ(thread.Find(9), nullptr);  // misaligned
+  EXPECT_EQ(thread.Find(11)->extent.lo(0), 2.0);
+}
+
+TEST(LevelThreadTest, ExpireDropsOnlySealedOldBoxes) {
+  LevelThread thread(1, 2, 1);
+  for (int t = 0; t < 5; ++t) {
+    thread.Append(t, PointBox(static_cast<double>(t)));
+  }
+  // Boxes: seq0 {0,1} sealed, seq1 {2,3} sealed, seq2 {4} filling.
+  std::vector<std::uint64_t> removed;
+  thread.ExpireBefore(3, [&](const FeatureBox& b) {
+    removed.push_back(b.seq);
+  });
+  // Box 0's last time (1) < 3 → removed; box 1's last time (3) >= 3 → kept.
+  EXPECT_EQ(removed, (std::vector<std::uint64_t>{0}));
+  EXPECT_EQ(thread.Find(1), nullptr);
+  EXPECT_NE(thread.Find(2), nullptr);
+  // The filling box survives even a far-future cutoff.
+  thread.ExpireBefore(100, [&](const FeatureBox& b) {
+    removed.push_back(b.seq);
+  });
+  EXPECT_EQ(removed.size(), 2u);
+  EXPECT_EQ(thread.box_count(), 1u);
+  EXPECT_FALSE(thread.empty());
+}
+
+TEST(LevelThreadTest, FindBySeqAfterExpiry) {
+  LevelThread thread(1, 1, 1);
+  for (int t = 0; t < 10; ++t) {
+    thread.Append(t, PointBox(static_cast<double>(t)));
+  }
+  thread.ExpireBefore(5, nullptr);
+  EXPECT_EQ(thread.FindBySeq(3), nullptr);
+  ASSERT_NE(thread.FindBySeq(7), nullptr);
+  EXPECT_EQ(thread.FindBySeq(7)->extent.lo(0), 7.0);
+  EXPECT_EQ(thread.FindBySeq(42), nullptr);
+}
+
+TEST(LevelThreadTest, ExtentCoversAllAppendedFeatures) {
+  LevelThread thread(2, 4, 1);
+  Mbr a = Mbr::FromPoint({1.0, -1.0});
+  Mbr b = Mbr::FromPoint({3.0, 2.0});
+  Mbr c({0.0, 0.0}, {0.5, 0.5});  // extents (merged features) also allowed
+  thread.Append(0, a);
+  thread.Append(1, b);
+  thread.Append(2, c);
+  const FeatureBox* box = thread.Find(0);
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(box->extent.lo(0), 0.0);
+  EXPECT_EQ(box->extent.hi(0), 3.0);
+  EXPECT_EQ(box->extent.lo(1), -1.0);
+  EXPECT_EQ(box->extent.hi(1), 2.0);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,173 @@
+#include "geom/mbr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+TEST(MbrTest, EmptyBoxProperties) {
+  Mbr box(3);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.dims(), 3u);
+  EXPECT_EQ(box.Area(), 0.0);
+  EXPECT_EQ(box.Margin(), 0.0);
+}
+
+TEST(MbrTest, FromPointIsDegenerate) {
+  Mbr box = Mbr::FromPoint({1.0, 2.0});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.Area(), 0.0);
+  EXPECT_TRUE(box.Contains(Point{1.0, 2.0}));
+  EXPECT_FALSE(box.Contains(Point{1.0, 2.1}));
+}
+
+TEST(MbrTest, ExpandGrowsToCoverPoints) {
+  Mbr box(2);
+  box.Expand(Point{0.0, 0.0});
+  box.Expand(Point{2.0, -1.0});
+  EXPECT_EQ(box.lo(0), 0.0);
+  EXPECT_EQ(box.hi(0), 2.0);
+  EXPECT_EQ(box.lo(1), -1.0);
+  EXPECT_EQ(box.hi(1), 0.0);
+  EXPECT_EQ(box.Area(), 2.0);
+  EXPECT_EQ(box.Margin(), 3.0);
+}
+
+TEST(MbrTest, ExpandWithBoxCoversBoth) {
+  Mbr a({0.0, 0.0}, {1.0, 1.0});
+  Mbr b({2.0, -1.0}, {3.0, 0.5});
+  a.Expand(b);
+  EXPECT_TRUE(a.Contains(b));
+  EXPECT_EQ(a.lo(1), -1.0);
+  EXPECT_EQ(a.hi(0), 3.0);
+}
+
+TEST(MbrTest, OverlapArea) {
+  Mbr a({0.0, 0.0}, {2.0, 2.0});
+  Mbr b({1.0, 1.0}, {3.0, 3.0});
+  EXPECT_EQ(a.OverlapArea(b), 1.0);
+  Mbr c({5.0, 5.0}, {6.0, 6.0});
+  EXPECT_EQ(a.OverlapArea(c), 0.0);
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(MbrTest, TouchingBoxesIntersectWithZeroOverlap) {
+  Mbr a({0.0, 0.0}, {1.0, 1.0});
+  Mbr b({1.0, 0.0}, {2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_EQ(a.OverlapArea(b), 0.0);
+}
+
+TEST(MbrTest, EnlargementOfCoveredPointIsZero) {
+  Mbr a({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_EQ(a.Enlargement(Point{1.0, 1.0}), 0.0);
+  EXPECT_GT(a.Enlargement(Point{3.0, 1.0}), 0.0);
+}
+
+TEST(MbrTest, MinDistToInsidePointIsZero) {
+  Mbr a({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_EQ(a.MinDist2(Point{1.0, 1.5}), 0.0);
+  EXPECT_DOUBLE_EQ(a.MinDist2(Point{3.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(a.MinDist2(Point{-1.0, 1.0}), 1.0);
+}
+
+TEST(MbrTest, BoxToBoxMinDist) {
+  Mbr a({0.0, 0.0}, {1.0, 1.0});
+  Mbr b({3.0, 0.0}, {4.0, 1.0});
+  EXPECT_DOUBLE_EQ(a.MinDist2(b), 4.0);
+  Mbr c({0.5, 0.5}, {2.0, 2.0});
+  EXPECT_EQ(a.MinDist2(c), 0.0);
+}
+
+TEST(MbrTest, MaxDistDominatesMinDist) {
+  Mbr a({0.0, 0.0}, {2.0, 1.0});
+  const Point p{5.0, 5.0};
+  EXPECT_GE(a.MaxDist2(p), a.MinDist2(p));
+  EXPECT_DOUBLE_EQ(a.MaxDist2(p), 25.0 + 25.0);
+}
+
+TEST(MbrTest, InflateGrowsSymmetrically) {
+  Mbr a({1.0, 1.0}, {2.0, 2.0});
+  a.Inflate(0.5);
+  EXPECT_EQ(a.lo(0), 0.5);
+  EXPECT_EQ(a.hi(1), 2.5);
+}
+
+TEST(MbrTest, Dist2Basics) {
+  EXPECT_DOUBLE_EQ(Dist2({0.0, 0.0}, {3.0, 4.0}), 25.0);
+  EXPECT_EQ(Dist2({1.0}, {1.0}), 0.0);
+}
+
+// Property: MinDist2(p, box) <= Dist2(p, q) <= MaxDist2(p, box) for every
+// q inside the box.
+TEST(MbrPropertyTest, MinMaxDistBracketEveryInnerPoint) {
+  Rng rng(101);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::size_t dims = 1 + rng.NextUint64(4);
+    Point lo(dims), hi(dims), p(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double a = rng.NextDouble(-10, 10);
+      const double b = rng.NextDouble(-10, 10);
+      lo[d] = std::min(a, b);
+      hi[d] = std::max(a, b);
+      p[d] = rng.NextDouble(-20, 20);
+    }
+    Mbr box(lo, hi);
+    // Random point inside the box.
+    Point q(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      q[d] = rng.NextDouble(lo[d], hi[d] + 1e-12);
+    }
+    const double d2 = Dist2(p, q);
+    EXPECT_LE(box.MinDist2(p), d2 + 1e-9);
+    EXPECT_GE(box.MaxDist2(p), d2 - 1e-9);
+  }
+}
+
+// Property: expansion is monotone — the expanded box contains everything
+// the original contained plus the new point.
+TEST(MbrPropertyTest, ExpandIsMonotone) {
+  Rng rng(202);
+  for (int iter = 0; iter < 200; ++iter) {
+    Mbr box(2);
+    std::vector<Point> points;
+    for (int i = 0; i < 10; ++i) {
+      Point p{rng.NextDouble(-5, 5), rng.NextDouble(-5, 5)};
+      box.Expand(p);
+      points.push_back(p);
+      for (const Point& q : points) EXPECT_TRUE(box.Contains(q));
+    }
+  }
+}
+
+// Property: overlap is symmetric and bounded by both areas.
+TEST(MbrPropertyTest, OverlapSymmetricAndBounded) {
+  Rng rng(303);
+  for (int iter = 0; iter < 300; ++iter) {
+    auto random_box = [&] {
+      Point lo(2), hi(2);
+      for (int d = 0; d < 2; ++d) {
+        const double a = rng.NextDouble(-4, 4);
+        const double b = rng.NextDouble(-4, 4);
+        lo[d] = std::min(a, b);
+        hi[d] = std::max(a, b);
+      }
+      return Mbr(lo, hi);
+    };
+    const Mbr a = random_box();
+    const Mbr b = random_box();
+    const double ab = a.OverlapArea(b);
+    EXPECT_DOUBLE_EQ(ab, b.OverlapArea(a));
+    EXPECT_LE(ab, a.Area() + 1e-12);
+    EXPECT_LE(ab, b.Area() + 1e-12);
+    EXPECT_EQ(ab > 0.0 || a.MinDist2(b) == 0.0, a.Intersects(b));
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,164 @@
+#include "dwt/mbr_transform.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dwt/incremental.h"
+
+namespace stardust {
+namespace {
+
+Mbr RandomBox(Rng* rng, std::size_t dims) {
+  Point lo(dims), hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double a = rng->NextDouble(-3.0, 3.0);
+    const double b = rng->NextDouble(-3.0, 3.0);
+    lo[d] = std::min(a, b);
+    hi[d] = std::max(a, b);
+  }
+  return Mbr(lo, hi);
+}
+
+Point RandomInside(Rng* rng, const Mbr& box) {
+  Point p(box.dims());
+  for (std::size_t d = 0; d < box.dims(); ++d) {
+    p[d] = rng->NextDouble(box.lo(d), box.hi(d) + 1e-300);
+  }
+  return p;
+}
+
+struct TransformCase {
+  const WaveletFilter* filter;
+  std::size_t dims;
+  double rescale;
+};
+
+class MbrTransformProperty : public ::testing::TestWithParam<TransformCase> {
+};
+
+// Lemma A.2's guarantee: for every x in B, the transformed feature lies
+// inside the transformed box — for all three algorithms.
+TEST_P(MbrTransformProperty, ContainmentHoldsForInnerPoints) {
+  const TransformCase c = GetParam();
+  Rng rng(42 + c.dims);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Mbr box = RandomBox(&rng, c.dims);
+    const Mbr by_corners = TransformMbrCorners(box, *c.filter, c.rescale);
+    const Mbr by_lohi = TransformMbrLoHi(box, *c.filter, c.rescale);
+    const Mbr by_interval = TransformMbrInterval(box, *c.filter, c.rescale);
+    for (int s = 0; s < 20; ++s) {
+      const Point x = RandomInside(&rng, box);
+      std::vector<double> y = LowpassDownsample(x, *c.filter);
+      for (double& v : y) v *= c.rescale;
+      for (std::size_t d = 0; d < y.size(); ++d) {
+        EXPECT_GE(y[d], by_corners.lo(d) - 1e-9);
+        EXPECT_LE(y[d], by_corners.hi(d) + 1e-9);
+        EXPECT_GE(y[d], by_lohi.lo(d) - 1e-9);
+        EXPECT_LE(y[d], by_lohi.hi(d) + 1e-9);
+        EXPECT_GE(y[d], by_interval.lo(d) - 1e-9);
+        EXPECT_LE(y[d], by_interval.hi(d) + 1e-9);
+      }
+    }
+  }
+}
+
+// Online I is the tightest; interval arithmetic never beats it but never
+// loses to the δ scheme.
+TEST_P(MbrTransformProperty, TightnessOrdering) {
+  const TransformCase c = GetParam();
+  Rng rng(99 + c.dims);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Mbr box = RandomBox(&rng, c.dims);
+    const Mbr by_corners = TransformMbrCorners(box, *c.filter, c.rescale);
+    const Mbr by_lohi = TransformMbrLoHi(box, *c.filter, c.rescale);
+    const Mbr by_interval = TransformMbrInterval(box, *c.filter, c.rescale);
+    for (std::size_t d = 0; d < by_corners.dims(); ++d) {
+      // corners ⊆ interval ⊆ lohi
+      EXPECT_GE(by_corners.lo(d), by_interval.lo(d) - 1e-9);
+      EXPECT_LE(by_corners.hi(d), by_interval.hi(d) + 1e-9);
+      EXPECT_GE(by_interval.lo(d), by_lohi.lo(d) - 1e-9);
+      EXPECT_LE(by_interval.hi(d), by_lohi.hi(d) + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiltersAndDims, MbrTransformProperty,
+    ::testing::Values(TransformCase{&HaarFilter(), 2, 1.0},
+                      TransformCase{&HaarFilter(), 4, 1.0},
+                      TransformCase{&HaarFilter(), 8, 1.0 / std::sqrt(2.0)},
+                      TransformCase{&Daubechies4Filter(), 4, 1.0},
+                      TransformCase{&Daubechies4Filter(), 8, 1.0},
+                      TransformCase{&Daubechies4Filter(), 8,
+                                    1.0 / std::sqrt(2.0)}));
+
+// For Haar (non-negative taps, δ = 0) all three algorithms coincide.
+TEST(MbrTransformTest, HaarSchemesCoincide) {
+  Rng rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Mbr box = RandomBox(&rng, 6);
+    const Mbr a = TransformMbrCorners(box, HaarFilter());
+    const Mbr b = TransformMbrLoHi(box, HaarFilter());
+    const Mbr c = TransformMbrInterval(box, HaarFilter());
+    for (std::size_t d = 0; d < a.dims(); ++d) {
+      EXPECT_NEAR(a.lo(d), b.lo(d), 1e-12);
+      EXPECT_NEAR(a.hi(d), b.hi(d), 1e-12);
+      EXPECT_NEAR(a.lo(d), c.lo(d), 1e-12);
+      EXPECT_NEAR(a.hi(d), c.hi(d), 1e-12);
+    }
+  }
+}
+
+TEST(MbrTransformTest, DegenerateBoxMapsToTransformedPoint) {
+  const Point x{1.0, 2.0, 3.0, 4.0};
+  const Mbr box = Mbr::FromPoint(x);
+  const Mbr out = TransformMbrLoHi(box, HaarFilter());
+  const std::vector<double> y = LowpassDownsample(x, HaarFilter());
+  for (std::size_t d = 0; d < y.size(); ++d) {
+    EXPECT_NEAR(out.lo(d), y[d], 1e-12);
+    EXPECT_NEAR(out.hi(d), y[d], 1e-12);
+  }
+}
+
+// MergeMbrHalvesHaar is TransformMbrLoHi on the concatenation.
+TEST(MbrTransformTest, MergeHalvesMatchesConcatenatedTransform) {
+  Rng rng(8);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Mbr left = RandomBox(&rng, 4);
+    const Mbr right = RandomBox(&rng, 4);
+    Point lo = left.lo(), hi = left.hi();
+    lo.insert(lo.end(), right.lo().begin(), right.lo().end());
+    hi.insert(hi.end(), right.hi().begin(), right.hi().end());
+    const Mbr concat(lo, hi);
+    const double rescale = 1.0 / std::sqrt(2.0);
+    const Mbr merged = MergeMbrHalvesHaar(left, right, rescale);
+    const Mbr direct = TransformMbrLoHi(concat, HaarFilter(), rescale);
+    for (std::size_t d = 0; d < merged.dims(); ++d) {
+      EXPECT_NEAR(merged.lo(d), direct.lo(d), 1e-12);
+      EXPECT_NEAR(merged.hi(d), direct.hi(d), 1e-12);
+    }
+  }
+}
+
+// The error-bound statement of Appendix A.1: each output extent is at most
+// twice the input's largest pairwise extent sum (loose sanity bound for
+// the Haar rotation argument).
+TEST(MbrTransformTest, HaarOutputExtentBound) {
+  Rng rng(9);
+  for (int iter = 0; iter < 100; ++iter) {
+    const Mbr box = RandomBox(&rng, 4);
+    const Mbr out = TransformMbrCorners(box, HaarFilter());
+    double max_in = 0.0;
+    for (std::size_t d = 0; d < box.dims(); ++d) {
+      max_in = std::max(max_in, box.hi(d) - box.lo(d));
+    }
+    for (std::size_t d = 0; d < out.dims(); ++d) {
+      EXPECT_LE(out.hi(d) - out.lo(d), 2.0 * max_in + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,102 @@
+#include "baselines/mrindex.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+MrIndexOptions Options(const Dataset& dataset) {
+  MrIndexOptions options;
+  options.base_window = 16;
+  options.num_levels = 4;
+  options.box_capacity = 8;
+  options.coefficients = 4;
+  options.history = 1024;
+  options.r_max = dataset.r_max;
+  return options;
+}
+
+std::set<std::pair<StreamId, std::uint64_t>> MatchSet(
+    const std::vector<PatternMatch>& matches) {
+  std::set<std::pair<StreamId, std::uint64_t>> out;
+  for (const auto& m : matches) out.emplace(m.stream, m.end_time);
+  return out;
+}
+
+TEST(MrIndexTest, BuildAndQuery) {
+  const Dataset dataset = MakeRandomWalkDataset(3, 512, 6);
+  auto mr = std::move(MrIndex::Build(dataset, Options(dataset))).value();
+  const std::size_t len = 80, start = 100;
+  std::vector<double> query(dataset.streams[0].begin() + start,
+                            dataset.streams[0].begin() + start + len);
+  const auto result = mr->Query(query, 1e-9);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(MatchSet(result.value().matches).count({0, start + len - 1}),
+            1u);
+}
+
+TEST(MrIndexTest, EqualsLinearScanAcrossRadii) {
+  const Dataset dataset = MakeRandomWalkDataset(4, 512, 7);
+  auto mr = std::move(MrIndex::Build(dataset, Options(dataset))).value();
+  const auto queries = MakeQueryWorkload(4, {48, 112, 176}, 8);
+  for (double radius : {0.005, 0.02, 0.05}) {
+    for (const auto& query : queries) {
+      const auto result = mr->Query(query, radius);
+      ASSERT_TRUE(result.ok());
+      const auto expected = MatchSet(
+          ScanPatternMatches(dataset, query, radius,
+                             Normalization::kUnitSphere, dataset.r_max));
+      EXPECT_EQ(MatchSet(result.value().matches), expected);
+    }
+  }
+}
+
+// MR-Index stores exact per-level features, so with identical settings its
+// candidate set is never larger than online Stardust's (whose merged
+// extents only widen boxes) — the quality relationship behind Figure 5.
+TEST(MrIndexTest, CandidatesNoLooserThanIncrementalStardust) {
+  const Dataset dataset = MakeRandomWalkDataset(4, 512, 9);
+  const MrIndexOptions options = Options(dataset);
+  auto mr = std::move(MrIndex::Build(dataset, options)).value();
+
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = options.coefficients;
+  config.r_max = options.r_max;
+  config.base_window = options.base_window;
+  config.num_levels = options.num_levels;
+  config.history = options.history;
+  config.box_capacity = options.box_capacity;
+  config.update_period = 1;
+  config.index_features = true;
+  auto core = std::move(Stardust::Create(config)).value();
+  for (std::size_t i = 0; i < dataset.num_streams(); ++i) {
+    const StreamId id = core->AddStream();
+    for (double v : dataset.streams[i]) {
+      ASSERT_TRUE(core->Append(id, v).ok());
+    }
+  }
+  PatternQueryEngine online(*core);
+
+  const auto queries = MakeQueryWorkload(5, {112}, 10);
+  std::uint64_t mr_candidates = 0, online_candidates = 0;
+  for (const auto& query : queries) {
+    const auto a = mr->Query(query, 0.02);
+    const auto b = online.QueryOnline(query, 0.02);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    mr_candidates += a.value().candidates;
+    online_candidates += b.value().candidates;
+    EXPECT_EQ(MatchSet(a.value().matches), MatchSet(b.value().matches));
+  }
+  EXPECT_LE(mr_candidates, online_candidates);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,156 @@
+// Tests for multi-resolution correlation detection (§2.4's "correlated
+// at some level of abstraction"): pairs that are only correlated over
+// short recent windows are caught at fine levels while long-window
+// detection misses them, and vice versa.
+#include "core/correlation_monitor.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig MultiConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 4;
+  config.base_window = 16;
+  config.num_levels = 4;  // windows 16, 32, 64, 128
+  config.history = 128;
+  config.box_capacity = 1;
+  config.update_period = 16;
+  return config;
+}
+
+TEST(MultiResCorrelationTest, CreateValidation) {
+  // Out-of-range level.
+  EXPECT_FALSE(
+      CorrelationMonitor::Create(MultiConfig(), 3, 0.5, {7}).ok());
+  // Valid subsets.
+  EXPECT_TRUE(
+      CorrelationMonitor::Create(MultiConfig(), 3, 0.5, {0, 2}).ok());
+  EXPECT_TRUE(
+      CorrelationMonitor::Create(MultiConfig(), 3, 0.5, {3}).ok());
+  // Default (empty) requires top window == history.
+  StardustConfig config = MultiConfig();
+  config.history = 256;
+  EXPECT_FALSE(CorrelationMonitor::Create(config, 3, 0.5).ok());
+  EXPECT_TRUE(CorrelationMonitor::Create(config, 3, 0.5, {3}).ok());
+}
+
+TEST(MultiResCorrelationTest, MonitoredLevelsAreSortedAndDeduped) {
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               MultiConfig(), 3, 0.5, {2, 0, 2}))
+                     .value();
+  EXPECT_EQ(monitor->monitored_levels(),
+            (std::vector<std::size_t>{0, 2}));
+}
+
+// Two streams share a signal only during the most recent 32 ticks: a
+// fine level (window 32) must report them; the coarse level (window 128)
+// must not.
+TEST(MultiResCorrelationTest, RecentCorrelationOnlyVisibleAtFineLevels) {
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               MultiConfig(), 2, 0.4, {1, 3}))
+                     .value();
+  Rng rng(3);
+  double wa = 20.0, wb = 120.0;
+  const std::size_t total = 256;
+  for (std::size_t t = 0; t < total; ++t) {
+    wa += rng.NextDouble() - 0.5;
+    if (t < total - 32) {
+      wb += rng.NextDouble() - 0.5;  // independent early history
+    } else {
+      wb = wa + 100.0;  // perfectly correlated tail
+    }
+    ASSERT_TRUE(monitor->AppendAll({wa, wb}).ok());
+  }
+  bool fine_hit = false, coarse_hit = false;
+  for (const auto& pair : monitor->last_round()) {
+    if (!pair.verified) continue;
+    if (pair.level == 1) fine_hit = true;
+    if (pair.level == 3) coarse_hit = true;
+  }
+  EXPECT_TRUE(fine_hit) << "window-32 correlation missed at level 1";
+  EXPECT_FALSE(coarse_hit)
+      << "level 3 should not see the briefly-correlated pair";
+}
+
+// Fully correlated streams are reported at every monitored level, and the
+// per-level counters sum to the total.
+TEST(MultiResCorrelationTest, FullCorrelationVisibleEverywhere) {
+  auto monitor = std::move(CorrelationMonitor::Create(
+                               MultiConfig(), 2, 0.2, {0, 1, 2, 3}))
+                     .value();
+  Rng rng(5);
+  double walk = 50.0;
+  for (std::size_t t = 0; t < 256; ++t) {
+    walk += rng.NextDouble() - 0.5;
+    ASSERT_TRUE(monitor->AppendAll({walk, walk + 3.0}).ok());
+  }
+  std::set<std::size_t> verified_levels;
+  for (const auto& pair : monitor->last_round()) {
+    if (pair.verified) verified_levels.insert(pair.level);
+    EXPECT_EQ(pair.window, MultiConfig().LevelWindow(pair.level));
+  }
+  EXPECT_EQ(verified_levels, (std::set<std::size_t>{0, 1, 2, 3}));
+  PairStats manual;
+  for (std::size_t i = 0; i < monitor->monitored_levels().size(); ++i) {
+    manual.candidates += monitor->level_stats(i).candidates;
+    manual.true_pairs += monitor->level_stats(i).true_pairs;
+  }
+  EXPECT_EQ(manual.candidates, monitor->stats().candidates);
+  EXPECT_EQ(manual.true_pairs, monitor->stats().true_pairs);
+}
+
+// Verified pairs at each level match the exact oracle for that level's
+// window.
+TEST(MultiResCorrelationTest, EveryLevelMatchesItsOracle) {
+  const StardustConfig config = MultiConfig();
+  auto monitor =
+      std::move(CorrelationMonitor::Create(config, 6, 0.7, {0, 2}))
+          .value();
+  Rng rng(7);
+  std::vector<std::vector<double>> streams(6);
+  std::vector<double> walks{10, 10.2, 40, 70, 100, 130};
+  std::vector<double> values(6);
+  for (std::size_t t = 0; t < 192; ++t) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      walks[i] += rng.NextDouble() - 0.5;
+      if (i == 1) walks[1] = walks[0] + 0.2;  // planted pair
+      values[i] = walks[i];
+      streams[i].push_back(values[i]);
+    }
+    ASSERT_TRUE(monitor->AppendAll(values).ok());
+  }
+  for (std::size_t level : {0u, 2u}) {
+    const std::size_t w = config.LevelWindow(level);
+    std::set<std::pair<StreamId, StreamId>> oracle;
+    std::vector<std::vector<double>> z(6);
+    for (std::size_t i = 0; i < 6; ++i) {
+      std::vector<double> window(streams[i].end() - w, streams[i].end());
+      z[i] = ZNormalize(window);
+    }
+    for (StreamId i = 0; i < 6; ++i) {
+      for (StreamId j = i + 1; j < 6; ++j) {
+        if (Dist2(z[i], z[j]) <= 0.7 * 0.7) oracle.insert({i, j});
+      }
+    }
+    std::set<std::pair<StreamId, StreamId>> reported;
+    for (const auto& pair : monitor->last_round()) {
+      if (pair.level == level && pair.verified) {
+        reported.insert({pair.a, pair.b});
+      }
+    }
+    EXPECT_EQ(reported, oracle) << "level " << level;
+  }
+}
+
+}  // namespace
+}  // namespace stardust

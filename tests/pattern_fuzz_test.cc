@@ -1,0 +1,112 @@
+// Randomized configuration sweep for the pattern engines: for random
+// (W, levels, c, f, M, radius) the reported match sets must equal the
+// linear-scan oracle — the completeness/soundness pair under every knob
+// setting, not just the curated ones.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "core/pattern_query.h"
+#include "stream/dataset.h"
+
+namespace stardust {
+namespace {
+
+std::set<std::pair<StreamId, std::uint64_t>> MatchSet(
+    const std::vector<PatternMatch>& matches) {
+  std::set<std::pair<StreamId, std::uint64_t>> out;
+  for (const auto& m : matches) out.emplace(m.stream, m.end_time);
+  return out;
+}
+
+class PatternConfigFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatternConfigFuzz, OnlineAndBatchEqualOracleUnderRandomConfigs) {
+  Rng rng(GetParam() * 131 + 7);
+  // Random valid DWT configuration.
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = rng.NextDouble() < 0.8
+                             ? Normalization::kUnitSphere
+                             : Normalization::kNone;
+  config.base_window = std::size_t{8} << rng.NextUint64(3);  // 8/16/32
+  config.num_levels = 3 + rng.NextUint64(2);                 // 3 or 4
+  config.coefficients =
+      std::min<std::size_t>(config.base_window,
+                            std::size_t{2} << rng.NextUint64(3));
+  config.history = 2048;
+  config.box_capacity = 1 + rng.NextUint64(16);
+  config.update_period = 1;
+  config.index_features = true;
+
+  const std::size_t m = 2 + rng.NextUint64(3);
+  const std::size_t length =
+      config.LevelWindow(config.num_levels - 1) * 3 + 100;
+  const Dataset dataset =
+      MakeRandomWalkDataset(m, length, GetParam() * 17 + 3);
+  config.r_max = dataset.r_max;
+  ASSERT_TRUE(config.Validate().ok());
+
+  StardustConfig batch_config = config;
+  batch_config.box_capacity = 1;
+  batch_config.update_period = config.base_window;
+
+  auto online_core = std::move(Stardust::Create(config)).value();
+  auto batch_core = std::move(Stardust::Create(batch_config)).value();
+  for (std::size_t i = 0; i < m; ++i) {
+    const StreamId a = online_core->AddStream();
+    const StreamId b = batch_core->AddStream();
+    for (double v : dataset.streams[i]) {
+      ASSERT_TRUE(online_core->Append(a, v).ok());
+      ASSERT_TRUE(batch_core->Append(b, v).ok());
+    }
+  }
+  PatternQueryEngine online(*online_core);
+  PatternQueryEngine batch(*batch_core);
+
+  // Random query lengths (multiples of W, within the top resolution) and
+  // radii; queries are perturbed subsequences so matches exist sometimes.
+  for (int q = 0; q < 6; ++q) {
+    const std::size_t max_b =
+        (std::size_t{1} << config.num_levels) - 1;
+    const std::size_t b = 2 + rng.NextUint64(max_b - 1);
+    const std::size_t len = b * config.base_window;
+    if (len > length / 2) continue;
+    const std::size_t stream = rng.NextUint64(m);
+    const std::size_t start = rng.NextUint64(length - len + 1);
+    std::vector<double> query(dataset.streams[stream].begin() + start,
+                              dataset.streams[stream].begin() + start + len);
+    for (double& v : query) v += 0.05 * (rng.NextDouble() - 0.5);
+    const double radius =
+        (config.normalization == Normalization::kUnitSphere ? 0.01 : 1.0) *
+        std::pow(4.0, rng.NextDouble(-1.0, 1.0));
+
+    const auto expected = MatchSet(
+        ScanPatternMatches(dataset, query, radius, config.normalization,
+                           dataset.r_max));
+
+    const auto online_result = online.QueryOnline(query, radius);
+    ASSERT_TRUE(online_result.ok()) << online_result.status().ToString();
+    ASSERT_EQ(MatchSet(online_result.value().matches), expected)
+        << "online: W=" << config.base_window << " c="
+        << config.box_capacity << " f=" << config.coefficients
+        << " len=" << len << " r=" << radius;
+
+    if (len >= 2 * config.base_window - 1) {
+      const auto batch_result = batch.QueryBatch(query, radius);
+      ASSERT_TRUE(batch_result.ok()) << batch_result.status().ToString();
+      ASSERT_EQ(MatchSet(batch_result.value().matches), expected)
+          << "batch: W=" << config.base_window << " f="
+          << config.coefficients << " len=" << len << " r=" << radius;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternConfigFuzz,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace stardust

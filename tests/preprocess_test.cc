@@ -1,0 +1,134 @@
+#include "stream/preprocess.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+Dataset Single(std::vector<double> values) {
+  Dataset d;
+  d.streams.push_back(std::move(values));
+  d.r_min = 0.0;
+  d.r_max = 1.0;
+  return d;
+}
+
+const double kNan = std::nan("");
+
+TEST(FillGapsTest, InteriorGapInterpolatesLinearly) {
+  const auto out = FillGaps(Single({1.0, kNan, kNan, 4.0}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().streams[0], (std::vector<double>{1.0, 2.0, 3.0,
+                                                         4.0}));
+}
+
+TEST(FillGapsTest, EdgesClampToNearestFinite) {
+  const auto out = FillGaps(Single({kNan, kNan, 5.0, kNan}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().streams[0],
+            (std::vector<double>{5.0, 5.0, 5.0, 5.0}));
+}
+
+TEST(FillGapsTest, InfinityTreatedAsGap) {
+  const auto out = FillGaps(Single({2.0, INFINITY, 4.0}));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().streams[0], (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(FillGapsTest, AllNanFails) {
+  EXPECT_FALSE(FillGaps(Single({kNan, kNan})).ok());
+}
+
+TEST(FillGapsTest, CleanStreamUnchanged) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const auto out = FillGaps(Single(values));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().streams[0], values);
+}
+
+TEST(ResampleTest, AveragesBlocksAndDropsTail) {
+  const auto out = Resample(Single({1, 3, 5, 7, 100}), 2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().streams[0], (std::vector<double>{2.0, 6.0}));
+}
+
+TEST(ResampleTest, FactorOneIsIdentity) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  const auto out = Resample(Single(values), 1);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().streams[0], values);
+}
+
+TEST(ResampleTest, Validation) {
+  EXPECT_FALSE(Resample(Single({1.0}), 0).ok());
+  EXPECT_FALSE(Resample(Single({1.0}), 2).ok());
+}
+
+TEST(DetrendTest, RemovesExactLinearRamp) {
+  std::vector<double> ramp(100);
+  for (std::size_t t = 0; t < ramp.size(); ++t) {
+    ramp[t] = 5.0 + 0.25 * static_cast<double>(t);
+  }
+  const auto out = Detrend(Single(ramp));
+  ASSERT_TRUE(out.ok());
+  const auto& flat = out.value().streams[0];
+  // Flat at the original mean level.
+  const double expected = 5.0 + 0.25 * 99.0 / 2.0;
+  for (double v : flat) EXPECT_NEAR(v, expected, 1e-9);
+}
+
+TEST(DetrendTest, PreservesFluctuationsAroundTrend) {
+  Rng rng(4);
+  std::vector<double> values(500);
+  std::vector<double> noise(500);
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    noise[t] = rng.NextGaussian();
+    values[t] = 100.0 - 0.1 * static_cast<double>(t) + noise[t];
+  }
+  const auto out = Detrend(Single(values));
+  ASSERT_TRUE(out.ok());
+  // Residuals correlate strongly with the injected noise.
+  const auto& detrended = out.value().streams[0];
+  double mean = 0.0;
+  for (double v : detrended) mean += v;
+  mean /= detrended.size();
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  double noise_mean = 0.0;
+  for (double v : noise) noise_mean += v;
+  noise_mean /= noise.size();
+  for (std::size_t t = 0; t < detrended.size(); ++t) {
+    cov += (detrended[t] - mean) * (noise[t] - noise_mean);
+    var_a += (detrended[t] - mean) * (detrended[t] - mean);
+    var_b += (noise[t] - noise_mean) * (noise[t] - noise_mean);
+  }
+  EXPECT_GT(cov / std::sqrt(var_a * var_b), 0.99);
+}
+
+TEST(DetrendTest, NeedsTwoValues) {
+  EXPECT_FALSE(Detrend(Single({1.0})).ok());
+}
+
+TEST(PreprocessTest, PipelineComposes) {
+  // Gaps -> fill -> resample -> detrend on a noisy ramp with holes.
+  std::vector<double> values(64);
+  for (std::size_t t = 0; t < values.size(); ++t) {
+    values[t] = static_cast<double>(t) + (t % 7 == 0 ? kNan : 0.0);
+  }
+  auto filled = FillGaps(Single(values));
+  ASSERT_TRUE(filled.ok());
+  auto down = Resample(filled.value(), 4);
+  ASSERT_TRUE(down.ok());
+  ASSERT_EQ(down.value().length(), 16u);
+  auto flat = Detrend(down.value());
+  ASSERT_TRUE(flat.ok());
+  for (double v : flat.value().streams[0]) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace stardust

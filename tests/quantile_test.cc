@@ -1,0 +1,108 @@
+#include "transform/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+double ExactQuantile(std::vector<double> data, double p) {
+  std::sort(data.begin(), data.end());
+  const double rank = p * static_cast<double>(data.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+TEST(P2QuantileTest, SmallSamplesAreExact) {
+  P2Quantile median(0.5);
+  median.Add(5.0);
+  EXPECT_EQ(median.Value(), 5.0);
+  median.Add(1.0);
+  EXPECT_NEAR(median.Value(), 3.0, 1e-12);
+  median.Add(9.0);
+  EXPECT_NEAR(median.Value(), 5.0, 1e-12);
+}
+
+struct QuantileCase {
+  double p;
+  int distribution;  // 0 uniform, 1 gaussian, 2 exponential
+};
+
+class P2Accuracy : public ::testing::TestWithParam<QuantileCase> {};
+
+TEST_P(P2Accuracy, TracksExactQuantileWithinTolerance) {
+  const QuantileCase c = GetParam();
+  Rng rng(17 + c.distribution);
+  P2Quantile estimator(c.p);
+  std::vector<double> data;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    double v = 0.0;
+    switch (c.distribution) {
+      case 0:
+        v = rng.NextDouble(-3.0, 7.0);
+        break;
+      case 1:
+        v = 2.0 + 3.0 * rng.NextGaussian();
+        break;
+      case 2:
+        v = rng.NextExponential(0.5);
+        break;
+    }
+    data.push_back(v);
+    estimator.Add(v);
+  }
+  const double exact = ExactQuantile(data, c.p);
+  const double spread = ExactQuantile(data, 0.95) - ExactQuantile(data, 0.05);
+  EXPECT_NEAR(estimator.Value(), exact, 0.05 * spread)
+      << "p=" << c.p << " dist=" << c.distribution;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, P2Accuracy,
+    ::testing::Values(QuantileCase{0.25, 0}, QuantileCase{0.5, 0},
+                      QuantileCase{0.75, 0}, QuantileCase{0.5, 1},
+                      QuantileCase{0.25, 1}, QuantileCase{0.9, 1},
+                      QuantileCase{0.5, 2}, QuantileCase{0.75, 2}));
+
+TEST(P2QuantileTest, MonotoneQuantilesStayOrdered) {
+  Rng rng(99);
+  P2Quantile q25(0.25), q50(0.5), q75(0.75);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextGaussian() + (i % 100 == 0 ? 50.0 : 0.0);
+    q25.Add(v);
+    q50.Add(v);
+    q75.Add(v);
+    if (i > 20) {
+      EXPECT_LE(q25.Value(), q50.Value() + 1e-9);
+      EXPECT_LE(q50.Value(), q75.Value() + 1e-9);
+    }
+  }
+}
+
+TEST(P2QuantileTest, ConstantStream) {
+  P2Quantile q(0.5);
+  for (int i = 0; i < 100; ++i) q.Add(4.2);
+  EXPECT_DOUBLE_EQ(q.Value(), 4.2);
+}
+
+TEST(P2QuantileTest, RobustToOutlierSpikes) {
+  // 10% massive outliers should barely move the median.
+  Rng rng(7);
+  P2Quantile q(0.5);
+  for (int i = 0; i < 50000; ++i) {
+    q.Add(i % 10 == 0 ? 1e6 : rng.NextDouble(0.0, 1.0));
+  }
+  EXPECT_GT(q.Value(), 0.3);
+  EXPECT_LT(q.Value(), 0.9);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,107 @@
+#include "transform/regression.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+TEST(OnlineMomentsTest, MeanAndVarianceExact) {
+  OnlineMoments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(v);
+  EXPECT_EQ(m.count(), 8u);
+  EXPECT_DOUBLE_EQ(m.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.Variance(), 4.0);
+  EXPECT_DOUBLE_EQ(m.StdDev(), 2.0);
+  EXPECT_DOUBLE_EQ(m.CoefficientOfVariation(), 0.4);
+}
+
+TEST(OnlineMomentsTest, SingleValue) {
+  OnlineMoments m;
+  m.Add(3.0);
+  EXPECT_EQ(m.Mean(), 3.0);
+  EXPECT_EQ(m.Variance(), 0.0);
+}
+
+TEST(OnlineMomentsTest, NumericallyStableUnderLargeOffset) {
+  // Welford must not lose the variance of small deviations around a huge
+  // mean (the naive Σx² formula would).
+  OnlineMoments m;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    m.Add(1e9 + rng.NextDouble(-1.0, 1.0));
+  }
+  EXPECT_NEAR(m.Variance(), 1.0 / 3.0, 0.02);
+}
+
+TEST(OnlineMomentsTest, ZeroMeanCvIsZero) {
+  OnlineMoments m;
+  m.Add(-1.0);
+  m.Add(1.0);
+  EXPECT_EQ(m.CoefficientOfVariation(), 0.0);
+}
+
+TEST(OnlineRegressionTest, ExactLineIsRecovered) {
+  OnlineLinearRegression reg;
+  for (double x : {0.0, 1.0, 2.0, 5.0, 9.0}) {
+    reg.Add(x, 3.0 * x - 2.0);
+  }
+  EXPECT_NEAR(reg.Slope(), 3.0, 1e-12);
+  EXPECT_NEAR(reg.Intercept(), -2.0, 1e-12);
+  EXPECT_NEAR(reg.R2(), 1.0, 1e-12);
+  EXPECT_NEAR(reg.Predict(100.0), 298.0, 1e-9);
+}
+
+TEST(OnlineRegressionTest, ConstantXHasZeroSlope) {
+  OnlineLinearRegression reg;
+  reg.Add(2.0, 1.0);
+  reg.Add(2.0, 5.0);
+  EXPECT_EQ(reg.Slope(), 0.0);
+  EXPECT_EQ(reg.R2(), 0.0);
+  EXPECT_DOUBLE_EQ(reg.Intercept(), 3.0);  // falls back to mean y
+}
+
+TEST(OnlineRegressionTest, MatchesClosedFormOnRandomData) {
+  Rng rng(2);
+  OnlineLinearRegression reg;
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.NextDouble(-10, 10);
+    const double y = 0.7 * x + 1.3 + rng.NextGaussian();
+    xs.push_back(x);
+    ys.push_back(y);
+    reg.Add(x, y);
+  }
+  // Closed-form least squares.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+  const double intercept = (sy - slope * sx) / n;
+  EXPECT_NEAR(reg.Slope(), slope, 1e-9);
+  EXPECT_NEAR(reg.Intercept(), intercept, 1e-9);
+  EXPECT_GT(reg.R2(), 0.8);
+  EXPECT_LE(reg.R2(), 1.0);
+  // The noise keeps R² well below 1.
+  EXPECT_LT(reg.R2(), 0.999);
+}
+
+TEST(OnlineRegressionTest, UncorrelatedDataHasLowR2) {
+  Rng rng(3);
+  OnlineLinearRegression reg;
+  for (int i = 0; i < 2000; ++i) {
+    reg.Add(rng.NextDouble(-1, 1), rng.NextDouble(-1, 1));
+  }
+  EXPECT_LT(reg.R2(), 0.02);
+}
+
+}  // namespace
+}  // namespace stardust

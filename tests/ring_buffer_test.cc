@@ -1,0 +1,77 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace stardust {
+namespace {
+
+TEST(RingBufferTest, EmptyState) {
+  RingBuffer<int> buf(4);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_EQ(buf.first_position(), 0u);
+  EXPECT_FALSE(buf.Contains(0));
+}
+
+TEST(RingBufferTest, PushAndRetrieveBeforeWrap) {
+  RingBuffer<int> buf(4);
+  for (int i = 0; i < 3; ++i) buf.Push(i * 10);
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.first_position(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(buf.Contains(i));
+    EXPECT_EQ(buf.At(i), i * 10);
+  }
+  EXPECT_FALSE(buf.Contains(3));
+}
+
+TEST(RingBufferTest, OverwritesOldestAfterWrap) {
+  RingBuffer<int> buf(4);
+  for (int i = 0; i < 10; ++i) buf.Push(i);
+  EXPECT_EQ(buf.size(), 10u);
+  EXPECT_EQ(buf.first_position(), 6u);
+  EXPECT_FALSE(buf.Contains(5));
+  for (int i = 6; i < 10; ++i) {
+    ASSERT_TRUE(buf.Contains(i));
+    EXPECT_EQ(buf.At(i), i);
+  }
+}
+
+TEST(RingBufferTest, CopyWindowAcrossWrapBoundary) {
+  RingBuffer<int> buf(5);
+  for (int i = 0; i < 8; ++i) buf.Push(i);
+  std::vector<int> window;
+  buf.CopyWindow(4, 4, &window);
+  EXPECT_EQ(window, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(RingBufferTest, CopyEmptyWindow) {
+  RingBuffer<int> buf(3);
+  buf.Push(1);
+  std::vector<int> window{9, 9};
+  buf.CopyWindow(0, 0, &window);
+  EXPECT_TRUE(window.empty());
+}
+
+TEST(RingBufferTest, CapacityOneKeepsLatest) {
+  RingBuffer<double> buf(1);
+  buf.Push(1.0);
+  buf.Push(2.0);
+  EXPECT_FALSE(buf.Contains(0));
+  ASSERT_TRUE(buf.Contains(1));
+  EXPECT_EQ(buf.At(1), 2.0);
+}
+
+TEST(RingBufferTest, LongRunPositionsStayConsistent) {
+  RingBuffer<std::uint64_t> buf(7);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    buf.Push(i);
+    const std::uint64_t first = buf.first_position();
+    for (std::uint64_t p = first; p <= i; ++p) {
+      ASSERT_EQ(buf.At(p), p);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,239 @@
+#include "rtree/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+Mbr RandomBox(Rng* rng, std::size_t dims, double span, double max_extent) {
+  Point lo(dims), hi(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    lo[d] = rng->NextDouble(-span, span);
+    hi[d] = lo[d] + rng->NextDouble(0.0, max_extent);
+  }
+  return Mbr(lo, hi);
+}
+
+std::vector<RecordId> SortedIds(std::vector<RTreeEntry> entries) {
+  std::vector<RecordId> ids;
+  ids.reserve(entries.size());
+  for (const auto& e : entries) ids.push_back(e.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree(2);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+  std::vector<RTreeEntry> out;
+  tree.SearchIntersects(Mbr({-1, -1}, {1, 1}), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(RTreeTest, InsertRejectsBadBoxes) {
+  RTree tree(2);
+  EXPECT_FALSE(tree.Insert(Mbr(3), 1).ok());   // wrong dims
+  EXPECT_FALSE(tree.Insert(Mbr(2), 1).ok());   // empty box
+  EXPECT_TRUE(tree.Insert(Mbr::FromPoint({0.0, 0.0}), 1).ok());
+}
+
+TEST(RTreeTest, SingleInsertIsFindable) {
+  RTree tree(2);
+  const Mbr box({0.0, 0.0}, {1.0, 1.0});
+  ASSERT_TRUE(tree.Insert(box, 7).ok());
+  std::vector<RTreeEntry> out;
+  tree.SearchIntersects(Mbr({0.5, 0.5}, {2.0, 2.0}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 7u);
+  EXPECT_TRUE(out[0].box == box);
+}
+
+TEST(RTreeTest, DeleteMissingReturnsNotFound) {
+  RTree tree(2);
+  ASSERT_TRUE(tree.Insert(Mbr::FromPoint({1.0, 1.0}), 1).ok());
+  EXPECT_EQ(tree.Delete(Mbr::FromPoint({2.0, 2.0}), 1).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(tree.Delete(Mbr::FromPoint({1.0, 1.0}), 9).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(tree.Delete(Mbr::FromPoint({1.0, 1.0}), 1).ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(RTreeTest, GrowsBeyondOneNodeAndStaysConsistent) {
+  RTree tree(2, RTreeOptions{.max_entries = 8});
+  Rng rng(42);
+  for (RecordId id = 0; id < 500; ++id) {
+    ASSERT_TRUE(tree.Insert(RandomBox(&rng, 2, 100.0, 2.0), id).ok());
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_GT(tree.height(), 1u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+}
+
+TEST(RTreeTest, ForEachVisitsEverything) {
+  RTree tree(1, RTreeOptions{.max_entries = 4});
+  for (RecordId id = 0; id < 64; ++id) {
+    ASSERT_TRUE(
+        tree.Insert(Mbr::FromPoint({static_cast<double>(id)}), id).ok());
+  }
+  std::vector<RecordId> seen;
+  tree.ForEach([&](const RTreeEntry& e) { seen.push_back(e.id); });
+  std::sort(seen.begin(), seen.end());
+  ASSERT_EQ(seen.size(), 64u);
+  for (RecordId id = 0; id < 64; ++id) EXPECT_EQ(seen[id], id);
+}
+
+struct RTreeParam {
+  std::size_t dims;
+  std::size_t max_entries;
+  std::size_t count;
+  SplitPolicy split = SplitPolicy::kRStar;
+};
+
+class RTreeMatchesBruteForce : public ::testing::TestWithParam<RTreeParam> {};
+
+TEST_P(RTreeMatchesBruteForce, IntersectionQueries) {
+  const RTreeParam param = GetParam();
+  RTree tree(param.dims, RTreeOptions{.max_entries = param.max_entries,
+                                      .split_policy = param.split});
+  Rng rng(1000 + param.count);
+  std::vector<RTreeEntry> reference;
+  for (RecordId id = 0; id < param.count; ++id) {
+    const Mbr box = RandomBox(&rng, param.dims, 50.0, 5.0);
+    ASSERT_TRUE(tree.Insert(box, id).ok());
+    reference.push_back({box, id});
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int q = 0; q < 50; ++q) {
+    const Mbr query = RandomBox(&rng, param.dims, 50.0, 20.0);
+    std::vector<RTreeEntry> out;
+    tree.SearchIntersects(query, &out);
+    std::vector<RecordId> expected;
+    for (const auto& e : reference) {
+      if (e.box.Intersects(query)) expected.push_back(e.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(SortedIds(out), expected);
+  }
+}
+
+TEST_P(RTreeMatchesBruteForce, WithinRadiusQueries) {
+  const RTreeParam param = GetParam();
+  RTree tree(param.dims, RTreeOptions{.max_entries = param.max_entries,
+                                      .split_policy = param.split});
+  Rng rng(2000 + param.count);
+  std::vector<RTreeEntry> reference;
+  for (RecordId id = 0; id < param.count; ++id) {
+    const Mbr box = RandomBox(&rng, param.dims, 50.0, 5.0);
+    ASSERT_TRUE(tree.Insert(box, id).ok());
+    reference.push_back({box, id});
+  }
+  for (int q = 0; q < 50; ++q) {
+    Point center(param.dims);
+    for (std::size_t d = 0; d < param.dims; ++d) {
+      center[d] = rng.NextDouble(-50, 50);
+    }
+    const double radius = rng.NextDouble(0.0, 30.0);
+    std::vector<RTreeEntry> out;
+    tree.SearchWithin(center, radius, &out);
+    std::vector<RecordId> expected;
+    for (const auto& e : reference) {
+      if (e.box.MinDist2(center) <= radius * radius) {
+        expected.push_back(e.id);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(SortedIds(out), expected);
+  }
+}
+
+TEST_P(RTreeMatchesBruteForce, DeleteHalfThenQueriesStillExact) {
+  const RTreeParam param = GetParam();
+  RTree tree(param.dims, RTreeOptions{.max_entries = param.max_entries,
+                                      .split_policy = param.split});
+  Rng rng(3000 + param.count);
+  std::vector<RTreeEntry> reference;
+  for (RecordId id = 0; id < param.count; ++id) {
+    const Mbr box = RandomBox(&rng, param.dims, 50.0, 5.0);
+    ASSERT_TRUE(tree.Insert(box, id).ok());
+    reference.push_back({box, id});
+  }
+  // Delete a random half.
+  std::vector<RTreeEntry> kept;
+  for (const auto& e : reference) {
+    if (rng.NextDouble() < 0.5) {
+      ASSERT_TRUE(tree.Delete(e.box, e.id).ok());
+    } else {
+      kept.push_back(e);
+    }
+  }
+  EXPECT_EQ(tree.size(), kept.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+  for (int q = 0; q < 30; ++q) {
+    const Mbr query = RandomBox(&rng, param.dims, 50.0, 20.0);
+    std::vector<RTreeEntry> out;
+    tree.SearchIntersects(query, &out);
+    std::vector<RecordId> expected;
+    for (const auto& e : kept) {
+      if (e.box.Intersects(query)) expected.push_back(e.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(SortedIds(out), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RTreeMatchesBruteForce,
+    ::testing::Values(RTreeParam{1, 8, 200}, RTreeParam{2, 8, 500},
+                      RTreeParam{2, 32, 500}, RTreeParam{4, 16, 300},
+                      RTreeParam{8, 32, 300}, RTreeParam{2, 8, 2000},
+                      RTreeParam{2, 8, 500, SplitPolicy::kQuadratic},
+                      RTreeParam{4, 16, 300, SplitPolicy::kQuadratic},
+                      RTreeParam{2, 8, 2000, SplitPolicy::kQuadratic}));
+
+TEST(RTreeTest, SlidingWindowWorkloadStaysBalanced) {
+  // Insert/delete in FIFO order, the exact pattern Stardust's history
+  // expiry produces.
+  RTree tree(2, RTreeOptions{.max_entries = 16});
+  Rng rng(77);
+  std::vector<std::pair<Mbr, RecordId>> live;
+  RecordId next_id = 0;
+  for (int step = 0; step < 3000; ++step) {
+    const Mbr box = RandomBox(&rng, 2, 10.0, 1.0);
+    ASSERT_TRUE(tree.Insert(box, next_id).ok());
+    live.emplace_back(box, next_id);
+    ++next_id;
+    if (live.size() > 256) {
+      ASSERT_TRUE(tree.Delete(live.front().first, live.front().second).ok());
+      live.erase(live.begin());
+    }
+  }
+  EXPECT_EQ(tree.size(), 256u);
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants().ToString();
+}
+
+TEST(RTreeTest, DuplicateBoxesWithDistinctIdsCoexist) {
+  RTree tree(2, RTreeOptions{.max_entries = 4});
+  const Mbr box = Mbr::FromPoint({1.0, 1.0});
+  for (RecordId id = 0; id < 30; ++id) {
+    ASSERT_TRUE(tree.Insert(box, id).ok());
+  }
+  std::vector<RTreeEntry> out;
+  tree.SearchWithin({1.0, 1.0}, 0.0, &out);
+  EXPECT_EQ(out.size(), 30u);
+  ASSERT_TRUE(tree.Delete(box, 17).ok());
+  out.clear();
+  tree.SearchWithin({1.0, 1.0}, 0.0, &out);
+  EXPECT_EQ(out.size(), 29u);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,97 @@
+#include "transform/sliding_tracker.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+double BruteForce(AggregateKind kind, const std::vector<double>& data,
+                  std::size_t end, std::size_t w) {
+  const auto first = data.begin() + (end + 1 - w);
+  const auto last = data.begin() + (end + 1);
+  switch (kind) {
+    case AggregateKind::kSum: {
+      double s = 0.0;
+      for (auto it = first; it != last; ++it) s += *it;
+      return s;
+    }
+    case AggregateKind::kMax:
+      return *std::max_element(first, last);
+    case AggregateKind::kMin:
+      return *std::min_element(first, last);
+    case AggregateKind::kSpread:
+      return *std::max_element(first, last) - *std::min_element(first, last);
+  }
+  return 0.0;
+}
+
+class SlidingTrackerProperty
+    : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(SlidingTrackerProperty, MatchesBruteForceOnRandomData) {
+  const AggregateKind kind = GetParam();
+  Rng rng(55);
+  const std::vector<std::size_t> windows{1, 3, 7, 20, 64};
+  SlidingAggregateTracker tracker(kind, windows);
+  std::vector<double> data;
+  for (std::size_t t = 0; t < 500; ++t) {
+    const double v = rng.NextDouble(-100.0, 100.0);
+    data.push_back(v);
+    tracker.Push(v);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (t + 1 < windows[i]) {
+        EXPECT_FALSE(tracker.Ready(i));
+        continue;
+      }
+      ASSERT_TRUE(tracker.Ready(i));
+      EXPECT_NEAR(tracker.Current(i),
+                  BruteForce(kind, data, t, windows[i]), 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SlidingTrackerProperty,
+                         ::testing::Values(AggregateKind::kSum,
+                                           AggregateKind::kMax,
+                                           AggregateKind::kMin,
+                                           AggregateKind::kSpread));
+
+TEST(SlidingTrackerTest, WindowOfOneTracksLatestValue) {
+  SlidingAggregateTracker tracker(AggregateKind::kMax, {1});
+  tracker.Push(5.0);
+  EXPECT_EQ(tracker.Current(0), 5.0);
+  tracker.Push(-2.0);
+  EXPECT_EQ(tracker.Current(0), -2.0);
+}
+
+TEST(SlidingTrackerTest, NowCounts) {
+  SlidingAggregateTracker tracker(AggregateKind::kSum, {4});
+  EXPECT_EQ(tracker.now(), 0u);
+  tracker.Push(1.0);
+  tracker.Push(1.0);
+  EXPECT_EQ(tracker.now(), 2u);
+  EXPECT_FALSE(tracker.Ready(0));
+}
+
+TEST(SlidingTrackerTest, SumHandlesLongRunsWithoutDrift) {
+  SlidingAggregateTracker tracker(AggregateKind::kSum, {10});
+  for (int i = 0; i < 100000; ++i) tracker.Push(1.0);
+  EXPECT_NEAR(tracker.Current(0), 10.0, 1e-6);
+}
+
+TEST(SlidingTrackerTest, SpreadOfMonotoneRun) {
+  SlidingAggregateTracker tracker(AggregateKind::kSpread, {5});
+  for (int i = 0; i < 20; ++i) {
+    tracker.Push(static_cast<double>(i));
+    if (i >= 4) {
+      EXPECT_EQ(tracker.Current(0), 4.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,196 @@
+#include "core/snapshot.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/pattern_query.h"
+#include "stream/random_walk.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig IndexedDwtConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 4;
+  config.r_max = 110.0;
+  config.base_window = 16;
+  config.num_levels = 4;
+  config.history = 256;
+  config.box_capacity = 4;
+  config.update_period = 1;
+  config.index_features = true;
+  return config;
+}
+
+StardustConfig AggregateConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSpread;
+  config.base_window = 10;
+  config.num_levels = 4;
+  config.history = 160;
+  config.box_capacity = 3;
+  config.update_period = 1;
+  return config;
+}
+
+std::unique_ptr<Stardust> BuildAndFeed(const StardustConfig& config,
+                                       std::size_t streams,
+                                       std::size_t length,
+                                       std::uint64_t seed) {
+  auto core = std::move(Stardust::Create(config)).value();
+  for (std::size_t i = 0; i < streams; ++i) {
+    const StreamId id = core->AddStream();
+    RandomWalkSource source(seed + i);
+    for (std::size_t t = 0; t < length; ++t) {
+      EXPECT_TRUE(core->Append(id, source.Next()).ok());
+    }
+  }
+  return core;
+}
+
+void ExpectSameState(const Stardust& a, const Stardust& b) {
+  ASSERT_EQ(a.num_streams(), b.num_streams());
+  for (StreamId s = 0; s < a.num_streams(); ++s) {
+    const StreamSummarizer& sa = a.summarizer(s);
+    const StreamSummarizer& sb = b.summarizer(s);
+    ASSERT_EQ(sa.now(), sb.now());
+    ASSERT_EQ(sa.TotalBoxCount(), sb.TotalBoxCount());
+    for (std::size_t j = 0; j < a.config().num_levels; ++j) {
+      std::vector<FeatureBox> boxes_a, boxes_b;
+      sa.thread(j).ForEachBox(
+          [&](const FeatureBox& box) { boxes_a.push_back(box); });
+      sb.thread(j).ForEachBox(
+          [&](const FeatureBox& box) { boxes_b.push_back(box); });
+      ASSERT_EQ(boxes_a.size(), boxes_b.size());
+      for (std::size_t i = 0; i < boxes_a.size(); ++i) {
+        EXPECT_TRUE(boxes_a[i].extent == boxes_b[i].extent);
+        EXPECT_EQ(boxes_a[i].first_time, boxes_b[i].first_time);
+        EXPECT_EQ(boxes_a[i].count, boxes_b[i].count);
+        EXPECT_EQ(boxes_a[i].seq, boxes_b[i].seq);
+        EXPECT_EQ(boxes_a[i].sealed, boxes_b[i].sealed);
+      }
+    }
+  }
+  if (a.config().index_features) {
+    for (std::size_t j = 0; j < a.config().num_levels; ++j) {
+      EXPECT_EQ(a.index(j).size(), b.index(j).size());
+      EXPECT_TRUE(b.index(j).CheckInvariants().ok());
+    }
+  }
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  auto original = BuildAndFeed(IndexedDwtConfig(), 3, 500, 1);
+  const std::string bytes = SerializeSnapshot(*original);
+  Result<std::unique_ptr<Stardust>> restored = DeserializeSnapshot(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameState(*original, *restored.value());
+}
+
+TEST(SnapshotTest, AggregateRoundTrip) {
+  auto original = BuildAndFeed(AggregateConfig(), 2, 300, 2);
+  Result<std::unique_ptr<Stardust>> restored =
+      DeserializeSnapshot(SerializeSnapshot(*original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameState(*original, *restored.value());
+  // Intervals answered identically.
+  for (std::size_t w : {10u, 30u, 70u}) {
+    const auto ia = original->AggregateInterval(0, w);
+    const auto ib = restored.value()->AggregateInterval(0, w);
+    ASSERT_TRUE(ia.ok());
+    ASSERT_TRUE(ib.ok());
+    EXPECT_EQ(ia.value().lo, ib.value().lo);
+    EXPECT_EQ(ia.value().hi, ib.value().hi);
+  }
+}
+
+// The strongest property: a restored instance, fed the same continuation,
+// stays bit-identical to the uninterrupted original — queries included.
+TEST(SnapshotTest, ContinuationIsBitExact) {
+  const StardustConfig config = IndexedDwtConfig();
+  auto original = BuildAndFeed(config, 2, 300, 3);
+  Result<std::unique_ptr<Stardust>> restored =
+      DeserializeSnapshot(SerializeSnapshot(*original));
+  ASSERT_TRUE(restored.ok());
+  // Continue both with the same 250 further values per stream.
+  std::vector<RandomWalkSource> sources{RandomWalkSource(91),
+                                        RandomWalkSource(92)};
+  for (int t = 0; t < 250; ++t) {
+    for (StreamId s = 0; s < 2; ++s) {
+      const double v = sources[s].Next();
+      ASSERT_TRUE(original->Append(s, v).ok());
+      ASSERT_TRUE(restored.value()->Append(s, v).ok());
+    }
+  }
+  ExpectSameState(*original, *restored.value());
+  // Identical pattern answers.
+  PatternQueryEngine engine_a(*original);
+  PatternQueryEngine engine_b(*restored.value());
+  RandomWalkSource query_source(99);
+  const std::vector<double> query = query_source.Take(48);
+  const auto ra = engine_a.QueryOnline(query, 0.05);
+  const auto rb = engine_b.QueryOnline(query, 0.05);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra.value().candidates, rb.value().candidates);
+  ASSERT_EQ(ra.value().matches.size(), rb.value().matches.size());
+  for (std::size_t i = 0; i < ra.value().matches.size(); ++i) {
+    EXPECT_EQ(ra.value().matches[i].stream, rb.value().matches[i].stream);
+    EXPECT_EQ(ra.value().matches[i].end_time,
+              rb.value().matches[i].end_time);
+    EXPECT_EQ(ra.value().matches[i].distance,
+              rb.value().matches[i].distance);
+  }
+}
+
+TEST(SnapshotTest, FileRoundTrip) {
+  auto original = BuildAndFeed(AggregateConfig(), 1, 200, 4);
+  const std::string path =
+      ::testing::TempDir() + "/stardust_snapshot_test.bin";
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  Result<std::unique_ptr<Stardust>> restored = LoadSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameState(*original, *restored.value());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeSnapshot("").ok());
+  EXPECT_FALSE(DeserializeSnapshot("not a snapshot at all").ok());
+  EXPECT_FALSE(LoadSnapshot("/no/such/snapshot.bin").ok());
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  auto original = BuildAndFeed(AggregateConfig(), 1, 150, 5);
+  const std::string bytes = SerializeSnapshot(*original);
+  for (std::size_t keep :
+       {bytes.size() / 4, bytes.size() / 2, bytes.size() - 1}) {
+    EXPECT_FALSE(DeserializeSnapshot(bytes.substr(0, keep)).ok())
+        << "kept " << keep << " of " << bytes.size();
+  }
+}
+
+TEST(SnapshotTest, RejectsBitFlips) {
+  auto original = BuildAndFeed(AggregateConfig(), 1, 150, 6);
+  const std::string bytes = SerializeSnapshot(*original);
+  // Flip a byte in the payload region (past magic+version+checksum).
+  for (std::size_t pos : {std::size_t{20}, bytes.size() / 2, bytes.size() - 3}) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5a);
+    EXPECT_FALSE(DeserializeSnapshot(corrupt).ok()) << "pos " << pos;
+  }
+}
+
+TEST(SnapshotTest, RejectsTrailingBytes) {
+  auto original = BuildAndFeed(AggregateConfig(), 1, 150, 7);
+  std::string bytes = SerializeSnapshot(*original);
+  bytes += '\0';
+  EXPECT_FALSE(DeserializeSnapshot(bytes).ok());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,174 @@
+#include "core/stardust.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stream/random_walk.h"
+#include "transform/sliding_tracker.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig SumConfig(std::size_t c) {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 4;
+  config.num_levels = 5;  // windows 4 .. 64
+  config.history = 256;
+  config.box_capacity = c;
+  config.update_period = 1;
+  return config;
+}
+
+TEST(RecordIdTest, RoundTrip) {
+  const RecordId id = MakeRecordId(7, 123456);
+  EXPECT_EQ(RecordStream(id), 7u);
+  EXPECT_EQ(RecordSeq(id), 123456u);
+}
+
+TEST(StardustTest, CreateValidatesConfig) {
+  StardustConfig bad = SumConfig(1);
+  bad.base_window = 0;
+  EXPECT_FALSE(Stardust::Create(bad).ok());
+  EXPECT_TRUE(Stardust::Create(SumConfig(1)).ok());
+}
+
+TEST(StardustTest, AppendRejectsUnknownStream) {
+  auto core = std::move(Stardust::Create(SumConfig(1))).value();
+  EXPECT_FALSE(core->Append(0, 1.0).ok());
+  EXPECT_EQ(core->AddStream(), 0u);
+  EXPECT_TRUE(core->Append(0, 1.0).ok());
+}
+
+TEST(StardustTest, AggregateIntervalValidation) {
+  auto core = std::move(Stardust::Create(SumConfig(1))).value();
+  const StreamId s = core->AddStream();
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(core->Append(s, 1.0).ok());
+  EXPECT_FALSE(core->AggregateInterval(s, 0).ok());    // zero window
+  EXPECT_FALSE(core->AggregateInterval(s, 6).ok());    // not multiple of W
+  EXPECT_FALSE(core->AggregateInterval(s, 256).ok());  // b = 64 needs 7 bits
+  EXPECT_FALSE(core->AggregateInterval(s, 104 * 4).ok());
+  EXPECT_TRUE(core->AggregateInterval(s, 4).ok());
+  EXPECT_TRUE(core->AggregateInterval(s, 100).ok());  // b = 25 = 11001b
+}
+
+TEST(StardustTest, UnitBoxesGiveExactIntervals) {
+  auto core = std::move(Stardust::Create(SumConfig(1))).value();
+  const StreamId s = core->AddStream();
+  // Deterministic data: value t at time t.
+  for (int t = 0; t < 120; ++t) {
+    ASSERT_TRUE(core->Append(s, static_cast<double>(t)).ok());
+  }
+  // Window 28 = b 7 = 111b: sum of 92..119 inclusive.
+  Result<ScalarInterval> interval = core->AggregateInterval(s, 28);
+  ASSERT_TRUE(interval.ok());
+  const double expected = (92.0 + 119.0) * 28.0 / 2.0;
+  EXPECT_NEAR(interval.value().lo, expected, 1e-9);
+  EXPECT_NEAR(interval.value().hi, expected, 1e-9);
+}
+
+// Algorithm 2's guarantee: the interval always brackets the true
+// aggregate, for every box capacity and every decomposable window.
+class StardustIntervalProperty
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StardustIntervalProperty, IntervalBracketsExactAggregate) {
+  auto core = std::move(Stardust::Create(SumConfig(GetParam()))).value();
+  const StreamId s = core->AddStream();
+  const std::vector<std::size_t> windows{4, 8, 12, 20, 28, 60, 100, 124};
+  SlidingAggregateTracker tracker(AggregateKind::kSum, windows);
+  RandomWalkSource source(77);
+  for (int t = 0; t < 400; ++t) {
+    const double v = source.Next();
+    ASSERT_TRUE(core->Append(s, v).ok());
+    tracker.Push(v);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (!tracker.Ready(i)) continue;
+      Result<ScalarInterval> interval =
+          core->AggregateInterval(s, windows[i]);
+      ASSERT_TRUE(interval.ok()) << interval.status().ToString();
+      const double exact = tracker.Current(i);
+      EXPECT_GE(exact, interval.value().lo - 1e-6);
+      EXPECT_LE(exact, interval.value().hi + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BoxCapacities, StardustIntervalProperty,
+                         ::testing::Values(1, 2, 8, 32));
+
+TEST(StardustTest, SpreadIntervalBracketsExact) {
+  StardustConfig config = SumConfig(8);
+  config.aggregate = AggregateKind::kSpread;
+  auto core = std::move(Stardust::Create(config)).value();
+  const StreamId s = core->AddStream();
+  SlidingAggregateTracker tracker(AggregateKind::kSpread, {36});
+  RandomWalkSource source(78);
+  for (int t = 0; t < 300; ++t) {
+    const double v = source.Next();
+    ASSERT_TRUE(core->Append(s, v).ok());
+    tracker.Push(v);
+    if (!tracker.Ready(0)) continue;
+    Result<ScalarInterval> interval = core->AggregateInterval(s, 36);
+    ASSERT_TRUE(interval.ok());
+    const double exact = tracker.Current(0);
+    EXPECT_GE(exact, interval.value().lo - 1e-9);
+    EXPECT_LE(exact, interval.value().hi + 1e-9);
+  }
+}
+
+TEST(StardustTest, AggregateQueryVerifiesCandidates) {
+  auto core = std::move(Stardust::Create(SumConfig(4))).value();
+  const StreamId s = core->AddStream();
+  for (int t = 0; t < 100; ++t) {
+    ASSERT_TRUE(core->Append(s, 1.0).ok());
+  }
+  // Sum over window 20 is exactly 20.
+  Result<Stardust::AggregateAnswer> low =
+      core->AggregateQuery(s, 20, 19.0);
+  ASSERT_TRUE(low.ok());
+  EXPECT_TRUE(low.value().candidate);
+  EXPECT_TRUE(low.value().alarm);
+  EXPECT_NEAR(low.value().exact, 20.0, 1e-9);
+
+  Result<Stardust::AggregateAnswer> high =
+      core->AggregateQuery(s, 20, 21.0);
+  ASSERT_TRUE(high.ok());
+  EXPECT_FALSE(high.value().candidate);
+  EXPECT_FALSE(high.value().alarm);
+  EXPECT_TRUE(std::isnan(high.value().exact));
+}
+
+TEST(StardustTest, IndexedDwtModeMaintainsLevelTrees) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 2;
+  config.r_max = 110.0;
+  config.base_window = 8;
+  config.num_levels = 3;
+  config.history = 64;
+  config.box_capacity = 4;
+  config.update_period = 1;
+  config.index_features = true;
+  auto core = std::move(Stardust::Create(config)).value();
+  const StreamId a = core->AddStream();
+  const StreamId b = core->AddStream();
+  RandomWalkSource sa(1), sb(2);
+  for (int t = 0; t < 300; ++t) {
+    ASSERT_TRUE(core->Append(a, sa.Next()).ok());
+    ASSERT_TRUE(core->Append(b, sb.Next()).ok());
+  }
+  for (std::size_t j = 0; j < config.num_levels; ++j) {
+    EXPECT_GT(core->index(j).size(), 0u) << "level " << j;
+    EXPECT_TRUE(core->index(j).CheckInvariants().ok());
+    // Index only holds sealed, unexpired boxes: bounded by history.
+    EXPECT_LE(core->index(j).size(),
+              2 * (config.history / config.box_capacity + 1));
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,152 @@
+#include "baselines/statstream.h"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_scan.h"
+#include "common/rng.h"
+#include "stream/dataset.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+TEST(StatStreamTest, CreateValidation) {
+  StatStreamOptions options;
+  options.history = 64;
+  options.basic_window = 8;
+  options.coefficients = 2;
+  options.cell_size = 0.1;
+  options.radius = 0.1;
+  EXPECT_TRUE(StatStream::Create(options, 2).ok());
+  StatStreamOptions bad = options;
+  bad.coefficients = 3;  // must be even
+  EXPECT_FALSE(StatStream::Create(bad, 2).ok());
+  bad = options;
+  bad.history = 60;  // not a multiple of the basic window
+  EXPECT_FALSE(StatStream::Create(bad, 2).ok());
+  bad = options;
+  bad.cell_size = 0.0;
+  EXPECT_FALSE(StatStream::Create(bad, 2).ok());
+  EXPECT_FALSE(StatStream::Create(options, 0).ok());
+}
+
+// The incrementally maintained feature equals the one computed from
+// scratch: feature = √(2/N)·X_k/‖x−μ‖ for the current window.
+TEST(StatStreamTest, IncrementalDftMatchesDirectComputation) {
+  StatStreamOptions options;
+  options.history = 32;
+  options.basic_window = 4;
+  options.coefficients = 4;
+  options.cell_size = 0.1;
+  options.radius = 0.0;  // no pairs: we only exercise maintenance
+  auto ss = std::move(StatStream::Create(options, 1)).value();
+  Rng rng(5);
+  std::vector<double> data;
+  double walk = 10.0;
+  for (int t = 0; t < 200; ++t) {
+    walk += rng.NextDouble() - 0.5;
+    data.push_back(walk);
+    ASSERT_TRUE(ss->AppendAll({walk}).ok());
+    const std::size_t n = options.history;
+    if (data.size() < n || (data.size() - n) % options.basic_window != 0) {
+      continue;
+    }
+    // Direct: unnormalized DFT of the current window, z-scaled.
+    const std::vector<double> window(data.end() - n, data.end());
+    double mean = 0.0;
+    for (double v : window) mean += v;
+    mean /= n;
+    double norm2 = 0.0;
+    for (double v : window) norm2 += (v - mean) * (v - mean);
+    const double scale = std::sqrt(2.0 / n) / std::sqrt(norm2);
+    for (std::size_t k = 1; k <= options.coefficients / 2; ++k) {
+      std::complex<double> x{0.0, 0.0};
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        const double angle =
+            -2.0 * std::numbers::pi * static_cast<double>(k * idx) / n;
+        x += window[idx] * std::complex<double>{std::cos(angle),
+                                                std::sin(angle)};
+      }
+      EXPECT_NEAR(ss->feature(0)[2 * (k - 1)], x.real() * scale, 1e-6)
+          << "t=" << t << " k=" << k;
+      EXPECT_NEAR(ss->feature(0)[2 * (k - 1) + 1], x.imag() * scale, 1e-6);
+    }
+  }
+}
+
+// Parseval soundness: the feature distance lower-bounds the z-normalized
+// window distance, so grid probing with reach ⌈r/cell⌉ cannot dismiss a
+// truly correlated pair.
+TEST(StatStreamTest, DetectsAllTrulyCorrelatedPairs) {
+  StatStreamOptions options;
+  options.history = 64;
+  options.basic_window = 8;
+  options.coefficients = 4;
+  options.cell_size = 0.05;
+  options.radius = 0.5;
+  const std::size_t m = 8;
+  auto ss = std::move(StatStream::Create(options, m)).value();
+  // Streams 0/1 strongly correlated, rest independent.
+  Rng rng(9);
+  Dataset dataset;
+  dataset.streams.resize(m);
+  std::vector<double> values(m);
+  double shared = 20.0;
+  std::vector<double> walks(m, 50.0);
+  for (int t = 0; t < 256; ++t) {
+    shared += rng.NextDouble() - 0.5;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i < 2) {
+        values[i] = shared + 0.01 * rng.NextGaussian();
+      } else {
+        walks[i] += rng.NextDouble() - 0.5;
+        values[i] = walks[i];
+      }
+      dataset.streams[i].push_back(values[i]);
+    }
+    ASSERT_TRUE(ss->AppendAll(values).ok());
+  }
+  EXPECT_GT(ss->stats().candidates, 0u);
+  EXPECT_GT(ss->stats().true_pairs, 0u);
+  // The exact pair count over the final window matches the oracle's view
+  // of the last detection round... at minimum the planted pair is caught.
+  const auto oracle =
+      ScanCorrelatedPairs(dataset, options.history, options.radius);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> oracle_set(
+      oracle.begin(), oracle.end());
+  EXPECT_TRUE(oracle_set.count({0, 1}) == 1);
+}
+
+TEST(StatStreamTest, PrecisionNeverExceedsOne) {
+  StatStreamOptions options;
+  options.history = 32;
+  options.basic_window = 8;
+  options.coefficients = 2;
+  options.cell_size = 0.2;
+  options.radius = 0.4;
+  auto ss = std::move(StatStream::Create(options, 5)).value();
+  const Dataset dataset = MakeRandomWalkDataset(5, 200, 33);
+  std::vector<double> values(5);
+  for (std::size_t t = 0; t < 200; ++t) {
+    for (std::size_t i = 0; i < 5; ++i) values[i] = dataset.streams[i][t];
+    ASSERT_TRUE(ss->AppendAll(values).ok());
+  }
+  EXPECT_GE(ss->stats().candidates, ss->stats().true_pairs);
+  EXPECT_LE(ss->stats().Precision(), 1.0);
+}
+
+TEST(StatStreamTest, RejectsWrongValueCount) {
+  StatStreamOptions options;
+  options.history = 16;
+  options.basic_window = 4;
+  auto ss = std::move(StatStream::Create(options, 3)).value();
+  EXPECT_FALSE(ss->AppendAll({1.0}).ok());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,158 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/bursty_source.h"
+#include "stream/dataset.h"
+#include "stream/host_load_source.h"
+#include "stream/packet_source.h"
+#include "stream/random_walk.h"
+
+namespace stardust {
+namespace {
+
+TEST(RandomWalkTest, DeterministicPerSeed) {
+  RandomWalkSource a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    diverged = diverged || va != c.Next();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RandomWalkTest, StepsBoundedByHalf) {
+  RandomWalkSource source(7);
+  double prev = source.Next();
+  for (int i = 0; i < 10000; ++i) {
+    const double next = source.Next();
+    EXPECT_LE(std::abs(next - prev), 0.5);
+    prev = next;
+  }
+}
+
+TEST(RandomWalkTest, StartsWithinOffsetRange) {
+  // x[1] = R + (u - 0.5) with R in [0, 100): first value in (-0.5, 100.5).
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    RandomWalkSource source(seed);
+    const double v = source.Next();
+    EXPECT_GT(v, -0.5);
+    EXPECT_LT(v, 100.5);
+  }
+}
+
+TEST(BurstySourceTest, NonNegativeCounts) {
+  BurstySource source(11);
+  for (int i = 0; i < 20000; ++i) EXPECT_GE(source.Next(), 0.0);
+}
+
+TEST(BurstySourceTest, BurstsActuallyOccurAndElevateCounts) {
+  BurstySourceOptions options;
+  options.background_rate = 10.0;
+  options.mean_burst_gap = 200.0;
+  BurstySource source(13, options);
+  double burst_sum = 0.0, calm_sum = 0.0;
+  std::uint64_t burst_n = 0, calm_n = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = source.Next();
+    if (source.burst_active()) {
+      burst_sum += v;
+      ++burst_n;
+    } else {
+      calm_sum += v;
+      ++calm_n;
+    }
+  }
+  ASSERT_GT(burst_n, 0u);
+  ASSERT_GT(calm_n, 0u);
+  EXPECT_GT(burst_sum / burst_n, calm_sum / calm_n);
+  EXPECT_NEAR(calm_sum / calm_n, options.background_rate,
+              options.background_rate * 0.2);
+}
+
+TEST(PacketSourceTest, NonNegativeAndVariable) {
+  PacketSource source(17);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = source.Next();
+    EXPECT_GE(v, 0.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi, lo * 1.5 + 1.0);  // regime shifts produce real spread
+}
+
+TEST(HostLoadTest, LoadsAreNonNegativeAndAutocorrelated) {
+  HostLoadSource source(19);
+  std::vector<double> x;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(source.Next());
+    EXPECT_GE(x.back(), 0.0);
+  }
+  // Lag-1 autocorrelation of a smooth load trace should be high.
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= x.size();
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < x.size(); ++i) {
+    num += (x[i] - mean) * (x[i + 1] - mean);
+  }
+  for (double v : x) den += (v - mean) * (v - mean);
+  EXPECT_GT(num / den, 0.8);
+}
+
+TEST(DatasetTest, RandomWalkDatasetShape) {
+  const Dataset d = MakeRandomWalkDataset(5, 100, 1);
+  EXPECT_EQ(d.num_streams(), 5u);
+  EXPECT_EQ(d.length(), 100u);
+  for (const auto& s : d.streams) {
+    for (double v : s) {
+      EXPECT_GE(v, d.r_min);
+      EXPECT_LE(v, d.r_max);
+    }
+  }
+}
+
+TEST(DatasetTest, StreamsDifferAcrossSeedsAndIndices) {
+  const Dataset d = MakeRandomWalkDataset(3, 50, 2);
+  EXPECT_NE(d.streams[0], d.streams[1]);
+  const Dataset e = MakeRandomWalkDataset(3, 50, 3);
+  EXPECT_NE(d.streams[0], e.streams[0]);
+}
+
+TEST(DatasetTest, RescaleMapsToTargetRange) {
+  Dataset d = MakeRandomWalkDataset(4, 200, 5);
+  RescaleDataset(&d, 1.0);
+  EXPECT_EQ(d.r_min, 0.0);
+  EXPECT_EQ(d.r_max, 1.0);
+  for (const auto& s : d.streams) {
+    for (double v : s) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(DatasetTest, QueryWorkloadUsesRequestedLengths) {
+  const std::vector<std::size_t> lengths{64, 128, 192};
+  const auto queries = MakeQueryWorkload(50, lengths, 9);
+  ASSERT_EQ(queries.size(), 50u);
+  bool saw[3] = {};
+  for (const auto& q : queries) {
+    const auto it =
+        std::find(lengths.begin(), lengths.end(), q.size());
+    ASSERT_NE(it, lengths.end());
+    saw[it - lengths.begin()] = true;
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+}
+
+TEST(DatasetTest, BurstAndPacketDatasetsAreSingleStream) {
+  EXPECT_EQ(MakeBurstDataset(500, 1).num_streams(), 1u);
+  EXPECT_EQ(MakePacketDataset(500, 1).num_streams(), 1u);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,148 @@
+#include "core/surprise_monitor.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig SurpriseConfig(std::size_t w, std::size_t levels,
+                              double r_max) {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 8;
+  config.r_max = r_max;
+  config.base_window = w;
+  config.num_levels = levels;
+  config.history = 4096;
+  config.box_capacity = 1;
+  config.update_period = 1;
+  config.index_features = true;
+  return config;
+}
+
+TEST(SurpriseMonitorTest, CreateValidation) {
+  StardustConfig config = SurpriseConfig(16, 3, 10.0);
+  EXPECT_TRUE(SurpriseMonitor::Create(config, 2, 0.1).ok());
+  EXPECT_FALSE(SurpriseMonitor::Create(config, 0, 0.1).ok());
+  EXPECT_FALSE(SurpriseMonitor::Create(config, 2, 0.0).ok());
+  EXPECT_FALSE(SurpriseMonitor::Create(config, 2, 0.1, {9}).ok());
+  StardustConfig boxed = config;
+  boxed.box_capacity = 4;
+  EXPECT_FALSE(SurpriseMonitor::Create(boxed, 2, 0.1).ok());
+  StardustConfig unindexed = config;
+  unindexed.index_features = false;
+  EXPECT_FALSE(SurpriseMonitor::Create(unindexed, 2, 0.1).ok());
+}
+
+// A strictly periodic stream is never surprising after warm-up — every
+// window repeats an earlier one exactly.
+TEST(SurpriseMonitorTest, PeriodicStreamStaysQuiet) {
+  auto monitor = std::move(SurpriseMonitor::Create(
+                               SurpriseConfig(16, 2, 10.0), 1, 0.05))
+                     .value();
+  std::vector<SurpriseEvent> events;
+  for (int t = 0; t < 600; ++t) {
+    const double v =
+        5.0 + 3.0 * std::sin(2.0 * std::numbers::pi * t / 16.0);
+    ASSERT_TRUE(monitor->Append(0, v, &events).ok());
+  }
+  EXPECT_TRUE(events.empty())
+      << "first event at t=" << events.front().end_time;
+  EXPECT_GT(monitor->stats().checks, 0u);
+}
+
+// Injecting a one-off shape into an otherwise periodic stream fires an
+// event covering the anomaly, and only then.
+TEST(SurpriseMonitorTest, InjectedAnomalyFiresOnce) {
+  auto monitor = std::move(SurpriseMonitor::Create(
+                               SurpriseConfig(16, 2, 10.0), 1, 0.05))
+                     .value();
+  std::vector<SurpriseEvent> events;
+  const std::size_t anomaly_start = 400, anomaly_len = 32;
+  for (std::size_t t = 0; t < 800; ++t) {
+    double v = 5.0 + 3.0 * std::sin(2.0 * std::numbers::pi * t / 16.0);
+    if (t >= anomaly_start && t < anomaly_start + anomaly_len) {
+      v = 9.5;  // flat clipping episode: a shape the stream never makes
+    }
+    ASSERT_TRUE(monitor->Append(0, v, &events).ok());
+  }
+  ASSERT_FALSE(events.empty());
+  for (const auto& event : events) {
+    // Every event's window overlaps the anomaly.
+    EXPECT_GE(event.end_time + event.window, anomaly_start + 1)
+        << "event at " << event.end_time;
+    EXPECT_LT(event.end_time, anomaly_start + anomaly_len + event.window);
+    EXPECT_GT(event.novelty, 0.05);
+  }
+}
+
+// A shape is only novel once: repeating the same anomaly later is
+// recognized as seen-before (within the retained history).
+TEST(SurpriseMonitorTest, RepeatedAnomalyIsNotNovel) {
+  auto monitor = std::move(SurpriseMonitor::Create(
+                               SurpriseConfig(16, 2, 10.0), 1, 0.05))
+                     .value();
+  auto value_at = [](std::size_t t) {
+    double v = 5.0 + 3.0 * std::sin(2.0 * std::numbers::pi * t / 16.0);
+    const bool in_first = t >= 300 && t < 332;
+    const bool in_second = t >= 700 && t < 732;
+    if (in_first || in_second) v = 9.5;
+    return v;
+  };
+  std::vector<SurpriseEvent> first_events, second_events;
+  for (std::size_t t = 0; t < 500; ++t) {
+    ASSERT_TRUE(monitor->Append(0, value_at(t), &first_events).ok());
+  }
+  for (std::size_t t = 500; t < 900; ++t) {
+    ASSERT_TRUE(monitor->Append(0, value_at(t), &second_events).ok());
+  }
+  EXPECT_FALSE(first_events.empty());
+  EXPECT_TRUE(second_events.empty())
+      << "repeat at t=" << second_events.front().end_time;
+}
+
+// Cross-stream mode: a shape one stream has already produced is not
+// novel when another stream produces it, unless within_stream is set.
+TEST(SurpriseMonitorTest, CrossStreamHistorySuppresses) {
+  auto value_at = [](std::size_t t, bool with_anomaly) {
+    double v = 5.0 + 3.0 * std::sin(2.0 * std::numbers::pi * t / 16.0);
+    if (with_anomaly && t >= 200 && t < 232) v = 9.5;
+    return v;
+  };
+  for (bool within_stream : {false, true}) {
+    auto monitor = std::move(SurpriseMonitor::Create(
+                                 SurpriseConfig(16, 2, 10.0), 2, 0.05, {},
+                                 within_stream))
+                       .value();
+    std::vector<SurpriseEvent> events;
+    // Stream 1 replays stream 0 exactly, delayed by 256 ticks (a period multiple, no splice seam) (so its
+    // anomaly arrives after stream 0's is already indexed fleet-wide).
+    for (std::size_t t = 0; t < 600; ++t) {
+      ASSERT_TRUE(monitor->Append(0, value_at(t, true), &events).ok());
+      const double delayed =
+          t >= 256 ? value_at(t - 256, true) : value_at(t, false);
+      ASSERT_TRUE(monitor->Append(1, delayed, &events).ok());
+    }
+    bool stream1_fired = false;
+    for (const auto& event : events) {
+      if (event.stream == 1) stream1_fired = true;
+    }
+    if (within_stream) {
+      EXPECT_TRUE(stream1_fired)
+          << "within-stream novelty must ignore stream 0's history";
+    } else {
+      EXPECT_FALSE(stream1_fired)
+          << "fleet-wide history should recognize the repeated shape";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,129 @@
+#include "baselines/swt.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/bursty_source.h"
+
+namespace stardust {
+namespace {
+
+std::vector<WindowThreshold> Train(AggregateKind kind, std::size_t base,
+                                   std::size_t m, double lambda,
+                                   std::uint64_t seed) {
+  BurstySource source(seed);
+  const std::vector<double> training = source.Take(4000);
+  std::vector<std::size_t> windows;
+  for (std::size_t i = 1; i <= m; ++i) windows.push_back(i * base);
+  return TrainThresholds(kind, training, windows, lambda);
+}
+
+TEST(SwtTest, CreateValidation) {
+  EXPECT_FALSE(
+      SwtMonitor::Create(AggregateKind::kMin, 10, {{10, 1.0}}).ok());
+  EXPECT_FALSE(SwtMonitor::Create(AggregateKind::kSum, 0, {{10, 1.0}}).ok());
+  EXPECT_FALSE(SwtMonitor::Create(AggregateKind::kSum, 10, {}).ok());
+  EXPECT_FALSE(
+      SwtMonitor::Create(AggregateKind::kSum, 10, {{0, 1.0}}).ok());
+  EXPECT_TRUE(
+      SwtMonitor::Create(AggregateKind::kSum, 10, {{10, 1.0}}).ok());
+}
+
+// The SWT filter is sound for monotone aggregates over non-negative data:
+// every exact alarm is also a candidate.
+TEST(SwtTest, NoFalseDismissalsOnEventCounts) {
+  const auto thresholds = Train(AggregateKind::kSum, 20, 8, 3.0, 11);
+  ASSERT_FALSE(thresholds.empty());
+  auto swt =
+      std::move(SwtMonitor::Create(AggregateKind::kSum, 20, thresholds))
+          .value();
+  std::vector<std::size_t> windows;
+  for (const auto& wt : thresholds) windows.push_back(wt.window);
+  SlidingAggregateTracker oracle(AggregateKind::kSum, windows);
+  BurstySource source(12);
+  std::uint64_t exact_alarms = 0;
+  for (int t = 0; t < 6000; ++t) {
+    const double v = source.Next();
+    swt->Append(v);
+    oracle.Push(v);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (oracle.Ready(i) &&
+          oracle.Current(i) >= thresholds[i].threshold) {
+        ++exact_alarms;
+      }
+    }
+  }
+  const AlarmStats total = swt->TotalStats();
+  EXPECT_EQ(total.true_alarms, exact_alarms);
+  EXPECT_GE(total.candidates, total.true_alarms);
+  EXPECT_GT(total.candidates, 0u);
+}
+
+// Windows exactly at a dyadic multiple of the base are monitored by a
+// same-size level window — the filter for them is exact.
+TEST(SwtTest, DyadicWindowIsMonitoredExactly) {
+  // One window equal to base: level 0 window == query window, and the
+  // level threshold equals the window's own threshold.
+  auto swt = std::move(SwtMonitor::Create(AggregateKind::kSum, 16,
+                                          {{16, 100.0}}))
+                 .value();
+  BurstySource source(13);
+  for (int t = 0; t < 3000; ++t) swt->Append(source.Next());
+  const AlarmStats stats = swt->stats(0);
+  EXPECT_EQ(stats.candidates, stats.true_alarms);
+}
+
+// SWT's level filter (superset window + smallest threshold of the level)
+// is never tighter than checking each window by itself: Stardust's exact
+// per-window filter produces no more candidates.
+TEST(SwtTest, LevelFilterIsLooserThanPerWindowFilter) {
+  const auto thresholds = Train(AggregateKind::kSum, 20, 10, 2.5, 14);
+  ASSERT_FALSE(thresholds.empty());
+  auto swt =
+      std::move(SwtMonitor::Create(AggregateKind::kSum, 20, thresholds))
+          .value();
+  std::vector<std::size_t> windows;
+  for (const auto& wt : thresholds) windows.push_back(wt.window);
+  SlidingAggregateTracker oracle(AggregateKind::kSum, windows);
+  BurstySource source(15);
+  std::uint64_t exact_alarms = 0;
+  for (int t = 0; t < 6000; ++t) {
+    const double v = source.Next();
+    swt->Append(v);
+    oracle.Push(v);
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      if (oracle.Ready(i) &&
+          oracle.Current(i) >= thresholds[i].threshold) {
+        ++exact_alarms;
+      }
+    }
+  }
+  EXPECT_GE(swt->TotalStats().candidates, exact_alarms);
+}
+
+TEST(SwtTest, SpreadMonitoringIsSupported) {
+  BurstySource training(16);
+  const auto data = training.Take(3000);
+  const auto thresholds =
+      TrainThresholds(AggregateKind::kSpread, data, {25, 50, 100}, 2.0);
+  ASSERT_EQ(thresholds.size(), 3u);
+  auto swt = std::move(SwtMonitor::Create(AggregateKind::kSpread, 25,
+                                          thresholds))
+                 .value();
+  BurstySource source(17);
+  for (int t = 0; t < 4000; ++t) swt->Append(source.Next());
+  EXPECT_GE(swt->TotalStats().candidates, swt->TotalStats().true_alarms);
+}
+
+TEST(SwtTest, PerWindowStatsExposeLevels) {
+  const auto thresholds = Train(AggregateKind::kSum, 10, 4, 3.0, 18);
+  auto swt =
+      std::move(SwtMonitor::Create(AggregateKind::kSum, 10, thresholds))
+          .value();
+  EXPECT_EQ(swt->num_windows(), thresholds.size());
+  for (std::size_t i = 0; i < swt->num_windows(); ++i) {
+    EXPECT_EQ(swt->threshold(i).window, thresholds[i].window);
+  }
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,101 @@
+#include "stream/threshold.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+TEST(SlidingAggregateTest, SumSeries) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y =
+      SlidingAggregate(AggregateKind::kSum, x, 2);
+  EXPECT_EQ(y, (std::vector<double>{3, 5, 7, 9}));
+}
+
+TEST(SlidingAggregateTest, MaxAndMinSeries) {
+  const std::vector<double> x{3, 1, 4, 1, 5};
+  EXPECT_EQ(SlidingAggregate(AggregateKind::kMax, x, 3),
+            (std::vector<double>{4, 4, 5}));
+  EXPECT_EQ(SlidingAggregate(AggregateKind::kMin, x, 3),
+            (std::vector<double>{1, 1, 1}));
+}
+
+TEST(SlidingAggregateTest, SpreadSeries) {
+  const std::vector<double> x{3, 1, 4, 1, 5};
+  EXPECT_EQ(SlidingAggregate(AggregateKind::kSpread, x, 2),
+            (std::vector<double>{2, 3, 3, 4}));
+}
+
+TEST(SlidingAggregateTest, WindowEqualsLength) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y =
+      SlidingAggregate(AggregateKind::kSum, x, 3);
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0], 6.0);
+}
+
+TEST(SlidingAggregatePropertyTest, MatchesBruteForce) {
+  Rng rng(71);
+  std::vector<double> x(300);
+  for (double& v : x) v = rng.NextDouble(-50, 50);
+  for (std::size_t w : {1u, 2u, 17u, 100u}) {
+    const std::vector<double> max_series =
+        SlidingAggregate(AggregateKind::kMax, x, w);
+    ASSERT_EQ(max_series.size(), x.size() - w + 1);
+    for (std::size_t i = 0; i < max_series.size(); ++i) {
+      EXPECT_EQ(max_series[i],
+                *std::max_element(x.begin() + i, x.begin() + i + w));
+    }
+  }
+}
+
+TEST(TrainThresholdsTest, MeanPlusLambdaSigma) {
+  // Training data where the sliding SUM of window 2 is {3, 5, 7}:
+  // mean = 5, variance = 8/3.
+  const std::vector<double> training{1, 2, 3, 4};
+  const std::vector<WindowThreshold> thresholds =
+      TrainThresholds(AggregateKind::kSum, training, {2}, 2.0);
+  ASSERT_EQ(thresholds.size(), 1u);
+  EXPECT_EQ(thresholds[0].window, 2u);
+  EXPECT_NEAR(thresholds[0].threshold, 5.0 + 2.0 * std::sqrt(8.0 / 3.0),
+              1e-12);
+}
+
+TEST(TrainThresholdsTest, SkipsWindowsLargerThanTraining) {
+  const std::vector<double> training{1, 2, 3};
+  const std::vector<WindowThreshold> thresholds =
+      TrainThresholds(AggregateKind::kSum, training, {2, 10}, 1.0);
+  ASSERT_EQ(thresholds.size(), 1u);
+  EXPECT_EQ(thresholds[0].window, 2u);
+}
+
+TEST(TrainThresholdsTest, LargerLambdaRaisesThreshold) {
+  Rng rng(72);
+  std::vector<double> training(500);
+  for (double& v : training) v = rng.NextDouble(0, 10);
+  const auto low = TrainThresholds(AggregateKind::kSum, training, {20}, 1.0);
+  const auto high = TrainThresholds(AggregateKind::kSum, training, {20}, 5.0);
+  ASSERT_EQ(low.size(), 1u);
+  ASSERT_EQ(high.size(), 1u);
+  EXPECT_LT(low[0].threshold, high[0].threshold);
+}
+
+TEST(TrainThresholdsTest, MultipleWindowsKeepOrder) {
+  Rng rng(73);
+  std::vector<double> training(200);
+  for (double& v : training) v = rng.NextDouble(0, 1);
+  const auto out = TrainThresholds(AggregateKind::kSpread, training,
+                                   {10, 20, 40}, 2.0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].window, 10u);
+  EXPECT_EQ(out[1].window, 20u);
+  EXPECT_EQ(out[2].window, 40u);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -1,0 +1,128 @@
+#include "core/window_advisor.h"
+
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stardust {
+namespace {
+
+/// Poisson-ish background with rectangular bursts of a fixed duration.
+std::vector<double> BurstsOfDuration(std::size_t length,
+                                     std::size_t burst_len, double boost,
+                                     std::size_t gap, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(length);
+  std::size_t next_burst = gap;
+  std::size_t burst_left = 0;
+  for (std::size_t t = 0; t < length; ++t) {
+    double rate = 20.0;
+    if (burst_left > 0) {
+      rate += boost;
+      --burst_left;
+    } else if (--next_burst == 0) {
+      burst_left = burst_len;
+      next_burst = gap;
+    }
+    out[t] = rate + std::sqrt(rate) * rng.NextGaussian();
+  }
+  return out;
+}
+
+TEST(WindowAdvisorTest, CreateValidation) {
+  EXPECT_FALSE(WindowAdvisor::Create(AggregateKind::kSum, 0, 3).ok());
+  EXPECT_FALSE(WindowAdvisor::Create(AggregateKind::kSum, 8, 0).ok());
+  EXPECT_TRUE(WindowAdvisor::Create(AggregateKind::kSum, 8, 5).ok());
+}
+
+TEST(WindowAdvisorTest, RecommendRequiresData) {
+  auto advisor =
+      std::move(WindowAdvisor::Create(AggregateKind::kSum, 8, 4)).value();
+  EXPECT_FALSE(advisor->RecommendWindow().ok());
+  for (int i = 0; i < 100; ++i) advisor->Append(1.0);
+  EXPECT_TRUE(advisor->RecommendWindow().ok());
+}
+
+// The paper's motivating use case for parameter estimation: the advisor
+// should pick the window size matching the hidden bursts' timescale.
+TEST(WindowAdvisorTest, RecommendedWindowTracksBurstDuration) {
+  // Windows 8, 16, ..., 512.
+  for (std::size_t burst_len : {16u, 128u}) {
+    auto advisor =
+        std::move(WindowAdvisor::Create(AggregateKind::kSum, 8, 7)).value();
+    const auto data =
+        BurstsOfDuration(40000, burst_len, 30.0, 1500, 7 + burst_len);
+    for (double v : data) advisor->Append(v);
+    Result<std::size_t> recommended = advisor->RecommendWindow();
+    ASSERT_TRUE(recommended.ok());
+    // The scan-statistic SNR peaks at w ≈ burst duration; allow one
+    // dyadic level of slack on either side.
+    EXPECT_GE(recommended.value(), burst_len / 2) << "L=" << burst_len;
+    EXPECT_LE(recommended.value(), burst_len * 2) << "L=" << burst_len;
+  }
+}
+
+TEST(WindowAdvisorTest, AdviceIsSortedAndComplete) {
+  auto advisor =
+      std::move(WindowAdvisor::Create(AggregateKind::kSum, 8, 5)).value();
+  const auto data = BurstsOfDuration(5000, 32, 25.0, 400, 11);
+  for (double v : data) advisor->Append(v);
+  const auto advice = advisor->Advise(3.0);
+  ASSERT_EQ(advice.size(), 5u);
+  for (std::size_t i = 1; i < advice.size(); ++i) {
+    EXPECT_GE(advice[i - 1].score, advice[i].score);
+  }
+  // Windows are the dyadic family.
+  std::uint64_t seen = 0;
+  for (const auto& a : advice) seen |= a.window;
+  EXPECT_EQ(seen, (8u | 16u | 32u | 64u | 128u));
+}
+
+TEST(WindowAdvisorTest, ThresholdMatchesMoments) {
+  auto advisor =
+      std::move(WindowAdvisor::Create(AggregateKind::kSum, 4, 1)).value();
+  // Constant stream: aggregate over window 4 is always 4v.
+  for (int i = 0; i < 100; ++i) advisor->Append(2.5);
+  const auto advice = advisor->Advise(5.0);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_NEAR(advice[0].threshold, 10.0, 1e-9);  // μ = 10, σ = 0
+  EXPECT_EQ(advice[0].score, 0.0);               // degenerate σ
+  EXPECT_NEAR(advice[0].drift, 0.0, 1e-9);
+}
+
+TEST(WindowAdvisorTest, AlarmRateGrowsWithSmallerLambda) {
+  auto advisor =
+      std::move(WindowAdvisor::Create(AggregateKind::kSum, 8, 3)).value();
+  const auto data = BurstsOfDuration(8000, 32, 25.0, 500, 13);
+  for (double v : data) advisor->Append(v);
+  const auto strict = advisor->Advise(6.0);
+  const auto loose = advisor->Advise(0.0);
+  for (std::size_t i = 0; i < strict.size(); ++i) {
+    // Match windows (both sorted by score over the same data).
+    for (const auto& l : loose) {
+      if (l.window == strict[i].window) {
+        EXPECT_GE(l.alarm_rate, strict[i].alarm_rate);
+      }
+    }
+  }
+}
+
+TEST(WindowAdvisorTest, DriftIsDetectedOnTrendingStream) {
+  auto advisor =
+      std::move(WindowAdvisor::Create(AggregateKind::kSum, 8, 2)).value();
+  for (int t = 0; t < 2000; ++t) {
+    advisor->Append(0.01 * t);  // linear ramp
+  }
+  const auto advice = advisor->Advise(3.0);
+  for (const auto& a : advice) {
+    // Sum over window w of a ramp with step s drifts by w·s per arrival.
+    const double expected =
+        0.01 * static_cast<double>(a.window);
+    EXPECT_NEAR(a.drift, expected, expected * 0.05) << "w=" << a.window;
+  }
+}
+
+}  // namespace
+}  // namespace stardust
