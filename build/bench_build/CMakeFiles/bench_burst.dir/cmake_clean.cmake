@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_burst"
+  "../bench/bench_burst.pdb"
+  "CMakeFiles/bench_burst.dir/bench_burst.cc.o"
+  "CMakeFiles/bench_burst.dir/bench_burst.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

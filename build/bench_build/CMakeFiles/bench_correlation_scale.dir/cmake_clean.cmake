@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_correlation_scale"
+  "../bench/bench_correlation_scale.pdb"
+  "CMakeFiles/bench_correlation_scale.dir/bench_correlation_scale.cc.o"
+  "CMakeFiles/bench_correlation_scale.dir/bench_correlation_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlation_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_dimensionality"
+  "../bench/bench_dimensionality.pdb"
+  "CMakeFiles/bench_dimensionality.dir/bench_dimensionality.cc.o"
+  "CMakeFiles/bench_dimensionality.dir/bench_dimensionality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dimensionality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_false_alarm"
+  "../bench/bench_false_alarm.pdb"
+  "CMakeFiles/bench_false_alarm.dir/bench_false_alarm.cc.o"
+  "CMakeFiles/bench_false_alarm.dir/bench_false_alarm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_alarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mbr_transform"
+  "../bench/bench_mbr_transform.pdb"
+  "CMakeFiles/bench_mbr_transform.dir/bench_mbr_transform.cc.o"
+  "CMakeFiles/bench_mbr_transform.dir/bench_mbr_transform.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mbr_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_volatility"
+  "../bench/bench_volatility.pdb"
+  "CMakeFiles/bench_volatility.dir/bench_volatility.cc.o"
+  "CMakeFiles/bench_volatility.dir/bench_volatility.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volatility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_windows.dir/adaptive_windows.cpp.o"
+  "CMakeFiles/adaptive_windows.dir/adaptive_windows.cpp.o.d"
+  "adaptive_windows"
+  "adaptive_windows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_windows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_correlation.dir/sensor_correlation.cpp.o"
+  "CMakeFiles/sensor_correlation.dir/sensor_correlation.cpp.o.d"
+  "sensor_correlation"
+  "sensor_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

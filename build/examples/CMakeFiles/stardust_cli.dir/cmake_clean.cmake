@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_cli.dir/stardust_cli.cpp.o"
+  "CMakeFiles/stardust_cli.dir/stardust_cli.cpp.o.d"
+  "stardust_cli"
+  "stardust_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

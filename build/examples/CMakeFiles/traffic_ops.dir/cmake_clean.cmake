@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_ops.dir/traffic_ops.cpp.o"
+  "CMakeFiles/traffic_ops.dir/traffic_ops.cpp.o.d"
+  "traffic_ops"
+  "traffic_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_baselines.dir/baselines/generalmatch.cc.o"
+  "CMakeFiles/stardust_baselines.dir/baselines/generalmatch.cc.o.d"
+  "CMakeFiles/stardust_baselines.dir/baselines/linear_scan.cc.o"
+  "CMakeFiles/stardust_baselines.dir/baselines/linear_scan.cc.o.d"
+  "CMakeFiles/stardust_baselines.dir/baselines/mrindex.cc.o"
+  "CMakeFiles/stardust_baselines.dir/baselines/mrindex.cc.o.d"
+  "CMakeFiles/stardust_baselines.dir/baselines/statstream.cc.o"
+  "CMakeFiles/stardust_baselines.dir/baselines/statstream.cc.o.d"
+  "CMakeFiles/stardust_baselines.dir/baselines/swt.cc.o"
+  "CMakeFiles/stardust_baselines.dir/baselines/swt.cc.o.d"
+  "libstardust_baselines.a"
+  "libstardust_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_common.dir/common/rng.cc.o"
+  "CMakeFiles/stardust_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/stardust_common.dir/common/status.cc.o"
+  "CMakeFiles/stardust_common.dir/common/status.cc.o.d"
+  "CMakeFiles/stardust_common.dir/common/stopwatch.cc.o"
+  "CMakeFiles/stardust_common.dir/common/stopwatch.cc.o.d"
+  "libstardust_common.a"
+  "libstardust_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

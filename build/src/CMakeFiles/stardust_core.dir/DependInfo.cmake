@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate_monitor.cc" "src/CMakeFiles/stardust_core.dir/core/aggregate_monitor.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/aggregate_monitor.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/stardust_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/correlation_monitor.cc" "src/CMakeFiles/stardust_core.dir/core/correlation_monitor.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/correlation_monitor.cc.o.d"
+  "/root/repo/src/core/fleet_monitor.cc" "src/CMakeFiles/stardust_core.dir/core/fleet_monitor.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/fleet_monitor.cc.o.d"
+  "/root/repo/src/core/lag_correlation.cc" "src/CMakeFiles/stardust_core.dir/core/lag_correlation.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/lag_correlation.cc.o.d"
+  "/root/repo/src/core/level_state.cc" "src/CMakeFiles/stardust_core.dir/core/level_state.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/level_state.cc.o.d"
+  "/root/repo/src/core/pattern_query.cc" "src/CMakeFiles/stardust_core.dir/core/pattern_query.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/pattern_query.cc.o.d"
+  "/root/repo/src/core/snapshot.cc" "src/CMakeFiles/stardust_core.dir/core/snapshot.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/snapshot.cc.o.d"
+  "/root/repo/src/core/stardust.cc" "src/CMakeFiles/stardust_core.dir/core/stardust.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/stardust.cc.o.d"
+  "/root/repo/src/core/summarizer.cc" "src/CMakeFiles/stardust_core.dir/core/summarizer.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/summarizer.cc.o.d"
+  "/root/repo/src/core/surprise_monitor.cc" "src/CMakeFiles/stardust_core.dir/core/surprise_monitor.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/surprise_monitor.cc.o.d"
+  "/root/repo/src/core/window_advisor.cc" "src/CMakeFiles/stardust_core.dir/core/window_advisor.cc.o" "gcc" "src/CMakeFiles/stardust_core.dir/core/window_advisor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stardust_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_dwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_core.dir/core/aggregate_monitor.cc.o"
+  "CMakeFiles/stardust_core.dir/core/aggregate_monitor.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/config.cc.o"
+  "CMakeFiles/stardust_core.dir/core/config.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/correlation_monitor.cc.o"
+  "CMakeFiles/stardust_core.dir/core/correlation_monitor.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/fleet_monitor.cc.o"
+  "CMakeFiles/stardust_core.dir/core/fleet_monitor.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/lag_correlation.cc.o"
+  "CMakeFiles/stardust_core.dir/core/lag_correlation.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/level_state.cc.o"
+  "CMakeFiles/stardust_core.dir/core/level_state.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/pattern_query.cc.o"
+  "CMakeFiles/stardust_core.dir/core/pattern_query.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/snapshot.cc.o"
+  "CMakeFiles/stardust_core.dir/core/snapshot.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/stardust.cc.o"
+  "CMakeFiles/stardust_core.dir/core/stardust.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/summarizer.cc.o"
+  "CMakeFiles/stardust_core.dir/core/summarizer.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/surprise_monitor.cc.o"
+  "CMakeFiles/stardust_core.dir/core/surprise_monitor.cc.o.d"
+  "CMakeFiles/stardust_core.dir/core/window_advisor.cc.o"
+  "CMakeFiles/stardust_core.dir/core/window_advisor.cc.o.d"
+  "libstardust_core.a"
+  "libstardust_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dwt/filters.cc" "src/CMakeFiles/stardust_dwt.dir/dwt/filters.cc.o" "gcc" "src/CMakeFiles/stardust_dwt.dir/dwt/filters.cc.o.d"
+  "/root/repo/src/dwt/haar.cc" "src/CMakeFiles/stardust_dwt.dir/dwt/haar.cc.o" "gcc" "src/CMakeFiles/stardust_dwt.dir/dwt/haar.cc.o.d"
+  "/root/repo/src/dwt/incremental.cc" "src/CMakeFiles/stardust_dwt.dir/dwt/incremental.cc.o" "gcc" "src/CMakeFiles/stardust_dwt.dir/dwt/incremental.cc.o.d"
+  "/root/repo/src/dwt/mbr_transform.cc" "src/CMakeFiles/stardust_dwt.dir/dwt/mbr_transform.cc.o" "gcc" "src/CMakeFiles/stardust_dwt.dir/dwt/mbr_transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stardust_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

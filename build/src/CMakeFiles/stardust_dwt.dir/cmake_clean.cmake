@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_dwt.dir/dwt/filters.cc.o"
+  "CMakeFiles/stardust_dwt.dir/dwt/filters.cc.o.d"
+  "CMakeFiles/stardust_dwt.dir/dwt/haar.cc.o"
+  "CMakeFiles/stardust_dwt.dir/dwt/haar.cc.o.d"
+  "CMakeFiles/stardust_dwt.dir/dwt/incremental.cc.o"
+  "CMakeFiles/stardust_dwt.dir/dwt/incremental.cc.o.d"
+  "CMakeFiles/stardust_dwt.dir/dwt/mbr_transform.cc.o"
+  "CMakeFiles/stardust_dwt.dir/dwt/mbr_transform.cc.o.d"
+  "libstardust_dwt.a"
+  "libstardust_dwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_dwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_geom.dir/geom/mbr.cc.o"
+  "CMakeFiles/stardust_geom.dir/geom/mbr.cc.o.d"
+  "libstardust_geom.a"
+  "libstardust_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_rtree.dir/rtree/rtree.cc.o"
+  "CMakeFiles/stardust_rtree.dir/rtree/rtree.cc.o.d"
+  "libstardust_rtree.a"
+  "libstardust_rtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_rtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

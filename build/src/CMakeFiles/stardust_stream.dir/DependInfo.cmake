@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/bursty_source.cc" "src/CMakeFiles/stardust_stream.dir/stream/bursty_source.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/bursty_source.cc.o.d"
+  "/root/repo/src/stream/dataset.cc" "src/CMakeFiles/stardust_stream.dir/stream/dataset.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/dataset.cc.o.d"
+  "/root/repo/src/stream/host_load_source.cc" "src/CMakeFiles/stardust_stream.dir/stream/host_load_source.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/host_load_source.cc.o.d"
+  "/root/repo/src/stream/io.cc" "src/CMakeFiles/stardust_stream.dir/stream/io.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/io.cc.o.d"
+  "/root/repo/src/stream/packet_source.cc" "src/CMakeFiles/stardust_stream.dir/stream/packet_source.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/packet_source.cc.o.d"
+  "/root/repo/src/stream/preprocess.cc" "src/CMakeFiles/stardust_stream.dir/stream/preprocess.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/preprocess.cc.o.d"
+  "/root/repo/src/stream/random_walk.cc" "src/CMakeFiles/stardust_stream.dir/stream/random_walk.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/random_walk.cc.o.d"
+  "/root/repo/src/stream/threshold.cc" "src/CMakeFiles/stardust_stream.dir/stream/threshold.cc.o" "gcc" "src/CMakeFiles/stardust_stream.dir/stream/threshold.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stardust_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_dwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_stream.dir/stream/bursty_source.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/bursty_source.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/dataset.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/dataset.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/host_load_source.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/host_load_source.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/io.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/io.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/packet_source.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/packet_source.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/preprocess.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/preprocess.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/random_walk.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/random_walk.cc.o.d"
+  "CMakeFiles/stardust_stream.dir/stream/threshold.cc.o"
+  "CMakeFiles/stardust_stream.dir/stream/threshold.cc.o.d"
+  "libstardust_stream.a"
+  "libstardust_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/aggregate.cc" "src/CMakeFiles/stardust_transform.dir/transform/aggregate.cc.o" "gcc" "src/CMakeFiles/stardust_transform.dir/transform/aggregate.cc.o.d"
+  "/root/repo/src/transform/feature.cc" "src/CMakeFiles/stardust_transform.dir/transform/feature.cc.o" "gcc" "src/CMakeFiles/stardust_transform.dir/transform/feature.cc.o.d"
+  "/root/repo/src/transform/quantile.cc" "src/CMakeFiles/stardust_transform.dir/transform/quantile.cc.o" "gcc" "src/CMakeFiles/stardust_transform.dir/transform/quantile.cc.o.d"
+  "/root/repo/src/transform/regression.cc" "src/CMakeFiles/stardust_transform.dir/transform/regression.cc.o" "gcc" "src/CMakeFiles/stardust_transform.dir/transform/regression.cc.o.d"
+  "/root/repo/src/transform/sliding_tracker.cc" "src/CMakeFiles/stardust_transform.dir/transform/sliding_tracker.cc.o" "gcc" "src/CMakeFiles/stardust_transform.dir/transform/sliding_tracker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stardust_dwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_transform.dir/transform/aggregate.cc.o"
+  "CMakeFiles/stardust_transform.dir/transform/aggregate.cc.o.d"
+  "CMakeFiles/stardust_transform.dir/transform/feature.cc.o"
+  "CMakeFiles/stardust_transform.dir/transform/feature.cc.o.d"
+  "CMakeFiles/stardust_transform.dir/transform/quantile.cc.o"
+  "CMakeFiles/stardust_transform.dir/transform/quantile.cc.o.d"
+  "CMakeFiles/stardust_transform.dir/transform/regression.cc.o"
+  "CMakeFiles/stardust_transform.dir/transform/regression.cc.o.d"
+  "CMakeFiles/stardust_transform.dir/transform/sliding_tracker.cc.o"
+  "CMakeFiles/stardust_transform.dir/transform/sliding_tracker.cc.o.d"
+  "libstardust_transform.a"
+  "libstardust_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stardust_transform.
+# This may be replaced when dependencies are built.

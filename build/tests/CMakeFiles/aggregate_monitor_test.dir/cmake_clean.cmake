@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregate_monitor_test.dir/aggregate_monitor_test.cc.o"
+  "CMakeFiles/aggregate_monitor_test.dir/aggregate_monitor_test.cc.o.d"
+  "aggregate_monitor_test"
+  "aggregate_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregate_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_fuzz_test.dir/correlation_fuzz_test.cc.o"
+  "CMakeFiles/correlation_fuzz_test.dir/correlation_fuzz_test.cc.o.d"
+  "correlation_fuzz_test"
+  "correlation_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

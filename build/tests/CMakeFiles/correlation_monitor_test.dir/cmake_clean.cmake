@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_monitor_test.dir/correlation_monitor_test.cc.o"
+  "CMakeFiles/correlation_monitor_test.dir/correlation_monitor_test.cc.o.d"
+  "correlation_monitor_test"
+  "correlation_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

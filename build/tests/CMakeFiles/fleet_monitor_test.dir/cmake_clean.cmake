@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_monitor_test.dir/fleet_monitor_test.cc.o"
+  "CMakeFiles/fleet_monitor_test.dir/fleet_monitor_test.cc.o.d"
+  "fleet_monitor_test"
+  "fleet_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

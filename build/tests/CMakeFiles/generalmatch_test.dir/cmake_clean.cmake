@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalmatch_test.dir/generalmatch_test.cc.o"
+  "CMakeFiles/generalmatch_test.dir/generalmatch_test.cc.o.d"
+  "generalmatch_test"
+  "generalmatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalmatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

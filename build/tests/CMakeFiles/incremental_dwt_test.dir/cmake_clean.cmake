@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_dwt_test.dir/incremental_dwt_test.cc.o"
+  "CMakeFiles/incremental_dwt_test.dir/incremental_dwt_test.cc.o.d"
+  "incremental_dwt_test"
+  "incremental_dwt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_dwt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_correlation_test.dir/lag_correlation_test.cc.o"
+  "CMakeFiles/lag_correlation_test.dir/lag_correlation_test.cc.o.d"
+  "lag_correlation_test"
+  "lag_correlation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/level_state_test.dir/level_state_test.cc.o"
+  "CMakeFiles/level_state_test.dir/level_state_test.cc.o.d"
+  "level_state_test"
+  "level_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/level_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrindex_test.dir/mrindex_test.cc.o"
+  "CMakeFiles/mrindex_test.dir/mrindex_test.cc.o.d"
+  "mrindex_test"
+  "mrindex_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrindex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

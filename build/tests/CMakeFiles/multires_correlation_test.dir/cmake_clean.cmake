@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multires_correlation_test.dir/multires_correlation_test.cc.o"
+  "CMakeFiles/multires_correlation_test.dir/multires_correlation_test.cc.o.d"
+  "multires_correlation_test"
+  "multires_correlation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multires_correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

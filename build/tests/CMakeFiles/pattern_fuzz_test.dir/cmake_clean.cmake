@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_fuzz_test.dir/pattern_fuzz_test.cc.o"
+  "CMakeFiles/pattern_fuzz_test.dir/pattern_fuzz_test.cc.o.d"
+  "pattern_fuzz_test"
+  "pattern_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

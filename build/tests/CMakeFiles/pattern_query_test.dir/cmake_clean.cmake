@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_query_test.dir/pattern_query_test.cc.o"
+  "CMakeFiles/pattern_query_test.dir/pattern_query_test.cc.o.d"
+  "pattern_query_test"
+  "pattern_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

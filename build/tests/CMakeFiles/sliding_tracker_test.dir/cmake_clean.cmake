@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_tracker_test.dir/sliding_tracker_test.cc.o"
+  "CMakeFiles/sliding_tracker_test.dir/sliding_tracker_test.cc.o.d"
+  "sliding_tracker_test"
+  "sliding_tracker_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stardust_core_test.dir/stardust_core_test.cc.o"
+  "CMakeFiles/stardust_core_test.dir/stardust_core_test.cc.o.d"
+  "stardust_core_test"
+  "stardust_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stardust_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/statstream_test.cc" "tests/CMakeFiles/statstream_test.dir/statstream_test.cc.o" "gcc" "tests/CMakeFiles/statstream_test.dir/statstream_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/stardust_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_rtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_dwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/stardust_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

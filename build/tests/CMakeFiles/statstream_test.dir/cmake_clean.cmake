@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statstream_test.dir/statstream_test.cc.o"
+  "CMakeFiles/statstream_test.dir/statstream_test.cc.o.d"
+  "statstream_test"
+  "statstream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarizer_test.dir/summarizer_test.cc.o"
+  "CMakeFiles/summarizer_test.dir/summarizer_test.cc.o.d"
+  "summarizer_test"
+  "summarizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

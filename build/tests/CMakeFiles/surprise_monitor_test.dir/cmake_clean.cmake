@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/surprise_monitor_test.dir/surprise_monitor_test.cc.o"
+  "CMakeFiles/surprise_monitor_test.dir/surprise_monitor_test.cc.o.d"
+  "surprise_monitor_test"
+  "surprise_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/surprise_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

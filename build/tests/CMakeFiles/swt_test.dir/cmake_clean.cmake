@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swt_test.dir/swt_test.cc.o"
+  "CMakeFiles/swt_test.dir/swt_test.cc.o.d"
+  "swt_test"
+  "swt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

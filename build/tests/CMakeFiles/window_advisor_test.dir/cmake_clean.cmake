@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_advisor_test.dir/window_advisor_test.cc.o"
+  "CMakeFiles/window_advisor_test.dir/window_advisor_test.cc.o.d"
+  "window_advisor_test"
+  "window_advisor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
