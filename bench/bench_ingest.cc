@@ -1,0 +1,165 @@
+// Ingestion throughput: single-threaded FleetAggregateMonitor baseline vs
+// the sharded IngestEngine at 1/2/4/8 shards. Producers post round-robin
+// over the fleet under kBlock (no data loss), so the measured rate is the
+// end-to-end sustained append throughput. One JSON line per configuration
+// on stdout (prose goes to stderr), ready for plotting:
+//
+//   $ ./build/bench/bench_ingest
+//   {"bench":"ingest","mode":"direct","shards":0,...}
+//   {"bench":"ingest","mode":"engine","shards":1,...}
+//   ...
+//
+// STARDUST_FULL=1 scales the workload up ~8x.
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "engine/engine.h"
+#include "stream/bursty_source.h"
+#include "stream/threshold.h"
+
+namespace {
+
+using namespace stardust;
+
+StardustConfig StreamConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 16;
+  config.num_levels = 5;  // windows up to 16 * 2^4 = 256
+  config.history = 256;
+  config.box_capacity = 4;
+  config.update_period = 1;
+  return config;
+}
+
+struct Workload {
+  std::size_t streams = 0;
+  std::vector<double> values;  // shared value tape, reused per stream
+};
+
+double RunDirect(const Workload& load,
+                 const std::vector<WindowThreshold>& thresholds,
+                 std::uint64_t* appended) {
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             StreamConfig(), thresholds, load.streams))
+                   .value();
+  Stopwatch watch;
+  watch.Start();
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < load.values.size(); ++i) {
+    const StreamId stream = static_cast<StreamId>(i % load.streams);
+    if (!fleet->Append(stream, load.values[i]).ok()) std::abort();
+    ++n;
+  }
+  watch.Stop();
+  *appended = n;
+  return watch.ElapsedSeconds();
+}
+
+double RunEngine(const Workload& load,
+                 const std::vector<WindowThreshold>& thresholds,
+                 std::size_t shards, std::size_t producers,
+                 std::uint64_t* appended, std::uint64_t* dropped,
+                 std::string* metrics_json) {
+  EngineConfig econfig;
+  econfig.num_shards = shards;
+  econfig.queue_capacity = 4096;
+  econfig.max_producers = producers;
+  econfig.overload = OverloadPolicy::kBlock;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(), thresholds,
+                                               load.streams, econfig))
+                    .value();
+  const std::size_t per_producer = load.values.size() / producers;
+  Stopwatch watch;
+  watch.Start();
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      // Producer p owns an equal slice of the tape and spreads it over
+      // the fleet round-robin, offset so producers hit distinct shards.
+      const std::size_t begin = p * per_producer;
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        const StreamId stream =
+            static_cast<StreamId>((begin + i) % load.streams);
+        if (!engine->Post(stream, load.values[begin + i]).ok()) {
+          std::abort();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (!engine->Flush().ok()) std::abort();
+  watch.Stop();
+  *appended = engine->metrics().appended.load();
+  *dropped = engine->metrics().dropped_newest.load() +
+             engine->metrics().dropped_oldest.load();
+  *metrics_json = engine->MetricsJson();
+  if (!engine->Stop().ok()) std::abort();
+  return watch.ElapsedSeconds();
+}
+
+void EmitLine(const char* mode, std::size_t shards, std::size_t producers,
+              std::uint64_t appended, std::uint64_t dropped, double seconds,
+              double baseline_rate) {
+  const double rate =
+      seconds > 0.0 ? static_cast<double>(appended) / seconds : 0.0;
+  std::printf("{\"bench\":\"ingest\",\"mode\":\"%s\",\"shards\":%zu,"
+              "\"producers\":%zu,\"appended\":%" PRIu64
+              ",\"dropped\":%" PRIu64 ",\"seconds\":%.4f,"
+              "\"appends_per_sec\":%.0f,\"speedup_vs_direct\":%.2f}\n",
+              mode, shards, producers, appended, dropped, seconds, rate,
+              baseline_rate > 0.0 ? rate / baseline_rate : 0.0);
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeaderStderr(
+      "Ingestion engine throughput (sharded vs single-threaded)",
+      "north-star scaling: Section 2.1 deployment at fleet scale");
+
+  Workload load;
+  load.streams = 64;
+  const std::size_t total =
+      bench::FullScale() ? 8 * 1024 * 1024 : 1024 * 1024;
+  BurstySource source(bench::BenchSeed());
+  load.values = source.Take(total);
+
+  const std::vector<std::size_t> window_sizes{16, 64, 256};
+  const auto thresholds = TrainThresholds(
+      AggregateKind::kSum,
+      std::vector<double>(load.values.begin(),
+                          load.values.begin() + 65536),
+      window_sizes, 3.0);
+
+  std::uint64_t appended = 0;
+  const double direct_seconds = RunDirect(load, thresholds, &appended);
+  const double direct_rate =
+      static_cast<double>(appended) / direct_seconds;
+  EmitLine("direct", 0, 1, appended, 0, direct_seconds, direct_rate);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::fprintf(stderr, "hardware threads: %u\n", hw);
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    const std::size_t producers = std::min<std::size_t>(shards, 4);
+    std::uint64_t engine_appended = 0;
+    std::uint64_t dropped = 0;
+    std::string metrics_json;
+    const double seconds =
+        RunEngine(load, thresholds, shards, producers, &engine_appended,
+                  &dropped, &metrics_json);
+    EmitLine("engine", shards, producers, engine_appended, dropped,
+             seconds, direct_rate);
+    std::fprintf(stderr, "engine metrics (%zu shards): %s\n", shards,
+                 metrics_json.c_str());
+  }
+  return 0;
+}

@@ -36,6 +36,22 @@ inline void PrintHeader(const char* title, const char* paper_ref) {
               "========\n");
 }
 
+/// PrintHeader variant for harnesses whose stdout is machine-readable
+/// (e.g. bench_ingest emits one JSON line per config): the banner goes to
+/// stderr so `./bench_ingest > results.jsonl` stays parseable.
+inline void PrintHeaderStderr(const char* title, const char* paper_ref) {
+  std::fprintf(stderr,
+               "\n========================================================"
+               "================\n%s\nReproduces: %s\nSeed: %llu%s\n"
+               "========================================================"
+               "================\n",
+               title, paper_ref,
+               static_cast<unsigned long long>(BenchSeed()),
+               FullScale() ? "  [FULL SCALE]"
+                           : "  [default scale; set STARDUST_FULL=1 for "
+                             "paper scale]");
+}
+
 }  // namespace stardust::bench
 
 #endif  // STARDUST_BENCH_BENCH_UTIL_H_

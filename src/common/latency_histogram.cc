@@ -1,0 +1,50 @@
+#include "common/latency_histogram.h"
+
+#include <bit>
+
+namespace stardust {
+
+void LatencyHistogram::Record(std::uint64_t nanos) {
+  std::size_t bucket =
+      nanos < 2 ? 0 : static_cast<std::size_t>(std::bit_width(nanos) - 1);
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::TotalNanos() const {
+  return total_nanos_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanNanos() const {
+  const std::uint64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(TotalNanos()) /
+                            static_cast<double>(n);
+}
+
+std::uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  const std::uint64_t n = Count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (static_cast<double>(seen) >= target) return BucketBound(i);
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace stardust

@@ -1,0 +1,60 @@
+// Fixed-bucket latency histogram with atomic counters. The ingestion
+// engine records one sample per monitor append; benches and the metrics
+// JSON exporter read counts and percentiles while workers keep writing.
+// Buckets are powers of two in nanoseconds, so recording is a handful of
+// relaxed atomic instructions — cheap enough for a per-append hot path.
+#ifndef STARDUST_COMMON_LATENCY_HISTOGRAM_H_
+#define STARDUST_COMMON_LATENCY_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace stardust {
+
+/// Concurrent histogram over [0, ~8.6s) of nanosecond samples. Bucket i
+/// covers [2^i, 2^(i+1)) ns (bucket 0 covers [0, 2)); samples beyond the
+/// last bound land in the overflow bucket. All methods are thread-safe;
+/// readers see a racy-but-monotonic view, which is fine for metrics.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 34;  // 2^33 ns ~ 8.6 s
+
+  LatencyHistogram() = default;
+
+  /// Records one sample. Thread-safe, lock-free.
+  void Record(std::uint64_t nanos);
+
+  /// Total number of recorded samples.
+  std::uint64_t Count() const;
+  /// Sum of all recorded samples (saturating view; relaxed counters).
+  std::uint64_t TotalNanos() const;
+  /// Mean sample in nanoseconds; 0 when empty.
+  double MeanNanos() const;
+
+  /// Upper bound (exclusive) of bucket i in nanoseconds.
+  static std::uint64_t BucketBound(std::size_t i) {
+    return std::uint64_t{1} << (i + 1);
+  }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Smallest bucket upper bound below which at least `p` (0..1] of the
+  /// samples fall — a conservative percentile estimate. 0 when empty.
+  std::uint64_t PercentileNanos(double p) const;
+
+  /// Clears every counter. Not linearizable against concurrent Record;
+  /// call when workers are quiesced (e.g. after Flush) for exact numbers.
+  void Reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_nanos_{0};
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_COMMON_LATENCY_HISTOGRAM_H_

@@ -1,5 +1,7 @@
 #include "core/fleet_monitor.h"
 
+#include "common/check.h"
+
 namespace stardust {
 
 Result<std::unique_ptr<FleetAggregateMonitor>> FleetAggregateMonitor::Create(
@@ -39,6 +41,11 @@ Status FleetAggregateMonitor::AppendAll(const std::vector<double>& values) {
     SD_RETURN_NOT_OK(monitors_[i]->Append(values[i]));
   }
   return Status::OK();
+}
+
+std::uint64_t FleetAggregateMonitor::AppendCount(StreamId stream) const {
+  SD_DCHECK(stream < monitors_.size());
+  return monitors_[stream]->stardust().summarizer(0).now();
 }
 
 AlarmStats FleetAggregateMonitor::FleetTotal() const {

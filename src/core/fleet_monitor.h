@@ -24,7 +24,16 @@ class FleetAggregateMonitor {
       std::size_t num_streams);
 
   std::size_t num_streams() const { return monitors_.size(); }
-  std::size_t num_windows() const { return monitors_[0]->num_windows(); }
+  /// Windows monitored per stream (identical across the fleet). Safe on
+  /// any instance: an empty fleet (which Create rejects, but defensive
+  /// callers may still hold) reports zero windows instead of invoking UB.
+  std::size_t num_windows() const {
+    return monitors_.empty() ? 0 : monitors_[0]->num_windows();
+  }
+  /// Shared threshold of one monitored window (same for every stream).
+  const WindowThreshold& threshold(std::size_t window_index) const {
+    return monitors_[0]->threshold(window_index);
+  }
 
   /// Feeds one value of one stream.
   Status Append(StreamId stream, double value);
@@ -49,6 +58,11 @@ class FleetAggregateMonitor {
   const AggregateMonitor& monitor(StreamId stream) const {
     return *monitors_[stream];
   }
+
+  /// Values ever appended to one stream — a const snapshot accessor so
+  /// concurrent readers (e.g. the ingestion engine's cross-shard reads)
+  /// never need the mutable Stardust surface.
+  std::uint64_t AppendCount(StreamId stream) const;
 
  private:
   explicit FleetAggregateMonitor(

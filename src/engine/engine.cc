@@ -1,0 +1,213 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stardust {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_engine_id{1};
+
+/// Producer registration cache: which slot this thread holds on which
+/// engine (keyed by a process-unique engine id, so a recycled engine
+/// address can never alias a stale entry). A thread rarely talks to more
+/// than a couple of engines, so a flat vector beats a hash map.
+struct TlsProducerEntry {
+  std::uint64_t engine_id = 0;
+  std::uint32_t slot = 0;
+};
+thread_local std::vector<TlsProducerEntry> tls_producer_slots;
+
+}  // namespace
+
+Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
+    const StardustConfig& config, std::vector<WindowThreshold> thresholds,
+    std::size_t num_streams, const EngineConfig& engine_config) {
+  SD_RETURN_NOT_OK(engine_config.Validate());
+  if (num_streams == 0) {
+    return Status::InvalidArgument("need at least one stream");
+  }
+  const std::size_t num_shards =
+      std::min(engine_config.num_shards, num_streams);
+  std::unique_ptr<IngestEngine> engine(
+      new IngestEngine(engine_config, num_streams));
+  engine->shards_.reserve(num_shards);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    // Streams s, s + N, s + 2N, ... live on shard s.
+    const std::size_t local_streams =
+        (num_streams - s + num_shards - 1) / num_shards;
+    Result<std::unique_ptr<FleetAggregateMonitor>> fleet =
+        FleetAggregateMonitor::Create(config, thresholds, local_streams);
+    if (!fleet.ok()) return fleet.status();
+    engine->shards_.push_back(std::make_unique<Shard>(
+        s, engine_config.max_producers, engine_config.queue_capacity,
+        engine_config.overload, engine_config.max_batch,
+        std::move(fleet).value(), engine->metrics_.get()));
+  }
+  for (auto& shard : engine->shards_) {
+    if (engine_config.start_paused) shard->set_paused(true);
+    shard->Start();
+  }
+  return engine;
+}
+
+IngestEngine::IngestEngine(const EngineConfig& config,
+                           std::size_t num_streams)
+    : engine_id_(g_next_engine_id.fetch_add(1, std::memory_order_relaxed)),
+      config_(config),
+      num_streams_(num_streams),
+      metrics_(std::make_unique<EngineMetrics>()) {}
+
+IngestEngine::~IngestEngine() { Stop(); }
+
+Result<std::size_t> IngestEngine::ProducerSlot() {
+  for (const TlsProducerEntry& entry : tls_producer_slots) {
+    if (entry.engine_id == engine_id_) return std::size_t{entry.slot};
+  }
+  const std::uint32_t slot =
+      next_producer_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= config_.max_producers) {
+    return Status::FailedPrecondition(
+        "too many producer threads; raise EngineConfig::max_producers");
+  }
+  tls_producer_slots.push_back({engine_id_, slot});
+  return std::size_t{slot};
+}
+
+Status IngestEngine::Post(StreamId stream, double value) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  Result<std::size_t> slot = ProducerSlot();
+  if (!slot.ok()) return slot.status();
+  return shards_[ShardOf(stream)]->Push(slot.value(), LocalOf(stream),
+                                        value);
+}
+
+Status IngestEngine::PostBatch(std::span<const StreamValue> tuples) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  Result<std::size_t> slot = ProducerSlot();
+  if (!slot.ok()) return slot.status();
+  for (const StreamValue& tuple : tuples) {
+    if (tuple.stream >= num_streams_) {
+      return Status::InvalidArgument("unknown stream");
+    }
+    SD_RETURN_NOT_OK(shards_[ShardOf(tuple.stream)]->Push(
+        slot.value(), LocalOf(tuple.stream), tuple.value));
+  }
+  return Status::OK();
+}
+
+Status IngestEngine::Flush() {
+  std::vector<std::uint64_t> targets;
+  targets.reserve(shards_.size());
+  for (const auto& shard : shards_) targets.push_back(shard->enqueued());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    while (shards_[s]->retired() < targets[s]) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  for (const auto& shard : shards_) {
+    SD_RETURN_NOT_OK(shard->worker_status());
+  }
+  return Status::OK();
+}
+
+Status IngestEngine::Stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) {
+    return Status::OK();
+  }
+  accepting_.store(false, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->set_paused(false);  // a paused worker must wake up to drain
+    shard->RequestStop();
+  }
+  for (auto& shard : shards_) shard->Join();
+  for (const auto& shard : shards_) {
+    SD_RETURN_NOT_OK(shard->worker_status());
+  }
+  return Status::OK();
+}
+
+void IngestEngine::Pause() {
+  for (auto& shard : shards_) shard->set_paused(true);
+}
+
+void IngestEngine::Resume() {
+  for (auto& shard : shards_) shard->set_paused(false);
+}
+
+AlarmStats IngestEngine::StreamTotal(StreamId stream) const {
+  SD_CHECK(stream < num_streams_);
+  return shards_[ShardOf(stream)]->StreamTotal(LocalOf(stream), nullptr);
+}
+
+AlarmStats IngestEngine::FleetTotal(
+    std::vector<ShardStamp>* stamps) const {
+  if (stamps != nullptr) {
+    stamps->clear();
+    stamps->reserve(shards_.size());
+  }
+  AlarmStats total;
+  for (const auto& shard : shards_) {
+    ShardStamp stamp;
+    const AlarmStats s = shard->ShardTotal(&stamp);
+    total.candidates += s.candidates;
+    total.true_alarms += s.true_alarms;
+    total.checks += s.checks;
+    if (stamps != nullptr) stamps->push_back(stamp);
+  }
+  return total;
+}
+
+Result<std::vector<StreamId>> IngestEngine::CurrentlyAlarming(
+    std::size_t window_index, std::vector<ShardStamp>* stamps) const {
+  if (stamps != nullptr) {
+    stamps->clear();
+    stamps->reserve(shards_.size());
+  }
+  std::vector<StreamId> alarming;
+  for (const auto& shard : shards_) {
+    ShardStamp stamp;
+    Result<std::vector<StreamId>> local =
+        shard->CurrentlyAlarming(window_index, &stamp);
+    if (!local.ok()) return local.status();
+    for (const StreamId local_id : local.value()) {
+      // Inverse of the placement map: global = local * N + shard.
+      alarming.push_back(static_cast<StreamId>(
+          local_id * shards_.size() + shard->index()));
+    }
+    if (stamps != nullptr) stamps->push_back(stamp);
+  }
+  std::sort(alarming.begin(), alarming.end());
+  return alarming;
+}
+
+std::uint64_t IngestEngine::StreamAppendCount(StreamId stream) const {
+  SD_CHECK(stream < num_streams_);
+  return shards_[ShardOf(stream)]->StreamAppendCount(LocalOf(stream));
+}
+
+std::vector<ShardMetricsSnapshot> IngestEngine::ShardMetrics() const {
+  std::vector<ShardMetricsSnapshot> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->MetricsSnapshot());
+  return out;
+}
+
+std::string IngestEngine::MetricsJson() const {
+  return EngineMetricsJson(*metrics_, ShardMetrics());
+}
+
+}  // namespace stardust

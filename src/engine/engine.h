@@ -1,0 +1,117 @@
+// IngestEngine: sharded multi-threaded ingestion for the fleet deployment
+// of Section 2.1 ("a system that has M input streams"). The M streams are
+// partitioned across N worker shards (stream id modulo the shard count);
+// each shard owns a private Stardust + monitor set and drains bounded
+// lock-free SPSC rings filled by producer threads via Post/PostBatch.
+// Overload behavior is an explicit policy (block / drop-newest /
+// drop-oldest, with drop counters), and cross-shard reads return coherent
+// per-shard snapshots stamped with sequence epochs. See docs/ENGINE.md.
+#ifndef STARDUST_ENGINE_ENGINE_H_
+#define STARDUST_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/fleet_monitor.h"
+#include "engine/engine_config.h"
+#include "engine/metrics.h"
+#include "engine/shard.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+
+/// Thread-safe ingestion facade over a sharded fleet of aggregate
+/// monitors. Producer threads call Post/PostBatch concurrently (each
+/// distinct thread is auto-registered, up to EngineConfig::max_producers);
+/// reads may come from any thread at any time.
+class IngestEngine {
+ public:
+  /// Builds the engine and starts its worker threads. `config` and
+  /// `thresholds` follow FleetAggregateMonitor::Create; the effective
+  /// shard count is min(engine_config.num_shards, num_streams).
+  static Result<std::unique_ptr<IngestEngine>> Create(
+      const StardustConfig& config, std::vector<WindowThreshold> thresholds,
+      std::size_t num_streams, const EngineConfig& engine_config = {});
+
+  /// Stops and joins the workers (as Stop()).
+  ~IngestEngine();
+
+  IngestEngine(const IngestEngine&) = delete;
+  IngestEngine& operator=(const IngestEngine&) = delete;
+
+  std::size_t num_streams() const { return num_streams_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_windows() const { return shards_[0]->num_windows(); }
+  const EngineConfig& engine_config() const { return config_; }
+
+  /// Shard that owns a stream (stream id modulo shard count).
+  std::size_t ShardOf(StreamId stream) const {
+    return stream % shards_.size();
+  }
+
+  // --- Producer side ----------------------------------------------------
+  /// Enqueues one value. Under kBlock this waits for queue space; under
+  /// the drop policies it returns OK and accounts the loss in metrics().
+  Status Post(StreamId stream, double value);
+  /// Enqueues many (stream, value) tuples with one producer-slot lookup.
+  Status PostBatch(std::span<const StreamValue> tuples);
+
+  /// Blocks until everything posted before the call has been applied (or
+  /// reclaimed by kDropOldest). Returns the first worker error, if any.
+  Status Flush();
+  /// Stops accepting posts, drains every queue, joins the workers.
+  /// Idempotent. Producers must be quiescent when this is called.
+  Status Stop();
+  /// Quiesce/resume the workers without tearing anything down. While
+  /// paused, queues fill and overload policies engage.
+  void Pause();
+  void Resume();
+
+  // --- Cross-shard reads ------------------------------------------------
+  /// Alarm counters of one stream, summed over its windows.
+  AlarmStats StreamTotal(StreamId stream) const;
+  /// Counters summed over the whole fleet; `stamps` (optional) receives
+  /// one sequence-stamped epoch per shard identifying the exact state
+  /// each shard contributed.
+  AlarmStats FleetTotal(std::vector<ShardStamp>* stamps = nullptr) const;
+  /// Streams (global ids, ascending) whose verified aggregate currently
+  /// exceeds the threshold of the given window.
+  Result<std::vector<StreamId>> CurrentlyAlarming(
+      std::size_t window_index,
+      std::vector<ShardStamp>* stamps = nullptr) const;
+  /// Values ever applied to one stream's monitor.
+  std::uint64_t StreamAppendCount(StreamId stream) const;
+
+  const EngineMetrics& metrics() const { return *metrics_; }
+  std::vector<ShardMetricsSnapshot> ShardMetrics() const;
+  /// One-line JSON over metrics() + ShardMetrics() (docs/ENGINE.md).
+  std::string MetricsJson() const;
+
+ private:
+  IngestEngine(const EngineConfig& config, std::size_t num_streams);
+
+  StreamId LocalOf(StreamId stream) const {
+    return stream / static_cast<StreamId>(shards_.size());
+  }
+  /// Producer slot of the calling thread, registering it on first use.
+  Result<std::size_t> ProducerSlot();
+
+  const std::uint64_t engine_id_;
+  const EngineConfig config_;
+  const std::size_t num_streams_;
+  std::unique_ptr<EngineMetrics> metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint32_t> next_producer_{0};
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_ENGINE_ENGINE_H_

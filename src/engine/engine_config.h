@@ -1,0 +1,76 @@
+// Configuration of the sharded ingestion engine (src/engine).
+#ifndef STARDUST_ENGINE_ENGINE_CONFIG_H_
+#define STARDUST_ENGINE_ENGINE_CONFIG_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+
+namespace stardust {
+
+/// What a producer does when a shard's queue is full (the explicit
+/// ingestion policies of feed-style systems: spill == block here, discard
+/// drops; see docs/ENGINE.md).
+enum class OverloadPolicy {
+  /// Spin/yield until the shard frees a slot. No data loss; producers
+  /// inherit the shard's pace (backpressure).
+  kBlock,
+  /// Drop the incoming tuple. The queued (older) data survives.
+  kDropNewest,
+  /// Reclaim the oldest queued tuple and enqueue the incoming one. The
+  /// freshest data survives — the usual choice for live dashboards.
+  kDropOldest,
+};
+
+inline const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kBlock: return "block";
+    case OverloadPolicy::kDropNewest: return "drop_newest";
+    case OverloadPolicy::kDropOldest: return "drop_oldest";
+  }
+  return "unknown";
+}
+
+/// Tunables of the ingestion runtime. Stream state parameters (windows,
+/// thresholds, history) stay in StardustConfig; this struct only shapes
+/// the threading/queueing layer around it.
+struct EngineConfig {
+  /// Worker shards. Streams are placed by stream id modulo the effective
+  /// shard count (capped at the number of streams).
+  std::size_t num_shards = 4;
+  /// Capacity of each producer->shard SPSC ring, rounded up to a power of
+  /// two. Total queued capacity is num_shards * max_producers * this.
+  std::size_t queue_capacity = 1024;
+  /// Maximum number of distinct producer threads that may ever call
+  /// Post/PostBatch on one engine. Each gets a private SPSC ring per
+  /// shard; registration is automatic on first Post.
+  std::size_t max_producers = 8;
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  /// Upper bound on tuples a worker applies per state-lock acquisition;
+  /// bounds reader (snapshot) latency under sustained load.
+  std::size_t max_batch = 256;
+  /// Start with the workers paused (queues fill until Resume). Gives
+  /// deterministic overload behavior for tests and lets deployments
+  /// pre-fill before the first drain.
+  bool start_paused = false;
+
+  Status Validate() const {
+    if (num_shards == 0) {
+      return Status::InvalidArgument("num_shards must be positive");
+    }
+    if (queue_capacity == 0) {
+      return Status::InvalidArgument("queue_capacity must be positive");
+    }
+    if (max_producers == 0) {
+      return Status::InvalidArgument("max_producers must be positive");
+    }
+    if (max_batch == 0) {
+      return Status::InvalidArgument("max_batch must be positive");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_ENGINE_ENGINE_CONFIG_H_

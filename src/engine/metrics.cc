@@ -1,0 +1,70 @@
+#include "engine/metrics.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace stardust {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string EngineMetricsJson(
+    const EngineMetrics& metrics,
+    const std::vector<ShardMetricsSnapshot>& shards) {
+  std::string out;
+  out.reserve(1024);
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  AppendF(&out,
+          "{\"posted\":%" PRIu64 ",\"appended\":%" PRIu64
+          ",\"dropped_newest\":%" PRIu64 ",\"dropped_oldest\":%" PRIu64
+          ",\"block_waits\":%" PRIu64 ",\"append_errors\":%" PRIu64,
+          load(metrics.posted), load(metrics.appended),
+          load(metrics.dropped_newest), load(metrics.dropped_oldest),
+          load(metrics.block_waits), load(metrics.append_errors));
+
+  const LatencyHistogram& h = metrics.append_latency;
+  AppendF(&out,
+          ",\"append_latency_ns\":{\"count\":%" PRIu64
+          ",\"mean\":%.1f,\"p50\":%" PRIu64 ",\"p99\":%" PRIu64
+          ",\"buckets\":[",
+          h.Count(), h.MeanNanos(), h.PercentileNanos(0.50),
+          h.PercentileNanos(0.99));
+  bool first = true;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    const std::uint64_t count = h.bucket_count(i);
+    if (count == 0) continue;  // sparse export: empty buckets are implied
+    AppendF(&out, "%s{\"le\":%" PRIu64 ",\"count\":%" PRIu64 "}",
+            first ? "" : ",", LatencyHistogram::BucketBound(i), count);
+    first = false;
+  }
+  out += "]}";
+
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardMetricsSnapshot& s = shards[i];
+    AppendF(&out,
+            "%s{\"shard\":%zu,\"epoch\":%" PRIu64 ",\"appended\":%" PRIu64
+            ",\"batches\":%" PRIu64 ",\"max_batch\":%" PRIu64
+            ",\"avg_batch\":%.2f,\"queue_high_water\":%zu"
+            ",\"streams\":%zu}",
+            i == 0 ? "" : ",", s.shard, s.epoch, s.appended, s.batches,
+            s.max_batch, s.AvgBatch(), s.queue_high_water, s.num_streams);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace stardust

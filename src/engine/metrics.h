@@ -1,0 +1,63 @@
+// Runtime counters of the ingestion engine, exported as JSON for benches,
+// examples, and operational scraping. Everything is an atomic updated with
+// relaxed ordering: metrics tolerate racy reads, correctness does not
+// depend on them.
+#ifndef STARDUST_ENGINE_METRICS_H_
+#define STARDUST_ENGINE_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/latency_histogram.h"
+
+namespace stardust {
+
+/// Engine-wide counters. Producers bump the posting/drop side; shard
+/// workers bump `appended` and the latency histogram.
+struct EngineMetrics {
+  /// Tuples accepted by Post/PostBatch (including ones later dropped by
+  /// kDropOldest; excluding kDropNewest rejections).
+  std::atomic<std::uint64_t> posted{0};
+  /// Tuples applied to a shard's monitors.
+  std::atomic<std::uint64_t> appended{0};
+  /// Tuples rejected on arrival (kDropNewest) / reclaimed from a full
+  /// queue to make room (kDropOldest).
+  std::atomic<std::uint64_t> dropped_newest{0};
+  std::atomic<std::uint64_t> dropped_oldest{0};
+  /// Full-queue episodes a producer waited out under kBlock.
+  std::atomic<std::uint64_t> block_waits{0};
+  /// Monitor appends that returned a non-OK status inside a worker.
+  std::atomic<std::uint64_t> append_errors{0};
+  /// Wall-clock nanoseconds per monitor append, measured by the workers.
+  LatencyHistogram append_latency;
+};
+
+/// Point-in-time view of one shard, stamped with the epoch (number of
+/// applied batches) at which it was taken.
+struct ShardMetricsSnapshot {
+  std::size_t shard = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t appended = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  std::size_t queue_high_water = 0;
+  std::size_t num_streams = 0;
+
+  double AvgBatch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(appended) /
+                              static_cast<double>(batches);
+  }
+};
+
+/// One-line JSON document over the engine counters and per-shard
+/// snapshots (schema in docs/ENGINE.md).
+std::string EngineMetricsJson(const EngineMetrics& metrics,
+                              const std::vector<ShardMetricsSnapshot>& shards);
+
+}  // namespace stardust
+
+#endif  // STARDUST_ENGINE_METRICS_H_

@@ -1,0 +1,225 @@
+#include "engine/shard.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stardust {
+
+namespace {
+
+// Producer-side and idle-worker wait: spin briefly, then yield, then nap.
+// Keeps latency low when the peer is active without burning a core when
+// it is not.
+void Backoff(std::size_t* spins) {
+  ++*spins;
+  if (*spins < 64) return;
+  if (*spins < 256) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(100));
+}
+
+void UpdateMax(std::atomic<std::uint64_t>* target, std::uint64_t value) {
+  std::uint64_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void UpdateMaxSize(std::atomic<std::size_t>* target, std::size_t value) {
+  std::size_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Shard::Shard(std::size_t index, std::size_t num_producers,
+             std::size_t queue_capacity, OverloadPolicy policy,
+             std::size_t max_batch,
+             std::unique_ptr<FleetAggregateMonitor> fleet,
+             EngineMetrics* metrics)
+    : index_(index),
+      policy_(policy),
+      max_batch_(max_batch),
+      metrics_(metrics),
+      fleet_(std::move(fleet)) {
+  SD_CHECK(fleet_ != nullptr);
+  SD_CHECK(num_producers > 0);
+  rings_.reserve(num_producers);
+  for (std::size_t i = 0; i < num_producers; ++i) {
+    rings_.push_back(std::make_unique<SpscRing<StreamValue>>(queue_capacity));
+  }
+}
+
+Shard::~Shard() {
+  RequestStop();
+  Join();
+}
+
+void Shard::Start() {
+  SD_CHECK(!worker_.joinable());
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Shard::RequestStop() { stop_.store(true, std::memory_order_release); }
+
+void Shard::Join() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void Shard::set_paused(bool paused) {
+  paused_.store(paused, std::memory_order_release);
+}
+
+Status Shard::Push(std::size_t producer, StreamId local_stream,
+                   double value) {
+  SD_DCHECK(producer < rings_.size());
+  SpscRing<StreamValue>& ring = *rings_[producer];
+  const StreamValue tuple{local_stream, value};
+  if (!ring.TryPush(tuple)) {
+    switch (policy_) {
+      case OverloadPolicy::kDropNewest:
+        metrics_->dropped_newest.fetch_add(1, std::memory_order_relaxed);
+        return Status::OK();
+      case OverloadPolicy::kDropOldest: {
+        StreamValue victim;
+        while (!ring.TryPush(tuple)) {
+          if (ring.TryPop(&victim)) {
+            stolen_.fetch_add(1, std::memory_order_relaxed);
+            metrics_->dropped_oldest.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
+      case OverloadPolicy::kBlock: {
+        metrics_->block_waits.fetch_add(1, std::memory_order_relaxed);
+        std::size_t spins = 0;
+        while (!ring.TryPush(tuple)) Backoff(&spins);
+        break;
+      }
+    }
+  }
+  enqueued_.fetch_add(1, std::memory_order_release);
+  metrics_->posted.fetch_add(1, std::memory_order_relaxed);
+  UpdateMaxSize(&queue_high_water_, ring.ApproxSize());
+  return Status::OK();
+}
+
+void Shard::WorkerLoop() {
+  std::vector<StreamValue> batch;
+  batch.reserve(max_batch_);
+  std::size_t idle_spins = 0;
+  for (;;) {
+    if (paused_.load(std::memory_order_acquire) &&
+        !stop_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      continue;
+    }
+    batch.clear();
+    for (auto& ring : rings_) {
+      StreamValue tuple;
+      while (batch.size() < max_batch_ && ring->TryPop(&tuple)) {
+        batch.push_back(tuple);
+      }
+      if (batch.size() >= max_batch_) break;
+    }
+    if (batch.empty()) {
+      if (stop_.load(std::memory_order_acquire)) {
+        // Producers are quiesced before RequestStop, so one final empty
+        // sweep over every ring means the shard is fully drained.
+        bool drained = true;
+        for (auto& ring : rings_) drained = drained && ring->ApproxEmpty();
+        if (drained) return;
+      }
+      Backoff(&idle_spins);
+      continue;
+    }
+    idle_spins = 0;
+    ApplyBatch(batch);
+  }
+}
+
+void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
+  using Clock = std::chrono::steady_clock;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    for (const StreamValue& tuple : batch) {
+      const Clock::time_point start = Clock::now();
+      const Status status = fleet_->Append(tuple.stream, tuple.value);
+      const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             Clock::now() - start)
+                             .count();
+      metrics_->append_latency.Record(static_cast<std::uint64_t>(nanos));
+      if (status.ok()) {
+        metrics_->appended.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        metrics_->append_errors.fetch_add(1, std::memory_order_relaxed);
+        if (worker_status_.ok()) worker_status_ = status;
+      }
+    }
+    // Publish inside the lock so a reader's stamp always matches the
+    // monitor state it observed.
+    applied_.fetch_add(batch.size(), std::memory_order_release);
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  UpdateMax(&batch_max_, batch.size());
+}
+
+ShardStamp Shard::StampLocked() const {
+  ShardStamp stamp;
+  stamp.shard = index_;
+  stamp.epoch = epoch_.load(std::memory_order_relaxed);
+  stamp.appended = applied_.load(std::memory_order_relaxed);
+  return stamp;
+}
+
+AlarmStats Shard::StreamTotal(StreamId local_stream,
+                              ShardStamp* stamp) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (stamp != nullptr) *stamp = StampLocked();
+  return fleet_->StreamTotal(local_stream);
+}
+
+AlarmStats Shard::ShardTotal(ShardStamp* stamp) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (stamp != nullptr) *stamp = StampLocked();
+  return fleet_->FleetTotal();
+}
+
+Result<std::vector<StreamId>> Shard::CurrentlyAlarming(
+    std::size_t window_index, ShardStamp* stamp) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (stamp != nullptr) *stamp = StampLocked();
+  return fleet_->CurrentlyAlarming(window_index);
+}
+
+std::uint64_t Shard::StreamAppendCount(StreamId local_stream) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return fleet_->AppendCount(local_stream);
+}
+
+Status Shard::worker_status() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return worker_status_;
+}
+
+ShardMetricsSnapshot Shard::MetricsSnapshot() const {
+  ShardMetricsSnapshot snapshot;
+  snapshot.shard = index_;
+  snapshot.epoch = epoch_.load(std::memory_order_acquire);
+  snapshot.appended = applied_.load(std::memory_order_acquire);
+  snapshot.batches = batches_.load(std::memory_order_relaxed);
+  snapshot.max_batch = batch_max_.load(std::memory_order_relaxed);
+  snapshot.queue_high_water =
+      queue_high_water_.load(std::memory_order_relaxed);
+  snapshot.num_streams = fleet_->num_streams();
+  return snapshot;
+}
+
+}  // namespace stardust

@@ -1,0 +1,130 @@
+// One worker shard of the ingestion engine: a private fleet of monitors
+// (its own Stardust state, untouched by any other thread) fed by one
+// bounded SPSC ring per registered producer. The worker thread drains the
+// rings in batches and applies them under the shard's state mutex; reader
+// snapshots take the same mutex and are stamped with the shard epoch
+// (number of applied batches) so cross-shard reads can report exactly how
+// fresh each shard's contribution was.
+#ifndef STARDUST_ENGINE_SHARD_H_
+#define STARDUST_ENGINE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "common/status.h"
+#include "core/fleet_monitor.h"
+#include "engine/engine_config.h"
+#include "engine/metrics.h"
+
+namespace stardust {
+
+/// One (stream, value) arrival. Inside a shard queue `stream` is the
+/// shard-local index; at the engine API boundary it is the global id.
+struct StreamValue {
+  StreamId stream = 0;
+  double value = 0.0;
+};
+
+/// Epoch stamp attached to data read from one shard: `epoch` counts the
+/// batches the shard had applied when the read happened, `appended` the
+/// tuples. Two reads with equal stamps observed identical shard state.
+struct ShardStamp {
+  std::size_t shard = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t appended = 0;
+};
+
+/// A shard owns its monitors exclusively; all mutation happens on its
+/// worker thread. Producers only touch the rings and atomic counters.
+class Shard {
+ public:
+  Shard(std::size_t index, std::size_t num_producers,
+        std::size_t queue_capacity, OverloadPolicy policy,
+        std::size_t max_batch, std::unique_ptr<FleetAggregateMonitor> fleet,
+        EngineMetrics* metrics);
+  ~Shard();
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  void Start();
+  /// Tells the worker to drain every ring and exit. Producers must have
+  /// stopped pushing to this shard before the call.
+  void RequestStop();
+  void Join();
+  /// Worker stops draining while paused (queues fill; drop policies
+  /// apply). Used to quiesce for maintenance and to test overload.
+  void set_paused(bool paused);
+
+  /// Enqueues one tuple from producer slot `producer`, applying the
+  /// shard's overload policy when the ring is full. Only thread-safe in
+  /// the SPSC sense: one thread per producer slot.
+  Status Push(std::size_t producer, StreamId local_stream, double value);
+
+  /// Tuples ever accepted into this shard's rings.
+  std::uint64_t enqueued() const {
+    return enqueued_.load(std::memory_order_acquire);
+  }
+  /// Tuples that left the rings: applied by the worker or reclaimed by
+  /// kDropOldest. enqueued() == retired() means fully drained.
+  std::uint64_t retired() const {
+    return applied_.load(std::memory_order_acquire) +
+           stolen_.load(std::memory_order_acquire);
+  }
+
+  std::size_t index() const { return index_; }
+  std::size_t num_streams() const { return fleet_->num_streams(); }
+  std::size_t num_windows() const { return fleet_->num_windows(); }
+
+  // --- Snapshot reads (mutex-coherent against the worker) --------------
+  AlarmStats StreamTotal(StreamId local_stream, ShardStamp* stamp) const;
+  AlarmStats ShardTotal(ShardStamp* stamp) const;
+  /// Alarming streams as shard-local ids.
+  Result<std::vector<StreamId>> CurrentlyAlarming(std::size_t window_index,
+                                                  ShardStamp* stamp) const;
+  /// Values ever applied to one stream's monitor.
+  std::uint64_t StreamAppendCount(StreamId local_stream) const;
+  /// First non-OK status any append produced on the worker, if any.
+  Status worker_status() const;
+
+  ShardMetricsSnapshot MetricsSnapshot() const;
+
+ private:
+  void WorkerLoop();
+  void ApplyBatch(const std::vector<StreamValue>& batch);
+  ShardStamp StampLocked() const;
+
+  const std::size_t index_;
+  const OverloadPolicy policy_;
+  const std::size_t max_batch_;
+  EngineMetrics* const metrics_;
+
+  std::vector<std::unique_ptr<SpscRing<StreamValue>>> rings_;
+
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batch_max_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> paused_{false};
+
+  /// Guards fleet_ and worker_status_: held by the worker while applying
+  /// a batch and by readers while snapshotting.
+  mutable std::mutex state_mu_;
+  std::unique_ptr<FleetAggregateMonitor> fleet_;
+  Status worker_status_;
+
+  std::thread worker_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_ENGINE_SHARD_H_

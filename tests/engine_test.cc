@@ -1,0 +1,270 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stream/bursty_source.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+namespace {
+
+StardustConfig StreamConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 10;
+  config.num_levels = 4;
+  config.history = 200;
+  config.box_capacity = 2;
+  config.update_period = 1;
+  return config;
+}
+
+std::vector<WindowThreshold> Thresholds(double lambda) {
+  BurstySource source(21);
+  const std::vector<double> training = source.Take(3000);
+  return TrainThresholds(AggregateKind::kSum, training, {10, 20, 40},
+                         lambda);
+}
+
+TEST(IngestEngineTest, CreateValidation) {
+  EXPECT_FALSE(
+      IngestEngine::Create(StreamConfig(), Thresholds(2.0), 0).ok());
+  EXPECT_FALSE(IngestEngine::Create(StreamConfig(), {}, 4).ok());
+  EngineConfig bad;
+  bad.num_shards = 0;
+  EXPECT_FALSE(
+      IngestEngine::Create(StreamConfig(), Thresholds(2.0), 4, bad).ok());
+  EXPECT_TRUE(
+      IngestEngine::Create(StreamConfig(), Thresholds(2.0), 4).ok());
+}
+
+TEST(IngestEngineTest, ShardCountIsCappedAtStreamCount) {
+  EngineConfig config;
+  config.num_shards = 8;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 3, config))
+                    .value();
+  EXPECT_EQ(engine->num_shards(), 3u);
+  EXPECT_EQ(engine->num_streams(), 3u);
+  EXPECT_EQ(engine->num_windows(), 3u);
+}
+
+// The core acceptance property: a 1-shard engine fed by one producer is
+// bit-for-bit the same computation as a direct FleetAggregateMonitor
+// replay of the same sequence.
+TEST(IngestEngineTest, SingleShardMatchesDirectReplay) {
+  const std::size_t streams = 4;
+  const auto thresholds = Thresholds(2.0);
+  auto direct = std::move(FleetAggregateMonitor::Create(
+                              StreamConfig(), thresholds, streams))
+                    .value();
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.queue_capacity = 64;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(), thresholds,
+                                               streams, econfig))
+                    .value();
+
+  std::vector<std::unique_ptr<BurstySource>> sources;
+  for (std::uint64_t i = 0; i < streams; ++i) {
+    sources.push_back(std::make_unique<BurstySource>(300 + i));
+  }
+  for (int t = 0; t < 2000; ++t) {
+    for (StreamId s = 0; s < streams; ++s) {
+      const double v = sources[s]->Next();
+      ASSERT_TRUE(direct->Append(s, v).ok());
+      ASSERT_TRUE(engine->Post(s, v).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+
+  for (StreamId s = 0; s < streams; ++s) {
+    const AlarmStats want = direct->StreamTotal(s);
+    const AlarmStats got = engine->StreamTotal(s);
+    EXPECT_EQ(got.candidates, want.candidates) << "stream " << s;
+    EXPECT_EQ(got.true_alarms, want.true_alarms) << "stream " << s;
+    EXPECT_EQ(got.checks, want.checks) << "stream " << s;
+    EXPECT_EQ(engine->StreamAppendCount(s), 2000u);
+  }
+  const AlarmStats want_total = direct->FleetTotal();
+  std::vector<ShardStamp> stamps;
+  const AlarmStats got_total = engine->FleetTotal(&stamps);
+  EXPECT_EQ(got_total.candidates, want_total.candidates);
+  EXPECT_EQ(got_total.true_alarms, want_total.true_alarms);
+  EXPECT_EQ(got_total.checks, want_total.checks);
+  ASSERT_EQ(stamps.size(), 1u);
+  EXPECT_EQ(stamps[0].appended, 2000u * streams);
+
+  for (std::size_t w = 0; w < engine->num_windows(); ++w) {
+    auto want_alarming = direct->CurrentlyAlarming(w);
+    auto got_alarming = engine->CurrentlyAlarming(w);
+    ASSERT_TRUE(want_alarming.ok());
+    ASSERT_TRUE(got_alarming.ok());
+    EXPECT_EQ(got_alarming.value(), want_alarming.value()) << "window " << w;
+  }
+}
+
+// Sharded and unsharded runs agree too: per-stream monitors are
+// independent, so the partitioning must not change any per-stream result.
+TEST(IngestEngineTest, ShardedMatchesDirectReplayPerStream) {
+  const std::size_t streams = 6;
+  const auto thresholds = Thresholds(2.0);
+  auto direct = std::move(FleetAggregateMonitor::Create(
+                              StreamConfig(), thresholds, streams))
+                    .value();
+  EngineConfig econfig;
+  econfig.num_shards = 3;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(), thresholds,
+                                               streams, econfig))
+                    .value();
+  ASSERT_EQ(engine->num_shards(), 3u);
+
+  BurstySource source(77);
+  for (int t = 0; t < 1500; ++t) {
+    for (StreamId s = 0; s < streams; ++s) {
+      const double v = source.Next();
+      ASSERT_TRUE(direct->Append(s, v).ok());
+      ASSERT_TRUE(engine->Post(s, v).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  for (StreamId s = 0; s < streams; ++s) {
+    const AlarmStats want = direct->StreamTotal(s);
+    const AlarmStats got = engine->StreamTotal(s);
+    EXPECT_EQ(got.candidates, want.candidates) << "stream " << s;
+    EXPECT_EQ(got.true_alarms, want.true_alarms) << "stream " << s;
+    EXPECT_EQ(got.checks, want.checks) << "stream " << s;
+  }
+  for (std::size_t w = 0; w < engine->num_windows(); ++w) {
+    auto want_alarming = direct->CurrentlyAlarming(w);
+    auto got_alarming = engine->CurrentlyAlarming(w);
+    ASSERT_TRUE(want_alarming.ok());
+    ASSERT_TRUE(got_alarming.ok());
+    EXPECT_EQ(got_alarming.value(), want_alarming.value()) << "window " << w;
+  }
+}
+
+TEST(IngestEngineTest, PostBatchAndValidation) {
+  auto engine =
+      std::move(IngestEngine::Create(StreamConfig(), Thresholds(2.0), 2))
+          .value();
+  EXPECT_FALSE(engine->Post(5, 1.0).ok());
+  std::vector<StreamValue> batch;
+  for (int t = 0; t < 100; ++t) {
+    batch.push_back({0, 1.0 * t});
+    batch.push_back({1, 2.0 * t});
+  }
+  ASSERT_TRUE(engine->PostBatch(batch).ok());
+  const std::vector<StreamValue> bad_batch{{9, 1.0}};
+  EXPECT_FALSE(engine->PostBatch(bad_batch).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(engine->StreamAppendCount(0), 100u);
+  EXPECT_EQ(engine->StreamAppendCount(1), 100u);
+  ASSERT_TRUE(engine->Stop().ok());
+  EXPECT_FALSE(engine->Post(0, 1.0).ok());
+  EXPECT_TRUE(engine->Stop().ok());  // idempotent
+}
+
+// Fill a paused engine's queue beyond capacity and check the drop
+// counters account for exactly the overflow.
+TEST(IngestEngineTest, DropNewestCountsTheOverflow) {
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.queue_capacity = 64;  // power of two: exact ring capacity
+  econfig.overload = OverloadPolicy::kDropNewest;
+  econfig.start_paused = true;  // nothing drains until Resume
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 1, econfig))
+                    .value();
+  const std::uint64_t posts = 64 + 37;
+  for (std::uint64_t i = 0; i < posts; ++i) {
+    ASSERT_TRUE(engine->Post(0, 1.0).ok());
+  }
+  EXPECT_EQ(engine->metrics().dropped_newest.load(), 37u);
+  engine->Resume();
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(engine->StreamAppendCount(0), 64u);  // the oldest 64 survived
+  EXPECT_EQ(engine->metrics().posted.load(), 64u);
+  EXPECT_EQ(engine->metrics().appended.load(), 64u);
+  EXPECT_EQ(engine->metrics().dropped_oldest.load(), 0u);
+}
+
+TEST(IngestEngineTest, DropOldestKeepsTheFreshestData) {
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.queue_capacity = 64;
+  econfig.overload = OverloadPolicy::kDropOldest;
+  econfig.start_paused = true;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 1, econfig))
+                    .value();
+  const std::uint64_t posts = 64 + 37;
+  for (std::uint64_t i = 0; i < posts; ++i) {
+    ASSERT_TRUE(engine->Post(0, 1.0).ok());
+  }
+  EXPECT_EQ(engine->metrics().dropped_oldest.load(), 37u);
+  engine->Resume();
+  ASSERT_TRUE(engine->Flush().ok());
+  // Every post was accepted; the 37 oldest were reclaimed unprocessed.
+  EXPECT_EQ(engine->metrics().posted.load(), posts);
+  EXPECT_EQ(engine->StreamAppendCount(0), 64u);
+  EXPECT_EQ(engine->metrics().appended.load(), 64u);
+  EXPECT_EQ(engine->metrics().dropped_newest.load(), 0u);
+}
+
+TEST(IngestEngineTest, MetricsJsonHasTheSchemaFields) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 4, econfig))
+                    .value();
+  for (int t = 0; t < 200; ++t) {
+    for (StreamId s = 0; s < 4; ++s) {
+      ASSERT_TRUE(engine->Post(s, 1.0 * t).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  const std::string json = engine->MetricsJson();
+  for (const char* field :
+       {"\"posted\":800", "\"appended\":800", "\"dropped_newest\":0",
+        "\"dropped_oldest\":0", "\"append_latency_ns\"", "\"p99\"",
+        "\"buckets\"", "\"shards\":[", "\"queue_high_water\"",
+        "\"epoch\""}) {
+    EXPECT_NE(json.find(field), std::string::npos)
+        << "missing " << field << " in " << json;
+  }
+  EXPECT_EQ(engine->metrics().append_latency.Count(), 800u);
+}
+
+TEST(IngestEngineTest, EpochStampsAdvanceWithAppliedBatches) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 4, econfig))
+                    .value();
+  std::vector<ShardStamp> before;
+  engine->FleetTotal(&before);
+  for (int t = 0; t < 300; ++t) {
+    for (StreamId s = 0; s < 4; ++s) {
+      ASSERT_TRUE(engine->Post(s, 1.0).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  std::vector<ShardStamp> after;
+  engine->FleetTotal(&after);
+  ASSERT_EQ(before.size(), 2u);
+  ASSERT_EQ(after.size(), 2u);
+  std::uint64_t appended = 0;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    EXPECT_GT(after[i].epoch, before[i].epoch);
+    EXPECT_EQ(after[i].shard, i);
+    appended += after[i].appended;
+  }
+  EXPECT_EQ(appended, 1200u);
+}
+
+}  // namespace
+}  // namespace stardust

@@ -40,6 +40,26 @@ TEST(FleetMonitorTest, CreateValidation) {
           .ok());
 }
 
+TEST(FleetMonitorTest, RejectsAnEmptyFleetWithACheckedError) {
+  Result<std::unique_ptr<FleetAggregateMonitor>> empty =
+      FleetAggregateMonitor::Create(FleetConfig(), FleetThresholds(3.0), 0);
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FleetMonitorTest, SharedWindowAccessors) {
+  auto fleet = std::move(FleetAggregateMonitor::Create(
+                             FleetConfig(), FleetThresholds(3.0), 2))
+                   .value();
+  EXPECT_EQ(fleet->num_windows(), 3u);
+  EXPECT_EQ(fleet->threshold(0).window, 10u);
+  EXPECT_EQ(fleet->threshold(2).window, 40u);
+  EXPECT_EQ(fleet->AppendCount(0), 0u);
+  ASSERT_TRUE(fleet->Append(0, 1.0).ok());
+  EXPECT_EQ(fleet->AppendCount(0), 1u);
+  EXPECT_EQ(fleet->AppendCount(1), 0u);
+}
+
 TEST(FleetMonitorTest, PerStreamAndFleetTotalsAreConsistent) {
   auto fleet = std::move(FleetAggregateMonitor::Create(
                              FleetConfig(), FleetThresholds(2.0), 4))

@@ -1,0 +1,84 @@
+#include "common/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace stardust {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.TotalNanos(), 0u);
+  EXPECT_EQ(h.MeanNanos(), 0.0);
+  EXPECT_EQ(h.PercentileNanos(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, BucketsArePowersOfTwo) {
+  LatencyHistogram h;
+  h.Record(0);     // bucket 0: [0, 2)
+  h.Record(1);     // bucket 0
+  h.Record(2);     // bucket 1: [2, 4)
+  h.Record(3);     // bucket 1
+  h.Record(1024);  // bucket 10: [1024, 2048)
+  h.Record(2047);  // bucket 10
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(10), 2u);
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_EQ(h.TotalNanos(), 0u + 1 + 2 + 3 + 1024 + 2047);
+}
+
+TEST(LatencyHistogramTest, OverflowSamplesLandInTheLastBucket) {
+  LatencyHistogram h;
+  h.Record(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::kNumBuckets - 1), 1u);
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(LatencyHistogramTest, PercentilesAreConservativeUpperBounds) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.Record(100);    // bucket [64, 128)
+  for (int i = 0; i < 10; ++i) h.Record(10000);  // bucket [8192, 16384)
+  EXPECT_EQ(h.PercentileNanos(0.50), 128u);
+  EXPECT_EQ(h.PercentileNanos(0.90), 128u);
+  EXPECT_EQ(h.PercentileNanos(0.99), 16384u);
+  EXPECT_EQ(h.PercentileNanos(1.00), 16384u);
+  EXPECT_NEAR(h.MeanNanos(), (90 * 100.0 + 10 * 10000.0) / 100.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.TotalNanos(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  const int threads = 4;
+  const int per_thread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < per_thread; ++i) {
+        h.Record(static_cast<std::uint64_t>(i % 4096));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.Count(),
+            static_cast<std::uint64_t>(threads) * per_thread);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    bucket_sum += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_sum, h.Count());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -73,5 +73,63 @@ TEST(RingBufferTest, LongRunPositionsStayConsistent) {
   }
 }
 
+TEST(SpscRingTest, CapacityRoundsUpToAPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_EQ(SpscRing<int>(65).capacity(), 128u);
+}
+
+TEST(SpscRingTest, PushPopFifoSingleThreaded) {
+  SpscRing<int> ring(4);
+  int v = -1;
+  EXPECT_FALSE(ring.TryPop(&v));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));  // full
+  EXPECT_EQ(ring.ApproxSize(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.TryPop(&v));
+  EXPECT_TRUE(ring.ApproxEmpty());
+}
+
+TEST(SpscRingTest, SlotsAreReusableAcrossManyWraps) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  for (int round = 0; round < 3000; ++round) {
+    const std::size_t burst = 1 + round % 7;  // vary the occupancy
+    for (std::size_t k = 0; k < burst; ++k) {
+      ASSERT_TRUE(ring.TryPush(next_push));
+      ++next_push;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t k = 0; k < burst; ++k) {
+      ASSERT_TRUE(ring.TryPop(&v));
+      ASSERT_EQ(v, next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.ApproxEmpty());
+}
+
+TEST(SpscRingTest, StealOldestMakesRoomForTheNewest) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.TryPush(i));
+  ASSERT_FALSE(ring.TryPush(4));
+  int victim = -1;
+  ASSERT_TRUE(ring.TryPop(&victim));  // the kDropOldest reclaim
+  EXPECT_EQ(victim, 0);
+  EXPECT_TRUE(ring.TryPush(4));
+  int v = -1;
+  for (int expected : {1, 2, 3, 4}) {
+    ASSERT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, expected);
+  }
+}
+
 }  // namespace
 }  // namespace stardust
