@@ -1,0 +1,115 @@
+#include "common/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace stardust {
+
+namespace {
+
+std::function<bool(AtomicWritePhase, const std::string&)> g_hook;
+
+bool CrashInjectedAt(AtomicWritePhase phase, const std::string& path) {
+  return g_hook && !g_hook(phase, path);
+}
+
+Status InjectedCrash(int fd) {
+  if (fd >= 0) ::close(fd);
+  return Status::Aborted("crash injected by atomic-file test hook");
+}
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::Internal(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const char* data, std::size_t size,
+                const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write failed for", path);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Fsyncs the directory holding `path` so a completed rename survives
+/// power loss. Filesystems that refuse to fsync directories are tolerated:
+/// the rename is still atomic, just not yet durable.
+void SyncParentDirectory(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (dfd < 0) return;
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+void SetAtomicFileHookForTest(
+    std::function<bool(AtomicWritePhase, const std::string& path)> hook) {
+  g_hook = std::move(hook);
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", tmp);
+  if (CrashInjectedAt(AtomicWritePhase::kTmpCreated, path)) {
+    return InjectedCrash(fd);
+  }
+  // Two half writes so the mid-write injection point sees a torn file.
+  const std::size_t half = bytes.size() / 2;
+  Status st = WriteAll(fd, bytes.data(), half, tmp);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (CrashInjectedAt(AtomicWritePhase::kTmpMidWrite, path)) {
+    return InjectedCrash(fd);
+  }
+  st = WriteAll(fd, bytes.data() + half, bytes.size() - half, tmp);
+  if (!st.ok()) {
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    const Status err = Errno("fsync failed for", tmp);
+    ::close(fd);
+    return err;
+  }
+  if (CrashInjectedAt(AtomicWritePhase::kTmpWritten, path)) {
+    return InjectedCrash(fd);
+  }
+  if (::close(fd) != 0) return Errno("close failed for", tmp);
+  if (CrashInjectedAt(AtomicWritePhase::kBeforeRename, path)) {
+    return InjectedCrash(-1);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Errno("rename failed for", path);
+  }
+  SyncParentDirectory(path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof()) return Status::Internal("read failed for " + path);
+  return buffer.str();
+}
+
+}  // namespace stardust

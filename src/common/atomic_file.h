@@ -1,0 +1,53 @@
+// Atomic, durable file replacement.
+//
+// A snapshot written with a plain ofstream can be torn by a crash
+// mid-write, leaving an unloadable file where a good one used to be.
+// AtomicWriteFile removes that failure mode: the bytes go to
+// `<path>.tmp`, are flushed and fsynced, and only then renamed over the
+// destination (with the parent directory fsynced so the rename itself is
+// durable). A crash at any instant leaves either the complete old file or
+// the complete new file on disk — never a mix.
+#ifndef STARDUST_COMMON_ATOMIC_FILE_H_
+#define STARDUST_COMMON_ATOMIC_FILE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace stardust {
+
+/// Injection points inside AtomicWriteFile, in execution order. A test
+/// hook observing these can simulate a crash at each of them and verify
+/// that recovery never sees a partial file.
+enum class AtomicWritePhase {
+  /// The temp file exists but holds no payload bytes yet.
+  kTmpCreated,
+  /// Roughly half the payload has been written to the temp file.
+  kTmpMidWrite,
+  /// The payload is fully written and fsynced to the temp file.
+  kTmpWritten,
+  /// The rename over the destination is about to happen.
+  kBeforeRename,
+};
+
+/// Crash-injection hook for tests. When set, the hook runs at every phase
+/// of every AtomicWriteFile call; returning false makes the write stop
+/// right there — whatever a real crash would have left on disk stays on
+/// disk — and AtomicWriteFile returns Status::Aborted. Pass nullptr to
+/// clear. Not thread-safe against concurrent AtomicWriteFile calls; tests
+/// install it only around single-threaded checkpoint sections.
+void SetAtomicFileHookForTest(
+    std::function<bool(AtomicWritePhase, const std::string& path)> hook);
+
+/// Atomically replaces `path` with `bytes` (write temp, fsync, rename,
+/// fsync directory). On failure the destination is untouched; a stale
+/// `<path>.tmp` may remain and is safe to ignore or delete.
+Status AtomicWriteFile(const std::string& path, const std::string& bytes);
+
+/// Reads a whole file into a string. NotFound when it cannot be opened.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace stardust
+
+#endif  // STARDUST_COMMON_ATOMIC_FILE_H_

@@ -21,6 +21,7 @@ enum class StatusCode : std::uint8_t {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kAborted = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -56,6 +57,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

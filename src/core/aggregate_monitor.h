@@ -60,6 +60,16 @@ class AggregateMonitor {
 
   const Stardust& stardust() const { return *stardust_; }
 
+  /// Snapshot support (core/snapshot.cc): serializes the stream summary,
+  /// the exact tracker, and the alarm counters. The configuration and
+  /// thresholds are serialized by the owner.
+  void SaveTo(Writer* writer) const;
+  /// Restores a serialized monitor; the instance must have been created
+  /// with the same configuration and thresholds the snapshot was taken
+  /// with. On success, continued appends are bit-exact with an
+  /// uninterrupted run.
+  Status RestoreFrom(Reader* reader);
+
  private:
   AggregateMonitor(std::unique_ptr<Stardust> stardust,
                    std::vector<WindowThreshold> thresholds);

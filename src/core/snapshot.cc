@@ -1,8 +1,9 @@
 #include "core/snapshot.h"
 
-#include <fstream>
-#include <sstream>
+#include <cstring>
+#include <utility>
 
+#include "common/atomic_file.h"
 #include "common/serialize.h"
 
 namespace stardust {
@@ -10,7 +11,13 @@ namespace stardust {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'D', 'S', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionStardust = 1;
+constexpr std::uint32_t kVersionFleet = 2;
+/// Lower bound on the serialized size of one stream's summarizer (append
+/// count + tail length + level count). Declared stream counts are bounded
+/// by remaining-bytes / this, so a corrupt header cannot drive a
+/// multi-gigabyte restore loop.
+constexpr std::uint64_t kMinStreamBytes = 24;
 
 void SaveConfig(const StardustConfig& config, Writer* writer) {
   writer->U8(static_cast<std::uint8_t>(config.transform));
@@ -66,6 +73,38 @@ Status LoadConfig(Reader* reader, StardustConfig* config) {
   return Status::OK();
 }
 
+std::string WrapEnvelope(std::uint32_t version, const std::string& payload) {
+  Writer envelope;
+  envelope.Bytes(kMagic, sizeof(kMagic));
+  envelope.U32(version);
+  envelope.U64(Fnv1a(payload));
+  envelope.Bytes(payload.data(), payload.size());
+  return std::move(envelope.TakeBuffer());
+}
+
+/// Validates magic and checksum, extracts the payload, and reports the
+/// stored version so each deserializer can reject the wrong kind with a
+/// pointed message.
+Status UnwrapEnvelope(const std::string& bytes, std::uint32_t* version,
+                      std::string* payload) {
+  if (bytes.size() < sizeof(kMagic) + 4 + 8) {
+    return Status::InvalidArgument("snapshot too small");
+  }
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a Stardust snapshot (bad magic)");
+  }
+  const std::string header(bytes.substr(sizeof(kMagic), 12));
+  Reader header_reader(header);
+  std::uint64_t checksum = 0;
+  SD_RETURN_NOT_OK(header_reader.U32(version));
+  SD_RETURN_NOT_OK(header_reader.U64(&checksum));
+  *payload = bytes.substr(sizeof(kMagic) + 12);
+  if (Fnv1a(*payload) != checksum) {
+    return Status::InvalidArgument("snapshot checksum mismatch");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string SerializeSnapshot(const Stardust& stardust) {
@@ -75,35 +114,22 @@ std::string SerializeSnapshot(const Stardust& stardust) {
   for (StreamId s = 0; s < stardust.num_streams(); ++s) {
     stardust.summarizer(s).SaveTo(&payload);
   }
-  Writer envelope;
-  envelope.Bytes(kMagic, sizeof(kMagic));
-  envelope.U32(kVersion);
-  envelope.U64(Fnv1a(payload.buffer()));
-  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
-  return std::move(envelope.TakeBuffer());
+  return WrapEnvelope(kVersionStardust, payload.buffer());
 }
 
 Result<std::unique_ptr<Stardust>> DeserializeSnapshot(
     const std::string& bytes) {
-  if (bytes.size() < sizeof(kMagic) + 4 + 8) {
-    return Status::InvalidArgument("snapshot too small");
-  }
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a Stardust snapshot (bad magic)");
-  }
-  const std::string header(bytes.substr(sizeof(kMagic), 12));
-  Reader header_reader(header);
   std::uint32_t version = 0;
-  std::uint64_t checksum = 0;
-  SD_RETURN_NOT_OK(header_reader.U32(&version));
-  SD_RETURN_NOT_OK(header_reader.U64(&checksum));
-  if (version != kVersion) {
+  std::string payload;
+  SD_RETURN_NOT_OK(UnwrapEnvelope(bytes, &version, &payload));
+  if (version == kVersionFleet) {
+    return Status::InvalidArgument(
+        "snapshot holds a fleet monitor (v2); load it with "
+        "LoadFleetSnapshot");
+  }
+  if (version != kVersionStardust) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version));
-  }
-  const std::string payload = bytes.substr(sizeof(kMagic) + 12);
-  if (Fnv1a(payload) != checksum) {
-    return Status::InvalidArgument("snapshot checksum mismatch");
   }
 
   Reader reader(payload);
@@ -114,7 +140,8 @@ Result<std::unique_ptr<Stardust>> DeserializeSnapshot(
   std::unique_ptr<Stardust> stardust = std::move(created).value();
   std::uint64_t num_streams = 0;
   SD_RETURN_NOT_OK(reader.U64(&num_streams));
-  if (num_streams > (std::uint64_t{1} << 32)) {
+  if (num_streams > (std::uint64_t{1} << 32) ||
+      num_streams > reader.remaining() / kMinStreamBytes) {
     return Status::InvalidArgument("snapshot stream count out of range");
   }
   for (std::uint64_t s = 0; s < num_streams; ++s) {
@@ -128,23 +155,87 @@ Result<std::unique_ptr<Stardust>> DeserializeSnapshot(
   return stardust;
 }
 
-Status SaveSnapshot(const Stardust& stardust, const std::string& path) {
-  const std::string bytes = SerializeSnapshot(stardust);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::InvalidArgument("cannot open " + path + " for writing");
+std::string SerializeFleetSnapshot(const FleetAggregateMonitor& fleet) {
+  Writer payload;
+  SaveConfig(fleet.config(), &payload);
+  payload.U64(fleet.num_windows());
+  for (std::size_t i = 0; i < fleet.num_windows(); ++i) {
+    payload.U64(fleet.threshold(i).window);
+    payload.F64(fleet.threshold(i).threshold);
   }
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!out) return Status::Internal("write failed for " + path);
-  return Status::OK();
+  payload.U64(fleet.num_streams());
+  fleet.SaveTo(&payload);
+  return WrapEnvelope(kVersionFleet, payload.buffer());
+}
+
+Result<std::unique_ptr<FleetAggregateMonitor>> DeserializeFleetSnapshot(
+    const std::string& bytes) {
+  std::uint32_t version = 0;
+  std::string payload;
+  SD_RETURN_NOT_OK(UnwrapEnvelope(bytes, &version, &payload));
+  if (version == kVersionStardust) {
+    return Status::InvalidArgument(
+        "snapshot holds a bare Stardust instance (v1); load it with "
+        "LoadSnapshot");
+  }
+  if (version != kVersionFleet) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version));
+  }
+
+  Reader reader(payload);
+  StardustConfig config;
+  SD_RETURN_NOT_OK(LoadConfig(&reader, &config));
+  std::uint64_t num_windows = 0;
+  SD_RETURN_NOT_OK(reader.U64(&num_windows));
+  if (num_windows > reader.remaining() / 16) {
+    return Status::InvalidArgument("snapshot window count out of range");
+  }
+  std::vector<WindowThreshold> thresholds(num_windows);
+  for (WindowThreshold& wt : thresholds) {
+    std::uint64_t window = 0;
+    SD_RETURN_NOT_OK(reader.U64(&window));
+    wt.window = window;
+    SD_RETURN_NOT_OK(reader.F64(&wt.threshold));
+  }
+  std::uint64_t num_streams = 0;
+  SD_RETURN_NOT_OK(reader.U64(&num_streams));
+  if (num_streams > (std::uint64_t{1} << 32) ||
+      num_streams > reader.remaining() / kMinStreamBytes) {
+    return Status::InvalidArgument("snapshot stream count out of range");
+  }
+  Result<std::unique_ptr<FleetAggregateMonitor>> created =
+      FleetAggregateMonitor::Create(config, std::move(thresholds),
+                                    num_streams);
+  if (!created.ok()) return created.status();
+  std::unique_ptr<FleetAggregateMonitor> fleet = std::move(created).value();
+  SD_RETURN_NOT_OK(fleet->RestoreFrom(&reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("snapshot has trailing bytes");
+  }
+  return fleet;
+}
+
+Status SaveSnapshot(const Stardust& stardust, const std::string& path) {
+  return AtomicWriteFile(path, SerializeSnapshot(stardust));
 }
 
 Result<std::unique_ptr<Stardust>> LoadSnapshot(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeSnapshot(buffer.str());
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeSnapshot(bytes.value());
+}
+
+Status SaveFleetSnapshot(const FleetAggregateMonitor& fleet,
+                         const std::string& path) {
+  return AtomicWriteFile(path, SerializeFleetSnapshot(fleet));
+}
+
+Result<std::unique_ptr<FleetAggregateMonitor>> LoadFleetSnapshot(
+    const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DeserializeFleetSnapshot(bytes.value());
 }
 
 }  // namespace stardust

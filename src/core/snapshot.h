@@ -1,12 +1,21 @@
-// Snapshot / recovery of a Stardust instance.
+// Snapshot / recovery of Stardust state.
 //
-// A monitoring system that may run for weeks needs restartability: the
-// snapshot captures the full framework state — configuration, the raw
-// tail of every stream, every level thread — behind a versioned,
-// checksummed envelope, and restore rebuilds the per-level R*-trees from
-// the sealed boxes. After a restore, continued appends produce bit-exact
-// identical summaries and query answers to an uninterrupted run (tested
-// in tests/snapshot_test.cc).
+// A monitoring system that may run for weeks needs restartability. Two
+// snapshot payloads share one envelope (magic + version + FNV-1a checksum):
+//
+//   v1 — a bare Stardust instance: configuration, the raw tail of every
+//        stream, every level thread. Restore rebuilds the per-level
+//        R*-trees from the sealed boxes.
+//   v2 — a FleetAggregateMonitor: the v1 state of every stream's monitor
+//        plus the monitoring layer around it — window thresholds, alarm
+//        counters, and the exact sliding-aggregate trackers — so a
+//        restored fleet resumes monitoring bit-exactly.
+//
+// After a restore, continued appends produce bit-exact identical
+// summaries, query answers, and alarm decisions to an uninterrupted run
+// (tested in tests/snapshot_test.cc). File saves are atomic and durable
+// (common/atomic_file.h): a crash mid-save leaves the previous snapshot
+// intact, never a torn file.
 #ifndef STARDUST_CORE_SNAPSHOT_H_
 #define STARDUST_CORE_SNAPSHOT_H_
 
@@ -14,12 +23,13 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/fleet_monitor.h"
 #include "core/stardust.h"
 
 namespace stardust {
 
 /// Serializes a Stardust instance into a self-contained byte string
-/// (magic + version + FNV-1a checksum + payload).
+/// (magic + version 1 + FNV-1a checksum + payload).
 std::string SerializeSnapshot(const Stardust& stardust);
 
 /// Reconstructs a Stardust instance from SerializeSnapshot output.
@@ -28,9 +38,23 @@ std::string SerializeSnapshot(const Stardust& stardust);
 Result<std::unique_ptr<Stardust>> DeserializeSnapshot(
     const std::string& bytes);
 
-/// File convenience wrappers.
+/// Serializes a fleet monitor into a version-2 snapshot: configuration,
+/// thresholds, and the full per-stream monitoring state.
+std::string SerializeFleetSnapshot(const FleetAggregateMonitor& fleet);
+
+/// Reconstructs a fleet monitor from SerializeFleetSnapshot output, with
+/// the same rejection guarantees as DeserializeSnapshot.
+Result<std::unique_ptr<FleetAggregateMonitor>> DeserializeFleetSnapshot(
+    const std::string& bytes);
+
+/// File convenience wrappers. Saves are atomic (write temp, fsync,
+/// rename); loads reject anything a crash or corruption could have left.
 Status SaveSnapshot(const Stardust& stardust, const std::string& path);
 Result<std::unique_ptr<Stardust>> LoadSnapshot(const std::string& path);
+Status SaveFleetSnapshot(const FleetAggregateMonitor& fleet,
+                         const std::string& path);
+Result<std::unique_ptr<FleetAggregateMonitor>> LoadFleetSnapshot(
+    const std::string& path);
 
 }  // namespace stardust
 

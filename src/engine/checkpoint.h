@@ -1,0 +1,76 @@
+// Crash-safe checkpoint layout of the ingestion engine.
+//
+// A checkpoint is one epoch-stamped v2 fleet snapshot per shard
+// (`shard-<i>-ck<seq>.snap`) plus a checksummed manifest
+// (`manifest-<seq>.ck`) naming them, all written atomically
+// (common/atomic_file.h) with the manifest last. Because the manifest is
+// the commit point, a crash anywhere during a checkpoint leaves the
+// previous manifest — and the complete files it references — untouched.
+// Recovery walks the manifests newest-first and restores from the first
+// one whose own checksum and every referenced shard file verify; partial
+// or corrupt checkpoints are skipped, never half-loaded. docs/ENGINE.md
+// documents the format and guarantees.
+#ifndef STARDUST_ENGINE_CHECKPOINT_H_
+#define STARDUST_ENGINE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stardust {
+
+/// One shard's entry in a checkpoint manifest.
+struct CheckpointShardEntry {
+  /// Snapshot filename, relative to the checkpoint directory.
+  std::string file;
+  /// Shard epoch (applied batches) when the snapshot was serialized.
+  std::uint64_t epoch = 0;
+  /// Tuples applied to the shard's monitors at that point.
+  std::uint64_t appended = 0;
+  /// FNV-1a checksum of the complete shard snapshot file.
+  std::uint64_t checksum = 0;
+};
+
+/// The manifest committed (atomically, last) by IngestEngine::Checkpoint.
+struct CheckpointManifest {
+  /// Checkpoint sequence number, monotonic per engine lineage.
+  std::uint64_t seq = 0;
+  std::uint64_t num_streams = 0;
+  std::uint64_t num_shards = 0;
+  /// Engine configuration at checkpoint time, recorded so operators can
+  /// reconstruct the runtime shape; restore validates the structural
+  /// fields (stream and shard counts) only.
+  std::uint64_t queue_capacity = 0;
+  std::uint64_t max_producers = 0;
+  std::uint64_t max_batch = 0;
+  std::uint8_t overload = 0;
+  std::vector<CheckpointShardEntry> shards;
+};
+
+/// Canonical file names within a checkpoint directory.
+std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq);
+std::string CheckpointManifestFileName(std::uint64_t seq);
+
+/// Manifest (de)serialization behind the same magic + version + checksum
+/// envelope style as core snapshots.
+std::string SerializeManifest(const CheckpointManifest& manifest);
+Result<CheckpointManifest> ParseManifest(const std::string& bytes);
+
+/// Newest manifest in `dir` whose envelope checksum and every referenced
+/// shard file's checksum verify. Older checkpoints are consulted in
+/// descending sequence order (the fallback path after a crash or
+/// corruption); NotFound when no complete checkpoint exists.
+Result<CheckpointManifest> FindLatestValidCheckpoint(const std::string& dir);
+
+/// Removes checkpoint files in `dir` whose sequence number is below
+/// `keep_min_seq`, plus any stale `.tmp` leftovers from interrupted
+/// writes. Unrecognized files are left alone. Best-effort: removal errors
+/// are ignored (a later GC retries).
+void GarbageCollectCheckpoints(const std::string& dir,
+                               std::uint64_t keep_min_seq);
+
+}  // namespace stardust
+
+#endif  // STARDUST_ENGINE_CHECKPOINT_H_

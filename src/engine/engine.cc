@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
+#include <system_error>
 #include <thread>
 #include <utility>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
+#include "common/serialize.h"
+#include "core/snapshot.h"
 
 namespace stardust {
 
@@ -27,13 +32,34 @@ thread_local std::vector<TlsProducerEntry> tls_producer_slots;
 
 Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
     const StardustConfig& config, std::vector<WindowThreshold> thresholds,
-    std::size_t num_streams, const EngineConfig& engine_config) {
+    std::size_t num_streams, const EngineConfig& engine_config,
+    const std::string& restore_dir) {
   SD_RETURN_NOT_OK(engine_config.Validate());
   if (num_streams == 0) {
     return Status::InvalidArgument("need at least one stream");
   }
   const std::size_t num_shards =
       std::min(engine_config.num_shards, num_streams);
+
+  CheckpointManifest manifest;
+  const bool restoring = !restore_dir.empty();
+  if (restoring) {
+    Result<CheckpointManifest> found = FindLatestValidCheckpoint(restore_dir);
+    if (!found.ok()) return found.status();
+    manifest = std::move(found).value();
+    if (manifest.num_streams != num_streams) {
+      return Status::InvalidArgument(
+          "checkpoint has " + std::to_string(manifest.num_streams) +
+          " streams, engine was asked for " + std::to_string(num_streams));
+    }
+    if (manifest.num_shards != num_shards) {
+      return Status::InvalidArgument(
+          "checkpoint has " + std::to_string(manifest.num_shards) +
+          " shards, engine would run " + std::to_string(num_shards) +
+          "; stream placement would not line up");
+    }
+  }
+
   std::unique_ptr<IngestEngine> engine(
       new IngestEngine(engine_config, num_streams));
   engine->shards_.reserve(num_shards);
@@ -41,18 +67,58 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
     // Streams s, s + N, s + 2N, ... live on shard s.
     const std::size_t local_streams =
         (num_streams - s + num_shards - 1) / num_shards;
-    Result<std::unique_ptr<FleetAggregateMonitor>> fleet =
-        FleetAggregateMonitor::Create(config, thresholds, local_streams);
-    if (!fleet.ok()) return fleet.status();
+    std::unique_ptr<FleetAggregateMonitor> fleet;
+    if (restoring) {
+      const std::filesystem::path shard_path =
+          std::filesystem::path(restore_dir) / manifest.shards[s].file;
+      Result<std::unique_ptr<FleetAggregateMonitor>> restored =
+          LoadFleetSnapshot(shard_path.string());
+      if (!restored.ok()) return restored.status();
+      fleet = std::move(restored).value();
+      if (fleet->num_streams() != local_streams) {
+        return Status::InvalidArgument(
+            "checkpoint shard " + std::to_string(s) +
+            " stream count disagrees with placement");
+      }
+      if (fleet->num_windows() != thresholds.size()) {
+        return Status::InvalidArgument(
+            "checkpoint window count disagrees with requested thresholds");
+      }
+      for (std::size_t w = 0; w < thresholds.size(); ++w) {
+        if (fleet->threshold(w).window != thresholds[w].window ||
+            fleet->threshold(w).threshold != thresholds[w].threshold) {
+          return Status::InvalidArgument(
+              "checkpoint thresholds disagree with requested thresholds");
+        }
+      }
+    } else {
+      Result<std::unique_ptr<FleetAggregateMonitor>> created =
+          FleetAggregateMonitor::Create(config, thresholds, local_streams);
+      if (!created.ok()) return created.status();
+      fleet = std::move(created).value();
+    }
     engine->shards_.push_back(std::make_unique<Shard>(
         s, engine_config.max_producers, engine_config.queue_capacity,
-        engine_config.overload, engine_config.max_batch,
-        std::move(fleet).value(), engine->metrics_.get()));
+        engine_config.overload, engine_config.max_batch, std::move(fleet),
+        engine->metrics_.get()));
+    if (restoring) {
+      engine->shards_.back()->RestoreProgress(manifest.shards[s].epoch,
+                                              manifest.shards[s].appended);
+    }
+  }
+  if (restoring) {
+    // Continue the checkpoint lineage instead of restarting at 1, so the
+    // next checkpoint never collides with (or sorts below) the one just
+    // restored.
+    engine->next_checkpoint_seq_ = manifest.seq + 1;
+    engine->last_checkpoint_seq_.store(manifest.seq,
+                                       std::memory_order_release);
   }
   for (auto& shard : engine->shards_) {
     if (engine_config.start_paused) shard->set_paused(true);
     shard->Start();
   }
+  engine->StartCheckpointThread();
   return engine;
 }
 
@@ -128,6 +194,7 @@ Status IngestEngine::Stop() {
   if (!stopped_.compare_exchange_strong(expected, true)) {
     return Status::OK();
   }
+  StopCheckpointThread();
   accepting_.store(false, std::memory_order_release);
   for (auto& shard : shards_) {
     shard->set_paused(false);  // a paused worker must wake up to drain
@@ -208,6 +275,101 @@ std::vector<ShardMetricsSnapshot> IngestEngine::ShardMetrics() const {
 
 std::string IngestEngine::MetricsJson() const {
   return EngineMetricsJson(*metrics_, ShardMetrics());
+}
+
+Status IngestEngine::Checkpoint(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("cannot create checkpoint directory " + dir +
+                            ": " + ec.message());
+  }
+
+  const std::uint64_t seq = next_checkpoint_seq_;
+  CheckpointManifest manifest;
+  manifest.seq = seq;
+  manifest.num_streams = num_streams_;
+  manifest.num_shards = shards_.size();
+  manifest.queue_capacity = config_.queue_capacity;
+  manifest.max_producers = config_.max_producers;
+  manifest.max_batch = config_.max_batch;
+  manifest.overload = static_cast<std::uint8_t>(config_.overload);
+  manifest.shards.reserve(shards_.size());
+
+  // Serialize and persist shard by shard. Each SerializeState holds only
+  // that shard's state mutex, so ingestion keeps flowing on every other
+  // shard (and on this one, into its rings) while the checkpoint runs.
+  for (const auto& shard : shards_) {
+    ShardStamp stamp;
+    const std::string bytes = shard->SerializeState(&stamp);
+    CheckpointShardEntry entry;
+    entry.file = CheckpointShardFileName(shard->index(), seq);
+    entry.epoch = stamp.epoch;
+    entry.appended = stamp.appended;
+    entry.checksum = Fnv1a(bytes);
+    const std::filesystem::path path = std::filesystem::path(dir) / entry.file;
+    const Status written = AtomicWriteFile(path.string(), bytes);
+    if (!written.ok()) {
+      metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      return written;
+    }
+    manifest.shards.push_back(std::move(entry));
+  }
+
+  // The manifest is the commit point: until this rename lands, recovery
+  // still resolves to the previous checkpoint.
+  const std::filesystem::path manifest_path =
+      std::filesystem::path(dir) / CheckpointManifestFileName(seq);
+  const Status committed =
+      AtomicWriteFile(manifest_path.string(), SerializeManifest(manifest));
+  if (!committed.ok()) {
+    metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+    return committed;
+  }
+
+  const std::uint64_t prev =
+      last_checkpoint_seq_.load(std::memory_order_relaxed);
+  next_checkpoint_seq_ = seq + 1;
+  last_checkpoint_seq_.store(seq, std::memory_order_release);
+  metrics_->checkpoints.fetch_add(1, std::memory_order_relaxed);
+  // Keep the new checkpoint plus the previous one as a fallback; drop
+  // anything older and any .tmp leftovers of interrupted attempts.
+  GarbageCollectCheckpoints(dir, prev != 0 ? prev : seq);
+  return Status::OK();
+}
+
+void IngestEngine::StartCheckpointThread() {
+  if (config_.checkpoint_period_ms == 0) return;
+  checkpoint_thread_ = std::thread([this] { CheckpointLoop(); });
+}
+
+void IngestEngine::StopCheckpointThread() {
+  if (!checkpoint_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(checkpoint_cv_mu_);
+    checkpoint_stop_ = true;
+  }
+  checkpoint_cv_.notify_all();
+  checkpoint_thread_.join();
+}
+
+void IngestEngine::CheckpointLoop() {
+  const auto period = std::chrono::milliseconds(config_.checkpoint_period_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(checkpoint_cv_mu_);
+      if (checkpoint_cv_.wait_for(lock, period,
+                                  [this] { return checkpoint_stop_; })) {
+        return;
+      }
+    }
+    // Failures are counted in metrics (checkpoint_failures) and retried
+    // at the next period; the background thread never takes the engine
+    // down over a transient filesystem error.
+    (void)Checkpoint(config_.checkpoint_dir);
+  }
 }
 
 }  // namespace stardust

@@ -10,15 +10,19 @@
 #define STARDUST_ENGINE_ENGINE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "core/config.h"
 #include "core/fleet_monitor.h"
+#include "engine/checkpoint.h"
 #include "engine/engine_config.h"
 #include "engine/metrics.h"
 #include "engine/shard.h"
@@ -35,9 +39,17 @@ class IngestEngine {
   /// Builds the engine and starts its worker threads. `config` and
   /// `thresholds` follow FleetAggregateMonitor::Create; the effective
   /// shard count is min(engine_config.num_shards, num_streams).
+  ///
+  /// A non-empty `restore_dir` resumes from the newest complete
+  /// checkpoint in that directory (see Checkpoint): every shard's monitor
+  /// state, alarm counters, and epoch stamps continue the pre-crash
+  /// lineage bit-exactly. The requested shape (stream count, shard count,
+  /// windows, thresholds) must match the checkpointed one. NotFound when
+  /// the directory holds no complete checkpoint.
   static Result<std::unique_ptr<IngestEngine>> Create(
       const StardustConfig& config, std::vector<WindowThreshold> thresholds,
-      std::size_t num_streams, const EngineConfig& engine_config = {});
+      std::size_t num_streams, const EngineConfig& engine_config = {},
+      const std::string& restore_dir = {});
 
   /// Stops and joins the workers (as Stop()).
   ~IngestEngine();
@@ -93,8 +105,30 @@ class IngestEngine {
   /// One-line JSON over metrics() + ShardMetrics() (docs/ENGINE.md).
   std::string MetricsJson() const;
 
+  // --- Checkpoint / restore ---------------------------------------------
+  /// Writes an epoch-stamped checkpoint of every shard into `dir` (created
+  /// if missing) without stopping ingestion: each shard is serialized
+  /// under its own state mutex, so producers keep posting and other
+  /// shards keep draining throughout. All files are written atomically
+  /// (tmp + fsync + rename) with the manifest last as the commit point; a
+  /// crash mid-checkpoint leaves the previous checkpoint intact. On
+  /// success the directory is garbage-collected down to the current and
+  /// previous checkpoints. Serialized against itself and against the
+  /// background checkpoint thread.
+  Status Checkpoint(const std::string& dir);
+  /// Sequence number of the last successful Checkpoint; 0 if none yet.
+  std::uint64_t last_checkpoint_seq() const {
+    return last_checkpoint_seq_.load(std::memory_order_acquire);
+  }
+
  private:
   IngestEngine(const EngineConfig& config, std::size_t num_streams);
+
+  /// Body of the background checkpoint thread (EngineConfig::
+  /// checkpoint_period_ms).
+  void CheckpointLoop();
+  void StartCheckpointThread();
+  void StopCheckpointThread();
 
   StreamId LocalOf(StreamId stream) const {
     return stream / static_cast<StreamId>(shards_.size());
@@ -110,6 +144,17 @@ class IngestEngine {
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint32_t> next_producer_{0};
+
+  /// Serializes Checkpoint() calls (manual and background) and guards the
+  /// sequence counters below.
+  std::mutex checkpoint_mu_;
+  std::uint64_t next_checkpoint_seq_ = 1;
+  std::atomic<std::uint64_t> last_checkpoint_seq_{0};
+
+  std::mutex checkpoint_cv_mu_;
+  std::condition_variable checkpoint_cv_;
+  bool checkpoint_stop_ = false;
+  std::thread checkpoint_thread_;
 };
 
 }  // namespace stardust

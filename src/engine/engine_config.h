@@ -3,6 +3,7 @@
 #define STARDUST_ENGINE_ENGINE_CONFIG_H_
 
 #include <cstddef>
+#include <string>
 
 #include "common/status.h"
 
@@ -53,6 +54,14 @@ struct EngineConfig {
   /// deterministic overload behavior for tests and lets deployments
   /// pre-fill before the first drain.
   bool start_paused = false;
+  /// Period of the background checkpoint thread in milliseconds; 0 (the
+  /// default) disables it. When enabled the engine checkpoints itself
+  /// into `checkpoint_dir` every period without stopping ingestion
+  /// (docs/ENGINE.md, "Checkpoint / restore").
+  std::size_t checkpoint_period_ms = 0;
+  /// Directory the background checkpoint thread writes into. Required
+  /// when checkpoint_period_ms > 0; created on first use.
+  std::string checkpoint_dir;
 
   Status Validate() const {
     if (num_shards == 0) {
@@ -66,6 +75,10 @@ struct EngineConfig {
     }
     if (max_batch == 0) {
       return Status::InvalidArgument("max_batch must be positive");
+    }
+    if (checkpoint_period_ms > 0 && checkpoint_dir.empty()) {
+      return Status::InvalidArgument(
+          "checkpoint_period_ms requires a checkpoint_dir");
     }
     return Status::OK();
   }

@@ -29,11 +29,14 @@ std::string EngineMetricsJson(
   };
   AppendF(&out,
           "{\"posted\":%" PRIu64 ",\"appended\":%" PRIu64
-          ",\"dropped_newest\":%" PRIu64 ",\"dropped_oldest\":%" PRIu64
-          ",\"block_waits\":%" PRIu64 ",\"append_errors\":%" PRIu64,
+          ",\"dropped_newest\":%" PRIu64 ",\"dropped_oldest\":%" PRIu64,
           load(metrics.posted), load(metrics.appended),
-          load(metrics.dropped_newest), load(metrics.dropped_oldest),
-          load(metrics.block_waits), load(metrics.append_errors));
+          load(metrics.dropped_newest), load(metrics.dropped_oldest));
+  AppendF(&out,
+          ",\"block_waits\":%" PRIu64 ",\"append_errors\":%" PRIu64
+          ",\"checkpoints\":%" PRIu64 ",\"checkpoint_failures\":%" PRIu64,
+          load(metrics.block_waits), load(metrics.append_errors),
+          load(metrics.checkpoints), load(metrics.checkpoint_failures));
 
   const LatencyHistogram& h = metrics.append_latency;
   AppendF(&out,

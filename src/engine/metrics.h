@@ -31,6 +31,10 @@ struct EngineMetrics {
   std::atomic<std::uint64_t> block_waits{0};
   /// Monitor appends that returned a non-OK status inside a worker.
   std::atomic<std::uint64_t> append_errors{0};
+  /// Checkpoints fully written (manifest durable) / attempts that failed
+  /// before the manifest rename (engine/checkpoint.h).
+  std::atomic<std::uint64_t> checkpoints{0};
+  std::atomic<std::uint64_t> checkpoint_failures{0};
   /// Wall-clock nanoseconds per monitor append, measured by the workers.
   LatencyHistogram append_latency;
 };

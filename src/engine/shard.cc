@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/snapshot.h"
 
 namespace stardust {
 
@@ -99,7 +100,16 @@ Status Shard::Push(std::size_t producer, StreamId local_stream,
       case OverloadPolicy::kBlock: {
         metrics_->block_waits.fetch_add(1, std::memory_order_relaxed);
         std::size_t spins = 0;
-        while (!ring.TryPush(tuple)) Backoff(&spins);
+        while (!ring.TryPush(tuple)) {
+          // A paused or stopping worker never frees a slot, so an
+          // unconditional spin here would never return (a producer stuck
+          // against a stopped engine). Bail out instead of deadlocking;
+          // the tuple is not enqueued.
+          if (stop_.load(std::memory_order_acquire)) {
+            return Status::Aborted("shard is stopping; post rejected");
+          }
+          Backoff(&spins);
+        }
         break;
       }
     }
@@ -202,6 +212,19 @@ Result<std::vector<StreamId>> Shard::CurrentlyAlarming(
 std::uint64_t Shard::StreamAppendCount(StreamId local_stream) const {
   std::lock_guard<std::mutex> lock(state_mu_);
   return fleet_->AppendCount(local_stream);
+}
+
+std::string Shard::SerializeState(ShardStamp* stamp) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (stamp != nullptr) *stamp = StampLocked();
+  return SerializeFleetSnapshot(*fleet_);
+}
+
+void Shard::RestoreProgress(std::uint64_t epoch, std::uint64_t appended) {
+  SD_CHECK(!worker_.joinable());
+  epoch_.store(epoch, std::memory_order_release);
+  applied_.store(appended, std::memory_order_release);
+  enqueued_.store(appended, std::memory_order_release);
 }
 
 Status Shard::worker_status() const {

@@ -88,6 +88,14 @@ class Shard {
                                                   ShardStamp* stamp) const;
   /// Values ever applied to one stream's monitor.
   std::uint64_t StreamAppendCount(StreamId local_stream) const;
+  /// Serialized v2 fleet snapshot of this shard's monitors, taken under
+  /// the state mutex so the bytes and the stamp describe the same point
+  /// in the apply sequence. Ingestion continues around the call; only
+  /// this shard's worker waits for the serialization.
+  std::string SerializeState(ShardStamp* stamp) const;
+  /// Seeds the progress counters after a restore so stamps and metrics
+  /// continue the pre-crash lineage. Only valid before Start().
+  void RestoreProgress(std::uint64_t epoch, std::uint64_t appended);
   /// First non-OK status any append produced on the worker, if any.
   Status worker_status() const;
 

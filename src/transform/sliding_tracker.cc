@@ -1,10 +1,29 @@
 #include "transform/sliding_tracker.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
 namespace stardust {
+
+namespace {
+
+/// Neumaier's variant of Kahan summation: folds the rounding error of
+/// each add (or evict, term < 0) into a compensation term instead of
+/// losing it, so the accumulated drift stays bounded by a few ulps of the
+/// window magnitude regardless of how many values have streamed past.
+void CompensatedAdd(double* sum, double* comp, double term) {
+  const double t = *sum + term;
+  if (std::abs(*sum) >= std::abs(term)) {
+    *comp += (*sum - t) + term;
+  } else {
+    *comp += (term - t) + *sum;
+  }
+  *sum = t;
+}
+
+}  // namespace
 
 void SlidingAggregateTracker::MonotonicDeque::Push(std::uint64_t t, double v,
                                                    bool want_max,
@@ -30,6 +49,7 @@ SlidingAggregateTracker::SlidingAggregateTracker(
       kind_ == AggregateKind::kMin || kind_ == AggregateKind::kSpread;
   if (kind_ == AggregateKind::kSum) {
     sums_.assign(windows_.size(), 0.0);
+    comps_.assign(windows_.size(), 0.0);
     recent_.assign(recent_capacity_, 0.0);
   }
   if (needs_max) maxes_.resize(windows_.size());
@@ -42,8 +62,11 @@ void SlidingAggregateTracker::Push(double value) {
     const std::uint64_t w = windows_[i];
     switch (kind_) {
       case AggregateKind::kSum:
-        sums_[i] += value;
-        if (t >= w) sums_[i] -= recent_[(t - w) % recent_capacity_];
+        CompensatedAdd(&sums_[i], &comps_[i], value);
+        if (t >= w) {
+          CompensatedAdd(&sums_[i], &comps_[i],
+                         -recent_[(t - w) % recent_capacity_]);
+        }
         break;
       case AggregateKind::kMax:
         maxes_[i].Push(t, value, /*want_max=*/true, w);
@@ -67,7 +90,7 @@ double SlidingAggregateTracker::Current(std::size_t i) const {
   SD_DCHECK(Ready(i));
   switch (kind_) {
     case AggregateKind::kSum:
-      return sums_[i];
+      return sums_[i] + comps_[i];
     case AggregateKind::kMax:
       return maxes_[i].Front();
     case AggregateKind::kMin:
@@ -76,6 +99,95 @@ double SlidingAggregateTracker::Current(std::size_t i) const {
       return maxes_[i].Front() - mins_[i].Front();
   }
   return 0.0;
+}
+
+void SlidingAggregateTracker::SaveTo(Writer* writer) const {
+  writer->U8(static_cast<std::uint8_t>(kind_));
+  writer->U64(windows_.size());
+  for (std::size_t w : windows_) writer->U64(w);
+  writer->U64(count_);
+  if (kind_ == AggregateKind::kSum) {
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+      writer->F64(sums_[i]);
+      writer->F64(comps_[i]);
+    }
+    writer->DoubleVector(recent_);
+  }
+  const auto save_deques = [writer](const std::vector<MonotonicDeque>& dqs) {
+    for (const MonotonicDeque& dq : dqs) {
+      writer->U64(dq.entries.size());
+      for (const auto& [t, v] : dq.entries) {
+        writer->U64(t);
+        writer->F64(v);
+      }
+    }
+  };
+  save_deques(maxes_);
+  save_deques(mins_);
+}
+
+Status SlidingAggregateTracker::RestoreFrom(Reader* reader) {
+  std::uint8_t kind = 0;
+  SD_RETURN_NOT_OK(reader->U8(&kind));
+  if (kind != static_cast<std::uint8_t>(kind_)) {
+    return Status::InvalidArgument("snapshot tracker kind mismatch");
+  }
+  std::uint64_t num_windows = 0;
+  SD_RETURN_NOT_OK(reader->U64(&num_windows));
+  if (num_windows != windows_.size()) {
+    return Status::InvalidArgument("snapshot tracker window count mismatch");
+  }
+  for (std::size_t expected : windows_) {
+    std::uint64_t w = 0;
+    SD_RETURN_NOT_OK(reader->U64(&w));
+    if (w != expected) {
+      return Status::InvalidArgument("snapshot tracker window size mismatch");
+    }
+  }
+  SD_RETURN_NOT_OK(reader->U64(&count_));
+  if (kind_ == AggregateKind::kSum) {
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+      SD_RETURN_NOT_OK(reader->F64(&sums_[i]));
+      SD_RETURN_NOT_OK(reader->F64(&comps_[i]));
+    }
+    SD_RETURN_NOT_OK(reader->DoubleVector(&recent_, recent_capacity_));
+    if (recent_.size() != recent_capacity_) {
+      return Status::InvalidArgument("snapshot tracker ring size mismatch");
+    }
+  }
+  const auto load_deques = [&](std::vector<MonotonicDeque>* dqs) -> Status {
+    for (std::size_t i = 0; i < dqs->size(); ++i) {
+      std::uint64_t n = 0;
+      SD_RETURN_NOT_OK(reader->U64(&n));
+      // A monotonic deque never holds more entries than its window.
+      if (n > windows_[i] || n * 16 > reader->remaining()) {
+        return Status::InvalidArgument("snapshot tracker deque too large");
+      }
+      MonotonicDeque& dq = (*dqs)[i];
+      dq.entries.clear();
+      std::uint64_t prev_t = 0;
+      for (std::uint64_t k = 0; k < n; ++k) {
+        std::uint64_t t = 0;
+        double v = 0.0;
+        SD_RETURN_NOT_OK(reader->U64(&t));
+        SD_RETURN_NOT_OK(reader->F64(&v));
+        if (k > 0 && t <= prev_t) {
+          return Status::InvalidArgument(
+              "snapshot tracker deque times out of order");
+        }
+        if (t >= count_) {
+          return Status::InvalidArgument(
+              "snapshot tracker deque time in the future");
+        }
+        prev_t = t;
+        dq.entries.emplace_back(t, v);
+      }
+    }
+    return Status::OK();
+  };
+  SD_RETURN_NOT_OK(load_deques(&maxes_));
+  SD_RETURN_NOT_OK(load_deques(&mins_));
+  return Status::OK();
 }
 
 }  // namespace stardust

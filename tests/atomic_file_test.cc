@@ -1,0 +1,98 @@
+#include "common/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace stardust {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  fs::remove(path);
+  fs::remove(path + ".tmp");
+  return path;
+}
+
+TEST(AtomicFileTest, WriteThenReadRoundTrip) {
+  const std::string path = TestPath("atomic_roundtrip.bin");
+  const std::string payload = "hello\0world with \x01 binary bytes";
+  ASSERT_TRUE(AtomicWriteFile(path, payload).ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), payload);
+  EXPECT_FALSE(fs::exists(path + ".tmp"));  // tmp was renamed away
+}
+
+TEST(AtomicFileTest, OverwriteReplacesWholeFile) {
+  const std::string path = TestPath("atomic_overwrite.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, std::string(4096, 'a')).ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "short").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "short");
+}
+
+TEST(AtomicFileTest, EmptyPayloadIsFine) {
+  const std::string path = TestPath("atomic_empty.bin");
+  ASSERT_TRUE(AtomicWriteFile(path, "").ok());
+  Result<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read.value().empty());
+}
+
+TEST(AtomicFileTest, ReadMissingFileIsNotFound) {
+  Result<std::string> read =
+      ReadFileToString(::testing::TempDir() + "/no/such/file.bin");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+// The core guarantee: a crash at any phase of the protocol leaves the
+// previous file contents fully intact and loadable.
+TEST(AtomicFileTest, CrashAtAnyPhaseKeepsThePreviousFile) {
+  for (const AtomicWritePhase crash_phase :
+       {AtomicWritePhase::kTmpCreated, AtomicWritePhase::kTmpMidWrite,
+        AtomicWritePhase::kTmpWritten, AtomicWritePhase::kBeforeRename}) {
+    const std::string path =
+        TestPath("atomic_crash_" +
+                 std::to_string(static_cast<int>(crash_phase)) + ".bin");
+    const std::string old_payload(1000, 'x');
+    ASSERT_TRUE(AtomicWriteFile(path, old_payload).ok());
+
+    SetAtomicFileHookForTest(
+        [crash_phase](AtomicWritePhase phase, const std::string&) {
+          return phase != crash_phase;
+        });
+    const Status crashed = AtomicWriteFile(path, std::string(1000, 'y'));
+    SetAtomicFileHookForTest(nullptr);
+    ASSERT_FALSE(crashed.ok());
+    EXPECT_EQ(crashed.code(), StatusCode::kAborted);
+
+    Result<std::string> read = ReadFileToString(path);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read.value(), old_payload)
+        << "phase " << static_cast<int>(crash_phase);
+  }
+}
+
+// The mid-write injection point really does leave a torn tmp file — the
+// scenario the rename protocol exists to contain.
+TEST(AtomicFileTest, MidWriteCrashLeavesTornTmpOnly) {
+  const std::string path = TestPath("atomic_torn.bin");
+  const std::string payload(1000, 'z');
+  SetAtomicFileHookForTest([](AtomicWritePhase phase, const std::string&) {
+    return phase != AtomicWritePhase::kTmpMidWrite;
+  });
+  ASSERT_FALSE(AtomicWriteFile(path, payload).ok());
+  SetAtomicFileHookForTest(nullptr);
+  EXPECT_FALSE(fs::exists(path));
+  ASSERT_TRUE(fs::exists(path + ".tmp"));
+  EXPECT_EQ(fs::file_size(path + ".tmp"), payload.size() / 2);
+}
+
+}  // namespace
+}  // namespace stardust

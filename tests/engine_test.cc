@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "stream/bursty_source.h"
@@ -237,6 +240,46 @@ TEST(IngestEngineTest, MetricsJsonHasTheSchemaFields) {
         << "missing " << field << " in " << json;
   }
   EXPECT_EQ(engine->metrics().append_latency.Count(), 800u);
+}
+
+// Regression: a kBlock producer spinning against a full ring used to spin
+// forever if the worker was paused when Stop() was called — Stop joins
+// the workers, the producer never frees, deadlock. The wait loop now
+// checks the stop flag and bails out with Aborted.
+TEST(IngestEngineTest, BlockedPostDoesNotDeadlockStop) {
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.queue_capacity = 64;
+  econfig.overload = OverloadPolicy::kBlock;
+  econfig.start_paused = true;  // the worker never drains
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 1, econfig))
+                    .value();
+
+  std::atomic<bool> returned{false};
+  Status blocked_status;
+  // Rings are per producer, so the fill and the blocking post must come
+  // from the same thread.
+  std::thread producer([&] {
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(engine->Post(0, 1.0).ok());
+    }
+    blocked_status = engine->Post(0, 2.0);  // ring full: blocks
+    returned.store(true, std::memory_order_release);
+  });
+  // Let the producer reach the blocking wait.
+  for (int i = 0; i < 100 && !returned.load(std::memory_order_acquire);
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(engine->Stop().ok());
+  producer.join();  // the regression: this join used to hang forever
+  EXPECT_TRUE(returned.load());
+  // The blocked post either squeezed in while the worker drained for
+  // shutdown, or was cleanly aborted — never stuck, never a crash.
+  EXPECT_TRUE(blocked_status.ok() ||
+              blocked_status.code() == StatusCode::kAborted)
+      << blocked_status.ToString();
 }
 
 TEST(IngestEngineTest, EpochStampsAdvanceWithAppliedBatches) {

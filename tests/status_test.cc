@@ -28,12 +28,14 @@ TEST(StatusTest, AllFactoriesProduceTheirCode) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
 }
 
 TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
 }
 
 TEST(ResultTest, HoldsValue) {
