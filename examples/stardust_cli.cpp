@@ -9,6 +9,20 @@
 //   stardust_cli advise    <data.csv> [--base W] [--levels J] [--lambda L]
 //   stardust_cli surprise  <data.csv> [--threshold d] [--base W]
 //                          [--levels J] [--coefficients f]
+//   stardust_cli subscribe <data.csv> [--shards n] [--base K]
+//                          [--agg-window W --agg-threshold T]
+//                          [--pattern query.csv] [--radius r]
+//                          [--pattern-base W] [--corr-radius r]
+//                          [--corr-base W] [--corr-window N]
+//                          [--coefficients f] [--max-batch n]
+//
+// `subscribe` replays the CSV through the sharded ingestion engine
+// (src/engine) with continuous queries registered up front, and streams
+// every alert as one JSON line on stdout while a run summary goes to
+// stderr — the offline stand-in for subscribing to a live feed
+// (docs/QUERIES.md). Each flag group registers one query: --agg-threshold
+// an aggregate threshold query, --pattern a pattern query, --corr-radius
+// a correlation query.
 //
 // Preprocessing flags accepted by every command, applied in this order:
 //   --fill-gaps 1        linearly interpolate NaN/Inf gaps
@@ -24,11 +38,17 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include "core/aggregate_monitor.h"
 #include "core/correlation_monitor.h"
 #include "core/pattern_query.h"
 #include "core/surprise_monitor.h"
 #include "core/window_advisor.h"
+#include "engine/engine.h"
+#include "query/sinks.h"
 #include "stream/io.h"
 #include "stream/preprocess.h"
 #include "stream/threshold.h"
@@ -352,10 +372,167 @@ int RunAdvise(const Args& args) {
   return 0;
 }
 
+int RunSubscribe(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "subscribe: missing <data.csv>\n");
+    return 2;
+  }
+  Result<Dataset> data = LoadAndPreprocess(args, args.positional[0]);
+  if (!data.ok()) return Fail(data.status());
+  const std::size_t num_streams = data.value().num_streams();
+  const std::size_t length = data.value().length();
+  const std::size_t base = args.GetSize("base", 10);
+  const std::size_t agg_window = args.GetSize("agg-window", 2 * base);
+  const std::size_t f = args.GetSize("coefficients", 4);
+
+  // Fleet (aggregate) core: sized so the requested query window is an
+  // indexed resolution. The fleet's own thresholds are parked far out of
+  // range — alerts come from the registered queries only.
+  StardustConfig fleet;
+  fleet.transform = TransformKind::kAggregate;
+  fleet.aggregate = AggregateKind::kSum;
+  fleet.base_window = base;
+  fleet.num_levels = 1;
+  while ((agg_window / std::max<std::size_t>(base, 1)) >>
+         fleet.num_levels) {
+    ++fleet.num_levels;
+  }
+  fleet.history = std::max(length, base << (fleet.num_levels - 1));
+  fleet.box_capacity = args.GetSize("capacity", 4);
+  fleet.update_period = 1;
+  std::vector<WindowThreshold> fleet_thresholds = {{base, 1e18}};
+
+  EngineConfig econfig;
+  econfig.num_shards = args.GetSize("shards", 2);
+  // Queries are evaluated once per applied batch. An offline replay can
+  // outrun the workers and land in giant batches that step over
+  // short-lived threshold crossings, so bound the batch at one base
+  // window per stream to mimic a paced live feed.
+  econfig.max_batch =
+      args.GetSize("max-batch", std::max<std::size_t>(base, 1));
+
+  Result<Dataset> pattern_query = Status::NotFound("no pattern");
+  if (args.options.count("pattern") != 0) {
+    pattern_query = LoadDatasetCsv(args.options.at("pattern"));
+    if (!pattern_query.ok()) return Fail(pattern_query.status());
+    const std::size_t len = pattern_query.value().streams[0].size();
+    StardustConfig& pat = econfig.query.pattern;
+    pat.transform = TransformKind::kDwt;
+    pat.normalization = Normalization::kUnitSphere;
+    pat.coefficients = f;
+    pat.r_max = data.value().r_max;
+    pat.base_window = args.GetSize("pattern-base", 16);
+    pat.num_levels = 1;
+    while ((len / std::max<std::size_t>(pat.base_window, 1)) >>
+           pat.num_levels) {
+      ++pat.num_levels;
+    }
+    pat.history = length;
+    pat.box_capacity = 1;
+    pat.update_period = 1;
+    pat.index_features = true;
+    econfig.query.enable_patterns = true;
+  }
+  if (args.options.count("corr-radius") != 0) {
+    StardustConfig& corr = econfig.query.correlation;
+    corr.transform = TransformKind::kDwt;
+    corr.normalization = Normalization::kZNorm;
+    corr.coefficients = f;
+    corr.base_window = args.GetSize("corr-base", 16);
+    std::size_t n = args.GetSize("corr-window", 64);
+    corr.num_levels = 1;
+    while ((corr.base_window << (corr.num_levels - 1)) < n) {
+      ++corr.num_levels;
+    }
+    corr.history = corr.base_window << (corr.num_levels - 1);
+    corr.box_capacity = 1;
+    corr.update_period = corr.base_window;
+    econfig.query.enable_correlation = true;
+  }
+
+  Result<std::unique_ptr<IngestEngine>> engine = IngestEngine::Create(
+      fleet, fleet_thresholds, num_streams, econfig);
+  if (!engine.ok()) return Fail(engine.status());
+
+  // JSONL subscriber: one line per alert on stdout, delivered on the bus
+  // dispatcher thread while ingestion runs.
+  engine.value()->alerts().AddSink(
+      std::make_shared<CallbackSink>([](const Alert& alert) {
+        std::printf("%s\n", AlertToJson(alert).c_str());
+      }));
+
+  std::vector<QueryId> registered;
+  if (args.options.count("agg-threshold") != 0) {
+    Result<QueryId> id = engine.value()->RegisterQuery(QuerySpec::Aggregate(
+        agg_window, args.GetDouble("agg-threshold", 0.0)));
+    if (!id.ok()) return Fail(id.status());
+    registered.push_back(id.value());
+  }
+  if (pattern_query.ok()) {
+    Result<QueryId> id = engine.value()->RegisterQuery(QuerySpec::Pattern(
+        pattern_query.value().streams[0], args.GetDouble("radius", 0.05)));
+    if (!id.ok()) return Fail(id.status());
+    registered.push_back(id.value());
+  }
+  if (args.options.count("corr-radius") != 0) {
+    Result<QueryId> id = engine.value()->RegisterQuery(
+        QuerySpec::Correlation(args.GetDouble("corr-radius", 0.5)));
+    if (!id.ok()) return Fail(id.status());
+    registered.push_back(id.value());
+  }
+  if (registered.empty()) {
+    std::fprintf(stderr,
+                 "subscribe: no queries registered — pass --agg-threshold, "
+                 "--pattern, and/or --corr-radius\n");
+    return 2;
+  }
+
+  for (std::size_t t = 0; t < length; ++t) {
+    for (std::size_t s = 0; s < num_streams; ++s) {
+      const Status st = engine.value()->Post(static_cast<StreamId>(s),
+                                             data.value().streams[s][t]);
+      if (!st.ok()) return Fail(st);
+    }
+  }
+  Status st = engine.value()->Flush();
+  if (!st.ok()) return Fail(st);
+  if (econfig.query.enable_correlation) {
+    // Give the correlator a couple of periods to evaluate the final
+    // common feature time before tearing down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        4 * econfig.query.correlator_period_ms));
+  }
+  st = engine.value()->Stop();
+  if (!st.ok()) return Fail(st);
+
+  std::fprintf(stderr, "%zu stream(s), %zu values, %zu shard(s), "
+               "%zu query(ies)\n",
+               num_streams, length, engine.value()->num_shards(),
+               registered.size());
+  for (const auto& m : engine.value()->queries().Metrics()) {
+    std::fprintf(stderr,
+                 "  query %llu (%s): %llu evals, %llu hits, %llu errors\n",
+                 static_cast<unsigned long long>(m.id),
+                 QueryKindName(m.kind),
+                 static_cast<unsigned long long>(m.evals),
+                 static_cast<unsigned long long>(m.hits),
+                 static_cast<unsigned long long>(m.errors));
+  }
+  const AlertBus& bus = engine.value()->alerts();
+  std::fprintf(stderr,
+               "  alerts: %llu published, %llu delivered, %llu dropped\n",
+               static_cast<unsigned long long>(bus.published()),
+               static_cast<unsigned long long>(bus.delivered()),
+               static_cast<unsigned long long>(bus.dropped_newest() +
+                                               bus.dropped_oldest()));
+  return 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: stardust_cli <monitor|patterns|correlate|advise|surprise> ...\n"
+      "usage: stardust_cli "
+      "<monitor|patterns|correlate|advise|surprise|subscribe> ...\n"
       "see the header of examples/stardust_cli.cpp for options\n");
   return 2;
 }
@@ -371,5 +548,6 @@ int main(int argc, char** argv) {
   if (command == "correlate") return RunCorrelate(args);
   if (command == "advise") return RunAdvise(args);
   if (command == "surprise") return RunSurprise(args);
+  if (command == "subscribe") return RunSubscribe(args);
   return Usage();
 }

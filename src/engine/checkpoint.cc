@@ -14,15 +14,18 @@ namespace stardust {
 namespace {
 
 constexpr char kManifestMagic[4] = {'S', 'D', 'M', 'F'};
-constexpr std::uint32_t kManifestVersion = 1;
+/// v1: shard entries only. v2 appends the query-registry file entry.
+/// Both parse; a v1 manifest restores with an empty registry.
+constexpr std::uint32_t kManifestVersion = 2;
+constexpr std::uint32_t kMinManifestVersion = 1;
 /// Lower bound on one serialized shard entry (name length + epoch +
 /// appended + checksum); bounds the declared shard count against the
 /// remaining payload so corrupt manifests cannot drive huge allocations.
 constexpr std::uint64_t kMinShardEntryBytes = 32;
 constexpr std::uint64_t kMaxFileNameBytes = 4096;
 
-/// Extracts the sequence number from `manifest-<seq>.ck` or
-/// `shard-<i>-ck<seq>.snap`; false for anything else.
+/// Extracts the sequence number from `manifest-<seq>.ck`,
+/// `shard-<i>-ck<seq>.snap`, or `queries-ck<seq>.qry`; false otherwise.
 bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
   std::string digits;
   if (name.rfind("manifest-", 0) == 0 && name.size() > 12 &&
@@ -33,6 +36,9 @@ bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
     const std::size_t ck = name.rfind("-ck");
     if (ck == std::string::npos) return false;
     digits = name.substr(ck + 3, name.size() - ck - 8);
+  } else if (name.rfind("queries-ck", 0) == 0 && name.size() > 14 &&
+             name.compare(name.size() - 4, 4, ".qry") == 0) {
+    digits = name.substr(10, name.size() - 14);
   } else {
     return false;
   }
@@ -46,11 +52,37 @@ bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
   return true;
 }
 
+/// Reads a length-prefixed file name and rejects anything that could
+/// escape the checkpoint directory.
+Status ReadFileName(Reader* reader, std::string* name) {
+  std::uint64_t name_size = 0;
+  SD_RETURN_NOT_OK(reader->U64(&name_size));
+  if (name_size > kMaxFileNameBytes || name_size > reader->remaining()) {
+    return Status::InvalidArgument("manifest file name out of range");
+  }
+  name->resize(name_size);
+  for (std::uint64_t i = 0; i < name_size; ++i) {
+    std::uint8_t c = 0;
+    SD_RETURN_NOT_OK(reader->U8(&c));
+    (*name)[i] = static_cast<char>(c);
+  }
+  if (name->find('/') != std::string::npos ||
+      name->find("..") != std::string::npos) {
+    return Status::InvalidArgument(
+        "manifest file name escapes checkpoint directory");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq) {
   return "shard-" + std::to_string(shard) + "-ck" + std::to_string(seq) +
          ".snap";
+}
+
+std::string CheckpointQueriesFileName(std::uint64_t seq) {
+  return "queries-ck" + std::to_string(seq) + ".qry";
 }
 
 std::string CheckpointManifestFileName(std::uint64_t seq) {
@@ -74,6 +106,9 @@ std::string SerializeManifest(const CheckpointManifest& manifest) {
     payload.U64(entry.appended);
     payload.U64(entry.checksum);
   }
+  payload.U64(manifest.queries_file.size());
+  payload.Bytes(manifest.queries_file.data(), manifest.queries_file.size());
+  payload.U64(manifest.queries_checksum);
 
   Writer envelope;
   envelope.Bytes(kManifestMagic, sizeof(kManifestMagic));
@@ -104,7 +139,7 @@ Result<CheckpointManifest> ParseManifest(const std::string& bytes) {
   std::uint64_t checksum = 0;
   SD_RETURN_NOT_OK(header.U32(&version));
   SD_RETURN_NOT_OK(header.U64(&checksum));
-  if (version != kManifestVersion) {
+  if (version < kMinManifestVersion || version > kManifestVersion) {
     return Status::InvalidArgument("unsupported manifest version " +
                                    std::to_string(version));
   }
@@ -133,25 +168,14 @@ Result<CheckpointManifest> ParseManifest(const std::string& bytes) {
   }
   manifest.shards.resize(num_entries);
   for (CheckpointShardEntry& entry : manifest.shards) {
-    std::uint64_t name_size = 0;
-    SD_RETURN_NOT_OK(reader.U64(&name_size));
-    if (name_size > kMaxFileNameBytes || name_size > reader.remaining()) {
-      return Status::InvalidArgument("manifest file name out of range");
-    }
-    entry.file.resize(name_size);
-    for (std::uint64_t i = 0; i < name_size; ++i) {
-      std::uint8_t c = 0;
-      SD_RETURN_NOT_OK(reader.U8(&c));
-      entry.file[i] = static_cast<char>(c);
-    }
-    if (entry.file.find('/') != std::string::npos ||
-        entry.file.find("..") != std::string::npos) {
-      return Status::InvalidArgument(
-          "manifest file name escapes checkpoint directory");
-    }
+    SD_RETURN_NOT_OK(ReadFileName(&reader, &entry.file));
     SD_RETURN_NOT_OK(reader.U64(&entry.epoch));
     SD_RETURN_NOT_OK(reader.U64(&entry.appended));
     SD_RETURN_NOT_OK(reader.U64(&entry.checksum));
+  }
+  if (version >= 2) {
+    SD_RETURN_NOT_OK(ReadFileName(&reader, &manifest.queries_file));
+    SD_RETURN_NOT_OK(reader.U64(&manifest.queries_checksum));
   }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("manifest has trailing bytes");
@@ -193,8 +217,8 @@ Result<CheckpointManifest> FindLatestValidCheckpoint(const std::string& dir) {
       continue;
     }
     CheckpointManifest manifest = std::move(parsed).value();
-    // A manifest commits a checkpoint only if every shard file it names
-    // is present and whole. Verify content checksums before accepting.
+    // A manifest commits a checkpoint only if every file it names is
+    // present and whole. Verify content checksums before accepting.
     bool complete = true;
     for (const CheckpointShardEntry& entry : manifest.shards) {
       Result<std::string> shard_bytes =
@@ -205,6 +229,17 @@ Result<CheckpointManifest> FindLatestValidCheckpoint(const std::string& dir) {
             entry.file + " missing or corrupt");
         complete = false;
         break;
+      }
+    }
+    if (complete && !manifest.queries_file.empty()) {
+      Result<std::string> query_bytes =
+          ReadFileToString((fs::path(dir) / manifest.queries_file).string());
+      if (!query_bytes.ok() ||
+          Fnv1a(query_bytes.value()) != manifest.queries_checksum) {
+        last_error = Status::InvalidArgument(
+            "checkpoint " + std::to_string(seq) + " query registry file " +
+            manifest.queries_file + " missing or corrupt");
+        complete = false;
       }
     }
     if (complete) return manifest;

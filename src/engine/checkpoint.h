@@ -1,15 +1,17 @@
 // Crash-safe checkpoint layout of the ingestion engine.
 //
 // A checkpoint is one epoch-stamped v2 fleet snapshot per shard
-// (`shard-<i>-ck<seq>.snap`) plus a checksummed manifest
+// (`shard-<i>-ck<seq>.snap`), an optional serialized query registry
+// (`queries-ck<seq>.qry`, manifest v2), plus a checksummed manifest
 // (`manifest-<seq>.ck`) naming them, all written atomically
 // (common/atomic_file.h) with the manifest last. Because the manifest is
 // the commit point, a crash anywhere during a checkpoint leaves the
 // previous manifest — and the complete files it references — untouched.
 // Recovery walks the manifests newest-first and restores from the first
-// one whose own checksum and every referenced shard file verify; partial
-// or corrupt checkpoints are skipped, never half-loaded. docs/ENGINE.md
-// documents the format and guarantees.
+// one whose own checksum and every referenced file verify; partial or
+// corrupt checkpoints are skipped, never half-loaded. Manifest v1 (no
+// registry) stays loadable: restore simply starts with an empty registry.
+// docs/ENGINE.md documents the format and guarantees.
 #ifndef STARDUST_ENGINE_CHECKPOINT_H_
 #define STARDUST_ENGINE_CHECKPOINT_H_
 
@@ -47,10 +49,16 @@ struct CheckpointManifest {
   std::uint64_t max_batch = 0;
   std::uint8_t overload = 0;
   std::vector<CheckpointShardEntry> shards;
+  /// Serialized query registry (QueryRegistry::Serialize), manifest v2.
+  /// Empty file name when the checkpoint carries no registry — either a
+  /// v1 manifest or an engine whose registry was empty.
+  std::string queries_file;
+  std::uint64_t queries_checksum = 0;
 };
 
 /// Canonical file names within a checkpoint directory.
 std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq);
+std::string CheckpointQueriesFileName(std::uint64_t seq);
 std::string CheckpointManifestFileName(std::uint64_t seq);
 
 /// Manifest (de)serialization behind the same magic + version + checksum

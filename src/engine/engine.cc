@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <system_error>
 #include <thread>
@@ -11,6 +12,8 @@
 #include "common/check.h"
 #include "common/serialize.h"
 #include "core/snapshot.h"
+#include "geom/mbr.h"
+#include "rtree/rtree.h"
 
 namespace stardust {
 
@@ -62,6 +65,17 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
 
   std::unique_ptr<IngestEngine> engine(
       new IngestEngine(engine_config, num_streams));
+  engine->registry_ =
+      std::make_unique<QueryRegistry>(config, engine_config.query);
+  engine->alert_bus_ = std::make_unique<AlertBus>(
+      engine_config.query.alert_capacity, engine_config.query.alert_overflow);
+  if (restoring && !manifest.queries_file.empty()) {
+    const std::filesystem::path queries_path =
+        std::filesystem::path(restore_dir) / manifest.queries_file;
+    Result<std::string> bytes = ReadFileToString(queries_path.string());
+    if (!bytes.ok()) return bytes.status();
+    SD_RETURN_NOT_OK(engine->registry_->Restore(bytes.value()));
+  }
   engine->shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
     // Streams s, s + N, s + 2N, ... live on shard s.
@@ -97,15 +111,41 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
       if (!created.ok()) return created.status();
       fleet = std::move(created).value();
     }
+    // The query cores are per-shard Stardust instances over the same
+    // local streams; they always start empty (they are not checkpointed)
+    // and warm up as tuples flow.
+    std::unique_ptr<Stardust> pattern_core;
+    if (engine_config.query.enable_patterns) {
+      Result<std::unique_ptr<Stardust>> core =
+          Stardust::Create(engine_config.query.pattern);
+      if (!core.ok()) return core.status();
+      pattern_core = std::move(core).value();
+      for (std::size_t i = 0; i < local_streams; ++i) {
+        pattern_core->AddStream();
+      }
+    }
+    std::unique_ptr<Stardust> corr_core;
+    if (engine_config.query.enable_correlation) {
+      Result<std::unique_ptr<Stardust>> core =
+          Stardust::Create(engine_config.query.correlation);
+      if (!core.ok()) return core.status();
+      corr_core = std::move(core).value();
+      for (std::size_t i = 0; i < local_streams; ++i) {
+        corr_core->AddStream();
+      }
+    }
     engine->shards_.push_back(std::make_unique<Shard>(
-        s, engine_config.max_producers, engine_config.queue_capacity,
-        engine_config.overload, engine_config.max_batch, std::move(fleet),
-        engine->metrics_.get()));
+        s, num_shards, engine_config.max_producers,
+        engine_config.queue_capacity, engine_config.overload,
+        engine_config.max_batch, std::move(fleet), std::move(pattern_core),
+        std::move(corr_core), engine->registry_.get(),
+        engine->alert_bus_.get(), engine->metrics_.get()));
     if (restoring) {
       engine->shards_.back()->RestoreProgress(manifest.shards[s].epoch,
                                               manifest.shards[s].appended);
     }
   }
+  SD_CHECK(!engine->shards_.empty());
   if (restoring) {
     // Continue the checkpoint lineage instead of restarting at 1, so the
     // next checkpoint never collides with (or sorts below) the one just
@@ -114,11 +154,13 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
     engine->last_checkpoint_seq_.store(manifest.seq,
                                        std::memory_order_release);
   }
+  engine->alert_bus_->Start();
   for (auto& shard : engine->shards_) {
     if (engine_config.start_paused) shard->set_paused(true);
     shard->Start();
   }
   engine->StartCheckpointThread();
+  engine->StartCorrelatorThread();
   return engine;
 }
 
@@ -183,6 +225,18 @@ Status IngestEngine::Flush() {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
+  // Alerts for a batch are published after the apply counters move; wait
+  // until every shard's publication watermark catches up with what it has
+  // applied, then drain the bus so the sinks have seen everything.
+  for (const auto& shard : shards_) {
+    const std::uint64_t applied = shard->applied();
+    while (shard->alert_progress() < applied) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  if (!stopped_.load(std::memory_order_acquire)) {
+    SD_RETURN_NOT_OK(alert_bus_->WaitDrained());
+  }
   for (const auto& shard : shards_) {
     SD_RETURN_NOT_OK(shard->worker_status());
   }
@@ -195,12 +249,16 @@ Status IngestEngine::Stop() {
     return Status::OK();
   }
   StopCheckpointThread();
+  StopCorrelatorThread();
   accepting_.store(false, std::memory_order_release);
   for (auto& shard : shards_) {
     shard->set_paused(false);  // a paused worker must wake up to drain
     shard->RequestStop();
   }
   for (auto& shard : shards_) shard->Join();
+  // Workers are quiet; drain every queued alert to the sinks and flush
+  // them so file sinks are durable when Stop returns.
+  alert_bus_->Stop();
   for (const auto& shard : shards_) {
     SD_RETURN_NOT_OK(shard->worker_status());
   }
@@ -318,6 +376,21 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
     manifest.shards.push_back(std::move(entry));
   }
 
+  // The query registry rides every checkpoint (even when empty, so the
+  // id allocator's lineage survives a restore and ids are never reused).
+  {
+    const std::string bytes = registry_->Serialize();
+    manifest.queries_file = CheckpointQueriesFileName(seq);
+    manifest.queries_checksum = Fnv1a(bytes);
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / manifest.queries_file;
+    const Status written = AtomicWriteFile(path.string(), bytes);
+    if (!written.ok()) {
+      metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      return written;
+    }
+  }
+
   // The manifest is the commit point: until this rename lands, recovery
   // still resolves to the previous checkpoint.
   const std::filesystem::path manifest_path =
@@ -369,6 +442,166 @@ void IngestEngine::CheckpointLoop() {
     // at the next period; the background thread never takes the engine
     // down over a transient filesystem error.
     (void)Checkpoint(config_.checkpoint_dir);
+  }
+}
+
+void IngestEngine::StartCorrelatorThread() {
+  if (!config_.query.enable_correlation) return;
+  correlator_thread_ = std::thread([this] { CorrelatorLoop(); });
+}
+
+void IngestEngine::StopCorrelatorThread() {
+  if (!correlator_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(correlator_cv_mu_);
+    correlator_stop_ = true;
+  }
+  correlator_cv_.notify_all();
+  correlator_thread_.join();
+}
+
+void IngestEngine::CorrelatorLoop() {
+  const auto period =
+      std::chrono::milliseconds(config_.query.correlator_period_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(correlator_cv_mu_);
+      if (correlator_cv_.wait_for(lock, period,
+                                  [this] { return correlator_stop_; })) {
+        return;
+      }
+    }
+    RunCorrelatorRound();
+  }
+}
+
+void IngestEngine::RunCorrelatorRound() {
+  using Clock = std::chrono::steady_clock;
+  const std::shared_ptr<const QueryRegistry::Snapshot> snapshot =
+      registry_->snapshot();
+  // Drop rising-edge state of queries that left the registry, so the map
+  // cannot grow without bound under register/unregister churn.
+  for (auto it = corr_active_pairs_.begin();
+       it != corr_active_pairs_.end();) {
+    bool live = false;
+    for (const auto& q : snapshot->correlation) {
+      if (q->id == it->first) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : corr_active_pairs_.erase(it);
+  }
+  if (snapshot->correlation.empty()) return;
+
+  const StardustConfig& cfg = config_.query.correlation;
+  // Queries monitoring the same level share one aligned feature gather
+  // and one round index.
+  std::unordered_map<std::size_t,
+                     std::vector<std::shared_ptr<RegisteredQuery>>>
+      by_level;
+  for (const auto& q : snapshot->correlation) {
+    const std::size_t level =
+        q->spec.level == kTopLevel ? cfg.num_levels - 1 : q->spec.level;
+    by_level[level].push_back(q);
+  }
+
+  std::vector<CorrelationFeature> features;
+  std::vector<RTreeEntry> hits;
+  for (auto& [level, queries] : by_level) {
+    // Phase 1: the round time is the slowest stream's latest feature
+    // time at this level — the most recent time every started stream can
+    // still serve. Streams whose window has not filled yet do not hold
+    // the round back; they simply contribute nothing.
+    std::uint64_t t_round = 0;
+    bool any = false;
+    for (const auto& shard : shards_) {
+      if (!shard->has_correlation_core()) continue;
+      for (const Shard::FeatureClock& clock :
+           shard->CorrelationClocks(level)) {
+        if (!clock.has) continue;
+        t_round = any ? std::min(t_round, clock.time) : clock.time;
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const auto last = corr_last_time_.find(level);
+    if (last != corr_last_time_.end() && last->second == t_round) {
+      continue;  // nothing new to evaluate at this level
+    }
+    corr_last_time_[level] = t_round;
+
+    // Phase 2: gather every shard's feature points and exact z-normed
+    // windows at the aligned time. Per-shard mutex-coherent; streams
+    // whose data already expired at t_round are skipped.
+    features.clear();
+    for (const auto& shard : shards_) {
+      if (!shard->has_correlation_core()) continue;
+      if (!shard->CorrelationFeaturesAt(level, t_round, &features).ok()) {
+        return;
+      }
+    }
+    metrics_->correlator_rounds.fetch_add(1, std::memory_order_relaxed);
+    if (features.size() < 2) continue;
+
+    // One R*-tree over this round's features (c == 1: points), queried
+    // per registered correlation query with its own radius — the range
+    // query + exact verify path of Section 5.3.
+    RTree tree(cfg.coefficients);
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (!tree.Insert(Mbr::FromPoint(features[i].feature),
+                       static_cast<RecordId>(i))
+               .ok()) {
+        return;
+      }
+    }
+    const std::size_t w = cfg.LevelWindow(level);
+    const std::uint64_t round =
+        metrics_->correlator_rounds.load(std::memory_order_relaxed);
+    for (const auto& q : queries) {
+      const Clock::time_point start = Clock::now();
+      std::set<std::pair<StreamId, StreamId>>& active =
+          corr_active_pairs_[q->id];
+      std::set<std::pair<StreamId, StreamId>> current;
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        hits.clear();
+        tree.SearchWithin(features[i].feature, q->spec.radius, &hits);
+        for (const RTreeEntry& hit : hits) {
+          const std::size_t j = static_cast<std::size_t>(hit.id);
+          if (j <= i) continue;  // count each pair once
+          const double d2 = Dist2(features[i].znormed, features[j].znormed);
+          if (d2 > q->spec.radius * q->spec.radius) continue;
+          StreamId a = features[i].global_stream;
+          StreamId b = features[j].global_stream;
+          if (a > b) std::swap(a, b);
+          current.emplace(a, b);
+          if (active.count({a, b}) != 0) continue;  // still correlated
+          Alert alert;
+          alert.query = q->id;
+          alert.kind = QueryKind::kCorrelation;
+          alert.stream = a;
+          alert.stream_b = b;
+          alert.window = w;
+          alert.end_time = t_round;
+          alert.epoch = round;
+          alert.value = std::sqrt(d2);
+          alert.threshold = q->spec.radius;
+          if (alert_bus_->Publish(alert).ok()) {
+            metrics_->alerts_published.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          }
+          q->hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      active = std::move(current);
+      q->evals.fetch_add(1, std::memory_order_relaxed);
+      q->eval_nanos.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - start)
+                  .count()),
+          std::memory_order_relaxed);
+    }
   }
 }
 

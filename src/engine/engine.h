@@ -6,6 +6,13 @@
 // Overload behavior is an explicit policy (block / drop-newest /
 // drop-oldest, with drop counters), and cross-shard reads return coherent
 // per-shard snapshots stamped with sequence epochs. See docs/ENGINE.md.
+//
+// Layered on top is the continuous-query subsystem (src/query,
+// docs/QUERIES.md): queries registered at runtime through queries() are
+// evaluated while ingestion is live — aggregate and pattern queries
+// inline by the shard workers, correlation queries by a dedicated
+// correlator thread aligning per-shard feature snapshots — and every hit
+// is delivered through the alert bus (alerts()) to registered sinks.
 #ifndef STARDUST_ENGINE_ENGINE_H_
 #define STARDUST_ENGINE_ENGINE_H_
 
@@ -14,11 +21,15 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/fleet_monitor.h"
@@ -26,6 +37,8 @@
 #include "engine/engine_config.h"
 #include "engine/metrics.h"
 #include "engine/shard.h"
+#include "query/alert_bus.h"
+#include "query/registry.h"
 #include "stream/threshold.h"
 
 namespace stardust {
@@ -42,10 +55,10 @@ class IngestEngine {
   ///
   /// A non-empty `restore_dir` resumes from the newest complete
   /// checkpoint in that directory (see Checkpoint): every shard's monitor
-  /// state, alarm counters, and epoch stamps continue the pre-crash
-  /// lineage bit-exactly. The requested shape (stream count, shard count,
-  /// windows, thresholds) must match the checkpointed one. NotFound when
-  /// the directory holds no complete checkpoint.
+  /// state, alarm counters, epoch stamps, and the query registry continue
+  /// the pre-crash lineage. The requested shape (stream count, shard
+  /// count, windows, thresholds) must match the checkpointed one.
+  /// NotFound when the directory holds no complete checkpoint.
   static Result<std::unique_ptr<IngestEngine>> Create(
       const StardustConfig& config, std::vector<WindowThreshold> thresholds,
       std::size_t num_streams, const EngineConfig& engine_config = {},
@@ -59,11 +72,18 @@ class IngestEngine {
 
   std::size_t num_streams() const { return num_streams_; }
   std::size_t num_shards() const { return shards_.size(); }
-  std::size_t num_windows() const { return shards_[0]->num_windows(); }
+  std::size_t num_windows() const {
+    // Create never constructs a shardless engine; guard anyway so a
+    // hypothetical zero-shard instance fails loudly instead of indexing
+    // an empty vector.
+    SD_CHECK(!shards_.empty());
+    return shards_[0]->num_windows();
+  }
   const EngineConfig& engine_config() const { return config_; }
 
   /// Shard that owns a stream (stream id modulo shard count).
   std::size_t ShardOf(StreamId stream) const {
+    SD_DCHECK(!shards_.empty());
     return stream % shards_.size();
   }
 
@@ -75,15 +95,32 @@ class IngestEngine {
   Status PostBatch(std::span<const StreamValue> tuples);
 
   /// Blocks until everything posted before the call has been applied (or
-  /// reclaimed by kDropOldest). Returns the first worker error, if any.
+  /// reclaimed by kDropOldest) and every alert those applies published
+  /// has been handed to the sinks. Returns the first worker error, if
+  /// any.
   Status Flush();
-  /// Stops accepting posts, drains every queue, joins the workers.
-  /// Idempotent. Producers must be quiescent when this is called.
+  /// Stops accepting posts, drains every queue, joins the workers, and
+  /// drains + stops the alert bus. Idempotent. Producers must be
+  /// quiescent when this is called.
   Status Stop();
   /// Quiesce/resume the workers without tearing anything down. While
   /// paused, queues fill and overload policies engage.
   void Pause();
   void Resume();
+
+  // --- Continuous queries (src/query, docs/QUERIES.md) -------------------
+  /// The engine's query registry: register/unregister continuous queries
+  /// from any thread while ingestion is live.
+  QueryRegistry& queries() { return *registry_; }
+  const QueryRegistry& queries() const { return *registry_; }
+  /// The alert bus delivering query hits; add sinks here.
+  AlertBus& alerts() { return *alert_bus_; }
+  const AlertBus& alerts() const { return *alert_bus_; }
+  /// Convenience forwarders.
+  Result<QueryId> RegisterQuery(QuerySpec spec) {
+    return registry_->Register(std::move(spec));
+  }
+  Status UnregisterQuery(QueryId id) { return registry_->Unregister(id); }
 
   // --- Cross-shard reads ------------------------------------------------
   /// Alarm counters of one stream, summed over its windows.
@@ -106,15 +143,17 @@ class IngestEngine {
   std::string MetricsJson() const;
 
   // --- Checkpoint / restore ---------------------------------------------
-  /// Writes an epoch-stamped checkpoint of every shard into `dir` (created
-  /// if missing) without stopping ingestion: each shard is serialized
-  /// under its own state mutex, so producers keep posting and other
-  /// shards keep draining throughout. All files are written atomically
-  /// (tmp + fsync + rename) with the manifest last as the commit point; a
-  /// crash mid-checkpoint leaves the previous checkpoint intact. On
-  /// success the directory is garbage-collected down to the current and
-  /// previous checkpoints. Serialized against itself and against the
-  /// background checkpoint thread.
+  /// Writes an epoch-stamped checkpoint of every shard plus the query
+  /// registry into `dir` (created if missing) without stopping ingestion:
+  /// each shard is serialized under its own state mutex, so producers
+  /// keep posting and other shards keep draining throughout. All files
+  /// are written atomically (tmp + fsync + rename) with the manifest last
+  /// as the commit point; a crash mid-checkpoint leaves the previous
+  /// checkpoint intact. On success the directory is garbage-collected
+  /// down to the current and previous checkpoints. Serialized against
+  /// itself and against the background checkpoint thread. The pattern and
+  /// correlation query cores are not checkpointed — after a restore they
+  /// warm up from empty (docs/QUERIES.md, "Checkpoint semantics").
   Status Checkpoint(const std::string& dir);
   /// Sequence number of the last successful Checkpoint; 0 if none yet.
   std::uint64_t last_checkpoint_seq() const {
@@ -130,6 +169,14 @@ class IngestEngine {
   void StartCheckpointThread();
   void StopCheckpointThread();
 
+  /// Body of the correlator thread: every correlator_period_ms, align all
+  /// shards on a common feature time and run the registered correlation
+  /// queries over the combined feature set (docs/QUERIES.md).
+  void CorrelatorLoop();
+  void RunCorrelatorRound();
+  void StartCorrelatorThread();
+  void StopCorrelatorThread();
+
   StreamId LocalOf(StreamId stream) const {
     return stream / static_cast<StreamId>(shards_.size());
   }
@@ -140,6 +187,8 @@ class IngestEngine {
   const EngineConfig config_;
   const std::size_t num_streams_;
   std::unique_ptr<EngineMetrics> metrics_;
+  std::unique_ptr<QueryRegistry> registry_;
+  std::unique_ptr<AlertBus> alert_bus_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopped_{false};
@@ -155,6 +204,19 @@ class IngestEngine {
   std::condition_variable checkpoint_cv_;
   bool checkpoint_stop_ = false;
   std::thread checkpoint_thread_;
+
+  // --- Correlator state (correlator thread only, after Create) ----------
+  std::mutex correlator_cv_mu_;
+  std::condition_variable correlator_cv_;
+  bool correlator_stop_ = false;
+  std::thread correlator_thread_;
+  /// Last evaluated common feature time per monitored level; rounds where
+  /// it did not advance are skipped.
+  std::unordered_map<std::size_t, std::uint64_t> corr_last_time_;
+  /// Rising-edge state: pairs (global a < global b) currently within each
+  /// query's radius; alerts fire when a pair enters the set.
+  std::unordered_map<QueryId, std::set<std::pair<StreamId, StreamId>>>
+      corr_active_pairs_;
 };
 
 }  // namespace stardust

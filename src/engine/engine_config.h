@@ -5,32 +5,11 @@
 #include <cstddef>
 #include <string>
 
+#include "common/overload_policy.h"
 #include "common/status.h"
+#include "query/query_config.h"
 
 namespace stardust {
-
-/// What a producer does when a shard's queue is full (the explicit
-/// ingestion policies of feed-style systems: spill == block here, discard
-/// drops; see docs/ENGINE.md).
-enum class OverloadPolicy {
-  /// Spin/yield until the shard frees a slot. No data loss; producers
-  /// inherit the shard's pace (backpressure).
-  kBlock,
-  /// Drop the incoming tuple. The queued (older) data survives.
-  kDropNewest,
-  /// Reclaim the oldest queued tuple and enqueue the incoming one. The
-  /// freshest data survives — the usual choice for live dashboards.
-  kDropOldest,
-};
-
-inline const char* OverloadPolicyName(OverloadPolicy policy) {
-  switch (policy) {
-    case OverloadPolicy::kBlock: return "block";
-    case OverloadPolicy::kDropNewest: return "drop_newest";
-    case OverloadPolicy::kDropOldest: return "drop_oldest";
-  }
-  return "unknown";
-}
 
 /// Tunables of the ingestion runtime. Stream state parameters (windows,
 /// thresholds, history) stay in StardustConfig; this struct only shapes
@@ -62,8 +41,13 @@ struct EngineConfig {
   /// Directory the background checkpoint thread writes into. Required
   /// when checkpoint_period_ms > 0; created on first use.
   std::string checkpoint_dir;
+  /// Continuous-query subsystem layered on the shards: pattern /
+  /// correlation core configurations, correlator cadence, and the alert
+  /// bus shape (src/query, docs/QUERIES.md).
+  QueryConfig query;
 
   Status Validate() const {
+    SD_RETURN_NOT_OK(query.Validate());
     if (num_shards == 0) {
       return Status::InvalidArgument("num_shards must be positive");
     }

@@ -37,6 +37,9 @@ std::string EngineMetricsJson(
           ",\"checkpoints\":%" PRIu64 ",\"checkpoint_failures\":%" PRIu64,
           load(metrics.block_waits), load(metrics.append_errors),
           load(metrics.checkpoints), load(metrics.checkpoint_failures));
+  AppendF(&out,
+          ",\"alerts_published\":%" PRIu64 ",\"correlator_rounds\":%" PRIu64,
+          load(metrics.alerts_published), load(metrics.correlator_rounds));
 
   const LatencyHistogram& h = metrics.append_latency;
   AppendF(&out,

@@ -35,6 +35,12 @@ struct EngineMetrics {
   /// before the manifest rename (engine/checkpoint.h).
   std::atomic<std::uint64_t> checkpoints{0};
   std::atomic<std::uint64_t> checkpoint_failures{0};
+  /// Alerts accepted by the bus from shard workers and the correlator
+  /// (the bus's own counters break this down by drop/delivery).
+  std::atomic<std::uint64_t> alerts_published{0};
+  /// Completed correlator rounds (a round may be skipped when the common
+  /// feature time did not advance).
+  std::atomic<std::uint64_t> correlator_rounds{0};
   /// Wall-clock nanoseconds per monitor append, measured by the workers.
   LatencyHistogram append_latency;
 };

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/check.h"
+#include "core/pattern_query.h"
 #include "core/snapshot.h"
+#include "transform/feature.h"
 
 namespace stardust {
 
@@ -37,20 +39,44 @@ void UpdateMaxSize(std::atomic<std::size_t>* target, std::size_t value) {
   }
 }
 
+std::uint64_t ElapsedNanos(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
 }  // namespace
 
-Shard::Shard(std::size_t index, std::size_t num_producers,
-             std::size_t queue_capacity, OverloadPolicy policy,
-             std::size_t max_batch,
+Shard::Shard(std::size_t index, std::size_t num_shards,
+             std::size_t num_producers, std::size_t queue_capacity,
+             OverloadPolicy policy, std::size_t max_batch,
              std::unique_ptr<FleetAggregateMonitor> fleet,
-             EngineMetrics* metrics)
+             std::unique_ptr<Stardust> pattern_core,
+             std::unique_ptr<Stardust> corr_core, QueryRegistry* registry,
+             AlertBus* alerts, EngineMetrics* metrics)
     : index_(index),
+      num_shards_(num_shards),
       policy_(policy),
       max_batch_(max_batch),
       metrics_(metrics),
-      fleet_(std::move(fleet)) {
+      registry_(registry),
+      alerts_(alerts),
+      fleet_(std::move(fleet)),
+      pattern_core_(std::move(pattern_core)),
+      corr_core_(std::move(corr_core)) {
   SD_CHECK(fleet_ != nullptr);
   SD_CHECK(num_producers > 0);
+  SD_CHECK(num_shards_ > 0 && index_ < num_shards_);
+  SD_CHECK((registry_ != nullptr) == (alerts_ != nullptr));
+  if (pattern_core_ != nullptr) {
+    SD_CHECK(registry_ != nullptr);
+    SD_CHECK(pattern_core_->num_streams() == fleet_->num_streams());
+  }
+  if (corr_core_ != nullptr) {
+    SD_CHECK(corr_core_->num_streams() == fleet_->num_streams());
+  }
+  touched_.assign(fleet_->num_streams(), 0);
   rings_.reserve(num_producers);
   for (std::size_t i = 0; i < num_producers; ++i) {
     rings_.push_back(std::make_unique<SpscRing<StreamValue>>(queue_capacity));
@@ -154,17 +180,152 @@ void Shard::WorkerLoop() {
   }
 }
 
+void Shard::RefreshQuerySnapshot() {
+  const std::uint64_t version = registry_->version();
+  if (query_snapshot_ != nullptr && version == query_version_) return;
+  query_snapshot_ = registry_->snapshot();
+  query_version_ = version;
+  // Prune evaluation state of queries that left the registry so the maps
+  // cannot grow without bound under register/unregister churn.
+  for (auto it = agg_alarming_.begin(); it != agg_alarming_.end();) {
+    bool live = false;
+    for (const auto& q : query_snapshot_->aggregate) {
+      if (q->id == it->first) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : agg_alarming_.erase(it);
+  }
+  for (auto it = pattern_watermark_.begin();
+       it != pattern_watermark_.end();) {
+    bool live = false;
+    for (const auto& q : query_snapshot_->pattern) {
+      if (q->id == it->first) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : pattern_watermark_.erase(it);
+  }
+}
+
+void Shard::EvaluateQueriesLocked(const std::vector<StreamValue>& batch,
+                                  std::vector<Alert>* out) {
+  using Clock = std::chrono::steady_clock;
+  const QueryRegistry::Snapshot& queries = *query_snapshot_;
+  if (queries.aggregate.empty() && queries.pattern.empty()) return;
+
+  // Local streams touched by this batch, deduplicated.
+  touched_list_.clear();
+  for (const StreamValue& tuple : batch) {
+    if (tuple.stream < touched_.size() && !touched_[tuple.stream]) {
+      touched_[tuple.stream] = 1;
+      touched_list_.push_back(tuple.stream);
+    }
+  }
+  for (StreamId s : touched_list_) touched_[s] = 0;
+
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+
+  // Aggregate queries: Algorithm 2 per touched stream, edge-triggered on
+  // the false -> true alarm transition so a window staying above its
+  // threshold emits once, not once per batch.
+  for (const auto& q : queries.aggregate) {
+    const Clock::time_point start = Clock::now();
+    std::vector<char>& edge = agg_alarming_[q->id];
+    if (edge.size() != fleet_->num_streams()) {
+      edge.assign(fleet_->num_streams(), 0);
+    }
+    for (StreamId s : touched_list_) {
+      const Result<Stardust::AggregateAnswer> answer =
+          fleet_->monitor(s).stardust().AggregateQuery(0, q->spec.window,
+                                                       q->spec.threshold);
+      if (!answer.ok()) {
+        // Streams shorter than the window are simply not evaluable yet.
+        if (answer.status().code() != StatusCode::kOutOfRange) {
+          q->errors.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      const bool alarm = answer.value().alarm;
+      if (alarm && !edge[s]) {
+        Alert alert;
+        alert.query = q->id;
+        alert.kind = QueryKind::kAggregate;
+        alert.stream = GlobalOf(s);
+        alert.window = q->spec.window;
+        alert.end_time = fleet_->AppendCount(s) - 1;
+        alert.epoch = epoch;
+        alert.value = answer.value().exact;
+        alert.threshold = q->spec.threshold;
+        out->push_back(alert);
+        q->hits.fetch_add(1, std::memory_order_relaxed);
+      }
+      edge[s] = alarm ? 1 : 0;
+    }
+    q->evals.fetch_add(1, std::memory_order_relaxed);
+    q->eval_nanos.fetch_add(ElapsedNanos(start), std::memory_order_relaxed);
+  }
+
+  // Pattern queries: Algorithm 3 over the shard's online core, with a
+  // per-stream delivery watermark so a match position is alerted exactly
+  // once even though consecutive evaluations keep finding it until it
+  // slides out of the history buffer.
+  if (!queries.pattern.empty() && pattern_core_ != nullptr) {
+    const PatternQueryEngine engine(*pattern_core_);
+    for (const auto& q : queries.pattern) {
+      const Clock::time_point start = Clock::now();
+      std::vector<std::uint64_t>& wm = pattern_watermark_[q->id];
+      if (wm.size() != fleet_->num_streams()) {
+        wm.assign(fleet_->num_streams(), 0);
+      }
+      const Result<PatternResult> result =
+          engine.QueryOnline(q->spec.pattern, q->spec.radius);
+      if (!result.ok()) {
+        q->errors.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        for (const PatternMatch& match : result.value().matches) {
+          if (match.end_time + 1 <= wm[match.stream]) continue;
+          wm[match.stream] = match.end_time + 1;
+          Alert alert;
+          alert.query = q->id;
+          alert.kind = QueryKind::kPattern;
+          alert.stream = GlobalOf(match.stream);
+          alert.window = q->spec.pattern.size();
+          alert.end_time = match.end_time;
+          alert.epoch = epoch;
+          alert.value = match.distance;
+          alert.threshold = q->spec.radius;
+          out->push_back(alert);
+          q->hits.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      q->evals.fetch_add(1, std::memory_order_relaxed);
+      q->eval_nanos.fetch_add(ElapsedNanos(start),
+                              std::memory_order_relaxed);
+    }
+  }
+}
+
 void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
   using Clock = std::chrono::steady_clock;
+  if (registry_ != nullptr) RefreshQuerySnapshot();
+  std::vector<Alert> alerts;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     for (const StreamValue& tuple : batch) {
       const Clock::time_point start = Clock::now();
-      const Status status = fleet_->Append(tuple.stream, tuple.value);
-      const auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             Clock::now() - start)
-                             .count();
-      metrics_->append_latency.Record(static_cast<std::uint64_t>(nanos));
+      Status status = fleet_->Append(tuple.stream, tuple.value);
+      // The query cores see the same tuples in the same order as the
+      // fleet; their failures surface like fleet append failures.
+      if (status.ok() && pattern_core_ != nullptr) {
+        status = pattern_core_->Append(tuple.stream, tuple.value);
+      }
+      if (status.ok() && corr_core_ != nullptr) {
+        status = corr_core_->Append(tuple.stream, tuple.value);
+      }
+      metrics_->append_latency.Record(ElapsedNanos(start));
       if (status.ok()) {
         metrics_->appended.fetch_add(1, std::memory_order_relaxed);
       } else {
@@ -172,11 +333,23 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
         if (worker_status_.ok()) worker_status_ = status;
       }
     }
+    if (registry_ != nullptr) EvaluateQueriesLocked(batch, &alerts);
     // Publish inside the lock so a reader's stamp always matches the
     // monitor state it observed.
     applied_.fetch_add(batch.size(), std::memory_order_release);
     epoch_.fetch_add(1, std::memory_order_release);
   }
+  // Alerts are published after the state lock is released: a kBlock bus
+  // waiting on a slow sink must stall only this worker, not every reader
+  // snapshotting the shard.
+  for (const Alert& alert : alerts) {
+    const Status status = alerts_->Publish(alert);
+    if (status.ok()) {
+      metrics_->alerts_published.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  alert_progress_.store(applied_.load(std::memory_order_relaxed),
+                        std::memory_order_release);
   batches_.fetch_add(1, std::memory_order_relaxed);
   UpdateMax(&batch_max_, batch.size());
 }
@@ -224,6 +397,7 @@ void Shard::RestoreProgress(std::uint64_t epoch, std::uint64_t appended) {
   SD_CHECK(!worker_.joinable());
   epoch_.store(epoch, std::memory_order_release);
   applied_.store(appended, std::memory_order_release);
+  alert_progress_.store(appended, std::memory_order_release);
   enqueued_.store(appended, std::memory_order_release);
 }
 
@@ -243,6 +417,43 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
       queue_high_water_.load(std::memory_order_relaxed);
   snapshot.num_streams = fleet_->num_streams();
   return snapshot;
+}
+
+std::vector<Shard::FeatureClock> Shard::CorrelationClocks(
+    std::size_t level) const {
+  SD_CHECK(corr_core_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<FeatureClock> clocks(corr_core_->num_streams());
+  for (StreamId s = 0; s < corr_core_->num_streams(); ++s) {
+    const LevelThread& thread = corr_core_->summarizer(s).thread(level);
+    if (!thread.empty()) {
+      clocks[s].has = true;
+      clocks[s].time = thread.last_time();
+    }
+  }
+  return clocks;
+}
+
+Status Shard::CorrelationFeaturesAt(
+    std::size_t level, std::uint64_t t,
+    std::vector<CorrelationFeature>* out) const {
+  SD_CHECK(corr_core_ != nullptr);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const std::size_t w = corr_core_->config().LevelWindow(level);
+  std::vector<double> window;
+  for (StreamId s = 0; s < corr_core_->num_streams(); ++s) {
+    const FeatureBox* box = corr_core_->summarizer(s).thread(level).Find(t);
+    if (box == nullptr) continue;  // not yet produced, or expired
+    if (!corr_core_->summarizer(s).GetWindow(t, w, &window).ok()) {
+      continue;  // raw window already slid out of the history buffer
+    }
+    CorrelationFeature feature;
+    feature.global_stream = GlobalOf(s);
+    feature.feature = box->extent.lo();  // c == 1: the box is a point
+    feature.znormed = ZNormalize(window);
+    out->push_back(std::move(feature));
+  }
+  return Status::OK();
 }
 
 }  // namespace stardust

@@ -5,6 +5,14 @@
 // snapshots take the same mutex and are stamped with the shard epoch
 // (number of applied batches) so cross-shard reads can report exactly how
 // fresh each shard's contribution was.
+//
+// When the continuous-query subsystem is enabled the shard additionally
+// owns an online unit-sphere DWT core (pattern queries, Algorithm 3) and
+// a batch z-normalized DWT core (feature source for the cross-shard
+// correlator); both are fed the same tuples in the same order as the
+// fleet. After each applied batch the worker evaluates the registered
+// aggregate and pattern queries inline and publishes hits to the alert
+// bus (docs/QUERIES.md).
 #ifndef STARDUST_ENGINE_SHARD_H_
 #define STARDUST_ENGINE_SHARD_H_
 
@@ -12,13 +20,17 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/ring_buffer.h"
 #include "common/status.h"
 #include "core/fleet_monitor.h"
+#include "core/stardust.h"
 #include "engine/engine_config.h"
 #include "engine/metrics.h"
+#include "query/alert_bus.h"
+#include "query/registry.h"
 
 namespace stardust {
 
@@ -38,14 +50,30 @@ struct ShardStamp {
   std::uint64_t appended = 0;
 };
 
+/// One local stream's contribution to a correlator round: its feature
+/// point at the monitored level and the exact z-normalized window, both
+/// taken at the same aligned feature time under the shard state mutex.
+struct CorrelationFeature {
+  StreamId global_stream = 0;
+  Point feature;
+  std::vector<double> znormed;
+};
+
 /// A shard owns its monitors exclusively; all mutation happens on its
 /// worker thread. Producers only touch the rings and atomic counters.
 class Shard {
  public:
-  Shard(std::size_t index, std::size_t num_producers,
-        std::size_t queue_capacity, OverloadPolicy policy,
-        std::size_t max_batch, std::unique_ptr<FleetAggregateMonitor> fleet,
-        EngineMetrics* metrics);
+  /// `num_shards` is the engine's effective shard count (for local ->
+  /// global stream id mapping in alerts). `pattern_core` / `corr_core`
+  /// may be null (query kind disabled); `registry` and `alerts` may be
+  /// null only together with both cores absent (no query evaluation).
+  Shard(std::size_t index, std::size_t num_shards,
+        std::size_t num_producers, std::size_t queue_capacity,
+        OverloadPolicy policy, std::size_t max_batch,
+        std::unique_ptr<FleetAggregateMonitor> fleet,
+        std::unique_ptr<Stardust> pattern_core,
+        std::unique_ptr<Stardust> corr_core, QueryRegistry* registry,
+        AlertBus* alerts, EngineMetrics* metrics);
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -75,6 +103,17 @@ class Shard {
     return applied_.load(std::memory_order_acquire) +
            stolen_.load(std::memory_order_acquire);
   }
+  /// Tuples applied by the worker.
+  std::uint64_t applied() const {
+    return applied_.load(std::memory_order_acquire);
+  }
+  /// Applied-tuple watermark whose batch alerts have all been handed to
+  /// the alert bus; trails applied() by at most one in-flight batch.
+  /// Flush uses it to wait out alert publication, which happens after the
+  /// state lock is released.
+  std::uint64_t alert_progress() const {
+    return alert_progress_.load(std::memory_order_acquire);
+  }
 
   std::size_t index() const { return index_; }
   std::size_t num_streams() const { return fleet_->num_streams(); }
@@ -101,20 +140,57 @@ class Shard {
 
   ShardMetricsSnapshot MetricsSnapshot() const;
 
+  // --- Correlator support (requires a correlation core) ----------------
+  /// Phase 1 of a correlator round: the latest aligned feature time of
+  /// every local stream at `level` of the correlation core (one entry
+  /// per local stream; `has == false` while a stream's window has not
+  /// filled yet).
+  struct FeatureClock {
+    bool has = false;
+    std::uint64_t time = 0;
+  };
+  std::vector<FeatureClock> CorrelationClocks(std::size_t level) const;
+  /// Phase 2: appends, for every local stream that still has its feature
+  /// and raw window at aligned time `t`, the feature point and the exact
+  /// z-normalized window. Streams whose data already expired (or never
+  /// reached `t`) are skipped — the correlator's rounds are best-effort
+  /// over whatever every shard can still serve coherently.
+  Status CorrelationFeaturesAt(std::size_t level, std::uint64_t t,
+                               std::vector<CorrelationFeature>* out) const;
+  bool has_correlation_core() const { return corr_core_ != nullptr; }
+  bool has_pattern_core() const { return pattern_core_ != nullptr; }
+
  private:
   void WorkerLoop();
   void ApplyBatch(const std::vector<StreamValue>& batch);
   ShardStamp StampLocked() const;
 
+  /// Re-fetches the registry snapshot when its version moved and prunes
+  /// evaluation state of unregistered queries. Worker thread only.
+  void RefreshQuerySnapshot();
+  /// Evaluates aggregate + pattern queries after a batch; called with
+  /// state_mu_ held. Alerts are collected into `out` and published by
+  /// the caller after the lock is released.
+  void EvaluateQueriesLocked(const std::vector<StreamValue>& batch,
+                             std::vector<Alert>* out);
+
+  StreamId GlobalOf(StreamId local_stream) const {
+    return static_cast<StreamId>(local_stream * num_shards_ + index_);
+  }
+
   const std::size_t index_;
+  const std::size_t num_shards_;
   const OverloadPolicy policy_;
   const std::size_t max_batch_;
   EngineMetrics* const metrics_;
+  QueryRegistry* const registry_;
+  AlertBus* const alerts_;
 
   std::vector<std::unique_ptr<SpscRing<StreamValue>>> rings_;
 
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> alert_progress_{0};
   std::atomic<std::uint64_t> stolen_{0};
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> batches_{0};
@@ -124,11 +200,28 @@ class Shard {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
 
-  /// Guards fleet_ and worker_status_: held by the worker while applying
-  /// a batch and by readers while snapshotting.
+  /// Guards fleet_, the query cores, and worker_status_: held by the
+  /// worker while applying a batch (and evaluating queries) and by
+  /// readers while snapshotting.
   mutable std::mutex state_mu_;
   std::unique_ptr<FleetAggregateMonitor> fleet_;
+  std::unique_ptr<Stardust> pattern_core_;
+  std::unique_ptr<Stardust> corr_core_;
   Status worker_status_;
+
+  // --- Query evaluation state (worker thread only) ---------------------
+  std::shared_ptr<const QueryRegistry::Snapshot> query_snapshot_;
+  std::uint64_t query_version_ = 0;
+  /// Aggregate edge state: last alarm outcome per (query, local stream),
+  /// so alerts fire on the false -> true transition only.
+  std::unordered_map<QueryId, std::vector<char>> agg_alarming_;
+  /// Pattern delivery watermark per (query, local stream): matches with
+  /// end_time + 1 <= watermark were already delivered.
+  std::unordered_map<QueryId, std::vector<std::uint64_t>>
+      pattern_watermark_;
+  /// Scratch: local streams touched by the current batch.
+  std::vector<char> touched_;
+  std::vector<StreamId> touched_list_;
 
   std::thread worker_;
 };

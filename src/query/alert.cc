@@ -1,0 +1,21 @@
+#include "query/alert.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace stardust {
+
+std::string AlertToJson(const Alert& alert) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"query\":%" PRIu64
+                ",\"kind\":\"%s\",\"stream\":%u,\"stream_b\":%u,"
+                "\"window\":%zu,\"end_time\":%" PRIu64 ",\"epoch\":%" PRIu64
+                ",\"value\":%.6g,\"threshold\":%.6g}",
+                alert.query, QueryKindName(alert.kind), alert.stream,
+                alert.stream_b, alert.window, alert.end_time, alert.epoch,
+                alert.value, alert.threshold);
+  return buf;
+}
+
+}  // namespace stardust

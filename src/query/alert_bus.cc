@@ -1,0 +1,165 @@
+#include "query/alert_bus.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace stardust {
+
+namespace {
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void UpdateMaxSize(std::atomic<std::size_t>* target, std::size_t value) {
+  std::size_t cur = target->load(std::memory_order_relaxed);
+  while (cur < value && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+AlertBus::AlertBus(std::size_t capacity, OverloadPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  SD_CHECK(capacity_ > 0);
+}
+
+AlertBus::~AlertBus() { Stop(); }
+
+AlertBus::SinkId AlertBus::AddSink(std::shared_ptr<AlertSink> sink) {
+  SD_CHECK(sink != nullptr);
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  const SinkId id = next_sink_id_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+bool AlertBus::RemoveSink(SinkId id) {
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->first == id) {
+      sinks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AlertBus::Start() {
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) return;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+void AlertBus::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // Final flush so file sinks are durable when Stop returns.
+  std::lock_guard<std::mutex> lock(sinks_mu_);
+  for (auto& [id, sink] : sinks_) (void)sink->Flush();
+}
+
+Status AlertBus::Publish(const Alert& alert) {
+  Entry entry{alert, NowNanos()};
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopping_) return Status::Aborted("alert bus is stopping");
+  if (queue_.size() >= capacity_) {
+    switch (policy_) {
+      case OverloadPolicy::kDropNewest:
+        dropped_newest_.fetch_add(1, std::memory_order_release);
+        published_.fetch_add(1, std::memory_order_release);
+        return Status::OK();
+      case OverloadPolicy::kDropOldest:
+        queue_.pop_front();
+        dropped_oldest_.fetch_add(1, std::memory_order_release);
+        break;
+      case OverloadPolicy::kBlock: {
+        block_waits_.fetch_add(1, std::memory_order_release);
+        not_full_.wait(lock, [this] {
+          return stopping_ || queue_.size() < capacity_;
+        });
+        if (stopping_) {
+          return Status::Aborted("alert bus stopped while publish waited");
+        }
+        break;
+      }
+    }
+  }
+  queue_.push_back(std::move(entry));
+  published_.fetch_add(1, std::memory_order_release);
+  UpdateMaxSize(&queue_high_water_, queue_.size());
+  lock.unlock();
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+Status AlertBus::WaitDrained() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("alert bus is not started");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_.wait(lock, [this] {
+    return (queue_.empty() && in_flight_ == 0) || stopping_;
+  });
+  if (!queue_.empty() || in_flight_ != 0) {
+    return Status::Aborted("alert bus stopped before draining");
+  }
+  return Status::OK();
+}
+
+void AlertBus::DispatchLoop() {
+  constexpr std::size_t kMaxDispatchBatch = 64;
+  std::vector<Entry> batch;
+  batch.reserve(kMaxDispatchBatch);
+  std::vector<std::shared_ptr<AlertSink>> sinks;
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ and fully drained: exit.
+        drained_.notify_all();
+        return;
+      }
+      while (!queue_.empty() && batch.size() < kMaxDispatchBatch) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ = batch.size();
+    }
+    not_full_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(sinks_mu_);
+      sinks.clear();
+      for (const auto& [id, sink] : sinks_) sinks.push_back(sink);
+    }
+    const std::uint64_t now = NowNanos();
+    for (const Entry& entry : batch) {
+      for (const auto& sink : sinks) sink->OnAlert(entry.alert);
+      delivery_latency_.Record(now >= entry.publish_ns
+                                   ? now - entry.publish_ns
+                                   : 0);
+      delivered_.fetch_add(1, std::memory_order_release);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ = 0;
+      if (queue_.empty()) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace stardust

@@ -1,0 +1,148 @@
+// AlertBus: the delivery stage of the continuous-query pipeline
+// (ingest -> evaluate -> deliver, in the style of fault-tolerant data
+// feeds).
+//
+// Shard workers and the correlator publish Alert records into one bounded
+// MPMC queue; a dispatcher thread drains it and fans each alert out to
+// every registered sink. The queue's overflow behavior is an explicit
+// OverloadPolicy mirroring the ingestion rings: kBlock applies
+// backpressure to the publishers (and therefore, transitively, to query
+// evaluation), the drop policies shed load and account every loss in the
+// bus counters. Sinks run on the dispatcher thread and must not block
+// indefinitely; a slow sink slows delivery for all sinks (single ordered
+// delivery stream), which is what makes the overflow policy meaningful.
+#ifndef STARDUST_QUERY_ALERT_BUS_H_
+#define STARDUST_QUERY_ALERT_BUS_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/overload_policy.h"
+#include "common/status.h"
+#include "query/alert.h"
+
+namespace stardust {
+
+/// Receives alerts on the bus dispatcher thread. Implementations must be
+/// internally synchronized if they are read from other threads.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  virtual void OnAlert(const Alert& alert) = 0;
+  /// Pushes buffered state to its destination (e.g. fsync for file
+  /// sinks). Called by AlertBus::Stop after the final alert.
+  virtual Status Flush() { return Status::OK(); }
+};
+
+/// Bounded multi-producer queue + dispatcher. Publish is thread-safe from
+/// any number of threads; Start/Stop manage the dispatcher. Alerts
+/// published before Start queue up (subject to the overflow policy) and
+/// are delivered once the dispatcher runs.
+class AlertBus {
+ public:
+  using SinkId = std::uint64_t;
+
+  /// `capacity` bounds the undelivered queue (> 0); `policy` picks the
+  /// overflow behavior.
+  AlertBus(std::size_t capacity, OverloadPolicy policy);
+  ~AlertBus();
+
+  AlertBus(const AlertBus&) = delete;
+  AlertBus& operator=(const AlertBus&) = delete;
+
+  /// Registers a sink; delivery starts with the next dispatched alert.
+  SinkId AddSink(std::shared_ptr<AlertSink> sink);
+  /// Unregisters; returns false for an unknown id. The sink may still
+  /// receive alerts already being dispatched when the call races the
+  /// dispatcher.
+  bool RemoveSink(SinkId id);
+
+  /// Starts the dispatcher thread. Idempotent.
+  void Start();
+  /// Drains every queued alert to the sinks, flushes them, and joins the
+  /// dispatcher. Publishes racing Stop may be rejected with Aborted.
+  /// Idempotent.
+  void Stop();
+
+  /// Enqueues one alert under the bus's overflow policy. kBlock waits for
+  /// space (Aborted if the bus stops while waiting); the drop policies
+  /// return OK and account the loss.
+  Status Publish(const Alert& alert);
+
+  /// Blocks until every alert published before the call has been handed
+  /// to the sinks (or dropped). Requires a started bus.
+  Status WaitDrained();
+
+  // --- Counters ---------------------------------------------------------
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+  std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dropped_newest() const {
+    return dropped_newest_.load(std::memory_order_acquire);
+  }
+  std::uint64_t dropped_oldest() const {
+    return dropped_oldest_.load(std::memory_order_acquire);
+  }
+  std::uint64_t block_waits() const {
+    return block_waits_.load(std::memory_order_acquire);
+  }
+  std::size_t queue_high_water() const {
+    return queue_high_water_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return capacity_; }
+  OverloadPolicy policy() const { return policy_; }
+  /// Publish-to-sink-handoff latency in nanoseconds.
+  const LatencyHistogram& delivery_latency() const {
+    return delivery_latency_;
+  }
+
+ private:
+  struct Entry {
+    Alert alert;
+    std::uint64_t publish_ns = 0;
+  };
+
+  void DispatchLoop();
+
+  const std::size_t capacity_;
+  const OverloadPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::condition_variable drained_;
+  std::deque<Entry> queue_;
+  /// Entries popped by the dispatcher but not yet handed to every sink.
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+
+  std::mutex sinks_mu_;
+  std::vector<std::pair<SinkId, std::shared_ptr<AlertSink>>> sinks_;
+  SinkId next_sink_id_ = 1;
+
+  std::atomic<bool> started_{false};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_newest_{0};
+  std::atomic<std::uint64_t> dropped_oldest_{0};
+  std::atomic<std::uint64_t> block_waits_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
+  LatencyHistogram delivery_latency_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_QUERY_ALERT_BUS_H_

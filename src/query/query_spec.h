@@ -1,0 +1,134 @@
+// Continuous-query specifications for the runtime query registry.
+//
+// One flat QuerySpec struct covers the paper's three query classes
+// (Sections 2.2-2.4, 5): aggregate threshold monitoring, pattern
+// (subsequence similarity) monitoring, and pairwise correlation
+// monitoring. A spec is registered with QueryRegistry while ingestion is
+// live; validation against the engine's configured cores happens at
+// registration time so clients get synchronous errors.
+#ifndef STARDUST_QUERY_QUERY_SPEC_H_
+#define STARDUST_QUERY_QUERY_SPEC_H_
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace stardust {
+
+/// The three continuous-query classes of the paper (Section 5).
+enum class QueryKind : std::uint8_t {
+  kAggregate = 0,
+  kPattern = 1,
+  kCorrelation = 2,
+};
+
+inline const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kAggregate: return "aggregate";
+    case QueryKind::kPattern: return "pattern";
+    case QueryKind::kCorrelation: return "correlation";
+  }
+  return "unknown";
+}
+
+/// Stable identifier of a registered query. Ids are engine-unique,
+/// monotonically assigned, and never reused. 0 is never a valid id.
+using QueryId = std::uint64_t;
+inline constexpr QueryId kInvalidQueryId = 0;
+
+/// Sentinel for CorrelationSpec::level: detect at the correlation core's
+/// top resolution (window N = W * 2^J, the paper's experimental setting).
+inline constexpr std::size_t kTopLevel =
+    std::numeric_limits<std::size_t>::max();
+
+/// One continuous query. Only the fields of the selected kind are
+/// meaningful; the factory functions build well-formed instances.
+struct QuerySpec {
+  QueryKind kind = QueryKind::kAggregate;
+
+  /// kAggregate: alarm when the exact aggregate over the trailing
+  /// `window` values of a stream reaches `threshold` (Algorithm 2 filter
+  /// + verify). `window` must be a positive multiple of the fleet's base
+  /// window with window/W < 2^num_levels.
+  std::size_t window = 0;
+  double threshold = 0.0;
+
+  /// kPattern: report stream windows within `radius` (normalized
+  /// Euclidean distance, Equation 2) of `pattern` (Algorithm 3 over the
+  /// shard's online DWT core). |pattern| must be a positive multiple of
+  /// the pattern core's base window with |pattern|/W < 2^num_levels.
+  std::vector<double> pattern;
+
+  /// kPattern / kCorrelation: the distance radius. For correlation it
+  /// maps to a minimum correlation via corr >= 1 - r^2/2 (Section 2.4).
+  double radius = 0.0;
+
+  /// kCorrelation: resolution level of the correlation core to detect at
+  /// (window W * 2^level); kTopLevel means the top level.
+  std::size_t level = kTopLevel;
+
+  static QuerySpec Aggregate(std::size_t window, double threshold) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kAggregate;
+    spec.window = window;
+    spec.threshold = threshold;
+    return spec;
+  }
+
+  static QuerySpec Pattern(std::vector<double> pattern, double radius) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kPattern;
+    spec.pattern = std::move(pattern);
+    spec.radius = radius;
+    return spec;
+  }
+
+  static QuerySpec Correlation(double radius, std::size_t level = kTopLevel) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kCorrelation;
+    spec.radius = radius;
+    spec.level = level;
+    return spec;
+  }
+
+  /// Checkpoint support: fixed-width little-endian encoding, matching the
+  /// snapshot conventions (common/serialize.h).
+  void SaveTo(Writer* writer) const {
+    writer->U8(static_cast<std::uint8_t>(kind));
+    writer->U64(window);
+    writer->F64(threshold);
+    writer->DoubleVector(pattern);
+    writer->F64(radius);
+    writer->U64(level == kTopLevel ? std::uint64_t{0xffffffffffffffffULL}
+                                   : static_cast<std::uint64_t>(level));
+  }
+
+  Status RestoreFrom(Reader* reader) {
+    std::uint8_t kind_byte = 0;
+    SD_RETURN_NOT_OK(reader->U8(&kind_byte));
+    if (kind_byte > static_cast<std::uint8_t>(QueryKind::kCorrelation)) {
+      return Status::InvalidArgument("unknown query kind in snapshot");
+    }
+    kind = static_cast<QueryKind>(kind_byte);
+    std::uint64_t window64 = 0;
+    SD_RETURN_NOT_OK(reader->U64(&window64));
+    window = static_cast<std::size_t>(window64);
+    SD_RETURN_NOT_OK(reader->F64(&threshold));
+    SD_RETURN_NOT_OK(reader->DoubleVector(&pattern));
+    SD_RETURN_NOT_OK(reader->F64(&radius));
+    std::uint64_t level64 = 0;
+    SD_RETURN_NOT_OK(reader->U64(&level64));
+    level = level64 == 0xffffffffffffffffULL
+                ? kTopLevel
+                : static_cast<std::size_t>(level64);
+    return Status::OK();
+  }
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_QUERY_QUERY_SPEC_H_

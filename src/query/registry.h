@@ -1,0 +1,125 @@
+// QueryRegistry: runtime registration of continuous queries while
+// ingestion is live.
+//
+// Register/Unregister may be called from any thread at any time; the
+// evaluation hot paths (shard workers, the correlator) never take the
+// registry mutex per tuple — they poll the cheap atomic version() and,
+// only when it changed, fetch a new immutable snapshot (copy-on-write:
+// every mutation publishes a fresh shared_ptr<const Snapshot>). A worker
+// holding an old snapshot keeps evaluating the old query set for at most
+// one batch; per-query counters live on the RegisteredQuery objects
+// themselves, so metrics survive snapshot swaps and even unregistration
+// races (a worker mid-evaluation bumps counters on a query that was just
+// removed — harmless, the object is shared-ptr kept alive).
+#ifndef STARDUST_QUERY_REGISTRY_H_
+#define STARDUST_QUERY_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "query/query_config.h"
+#include "query/query_spec.h"
+
+namespace stardust {
+
+/// A registered query plus its live counters. Immutable spec; atomic
+/// counters are bumped by evaluators without synchronization.
+struct RegisteredQuery {
+  QueryId id = kInvalidQueryId;
+  QuerySpec spec;
+  /// Evaluation runs (per shard batch / correlator round touching it).
+  mutable std::atomic<std::uint64_t> evals{0};
+  /// Alerts this query emitted.
+  mutable std::atomic<std::uint64_t> hits{0};
+  /// Evaluations that failed with a non-OK status (skipped silently on
+  /// the hot path; visible here for observability).
+  mutable std::atomic<std::uint64_t> errors{0};
+  /// Total wall-clock nanoseconds spent evaluating this query.
+  mutable std::atomic<std::uint64_t> eval_nanos{0};
+
+  RegisteredQuery(QueryId query_id, QuerySpec query_spec)
+      : id(query_id), spec(std::move(query_spec)) {}
+};
+
+/// Point-in-time per-query counters for metrics export.
+struct QueryMetricsSnapshot {
+  QueryId id = kInvalidQueryId;
+  QueryKind kind = QueryKind::kAggregate;
+  std::uint64_t evals = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t eval_nanos = 0;
+};
+
+class QueryRegistry {
+ public:
+  /// Immutable view of the registered queries, split by kind for the
+  /// evaluators.
+  struct Snapshot {
+    std::vector<std::shared_ptr<RegisteredQuery>> aggregate;
+    std::vector<std::shared_ptr<RegisteredQuery>> pattern;
+    std::vector<std::shared_ptr<RegisteredQuery>> correlation;
+
+    std::size_t size() const {
+      return aggregate.size() + pattern.size() + correlation.size();
+    }
+  };
+
+  /// `aggregate_config` is the fleet monitors' Stardust configuration
+  /// (validates aggregate query windows); `query_config` gates the
+  /// pattern/correlation kinds and validates their specs.
+  QueryRegistry(const StardustConfig& aggregate_config,
+                const QueryConfig& query_config);
+
+  /// Validates `spec` against the engine's configuration and registers
+  /// it. The returned id is stable until Unregister and never reused.
+  Result<QueryId> Register(QuerySpec spec);
+  /// NotFound for ids that are unknown (or already unregistered).
+  Status Unregister(QueryId id);
+
+  /// Bumped by every successful Register/Unregister. Evaluators poll
+  /// this (acquire) and refetch snapshot() only on change.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+  /// The current immutable query set.
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  std::size_t size() const;
+  std::vector<QueryMetricsSnapshot> Metrics() const;
+
+  /// Checkpoint support: serializes every registered query (id + spec)
+  /// and the id allocator under the snapshot envelope conventions
+  /// (magic + version + FNV-1a checksum).
+  std::string Serialize() const;
+  /// Restores a serialized registry into this (empty) instance. Every
+  /// restored spec is re-validated against the current configuration, so
+  /// a checkpoint from an engine with pattern queries enabled cannot be
+  /// restored into one without. Ids and the allocator continue the
+  /// checkpointed lineage.
+  Status Restore(const std::string& bytes);
+
+ private:
+  Status ValidateSpec(const QuerySpec& spec) const;
+  /// Rebuilds and publishes the snapshot; callers hold mu_.
+  void PublishLocked();
+
+  const StardustConfig aggregate_config_;
+  const QueryConfig query_config_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<RegisteredQuery>> queries_;
+  QueryId next_id_ = 1;
+  std::shared_ptr<const Snapshot> snapshot_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_QUERY_REGISTRY_H_

@@ -1,0 +1,50 @@
+#include "query/sinks.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "query/alert.h"
+
+namespace stardust {
+
+Result<std::unique_ptr<JsonlFileSink>> JsonlFileSink::Open(
+    const std::string& path, std::size_t fsync_every) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::Internal("cannot open alert log " + path + ": " +
+                            std::strerror(errno));
+  }
+  return std::unique_ptr<JsonlFileSink>(
+      new JsonlFileSink(path, file, fsync_every));
+}
+
+JsonlFileSink::~JsonlFileSink() {
+  if (file_ != nullptr) {
+    (void)Flush();
+    std::fclose(file_);
+  }
+}
+
+void JsonlFileSink::OnAlert(const Alert& alert) {
+  const std::string line = AlertToJson(alert);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  ++written_;
+  if (fsync_every_ > 0 && written_ % fsync_every_ == 0) (void)Flush();
+}
+
+Status JsonlFileSink::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("fflush failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  if (::fsync(fileno(file_)) != 0) {
+    return Status::Internal("fsync failed for " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace stardust

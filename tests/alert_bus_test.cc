@@ -1,0 +1,257 @@
+#include "query/alert_bus.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/sinks.h"
+
+namespace stardust {
+namespace {
+
+Alert MakeAlert(std::uint64_t n) {
+  Alert alert;
+  alert.query = n;
+  alert.kind = QueryKind::kAggregate;
+  alert.stream = static_cast<StreamId>(n);
+  alert.window = 20;
+  alert.end_time = 100 + n;
+  alert.epoch = n;
+  alert.value = 1.5 * static_cast<double>(n);
+  alert.threshold = 1.0;
+  return alert;
+}
+
+std::filesystem::path TempDir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(AlertJsonTest, EncodesEveryField) {
+  Alert alert;
+  alert.query = 3;
+  alert.kind = QueryKind::kPattern;
+  alert.stream = 5;
+  alert.stream_b = 0;
+  alert.window = 32;
+  alert.end_time = 511;
+  alert.epoch = 14;
+  alert.value = 0.5;
+  alert.threshold = 0.75;
+  EXPECT_EQ(AlertToJson(alert),
+            "{\"query\":3,\"kind\":\"pattern\",\"stream\":5,"
+            "\"stream_b\":0,\"window\":32,\"end_time\":511,\"epoch\":14,"
+            "\"value\":0.5,\"threshold\":0.75}");
+}
+
+TEST(AlertBusTest, DeliversInOrderToAllSinks) {
+  AlertBus bus(64, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  std::vector<std::uint64_t> seen;
+  auto callback = std::make_shared<CallbackSink>(
+      [&seen](const Alert& alert) { seen.push_back(alert.query); });
+  bus.AddSink(ring);
+  bus.AddSink(callback);
+  bus.Start();
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  ASSERT_TRUE(bus.WaitDrained().ok());
+  bus.Stop();
+  EXPECT_EQ(bus.published(), 10u);
+  EXPECT_EQ(bus.delivered(), 10u);
+  ASSERT_EQ(seen.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seen[i], i);
+  const std::vector<Alert> kept = ring->Snapshot();
+  ASSERT_EQ(kept.size(), 10u);
+  EXPECT_EQ(kept.front().query, 0u);
+  EXPECT_EQ(kept.back().query, 9u);
+  EXPECT_GT(bus.delivery_latency().Count(), 0u);
+}
+
+TEST(AlertBusTest, PublishBeforeStartIsDeliveredAfterStart) {
+  AlertBus bus(16, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  bus.AddSink(ring);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  EXPECT_EQ(ring->total(), 0u);
+  bus.Start();
+  ASSERT_TRUE(bus.WaitDrained().ok());
+  EXPECT_EQ(ring->total(), 5u);
+  bus.Stop();
+}
+
+// Overflow property, kDropNewest: the queue keeps the FIRST `capacity`
+// alerts; later ones are dropped and counted, and the conservation law
+// published == delivered + dropped holds.
+TEST(AlertBusTest, DropNewestKeepsOldestAlerts) {
+  AlertBus bus(4, OverloadPolicy::kDropNewest);
+  auto ring = std::make_shared<RingSink>();
+  bus.AddSink(ring);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  EXPECT_EQ(bus.dropped_newest(), 6u);
+  bus.Start();
+  bus.Stop();
+  EXPECT_EQ(bus.delivered(), 4u);
+  EXPECT_EQ(bus.published(), bus.delivered() + bus.dropped_newest());
+  const std::vector<Alert> kept = ring->Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(kept[i].query, i);
+}
+
+// Overflow property, kDropOldest: the queue keeps the LAST `capacity`
+// alerts; the oldest are displaced and counted.
+TEST(AlertBusTest, DropOldestKeepsNewestAlerts) {
+  AlertBus bus(4, OverloadPolicy::kDropOldest);
+  auto ring = std::make_shared<RingSink>();
+  bus.AddSink(ring);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  EXPECT_EQ(bus.dropped_oldest(), 6u);
+  bus.Start();
+  bus.Stop();
+  EXPECT_EQ(bus.delivered(), 4u);
+  EXPECT_EQ(bus.published(), bus.delivered() + bus.dropped_oldest());
+  const std::vector<Alert> kept = ring->Snapshot();
+  ASSERT_EQ(kept.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(kept[i].query, 6 + i);
+}
+
+// Overflow property, kBlock: a publisher against a full queue waits until
+// the dispatcher frees space; nothing is lost.
+TEST(AlertBusTest, BlockPolicyAppliesBackpressure) {
+  AlertBus bus(2, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  bus.AddSink(ring);
+  ASSERT_TRUE(bus.Publish(MakeAlert(0)).ok());
+  ASSERT_TRUE(bus.Publish(MakeAlert(1)).ok());
+  std::atomic<bool> third_published{false};
+  std::thread publisher([&bus, &third_published] {
+    ASSERT_TRUE(bus.Publish(MakeAlert(2)).ok());
+    third_published.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_published.load());  // full queue, no dispatcher yet
+  bus.Start();
+  publisher.join();
+  EXPECT_TRUE(third_published.load());
+  EXPECT_GE(bus.block_waits(), 1u);
+  ASSERT_TRUE(bus.WaitDrained().ok());
+  bus.Stop();
+  EXPECT_EQ(bus.delivered(), 3u);
+  EXPECT_EQ(bus.dropped_newest() + bus.dropped_oldest(), 0u);
+}
+
+TEST(AlertBusTest, StopDrainsPendingAlertsAndRejectsLaterPublishes) {
+  AlertBus bus(16, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  bus.AddSink(ring);
+  bus.Start();
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  bus.Stop();
+  EXPECT_EQ(ring->total(), 8u);
+  const Status rejected = bus.Publish(MakeAlert(9));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.code(), StatusCode::kAborted);
+  bus.Stop();  // idempotent
+}
+
+TEST(AlertBusTest, WaitDrainedRequiresStartedBus) {
+  AlertBus bus(16, OverloadPolicy::kBlock);
+  EXPECT_EQ(bus.WaitDrained().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AlertBusTest, RemoveSinkStopsDelivery) {
+  AlertBus bus(16, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  const AlertBus::SinkId id = bus.AddSink(ring);
+  bus.Start();
+  ASSERT_TRUE(bus.Publish(MakeAlert(0)).ok());
+  ASSERT_TRUE(bus.WaitDrained().ok());
+  EXPECT_TRUE(bus.RemoveSink(id));
+  EXPECT_FALSE(bus.RemoveSink(id));  // already gone
+  ASSERT_TRUE(bus.Publish(MakeAlert(1)).ok());
+  ASSERT_TRUE(bus.WaitDrained().ok());
+  bus.Stop();
+  EXPECT_EQ(ring->total(), 1u);
+}
+
+TEST(AlertBusTest, RingSinkRetainsOnlyTheMostRecent) {
+  RingSink sink(3);
+  for (std::uint64_t i = 0; i < 7; ++i) sink.OnAlert(MakeAlert(i));
+  EXPECT_EQ(sink.total(), 7u);
+  const std::vector<Alert> kept = sink.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].query, 4u);
+  EXPECT_EQ(kept[2].query, 6u);
+}
+
+TEST(AlertBusTest, JsonlFileSinkWritesOneLinePerAlert) {
+  const std::filesystem::path dir = TempDir("stardust_jsonl_sink_test");
+  const std::string path = (dir / "alerts.jsonl").string();
+  {
+    AlertBus bus(16, OverloadPolicy::kBlock);
+    auto sink = std::move(JsonlFileSink::Open(path)).value();
+    bus.AddSink(std::shared_ptr<JsonlFileSink>(std::move(sink)));
+    bus.Start();
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+    }
+    bus.Stop();  // flushes the sink
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(lines[i], AlertToJson(MakeAlert(i)));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Many producers racing one dispatcher: everything published is either
+// delivered or accounted as dropped, never lost or duplicated.
+TEST(AlertBusTest, ConcurrentPublishersConserveAlerts) {
+  AlertBus bus(32, OverloadPolicy::kDropOldest);
+  auto ring = std::make_shared<RingSink>(100000);
+  bus.AddSink(ring);
+  bus.Start();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kThreads; ++p) {
+    producers.emplace_back([&bus, p] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(
+            bus.Publish(MakeAlert(static_cast<std::uint64_t>(p) * kPerThread +
+                                  i))
+                .ok());
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  bus.Stop();
+  EXPECT_EQ(bus.published(), kThreads * kPerThread);
+  EXPECT_EQ(bus.published(), bus.delivered() + bus.dropped_oldest());
+  EXPECT_EQ(ring->total(), bus.delivered());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "common/ring_buffer.h"
 #include "dwt/haar.h"
+#include "engine/shard.h"
 #include "geom/mbr.h"
+#include "stream/threshold.h"
 
 namespace stardust {
 namespace {
@@ -34,6 +39,45 @@ TEST(CheckDeathTest, NonPowerOfTwoDwtAborts) {
 
 TEST(CheckDeathTest, ZeroCapacityRingBufferAborts) {
   EXPECT_DEATH(RingBuffer<int>(0), "SD_CHECK failed");
+}
+
+// Guards behind IngestEngine::num_windows()/ShardOf(): a shard can never
+// be built with a shape that would make the engine's modulo/index
+// arithmetic undefined.
+std::unique_ptr<FleetAggregateMonitor> TestFleet() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 10;
+  config.num_levels = 2;
+  config.history = 40;
+  return std::move(FleetAggregateMonitor::Create(config, {{10, 1.0}}, 2))
+      .value();
+}
+
+TEST(CheckDeathTest, ShardWithNullFleetAborts) {
+  EXPECT_DEATH(Shard(0, 1, 1, 64, OverloadPolicy::kBlock, 16, nullptr,
+                     nullptr, nullptr, nullptr, nullptr, nullptr),
+               "SD_CHECK failed");
+}
+
+TEST(CheckDeathTest, ShardWithZeroShardCountAborts) {
+  EXPECT_DEATH(Shard(0, 0, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
+                     nullptr, nullptr, nullptr, nullptr, nullptr),
+               "SD_CHECK failed");
+}
+
+TEST(CheckDeathTest, ShardWithOutOfRangeIndexAborts) {
+  EXPECT_DEATH(Shard(3, 2, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
+                     nullptr, nullptr, nullptr, nullptr, nullptr),
+               "SD_CHECK failed");
+}
+
+TEST(CheckDeathTest, ShardWithRegistryButNoBusAborts) {
+  QueryRegistry registry(StardustConfig{}, QueryConfig{});
+  EXPECT_DEATH(Shard(0, 1, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
+                     nullptr, nullptr, &registry, nullptr, nullptr),
+               "SD_CHECK failed");
 }
 
 #ifdef NDEBUG

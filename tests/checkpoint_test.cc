@@ -110,6 +110,68 @@ TEST(CheckpointManifestTest, FileNamesEncodeShardAndSeq) {
   EXPECT_EQ(CheckpointShardFileName(0, 1), "shard-0-ck1.snap");
   EXPECT_EQ(CheckpointShardFileName(3, 12), "shard-3-ck12.snap");
   EXPECT_EQ(CheckpointManifestFileName(7), "manifest-7.ck");
+  EXPECT_EQ(CheckpointQueriesFileName(5), "queries-ck5.qry");
+}
+
+TEST(CheckpointManifestTest, RoundTripCarriesQueryRegistryEntry) {
+  CheckpointManifest manifest;
+  manifest.seq = 9;
+  manifest.num_streams = 2;
+  manifest.num_shards = 1;
+  manifest.shards = {{"shard-0-ck9.snap", 4, 80, 0x1111ULL}};
+  manifest.queries_file = "queries-ck9.qry";
+  manifest.queries_checksum = 0x2222ULL;
+  Result<CheckpointManifest> parsed =
+      ParseManifest(SerializeManifest(manifest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().queries_file, "queries-ck9.qry");
+  EXPECT_EQ(parsed.value().queries_checksum, 0x2222ULL);
+}
+
+// Manifests written before the query subsystem existed (version 1: shard
+// entries only) must still parse; they restore with an empty registry.
+TEST(CheckpointManifestTest, ParsesVersion1ManifestsWithoutQueries) {
+  Writer payload;
+  payload.U64(7);     // seq
+  payload.U64(2);     // num_streams
+  payload.U64(1);     // num_shards
+  payload.U64(1024);  // queue_capacity
+  payload.U64(8);     // max_producers
+  payload.U64(256);   // max_batch
+  payload.U8(0);      // overload
+  payload.U64(1);     // shard entries
+  const std::string file = "shard-0-ck7.snap";
+  payload.U64(file.size());
+  payload.Bytes(file.data(), file.size());
+  payload.U64(3);      // epoch
+  payload.U64(99);     // appended
+  payload.U64(0xabc);  // checksum
+
+  Writer envelope;
+  const char magic[4] = {'S', 'D', 'M', 'F'};
+  envelope.Bytes(magic, sizeof(magic));
+  envelope.U32(1);  // the pre-query manifest version
+  envelope.U64(Fnv1a(payload.buffer()));
+  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
+
+  Result<CheckpointManifest> parsed =
+      ParseManifest(std::move(envelope.TakeBuffer()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().seq, 7u);
+  ASSERT_EQ(parsed.value().shards.size(), 1u);
+  EXPECT_EQ(parsed.value().shards[0].file, "shard-0-ck7.snap");
+  EXPECT_TRUE(parsed.value().queries_file.empty());
+  EXPECT_EQ(parsed.value().queries_checksum, 0u);
+}
+
+TEST(CheckpointManifestTest, RejectsEscapingQueriesFileName) {
+  CheckpointManifest manifest;
+  manifest.seq = 1;
+  manifest.num_streams = 1;
+  manifest.num_shards = 1;
+  manifest.shards = {{"shard-0-ck1.snap", 1, 1, 1}};
+  manifest.queries_file = "../queries-ck1.qry";
+  EXPECT_FALSE(ParseManifest(SerializeManifest(manifest)).ok());
 }
 
 TEST(CheckpointManifestTest, RoundTrip) {
@@ -395,6 +457,43 @@ TEST(CheckpointCrashTest, CorruptNewestCheckpointFallsBack) {
   }
 }
 
+// The query-registry file is covered by the same checksum discipline as
+// the shard files: corrupting it invalidates the whole checkpoint and
+// recovery falls back to the previous one.
+TEST(CheckpointCrashTest, CorruptQueriesFileFallsBack) {
+  const std::string dir = FreshDir("ck_corrupt_queries");
+  auto engine = MakeEngine(4, 2);
+  ASSERT_NE(engine, nullptr);
+  ASSERT_TRUE(engine->RegisterQuery(QuerySpec::Aggregate(10, 5.0)).ok());
+  auto sources = Sources(4, 4800);
+  Feed(engine.get(), &sources, 500);
+  ASSERT_TRUE(engine->Checkpoint(dir).ok());
+  auto reference = MakeEngine(4, 2, dir);
+  ASSERT_NE(reference, nullptr);
+  EXPECT_EQ(reference->queries().size(), 1u);
+  Feed(engine.get(), &sources, 400);
+  ASSERT_TRUE(engine->Checkpoint(dir).ok());
+
+  {
+    const fs::path path = fs::path(dir) / "queries-ck2.qry";
+    ASSERT_TRUE(fs::exists(path));
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    char c = 0;
+    f.seekg(4);
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x5a);
+    f.seekp(4);
+    f.write(&c, 1);
+  }
+  Result<CheckpointManifest> found = FindLatestValidCheckpoint(dir);
+  ASSERT_TRUE(found.ok()) << found.status().ToString();
+  EXPECT_EQ(found.value().seq, 1u);
+  auto recovered = MakeEngine(4, 2, dir);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->queries().size(), 1u);
+  ExpectSameAnswers(*reference, *recovered);
+}
+
 TEST(CheckpointGcTest, KeepsCurrentAndPreviousDropsOlderAndTmp) {
   const std::string dir = FreshDir("ck_gc");
   auto engine = MakeEngine(2, 1);
@@ -413,8 +512,11 @@ TEST(CheckpointGcTest, KeepsCurrentAndPreviousDropsOlderAndTmp) {
   EXPECT_FALSE(fs::exists(fs::path(dir) / "shard-0-ck9.snap.tmp"));
   EXPECT_FALSE(fs::exists(fs::path(dir) / "manifest-1.ck"));
   EXPECT_FALSE(fs::exists(fs::path(dir) / "shard-0-ck1.snap"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "queries-ck1.qry"));
   EXPECT_TRUE(fs::exists(fs::path(dir) / "manifest-2.ck"));
   EXPECT_TRUE(fs::exists(fs::path(dir) / "manifest-3.ck"));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "queries-ck2.qry"));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "queries-ck3.qry"));
   Result<CheckpointManifest> found = FindLatestValidCheckpoint(dir);
   ASSERT_TRUE(found.ok());
   EXPECT_EQ(found.value().seq, 3u);

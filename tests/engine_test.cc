@@ -55,6 +55,24 @@ TEST(IngestEngineTest, ShardCountIsCappedAtStreamCount) {
   EXPECT_EQ(engine->num_windows(), 3u);
 }
 
+// Regression for the shape accessors: num_windows() indexes shards_[0]
+// and ShardOf() takes stream modulo the shard count, both of which were
+// undefined on an (hypothetically) shardless engine. They are now guarded
+// with SD_CHECK/SD_DCHECK; this pins the behavior on the smallest engine
+// Create can produce.
+TEST(IngestEngineTest, MinimalEngineShapeAccessorsAreSafe) {
+  EngineConfig config;
+  config.num_shards = 1;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 1, config))
+                    .value();
+  EXPECT_EQ(engine->num_shards(), 1u);
+  EXPECT_EQ(engine->num_streams(), 1u);
+  EXPECT_EQ(engine->num_windows(), 3u);
+  EXPECT_EQ(engine->ShardOf(0), 0u);
+  ASSERT_TRUE(engine->Stop().ok());
+}
+
 // The core acceptance property: a 1-shard engine fed by one producer is
 // bit-for-bit the same computation as a direct FleetAggregateMonitor
 // replay of the same sequence.
