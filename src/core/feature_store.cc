@@ -1,0 +1,229 @@
+#include "core/feature_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stardust {
+
+namespace {
+
+/// Ring slot never written yet.
+constexpr std::uint64_t kNoTime = ~static_cast<std::uint64_t>(0);
+
+}  // namespace
+
+FeatureStore::FeatureStore(std::size_t num_streams, std::size_t capacity)
+    : num_streams_(num_streams), capacity_(capacity) {
+  SD_CHECK(num_streams_ > 0);
+  SD_CHECK(capacity_ > 0);
+}
+
+FeatureStore::Slab FeatureStore::MakeSlab(const LevelSpec& spec) const {
+  SD_CHECK(spec.window > 0 && spec.dims > 0);
+  Slab slab;
+  slab.spec = spec;
+  slab.times.assign(num_streams_ * capacity_, kNoTime);
+  slab.features.assign(num_streams_ * capacity_ * spec.dims, 0.0);
+  slab.znormed.assign(num_streams_ * capacity_ * spec.window, 0.0);
+  slab.means.assign(num_streams_ * capacity_, 0.0);
+  slab.norms.assign(num_streams_ * capacity_, 0.0);
+  slab.heads.assign(num_streams_, 0);
+  slab.counts.assign(num_streams_, 0);
+  return slab;
+}
+
+void FeatureStore::SetLevels(const std::vector<LevelSpec>& levels) {
+  std::vector<Slab> next;
+  next.reserve(levels.size());
+  for (const LevelSpec& spec : levels) {
+    Slab* kept = nullptr;
+    for (Slab& slab : slabs_) {
+      if (slab.spec.level == spec.level && slab.spec.window == spec.window &&
+          slab.spec.dims == spec.dims) {
+        kept = &slab;
+        break;
+      }
+    }
+    next.push_back(kept != nullptr ? std::move(*kept) : MakeSlab(spec));
+    if (kept != nullptr) {
+      // Leave a moved-from marker so a duplicate spec cannot steal twice.
+      kept->spec.window = 0;
+    }
+  }
+  slabs_ = std::move(next);
+  specs_ = levels;
+}
+
+const FeatureStore::Slab* FeatureStore::FindSlab(std::size_t level) const {
+  for (const Slab& slab : slabs_) {
+    if (slab.spec.level == level) return &slab;
+  }
+  return nullptr;
+}
+
+bool FeatureStore::has_level(std::size_t level) const {
+  return FindSlab(level) != nullptr;
+}
+
+void FeatureStore::Put(std::size_t level, StreamId stream,
+                       std::uint64_t time, const double* feature,
+                       const double* znormed, double mean, double norm2) {
+  Slab* slab = const_cast<Slab*>(FindSlab(level));
+  SD_CHECK(slab != nullptr);
+  SD_CHECK(stream < num_streams_);
+  SD_CHECK(time != kNoTime);
+  const std::size_t slot =
+      stream * capacity_ + slab->heads[stream];
+  SD_DCHECK(slab->counts[stream] == 0 ||
+            slab->times[stream * capacity_ +
+                        (slab->heads[stream] + capacity_ - 1) % capacity_] <
+                time);
+  slab->times[slot] = time;
+  std::memcpy(&slab->features[slot * slab->spec.dims], feature,
+              slab->spec.dims * sizeof(double));
+  std::memcpy(&slab->znormed[slot * slab->spec.window], znormed,
+              slab->spec.window * sizeof(double));
+  slab->means[slot] = mean;
+  slab->norms[slot] = norm2;
+  slab->heads[stream] =
+      static_cast<std::uint32_t>((slab->heads[stream] + 1) % capacity_);
+  slab->counts[stream] = static_cast<std::uint32_t>(
+      std::min<std::size_t>(slab->counts[stream] + 1, capacity_));
+  ++puts_;
+}
+
+bool FeatureStore::Find(std::size_t level, StreamId stream,
+                        std::uint64_t time, View* out) const {
+  const Slab* slab = FindSlab(level);
+  if (slab == nullptr || stream >= num_streams_) {
+    ++misses_;
+    return false;
+  }
+  const std::size_t count = slab->counts[stream];
+  // Newest first: correlator rounds chase the freshest aligned time.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t ring =
+        (slab->heads[stream] + capacity_ - 1 - i) % capacity_;
+    const std::size_t slot = stream * capacity_ + ring;
+    if (slab->times[slot] != time) continue;
+    if (out != nullptr) {
+      out->time = time;
+      out->feature = &slab->features[slot * slab->spec.dims];
+      out->znormed = &slab->znormed[slot * slab->spec.window];
+      out->dims = slab->spec.dims;
+      out->window = slab->spec.window;
+      out->mean = slab->means[slot];
+      out->norm2 = slab->norms[slot];
+    }
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  return false;
+}
+
+bool FeatureStore::Latest(std::size_t level, StreamId stream,
+                          std::uint64_t* time) const {
+  const Slab* slab = FindSlab(level);
+  if (slab == nullptr || stream >= num_streams_) return false;
+  if (slab->counts[stream] == 0) return false;
+  const std::size_t ring = (slab->heads[stream] + capacity_ - 1) % capacity_;
+  if (time != nullptr) *time = slab->times[stream * capacity_ + ring];
+  return true;
+}
+
+void FeatureStore::Clear() {
+  for (Slab& slab : slabs_) {
+    std::fill(slab.times.begin(), slab.times.end(), kNoTime);
+    std::fill(slab.heads.begin(), slab.heads.end(), 0);
+    std::fill(slab.counts.begin(), slab.counts.end(), 0);
+  }
+}
+
+void FeatureStore::SaveTo(Writer* writer) const {
+  writer->U64(num_streams_);
+  writer->U64(capacity_);
+  writer->U64(epoch_);
+  writer->U64(puts_);
+  writer->U64(slabs_.size());
+  for (const Slab& slab : slabs_) {
+    writer->U64(slab.spec.level);
+    writer->U64(slab.spec.window);
+    writer->U64(slab.spec.dims);
+    for (std::uint64_t t : slab.times) writer->U64(t);
+    for (double v : slab.features) writer->F64(v);
+    for (double v : slab.znormed) writer->F64(v);
+    for (double v : slab.means) writer->F64(v);
+    for (double v : slab.norms) writer->F64(v);
+    for (std::uint32_t h : slab.heads) writer->U32(h);
+    for (std::uint32_t c : slab.counts) writer->U32(c);
+  }
+}
+
+Status FeatureStore::RestoreFrom(Reader* reader) {
+  std::uint64_t num_streams = 0, capacity = 0, epoch = 0, puts = 0;
+  SD_RETURN_NOT_OK(reader->U64(&num_streams));
+  SD_RETURN_NOT_OK(reader->U64(&capacity));
+  if (num_streams != num_streams_ || capacity != capacity_) {
+    return Status::InvalidArgument("feature store shape mismatch");
+  }
+  SD_RETURN_NOT_OK(reader->U64(&epoch));
+  SD_RETURN_NOT_OK(reader->U64(&puts));
+  std::uint64_t num_slabs = 0;
+  SD_RETURN_NOT_OK(reader->U64(&num_slabs));
+  // Every slab carries at least its spec plus one u64 per ring slot.
+  if (num_slabs * 24 > reader->remaining()) {
+    return Status::InvalidArgument("feature store slab count corrupt");
+  }
+  std::vector<LevelSpec> specs;
+  std::vector<Slab> slabs;
+  specs.reserve(num_slabs);
+  slabs.reserve(num_slabs);
+  for (std::uint64_t i = 0; i < num_slabs; ++i) {
+    LevelSpec spec;
+    std::uint64_t level = 0, window = 0, dims = 0;
+    SD_RETURN_NOT_OK(reader->U64(&level));
+    SD_RETURN_NOT_OK(reader->U64(&window));
+    SD_RETURN_NOT_OK(reader->U64(&dims));
+    if (window == 0 || dims == 0) {
+      return Status::InvalidArgument("feature store slab spec corrupt");
+    }
+    // The znormed column alone needs streams·capacity·window doubles.
+    if (num_streams_ * capacity_ * window * 8 > reader->remaining()) {
+      return Status::InvalidArgument("feature store slab truncated");
+    }
+    spec.level = static_cast<std::size_t>(level);
+    spec.window = static_cast<std::size_t>(window);
+    spec.dims = static_cast<std::size_t>(dims);
+    Slab slab = MakeSlab(spec);
+    for (std::uint64_t& t : slab.times) SD_RETURN_NOT_OK(reader->U64(&t));
+    for (double& v : slab.features) SD_RETURN_NOT_OK(reader->F64(&v));
+    for (double& v : slab.znormed) SD_RETURN_NOT_OK(reader->F64(&v));
+    for (double& v : slab.means) SD_RETURN_NOT_OK(reader->F64(&v));
+    for (double& v : slab.norms) SD_RETURN_NOT_OK(reader->F64(&v));
+    for (std::uint32_t& h : slab.heads) {
+      SD_RETURN_NOT_OK(reader->U32(&h));
+      if (h >= capacity_) {
+        return Status::InvalidArgument("feature store head out of range");
+      }
+    }
+    for (std::uint32_t& c : slab.counts) {
+      SD_RETURN_NOT_OK(reader->U32(&c));
+      if (c > capacity_) {
+        return Status::InvalidArgument("feature store count out of range");
+      }
+    }
+    specs.push_back(spec);
+    slabs.push_back(std::move(slab));
+  }
+  specs_ = std::move(specs);
+  slabs_ = std::move(slabs);
+  epoch_ = epoch;
+  puts_ = puts;
+  return Status::OK();
+}
+
+}  // namespace stardust

@@ -28,37 +28,34 @@ double TotalBudget(const StardustConfig& config, std::size_t query_len,
 }  // namespace
 
 void PatternQueryEngine::VerifyPositions(
-    const std::vector<double>& query, double radius,
+    const std::vector<double>& query_norm, double radius,
     std::vector<std::pair<StreamId, std::uint64_t>>* positions,
     PatternResult* result) const {
   std::sort(positions->begin(), positions->end());
   positions->erase(std::unique(positions->begin(), positions->end()),
                    positions->end());
   const StardustConfig& config = core_.config();
-  const std::vector<double> query_norm =
-      NormalizeWindow(query, config.normalization, config.r_max);
   const double r2 = radius * radius;
   std::vector<double> window;
   for (const auto& [stream, end_time] : *positions) {
-    const Status st =
-        core_.summarizer(stream).GetWindow(end_time, query.size(), &window);
+    const Status st = core_.summarizer(stream).GetWindow(
+        end_time, query_norm.size(), &window);
     if (!st.ok()) {
       ++result->unverifiable;
       continue;
     }
     ++result->candidates;
-    const std::vector<double> window_norm =
-        NormalizeWindow(window, config.normalization, config.r_max);
-    const double d2 = Dist2(query_norm, window_norm);
+    NormalizeWindowInPlace(&window, config.normalization, config.r_max);
+    const double d2 = Dist2(query_norm, window);
     if (d2 <= r2) {
       result->matches.push_back({stream, end_time, std::sqrt(d2)});
     }
   }
 }
 
-Result<PatternResult> PatternQueryEngine::QueryOnline(
-    const std::vector<double>& query, double radius) const {
-  const StardustConfig& config = core_.config();
+Result<CompiledPatternQuery> CompilePatternQuery(
+    const StardustConfig& config, const std::vector<double>& query,
+    double radius) {
   if (config.transform != TransformKind::kDwt || !config.index_features) {
     return Status::FailedPrecondition(
         "pattern queries require an indexed DWT configuration");
@@ -80,16 +77,16 @@ Result<PatternResult> PatternQueryEngine::QueryOnline(
         "query longer than the largest indexed resolution");
   }
 
+  CompiledPatternQuery compiled;
+  compiled.query = query;
+  compiled.query_norm =
+      NormalizeWindow(query, config.normalization, config.r_max);
+  compiled.radius = radius;
+  compiled.total_budget = TotalBudget(config, query.size(), radius);
+
   // Partition the query by the ones of b, most recent piece first
   // (Algorithm 3 / Figure 2). piece[i] = (level, feature of the piece,
   // offset from the query end to the piece's end).
-  struct Piece {
-    std::size_t level;
-    Point feature;
-    std::size_t offset;  // distance from query end to piece end
-    double scale;        // budget scale of this piece's window length
-  };
-  std::vector<Piece> pieces;
   std::size_t offset = 0;
   for (std::size_t j = 0; j < config.num_levels; ++j) {
     if (((b >> j) & 1) == 0) continue;
@@ -99,14 +96,40 @@ Result<PatternResult> PatternQueryEngine::QueryOnline(
                               query.begin() + piece_end);
     const std::vector<double> normalized =
         NormalizeWindow(piece, config.normalization, config.r_max);
-    pieces.push_back(
+    compiled.pieces.push_back(
         {j, DwtFeature(normalized, config.coefficients), offset,
          BudgetScale(config, w)});
     offset += w;
   }
   SD_DCHECK(offset == query.size());
+  return compiled;
+}
 
-  const double total_budget = TotalBudget(config, query.size(), radius);
+Result<PatternResult> PatternQueryEngine::QueryOnline(
+    const std::vector<double>& query, double radius) const {
+  Result<CompiledPatternQuery> compiled =
+      CompilePatternQuery(core_.config(), query, radius);
+  if (!compiled.ok()) return compiled.status();
+  return QueryCompiled(compiled.value());
+}
+
+Result<PatternResult> PatternQueryEngine::QueryCompiled(
+    const CompiledPatternQuery& compiled) const {
+  const StardustConfig& config = core_.config();
+  if (config.transform != TransformKind::kDwt || !config.index_features ||
+      config.update_period != 1 ||
+      config.update_schedule != UpdateSchedule::kUniform) {
+    return Status::FailedPrecondition(
+        "QueryCompiled requires the online algorithm (uniform T == 1)");
+  }
+  if (compiled.pieces.empty() ||
+      compiled.pieces.back().level >= config.num_levels) {
+    return Status::FailedPrecondition(
+        "compiled query does not match this configuration");
+  }
+  const double total_budget = compiled.total_budget;
+  using Piece = CompiledPatternQuery::Piece;
+  const std::vector<Piece>& pieces = compiled.pieces;
 
   // Seed candidates with a range query at the first piece's level.
   const Piece& first = pieces.front();
@@ -192,7 +215,7 @@ Result<PatternResult> PatternQueryEngine::QueryOnline(
     }
   }
   PatternResult result;
-  VerifyPositions(query, radius, &positions, &result);
+  VerifyPositions(compiled.query_norm, compiled.radius, &positions, &result);
   return result;
 }
 
@@ -363,7 +386,9 @@ Result<PatternResult> PatternQueryEngine::QueryBatch(
   }
 
   PatternResult result;
-  VerifyPositions(query, radius, &refined, &result);
+  const std::vector<double> query_norm =
+      NormalizeWindow(query, config.normalization, config.r_max);
+  VerifyPositions(query_norm, radius, &refined, &result);
   return result;
 }
 

@@ -61,6 +61,34 @@ struct PatternResult {
   }
 };
 
+/// An online pattern query preprocessed for repeated execution: the
+/// per-query work of Algorithm 3 that does not depend on stream state —
+/// the decomposition of |Q|/W into pieces with their DWT features,
+/// offsets, and unnormalized budget scales, plus the normalized query for
+/// exact verification. Compiled once per registered query by the plan
+/// compiler (query/eval_plan) and executed per batch via QueryCompiled.
+struct CompiledPatternQuery {
+  struct Piece {
+    std::size_t level = 0;
+    Point feature;
+    std::size_t offset = 0;  // distance from query end to piece end
+    double scale = 0.0;      // unnormalized-budget scale of the length
+  };
+  std::vector<double> query;       // raw query values
+  std::vector<double> query_norm;  // normalized per the config
+  double radius = 0.0;
+  double total_budget = 0.0;  // r² in unnormalized squared distance
+  std::vector<Piece> pieces;  // most recent piece first
+};
+
+/// Validates and preprocesses an online pattern query against `config`
+/// (same preconditions and error messages as QueryOnline): requires a
+/// uniform T == 1 indexed DWT configuration, radius >= 0, and |query| a
+/// positive multiple of W with |Q|/W < 2^num_levels.
+Result<CompiledPatternQuery> CompilePatternQuery(
+    const StardustConfig& config, const std::vector<double>& query,
+    double radius);
+
 /// Pattern search over a Stardust instance (configured with the DWT
 /// transform, unit-sphere normalization and index_features).
 class PatternQueryEngine {
@@ -69,8 +97,14 @@ class PatternQueryEngine {
 
   /// Algorithm 3. Requires an online configuration (update_period == 1).
   /// |query| must be a positive multiple of W with |Q|/W < 2^num_levels.
+  /// Equivalent to CompilePatternQuery + QueryCompiled.
   Result<PatternResult> QueryOnline(const std::vector<double>& query,
                                     double radius) const;
+
+  /// Algorithm 3 on a precompiled query. `compiled` must have been built
+  /// by CompilePatternQuery against this core's configuration.
+  Result<PatternResult> QueryCompiled(
+      const CompiledPatternQuery& compiled) const;
 
   /// Algorithm 4. Requires a batch configuration (update_period == W,
   /// box_capacity == 1) and |query| >= 2W - 1.
@@ -96,8 +130,9 @@ class PatternQueryEngine {
     double budget = 0.0;  // remaining unnormalized squared distance
   };
 
-  /// Exact-checks distinct (stream, end) positions; fills `result`.
-  void VerifyPositions(const std::vector<double>& query, double radius,
+  /// Exact-checks distinct (stream, end) positions against the already
+  /// normalized query; fills `result`.
+  void VerifyPositions(const std::vector<double>& query_norm, double radius,
                        std::vector<std::pair<StreamId, std::uint64_t>>*
                            positions,
                        PatternResult* result) const;

@@ -6,12 +6,11 @@
 
 namespace stardust {
 
-std::vector<double> LowpassDownsample(const std::vector<double>& in,
-                                      const WaveletFilter& filter) {
-  SD_CHECK(!in.empty() && in.size() % 2 == 0);
-  const std::size_t n = in.size();
+void LowpassDownsampleSpan(const double* in, std::size_t n,
+                           const WaveletFilter& filter, double* out) {
+  SD_CHECK(in != nullptr && out != nullptr);
+  SD_CHECK(n > 0 && n % 2 == 0);
   const std::size_t half = n / 2;
-  std::vector<double> out(half, 0.0);
   for (std::size_t k = 0; k < half; ++k) {
     double acc = 0.0;
     for (std::size_t m = 0; m < filter.lowpass.size(); ++m) {
@@ -19,17 +18,21 @@ std::vector<double> LowpassDownsample(const std::vector<double>& in,
     }
     out[k] = acc;
   }
+}
+
+std::vector<double> LowpassDownsample(const std::vector<double>& in,
+                                      const WaveletFilter& filter) {
+  SD_CHECK(!in.empty() && in.size() % 2 == 0);
+  std::vector<double> out(in.size() / 2, 0.0);
+  LowpassDownsampleSpan(in.data(), in.size(), filter, out.data());
   return out;
 }
 
-std::vector<double> MergeHalvesHaar(const std::vector<double>& left,
-                                    const std::vector<double>& right,
-                                    double rescale) {
-  SD_CHECK(left.size() == right.size());
-  SD_CHECK(!left.empty());
-  const std::size_t f = left.size();
+void MergeHalvesHaarSpan(const double* left, const double* right,
+                         std::size_t f, double rescale, double* out) {
+  SD_CHECK(left != nullptr && right != nullptr && out != nullptr);
+  SD_CHECK(f > 0);
   const double scale = rescale / std::sqrt(2.0);
-  std::vector<double> out(f);
   // Concatenated vector c = [left | right]; Haar low-pass pairs c[2k],
   // c[2k+1]. Avoid materializing c.
   auto at = [&](std::size_t i) -> double {
@@ -38,6 +41,16 @@ std::vector<double> MergeHalvesHaar(const std::vector<double>& left,
   for (std::size_t k = 0; k < f; ++k) {
     out[k] = (at(2 * k) + at(2 * k + 1)) * scale;
   }
+}
+
+std::vector<double> MergeHalvesHaar(const std::vector<double>& left,
+                                    const std::vector<double>& right,
+                                    double rescale) {
+  SD_CHECK(left.size() == right.size());
+  SD_CHECK(!left.empty());
+  std::vector<double> out(left.size());
+  MergeHalvesHaarSpan(left.data(), right.data(), left.size(), rescale,
+                      out.data());
   return out;
 }
 

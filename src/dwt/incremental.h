@@ -23,6 +23,19 @@ namespace stardust {
 std::vector<double> LowpassDownsample(const std::vector<double>& in,
                                       const WaveletFilter& filter);
 
+/// Allocation-free span form of LowpassDownsample: reads `n` values at
+/// `in` (n even, > 0) and writes n / 2 values to `out`. `out` must not
+/// alias `in`.
+void LowpassDownsampleSpan(const double* in, std::size_t n,
+                           const WaveletFilter& filter, double* out);
+
+/// Allocation-free span form of MergeHalvesHaar for batch callers
+/// (core/summarizer, engine/feature_pipeline) that keep features in flat
+/// buffers: merges the two length-f halves into `out` (length f), scaled
+/// by `rescale`. `out` must not alias either input.
+void MergeHalvesHaarSpan(const double* left, const double* right,
+                         std::size_t f, double rescale, double* out);
+
 /// Lemma A.1 for Haar: merges the approximation vectors of the two halves
 /// of a window into the approximation vector of the whole window at the
 /// same output length f. `left` and `right` must have equal size f.

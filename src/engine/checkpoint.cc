@@ -15,8 +15,10 @@ namespace {
 
 constexpr char kManifestMagic[4] = {'S', 'D', 'M', 'F'};
 /// v1: shard entries only. v2 appends the query-registry file entry.
-/// Both parse; a v1 manifest restores with an empty registry.
-constexpr std::uint32_t kManifestVersion = 2;
+/// v3 appends the per-shard feature-pipeline file entries. All parse; a
+/// v1 manifest restores with an empty registry, and anything below v3
+/// restores with empty query cores (the pre-v3 behavior).
+constexpr std::uint32_t kManifestVersion = 3;
 constexpr std::uint32_t kMinManifestVersion = 1;
 /// Lower bound on one serialized shard entry (name length + epoch +
 /// appended + checksum); bounds the declared shard count against the
@@ -25,7 +27,8 @@ constexpr std::uint64_t kMinShardEntryBytes = 32;
 constexpr std::uint64_t kMaxFileNameBytes = 4096;
 
 /// Extracts the sequence number from `manifest-<seq>.ck`,
-/// `shard-<i>-ck<seq>.snap`, or `queries-ck<seq>.qry`; false otherwise.
+/// `shard-<i>-ck<seq>.snap`, `features-<i>-ck<seq>.feat`, or
+/// `queries-ck<seq>.qry`; false otherwise.
 bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
   std::string digits;
   if (name.rfind("manifest-", 0) == 0 && name.size() > 12 &&
@@ -33,6 +36,11 @@ bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
     digits = name.substr(9, name.size() - 12);
   } else if (name.rfind("shard-", 0) == 0 && name.size() > 5 &&
              name.compare(name.size() - 5, 5, ".snap") == 0) {
+    const std::size_t ck = name.rfind("-ck");
+    if (ck == std::string::npos) return false;
+    digits = name.substr(ck + 3, name.size() - ck - 8);
+  } else if (name.rfind("features-", 0) == 0 && name.size() > 5 &&
+             name.compare(name.size() - 5, 5, ".feat") == 0) {
     const std::size_t ck = name.rfind("-ck");
     if (ck == std::string::npos) return false;
     digits = name.substr(ck + 3, name.size() - ck - 8);
@@ -81,6 +89,12 @@ std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq) {
          ".snap";
 }
 
+std::string CheckpointFeaturesFileName(std::size_t shard,
+                                       std::uint64_t seq) {
+  return "features-" + std::to_string(shard) + "-ck" + std::to_string(seq) +
+         ".feat";
+}
+
 std::string CheckpointQueriesFileName(std::uint64_t seq) {
   return "queries-ck" + std::to_string(seq) + ".qry";
 }
@@ -109,6 +123,12 @@ std::string SerializeManifest(const CheckpointManifest& manifest) {
   payload.U64(manifest.queries_file.size());
   payload.Bytes(manifest.queries_file.data(), manifest.queries_file.size());
   payload.U64(manifest.queries_checksum);
+  payload.U64(manifest.features.size());
+  for (const CheckpointFeatureEntry& entry : manifest.features) {
+    payload.U64(entry.file.size());
+    payload.Bytes(entry.file.data(), entry.file.size());
+    payload.U64(entry.checksum);
+  }
 
   Writer envelope;
   envelope.Bytes(kManifestMagic, sizeof(kManifestMagic));
@@ -177,6 +197,24 @@ Result<CheckpointManifest> ParseManifest(const std::string& bytes) {
     SD_RETURN_NOT_OK(ReadFileName(&reader, &manifest.queries_file));
     SD_RETURN_NOT_OK(reader.U64(&manifest.queries_checksum));
   }
+  if (version >= 3) {
+    std::uint64_t num_features = 0;
+    SD_RETURN_NOT_OK(reader.U64(&num_features));
+    // Each entry is at least a name length plus a checksum.
+    if (num_features > reader.remaining() / 16) {
+      return Status::InvalidArgument(
+          "manifest feature entry count out of range");
+    }
+    if (num_features != 0 && num_features != manifest.num_shards) {
+      return Status::InvalidArgument(
+          "manifest feature entry count disagrees with shard count");
+    }
+    manifest.features.resize(num_features);
+    for (CheckpointFeatureEntry& entry : manifest.features) {
+      SD_RETURN_NOT_OK(ReadFileName(&reader, &entry.file));
+      SD_RETURN_NOT_OK(reader.U64(&entry.checksum));
+    }
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("manifest has trailing bytes");
   }
@@ -229,6 +267,20 @@ Result<CheckpointManifest> FindLatestValidCheckpoint(const std::string& dir) {
             entry.file + " missing or corrupt");
         complete = false;
         break;
+      }
+    }
+    if (complete) {
+      for (const CheckpointFeatureEntry& entry : manifest.features) {
+        Result<std::string> feature_bytes =
+            ReadFileToString((fs::path(dir) / entry.file).string());
+        if (!feature_bytes.ok() ||
+            Fnv1a(feature_bytes.value()) != entry.checksum) {
+          last_error = Status::InvalidArgument(
+              "checkpoint " + std::to_string(seq) + " feature file " +
+              entry.file + " missing or corrupt");
+          complete = false;
+          break;
+        }
       }
     }
     if (complete && !manifest.queries_file.empty()) {

@@ -1,7 +1,9 @@
 // Crash-safe checkpoint layout of the ingestion engine.
 //
 // A checkpoint is one epoch-stamped v2 fleet snapshot per shard
-// (`shard-<i>-ck<seq>.snap`), an optional serialized query registry
+// (`shard-<i>-ck<seq>.snap`), one feature-pipeline snapshot per shard
+// (`features-<i>-ck<seq>.feat`, manifest v3 — the query cores and the
+// feature store), an optional serialized query registry
 // (`queries-ck<seq>.qry`, manifest v2), plus a checksummed manifest
 // (`manifest-<seq>.ck`) naming them, all written atomically
 // (common/atomic_file.h) with the manifest last. Because the manifest is
@@ -9,9 +11,11 @@
 // previous manifest — and the complete files it references — untouched.
 // Recovery walks the manifests newest-first and restores from the first
 // one whose own checksum and every referenced file verify; partial or
-// corrupt checkpoints are skipped, never half-loaded. Manifest v1 (no
-// registry) stays loadable: restore simply starts with an empty registry.
-// docs/ENGINE.md documents the format and guarantees.
+// corrupt checkpoints are skipped, never half-loaded. Older manifest
+// versions stay loadable: a v1 manifest restores with an empty registry,
+// and a v1/v2 manifest (no feature files) restores with empty query
+// cores that warm up as tuples flow. docs/ENGINE.md and docs/FEATURES.md
+// document the format and guarantees.
 #ifndef STARDUST_ENGINE_CHECKPOINT_H_
 #define STARDUST_ENGINE_CHECKPOINT_H_
 
@@ -35,6 +39,14 @@ struct CheckpointShardEntry {
   std::uint64_t checksum = 0;
 };
 
+/// One shard's feature-pipeline snapshot in a checkpoint manifest (v3).
+struct CheckpointFeatureEntry {
+  /// Snapshot filename, relative to the checkpoint directory.
+  std::string file;
+  /// FNV-1a checksum of the complete feature snapshot file.
+  std::uint64_t checksum = 0;
+};
+
 /// The manifest committed (atomically, last) by IngestEngine::Checkpoint.
 struct CheckpointManifest {
   /// Checkpoint sequence number, monotonic per engine lineage.
@@ -54,10 +66,15 @@ struct CheckpointManifest {
   /// v1 manifest or an engine whose registry was empty.
   std::string queries_file;
   std::uint64_t queries_checksum = 0;
+  /// Per-shard feature pipeline snapshots (FeaturePipeline::Serialize),
+  /// manifest v3. Either empty (older manifest: query cores restore
+  /// empty) or exactly one entry per shard, in shard order.
+  std::vector<CheckpointFeatureEntry> features;
 };
 
 /// Canonical file names within a checkpoint directory.
 std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq);
+std::string CheckpointFeaturesFileName(std::size_t shard, std::uint64_t seq);
 std::string CheckpointQueriesFileName(std::uint64_t seq);
 std::string CheckpointManifestFileName(std::uint64_t seq);
 

@@ -65,6 +65,7 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
 
   std::unique_ptr<IngestEngine> engine(
       new IngestEngine(engine_config, num_streams));
+  engine->core_config_ = config;
   engine->registry_ =
       std::make_unique<QueryRegistry>(config, engine_config.query);
   engine->alert_bus_ = std::make_unique<AlertBus>(
@@ -112,8 +113,8 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
       fleet = std::move(created).value();
     }
     // The query cores are per-shard Stardust instances over the same
-    // local streams; they always start empty (they are not checkpointed)
-    // and warm up as tuples flow.
+    // local streams, owned by the shard's feature pipeline together with
+    // the shared feature store.
     std::unique_ptr<Stardust> pattern_core;
     if (engine_config.query.enable_patterns) {
       Result<std::unique_ptr<Stardust>> core =
@@ -134,15 +135,29 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
         corr_core->AddStream();
       }
     }
+    auto pipeline = std::make_unique<FeaturePipeline>(
+        std::move(pattern_core), std::move(corr_core), local_streams);
     engine->shards_.push_back(std::make_unique<Shard>(
         s, num_shards, engine_config.max_producers,
         engine_config.queue_capacity, engine_config.overload,
-        engine_config.max_batch, std::move(fleet), std::move(pattern_core),
-        std::move(corr_core), engine->registry_.get(),
-        engine->alert_bus_.get(), engine->metrics_.get()));
+        engine_config.max_batch, std::move(fleet), std::move(pipeline),
+        engine->registry_.get(), engine->alert_bus_.get(),
+        engine->metrics_.get()));
     if (restoring) {
       engine->shards_.back()->RestoreProgress(manifest.shards[s].epoch,
                                               manifest.shards[s].appended);
+      // Manifest v3 carries the feature pipelines (query cores + feature
+      // store); pre-v3 checkpoints leave them empty and they warm up as
+      // tuples flow (the pre-v3 behavior).
+      if (!manifest.features.empty()) {
+        const std::filesystem::path features_path =
+            std::filesystem::path(restore_dir) / manifest.features[s].file;
+        Result<std::string> feature_bytes =
+            ReadFileToString(features_path.string());
+        if (!feature_bytes.ok()) return feature_bytes.status();
+        SD_RETURN_NOT_OK(
+            engine->shards_.back()->RestoreFeatures(feature_bytes.value()));
+      }
     }
   }
   SD_CHECK(!engine->shards_.empty());
@@ -332,7 +347,7 @@ std::vector<ShardMetricsSnapshot> IngestEngine::ShardMetrics() const {
 }
 
 std::string IngestEngine::MetricsJson() const {
-  return EngineMetricsJson(*metrics_, ShardMetrics());
+  return EngineMetricsJson(*metrics_, ShardMetrics(), registry_->Metrics());
 }
 
 Status IngestEngine::Checkpoint(const std::string& dir) {
@@ -359,9 +374,14 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
   // Serialize and persist shard by shard. Each SerializeState holds only
   // that shard's state mutex, so ingestion keeps flowing on every other
   // shard (and on this one, into its rings) while the checkpoint runs.
+  // The feature pipeline bytes come out of the same mutex hold as the
+  // fleet bytes, so the two files describe one point in the apply
+  // sequence.
+  manifest.features.reserve(shards_.size());
   for (const auto& shard : shards_) {
     ShardStamp stamp;
-    const std::string bytes = shard->SerializeState(&stamp);
+    std::string feature_bytes;
+    const std::string bytes = shard->SerializeState(&stamp, &feature_bytes);
     CheckpointShardEntry entry;
     entry.file = CheckpointShardFileName(shard->index(), seq);
     entry.epoch = stamp.epoch;
@@ -374,6 +394,19 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
       return written;
     }
     manifest.shards.push_back(std::move(entry));
+
+    CheckpointFeatureEntry feature_entry;
+    feature_entry.file = CheckpointFeaturesFileName(shard->index(), seq);
+    feature_entry.checksum = Fnv1a(feature_bytes);
+    const std::filesystem::path feature_path =
+        std::filesystem::path(dir) / feature_entry.file;
+    const Status feature_written =
+        AtomicWriteFile(feature_path.string(), feature_bytes);
+    if (!feature_written.ok()) {
+      metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      return feature_written;
+    }
+    manifest.features.push_back(std::move(feature_entry));
   }
 
   // The query registry rides every checkpoint (even when empty, so the
@@ -475,40 +508,54 @@ void IngestEngine::CorrelatorLoop() {
   }
 }
 
+void IngestEngine::TriggerCorrelatorRound() { RunCorrelatorRound(); }
+
 void IngestEngine::RunCorrelatorRound() {
   using Clock = std::chrono::steady_clock;
-  const std::shared_ptr<const QueryRegistry::Snapshot> snapshot =
-      registry_->snapshot();
-  // Drop rising-edge state of queries that left the registry, so the map
-  // cannot grow without bound under register/unregister churn.
-  for (auto it = corr_active_pairs_.begin();
-       it != corr_active_pairs_.end();) {
-    bool live = false;
-    for (const auto& q : snapshot->correlation) {
-      if (q->id == it->first) {
-        live = true;
-        break;
+  std::lock_guard<std::mutex> round_lock(correlator_round_mu_);
+  // The correlator consumes the same compiled-plan form as the shard
+  // workers: correlation queries grouped by resolved level, recompiled
+  // only when the registry version moves.
+  const std::uint64_t version = registry_->version();
+  if (corr_plan_ == nullptr || version != corr_plan_version_) {
+    const std::shared_ptr<const QueryRegistry::Snapshot> snapshot =
+        registry_->snapshot();
+    PlanContext ctx;
+    ctx.fleet = &core_config_;
+    ctx.pattern = config_.query.enable_patterns ? &config_.query.pattern
+                                                : nullptr;
+    ctx.correlation = config_.query.enable_correlation
+                          ? &config_.query.correlation
+                          : nullptr;
+    corr_plan_ = CompileEvalPlan(*snapshot, version, ctx);
+    corr_plan_version_ = version;
+    // Drop rising-edge state of queries that left the registry, so the
+    // map cannot grow without bound under register/unregister churn.
+    for (auto it = corr_active_pairs_.begin();
+         it != corr_active_pairs_.end();) {
+      bool live = false;
+      for (const EvalPlan::CorrelationGroup& group :
+           corr_plan_->correlation) {
+        for (const auto& q : group.queries) {
+          if (q->id == it->first) {
+            live = true;
+            break;
+          }
+        }
+        if (live) break;
       }
+      it = live ? std::next(it) : corr_active_pairs_.erase(it);
     }
-    it = live ? std::next(it) : corr_active_pairs_.erase(it);
   }
-  if (snapshot->correlation.empty()) return;
+  if (corr_plan_->correlation.empty()) return;
 
   const StardustConfig& cfg = config_.query.correlation;
-  // Queries monitoring the same level share one aligned feature gather
-  // and one round index.
-  std::unordered_map<std::size_t,
-                     std::vector<std::shared_ptr<RegisteredQuery>>>
-      by_level;
-  for (const auto& q : snapshot->correlation) {
-    const std::size_t level =
-        q->spec.level == kTopLevel ? cfg.num_levels - 1 : q->spec.level;
-    by_level[level].push_back(q);
-  }
-
   std::vector<CorrelationFeature> features;
   std::vector<RTreeEntry> hits;
-  for (auto& [level, queries] : by_level) {
+  for (const EvalPlan::CorrelationGroup& group : corr_plan_->correlation) {
+    const std::size_t level = group.level;
+    const std::vector<std::shared_ptr<RegisteredQuery>>& queries =
+        group.queries;
     // Phase 1: the round time is the slowest stream's latest feature
     // time at this level — the most recent time every started stream can
     // still serve. Streams whose window has not filled yet do not hold
@@ -542,6 +589,7 @@ void IngestEngine::RunCorrelatorRound() {
       }
     }
     metrics_->correlator_rounds.fetch_add(1, std::memory_order_relaxed);
+    corr_plan_->correlation_evals.fetch_add(1, std::memory_order_relaxed);
     if (features.size() < 2) continue;
 
     // One R*-tree over this round's features (c == 1: points), queried
@@ -555,7 +603,7 @@ void IngestEngine::RunCorrelatorRound() {
         return;
       }
     }
-    const std::size_t w = cfg.LevelWindow(level);
+    const std::size_t w = group.window;
     const std::uint64_t round =
         metrics_->correlator_rounds.load(std::memory_order_relaxed);
     for (const auto& q : queries) {
@@ -586,11 +634,14 @@ void IngestEngine::RunCorrelatorRound() {
           alert.epoch = round;
           alert.value = std::sqrt(d2);
           alert.threshold = q->spec.radius;
+          q->hits.fetch_add(1, std::memory_order_relaxed);
+          // The pair still entered the current set above, so a suppressed
+          // alert is not re-raised when the token bucket refills.
+          if (!q->AllowAlert()) continue;
           if (alert_bus_->Publish(alert).ok()) {
             metrics_->alerts_published.fetch_add(1,
                                                  std::memory_order_relaxed);
           }
-          q->hits.fetch_add(1, std::memory_order_relaxed);
         }
       }
       active = std::move(current);

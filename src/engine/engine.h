@@ -38,6 +38,7 @@
 #include "engine/metrics.h"
 #include "engine/shard.h"
 #include "query/alert_bus.h"
+#include "query/eval_plan.h"
 #include "query/registry.h"
 #include "stream/threshold.h"
 
@@ -151,14 +152,24 @@ class IngestEngine {
   /// as the commit point; a crash mid-checkpoint leaves the previous
   /// checkpoint intact. On success the directory is garbage-collected
   /// down to the current and previous checkpoints. Serialized against
-  /// itself and against the background checkpoint thread. The pattern and
-  /// correlation query cores are not checkpointed — after a restore they
-  /// warm up from empty (docs/QUERIES.md, "Checkpoint semantics").
+  /// itself and against the background checkpoint thread. Each shard's
+  /// feature pipeline (pattern and correlation query cores + feature
+  /// store) is checkpointed alongside its fleet (manifest v3, one
+  /// `features-<i>-ck<seq>.feat` per shard), taken under the same mutex
+  /// hold so both describe one point in the apply sequence; restoring a
+  /// pre-v3 checkpoint leaves the cores empty and they warm up
+  /// (docs/FEATURES.md, "Checkpoint semantics").
   Status Checkpoint(const std::string& dir);
   /// Sequence number of the last successful Checkpoint; 0 if none yet.
   std::uint64_t last_checkpoint_seq() const {
     return last_checkpoint_seq_.load(std::memory_order_acquire);
   }
+
+  /// Runs one correlator round synchronously on the caller's thread —
+  /// deterministic-replay and test support (pair with a large
+  /// QueryConfig::correlator_period_ms so the background thread stays
+  /// quiet). Serialized against the background correlator.
+  void TriggerCorrelatorRound();
 
  private:
   IngestEngine(const EngineConfig& config, std::size_t num_streams);
@@ -186,6 +197,9 @@ class IngestEngine {
   const std::uint64_t engine_id_;
   const EngineConfig config_;
   const std::size_t num_streams_;
+  /// Fleet monitors' Stardust configuration (plan compilation context
+  /// for the correlator); set once in Create.
+  StardustConfig core_config_;
   std::unique_ptr<EngineMetrics> metrics_;
   std::unique_ptr<QueryRegistry> registry_;
   std::unique_ptr<AlertBus> alert_bus_;
@@ -205,11 +219,18 @@ class IngestEngine {
   bool checkpoint_stop_ = false;
   std::thread checkpoint_thread_;
 
-  // --- Correlator state (correlator thread only, after Create) ----------
+  // --- Correlator state (guarded by correlator_round_mu_) ---------------
   std::mutex correlator_cv_mu_;
   std::condition_variable correlator_cv_;
   bool correlator_stop_ = false;
   std::thread correlator_thread_;
+  /// Serializes correlator rounds (the background thread against
+  /// TriggerCorrelatorRound) and guards the round state below.
+  std::mutex correlator_round_mu_;
+  /// Compiled plan of the registry snapshot the correlator last saw;
+  /// recompiled only when the registry version moves.
+  std::shared_ptr<const EvalPlan> corr_plan_;
+  std::uint64_t corr_plan_version_ = 0;
   /// Last evaluated common feature time per monitored level; rounds where
   /// it did not advance are skipped.
   std::unordered_map<std::size_t, std::uint64_t> corr_last_time_;

@@ -1,0 +1,309 @@
+#include "engine/feature_pipeline.h"
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "core/level_state.h"
+#include "core/summarizer.h"
+#include "transform/feature.h"
+
+namespace stardust {
+
+namespace {
+
+constexpr char kPipelineMagic[4] = {'S', 'D', 'F', 'P'};
+constexpr std::uint32_t kPipelineVersion = 1;
+
+}  // namespace
+
+FeaturePipeline::FeaturePipeline(std::unique_ptr<Stardust> pattern_core,
+                                 std::unique_ptr<Stardust> corr_core,
+                                 std::size_t num_streams,
+                                 std::size_t store_capacity)
+    : num_streams_(num_streams),
+      pattern_core_(std::move(pattern_core)),
+      corr_core_(std::move(corr_core)),
+      store_(num_streams, store_capacity) {
+  SD_CHECK(num_streams_ > 0);
+  SD_CHECK(pattern_core_ == nullptr ||
+           pattern_core_->num_streams() == num_streams_);
+  SD_CHECK(corr_core_ == nullptr ||
+           corr_core_->num_streams() == num_streams_);
+}
+
+void FeaturePipeline::AdoptPlan(const EvalPlan& plan,
+                                const FleetAggregateMonitor& fleet) {
+  if (plan.aggregate_windows != tracker_windows_) {
+    tracker_windows_ = plan.aggregate_windows;
+    trackers_.clear();
+    trackers_.resize(num_streams_);
+    if (!tracker_windows_.empty()) {
+      ++tracker_rebuilds_;
+      const AggregateKind kind = fleet.config().aggregate;
+      for (StreamId s = 0; s < num_streams_; ++s) {
+        auto tracker =
+            std::make_unique<SlidingAggregateTracker>(kind, tracker_windows_);
+        // Backfill from the retained raw tail so a query registered
+        // mid-stream becomes answerable exactly when the seed path's
+        // Algorithm-2 verification would have been (window fully inside
+        // the retained history).
+        const RingBuffer<double>& raw =
+            fleet.monitor(s).stardust().summarizer(0).raw();
+        const std::uint64_t first = raw.first_position();
+        const std::size_t count = static_cast<std::size_t>(raw.size() - first);
+        raw.CopyWindow(first, count, &window_scratch_);
+        tracker->PushSpan(window_scratch_.data(), count);
+        trackers_[s] = std::move(tracker);
+      }
+    }
+  }
+  if (corr_core_ != nullptr) {
+    const StardustConfig& cfg = corr_core_->config();
+    std::vector<FeatureStore::LevelSpec> specs;
+    specs.reserve(plan.correlation.size());
+    for (const EvalPlan::CorrelationGroup& group : plan.correlation) {
+      specs.push_back({group.level, cfg.LevelWindow(group.level),
+                       cfg.coefficients});
+    }
+    store_.SetLevels(specs);
+  }
+}
+
+Status FeaturePipeline::Append(StreamId stream, double value) {
+  SD_DCHECK(stream < num_streams_);
+  ++appends_;
+  if (!trackers_.empty() && trackers_[stream] != nullptr) {
+    trackers_[stream]->Push(value);
+  }
+  if (pattern_core_ != nullptr) {
+    SD_RETURN_NOT_OK(pattern_core_->Append(stream, value));
+  }
+  if (corr_core_ != nullptr) {
+    SD_RETURN_NOT_OK(corr_core_->Append(stream, value));
+  }
+  return Status::OK();
+}
+
+void FeaturePipeline::FinishBatch(const std::vector<StreamId>& touched) {
+  ++batches_;
+  store_.BumpEpoch();
+  if (corr_core_ == nullptr) return;
+  for (const FeatureStore::LevelSpec& spec : store_.levels()) {
+    for (StreamId stream : touched) {
+      SD_DCHECK(stream < num_streams_);
+      CacheStreamFeatures(spec, stream);
+    }
+  }
+}
+
+void FeaturePipeline::CacheStreamFeatures(const FeatureStore::LevelSpec& spec,
+                                          StreamId stream) {
+  const StreamSummarizer& summarizer = corr_core_->summarizer(stream);
+  const LevelThread& thread = summarizer.thread(spec.level);
+  if (thread.empty()) return;
+  const std::uint64_t stride = thread.stride();
+  std::uint64_t latest_cached = 0;
+  const bool has_cached = store_.Latest(spec.level, stream, &latest_cached);
+
+  // Walk aligned feature times newest-first until the already-cached
+  // frontier (or the ring capacity), then insert oldest-first to respect
+  // the store's strictly-increasing time order.
+  times_scratch_.clear();
+  std::uint64_t t = thread.last_time();
+  while ((!has_cached || t > latest_cached) &&
+         times_scratch_.size() < store_.capacity()) {
+    times_scratch_.push_back(t);
+    if (t < stride) break;
+    t -= stride;
+  }
+  for (auto it = times_scratch_.rbegin(); it != times_scratch_.rend(); ++it) {
+    const std::uint64_t feature_time = *it;
+    const FeatureBox* box = thread.Find(feature_time);
+    if (box == nullptr) continue;  // expired from the thread
+    if (!summarizer.GetWindow(feature_time, spec.window, &window_scratch_)
+             .ok()) {
+      continue;  // raw window slid out of history
+    }
+    znorm_scratch_.resize(spec.window);
+    double mean = 0.0;
+    double norm2 = 0.0;
+    ZNormalizeTo(window_scratch_.data(), spec.window, znorm_scratch_.data(),
+                 &mean, &norm2);
+    ++znorm_computes_;
+    const Point& feature = box->extent.lo();
+    SD_DCHECK(feature.size() == spec.dims);
+    store_.Put(spec.level, stream, feature_time, feature.data(),
+               znorm_scratch_.data(), mean, norm2);
+  }
+}
+
+bool FeaturePipeline::TrackerReady(StreamId stream,
+                                   std::size_t tracker_index) const {
+  SD_DCHECK(stream < num_streams_);
+  SD_DCHECK(tracker_index < tracker_windows_.size());
+  return trackers_[stream] != nullptr &&
+         trackers_[stream]->Ready(tracker_index);
+}
+
+double FeaturePipeline::TrackerValue(StreamId stream,
+                                     std::size_t tracker_index) const {
+  SD_DCHECK(TrackerReady(stream, tracker_index));
+  return trackers_[stream]->Current(tracker_index);
+}
+
+bool FeaturePipeline::CorrelationFeature(std::size_t level, StreamId stream,
+                                         std::uint64_t t,
+                                         FeatureStore::View* out) {
+  if (store_.Find(level, stream, t, out)) return true;
+  if (corr_core_ == nullptr) return false;
+  const StardustConfig& cfg = corr_core_->config();
+  if (level >= cfg.num_levels || stream >= num_streams_) return false;
+  const StreamSummarizer& summarizer = corr_core_->summarizer(stream);
+  const FeatureBox* box = summarizer.thread(level).Find(t);
+  if (box == nullptr) return false;
+  const std::size_t window = cfg.LevelWindow(level);
+  if (!summarizer.GetWindow(t, window, &window_scratch_).ok()) return false;
+  // Fallback compute into scratch only: the store requires strictly
+  // increasing put times, and a lagging correlator round may ask for a
+  // time older than the cached frontier.
+  znorm_scratch_.resize(window);
+  double mean = 0.0;
+  double norm2 = 0.0;
+  ZNormalizeTo(window_scratch_.data(), window, znorm_scratch_.data(), &mean,
+               &norm2);
+  ++znorm_computes_;
+  const Point& feature = box->extent.lo();
+  feature_scratch_.assign(feature.begin(), feature.end());
+  out->time = t;
+  out->feature = feature_scratch_.data();
+  out->znormed = znorm_scratch_.data();
+  out->dims = feature_scratch_.size();
+  out->window = window;
+  out->mean = mean;
+  out->norm2 = norm2;
+  return true;
+}
+
+FeaturePipeline::Counters FeaturePipeline::counters() const {
+  Counters c;
+  c.batches = batches_;
+  c.appends = appends_;
+  c.znorm_computes = znorm_computes_;
+  c.tracker_rebuilds = tracker_rebuilds_;
+  c.store_puts = store_.puts();
+  c.store_hits = store_.hits();
+  c.store_misses = store_.misses();
+  c.store_epoch = store_.epoch();
+  return c;
+}
+
+std::string FeaturePipeline::Serialize() const {
+  Writer payload;
+  payload.U8(pattern_core_ != nullptr ? 1 : 0);
+  if (pattern_core_ != nullptr) {
+    payload.U64(num_streams_);
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      pattern_core_->summarizer(s).SaveTo(&payload);
+    }
+  }
+  payload.U8(corr_core_ != nullptr ? 1 : 0);
+  if (corr_core_ != nullptr) {
+    payload.U64(num_streams_);
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      corr_core_->summarizer(s).SaveTo(&payload);
+    }
+  }
+  store_.SaveTo(&payload);
+
+  Writer envelope;
+  envelope.Bytes(kPipelineMagic, sizeof(kPipelineMagic));
+  envelope.U32(kPipelineVersion);
+  envelope.U64(Fnv1a(payload.buffer()));
+  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
+  return std::move(envelope.TakeBuffer());
+}
+
+Status FeaturePipeline::Restore(const std::string& bytes) {
+  if (bytes.size() < sizeof(kPipelineMagic) + 4 + 8) {
+    return Status::InvalidArgument("feature pipeline snapshot too small");
+  }
+  if (std::memcmp(bytes.data(), kPipelineMagic, sizeof(kPipelineMagic)) !=
+      0) {
+    return Status::InvalidArgument(
+        "not a feature pipeline snapshot (bad magic)");
+  }
+  Reader header(bytes);
+  {
+    std::uint8_t b = 0;
+    for (std::size_t i = 0; i < sizeof(kPipelineMagic); ++i) {
+      SD_RETURN_NOT_OK(header.U8(&b));
+    }
+  }
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;
+  SD_RETURN_NOT_OK(header.U32(&version));
+  SD_RETURN_NOT_OK(header.U64(&checksum));
+  if (version != kPipelineVersion) {
+    return Status::InvalidArgument(
+        "unsupported feature pipeline version " + std::to_string(version));
+  }
+  const std::string payload = bytes.substr(sizeof(kPipelineMagic) + 12);
+  if (Fnv1a(payload) != checksum) {
+    return Status::InvalidArgument(
+        "feature pipeline snapshot checksum mismatch");
+  }
+  return RestorePayload(payload);
+}
+
+Status FeaturePipeline::RestorePayload(const std::string& payload) {
+  Reader reader(payload);
+  std::uint8_t has_pattern = 0;
+  SD_RETURN_NOT_OK(reader.U8(&has_pattern));
+  if (has_pattern != 0) {
+    if (pattern_core_ == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot carries a pattern core this engine does not run");
+    }
+    std::uint64_t streams = 0;
+    SD_RETURN_NOT_OK(reader.U64(&streams));
+    if (streams != num_streams_) {
+      return Status::InvalidArgument(
+          "feature pipeline stream count mismatch");
+    }
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      SD_RETURN_NOT_OK(
+          pattern_core_->mutable_summarizer(s)->RestoreFrom(&reader));
+    }
+    SD_RETURN_NOT_OK(pattern_core_->RebuildIndexes());
+  }
+  std::uint8_t has_corr = 0;
+  SD_RETURN_NOT_OK(reader.U8(&has_corr));
+  if (has_corr != 0) {
+    if (corr_core_ == nullptr) {
+      return Status::InvalidArgument(
+          "snapshot carries a correlation core this engine does not run");
+    }
+    std::uint64_t streams = 0;
+    SD_RETURN_NOT_OK(reader.U64(&streams));
+    if (streams != num_streams_) {
+      return Status::InvalidArgument(
+          "feature pipeline stream count mismatch");
+    }
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      SD_RETURN_NOT_OK(
+          corr_core_->mutable_summarizer(s)->RestoreFrom(&reader));
+    }
+    SD_RETURN_NOT_OK(corr_core_->RebuildIndexes());
+  }
+  SD_RETURN_NOT_OK(store_.RestoreFrom(&reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument(
+        "feature pipeline snapshot has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace stardust

@@ -22,6 +22,13 @@ void AppendF(std::string* out, const char* fmt, ...) {
 std::string EngineMetricsJson(
     const EngineMetrics& metrics,
     const std::vector<ShardMetricsSnapshot>& shards) {
+  return EngineMetricsJson(metrics, shards, {});
+}
+
+std::string EngineMetricsJson(
+    const EngineMetrics& metrics,
+    const std::vector<ShardMetricsSnapshot>& shards,
+    const std::vector<QueryMetricsSnapshot>& queries) {
   std::string out;
   out.reserve(1024);
   const auto load = [](const std::atomic<std::uint64_t>& a) {
@@ -65,9 +72,32 @@ std::string EngineMetricsJson(
             "%s{\"shard\":%zu,\"epoch\":%" PRIu64 ",\"appended\":%" PRIu64
             ",\"batches\":%" PRIu64 ",\"max_batch\":%" PRIu64
             ",\"avg_batch\":%.2f,\"queue_high_water\":%zu"
-            ",\"streams\":%zu}",
+            ",\"streams\":%zu",
             i == 0 ? "" : ",", s.shard, s.epoch, s.appended, s.batches,
             s.max_batch, s.AvgBatch(), s.queue_high_water, s.num_streams);
+    AppendF(&out,
+            ",\"pipeline\":{\"batches\":%" PRIu64 ",\"appends\":%" PRIu64
+            ",\"znorm_computes\":%" PRIu64 ",\"tracker_rebuilds\":%" PRIu64
+            ",\"store_puts\":%" PRIu64 ",\"store_hits\":%" PRIu64
+            ",\"store_misses\":%" PRIu64 "}",
+            s.pipeline_batches, s.pipeline_appends, s.znorm_computes,
+            s.tracker_rebuilds, s.store_puts, s.store_hits, s.store_misses);
+    AppendF(&out,
+            ",\"plan\":{\"version\":%" PRIu64 ",\"aggregate_evals\":%" PRIu64
+            ",\"pattern_evals\":%" PRIu64 "}}",
+            s.plan_version, s.plan_aggregate_evals, s.plan_pattern_evals);
+  }
+  out += "]";
+
+  out += ",\"queries\":[";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const QueryMetricsSnapshot& q = queries[i];
+    AppendF(&out,
+            "%s{\"id\":%" PRIu64 ",\"kind\":\"%s\",\"evals\":%" PRIu64
+            ",\"hits\":%" PRIu64 ",\"errors\":%" PRIu64
+            ",\"rate_limited\":%" PRIu64 ",\"eval_nanos\":%" PRIu64 "}",
+            i == 0 ? "" : ",", q.id, QueryKindName(q.kind), q.evals, q.hits,
+            q.errors, q.rate_limited, q.eval_nanos);
   }
   out += "]}";
   return out;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/latency_histogram.h"
+#include "query/registry.h"
 
 namespace stardust {
 
@@ -56,6 +57,24 @@ struct ShardMetricsSnapshot {
   std::size_t queue_high_water = 0;
   std::size_t num_streams = 0;
 
+  // Feature pipeline accounting (docs/FEATURES.md): the exactly-once
+  // invariant is pipeline_batches == epoch and pipeline_appends ==
+  // appended minus append errors.
+  std::uint64_t pipeline_batches = 0;
+  std::uint64_t pipeline_appends = 0;
+  std::uint64_t znorm_computes = 0;
+  std::uint64_t tracker_rebuilds = 0;
+  std::uint64_t store_puts = 0;
+  std::uint64_t store_hits = 0;
+  std::uint64_t store_misses = 0;
+
+  // Compiled-plan stage counters: batches (or correlator rounds) that
+  // executed each stage of the shard's current EvalPlan.
+  std::uint64_t plan_version = 0;
+  std::uint64_t plan_aggregate_evals = 0;
+  std::uint64_t plan_pattern_evals = 0;
+  std::uint64_t plan_correlation_evals = 0;
+
   double AvgBatch() const {
     return batches == 0 ? 0.0
                         : static_cast<double>(appended) /
@@ -67,6 +86,13 @@ struct ShardMetricsSnapshot {
 /// snapshots (schema in docs/ENGINE.md).
 std::string EngineMetricsJson(const EngineMetrics& metrics,
                               const std::vector<ShardMetricsSnapshot>& shards);
+
+/// Overload additionally emitting a "queries" array with the per-query
+/// counters (evals, hits, errors, rate_limited, eval_nanos) from
+/// QueryRegistry::Metrics().
+std::string EngineMetricsJson(const EngineMetrics& metrics,
+                              const std::vector<ShardMetricsSnapshot>& shards,
+                              const std::vector<QueryMetricsSnapshot>& queries);
 
 }  // namespace stardust
 

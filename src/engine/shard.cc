@@ -6,7 +6,6 @@
 #include "common/check.h"
 #include "core/pattern_query.h"
 #include "core/snapshot.h"
-#include "transform/feature.h"
 
 namespace stardust {
 
@@ -52,9 +51,9 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
              std::size_t num_producers, std::size_t queue_capacity,
              OverloadPolicy policy, std::size_t max_batch,
              std::unique_ptr<FleetAggregateMonitor> fleet,
-             std::unique_ptr<Stardust> pattern_core,
-             std::unique_ptr<Stardust> corr_core, QueryRegistry* registry,
-             AlertBus* alerts, EngineMetrics* metrics)
+             std::unique_ptr<FeaturePipeline> pipeline,
+             QueryRegistry* registry, AlertBus* alerts,
+             EngineMetrics* metrics)
     : index_(index),
       num_shards_(num_shards),
       policy_(policy),
@@ -63,18 +62,15 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
       registry_(registry),
       alerts_(alerts),
       fleet_(std::move(fleet)),
-      pattern_core_(std::move(pattern_core)),
-      corr_core_(std::move(corr_core)) {
+      pipeline_(std::move(pipeline)) {
   SD_CHECK(fleet_ != nullptr);
+  SD_CHECK(pipeline_ != nullptr);
+  SD_CHECK(pipeline_->num_streams() == fleet_->num_streams());
   SD_CHECK(num_producers > 0);
   SD_CHECK(num_shards_ > 0 && index_ < num_shards_);
   SD_CHECK((registry_ != nullptr) == (alerts_ != nullptr));
-  if (pattern_core_ != nullptr) {
+  if (pipeline_->pattern_core() != nullptr) {
     SD_CHECK(registry_ != nullptr);
-    SD_CHECK(pattern_core_->num_streams() == fleet_->num_streams());
-  }
-  if (corr_core_ != nullptr) {
-    SD_CHECK(corr_core_->num_streams() == fleet_->num_streams());
   }
   touched_.assign(fleet_->num_streams(), 0);
   rings_.reserve(num_producers);
@@ -185,6 +181,17 @@ void Shard::RefreshQuerySnapshot() {
   if (query_snapshot_ != nullptr && version == query_version_) return;
   query_snapshot_ = registry_->snapshot();
   query_version_ = version;
+  // Compile outside the state mutex (compilation only reads immutable
+  // configs); the next ApplyBatch commits it and re-points the pipeline.
+  PlanContext ctx;
+  ctx.fleet = &fleet_->config();
+  ctx.pattern = pipeline_->pattern_core() != nullptr
+                    ? &pipeline_->pattern_core()->config()
+                    : nullptr;
+  ctx.correlation = pipeline_->corr_core() != nullptr
+                        ? &pipeline_->corr_core()->config()
+                        : nullptr;
+  pending_plan_ = CompileEvalPlan(*query_snapshot_, version, ctx);
   // Prune evaluation state of queries that left the registry so the maps
   // cannot grow without bound under register/unregister churn.
   for (auto it = agg_alarming_.begin(); it != agg_alarming_.end();) {
@@ -210,13 +217,7 @@ void Shard::RefreshQuerySnapshot() {
   }
 }
 
-void Shard::EvaluateQueriesLocked(const std::vector<StreamValue>& batch,
-                                  std::vector<Alert>* out) {
-  using Clock = std::chrono::steady_clock;
-  const QueryRegistry::Snapshot& queries = *query_snapshot_;
-  if (queries.aggregate.empty() && queries.pattern.empty()) return;
-
-  // Local streams touched by this batch, deduplicated.
+void Shard::CollectTouched(const std::vector<StreamValue>& batch) {
   touched_list_.clear();
   for (const StreamValue& tuple : batch) {
     if (tuple.stream < touched_.size() && !touched_[tuple.stream]) {
@@ -225,80 +226,122 @@ void Shard::EvaluateQueriesLocked(const std::vector<StreamValue>& batch,
     }
   }
   for (StreamId s : touched_list_) touched_[s] = 0;
+}
+
+void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
+  using Clock = std::chrono::steady_clock;
+  const EvalPlan& plan = *plan_;
+  if (plan.aggregate.empty() && plan.pattern.empty()) return;
 
   const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
 
-  // Aggregate queries: Algorithm 2 per touched stream, edge-triggered on
-  // the false -> true alarm transition so a window staying above its
-  // threshold emits once, not once per batch.
-  for (const auto& q : queries.aggregate) {
-    const Clock::time_point start = Clock::now();
-    std::vector<char>& edge = agg_alarming_[q->id];
-    if (edge.size() != fleet_->num_streams()) {
-      edge.assign(fleet_->num_streams(), 0);
-    }
-    for (StreamId s : touched_list_) {
-      const Result<Stardust::AggregateAnswer> answer =
-          fleet_->monitor(s).stardust().AggregateQuery(0, q->spec.window,
-                                                       q->spec.threshold);
-      if (!answer.ok()) {
-        // Streams shorter than the window are simply not evaluable yet.
-        if (answer.status().code() != StatusCode::kOutOfRange) {
-          q->errors.fetch_add(1, std::memory_order_relaxed);
+  // Aggregate stage: every query sharing a window reads the one tracker
+  // the pipeline maintains for that window — the Algorithm-2 check costs
+  // one tracker read per (group, touched stream) instead of one
+  // filter/verify walk per (query, touched stream). Alerts stay
+  // edge-triggered on the false -> true alarm transition so a window
+  // staying above its threshold emits once, not once per batch.
+  if (!plan.aggregate.empty()) {
+    plan.aggregate_evals.fetch_add(1, std::memory_order_relaxed);
+    for (const EvalPlan::AggregateGroup& group : plan.aggregate) {
+      const Clock::time_point start = Clock::now();
+      if (group.evaluable) {
+        edge_scratch_.clear();
+        for (const auto& q : group.queries) {
+          std::vector<char>& edge = agg_alarming_[q->id];
+          if (edge.size() != fleet_->num_streams()) {
+            edge.assign(fleet_->num_streams(), 0);
+          }
+          edge_scratch_.push_back(&edge);
         }
-        continue;
+        for (StreamId s : touched_list_) {
+          // Ready mirrors the seed path's availability exactly: the
+          // tracker has a full window iff the retained raw history does.
+          if (!pipeline_->TrackerReady(s, group.tracker_index)) continue;
+          const double exact =
+              pipeline_->TrackerValue(s, group.tracker_index);
+          const std::uint64_t end_time = fleet_->AppendCount(s) - 1;
+          for (std::size_t qi = 0; qi < group.queries.size(); ++qi) {
+            const auto& q = group.queries[qi];
+            std::vector<char>& edge = *edge_scratch_[qi];
+            const bool alarm = exact >= q->spec.threshold;
+            if (alarm && !edge[s]) {
+              q->hits.fetch_add(1, std::memory_order_relaxed);
+              // Edge state flips either way: a rate-limited alert is
+              // suppressed, not re-raised when the bucket refills.
+              if (q->AllowAlert()) {
+                Alert alert;
+                alert.query = q->id;
+                alert.kind = QueryKind::kAggregate;
+                alert.stream = GlobalOf(s);
+                alert.window = group.window;
+                alert.end_time = end_time;
+                alert.epoch = epoch;
+                alert.value = exact;
+                alert.threshold = q->spec.threshold;
+                out->push_back(alert);
+              }
+            }
+            edge[s] = alarm ? 1 : 0;
+          }
+        }
       }
-      const bool alarm = answer.value().alarm;
-      if (alarm && !edge[s]) {
-        Alert alert;
-        alert.query = q->id;
-        alert.kind = QueryKind::kAggregate;
-        alert.stream = GlobalOf(s);
-        alert.window = q->spec.window;
-        alert.end_time = fleet_->AppendCount(s) - 1;
-        alert.epoch = epoch;
-        alert.value = answer.value().exact;
-        alert.threshold = q->spec.threshold;
-        out->push_back(alert);
-        q->hits.fetch_add(1, std::memory_order_relaxed);
+      // Per-query accounting: the group ran once; attribute the shared
+      // cost evenly. Non-evaluable groups (window beyond the retained
+      // history) record the evaluation without alarming, exactly like
+      // the seed path's silent OutOfRange skip.
+      const std::uint64_t shared =
+          ElapsedNanos(start) / group.queries.size();
+      for (const auto& q : group.queries) {
+        q->evals.fetch_add(1, std::memory_order_relaxed);
+        q->eval_nanos.fetch_add(shared, std::memory_order_relaxed);
       }
-      edge[s] = alarm ? 1 : 0;
     }
-    q->evals.fetch_add(1, std::memory_order_relaxed);
-    q->eval_nanos.fetch_add(ElapsedNanos(start), std::memory_order_relaxed);
   }
 
-  // Pattern queries: Algorithm 3 over the shard's online core, with a
-  // per-stream delivery watermark so a match position is alerted exactly
-  // once even though consecutive evaluations keep finding it until it
-  // slides out of the history buffer.
-  if (!queries.pattern.empty() && pattern_core_ != nullptr) {
-    const PatternQueryEngine engine(*pattern_core_);
-    for (const auto& q : queries.pattern) {
+  // Pattern stage: Algorithm 3 over the pipeline's online core with the
+  // plan's precompiled query state (pieces, normalized query, budget),
+  // and a per-stream delivery watermark so a match position is alerted
+  // exactly once even though consecutive evaluations keep finding it
+  // until it slides out of the history buffer.
+  if (!plan.pattern.empty() && pipeline_->pattern_core() != nullptr) {
+    plan.pattern_evals.fetch_add(1, std::memory_order_relaxed);
+    const PatternQueryEngine engine(*pipeline_->pattern_core());
+    for (const EvalPlan::PatternEntry& entry : plan.pattern) {
+      const auto& q = entry.query;
       const Clock::time_point start = Clock::now();
       std::vector<std::uint64_t>& wm = pattern_watermark_[q->id];
       if (wm.size() != fleet_->num_streams()) {
         wm.assign(fleet_->num_streams(), 0);
       }
-      const Result<PatternResult> result =
-          engine.QueryOnline(q->spec.pattern, q->spec.radius);
-      if (!result.ok()) {
+      if (!entry.ok) {
+        // Compilation failed for this core's configuration: surfaced the
+        // same way the uncompiled path surfaced a per-eval query error.
         q->errors.fetch_add(1, std::memory_order_relaxed);
       } else {
-        for (const PatternMatch& match : result.value().matches) {
-          if (match.end_time + 1 <= wm[match.stream]) continue;
-          wm[match.stream] = match.end_time + 1;
-          Alert alert;
-          alert.query = q->id;
-          alert.kind = QueryKind::kPattern;
-          alert.stream = GlobalOf(match.stream);
-          alert.window = q->spec.pattern.size();
-          alert.end_time = match.end_time;
-          alert.epoch = epoch;
-          alert.value = match.distance;
-          alert.threshold = q->spec.radius;
-          out->push_back(alert);
-          q->hits.fetch_add(1, std::memory_order_relaxed);
+        const Result<PatternResult> result =
+            engine.QueryCompiled(entry.compiled);
+        if (!result.ok()) {
+          q->errors.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          for (const PatternMatch& match : result.value().matches) {
+            if (match.end_time + 1 <= wm[match.stream]) continue;
+            wm[match.stream] = match.end_time + 1;
+            q->hits.fetch_add(1, std::memory_order_relaxed);
+            // The watermark advances either way: a rate-limited match is
+            // suppressed, not re-raised when the bucket refills.
+            if (!q->AllowAlert()) continue;
+            Alert alert;
+            alert.query = q->id;
+            alert.kind = QueryKind::kPattern;
+            alert.stream = GlobalOf(match.stream);
+            alert.window = q->spec.pattern.size();
+            alert.end_time = match.end_time;
+            alert.epoch = epoch;
+            alert.value = match.distance;
+            alert.threshold = q->spec.radius;
+            out->push_back(alert);
+          }
         }
       }
       q->evals.fetch_add(1, std::memory_order_relaxed);
@@ -314,16 +357,18 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
   std::vector<Alert> alerts;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    if (pending_plan_ != nullptr) {
+      plan_ = std::move(pending_plan_);
+      pending_plan_ = nullptr;
+      pipeline_->AdoptPlan(*plan_, *fleet_);
+    }
     for (const StreamValue& tuple : batch) {
       const Clock::time_point start = Clock::now();
       Status status = fleet_->Append(tuple.stream, tuple.value);
-      // The query cores see the same tuples in the same order as the
-      // fleet; their failures surface like fleet append failures.
-      if (status.ok() && pattern_core_ != nullptr) {
-        status = pattern_core_->Append(tuple.stream, tuple.value);
-      }
-      if (status.ok() && corr_core_ != nullptr) {
-        status = corr_core_->Append(tuple.stream, tuple.value);
+      // The pipeline sees the same tuples in the same order as the
+      // fleet; its failures surface like fleet append failures.
+      if (status.ok()) {
+        status = pipeline_->Append(tuple.stream, tuple.value);
       }
       metrics_->append_latency.Record(ElapsedNanos(start));
       if (status.ok()) {
@@ -333,7 +378,14 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
         if (worker_status_.ok()) worker_status_ = status;
       }
     }
-    if (registry_ != nullptr) EvaluateQueriesLocked(batch, &alerts);
+    // Close the batch exactly once: features are derived here and only
+    // read (never recomputed) by the query stages below and by
+    // correlator rounds.
+    CollectTouched(batch);
+    pipeline_->FinishBatch(touched_list_);
+    if (registry_ != nullptr && plan_ != nullptr) {
+      EvaluateQueriesLocked(&alerts);
+    }
     // Publish inside the lock so a reader's stamp always matches the
     // monitor state it observed.
     applied_.fetch_add(batch.size(), std::memory_order_release);
@@ -387,10 +439,18 @@ std::uint64_t Shard::StreamAppendCount(StreamId local_stream) const {
   return fleet_->AppendCount(local_stream);
 }
 
-std::string Shard::SerializeState(ShardStamp* stamp) const {
+std::string Shard::SerializeState(ShardStamp* stamp,
+                                  std::string* features) const {
   std::lock_guard<std::mutex> lock(state_mu_);
   if (stamp != nullptr) *stamp = StampLocked();
+  if (features != nullptr) *features = pipeline_->Serialize();
   return SerializeFleetSnapshot(*fleet_);
+}
+
+Status Shard::RestoreFeatures(const std::string& bytes) {
+  SD_CHECK(!worker_.joinable());
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return pipeline_->Restore(bytes);
 }
 
 void Shard::RestoreProgress(std::uint64_t epoch, std::uint64_t appended) {
@@ -416,16 +476,39 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
   snapshot.queue_high_water =
       queue_high_water_.load(std::memory_order_relaxed);
   snapshot.num_streams = fleet_->num_streams();
+  {
+    // Pipeline counters and the committed plan are guarded by the state
+    // mutex (metrics scraping is a cold path).
+    std::lock_guard<std::mutex> lock(state_mu_);
+    const FeaturePipeline::Counters counters = pipeline_->counters();
+    snapshot.pipeline_batches = counters.batches;
+    snapshot.pipeline_appends = counters.appends;
+    snapshot.znorm_computes = counters.znorm_computes;
+    snapshot.tracker_rebuilds = counters.tracker_rebuilds;
+    snapshot.store_puts = counters.store_puts;
+    snapshot.store_hits = counters.store_hits;
+    snapshot.store_misses = counters.store_misses;
+    if (plan_ != nullptr) {
+      snapshot.plan_version = plan_->version;
+      snapshot.plan_aggregate_evals =
+          plan_->aggregate_evals.load(std::memory_order_relaxed);
+      snapshot.plan_pattern_evals =
+          plan_->pattern_evals.load(std::memory_order_relaxed);
+      snapshot.plan_correlation_evals =
+          plan_->correlation_evals.load(std::memory_order_relaxed);
+    }
+  }
   return snapshot;
 }
 
 std::vector<Shard::FeatureClock> Shard::CorrelationClocks(
     std::size_t level) const {
-  SD_CHECK(corr_core_ != nullptr);
+  const Stardust* corr_core = pipeline_->corr_core();
+  SD_CHECK(corr_core != nullptr);
   std::lock_guard<std::mutex> lock(state_mu_);
-  std::vector<FeatureClock> clocks(corr_core_->num_streams());
-  for (StreamId s = 0; s < corr_core_->num_streams(); ++s) {
-    const LevelThread& thread = corr_core_->summarizer(s).thread(level);
+  std::vector<FeatureClock> clocks(corr_core->num_streams());
+  for (StreamId s = 0; s < corr_core->num_streams(); ++s) {
+    const LevelThread& thread = corr_core->summarizer(s).thread(level);
     if (!thread.empty()) {
       clocks[s].has = true;
       clocks[s].time = thread.last_time();
@@ -437,20 +520,20 @@ std::vector<Shard::FeatureClock> Shard::CorrelationClocks(
 Status Shard::CorrelationFeaturesAt(
     std::size_t level, std::uint64_t t,
     std::vector<CorrelationFeature>* out) const {
-  SD_CHECK(corr_core_ != nullptr);
+  SD_CHECK(pipeline_->corr_core() != nullptr);
   std::lock_guard<std::mutex> lock(state_mu_);
-  const std::size_t w = corr_core_->config().LevelWindow(level);
-  std::vector<double> window;
-  for (StreamId s = 0; s < corr_core_->num_streams(); ++s) {
-    const FeatureBox* box = corr_core_->summarizer(s).thread(level).Find(t);
-    if (box == nullptr) continue;  // not yet produced, or expired
-    if (!corr_core_->summarizer(s).GetWindow(t, w, &window).ok()) {
-      continue;  // raw window already slid out of the history buffer
-    }
+  const std::size_t num_streams = pipeline_->num_streams();
+  for (StreamId s = 0; s < num_streams; ++s) {
+    // Served from the shared FeatureStore when the pipeline cached this
+    // aligned time (the steady state); recomputed from the correlation
+    // core only for rounds lagging behind the cache ring. Streams whose
+    // data expired (or never reached `t`) are skipped either way.
+    FeatureStore::View view;
+    if (!pipeline_->CorrelationFeature(level, s, t, &view)) continue;
     CorrelationFeature feature;
     feature.global_stream = GlobalOf(s);
-    feature.feature = box->extent.lo();  // c == 1: the box is a point
-    feature.znormed = ZNormalize(window);
+    feature.feature.assign(view.feature, view.feature + view.dims);
+    feature.znormed.assign(view.znormed, view.znormed + view.window);
     out->push_back(std::move(feature));
   }
   return Status::OK();

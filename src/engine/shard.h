@@ -6,13 +6,15 @@
 // (number of applied batches) so cross-shard reads can report exactly how
 // fresh each shard's contribution was.
 //
-// When the continuous-query subsystem is enabled the shard additionally
-// owns an online unit-sphere DWT core (pattern queries, Algorithm 3) and
-// a batch z-normalized DWT core (feature source for the cross-shard
-// correlator); both are fed the same tuples in the same order as the
-// fleet. After each applied batch the worker evaluates the registered
-// aggregate and pattern queries inline and publishes hits to the alert
-// bus (docs/QUERIES.md).
+// Every piece of derived query state the shard maintains lives in its
+// FeaturePipeline (engine/feature_pipeline.h): the online unit-sphere DWT
+// core (pattern queries, Algorithm 3), the batch z-normalized DWT core
+// plus FeatureStore (feature source for the cross-shard correlator), and
+// the per-window sliding trackers serving aggregate queries. The worker
+// feeds the pipeline exactly once per applied tuple and batch, then
+// executes the compiled EvalPlan of the current registry snapshot
+// (query/eval_plan.h) against the shared state and publishes hits to the
+// alert bus (docs/QUERIES.md, docs/FEATURES.md).
 #ifndef STARDUST_ENGINE_SHARD_H_
 #define STARDUST_ENGINE_SHARD_H_
 
@@ -28,8 +30,10 @@
 #include "core/fleet_monitor.h"
 #include "core/stardust.h"
 #include "engine/engine_config.h"
+#include "engine/feature_pipeline.h"
 #include "engine/metrics.h"
 #include "query/alert_bus.h"
+#include "query/eval_plan.h"
 #include "query/registry.h"
 
 namespace stardust {
@@ -64,15 +68,15 @@ struct CorrelationFeature {
 class Shard {
  public:
   /// `num_shards` is the engine's effective shard count (for local ->
-  /// global stream id mapping in alerts). `pattern_core` / `corr_core`
-  /// may be null (query kind disabled); `registry` and `alerts` may be
-  /// null only together with both cores absent (no query evaluation).
+  /// global stream id mapping in alerts). `pipeline` must be non-null
+  /// and sized for the fleet's streams; its cores may be absent (query
+  /// kind disabled). `registry` and `alerts` may be null only together
+  /// (no query evaluation); a pattern core requires a registry.
   Shard(std::size_t index, std::size_t num_shards,
         std::size_t num_producers, std::size_t queue_capacity,
         OverloadPolicy policy, std::size_t max_batch,
         std::unique_ptr<FleetAggregateMonitor> fleet,
-        std::unique_ptr<Stardust> pattern_core,
-        std::unique_ptr<Stardust> corr_core, QueryRegistry* registry,
+        std::unique_ptr<FeaturePipeline> pipeline, QueryRegistry* registry,
         AlertBus* alerts, EngineMetrics* metrics);
   ~Shard();
 
@@ -130,8 +134,15 @@ class Shard {
   /// Serialized v2 fleet snapshot of this shard's monitors, taken under
   /// the state mutex so the bytes and the stamp describe the same point
   /// in the apply sequence. Ingestion continues around the call; only
-  /// this shard's worker waits for the serialization.
-  std::string SerializeState(ShardStamp* stamp) const;
+  /// this shard's worker waits for the serialization. When `features` is
+  /// non-null it receives the feature pipeline's "SDFP" snapshot taken
+  /// under the same mutex hold, so both byte strings describe one point
+  /// in the apply sequence.
+  std::string SerializeState(ShardStamp* stamp,
+                             std::string* features = nullptr) const;
+  /// Restores the feature pipeline (query cores + feature store) from an
+  /// "SDFP" snapshot. Only valid before Start().
+  Status RestoreFeatures(const std::string& bytes);
   /// Seeds the progress counters after a restore so stamps and metrics
   /// continue the pre-crash lineage. Only valid before Start().
   void RestoreProgress(std::uint64_t epoch, std::uint64_t appended);
@@ -157,22 +168,30 @@ class Shard {
   /// over whatever every shard can still serve coherently.
   Status CorrelationFeaturesAt(std::size_t level, std::uint64_t t,
                                std::vector<CorrelationFeature>* out) const;
-  bool has_correlation_core() const { return corr_core_ != nullptr; }
-  bool has_pattern_core() const { return pattern_core_ != nullptr; }
+  bool has_correlation_core() const {
+    return pipeline_->corr_core() != nullptr;
+  }
+  bool has_pattern_core() const {
+    return pipeline_->pattern_core() != nullptr;
+  }
 
  private:
   void WorkerLoop();
   void ApplyBatch(const std::vector<StreamValue>& batch);
   ShardStamp StampLocked() const;
 
-  /// Re-fetches the registry snapshot when its version moved and prunes
-  /// evaluation state of unregistered queries. Worker thread only.
+  /// Re-fetches the registry snapshot when its version moved, compiles
+  /// it into a fresh EvalPlan (staged in pending_plan_ until the next
+  /// batch commits it under the state mutex), and prunes evaluation
+  /// state of unregistered queries. Worker thread only.
   void RefreshQuerySnapshot();
-  /// Evaluates aggregate + pattern queries after a batch; called with
-  /// state_mu_ held. Alerts are collected into `out` and published by
-  /// the caller after the lock is released.
-  void EvaluateQueriesLocked(const std::vector<StreamValue>& batch,
-                             std::vector<Alert>* out);
+  /// Deduplicates the batch's local streams into touched_list_.
+  void CollectTouched(const std::vector<StreamValue>& batch);
+  /// Runs the compiled plan's aggregate + pattern stages against the
+  /// pipeline state; called with state_mu_ held after FinishBatch.
+  /// Alerts are collected into `out` and published by the caller after
+  /// the lock is released.
+  void EvaluateQueriesLocked(std::vector<Alert>* out);
 
   StreamId GlobalOf(StreamId local_stream) const {
     return static_cast<StreamId>(local_stream * num_shards_ + index_);
@@ -200,17 +219,20 @@ class Shard {
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
 
-  /// Guards fleet_, the query cores, and worker_status_: held by the
-  /// worker while applying a batch (and evaluating queries) and by
-  /// readers while snapshotting.
+  /// Guards fleet_, the feature pipeline, the committed plan_, and
+  /// worker_status_: held by the worker while applying a batch (and
+  /// evaluating queries) and by readers while snapshotting.
   mutable std::mutex state_mu_;
   std::unique_ptr<FleetAggregateMonitor> fleet_;
-  std::unique_ptr<Stardust> pattern_core_;
-  std::unique_ptr<Stardust> corr_core_;
+  std::unique_ptr<FeaturePipeline> pipeline_;
+  /// Plan currently driving evaluation; swapped in under state_mu_.
+  std::shared_ptr<const EvalPlan> plan_;
   Status worker_status_;
 
   // --- Query evaluation state (worker thread only) ---------------------
   std::shared_ptr<const QueryRegistry::Snapshot> query_snapshot_;
+  /// Freshly compiled plan awaiting commit (worker thread only).
+  std::shared_ptr<const EvalPlan> pending_plan_;
   std::uint64_t query_version_ = 0;
   /// Aggregate edge state: last alarm outcome per (query, local stream),
   /// so alerts fire on the false -> true transition only.
@@ -222,6 +244,8 @@ class Shard {
   /// Scratch: local streams touched by the current batch.
   std::vector<char> touched_;
   std::vector<StreamId> touched_list_;
+  /// Scratch: per-query edge vectors of the aggregate group being run.
+  std::vector<std::vector<char>*> edge_scratch_;
 
   std::thread worker_;
 };

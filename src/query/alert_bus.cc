@@ -57,17 +57,55 @@ void AlertBus::Start() {
 }
 
 void AlertBus::Stop() {
+  // Serialized so a second Stop (e.g. explicit Stop followed by the
+  // destructor) does not return before the first one has delivered the
+  // tail of the queue and flushed the sinks.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;
+    if (stop_finished_) return;
     stopping_ = true;
   }
   not_empty_.notify_all();
   not_full_.notify_all();
-  if (dispatcher_.joinable()) dispatcher_.join();
+  if (dispatcher_.joinable()) {
+    dispatcher_.join();
+  } else {
+    // The bus was never started: alerts published before Start sit in the
+    // queue with no dispatcher to drain them. Deliver them inline here so
+    // a publish-then-Stop sequence never silently drops the tail.
+    DrainQueueToSinks();
+  }
   // Final flush so file sinks are durable when Stop returns.
-  std::lock_guard<std::mutex> lock(sinks_mu_);
-  for (auto& [id, sink] : sinks_) (void)sink->Flush();
+  {
+    std::lock_guard<std::mutex> lock(sinks_mu_);
+    for (auto& [id, sink] : sinks_) (void)sink->Flush();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_finished_ = true;
+}
+
+void AlertBus::DrainQueueToSinks() {
+  std::deque<Entry> pending;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending.swap(queue_);
+  }
+  if (pending.empty()) return;
+  std::vector<std::shared_ptr<AlertSink>> sinks;
+  {
+    std::lock_guard<std::mutex> lock(sinks_mu_);
+    for (const auto& [id, sink] : sinks_) sinks.push_back(sink);
+  }
+  const std::uint64_t now = NowNanos();
+  for (const Entry& entry : pending) {
+    for (const auto& sink : sinks) sink->OnAlert(entry.alert);
+    delivery_latency_.Record(now >= entry.publish_ns ? now - entry.publish_ns
+                                                     : 0);
+    delivered_.fetch_add(1, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  drained_.notify_all();
 }
 
 Status AlertBus::Publish(const Alert& alert) {

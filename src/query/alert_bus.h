@@ -68,8 +68,11 @@ class AlertBus {
   /// Starts the dispatcher thread. Idempotent.
   void Start();
   /// Drains every queued alert to the sinks, flushes them, and joins the
-  /// dispatcher. Publishes racing Stop may be rejected with Aborted.
-  /// Idempotent.
+  /// dispatcher. On a bus that was never started the queued alerts are
+  /// delivered inline on the calling thread, so publish-then-Stop never
+  /// drops the tail. Publishes racing Stop may be rejected with Aborted.
+  /// Idempotent, and a concurrent second Stop blocks until the first has
+  /// finished delivering and flushing.
   void Stop();
 
   /// Enqueues one alert under the bus's overflow policy. kBlock waits for
@@ -114,9 +117,16 @@ class AlertBus {
   };
 
   void DispatchLoop();
+  /// Inline delivery path for a bus whose dispatcher never ran (Stop
+  /// without Start).
+  void DrainQueueToSinks();
 
   const std::size_t capacity_;
   const OverloadPolicy policy_;
+
+  /// Serializes Stop() so every caller returns only after the tail of the
+  /// queue is delivered and the sinks are flushed.
+  std::mutex stop_mu_;
 
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
@@ -126,6 +136,9 @@ class AlertBus {
   /// Entries popped by the dispatcher but not yet handed to every sink.
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+  /// Set once Stop has fully delivered and flushed; later Stops return
+  /// immediately (after taking stop_mu_, i.e. after the first finished).
+  bool stop_finished_ = false;
 
   std::mutex sinks_mu_;
   std::vector<std::pair<SinkId, std::shared_ptr<AlertSink>>> sinks_;

@@ -71,6 +71,20 @@ struct QuerySpec {
   /// (window W * 2^level); kTopLevel means the top level.
   std::size_t level = kTopLevel;
 
+  /// Any kind: token-bucket limit on published alerts. 0 disables the
+  /// limit (every hit publishes). When positive, at most `alert_burst`
+  /// alerts fire back-to-back and the bucket refills at
+  /// `alert_rate_per_sec` tokens per second; suppressed hits are counted
+  /// (QueryMetricsSnapshot::rate_limited), never queued or re-raised.
+  double alert_rate_per_sec = 0.0;
+  std::uint64_t alert_burst = 0;
+
+  QuerySpec& WithAlertRate(double per_sec, std::uint64_t burst) {
+    alert_rate_per_sec = per_sec;
+    alert_burst = burst;
+    return *this;
+  }
+
   static QuerySpec Aggregate(std::size_t window, double threshold) {
     QuerySpec spec;
     spec.kind = QueryKind::kAggregate;
@@ -96,8 +110,10 @@ struct QuerySpec {
   }
 
   /// Checkpoint support: fixed-width little-endian encoding, matching the
-  /// snapshot conventions (common/serialize.h).
-  void SaveTo(Writer* writer) const {
+  /// snapshot conventions (common/serialize.h). The rate-limit fields
+  /// were added in registry envelope v2; `version` selects the layout so
+  /// v1 snapshots stay readable (they restore with the limit disabled).
+  void SaveTo(Writer* writer, std::uint32_t version) const {
     writer->U8(static_cast<std::uint8_t>(kind));
     writer->U64(window);
     writer->F64(threshold);
@@ -105,9 +121,13 @@ struct QuerySpec {
     writer->F64(radius);
     writer->U64(level == kTopLevel ? std::uint64_t{0xffffffffffffffffULL}
                                    : static_cast<std::uint64_t>(level));
+    if (version >= 2) {
+      writer->F64(alert_rate_per_sec);
+      writer->U64(alert_burst);
+    }
   }
 
-  Status RestoreFrom(Reader* reader) {
+  Status RestoreFrom(Reader* reader, std::uint32_t version) {
     std::uint8_t kind_byte = 0;
     SD_RETURN_NOT_OK(reader->U8(&kind_byte));
     if (kind_byte > static_cast<std::uint8_t>(QueryKind::kCorrelation)) {
@@ -125,6 +145,13 @@ struct QuerySpec {
     level = level64 == 0xffffffffffffffffULL
                 ? kTopLevel
                 : static_cast<std::size_t>(level64);
+    if (version >= 2) {
+      SD_RETURN_NOT_OK(reader->F64(&alert_rate_per_sec));
+      SD_RETURN_NOT_OK(reader->U64(&alert_burst));
+    } else {
+      alert_rate_per_sec = 0.0;
+      alert_burst = 0;
+    }
     return Status::OK();
   }
 };

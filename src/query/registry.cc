@@ -9,11 +9,33 @@ namespace stardust {
 namespace {
 
 constexpr char kRegistryMagic[4] = {'S', 'D', 'Q', 'R'};
-constexpr std::uint32_t kRegistryVersion = 1;
+/// v2 appended the per-query alert rate-limit fields (QuerySpec::
+/// alert_rate_per_sec / alert_burst); v1 snapshots restore with the
+/// limit disabled.
+constexpr std::uint32_t kRegistryVersion = 2;
+constexpr std::uint32_t kMinRegistryVersion = 1;
+
 /// Lower bound on one serialized query (id + kind + window + threshold +
-/// pattern length + radius + level); bounds the declared count against
-/// the remaining payload.
-constexpr std::uint64_t kMinQueryBytes = 41;
+/// pattern length + radius + level, plus rate + burst in v2); bounds the
+/// declared count against the remaining payload.
+constexpr std::uint64_t MinQueryBytes(std::uint32_t version) {
+  return version >= 2 ? 57 : 41;
+}
+
+/// Kind-independent validation of the optional token-bucket limit.
+Status ValidateAlertRate(const QuerySpec& spec) {
+  if (spec.alert_rate_per_sec == 0.0) return Status::OK();
+  if (!std::isfinite(spec.alert_rate_per_sec) ||
+      spec.alert_rate_per_sec < 0.0) {
+    return Status::InvalidArgument(
+        "alert_rate_per_sec must be finite and non-negative");
+  }
+  if (spec.alert_burst == 0) {
+    return Status::InvalidArgument(
+        "a rate-limited query needs alert_burst >= 1");
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -24,6 +46,7 @@ QueryRegistry::QueryRegistry(const StardustConfig& aggregate_config,
       snapshot_(std::make_shared<const Snapshot>()) {}
 
 Status QueryRegistry::ValidateSpec(const QuerySpec& spec) const {
+  SD_RETURN_NOT_OK(ValidateAlertRate(spec));
   switch (spec.kind) {
     case QueryKind::kAggregate: {
       const std::size_t w_base = aggregate_config_.base_window;
@@ -164,6 +187,7 @@ std::vector<QueryMetricsSnapshot> QueryRegistry::Metrics() const {
     m.hits = query->hits.load(std::memory_order_relaxed);
     m.errors = query->errors.load(std::memory_order_relaxed);
     m.eval_nanos = query->eval_nanos.load(std::memory_order_relaxed);
+    m.rate_limited = query->rate_limited.load(std::memory_order_relaxed);
     out.push_back(m);
   }
   return out;
@@ -176,7 +200,7 @@ std::string QueryRegistry::Serialize() const {
   payload.U64(queries_.size());
   for (const auto& query : queries_) {
     payload.U64(query->id);
-    query->spec.SaveTo(&payload);
+    query->spec.SaveTo(&payload, kRegistryVersion);
   }
 
   Writer envelope;
@@ -207,7 +231,7 @@ Status QueryRegistry::Restore(const std::string& bytes) {
   std::uint64_t checksum = 0;
   SD_RETURN_NOT_OK(header.U32(&version));
   SD_RETURN_NOT_OK(header.U64(&checksum));
-  if (version != kRegistryVersion) {
+  if (version < kMinRegistryVersion || version > kRegistryVersion) {
     return Status::InvalidArgument("unsupported query registry version " +
                                    std::to_string(version));
   }
@@ -222,7 +246,7 @@ Status QueryRegistry::Restore(const std::string& bytes) {
   std::uint64_t count = 0;
   SD_RETURN_NOT_OK(reader.U64(&next_id));
   SD_RETURN_NOT_OK(reader.U64(&count));
-  if (count > reader.remaining() / kMinQueryBytes) {
+  if (count > reader.remaining() / MinQueryBytes(version)) {
     return Status::InvalidArgument(
         "query registry count out of range");
   }
@@ -233,7 +257,7 @@ Status QueryRegistry::Restore(const std::string& bytes) {
     std::uint64_t id = 0;
     SD_RETURN_NOT_OK(reader.U64(&id));
     QuerySpec spec;
-    SD_RETURN_NOT_OK(spec.RestoreFrom(&reader));
+    SD_RETURN_NOT_OK(spec.RestoreFrom(&reader, version));
     // Ids are assigned monotonically and serialized in registration
     // order, so a valid snapshot is strictly increasing — which also
     // guarantees uniqueness against corrupt input.

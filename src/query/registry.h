@@ -14,7 +14,9 @@
 #ifndef STARDUST_QUERY_REGISTRY_H_
 #define STARDUST_QUERY_REGISTRY_H_
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -42,9 +44,46 @@ struct RegisteredQuery {
   mutable std::atomic<std::uint64_t> errors{0};
   /// Total wall-clock nanoseconds spent evaluating this query.
   mutable std::atomic<std::uint64_t> eval_nanos{0};
+  /// Hits whose alert was suppressed by the token bucket (QuerySpec::
+  /// alert_rate_per_sec). Suppressed hits still count as hits.
+  mutable std::atomic<std::uint64_t> rate_limited{0};
 
   RegisteredQuery(QueryId query_id, QuerySpec query_spec)
-      : id(query_id), spec(std::move(query_spec)) {}
+      : id(query_id),
+        spec(std::move(query_spec)),
+        bucket_tokens_(static_cast<double>(spec.alert_burst)),
+        bucket_refill_(std::chrono::steady_clock::now()) {}
+
+  /// Token-bucket admission for one would-be alert: true when the alert
+  /// may publish (consumes a token), false when it is rate limited
+  /// (bumps rate_limited). Always true when the spec sets no limit.
+  /// Callers commit their dedup state (rising edge, watermark, active
+  /// pair set) regardless of the verdict, so a suppressed alert is
+  /// dropped for good rather than re-raised when tokens refill.
+  bool AllowAlert() const {
+    if (spec.alert_rate_per_sec <= 0.0) return true;
+    std::lock_guard<std::mutex> lock(bucket_mu_);
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket_refill_).count();
+    bucket_refill_ = now;
+    bucket_tokens_ =
+        std::min(static_cast<double>(spec.alert_burst),
+                 bucket_tokens_ + elapsed * spec.alert_rate_per_sec);
+    if (bucket_tokens_ >= 1.0) {
+      bucket_tokens_ -= 1.0;
+      return true;
+    }
+    rate_limited.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+ private:
+  /// Token-bucket state; contended only by evaluators that just detected
+  /// a hit on this specific query, never per tuple.
+  mutable std::mutex bucket_mu_;
+  mutable double bucket_tokens_ = 0.0;
+  mutable std::chrono::steady_clock::time_point bucket_refill_;
 };
 
 /// Point-in-time per-query counters for metrics export.
@@ -55,6 +94,7 @@ struct QueryMetricsSnapshot {
   std::uint64_t hits = 0;
   std::uint64_t errors = 0;
   std::uint64_t eval_nanos = 0;
+  std::uint64_t rate_limited = 0;
 };
 
 class QueryRegistry {

@@ -20,20 +20,31 @@ std::vector<double> NormalizeUnitSphere(const std::vector<double>& window,
 
 std::vector<double> ZNormalize(const std::vector<double>& window) {
   SD_CHECK(!window.empty());
-  const std::size_t n = window.size();
+  std::vector<double> out(window.size());
+  ZNormalizeTo(window.data(), window.size(), out.data(), nullptr, nullptr);
+  return out;
+}
+
+void ZNormalizeTo(const double* src, std::size_t n, double* dst,
+                  double* mean_out, double* norm2_out) {
+  SD_CHECK(src != nullptr && dst != nullptr);
+  SD_CHECK(n > 0);
   double mean = 0.0;
-  for (double v : window) mean += v;
+  for (std::size_t i = 0; i < n; ++i) mean += src[i];
   mean /= static_cast<double>(n);
   double norm2 = 0.0;
-  for (double v : window) {
-    const double d = v - mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = src[i] - mean;
     norm2 += d * d;
   }
-  std::vector<double> out(n, 0.0);
-  if (norm2 <= 0.0) return out;
+  if (mean_out != nullptr) *mean_out = mean;
+  if (norm2_out != nullptr) *norm2_out = norm2;
+  if (norm2 <= 0.0) {
+    for (std::size_t i = 0; i < n; ++i) dst[i] = 0.0;
+    return;
+  }
   const double scale = 1.0 / std::sqrt(norm2);
-  for (std::size_t i = 0; i < n; ++i) out[i] = (window[i] - mean) * scale;
-  return out;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = (src[i] - mean) * scale;
 }
 
 std::vector<double> NormalizeWindow(const std::vector<double>& window,

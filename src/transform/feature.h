@@ -31,6 +31,14 @@ std::vector<double> NormalizeUnitSphere(const std::vector<double>& window,
 /// Equation 3. A constant window (zero deviation) maps to the zero vector.
 std::vector<double> ZNormalize(const std::vector<double>& window);
 
+/// Span form of ZNormalize for callers that cache z-normalization state
+/// (engine/feature_pipeline): writes the z-normalized window to `dst`
+/// (length n, may alias `src`) and, when non-null, the window mean to
+/// `mean_out` and ‖x − μ‖₂² to `norm2_out`. Numerics match ZNormalize
+/// bit-for-bit.
+void ZNormalizeTo(const double* src, std::size_t n, double* dst,
+                  double* mean_out, double* norm2_out);
+
 /// Applies the requested normalization.
 std::vector<double> NormalizeWindow(const std::vector<double>& window,
                                     Normalization norm, double r_max);

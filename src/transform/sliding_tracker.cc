@@ -86,6 +86,11 @@ void SlidingAggregateTracker::Push(double value) {
   ++count_;
 }
 
+void SlidingAggregateTracker::PushSpan(const double* values, std::size_t n) {
+  SD_CHECK(values != nullptr || n == 0);
+  for (std::size_t i = 0; i < n; ++i) Push(values[i]);
+}
+
 double SlidingAggregateTracker::Current(std::size_t i) const {
   SD_DCHECK(Ready(i));
   switch (kind_) {

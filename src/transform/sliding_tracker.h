@@ -27,6 +27,10 @@ class SlidingAggregateTracker {
 
   void Push(double value);
 
+  /// Consumes `n` values in arrival order. Equivalent to calling Push on
+  /// each element; batch form for the engine feature pipeline.
+  void PushSpan(const double* values, std::size_t n);
+
   std::size_t num_windows() const { return windows_.size(); }
   std::size_t window(std::size_t i) const { return windows_[i]; }
   /// Number of values consumed.

@@ -253,5 +253,82 @@ TEST(AlertBusTest, ConcurrentPublishersConserveAlerts) {
   EXPECT_EQ(ring->total(), bus.delivered());
 }
 
+// Regression: a bus that was never started used to drop its queued
+// alerts on Stop — no dispatcher ever ran, yet Stop returned as if the
+// queue had drained. Stop now delivers the tail inline.
+TEST(AlertBusTest, StopWithoutStartDeliversQueuedAlerts) {
+  AlertBus bus(16, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  bus.AddSink(ring);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  bus.Stop();  // never started
+  EXPECT_EQ(ring->total(), 5u);
+  EXPECT_EQ(bus.delivered(), 5u);
+  const std::vector<Alert> kept = ring->Snapshot();
+  ASSERT_EQ(kept.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) EXPECT_EQ(kept[i].query, i);
+}
+
+// Same regression through a file sink: the last partial batch must be on
+// disk when Stop returns, started dispatcher or not.
+TEST(AlertBusTest, StopWithoutStartFlushesFileSink) {
+  const std::filesystem::path dir = TempDir("stardust_stop_flush_test");
+  const std::string path = (dir / "alerts.jsonl").string();
+  {
+    AlertBus bus(16, OverloadPolicy::kBlock);
+    auto sink = std::move(JsonlFileSink::Open(path)).value();
+    bus.AddSink(std::shared_ptr<JsonlFileSink>(std::move(sink)));
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+    }
+    bus.Stop();
+    // Read back before destruction: durability must come from Stop's
+    // flush, not from the sink destructor.
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    ASSERT_EQ(lines.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(lines[i], AlertToJson(MakeAlert(i)));
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Regression: a second Stop used to return immediately once the first had
+// merely set the stopping flag, before the queue tail was delivered or
+// the sinks flushed. Both racing Stops must observe full delivery.
+TEST(AlertBusTest, ConcurrentStopsBothWaitForDelivery) {
+  AlertBus bus(64, OverloadPolicy::kBlock);
+  auto ring = std::make_shared<RingSink>();
+  auto slow = std::make_shared<CallbackSink>([](const Alert&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  bus.AddSink(slow);
+  bus.AddSink(ring);
+  bus.Start();
+  static constexpr std::uint64_t kAlerts = 8;
+  for (std::uint64_t i = 0; i < kAlerts; ++i) {
+    ASSERT_TRUE(bus.Publish(MakeAlert(i)).ok());
+  }
+  std::atomic<int> stops_returned{0};
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 2; ++t) {
+    stoppers.emplace_back([&bus, &ring, &stops_returned] {
+      bus.Stop();
+      // Whichever Stop returns first must already observe everything
+      // delivered; the buggy fast path returned mid-drain.
+      EXPECT_EQ(ring->total(), kAlerts);
+      stops_returned.fetch_add(1);
+    });
+  }
+  for (std::thread& t : stoppers) t.join();
+  EXPECT_EQ(stops_returned.load(), 2);
+  EXPECT_EQ(bus.delivered(), kAlerts);
+}
+
 }  // namespace
 }  // namespace stardust

@@ -9,6 +9,7 @@
 
 #include "common/ring_buffer.h"
 #include "dwt/haar.h"
+#include "engine/feature_pipeline.h"
 #include "engine/shard.h"
 #include "geom/mbr.h"
 #include "stream/threshold.h"
@@ -55,28 +56,38 @@ std::unique_ptr<FleetAggregateMonitor> TestFleet() {
       .value();
 }
 
+std::unique_ptr<FeaturePipeline> TestPipeline() {
+  return std::make_unique<FeaturePipeline>(nullptr, nullptr, 2);
+}
+
 TEST(CheckDeathTest, ShardWithNullFleetAborts) {
   EXPECT_DEATH(Shard(0, 1, 1, 64, OverloadPolicy::kBlock, 16, nullptr,
-                     nullptr, nullptr, nullptr, nullptr, nullptr),
+                     TestPipeline(), nullptr, nullptr, nullptr),
+               "SD_CHECK failed");
+}
+
+TEST(CheckDeathTest, ShardWithNullPipelineAborts) {
+  EXPECT_DEATH(Shard(0, 1, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
+                     nullptr, nullptr, nullptr, nullptr),
                "SD_CHECK failed");
 }
 
 TEST(CheckDeathTest, ShardWithZeroShardCountAborts) {
   EXPECT_DEATH(Shard(0, 0, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
-                     nullptr, nullptr, nullptr, nullptr, nullptr),
+                     TestPipeline(), nullptr, nullptr, nullptr),
                "SD_CHECK failed");
 }
 
 TEST(CheckDeathTest, ShardWithOutOfRangeIndexAborts) {
   EXPECT_DEATH(Shard(3, 2, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
-                     nullptr, nullptr, nullptr, nullptr, nullptr),
+                     TestPipeline(), nullptr, nullptr, nullptr),
                "SD_CHECK failed");
 }
 
 TEST(CheckDeathTest, ShardWithRegistryButNoBusAborts) {
   QueryRegistry registry(StardustConfig{}, QueryConfig{});
   EXPECT_DEATH(Shard(0, 1, 1, 64, OverloadPolicy::kBlock, 16, TestFleet(),
-                     nullptr, nullptr, &registry, nullptr, nullptr),
+                     TestPipeline(), &registry, nullptr, nullptr),
                "SD_CHECK failed");
 }
 

@@ -327,5 +327,39 @@ TEST(IngestEngineTest, EpochStampsAdvanceWithAppliedBatches) {
   EXPECT_EQ(appended, 1200u);
 }
 
+// The compute-once contract of the feature pipeline (docs/FEATURES.md):
+// every applied batch updates the pipeline exactly once, so the pipeline
+// counters track the shard epoch and append count exactly — no batch is
+// skipped and none is processed twice.
+TEST(IngestEngineTest, FeaturePipelineUpdatesExactlyOncePerBatch) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 4, econfig))
+                    .value();
+  for (int t = 0; t < 250; ++t) {
+    for (StreamId s = 0; s < 4; ++s) {
+      ASSERT_TRUE(engine->Post(s, 1.0 * t).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  std::uint64_t pipeline_appends = 0;
+  for (const ShardMetricsSnapshot& shard : engine->ShardMetrics()) {
+    EXPECT_EQ(shard.pipeline_batches, shard.epoch)
+        << "shard " << shard.shard
+        << ": pipeline updated a different number of times than batches "
+           "were applied";
+    EXPECT_EQ(shard.pipeline_appends, shard.appended);
+    pipeline_appends += shard.pipeline_appends;
+  }
+  EXPECT_EQ(pipeline_appends, 1000u);
+  const std::string json = engine->MetricsJson();
+  for (const char* field : {"\"pipeline\"", "\"znorm_computes\"",
+                            "\"plan\"", "\"queries\":["}) {
+    EXPECT_NE(json.find(field), std::string::npos)
+        << "missing " << field << " in " << json;
+  }
+}
+
 }  // namespace
 }  // namespace stardust

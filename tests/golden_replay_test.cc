@@ -1,0 +1,376 @@
+// Golden-replay equivalence of the compiled-plan evaluation path.
+//
+// The engine used to evaluate queries directly against its cores (the
+// "seed" path: per-batch Algorithm-2 filter+verify over the fleet, the
+// uncompiled Algorithm-3 pattern query, per-round z-normalization in the
+// correlator). The feature-pipeline refactor replaced that with compiled
+// EvalPlans over a shared FeatureStore. These tests re-implement the seed
+// semantics verbatim as reference evaluators — plain rolling sums for
+// Algorithm 2, an independently-fed Stardust core driving QueryOnline for
+// Algorithm 3, an independently-fed correlation core with brute-force
+// pair verification for Section 5.3 — replay identical data through both,
+// and require the alert sequences to match exactly per query class.
+//
+// Data is integer-valued so every aggregate and distance both sides
+// compute is exact in double precision: any divergence is a semantic
+// difference, never rounding noise. Batch boundaries are pinned with
+// Pause/post/Resume/Flush cycles (one batch per step), and correlator
+// rounds run only through TriggerCorrelatorRound against an effectively
+// disabled background period.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "core/level_state.h"
+#include "core/pattern_query.h"
+#include "core/stardust.h"
+#include "core/summarizer.h"
+#include "engine/engine.h"
+#include "geom/mbr.h"
+#include "query/sinks.h"
+#include "stream/threshold.h"
+#include "transform/feature.h"
+
+namespace stardust {
+namespace {
+
+constexpr std::size_t kStreams = 4;
+constexpr int kSteps = 400;
+
+// Fleet (aggregate) configuration: SUM monitoring, base window 10.
+StardustConfig AggregateConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 10;
+  config.num_levels = 4;
+  config.history = 200;
+  config.box_capacity = 2;
+  config.update_period = 1;
+  return config;
+}
+
+// Online unit-sphere DWT core for pattern queries (Algorithm 3).
+StardustConfig PatternCoreConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kUnitSphere;
+  config.coefficients = 4;
+  config.r_max = 8.0;
+  config.base_window = 8;
+  config.num_levels = 2;
+  config.history = 1024;
+  config.box_capacity = 1;
+  config.update_period = 1;
+  config.index_features = true;
+  return config;
+}
+
+// Batch z-normalized DWT core for correlation queries (T == W, c == 1).
+StardustConfig CorrelationCoreConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kDwt;
+  config.normalization = Normalization::kZNorm;
+  config.coefficients = 4;
+  config.base_window = 8;
+  config.num_levels = 2;
+  config.history = 1024;
+  config.box_capacity = 1;
+  config.update_period = 8;  // T == W: batch algorithm
+  return config;
+}
+
+QueryConfig GoldenQueryConfig() {
+  QueryConfig config;
+  config.enable_patterns = true;
+  config.pattern = PatternCoreConfig();
+  config.enable_correlation = true;
+  config.correlation = CorrelationCoreConfig();
+  // Rounds fire only through TriggerCorrelatorRound.
+  config.correlator_period_ms = 3600 * 1000;
+  return config;
+}
+
+// The planted 16-step shape for the pattern query.
+std::vector<double> PatternShape() {
+  return {1, 5, 2, 8, 3, 7, 4, 6, 1, 5, 2, 8, 3, 7, 4, 6};
+}
+
+// Deterministic integer-valued data (see file comment):
+//  - streams 0 and 1 share a 5-periodic wave, except stream 1 diverges
+//    on t in [150, 250) — the correlation pair forms, breaks, re-forms;
+//  - stream 2 holds at 1 and bursts to 50 on [100, 140) and [300, 340)
+//    — two rising edges for the aggregate query;
+//  - stream 3 is hash noise with the pattern shape planted at [200, 216).
+double ValueAt(StreamId stream, int t) {
+  switch (stream) {
+    case 0:
+      return static_cast<double>(t % 5 + 1);
+    case 1:
+      if (t >= 150 && t < 250) {
+        return static_cast<double>((t * 13 + 7) % 9 + 1);
+      }
+      return static_cast<double>(t % 5 + 1);
+    case 2:
+      return ((t >= 100 && t < 140) || (t >= 300 && t < 340)) ? 50.0 : 1.0;
+    default: {
+      if (t >= 200 && t < 216) return PatternShape()[t - 200];
+      return static_cast<double>((t * 31 + 11) % 10);
+    }
+  }
+}
+
+// One expected or observed alert, stripped to the fields both paths must
+// agree on (epoch numbering differs by construction and is not compared).
+struct GoldenAlert {
+  QueryId query = 0;
+  StreamId a = 0;
+  StreamId b = 0;
+  std::size_t window = 0;
+  std::uint64_t end_time = 0;
+  double value = 0.0;
+  double threshold = 0.0;
+
+  bool operator<(const GoldenAlert& o) const {
+    return std::tie(end_time, query, a, b) <
+           std::tie(o.end_time, o.query, o.a, o.b);
+  }
+};
+
+std::vector<GoldenAlert> OfKind(const std::vector<Alert>& alerts,
+                                QueryKind kind) {
+  std::vector<GoldenAlert> out;
+  for (const Alert& alert : alerts) {
+    if (alert.kind != kind) continue;
+    out.push_back({alert.query, alert.stream, alert.stream_b, alert.window,
+                   alert.end_time, alert.value, alert.threshold});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectSameSequence(const std::vector<GoldenAlert>& seed,
+                        const std::vector<GoldenAlert>& plan,
+                        const char* what) {
+  ASSERT_EQ(seed.size(), plan.size()) << what << " alert count diverged";
+  for (std::size_t i = 0; i < seed.size(); ++i) {
+    EXPECT_EQ(seed[i].query, plan[i].query) << what << " alert " << i;
+    EXPECT_EQ(seed[i].a, plan[i].a) << what << " alert " << i;
+    EXPECT_EQ(seed[i].b, plan[i].b) << what << " alert " << i;
+    EXPECT_EQ(seed[i].window, plan[i].window) << what << " alert " << i;
+    EXPECT_EQ(seed[i].end_time, plan[i].end_time) << what << " alert " << i;
+    EXPECT_DOUBLE_EQ(seed[i].value, plan[i].value) << what << " alert " << i;
+    EXPECT_DOUBLE_EQ(seed[i].threshold, plan[i].threshold)
+        << what << " alert " << i;
+  }
+}
+
+// Seed-path Algorithm 2: per batch, per stream, exact rolling aggregate
+// with a rising-edge latch. Integer data keeps the sums exact.
+class SeedAggregate {
+ public:
+  SeedAggregate(QueryId id, std::size_t window, double threshold)
+      : id_(id), window_(window), threshold_(threshold),
+        tails_(kStreams), sums_(kStreams, 0.0), edge_(kStreams, 0) {}
+
+  void OnBatch(const std::vector<double>& values, std::uint64_t appended,
+               std::vector<GoldenAlert>* out) {
+    for (StreamId s = 0; s < kStreams; ++s) {
+      tails_[s].push_back(values[s]);
+      sums_[s] += values[s];
+      if (tails_[s].size() > window_) {
+        sums_[s] -= tails_[s].front();
+        tails_[s].pop_front();
+      }
+      if (tails_[s].size() < window_) continue;  // not ready
+      const bool alarm = sums_[s] >= threshold_;
+      if (alarm && edge_[s] == 0) {
+        out->push_back(
+            {id_, s, 0, window_, appended - 1, sums_[s], threshold_});
+      }
+      edge_[s] = alarm ? 1 : 0;
+    }
+  }
+
+ private:
+  const QueryId id_;
+  const std::size_t window_;
+  const double threshold_;
+  std::vector<std::deque<double>> tails_;
+  std::vector<double> sums_;
+  std::vector<char> edge_;
+};
+
+TEST(GoldenReplayTest, PlanPathMatchesSeedPathForEveryQueryClass) {
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.start_paused = true;
+  econfig.query = GoldenQueryConfig();
+  auto engine = std::move(IngestEngine::Create(AggregateConfig(),
+                                               {{10, 1e9}, {20, 1e9}},
+                                               kStreams, econfig))
+                    .value();
+  auto ring = std::make_shared<RingSink>(1 << 16);
+  engine->alerts().AddSink(ring);
+
+  // Reference cores, fed the identical tuple sequence.
+  auto ref_pattern = std::move(Stardust::Create(PatternCoreConfig())).value();
+  auto ref_corr = std::move(Stardust::Create(CorrelationCoreConfig())).value();
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    ref_pattern->AddStream();
+    ref_corr->AddStream();
+  }
+
+  // Pattern and correlation queries from the start; the aggregate query
+  // registers mid-stream (step 50) to exercise the tracker backfill
+  // against the seed path's "window inside retained history" semantics.
+  const double kPatternRadius = 0.05;
+  const QueryId pattern_id =
+      std::move(engine->RegisterQuery(
+                    QuerySpec::Pattern(PatternShape(), kPatternRadius)))
+          .value();
+  const double kCorrRadius = 0.5;
+  const QueryId corr_id =
+      std::move(engine->RegisterQuery(QuerySpec::Correlation(kCorrRadius, 0)))
+          .value();
+  const std::size_t kAggWindow = 20;
+  const double kAggThreshold = 200.0;
+  QueryId agg_id = 0;
+  std::unique_ptr<SeedAggregate> seed_agg;
+
+  std::vector<GoldenAlert> seed_aggregate_alerts;
+  std::vector<GoldenAlert> seed_pattern_alerts;
+  std::vector<GoldenAlert> seed_corr_alerts;
+  std::vector<std::uint64_t> pattern_watermark(kStreams, 0);
+  std::set<std::pair<StreamId, StreamId>> corr_active;
+  bool corr_has_last = false;
+  std::uint64_t corr_last_time = 0;
+
+  const std::size_t corr_level = 0;
+  const std::size_t corr_window =
+      CorrelationCoreConfig().LevelWindow(corr_level);
+  std::vector<double> values(kStreams, 0.0);
+  std::vector<double> raw_window;
+  std::vector<std::vector<double>> znormed(kStreams);
+  std::vector<char> present(kStreams, 0);
+
+  for (int t = 0; t < kSteps; ++t) {
+    if (t == 50) {
+      agg_id = std::move(engine->RegisterQuery(
+                             QuerySpec::Aggregate(kAggWindow, kAggThreshold)))
+                   .value();
+      seed_agg = std::make_unique<SeedAggregate>(agg_id, kAggWindow,
+                                                 kAggThreshold);
+    }
+
+    // One pinned batch: post one tuple per stream while paused, then let
+    // the worker apply them all at once.
+    for (StreamId s = 0; s < kStreams; ++s) {
+      values[s] = ValueAt(s, t);
+      ASSERT_TRUE(engine->Post(s, values[s]).ok());
+      ASSERT_TRUE(ref_pattern->Append(s, values[s]).ok());
+      ASSERT_TRUE(ref_corr->Append(s, values[s]).ok());
+    }
+    engine->Resume();
+    ASSERT_TRUE(engine->Flush().ok());
+    engine->Pause();
+    const std::uint64_t appended = static_cast<std::uint64_t>(t) + 1;
+
+    // Seed Algorithm 2.
+    if (seed_agg != nullptr) {
+      seed_agg->OnBatch(values, appended, &seed_aggregate_alerts);
+    }
+
+    // Seed Algorithm 3: the uncompiled online pattern query over the
+    // reference core, deduplicated by the per-stream delivery watermark.
+    const PatternQueryEngine pattern_engine(*ref_pattern);
+    const Result<PatternResult> result =
+        pattern_engine.QueryOnline(PatternShape(), kPatternRadius);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const PatternMatch& match : result.value().matches) {
+      if (match.end_time + 1 <= pattern_watermark[match.stream]) continue;
+      pattern_watermark[match.stream] = match.end_time + 1;
+      seed_pattern_alerts.push_back({pattern_id, match.stream, 0,
+                                     PatternShape().size(), match.end_time,
+                                     match.distance, kPatternRadius});
+    }
+
+    // Seed correlator round (Section 5.3): align every stream on the
+    // slowest latest feature time, z-normalize the exact windows, verify
+    // all pairs brute-force, rising-edge the pair set.
+    engine->TriggerCorrelatorRound();
+    std::uint64_t t_round = 0;
+    bool any = false;
+    for (StreamId s = 0; s < kStreams; ++s) {
+      const LevelThread& thread = ref_corr->summarizer(s).thread(corr_level);
+      if (thread.empty()) continue;
+      t_round = any ? std::min(t_round, thread.last_time())
+                    : thread.last_time();
+      any = true;
+    }
+    if (any && (!corr_has_last || t_round != corr_last_time)) {
+      corr_has_last = true;
+      corr_last_time = t_round;
+      for (StreamId s = 0; s < kStreams; ++s) {
+        present[s] = 0;
+        const StreamSummarizer& summarizer = ref_corr->summarizer(s);
+        if (summarizer.thread(corr_level).Find(t_round) == nullptr) continue;
+        if (!summarizer.GetWindow(t_round, corr_window, &raw_window).ok()) {
+          continue;
+        }
+        znormed[s].resize(corr_window);
+        double mean = 0.0;
+        double norm2 = 0.0;
+        ZNormalizeTo(raw_window.data(), corr_window, znormed[s].data(),
+                     &mean, &norm2);
+        present[s] = 1;
+      }
+      std::set<std::pair<StreamId, StreamId>> current;
+      for (StreamId i = 0; i < kStreams; ++i) {
+        if (present[i] == 0) continue;
+        for (StreamId j = i + 1; j < kStreams; ++j) {
+          if (present[j] == 0) continue;
+          const double d2 = Dist2(znormed[i], znormed[j]);
+          if (d2 > kCorrRadius * kCorrRadius) continue;
+          current.emplace(i, j);
+          if (corr_active.count({i, j}) != 0) continue;
+          seed_corr_alerts.push_back({corr_id, i, j, corr_window, t_round,
+                                      std::sqrt(d2), kCorrRadius});
+        }
+      }
+      corr_active.swap(current);
+    }
+  }
+  ASSERT_TRUE(engine->Stop().ok());
+
+  const std::vector<Alert> observed = ring->Snapshot();
+  std::sort(seed_aggregate_alerts.begin(), seed_aggregate_alerts.end());
+  std::sort(seed_pattern_alerts.begin(), seed_pattern_alerts.end());
+  std::sort(seed_corr_alerts.begin(), seed_corr_alerts.end());
+
+  // The data plants at least one event per class, so an accidentally
+  // silent class cannot vacuously pass.
+  EXPECT_GE(seed_aggregate_alerts.size(), 2u);  // two bursts
+  EXPECT_GE(seed_pattern_alerts.size(), 1u);
+  EXPECT_GE(seed_corr_alerts.size(), 2u);  // pair forms, breaks, re-forms
+
+  ExpectSameSequence(seed_aggregate_alerts,
+                     OfKind(observed, QueryKind::kAggregate), "aggregate");
+  ExpectSameSequence(seed_pattern_alerts,
+                     OfKind(observed, QueryKind::kPattern), "pattern");
+  ExpectSameSequence(seed_corr_alerts,
+                     OfKind(observed, QueryKind::kCorrelation), "correlation");
+}
+
+}  // namespace
+}  // namespace stardust

@@ -246,6 +246,123 @@ TEST(QueryRegistryTest, RestoreRejectsCorruptSnapshots) {
   ASSERT_TRUE(target.Restore(bytes).ok());
 }
 
+// --- Alert rate limiting (QuerySpec::WithAlertRate) --------------------
+
+TEST(QueryRegistryTest, ValidatesAlertRateFields) {
+  QueryRegistry registry(AggregateConfig(), FullQueryConfig());
+  // A positive rate needs a burst.
+  EXPECT_EQ(registry.Register(QuerySpec::Aggregate(20, 1.0).WithAlertRate(
+                                  5.0, 0))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(registry
+                   .Register(QuerySpec::Aggregate(20, 1.0).WithAlertRate(
+                       -1.0, 4))
+                   .ok());
+  EXPECT_FALSE(registry
+                   .Register(QuerySpec::Aggregate(20, 1.0).WithAlertRate(
+                       std::numeric_limits<double>::infinity(), 4))
+                   .ok());
+  // Rate 0 disables the limit; the burst is ignored.
+  EXPECT_TRUE(
+      registry.Register(QuerySpec::Aggregate(20, 1.0).WithAlertRate(0.0, 0))
+          .ok());
+  EXPECT_TRUE(
+      registry.Register(QuerySpec::Aggregate(20, 1.0).WithAlertRate(2.5, 8))
+          .ok());
+}
+
+TEST(QueryRegistryTest, TokenBucketSuppressesBeyondBurst) {
+  // A near-zero refill rate makes the bucket effectively burst-only, so
+  // the admit/suppress sequence is deterministic regardless of timing.
+  RegisteredQuery limited(
+      1, QuerySpec::Aggregate(20, 1.0).WithAlertRate(1e-9, 2));
+  EXPECT_TRUE(limited.AllowAlert());
+  EXPECT_TRUE(limited.AllowAlert());
+  EXPECT_FALSE(limited.AllowAlert());
+  EXPECT_FALSE(limited.AllowAlert());
+  EXPECT_EQ(limited.rate_limited.load(), 2u);
+
+  RegisteredQuery unlimited(2, QuerySpec::Aggregate(20, 1.0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.AllowAlert());
+  EXPECT_EQ(unlimited.rate_limited.load(), 0u);
+}
+
+TEST(QueryRegistryTest, SerializePreservesRateLimitFields) {
+  QueryRegistry source(AggregateConfig(), FullQueryConfig());
+  ASSERT_TRUE(
+      source.Register(QuerySpec::Aggregate(20, 1.0).WithAlertRate(2.5, 8))
+          .ok());
+  QueryRegistry restored(AggregateConfig(), FullQueryConfig());
+  ASSERT_TRUE(restored.Restore(source.Serialize()).ok());
+  const auto snapshot = restored.snapshot();
+  ASSERT_EQ(snapshot->aggregate.size(), 1u);
+  EXPECT_EQ(snapshot->aggregate[0]->spec.alert_rate_per_sec, 2.5);
+  EXPECT_EQ(snapshot->aggregate[0]->spec.alert_burst, 8u);
+}
+
+// Backward compatibility: a v1 registry snapshot (no rate-limit fields)
+// restores with the limit disabled.
+TEST(QueryRegistryTest, RestoresV1SnapshotsWithRateLimitDisabled) {
+  Writer payload;
+  payload.U64(2);  // next_id
+  payload.U64(1);  // count
+  payload.U64(1);  // id
+  QuerySpec spec = QuerySpec::Aggregate(20, 42.0);
+  spec.SaveTo(&payload, /*version=*/1);
+
+  Writer envelope;
+  const char magic[4] = {'S', 'D', 'Q', 'R'};
+  envelope.Bytes(magic, sizeof(magic));
+  envelope.U32(1);  // registry version 1
+  envelope.U64(Fnv1a(payload.buffer()));
+  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
+
+  QueryRegistry restored(AggregateConfig(), FullQueryConfig());
+  ASSERT_TRUE(restored.Restore(envelope.buffer()).ok());
+  const auto snapshot = restored.snapshot();
+  ASSERT_EQ(snapshot->aggregate.size(), 1u);
+  EXPECT_EQ(snapshot->aggregate[0]->spec.window, 20u);
+  EXPECT_EQ(snapshot->aggregate[0]->spec.threshold, 42.0);
+  EXPECT_EQ(snapshot->aggregate[0]->spec.alert_rate_per_sec, 0.0);
+  EXPECT_TRUE(snapshot->aggregate[0]->AllowAlert());
+}
+
+// Engine integration of the limiter: four streams cross the aggregate
+// threshold together, the bucket admits exactly `burst` alerts, and the
+// suppressed hits are visible in the per-query counters and metrics JSON.
+TEST(QueryEngineTest, RateLimitedQueryCapsPublishedAlerts) {
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  auto engine = std::move(IngestEngine::Create(AggregateConfig(),
+                                               FleetThresholds(), 4, econfig))
+                    .value();
+  auto ring = std::make_shared<RingSink>();
+  engine->alerts().AddSink(ring);
+  const QueryId id =
+      std::move(engine->RegisterQuery(
+                    QuerySpec::Aggregate(10, 100.0).WithAlertRate(1e-9, 1)))
+          .value();
+  for (int t = 0; t < 10; ++t) {
+    for (StreamId s = 0; s < 4; ++s) {
+      ASSERT_TRUE(engine->Post(s, 50.0).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Stop().ok());
+
+  // All four streams alarmed (hits) but the bucket admitted one alert.
+  EXPECT_EQ(ring->total(), 1u);
+  const auto metrics = engine->queries().Metrics();
+  ASSERT_EQ(metrics.size(), 1u);
+  EXPECT_EQ(metrics[0].id, id);
+  EXPECT_EQ(metrics[0].hits, 4u);
+  EXPECT_EQ(metrics[0].rate_limited, 3u);
+  EXPECT_NE(engine->MetricsJson().find("\"rate_limited\":3"),
+            std::string::npos);
+}
+
 // --- Engine integration -----------------------------------------------
 
 // The subsystem's acceptance property: ONE engine concurrently serves an
