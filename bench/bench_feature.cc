@@ -33,6 +33,7 @@
 #include "bench_util.h"
 #include "core/feature_store.h"
 #include "core/fleet_monitor.h"
+#include "core/snapshot.h"
 #include "core/stardust.h"
 #include "engine/feature_pipeline.h"
 #include "query/eval_plan.h"
@@ -313,6 +314,90 @@ RunResult RunRecompute(std::size_t shards, std::size_t steps) {
   return result;
 }
 
+/// Batched-vs-scalar maintenance at one shard of kStreams streams: the
+/// same per-stream value sequences and the same batch cadence (one
+/// FinishBatch per `run_len` steps — the engine's ApplyBatch shape), with
+/// state updated either per value (the scalar seed path) or via the
+/// columnar AppendRun kernels. Returns the maintain time plus an FNV-1a
+/// digest of the serialized fleet + pipeline state so the two modes can
+/// be asserted bit-identical.
+struct MaintainResult {
+  std::uint64_t appends = 0;
+  std::uint64_t maintain_ns = 0;
+  std::uint64_t state_digest = 0;
+};
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+MaintainResult RunMaintain(bool batched, std::size_t run_len,
+                           std::size_t steps) {
+  const StardustConfig fleet_config = FleetConfig();
+  const StardustConfig corr_config = CorrelationCoreConfig();
+
+  QueryConfig qconfig;
+  qconfig.enable_correlation = true;
+  qconfig.correlation = corr_config;
+  QueryRegistry registry(fleet_config, qconfig);
+  for (std::size_t window : AggregateWindows()) {
+    if (!registry.Register(QuerySpec::Aggregate(window, 1e18)).ok()) {
+      std::abort();
+    }
+  }
+  if (!registry.Register(QuerySpec::Correlation(0.5, 0)).ok()) std::abort();
+  PlanContext ctx;
+  ctx.fleet = &fleet_config;
+  ctx.correlation = &corr_config;
+  std::shared_ptr<const EvalPlan> plan =
+      CompileEvalPlan(*registry.snapshot(), registry.version(), ctx);
+
+  auto fleet_or =
+      FleetAggregateMonitor::Create(fleet_config, {{16, 1e18}}, kStreams);
+  if (!fleet_or.ok()) std::abort();
+  std::unique_ptr<FleetAggregateMonitor> fleet = std::move(fleet_or.value());
+  auto corr = Stardust::Create(corr_config);
+  if (!corr.ok()) std::abort();
+  std::vector<StreamId> touched;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    corr.value()->AddStream();
+    touched.push_back(static_cast<StreamId>(s));
+  }
+  FeaturePipeline pipeline(nullptr, std::move(corr.value()), kStreams);
+  pipeline.AdoptPlan(*plan, *fleet);
+
+  MaintainResult result;
+  std::vector<double> run(run_len);
+  for (std::size_t t = 0; t < steps; t += run_len) {
+    const std::size_t len = std::min(run_len, steps - t);
+    const std::uint64_t t0 = NowNanos();
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      for (std::size_t k = 0; k < len; ++k) run[k] = ValueAt(s, t + k);
+      const StreamId stream = static_cast<StreamId>(s);
+      if (batched) {
+        if (!fleet->AppendRun(stream, run.data(), len).ok()) std::abort();
+        if (!pipeline.AppendRun(stream, run.data(), len).ok()) std::abort();
+      } else {
+        for (std::size_t k = 0; k < len; ++k) {
+          if (!fleet->Append(stream, run[k]).ok()) std::abort();
+          if (!pipeline.Append(stream, run[k]).ok()) std::abort();
+        }
+      }
+      result.appends += len;
+    }
+    pipeline.FinishBatch(touched);
+    result.maintain_ns += NowNanos() - t0;
+  }
+  result.state_digest =
+      Fnv1a(SerializeFleetSnapshot(*fleet) + pipeline.Serialize());
+  return result;
+}
+
 void EmitLine(const char* mode, std::size_t shards, std::size_t steps,
               const RunResult& r) {
   const double seconds =
@@ -347,6 +432,53 @@ int main() {
       "query class (Sec. 2, docs/FEATURES.md)");
 
   const std::size_t steps = bench::FullScale() ? 32768 : 4096;
+
+  // Batched columnar maintenance vs the scalar seed path, one shard of
+  // kStreams streams, same batch cadence. State digests must agree: the
+  // batched kernels are an optimization, not an approximation. Each mode
+  // keeps the fastest of 5 runs so scheduler noise on loaded hosts
+  // does not masquerade as a kernel-speed difference.
+  constexpr int kReps = 5;
+  const auto best_of = [steps](bool batched_mode, std::size_t run_len) {
+    MaintainResult best = RunMaintain(batched_mode, run_len, steps);
+    for (int rep = 1; rep < kReps; ++rep) {
+      MaintainResult r = RunMaintain(batched_mode, run_len, steps);
+      if (r.state_digest != best.state_digest) {
+        std::fprintf(stderr, "FATAL: digest unstable across reps\n");
+        std::exit(1);
+      }
+      if (r.maintain_ns < best.maintain_ns) best = r;
+    }
+    return best;
+  };
+  for (std::size_t run_len : {std::size_t{1}, std::size_t{8},
+                              std::size_t{64}, std::size_t{256}}) {
+    const MaintainResult scalar = best_of(false, run_len);
+    const MaintainResult batched = best_of(true, run_len);
+    if (scalar.state_digest != batched.state_digest) {
+      std::fprintf(stderr,
+                   "FATAL: batched state digest diverged at run=%zu\n",
+                   run_len);
+      return 1;
+    }
+    const auto per_append = [](const MaintainResult& r) {
+      return static_cast<double>(r.maintain_ns) /
+             static_cast<double>(r.appends > 0 ? r.appends : 1);
+    };
+    const double speedup = per_append(batched) > 0.0
+                               ? per_append(scalar) / per_append(batched)
+                               : 0.0;
+    std::printf(
+        "{\"bench\":\"feature_maintain\",\"run\":%zu,\"streams\":%zu,"
+        "\"steps\":%zu,\"scalar_maintain_ns_per_append\":%.1f,"
+        "\"batched_maintain_ns_per_append\":%.1f,"
+        "\"maintain_speedup\":%.2f,\"state_digest\":%" PRIu64 "}\n",
+        run_len, kStreams, steps, per_append(scalar), per_append(batched),
+        speedup, batched.state_digest);
+    std::fprintf(stderr, "run=%zu maintain %.1f -> %.1f ns/append (%.2fx)\n",
+                 run_len, per_append(scalar), per_append(batched), speedup);
+  }
+
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4},
                              std::size_t{8}}) {
     const RunResult shared = RunShared(shards, steps);

@@ -64,7 +64,7 @@ double RunDirect(const Workload& load,
 
 double RunEngine(const Workload& load,
                  const std::vector<WindowThreshold>& thresholds,
-                 std::size_t shards, std::size_t producers,
+                 std::size_t shards, std::size_t producers, bool pin,
                  std::uint64_t* appended, std::uint64_t* dropped,
                  std::string* metrics_json) {
   EngineConfig econfig;
@@ -72,6 +72,7 @@ double RunEngine(const Workload& load,
   econfig.queue_capacity = 4096;
   econfig.max_producers = producers;
   econfig.overload = OverloadPolicy::kBlock;
+  econfig.pin_shards = pin;
   auto engine = std::move(IngestEngine::Create(StreamConfig(), thresholds,
                                                load.streams, econfig))
                     .value();
@@ -105,15 +106,16 @@ double RunEngine(const Workload& load,
 }
 
 void EmitLine(const char* mode, std::size_t shards, std::size_t producers,
-              std::uint64_t appended, std::uint64_t dropped, double seconds,
-              double baseline_rate) {
+              bool pinned, std::uint64_t appended, std::uint64_t dropped,
+              double seconds, double baseline_rate) {
   const double rate =
       seconds > 0.0 ? static_cast<double>(appended) / seconds : 0.0;
   std::printf("{\"bench\":\"ingest\",\"mode\":\"%s\",\"shards\":%zu,"
-              "\"producers\":%zu,\"appended\":%" PRIu64
+              "\"producers\":%zu,\"pinned\":%s,\"appended\":%" PRIu64
               ",\"dropped\":%" PRIu64 ",\"seconds\":%.4f,"
               "\"appends_per_sec\":%.0f,\"speedup_vs_direct\":%.2f}\n",
-              mode, shards, producers, appended, dropped, seconds, rate,
+              mode, shards, producers, pinned ? "true" : "false", appended,
+              dropped, seconds, rate,
               baseline_rate > 0.0 ? rate / baseline_rate : 0.0);
   std::fflush(stdout);
 }
@@ -143,23 +145,27 @@ int main() {
   const double direct_seconds = RunDirect(load, thresholds, &appended);
   const double direct_rate =
       static_cast<double>(appended) / direct_seconds;
-  EmitLine("direct", 0, 1, appended, 0, direct_seconds, direct_rate);
+  EmitLine("direct", 0, 1, false, appended, 0, direct_seconds, direct_rate);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   std::fprintf(stderr, "hardware threads: %u\n", hw);
+  // Each shard count runs unpinned then pinned (EngineConfig::pin_shards),
+  // so adjacent lines isolate the affinity effect at fixed parallelism.
   for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
                                    std::size_t{4}, std::size_t{8}}) {
     const std::size_t producers = std::min<std::size_t>(shards, 4);
-    std::uint64_t engine_appended = 0;
-    std::uint64_t dropped = 0;
-    std::string metrics_json;
-    const double seconds =
-        RunEngine(load, thresholds, shards, producers, &engine_appended,
-                  &dropped, &metrics_json);
-    EmitLine("engine", shards, producers, engine_appended, dropped,
-             seconds, direct_rate);
-    std::fprintf(stderr, "engine metrics (%zu shards): %s\n", shards,
-                 metrics_json.c_str());
+    for (const bool pin : {false, true}) {
+      std::uint64_t engine_appended = 0;
+      std::uint64_t dropped = 0;
+      std::string metrics_json;
+      const double seconds =
+          RunEngine(load, thresholds, shards, producers, pin,
+                    &engine_appended, &dropped, &metrics_json);
+      EmitLine("engine", shards, producers, pin, engine_appended, dropped,
+               seconds, direct_rate);
+      std::fprintf(stderr, "engine metrics (%zu shards, %s): %s\n", shards,
+                   pin ? "pinned" : "unpinned", metrics_json.c_str());
+    }
   }
   return 0;
 }

@@ -13,6 +13,16 @@ void LatencyHistogram::Record(std::uint64_t nanos) {
   total_nanos_.fetch_add(nanos, std::memory_order_relaxed);
 }
 
+void LatencyHistogram::RecordN(std::uint64_t nanos, std::uint64_t count) {
+  if (count == 0) return;
+  std::size_t bucket =
+      nanos < 2 ? 0 : static_cast<std::size_t>(std::bit_width(nanos) - 1);
+  if (bucket >= kNumBuckets) bucket = kNumBuckets - 1;
+  buckets_[bucket].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  total_nanos_.fetch_add(nanos * count, std::memory_order_relaxed);
+}
+
 std::uint64_t LatencyHistogram::Count() const {
   return count_.load(std::memory_order_relaxed);
 }

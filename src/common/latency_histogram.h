@@ -26,6 +26,11 @@ class LatencyHistogram {
   /// Records one sample. Thread-safe, lock-free.
   void Record(std::uint64_t nanos);
 
+  /// Records `count` samples of `nanos` each with a single set of atomic
+  /// updates. Batched appenders use this to charge a run's per-value cost
+  /// without one atomic round-trip per value.
+  void RecordN(std::uint64_t nanos, std::uint64_t count);
+
   /// Total number of recorded samples.
   std::uint64_t Count() const;
   /// Sum of all recorded samples (saturating view; relaxed counters).

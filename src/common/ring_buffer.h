@@ -37,6 +37,32 @@ class RingBuffer {
     ++size_;
   }
 
+  /// Appends `count` values in order, equivalent to calling Push once per
+  /// value but touching the size counter once and copying in at most two
+  /// contiguous segments (no per-element modulo).
+  void PushSpan(const T* values, std::size_t count) {
+    SD_DCHECK(values != nullptr || count == 0);
+    if (count >= capacity_) {
+      // Only the last `capacity_` values survive; lay them out so that
+      // position p lands at slot p % capacity_.
+      const T* tail = values + (count - capacity_);
+      const std::uint64_t first = size_ + (count - capacity_);
+      for (std::size_t i = 0; i < capacity_; ++i) {
+        data_[(first + i) % capacity_] = tail[i];
+      }
+      size_ += count;
+      return;
+    }
+    const std::size_t start = static_cast<std::size_t>(size_ % capacity_);
+    const std::size_t head = capacity_ - start < count ? capacity_ - start
+                                                       : count;
+    for (std::size_t i = 0; i < head; ++i) data_[start + i] = values[i];
+    for (std::size_t i = head; i < count; ++i) {
+      data_[i - head] = values[i];
+    }
+    size_ += count;
+  }
+
   /// Total number of values ever appended.
   std::uint64_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }

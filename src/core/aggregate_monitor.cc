@@ -1,5 +1,6 @@
 #include "core/aggregate_monitor.h"
 
+#include <cmath>
 #include <utility>
 
 namespace stardust {
@@ -79,6 +80,50 @@ Status AggregateMonitor::Append(double value) {
     }
   }
   return Status::OK();
+}
+
+Status AggregateMonitor::AppendRun(const double* values, std::size_t n) {
+  if (n == 0) return Status::OK();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) {
+      // Per-value fallback: the prefix before the bad value is applied and
+      // the error surfaces on exactly the value Append would reject.
+      for (std::size_t k = 0; k < n; ++k) {
+        SD_RETURN_NOT_OK(Append(values[k]));
+      }
+      SD_CHECK(false);  // unreachable: Append rejects the non-finite value
+    }
+  }
+  const bool indexed = stardust_->config().index_features;
+  StreamSummarizer* summarizer = stardust_->mutable_summarizer(stream_);
+  run_sealed_.clear();
+  run_expired_.clear();
+  summarizer->BeginRun(values, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    summarizer->AppendRunStep(i, indexed ? &run_sealed_ : nullptr);
+    tracker_.Push(values[i]);
+    const std::uint64_t t = summarizer->RunTime(i);
+    for (std::size_t w = 0; w < thresholds_.size(); ++w) {
+      if (!tracker_.Ready(w)) continue;
+      // Same check as Append, composed at this arrival's time (now()
+      // already reflects the whole staged run).
+      Result<ScalarInterval> interval = stardust_->AggregateIntervalAt(
+          stream_, thresholds_[w].window, t, &extent_scratch_);
+      if (!interval.ok()) {
+        summarizer->EndRun(indexed ? &run_expired_ : nullptr);
+        return interval.status();
+      }
+      AlarmStats& stats = stats_[w];
+      ++stats.checks;
+      if (interval.value().hi < thresholds_[w].threshold) continue;
+      ++stats.candidates;
+      if (tracker_.Current(w) >= thresholds_[w].threshold) {
+        ++stats.true_alarms;
+      }
+    }
+  }
+  summarizer->EndRun(indexed ? &run_expired_ : nullptr);
+  return stardust_->ApplyRunIndexDeltas(stream_, run_sealed_, run_expired_);
 }
 
 void AggregateMonitor::SaveTo(Writer* writer) const {

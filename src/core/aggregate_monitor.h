@@ -50,6 +50,14 @@ class AggregateMonitor {
   /// Feeds one value and runs every monitored window's check.
   Status Append(double value);
 
+  /// Batched append: equivalent to n Append calls — every per-arrival
+  /// check still runs against the summary state as of that arrival (via
+  /// the summarizer's three-phase run), so the alarm counters, the
+  /// tracker, and the serialized summary state are bit-identical to the
+  /// per-value path. Runs containing non-finite values fall back to the
+  /// per-value path, which stops at the offending value.
+  Status AppendRun(const double* values, std::size_t n);
+
   std::size_t num_windows() const { return thresholds_.size(); }
   const WindowThreshold& threshold(std::size_t i) const {
     return thresholds_[i];
@@ -79,6 +87,11 @@ class AggregateMonitor {
   SlidingAggregateTracker tracker_;
   std::vector<AlarmStats> stats_;
   StreamId stream_ = 0;
+
+  // Reused scratch for AppendRun (empty between runs).
+  std::vector<BoxRef> run_sealed_;
+  std::vector<BoxRef> run_expired_;
+  Mbr extent_scratch_;
 };
 
 }  // namespace stardust

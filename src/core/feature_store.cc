@@ -4,6 +4,10 @@
 #include <cstring>
 #include <utility>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #include "common/check.h"
 
 namespace stardust {
@@ -224,6 +228,38 @@ Status FeatureStore::RestoreFrom(Reader* reader) {
   epoch_ = epoch;
   puts_ = puts;
   return Status::OK();
+}
+
+std::size_t FeatureStoreEntryBytes(std::size_t window, std::size_t dims) {
+  // Per entry across the slab columns: time (u64), `dims` feature
+  // coefficients, `window` z-normalized values, mean + norm2, plus the
+  // per-stream head/count bookkeeping amortized over the ring.
+  return sizeof(std::uint64_t) + (dims + window + 2) * sizeof(double) +
+         2 * sizeof(std::uint32_t);
+}
+
+std::size_t ProbedL2CacheBytes() {
+#if defined(__linux__) && defined(_SC_LEVEL2_CACHE_SIZE)
+  const long bytes = sysconf(_SC_LEVEL2_CACHE_SIZE);
+  if (bytes > 0) return static_cast<std::size_t>(bytes);
+#endif
+  return 0;
+}
+
+std::size_t DeriveStoreCapacity(std::size_t streams, std::size_t entry_bytes,
+                                std::size_t cache_bytes) {
+  constexpr std::size_t kMinCapacity = 4;
+  constexpr std::size_t kMaxCapacity = 64;
+  constexpr std::size_t kFallback = 8;  // FeaturePipeline::kDefaultStoreCapacity
+  if (streams == 0 || entry_bytes == 0 || cache_bytes == 0) return kFallback;
+  // Budget half the cache for the store's hot set; the other half stays
+  // with raw history, summarizer state, and code.
+  const std::size_t budget = cache_bytes / 2;
+  const std::size_t per_slot = streams * entry_bytes;
+  std::size_t capacity = per_slot == 0 ? kFallback : budget / per_slot;
+  if (capacity < kMinCapacity) capacity = kMinCapacity;
+  if (capacity > kMaxCapacity) capacity = kMaxCapacity;
+  return capacity;
 }
 
 }  // namespace stardust

@@ -132,6 +132,26 @@ class FeatureStore {
   mutable std::uint64_t misses_ = 0;
 };
 
+/// Cache-geometry helpers for sizing the store (engine/engine.cc derives
+/// EngineConfig-default ring capacities from these).
+
+/// Approximate bytes one cached entry of a level occupies across the
+/// store's columns (time + feature + z-normalized window + z-norm state +
+/// ring bookkeeping, amortized per entry).
+std::size_t FeatureStoreEntryBytes(std::size_t window, std::size_t dims);
+
+/// Probed L2 data-cache size in bytes; 0 when the platform does not
+/// expose it (non-Linux, restricted sysfs, etc.).
+std::size_t ProbedL2CacheBytes();
+
+/// Ring capacity per (level, stream) such that a shard's hot store set
+/// (streams × entry) fits in roughly half of `cache_bytes`, clamped to
+/// [4, 64]. Any zero/unknown input falls back to the fixed default
+/// (FeaturePipeline::kDefaultStoreCapacity == 8). Pure — unit-testable
+/// without probing hardware.
+std::size_t DeriveStoreCapacity(std::size_t streams, std::size_t entry_bytes,
+                                std::size_t cache_bytes);
+
 }  // namespace stardust
 
 #endif  // STARDUST_CORE_FEATURE_STORE_H_

@@ -33,6 +33,14 @@ Status FleetAggregateMonitor::Append(StreamId stream, double value) {
   return monitors_[stream]->Append(value);
 }
 
+Status FleetAggregateMonitor::AppendRun(StreamId stream, const double* values,
+                                        std::size_t n) {
+  if (stream >= monitors_.size()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  return monitors_[stream]->AppendRun(values, n);
+}
+
 Status FleetAggregateMonitor::AppendAll(const std::vector<double>& values) {
   if (values.size() != monitors_.size()) {
     return Status::InvalidArgument("value count != stream count");

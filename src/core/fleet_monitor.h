@@ -37,6 +37,10 @@ class FleetAggregateMonitor {
 
   /// Feeds one value of one stream.
   Status Append(StreamId stream, double value);
+  /// Feeds a run of consecutive values of one stream. Equivalent to n
+  /// Append calls bit-for-bit (see AggregateMonitor::AppendRun); the
+  /// engine's batched maintenance path.
+  Status AppendRun(StreamId stream, const double* values, std::size_t n);
   /// Feeds one synchronized arrival across all streams.
   Status AppendAll(const std::vector<double>& values);
 

@@ -60,6 +60,23 @@ class LevelThread {
   void ExpireBefore(std::uint64_t min_time,
                     const std::function<void(const FeatureBox&)>& on_remove);
 
+  /// Hot-path form of ExpireBefore for the batched maintenance loop: the
+  /// callback is a template parameter, so no std::function is constructed
+  /// per call. Semantics are identical to ExpireBefore.
+  template <typename Fn>
+  void ExpireBeforeFast(std::uint64_t min_time, Fn&& on_remove) {
+    while (!boxes_.empty()) {
+      const FeatureBox& front = boxes_.front();
+      if (!front.sealed) break;  // never drop the box still filling
+      const std::uint64_t last_feature_time =
+          front.first_time +
+          static_cast<std::uint64_t>(front.count - 1) * stride_;
+      if (last_feature_time >= min_time) break;
+      on_remove(front);
+      boxes_.pop_front();
+    }
+  }
+
   /// The still-filling box (not yet in any level index), or nullptr when
   /// the most recent box is sealed. Range queries must consult it in
   /// addition to the index to see the freshest features.

@@ -53,6 +53,47 @@ Status Stardust::Append(StreamId stream, double value) {
   return Status::OK();
 }
 
+Status Stardust::AppendRun(StreamId stream, const double* values,
+                           std::size_t n) {
+  if (n == 0) return Status::OK();
+  if (stream >= streams_.size()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(values[i])) {
+      // Fall back to the per-value path: the prefix before the bad value
+      // is applied and the error surfaces on exactly the value Append
+      // would have rejected. (The engine pre-splits runs at non-finite
+      // values, so this is a correctness net, not a hot path.)
+      for (std::size_t k = 0; k < n; ++k) {
+        SD_RETURN_NOT_OK(Append(stream, values[k]));
+      }
+      SD_CHECK(false);  // the scan saw a non-finite value; Append rejects it
+    }
+  }
+  const bool indexed = config_.index_features;
+  sealed_scratch_.clear();
+  expired_scratch_.clear();
+  streams_[stream]->AppendRun(values, n, indexed ? &sealed_scratch_ : nullptr,
+                              indexed ? &expired_scratch_ : nullptr);
+  return ApplyRunIndexDeltas(stream, sealed_scratch_, expired_scratch_);
+}
+
+Status Stardust::ApplyRunIndexDeltas(StreamId stream,
+                                     const std::vector<BoxRef>& sealed,
+                                     const std::vector<BoxRef>& expired) {
+  if (!config_.index_features) return Status::OK();
+  for (const BoxRef& box : sealed) {
+    SD_RETURN_NOT_OK(
+        indexes_[box.level]->Insert(box.extent, MakeRecordId(stream, box.seq)));
+  }
+  for (const BoxRef& box : expired) {
+    SD_RETURN_NOT_OK(
+        indexes_[box.level]->Delete(box.extent, MakeRecordId(stream, box.seq)));
+  }
+  return Status::OK();
+}
+
 Status Stardust::RebuildIndexes() {
   if (!config_.index_features) return Status::OK();
   for (std::size_t j = 0; j < config_.num_levels; ++j) {
@@ -75,6 +116,18 @@ Status Stardust::RebuildIndexes() {
 
 Result<ScalarInterval> Stardust::AggregateInterval(StreamId stream,
                                                    std::size_t window) const {
+  // now() == 0 makes end_time wrap; end_time + 1 wraps back to 0 inside
+  // AggregateIntervalAt's length check, so the short-stream error is still
+  // reported before any box lookup.
+  Mbr extent;
+  const std::uint64_t end_time =
+      stream < streams_.size() ? streams_[stream]->now() - 1 : 0;
+  return AggregateIntervalAt(stream, window, end_time, &extent);
+}
+
+Result<ScalarInterval> Stardust::AggregateIntervalAt(
+    StreamId stream, std::size_t window, std::uint64_t end_time,
+    Mbr* extent_scratch) const {
   if (stream >= streams_.size()) {
     return Status::InvalidArgument("unknown stream");
   }
@@ -93,13 +146,13 @@ Result<ScalarInterval> Stardust::AggregateInterval(StreamId stream,
         "query window exceeds the largest indexed resolution");
   }
   const StreamSummarizer& summarizer = *streams_[stream];
-  if (summarizer.now() < window) {
+  if (end_time + 1 < window) {
     return Status::OutOfRange("stream shorter than the query window");
   }
   // Algorithm 2: walk the ones of b from the least significant bit; the
   // smallest sub-window is anchored at the most recent data.
-  std::uint64_t t = summarizer.now() - 1;
-  Mbr extent;
+  std::uint64_t t = end_time;
+  Mbr& extent = *extent_scratch;
   bool first = true;
   for (std::size_t j = 0; j < config_.num_levels; ++j) {
     if (((b >> j) & 1) == 0) continue;
@@ -112,8 +165,8 @@ Result<ScalarInterval> Stardust::AggregateInterval(StreamId stream,
       extent = box->extent;
       first = false;
     } else {
-      extent =
-          AggregateMergeExtents(config_.aggregate, box->extent, extent);
+      AggregateMergeExtentsInto(config_.aggregate, box->extent, extent,
+                                &extent);
     }
     t -= config_.LevelWindow(j);
   }

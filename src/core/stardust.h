@@ -54,6 +54,32 @@ class Stardust {
   /// Feeds one value of one stream, maintaining threads and level indexes.
   Status Append(StreamId stream, double value);
 
+  /// Batched append — the engine's columnar maintenance path. Produces
+  /// summary state bit-identical to n Append calls (see
+  /// StreamSummarizer::AppendRun); level indexes receive the same inserts
+  /// and deletes (deletes grouped by level at the end of the run). A run
+  /// containing a non-finite value falls back to the per-value path, which
+  /// stops at the offending value with Append's error.
+  Status AppendRun(StreamId stream, const double* values, std::size_t n);
+
+  /// AggregateInterval with an explicit window end time and reusable
+  /// extent scratch. The batched monitor path composes intervals for
+  /// arrivals in the middle of an open summarizer run, where now() already
+  /// reflects the whole run; results are bit-identical to
+  /// AggregateInterval evaluated when `end_time` was the latest value.
+  Result<ScalarInterval> AggregateIntervalAt(StreamId stream,
+                                             std::size_t window,
+                                             std::uint64_t end_time,
+                                             Mbr* extent_scratch) const;
+
+  /// Run-append support for owners that drive a summarizer's three-phase
+  /// run directly (core/aggregate_monitor): applies a run's sealed and
+  /// expired boxes to the level indexes. No-op unless
+  /// config().index_features.
+  Status ApplyRunIndexDeltas(StreamId stream,
+                             const std::vector<BoxRef>& sealed,
+                             const std::vector<BoxRef>& expired);
+
   /// Approximate aggregate over the window of size `window` ending at the
   /// stream's latest value — the composition step of Algorithm 2. `window`
   /// must be a positive multiple of W with w/W < 2^num_levels.

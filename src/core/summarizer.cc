@@ -1,5 +1,6 @@
 #include "core/summarizer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -131,6 +132,128 @@ Mbr StreamSummarizer::ComputeFeature(std::size_t level, std::uint64_t t) {
                              ? 1.0 / std::sqrt(2.0)
                              : 1.0;
   return MergeMbrHalvesHaar(left->extent, right->extent, rescale);
+}
+
+void StreamSummarizer::ComputeFeatureInto(std::size_t level, std::uint64_t t,
+                                          Mbr* out) {
+  const std::size_t w = config_.LevelWindow(level);
+  const bool exact = level == 0 || config_.exact_levels ||
+                     config_.LevelPeriod(level) > 1;
+  if (exact) {
+    const std::uint64_t start = t + 1 - w;
+    SD_DCHECK(start >= linear_base_);
+    SD_DCHECK(start - linear_base_ + w <= linear_.size());
+    ExactFeatureIntoFromSpan(
+        linear_.data() + static_cast<std::size_t>(start - linear_base_), w,
+        out);
+    return;
+  }
+  const std::size_t half = w / 2;
+  const FeatureBox* left = threads_[level - 1].Find(t - half);
+  const FeatureBox* right = threads_[level - 1].Find(t);
+  SD_CHECK(left != nullptr && right != nullptr);
+  if (config_.transform == TransformKind::kAggregate) {
+    AggregateMergeExtentsInto(config_.aggregate, left->extent, right->extent,
+                              out);
+    return;
+  }
+  const double rescale = config_.normalization == Normalization::kUnitSphere
+                             ? 1.0 / std::sqrt(2.0)
+                             : 1.0;
+  MergeMbrHalvesHaarInto(left->extent, right->extent, rescale, out);
+}
+
+void StreamSummarizer::ExactFeatureIntoFromSpan(const double* window,
+                                                std::size_t w, Mbr* out) {
+  if (config_.transform == TransformKind::kAggregate) {
+    AggregateExactFeatureInto(config_.aggregate, window, w, out);
+    return;
+  }
+  scratch_.assign(window, window + w);
+  NormalizeWindowInPlace(&scratch_, config_.normalization, config_.r_max);
+  if (config_.normalization == Normalization::kZNorm) {
+    // Same coefficient selection as ExactFeatureFromRaw (skip the zero DC
+    // term), via the allocation-free DWT.
+    const std::size_t f = config_.coefficients;
+    HaarApproxInPlace(&scratch_, 2 * f);
+    HaarDwtInto(scratch_, &dwt_out_, &dwt_scratch_);
+    out->AssignPoint(dwt_out_.data() + 1, f);
+    return;
+  }
+  HaarApproxInPlace(&scratch_, config_.coefficients);
+  out->AssignPoint(scratch_.data(), config_.coefficients);
+}
+
+void StreamSummarizer::BeginRun(const double* values, std::size_t n) {
+  SD_DCHECK(run_n_ == 0);
+  SD_CHECK(n > 0);
+  const std::uint64_t t_begin = raw_.size();
+  // Stage [oldest value any window of the run can reach, end of run) as
+  // one contiguous buffer. The largest window ending at the first run
+  // arrival starts max_w - 1 values back.
+  const std::size_t max_w = config_.LevelWindow(config_.num_levels - 1);
+  std::uint64_t tail_lo = 0;
+  if (t_begin >= max_w) tail_lo = t_begin - (max_w - 1);
+  if (tail_lo < raw_.first_position()) tail_lo = raw_.first_position();
+  const std::size_t tail_n = static_cast<std::size_t>(t_begin - tail_lo);
+  linear_.resize(tail_n + n);
+  for (std::size_t i = 0; i < tail_n; ++i) {
+    linear_[i] = raw_.At(tail_lo + i);
+  }
+  std::copy(values, values + n, linear_.begin() + tail_n);
+  // The ring only feeds the linear buffer (already copied) during the run,
+  // so the whole run can be committed to it up front in two segments.
+  raw_.PushSpan(values, n);
+  linear_base_ = tail_lo;
+  run_first_t_ = t_begin;
+  run_n_ = n;
+}
+
+void StreamSummarizer::AppendRunStep(std::size_t i,
+                                     std::vector<BoxRef>* sealed) {
+  SD_DCHECK(i < run_n_);
+  const std::uint64_t t = run_first_t_ + i;
+  // Identical per-arrival schedule to Append; only the feature kernels and
+  // the (deferred) expiration differ.
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    const std::size_t w = config_.LevelWindow(j);
+    if (t + 1 < w) break;  // higher levels have even larger windows
+    if ((t + 1 - w) % config_.LevelPeriod(j) != 0) continue;
+    ComputeFeatureInto(j, t, &feature_scratch_);
+    const FeatureBox* sealed_box = threads_[j].Append(t, feature_scratch_);
+    if (sealed_box != nullptr && sealed != nullptr) {
+      sealed->push_back({j, sealed_box->extent, sealed_box->seq});
+    }
+  }
+}
+
+void StreamSummarizer::EndRun(std::vector<BoxRef>* expired) {
+  SD_DCHECK(run_n_ > 0);
+  // Deferred expiration: ExpireBefore removes exactly the boxes whose last
+  // feature time falls below the final min_time, and min_time is monotonic
+  // in t, so expiring once at the end removes the same boxes the
+  // per-arrival calls would have (grouped by level here).
+  const std::uint64_t end = run_first_t_ + run_n_;
+  if (end > config_.history) {
+    const std::uint64_t min_time = end - config_.history;
+    for (std::size_t j = 0; j < config_.num_levels; ++j) {
+      threads_[j].ExpireBeforeFast(min_time, [&](const FeatureBox& box) {
+        if (expired != nullptr) {
+          expired->push_back({j, box.extent, box.seq});
+        }
+      });
+    }
+  }
+  run_n_ = 0;
+}
+
+void StreamSummarizer::AppendRun(const double* values, std::size_t n,
+                                 std::vector<BoxRef>* sealed,
+                                 std::vector<BoxRef>* expired) {
+  if (n == 0) return;
+  BeginRun(values, n);
+  for (std::size_t i = 0; i < n; ++i) AppendRunStep(i, sealed);
+  EndRun(expired);
 }
 
 void StreamSummarizer::Append(double value, std::vector<BoxRef>* sealed,

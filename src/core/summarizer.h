@@ -41,6 +41,36 @@ class StreamSummarizer {
   void Append(double value, std::vector<BoxRef>* sealed,
               std::vector<BoxRef>* expired);
 
+  /// Batched append — the engine's columnar maintenance path. Equivalent
+  /// to n Append calls: the resulting summary state (raw tail, level
+  /// threads, serialized bytes) is bit-identical, and `sealed` receives
+  /// the same boxes in the same order. Expiration is deferred to the end
+  /// of the run (the retained set only depends on the final time, so the
+  /// final state and the union of expired boxes are unchanged; `expired`
+  /// is grouped by level instead of interleaved by arrival).
+  ///
+  /// The speedup comes from staging the run in one contiguous buffer
+  /// (every exact-feature window is a plain span — no per-element ring
+  /// modulo) and from allocation-free feature kernels
+  /// (transform/aggregate, dwt/mbr_transform) writing into reused scratch.
+  void AppendRun(const double* values, std::size_t n,
+                 std::vector<BoxRef>* sealed, std::vector<BoxRef>* expired);
+
+  /// Three-phase form of AppendRun for owners that interleave per-arrival
+  /// work with maintenance (core/aggregate_monitor checks thresholds after
+  /// every value): BeginRun stages the run and bulk-pushes the raw values,
+  /// AppendRunStep(i) applies arrival i (must be called for i = 0..n-1 in
+  /// order), EndRun applies the deferred expiration and ends the run.
+  /// While a run is open, now() already reflects the whole run; per-level
+  /// Find/extent state advances arrival by arrival exactly as under
+  /// Append.
+  void BeginRun(const double* values, std::size_t n);
+  void AppendRunStep(std::size_t i, std::vector<BoxRef>* sealed);
+  void EndRun(std::vector<BoxRef>* expired);
+
+  /// Time of arrival i of the open run (BeginRun .. EndRun).
+  std::uint64_t RunTime(std::size_t i) const { return run_first_t_ + i; }
+
   /// Number of values consumed so far; the latest value has time now()-1.
   std::uint64_t now() const { return raw_.size(); }
 
@@ -78,10 +108,29 @@ class StreamSummarizer {
   /// buffer (in-place normalization and transform — the hot path).
   Point ExactFeatureFromRaw(std::vector<double>* window) const;
 
+  /// Allocation-free ComputeFeature for the batched path: exact windows
+  /// are read from linear_, results land in `out` (reused storage).
+  /// Bit-identical to ComputeFeature.
+  void ComputeFeatureInto(std::size_t level, std::uint64_t t, Mbr* out);
+  /// Allocation-free ExactFeatureFromRaw over a contiguous window span.
+  void ExactFeatureIntoFromSpan(const double* window, std::size_t w,
+                                Mbr* out);
+
   StardustConfig config_;
   RingBuffer<double> raw_;
   std::vector<LevelThread> threads_;
   std::vector<double> scratch_;
+
+  // Run staging (BeginRun .. EndRun): linear_ holds the raw tail required
+  // by the largest window followed by the run itself, so every exact
+  // window of every arrival in the run is one contiguous span.
+  std::vector<double> linear_;
+  std::uint64_t linear_base_ = 0;  // time of linear_[0]
+  std::uint64_t run_first_t_ = 0;  // time of the run's first value
+  std::size_t run_n_ = 0;
+  Mbr feature_scratch_;
+  std::vector<double> dwt_out_;
+  std::vector<double> dwt_scratch_;
 };
 
 }  // namespace stardust

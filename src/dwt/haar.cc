@@ -114,6 +114,30 @@ std::size_t SuggestCoefficientCount(
   return w;
 }
 
+void HaarDwtInto(const std::vector<double>& x, std::vector<double>* out,
+                 std::vector<double>* scratch) {
+  SD_CHECK(IsPowerOfTwo(x.size()));
+  const std::size_t n = x.size();
+  out->resize(n);
+  scratch->assign(x.begin(), x.end());
+  double* a = scratch->data();
+  double* o = out->data();
+  std::size_t len = n;
+  // Same halving recurrence as HaarDwt, with the approximation vector
+  // shrinking in place: a[k] is only written after a[2k] and a[2k+1] were
+  // read (k <= 2k), so no temporary is needed.
+  while (len > 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double sum = (a[2 * k] + a[2 * k + 1]) * kInvSqrt2;
+      o[half + k] = (a[2 * k] - a[2 * k + 1]) * kInvSqrt2;
+      a[k] = sum;
+    }
+    len = half;
+  }
+  o[0] = a[0];
+}
+
 void HaarApproxInPlace(std::vector<double>* x, std::size_t out_len) {
   SD_CHECK(IsPowerOfTwo(x->size()));
   SD_CHECK(IsPowerOfTwo(out_len));

@@ -39,6 +39,13 @@ std::vector<double> HaarApprox(const std::vector<double>& x,
 /// Requires f <= |x|.
 std::vector<double> HaarPrefix(const std::vector<double>& x, std::size_t f);
 
+/// Allocation-free HaarDwt for batched feature maintenance: writes the
+/// full ordered DWT of x into `out` using `scratch` for the shrinking
+/// approximation vector (both are resized; steady-state reuse is
+/// allocation-free). Results are bit-identical to HaarDwt.
+void HaarDwtInto(const std::vector<double>& x, std::vector<double>* out,
+                 std::vector<double>* scratch);
+
 /// Allocation-free HaarApprox: repeatedly halves *x in place and resizes
 /// it to out_len. Same preconditions as HaarApprox. This is the hot path
 /// of batch feature maintenance (Theorem 4.3's per-item cost).

@@ -46,6 +46,14 @@ Mbr TransformMbrInterval(const Mbr& box, const WaveletFilter& filter,
 Mbr MergeMbrHalvesHaar(const Mbr& left, const Mbr& right,
                        double rescale = 1.0);
 
+/// Allocation-free form of MergeMbrHalvesHaar for the batched maintenance
+/// path: reuses `out`'s storage and restructures the inner loop into
+/// contiguous per-half passes with no index branch, so the compiler can
+/// vectorize it. Results are bit-identical to MergeMbrHalvesHaar. `out`
+/// must not alias `left` or `right`.
+void MergeMbrHalvesHaarInto(const Mbr& left, const Mbr& right, double rescale,
+                            Mbr* out);
+
 }  // namespace stardust
 
 #endif  // STARDUST_DWT_MBR_TRANSFORM_H_

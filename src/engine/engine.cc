@@ -63,6 +63,35 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
     }
   }
 
+  // Feature-store ring capacity: explicit override, or derived from the
+  // cache geometry so one shard's hot store set (every local stream at
+  // every monitored correlation level) fits in roughly half the L2. When
+  // shards outnumber cores they share an L2, so the budget shrinks by the
+  // sharing factor. Unknown cache or no correlation core falls back to
+  // the pipeline's fixed default inside DeriveStoreCapacity.
+  std::size_t store_capacity = engine_config.store_capacity;
+  if (store_capacity == 0 && engine_config.query.enable_correlation) {
+    const StardustConfig& corr = engine_config.query.correlation;
+    std::size_t entry_bytes = 0;
+    for (std::size_t j = 0; j < corr.num_levels; ++j) {
+      entry_bytes +=
+          FeatureStoreEntryBytes(corr.base_window << j, corr.coefficients);
+    }
+    const std::size_t max_local_streams =
+        (num_streams + num_shards - 1) / num_shards;
+    const std::size_t cores = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    const std::size_t sharing = (num_shards + cores - 1) / cores;
+    std::size_t cache_bytes = engine_config.cache_bytes != 0
+                                  ? engine_config.cache_bytes
+                                  : ProbedL2CacheBytes();
+    cache_bytes /= std::max<std::size_t>(1, sharing);
+    store_capacity =
+        DeriveStoreCapacity(max_local_streams, entry_bytes, cache_bytes);
+  } else if (store_capacity == 0) {
+    store_capacity = FeaturePipeline::kDefaultStoreCapacity;
+  }
+
   std::unique_ptr<IngestEngine> engine(
       new IngestEngine(engine_config, num_streams));
   engine->core_config_ = config;
@@ -136,13 +165,22 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
       }
     }
     auto pipeline = std::make_unique<FeaturePipeline>(
-        std::move(pattern_core), std::move(corr_core), local_streams);
+        std::move(pattern_core), std::move(corr_core), local_streams,
+        store_capacity);
+    ShardOptions shard_options;
+    if (engine_config.pin_shards) {
+      const std::size_t cores = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+      shard_options.pin = true;
+      shard_options.pin_core = s % cores;
+      shard_options.pin_hook = engine_config.pin_hook;
+    }
     engine->shards_.push_back(std::make_unique<Shard>(
         s, num_shards, engine_config.max_producers,
         engine_config.queue_capacity, engine_config.overload,
         engine_config.max_batch, std::move(fleet), std::move(pipeline),
         engine->registry_.get(), engine->alert_bus_.get(),
-        engine->metrics_.get()));
+        engine->metrics_.get(), std::move(shard_options)));
     if (restoring) {
       engine->shards_.back()->RestoreProgress(manifest.shards[s].epoch,
                                               manifest.shards[s].appended);

@@ -3,6 +3,7 @@
 #define STARDUST_ENGINE_ENGINE_CONFIG_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "common/overload_policy.h"
@@ -33,6 +34,24 @@ struct EngineConfig {
   /// deterministic overload behavior for tests and lets deployments
   /// pre-fill before the first drain.
   bool start_paused = false;
+  /// Pin each shard worker to a core (shard s -> core s modulo the
+  /// hardware concurrency). Best-effort: a failed affinity call is
+  /// counted once per shard in EngineMetrics::pin_failures and the
+  /// worker runs unpinned — it never aborts ingestion. Linux only; other
+  /// platforms always count as failed.
+  bool pin_shards = false;
+  /// Test hook replacing the affinity syscall (receives the target core,
+  /// returns success). Leave null for the real pthread_setaffinity_np.
+  std::function<bool(std::size_t core)> pin_hook;
+  /// Aligned feature times retained per (level, stream) in each shard's
+  /// FeatureStore ring. 0 (the default) derives a capacity from the
+  /// cache geometry so a shard's hot store set fits in roughly half the
+  /// L2 cache (core/feature_store.h, DeriveStoreCapacity).
+  std::size_t store_capacity = 0;
+  /// Cache budget in bytes the derivation above targets. 0 (the default)
+  /// probes the L2 data-cache size, falling back to the fixed default
+  /// capacity when the platform does not expose it.
+  std::size_t cache_bytes = 0;
   /// Period of the background checkpoint thread in milliseconds; 0 (the
   /// default) disables it. When enabled the engine checkpoints itself
   /// into `checkpoint_dir` every period without stopping ingestion

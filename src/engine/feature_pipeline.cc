@@ -87,6 +87,22 @@ Status FeaturePipeline::Append(StreamId stream, double value) {
   return Status::OK();
 }
 
+Status FeaturePipeline::AppendRun(StreamId stream, const double* values,
+                                  std::size_t n) {
+  SD_DCHECK(stream < num_streams_);
+  appends_ += n;
+  if (!trackers_.empty() && trackers_[stream] != nullptr) {
+    trackers_[stream]->PushSpan(values, n);
+  }
+  if (pattern_core_ != nullptr) {
+    SD_RETURN_NOT_OK(pattern_core_->AppendRun(stream, values, n));
+  }
+  if (corr_core_ != nullptr) {
+    SD_RETURN_NOT_OK(corr_core_->AppendRun(stream, values, n));
+  }
+  return Status::OK();
+}
+
 void FeaturePipeline::FinishBatch(const std::vector<StreamId>& touched) {
   ++batches_;
   store_.BumpEpoch();

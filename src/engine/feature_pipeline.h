@@ -73,6 +73,11 @@ class FeaturePipeline {
   /// mirror the fleet append stream exactly (same tuples, same order).
   Status Append(StreamId stream, double value);
 
+  /// Feeds a run of consecutive applied tuples of one stream. Equivalent
+  /// to n Append calls bit-for-bit (tracker window-major span push, core
+  /// batched runs); the shard's columnar maintenance path.
+  Status AppendRun(StreamId stream, const double* values, std::size_t n);
+
   /// Closes one applied batch: bumps the store epoch and caches the new
   /// aligned correlation features of the touched streams (deduplicated
   /// shard-local ids) so correlator rounds are store hits.

@@ -45,8 +45,10 @@ std::string EngineMetricsJson(
           load(metrics.block_waits), load(metrics.append_errors),
           load(metrics.checkpoints), load(metrics.checkpoint_failures));
   AppendF(&out,
-          ",\"alerts_published\":%" PRIu64 ",\"correlator_rounds\":%" PRIu64,
-          load(metrics.alerts_published), load(metrics.correlator_rounds));
+          ",\"alerts_published\":%" PRIu64 ",\"correlator_rounds\":%" PRIu64
+          ",\"pin_failures\":%" PRIu64,
+          load(metrics.alerts_published), load(metrics.correlator_rounds),
+          load(metrics.pin_failures));
 
   const LatencyHistogram& h = metrics.append_latency;
   AppendF(&out,
@@ -75,6 +77,13 @@ std::string EngineMetricsJson(
             ",\"streams\":%zu",
             i == 0 ? "" : ",", s.shard, s.epoch, s.appended, s.batches,
             s.max_batch, s.AvgBatch(), s.queue_high_water, s.num_streams);
+    AppendF(&out,
+            ",\"pinned\":%s,\"maintain_ns_per_append\":%.1f"
+            ",\"apply_batch_ns\":{\"count\":%" PRIu64
+            ",\"mean\":%.1f,\"p50\":%" PRIu64 ",\"p99\":%" PRIu64 "}",
+            s.pinned ? "true" : "false", s.MaintainNsPerAppend(),
+            s.apply_batch_count, s.apply_batch_mean_ns, s.apply_batch_p50_ns,
+            s.apply_batch_p99_ns);
     AppendF(&out,
             ",\"pipeline\":{\"batches\":%" PRIu64 ",\"appends\":%" PRIu64
             ",\"znorm_computes\":%" PRIu64 ",\"tracker_rebuilds\":%" PRIu64

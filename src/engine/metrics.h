@@ -42,6 +42,9 @@ struct EngineMetrics {
   /// Completed correlator rounds (a round may be skipped when the common
   /// feature time did not advance).
   std::atomic<std::uint64_t> correlator_rounds{0};
+  /// Shard workers whose requested core pin failed (warn-once per shard;
+  /// the worker keeps running unpinned).
+  std::atomic<std::uint64_t> pin_failures{0};
   /// Wall-clock nanoseconds per monitor append, measured by the workers.
   LatencyHistogram append_latency;
 };
@@ -74,6 +77,26 @@ struct ShardMetricsSnapshot {
   std::uint64_t plan_aggregate_evals = 0;
   std::uint64_t plan_pattern_evals = 0;
   std::uint64_t plan_correlation_evals = 0;
+
+  // Batched-maintenance accounting: whether the worker is pinned to its
+  // requested core, nanoseconds spent in state maintenance (fleet +
+  // pipeline appends and batch close), and the per-ApplyBatch wall-time
+  // histogram summary.
+  bool pinned = false;
+  std::uint64_t maintain_ns = 0;
+  std::uint64_t apply_batch_count = 0;
+  double apply_batch_mean_ns = 0.0;
+  std::uint64_t apply_batch_p50_ns = 0;
+  std::uint64_t apply_batch_p99_ns = 0;
+
+  /// Maintenance nanoseconds per applied tuple — the headline number the
+  /// batched columnar path optimizes (bench/bench_feature.cc reports the
+  /// same ratio measured standalone).
+  double MaintainNsPerAppend() const {
+    return appended == 0 ? 0.0
+                         : static_cast<double>(maintain_ns) /
+                               static_cast<double>(appended);
+  }
 
   double AvgBatch() const {
     return batches == 0 ? 0.0

@@ -1,7 +1,13 @@
 #include "engine/shard.h"
 
 #include <chrono>
+#include <cmath>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 #include "common/check.h"
 #include "core/pattern_query.h"
@@ -10,6 +16,22 @@
 namespace stardust {
 
 namespace {
+
+// Best-effort worker pinning. Returns whether the affinity call
+// succeeded; platforms without thread affinity report failure and the
+// worker simply runs unpinned.
+bool PinThreadToCore(std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % CPU_SETSIZE), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(cpu_set_t), &set) ==
+         0;
+#else
+  (void)core;
+  return false;
+#endif
+}
 
 // Producer-side and idle-worker wait: spin briefly, then yield, then nap.
 // Keeps latency low when the peer is active without burning a core when
@@ -53,7 +75,7 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
              std::unique_ptr<FleetAggregateMonitor> fleet,
              std::unique_ptr<FeaturePipeline> pipeline,
              QueryRegistry* registry, AlertBus* alerts,
-             EngineMetrics* metrics)
+             EngineMetrics* metrics, ShardOptions options)
     : index_(index),
       num_shards_(num_shards),
       policy_(policy),
@@ -61,6 +83,7 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
       metrics_(metrics),
       registry_(registry),
       alerts_(alerts),
+      options_(std::move(options)),
       fleet_(std::move(fleet)),
       pipeline_(std::move(pipeline)) {
   SD_CHECK(fleet_ != nullptr);
@@ -73,6 +96,10 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
     SD_CHECK(registry_ != nullptr);
   }
   touched_.assign(fleet_->num_streams(), 0);
+  run_count_.assign(fleet_->num_streams(), 0);
+  run_cursor_.assign(fleet_->num_streams(), 0);
+  run_values_.reserve(max_batch_);
+  run_begin_.reserve(fleet_->num_streams());
   rings_.reserve(num_producers);
   for (std::size_t i = 0; i < num_producers; ++i) {
     rings_.push_back(std::make_unique<SpscRing<StreamValue>>(queue_capacity));
@@ -143,9 +170,22 @@ Status Shard::Push(std::size_t producer, StreamId local_stream,
 }
 
 void Shard::WorkerLoop() {
+  if (options_.pin) {
+    // Best-effort: a failed pin is surfaced once in the metrics and the
+    // worker keeps running unpinned — never abort ingestion over
+    // placement.
+    const bool ok = options_.pin_hook
+                        ? options_.pin_hook(options_.pin_core)
+                        : PinThreadToCore(options_.pin_core);
+    pinned_.store(ok, std::memory_order_release);
+    if (!ok) {
+      metrics_->pin_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   std::vector<StreamValue> batch;
   batch.reserve(max_batch_);
   std::size_t idle_spins = 0;
+  std::size_t drain_start = 0;
   for (;;) {
     if (paused_.load(std::memory_order_acquire) &&
         !stop_.load(std::memory_order_acquire)) {
@@ -153,13 +193,20 @@ void Shard::WorkerLoop() {
       continue;
     }
     batch.clear();
-    for (auto& ring : rings_) {
+    // Rotate the ring the sweep starts at: a fixed starting ring would
+    // let producer 0 fill every batch while later producers' full queues
+    // starve under sustained overload (kBlock producers stuck forever).
+    const std::size_t num_rings = rings_.size();
+    for (std::size_t k = 0; k < num_rings; ++k) {
+      SpscRing<StreamValue>& ring =
+          *rings_[(drain_start + k) % num_rings];
       StreamValue tuple;
-      while (batch.size() < max_batch_ && ring->TryPop(&tuple)) {
+      while (batch.size() < max_batch_ && ring.TryPop(&tuple)) {
         batch.push_back(tuple);
       }
       if (batch.size() >= max_batch_) break;
     }
+    drain_start = (drain_start + 1) % num_rings;
     if (batch.empty()) {
       if (stop_.load(std::memory_order_acquire)) {
         // Producers are quiesced before RequestStop, so one final empty
@@ -217,15 +264,105 @@ void Shard::RefreshQuerySnapshot() {
   }
 }
 
-void Shard::CollectTouched(const std::vector<StreamValue>& batch) {
+void Shard::GroupRuns(const std::vector<StreamValue>& batch) {
   touched_list_.clear();
+  run_begin_.clear();
+  invalid_.clear();
+  // Pass 1: count tuples per stream (first touch resets the stale count
+  // from the previous batch, so no O(num_streams) clear is needed).
   for (const StreamValue& tuple : batch) {
-    if (tuple.stream < touched_.size() && !touched_[tuple.stream]) {
+    if (tuple.stream >= touched_.size()) {
+      invalid_.push_back(tuple);
+      continue;
+    }
+    if (!touched_[tuple.stream]) {
       touched_[tuple.stream] = 1;
       touched_list_.push_back(tuple.stream);
+      run_count_[tuple.stream] = 0;
     }
+    ++run_count_[tuple.stream];
+  }
+  // Prefix offsets: one contiguous run per touched stream, packed in
+  // first-touch order.
+  std::size_t offset = 0;
+  for (StreamId s : touched_list_) {
+    run_begin_.push_back(offset);
+    run_cursor_[s] = static_cast<std::uint32_t>(offset);
+    offset += run_count_[s];
+  }
+  run_values_.resize(offset);
+  // Pass 2: stable scatter — per-stream value order is batch order, so a
+  // run replays exactly the subsequence the scalar path would append.
+  for (const StreamValue& tuple : batch) {
+    if (tuple.stream >= touched_.size()) continue;
+    run_values_[run_cursor_[tuple.stream]++] = tuple.value;
   }
   for (StreamId s : touched_list_) touched_[s] = 0;
+}
+
+void Shard::ApplyTupleLocked(StreamId stream, double value) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  Status status = fleet_->Append(stream, value);
+  // The pipeline sees the same tuples in the same order as the fleet;
+  // its failures surface like fleet append failures.
+  if (status.ok()) status = pipeline_->Append(stream, value);
+  const std::uint64_t nanos = ElapsedNanos(start);
+  maintain_ns_ += nanos;
+  metrics_->append_latency.Record(nanos);
+  if (status.ok()) {
+    metrics_->appended.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    metrics_->append_errors.fetch_add(1, std::memory_order_relaxed);
+    if (worker_status_.ok()) worker_status_ = status;
+  }
+}
+
+void Shard::ApplyRunLocked(StreamId stream, const double* values,
+                           std::size_t count) {
+  using Clock = std::chrono::steady_clock;
+  std::size_t i = 0;
+  while (i < count) {
+    // Non-finite values are rejected per tuple by the scalar path (fleet
+    // append fails, pipeline skipped). Split the run around them so the
+    // batched path rejects the exact same tuples with the same status.
+    if (!std::isfinite(values[i])) {
+      ApplyTupleLocked(stream, values[i]);
+      ++i;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < count && std::isfinite(values[j])) ++j;
+    const std::size_t len = j - i;
+    // Length-1 runs gain nothing from the run machinery (its fixed setup
+    // cost per level only amortizes across multiple values); take the
+    // scalar path so sparse batches never regress.
+    if (len == 1) {
+      ApplyTupleLocked(stream, values[i]);
+      i = j;
+      continue;
+    }
+    const Clock::time_point start = Clock::now();
+    Status status = fleet_->AppendRun(stream, values + i, len);
+    if (status.ok()) {
+      status = pipeline_->AppendRun(stream, values + i, len);
+    }
+    const std::uint64_t nanos = ElapsedNanos(start);
+    maintain_ns_ += nanos;
+    // Charge the run's amortized per-value cost; one atomic round-trip
+    // per run instead of per tuple.
+    metrics_->append_latency.RecordN(nanos / len, len);
+    if (status.ok()) {
+      metrics_->appended.fetch_add(len, std::memory_order_relaxed);
+    } else {
+      // A finite run can only fail on internal errors (streams are
+      // validated, values are finite); surface it once like the scalar
+      // path surfaces its first failure.
+      metrics_->append_errors.fetch_add(1, std::memory_order_relaxed);
+      if (worker_status_.ok()) worker_status_ = status;
+    }
+    i = j;
+  }
 }
 
 void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
@@ -353,6 +490,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
 
 void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
   using Clock = std::chrono::steady_clock;
+  const Clock::time_point batch_start = Clock::now();
   if (registry_ != nullptr) RefreshQuerySnapshot();
   std::vector<Alert> alerts;
   {
@@ -362,27 +500,30 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
       pending_plan_ = nullptr;
       pipeline_->AdoptPlan(*plan_, *fleet_);
     }
-    for (const StreamValue& tuple : batch) {
-      const Clock::time_point start = Clock::now();
-      Status status = fleet_->Append(tuple.stream, tuple.value);
-      // The pipeline sees the same tuples in the same order as the
-      // fleet; its failures surface like fleet append failures.
-      if (status.ok()) {
-        status = pipeline_->Append(tuple.stream, tuple.value);
-      }
-      metrics_->append_latency.Record(ElapsedNanos(start));
-      if (status.ok()) {
-        metrics_->appended.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        metrics_->append_errors.fetch_add(1, std::memory_order_relaxed);
-        if (worker_status_.ok()) worker_status_ = status;
-      }
+    // Batched columnar maintenance: regroup the batch into one
+    // contiguous run per stream and append each run through the fleet
+    // and pipeline run entry points (one state load/store per level per
+    // run instead of per value). Streams are independent, so reordering
+    // across streams — while keeping each stream's values in batch
+    // order — leaves every per-stream monitor, tracker, and summarizer
+    // byte-identical to the scalar per-tuple path.
+    GroupRuns(batch);
+    for (std::size_t i = 0; i < touched_list_.size(); ++i) {
+      const StreamId stream = touched_list_[i];
+      ApplyRunLocked(stream, run_values_.data() + run_begin_[i],
+                     run_count_[stream]);
+    }
+    // Tuples naming an out-of-range stream cannot be grouped; push them
+    // through the scalar path so their errors are accounted identically.
+    for (const StreamValue& tuple : invalid_) {
+      ApplyTupleLocked(tuple.stream, tuple.value);
     }
     // Close the batch exactly once: features are derived here and only
     // read (never recomputed) by the query stages below and by
     // correlator rounds.
-    CollectTouched(batch);
+    const Clock::time_point finish_start = Clock::now();
     pipeline_->FinishBatch(touched_list_);
+    maintain_ns_ += ElapsedNanos(finish_start);
     if (registry_ != nullptr && plan_ != nullptr) {
       EvaluateQueriesLocked(&alerts);
     }
@@ -404,6 +545,7 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
                         std::memory_order_release);
   batches_.fetch_add(1, std::memory_order_relaxed);
   UpdateMax(&batch_max_, batch.size());
+  apply_batch_latency_.Record(ElapsedNanos(batch_start));
 }
 
 ShardStamp Shard::StampLocked() const {
@@ -476,10 +618,16 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
   snapshot.queue_high_water =
       queue_high_water_.load(std::memory_order_relaxed);
   snapshot.num_streams = fleet_->num_streams();
+  snapshot.pinned = pinned_.load(std::memory_order_acquire);
+  snapshot.apply_batch_count = apply_batch_latency_.Count();
+  snapshot.apply_batch_mean_ns = apply_batch_latency_.MeanNanos();
+  snapshot.apply_batch_p50_ns = apply_batch_latency_.PercentileNanos(0.5);
+  snapshot.apply_batch_p99_ns = apply_batch_latency_.PercentileNanos(0.99);
   {
     // Pipeline counters and the committed plan are guarded by the state
     // mutex (metrics scraping is a cold path).
     std::lock_guard<std::mutex> lock(state_mu_);
+    snapshot.maintain_ns = maintain_ns_;
     const FeaturePipeline::Counters counters = pipeline_->counters();
     snapshot.pipeline_batches = counters.batches;
     snapshot.pipeline_appends = counters.appends;

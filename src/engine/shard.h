@@ -19,12 +19,14 @@
 #define STARDUST_ENGINE_SHARD_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/latency_histogram.h"
 #include "common/ring_buffer.h"
 #include "common/status.h"
 #include "core/fleet_monitor.h"
@@ -63,6 +65,19 @@ struct CorrelationFeature {
   std::vector<double> znormed;
 };
 
+/// Worker-thread placement options for one shard.
+struct ShardOptions {
+  /// Pin the worker thread to `pin_core` when it starts. Pinning is
+  /// best-effort: a failed affinity call is counted once in
+  /// EngineMetrics::pin_failures and the worker runs unpinned.
+  bool pin = false;
+  std::size_t pin_core = 0;
+  /// Test hook replacing the real affinity syscall; returns whether the
+  /// pin succeeded. Null means pthread_setaffinity_np on Linux and an
+  /// always-failing no-op elsewhere.
+  std::function<bool(std::size_t core)> pin_hook;
+};
+
 /// A shard owns its monitors exclusively; all mutation happens on its
 /// worker thread. Producers only touch the rings and atomic counters.
 class Shard {
@@ -77,7 +92,8 @@ class Shard {
         OverloadPolicy policy, std::size_t max_batch,
         std::unique_ptr<FleetAggregateMonitor> fleet,
         std::unique_ptr<FeaturePipeline> pipeline, QueryRegistry* registry,
-        AlertBus* alerts, EngineMetrics* metrics);
+        AlertBus* alerts, EngineMetrics* metrics,
+        ShardOptions options = {});
   ~Shard();
 
   Shard(const Shard&) = delete;
@@ -175,6 +191,10 @@ class Shard {
     return pipeline_->pattern_core() != nullptr;
   }
 
+  /// Whether the worker thread is currently pinned to options_.pin_core.
+  /// False until Start() (and forever when pinning is off or failed).
+  bool pinned() const { return pinned_.load(std::memory_order_acquire); }
+
  private:
   void WorkerLoop();
   void ApplyBatch(const std::vector<StreamValue>& batch);
@@ -185,8 +205,22 @@ class Shard {
   /// batch commits it under the state mutex), and prunes evaluation
   /// state of unregistered queries. Worker thread only.
   void RefreshQuerySnapshot();
-  /// Deduplicates the batch's local streams into touched_list_.
-  void CollectTouched(const std::vector<StreamValue>& batch);
+  /// Groups the batch into one contiguous per-stream run each (stable:
+  /// per-stream value order is batch order), filling touched_list_,
+  /// run_begin_/run_count_ and the packed run_values_ buffer in two
+  /// allocation-free passes. Tuples naming an out-of-range stream cannot
+  /// be grouped and are diverted to invalid_.
+  void GroupRuns(const std::vector<StreamValue>& batch);
+  /// Applies one stream's run through the batched maintenance path,
+  /// splitting at non-finite values so rejected tuples surface the exact
+  /// per-tuple error accounting of the scalar path. Called with state_mu_
+  /// held.
+  void ApplyRunLocked(StreamId stream, const double* values,
+                      std::size_t count);
+  /// Scalar fallback for one tuple (non-finite value or out-of-range
+  /// stream): the pre-batching append path, kept so error semantics and
+  /// accounting stay identical. Called with state_mu_ held.
+  void ApplyTupleLocked(StreamId stream, double value);
   /// Runs the compiled plan's aggregate + pattern stages against the
   /// pipeline state; called with state_mu_ held after FinishBatch.
   /// Alerts are collected into `out` and published by the caller after
@@ -204,6 +238,9 @@ class Shard {
   EngineMetrics* const metrics_;
   QueryRegistry* const registry_;
   AlertBus* const alerts_;
+  const ShardOptions options_;
+
+  std::atomic<bool> pinned_{false};
 
   std::vector<std::unique_ptr<SpscRing<StreamValue>>> rings_;
 
@@ -244,6 +281,26 @@ class Shard {
   /// Scratch: local streams touched by the current batch.
   std::vector<char> touched_;
   std::vector<StreamId> touched_list_;
+  // --- Batched-maintenance scratch (worker thread only) ----------------
+  /// Tuples of the current batch per stream (indexed by local stream,
+  /// reset through touched_list_, so reset cost is O(touched)).
+  std::vector<std::uint32_t> run_count_;
+  /// Next write offset into run_values_ per stream (scatter cursors).
+  std::vector<std::uint32_t> run_cursor_;
+  /// Start offset of each touched stream's run in run_values_, parallel
+  /// to touched_list_.
+  std::vector<std::size_t> run_begin_;
+  /// The batch's values regrouped into per-stream contiguous runs.
+  std::vector<double> run_values_;
+  /// Tuples naming an out-of-range local stream (cannot be grouped);
+  /// applied through the scalar path for identical error accounting.
+  std::vector<StreamValue> invalid_;
+  /// Nanoseconds spent in batched maintenance (fleet + pipeline appends
+  /// and batch close), guarded by state_mu_; feeds
+  /// maintain_ns_per_append in metrics.
+  std::uint64_t maintain_ns_ = 0;
+  /// Wall time of whole ApplyBatch calls (drain to alert handoff).
+  LatencyHistogram apply_batch_latency_;
   /// Scratch: per-query edge vectors of the aggregate group being run.
   std::vector<std::vector<char>*> edge_scratch_;
 

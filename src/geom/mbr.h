@@ -45,6 +45,20 @@ class Mbr {
   const Point& lo() const { return lo_; }
   const Point& hi() const { return hi_; }
 
+  /// Direct extent access for allocation-free kernels (transform/aggregate,
+  /// dwt/mbr_transform). Callers must keep lo[d] <= hi[d] per dimension and
+  /// both vectors equal-sized, or leave the box in the inverted-empty form.
+  Point& mutable_lo() { return lo_; }
+  Point& mutable_hi() { return hi_; }
+
+  /// Resizes to `dims` dimensions and sets lo = hi = p, reusing existing
+  /// storage. Allocation-free equivalent of `*this = Mbr::FromPoint(...)`
+  /// once the vectors have reached their steady-state size.
+  void AssignPoint(const double* p, std::size_t dims) {
+    lo_.assign(p, p + dims);
+    hi_.assign(p, p + dims);
+  }
+
   /// Center of the box (midpoint per dimension). Requires !empty().
   Point Center() const;
 

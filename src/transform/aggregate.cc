@@ -45,6 +45,90 @@ Point AggregateExactFeature(AggregateKind kind,
   return {};
 }
 
+void AggregateExactFeatureInto(AggregateKind kind, const double* values,
+                               std::size_t count, Mbr* out) {
+  SD_CHECK(count > 0);
+  // Each branch mirrors AggregateExactFeature exactly: kSum adds in the
+  // same left-to-right order; the comparison forms reproduce the tie
+  // handling of max_element (first maximum), min_element (first minimum),
+  // and minmax_element (first minimum, last maximum), so results are
+  // bit-identical even for signed-zero ties.
+  switch (kind) {
+    case AggregateKind::kSum: {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < count; ++i) sum += values[i];
+      out->AssignPoint(&sum, 1);
+      return;
+    }
+    case AggregateKind::kMax: {
+      double mx = values[0];
+      for (std::size_t i = 1; i < count; ++i) {
+        if (mx < values[i]) mx = values[i];
+      }
+      out->AssignPoint(&mx, 1);
+      return;
+    }
+    case AggregateKind::kMin: {
+      double mn = values[0];
+      for (std::size_t i = 1; i < count; ++i) {
+        if (values[i] < mn) mn = values[i];
+      }
+      out->AssignPoint(&mn, 1);
+      return;
+    }
+    case AggregateKind::kSpread: {
+      double mx = values[0];
+      double mn = values[0];
+      for (std::size_t i = 1; i < count; ++i) {
+        const double v = values[i];
+        if (!(v < mx)) mx = v;
+        if (v < mn) mn = v;
+      }
+      const double feature[2] = {mx, mn};
+      out->AssignPoint(feature, 2);
+      return;
+    }
+  }
+}
+
+void AggregateMergeExtentsInto(AggregateKind kind, const Mbr& left,
+                               const Mbr& right, Mbr* out) {
+  SD_DCHECK(!left.empty() && !right.empty());
+  SD_DCHECK(left.dims() == AggregateFeatureDims(kind));
+  SD_DCHECK(right.dims() == AggregateFeatureDims(kind));
+  // Read everything before writing so `out` may alias either input.
+  const double llo0 = left.lo(0), lhi0 = left.hi(0);
+  const double rlo0 = right.lo(0), rhi0 = right.hi(0);
+  if (kind == AggregateKind::kSpread) {
+    const double llo1 = left.lo(1), lhi1 = left.hi(1);
+    const double rlo1 = right.lo(1), rhi1 = right.hi(1);
+    const double lo[2] = {std::max(llo0, rlo0), std::min(llo1, rlo1)};
+    const double hi[2] = {std::max(lhi0, rhi0), std::min(lhi1, rhi1)};
+    out->mutable_lo().assign(lo, lo + 2);
+    out->mutable_hi().assign(hi, hi + 2);
+    return;
+  }
+  double lo = 0.0, hi = 0.0;
+  switch (kind) {
+    case AggregateKind::kSum:
+      lo = llo0 + rlo0;
+      hi = lhi0 + rhi0;
+      break;
+    case AggregateKind::kMax:
+      lo = std::max(llo0, rlo0);
+      hi = std::max(lhi0, rhi0);
+      break;
+    case AggregateKind::kMin:
+      lo = std::min(llo0, rlo0);
+      hi = std::min(lhi0, rhi0);
+      break;
+    case AggregateKind::kSpread:
+      break;  // handled above
+  }
+  out->mutable_lo().assign(1, lo);
+  out->mutable_hi().assign(1, hi);
+}
+
 Point AggregateMergeFeatures(AggregateKind kind, const Point& left,
                              const Point& right) {
   SD_DCHECK(left.size() == AggregateFeatureDims(kind));

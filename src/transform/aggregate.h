@@ -51,6 +51,19 @@ Point AggregateMergeFeatures(AggregateKind kind, const Point& left,
 Mbr AggregateMergeExtents(AggregateKind kind, const Mbr& left,
                           const Mbr& right);
 
+/// Allocation-free span form of AggregateExactFeature for the batched
+/// maintenance path: writes the degenerate extent of the exact feature of
+/// window [values, values + count) into `out`, reusing its storage.
+/// Evaluation order (and hence every rounding and tie-break) matches
+/// AggregateExactFeature bit-for-bit.
+void AggregateExactFeatureInto(AggregateKind kind, const double* values,
+                               std::size_t count, Mbr* out);
+
+/// Allocation-free form of AggregateMergeExtents. `out` may alias `left`
+/// or `right`; results are bit-identical to AggregateMergeExtents.
+void AggregateMergeExtentsInto(AggregateKind kind, const Mbr& left,
+                               const Mbr& right, Mbr* out);
+
 /// The scalar monitored quantity of a feature: the value itself for
 /// SUM/MAX/MIN, max − min for SPREAD.
 double AggregateScalar(AggregateKind kind, const Point& feature);

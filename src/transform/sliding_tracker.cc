@@ -88,7 +88,60 @@ void SlidingAggregateTracker::Push(double value) {
 
 void SlidingAggregateTracker::PushSpan(const double* values, std::size_t n) {
   SD_CHECK(values != nullptr || n == 0);
-  for (std::size_t i = 0; i < n; ++i) Push(values[i]);
+  if (n == 0) return;
+  // Window-major restructuring of n Push calls: windows are independent,
+  // and per window the value order is preserved, so every running sum and
+  // deque sees the exact operation sequence of the per-value path (bit
+  // identical), while each window's state is loaded and stored once per
+  // run instead of once per value.
+  const std::uint64_t t0 = count_;
+  if (kind_ == AggregateKind::kSum) {
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+      const std::uint64_t w = windows_[i];
+      double sum = sums_[i];
+      double comp = comps_[i];
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint64_t t = t0 + k;
+        CompensatedAdd(&sum, &comp, values[k]);
+        if (t >= w) {
+          // The evicted value is inside this run when t - w >= t0 and
+          // still in the ring otherwise; ring writes are deferred below,
+          // so the ring holds exactly the pre-run values here.
+          const std::uint64_t evict = t - w;
+          const double old = evict >= t0
+                                 ? values[static_cast<std::size_t>(evict - t0)]
+                                 : recent_[evict % recent_capacity_];
+          CompensatedAdd(&sum, &comp, -old);
+        }
+      }
+      sums_[i] = sum;
+      comps_[i] = comp;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      recent_[(t0 + k) % recent_capacity_] = values[k];
+    }
+  } else {
+    const bool want_max =
+        kind_ == AggregateKind::kMax || kind_ == AggregateKind::kSpread;
+    const bool want_min =
+        kind_ == AggregateKind::kMin || kind_ == AggregateKind::kSpread;
+    for (std::size_t i = 0; i < windows_.size(); ++i) {
+      const std::uint64_t w = windows_[i];
+      if (want_max) {
+        MonotonicDeque& dq = maxes_[i];
+        for (std::size_t k = 0; k < n; ++k) {
+          dq.Push(t0 + k, values[k], /*want_max=*/true, w);
+        }
+      }
+      if (want_min) {
+        MonotonicDeque& dq = mins_[i];
+        for (std::size_t k = 0; k < n; ++k) {
+          dq.Push(t0 + k, values[k], /*want_max=*/false, w);
+        }
+      }
+    }
+  }
+  count_ += n;
 }
 
 double SlidingAggregateTracker::Current(std::size_t i) const {

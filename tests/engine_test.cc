@@ -7,6 +7,10 @@
 #include <thread>
 #include <vector>
 
+#include "core/fleet_monitor.h"
+#include "engine/feature_pipeline.h"
+#include "engine/metrics.h"
+#include "engine/shard.h"
 #include "stream/bursty_source.h"
 #include "stream/threshold.h"
 
@@ -253,7 +257,8 @@ TEST(IngestEngineTest, MetricsJsonHasTheSchemaFields) {
        {"\"posted\":800", "\"appended\":800", "\"dropped_newest\":0",
         "\"dropped_oldest\":0", "\"append_latency_ns\"", "\"p99\"",
         "\"buckets\"", "\"shards\":[", "\"queue_high_water\"",
-        "\"epoch\""}) {
+        "\"epoch\"", "\"pin_failures\":0", "\"pinned\":false",
+        "\"maintain_ns_per_append\"", "\"apply_batch_ns\""}) {
     EXPECT_NE(json.find(field), std::string::npos)
         << "missing " << field << " in " << json;
   }
@@ -359,6 +364,121 @@ TEST(IngestEngineTest, FeaturePipelineUpdatesExactlyOncePerBatch) {
     EXPECT_NE(json.find(field), std::string::npos)
         << "missing " << field << " in " << json;
   }
+}
+
+// Regression: the worker used to scan the producer rings from slot 0 on
+// every sweep, so a producer keeping ring 0 full under kBlock could
+// starve every later ring indefinitely (its blocked producers never
+// progressed). The drain now rotates its starting ring per sweep; this
+// pins that by demanding rings 1 and 2 drain while a thread keeps ring 0
+// saturated. max_batch (16) is deliberately smaller than what ring 0 can
+// supply, so an unrotated drain would fill every batch from ring 0 alone.
+TEST(ShardTest, DrainRotationKeepsSaturatedProducerFromStarvingOthers) {
+  constexpr std::size_t kProducers = 3;
+  constexpr std::size_t kQueue = 64;
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 10;
+  config.num_levels = 2;
+  config.history = 40;
+  auto fleet = std::move(FleetAggregateMonitor::Create(config, {{10, 1e9}},
+                                                       kProducers))
+                   .value();
+  auto pipeline =
+      std::make_unique<FeaturePipeline>(nullptr, nullptr, kProducers);
+  EngineMetrics metrics;
+  Shard shard(0, 1, kProducers, kQueue, OverloadPolicy::kBlock,
+              /*max_batch=*/16, std::move(fleet), std::move(pipeline),
+              nullptr, nullptr, &metrics);
+  shard.set_paused(true);
+  shard.Start();
+  // Fill every ring while the worker is paused (producer p -> stream p).
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < kQueue; ++i) {
+      ASSERT_TRUE(shard.Push(p, static_cast<StreamId>(p), 1.0).ok());
+    }
+  }
+  // Keep ring 0 under constant kBlock pressure from its own thread.
+  std::thread pusher([&shard] {
+    for (int i = 0; i < 200000; ++i) {
+      if (!shard.Push(0, 0, 1.0).ok()) return;  // Aborted at shutdown
+    }
+  });
+  shard.set_paused(false);
+  // Mid-flight fairness: by the time 12 batches' worth of tuples have
+  // been applied, a rotating drain has visited every ring several times
+  // while ring 0 was never empty. The old fixed-start drain would have
+  // served those first ~192 tuples entirely from ring 0.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (shard.applied() < 12 * 16 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_GE(shard.applied(), 12u * 16u) << "worker made no progress";
+  EXPECT_GE(shard.StreamAppendCount(1), 16u)
+      << "producer 1 starved behind the saturated ring 0";
+  EXPECT_GE(shard.StreamAppendCount(2), 16u)
+      << "producer 2 starved behind the saturated ring 0";
+  shard.RequestStop();
+  pusher.join();
+  shard.Join();
+  EXPECT_TRUE(shard.worker_status().ok());
+}
+
+// pin_shards with a failing affinity call must degrade gracefully: one
+// pin_failures tick per shard, workers unpinned but fully functional,
+// and never an abort.
+TEST(IngestEngineTest, PinFailureIsCountedOnceAndNonFatal) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  econfig.pin_shards = true;
+  std::atomic<int> attempts{0};
+  econfig.pin_hook = [&attempts](std::size_t) {
+    attempts.fetch_add(1);
+    return false;  // injected affinity failure
+  };
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 4, econfig))
+                    .value();
+  for (int t = 0; t < 100; ++t) {
+    for (StreamId s = 0; s < 4; ++s) {
+      ASSERT_TRUE(engine->Post(s, 1.0 * t).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(attempts.load(), 2);  // one attempt per shard, not per batch
+  EXPECT_EQ(engine->metrics().pin_failures.load(), 2u);
+  EXPECT_EQ(engine->metrics().appended.load(), 400u);
+  const std::string json = engine->MetricsJson();
+  EXPECT_NE(json.find("\"pin_failures\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pinned\":false"), std::string::npos) << json;
+  ASSERT_TRUE(engine->Stop().ok());
+}
+
+TEST(IngestEngineTest, PinSuccessIsReportedPerShard) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  econfig.pin_shards = true;
+  std::atomic<int> attempts{0};
+  econfig.pin_hook = [&attempts](std::size_t) {
+    attempts.fetch_add(1);
+    return true;
+  };
+  auto engine = std::move(IngestEngine::Create(StreamConfig(),
+                                               Thresholds(2.0), 4, econfig))
+                    .value();
+  for (StreamId s = 0; s < 4; ++s) {
+    ASSERT_TRUE(engine->Post(s, 1.0).ok());
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_EQ(engine->metrics().pin_failures.load(), 0u);
+  const std::string json = engine->MetricsJson();
+  EXPECT_NE(json.find("\"pinned\":true"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"pinned\":false"), std::string::npos) << json;
+  ASSERT_TRUE(engine->Stop().ok());
 }
 
 }  // namespace

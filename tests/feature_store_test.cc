@@ -18,6 +18,7 @@
 #include "core/fleet_monitor.h"
 #include "core/stardust.h"
 #include "engine/checkpoint.h"
+#include "engine/engine.h"
 #include "engine/feature_pipeline.h"
 #include "query/eval_plan.h"
 #include "query/registry.h"
@@ -100,6 +101,52 @@ std::string SerializeStore(const FeatureStore& store) {
   Writer writer;
   store.SaveTo(&writer);
   return std::move(writer.TakeBuffer());
+}
+
+// --- Cache-geometry capacity derivation --------------------------------
+
+TEST(FeatureStoreTest, EntryBytesCountsEveryColumn) {
+  // time (8) + dims + window + mean + norm2 doubles + head/count u32s.
+  EXPECT_EQ(FeatureStoreEntryBytes(/*window=*/8, /*dims=*/4),
+            8u + (4 + 8 + 2) * 8u + 2 * 4u);
+}
+
+TEST(FeatureStoreTest, DeriveStoreCapacityTargetsHalfTheCache) {
+  // 64 streams x 200-byte entries = 12800 bytes per ring slot; half of a
+  // 1 MiB cache budgets 524288 bytes -> 40 slots, inside the clamps.
+  EXPECT_EQ(DeriveStoreCapacity(64, 200, 1 << 20), 40u);
+  // A huge cache clamps to the ceiling, a tiny one to the floor.
+  EXPECT_EQ(DeriveStoreCapacity(4, 100, 1 << 30), 64u);
+  EXPECT_EQ(DeriveStoreCapacity(1024, 4096, 1 << 16), 4u);
+}
+
+TEST(FeatureStoreTest, DeriveStoreCapacityFallsBackOnUnknownInputs) {
+  // Zero/unknown geometry (no probed cache, empty shard, zero-sized
+  // entry) must yield the pipeline's fixed default, never a clamp edge.
+  EXPECT_EQ(DeriveStoreCapacity(64, 200, 0), 8u);
+  EXPECT_EQ(DeriveStoreCapacity(0, 200, 1 << 20), 8u);
+  EXPECT_EQ(DeriveStoreCapacity(64, 0, 1 << 20), 8u);
+}
+
+TEST(FeatureStoreTest, StoreCapacityOverrideTakesPrecedence) {
+  // An explicit capacity bypasses derivation entirely: the pipeline's
+  // store is built with exactly the requested ring size.
+  FeaturePipeline pipeline(nullptr, MakeCore(CorrelationCoreConfig()),
+                           kStreams, /*store_capacity=*/3);
+  EXPECT_EQ(pipeline.store().capacity(), 3u);
+  // And an engine built with the EngineConfig override (instead of
+  // cache-geometry derivation) must construct and run cleanly.
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.store_capacity = 3;
+  econfig.query = FullQueryConfig();
+  auto engine = std::move(IngestEngine::Create(AggregateConfig(),
+                                               FleetThresholds(),
+                                               /*num_streams=*/2, econfig))
+                    .value();
+  ASSERT_TRUE(engine->Post(0, 1.0).ok());
+  ASSERT_TRUE(engine->Flush().ok());
+  ASSERT_TRUE(engine->Stop().ok());
 }
 
 // --- FeatureStore unit tests ------------------------------------------

@@ -31,10 +31,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/serialize.h"
+#include "core/fleet_monitor.h"
 #include "core/level_state.h"
 #include "core/pattern_query.h"
+#include "core/snapshot.h"
 #include "core/stardust.h"
 #include "core/summarizer.h"
+#include "engine/checkpoint.h"
 #include "engine/engine.h"
 #include "geom/mbr.h"
 #include "query/sinks.h"
@@ -370,6 +374,313 @@ TEST(GoldenReplayTest, PlanPathMatchesSeedPathForEveryQueryClass) {
                      OfKind(observed, QueryKind::kPattern), "pattern");
   ExpectSameSequence(seed_corr_alerts,
                      OfKind(observed, QueryKind::kCorrelation), "correlation");
+}
+
+// ---------------------------------------------------------------------------
+// Batched columnar maintenance equivalence: the AppendRun path must leave
+// every byte of summary state identical to per-value Append, at any run
+// length. Serialized snapshots are the comparison medium — they cover
+// raw history, level threads, box extents, alarm statistics, and tracker
+// state, so "checksummed summary state" here is byte equality plus an
+// FNV-1a digest for compact failure messages.
+
+std::uint64_t Fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Run-length schedules the batched paths are replayed under (cycled over
+// the input): the scalar boundary case, small runs, an odd length that
+// never aligns with windows or box capacities, a full engine batch, and
+// a mixed interleaving.
+const std::vector<std::vector<std::size_t>>& RunSchedules() {
+  static const std::vector<std::vector<std::size_t>> kSchedules = {
+      {1}, {2}, {7}, {64}, {1, 2, 7, 64, 3, 5}};
+  return kSchedules;
+}
+
+std::string SerializeSummarizers(const Stardust& core) {
+  Writer writer;
+  for (StreamId s = 0; s < core.num_streams(); ++s) {
+    core.summarizer(s).SaveTo(&writer);
+  }
+  return writer.TakeBuffer();
+}
+
+// Core configurations spanning every summarizer code path the batched
+// kernels replaced: incremental aggregate with box merging (c > 1),
+// indexed online unit-sphere DWT (half-merge, Lemma A.1), batch
+// z-normalized DWT (T == W), and the exact-levels ablation.
+std::vector<std::pair<std::string, StardustConfig>> BatchedCoreConfigs() {
+  std::vector<std::pair<std::string, StardustConfig>> configs;
+  configs.emplace_back("aggregate_c2", AggregateConfig());
+  configs.emplace_back("unit_sphere_indexed", PatternCoreConfig());
+  configs.emplace_back("znorm_batch", CorrelationCoreConfig());
+  StardustConfig exact = PatternCoreConfig();
+  exact.exact_levels = true;
+  exact.index_features = false;
+  configs.emplace_back("exact_levels", exact);
+  return configs;
+}
+
+TEST(BatchedMaintenanceTest, StardustAppendRunMatchesAppendBitExactly) {
+  constexpr std::size_t kCoreStreams = 3;
+  constexpr int kCoreSteps = 400;
+  for (const auto& [name, config] : BatchedCoreConfigs()) {
+    for (const std::vector<std::size_t>& schedule : RunSchedules()) {
+      auto scalar = std::move(Stardust::Create(config)).value();
+      auto batched = std::move(Stardust::Create(config)).value();
+      for (std::size_t s = 0; s < kCoreStreams; ++s) {
+        scalar->AddStream();
+        batched->AddStream();
+      }
+      std::vector<double> values(kCoreSteps);
+      for (StreamId s = 0; s < kCoreStreams; ++s) {
+        for (int t = 0; t < kCoreSteps; ++t) {
+          values[t] = ValueAt(s % kStreams, t);
+          ASSERT_TRUE(scalar->Append(s, values[t]).ok());
+        }
+        std::size_t offset = 0;
+        std::size_t turn = 0;
+        while (offset < values.size()) {
+          const std::size_t len = std::min(
+              schedule[turn++ % schedule.size()], values.size() - offset);
+          ASSERT_TRUE(
+              batched->AppendRun(s, values.data() + offset, len).ok());
+          offset += len;
+        }
+      }
+      const std::string scalar_state = SerializeSummarizers(*scalar);
+      const std::string batched_state = SerializeSummarizers(*batched);
+      EXPECT_EQ(Fnv1a(scalar_state), Fnv1a(batched_state))
+          << name << " schedule[0]=" << schedule[0]
+          << ": state checksum diverged";
+      ASSERT_EQ(scalar_state, batched_state)
+          << name << " schedule[0]=" << schedule[0];
+    }
+  }
+}
+
+TEST(BatchedMaintenanceTest, FleetAppendRunMatchesAppendAlarmsAndState) {
+  constexpr std::size_t kFleetStreams = 3;
+  constexpr int kFleetSteps = 400;
+  // Thresholds the golden data actually crosses, so alarm statistics are
+  // non-trivially exercised (window-10 sums of the periodic wave reach
+  // 30; window-20 sums of the burst stream reach 1000).
+  const std::vector<WindowThreshold> thresholds = {{10, 25.0}, {20, 120.0}};
+  for (const std::vector<std::size_t>& schedule : RunSchedules()) {
+    auto scalar = std::move(FleetAggregateMonitor::Create(
+                                AggregateConfig(), thresholds, kFleetStreams))
+                      .value();
+    auto batched = std::move(FleetAggregateMonitor::Create(
+                                 AggregateConfig(), thresholds, kFleetStreams))
+                       .value();
+    std::vector<double> values(kFleetSteps);
+    for (StreamId s = 0; s < kFleetStreams; ++s) {
+      for (int t = 0; t < kFleetSteps; ++t) {
+        values[t] = ValueAt(s % kStreams, t);
+        ASSERT_TRUE(scalar->Append(s, values[t]).ok());
+      }
+      std::size_t offset = 0;
+      std::size_t turn = 0;
+      while (offset < values.size()) {
+        const std::size_t len = std::min(schedule[turn++ % schedule.size()],
+                                         values.size() - offset);
+        ASSERT_TRUE(batched->AppendRun(s, values.data() + offset, len).ok());
+        offset += len;
+      }
+    }
+    const AlarmStats scalar_stats = scalar->FleetTotal();
+    const AlarmStats batched_stats = batched->FleetTotal();
+    EXPECT_EQ(scalar_stats.checks, batched_stats.checks);
+    EXPECT_EQ(scalar_stats.candidates, batched_stats.candidates);
+    EXPECT_EQ(scalar_stats.true_alarms, batched_stats.true_alarms);
+    EXPECT_GT(scalar_stats.true_alarms, 0u);  // not vacuous
+    const std::string scalar_state = SerializeFleetSnapshot(*scalar);
+    const std::string batched_state = SerializeFleetSnapshot(*batched);
+    EXPECT_EQ(Fnv1a(scalar_state), Fnv1a(batched_state));
+    ASSERT_EQ(scalar_state, batched_state)
+        << "schedule[0]=" << schedule[0] << ": fleet state diverged";
+  }
+}
+
+TEST(BatchedMaintenanceTest, AppendRunRejectsNonFiniteLikeAppend) {
+  // A run containing a non-finite value must reject exactly the tuples
+  // the scalar path rejects and leave identical state behind.
+  const std::vector<WindowThreshold> thresholds = {{10, 25.0}};
+  auto scalar = std::move(FleetAggregateMonitor::Create(AggregateConfig(),
+                                                        thresholds, 1))
+                    .value();
+  auto batched = std::move(FleetAggregateMonitor::Create(AggregateConfig(),
+                                                         thresholds, 1))
+                     .value();
+  std::vector<double> values;
+  for (int t = 0; t < 40; ++t) values.push_back(ValueAt(0, t));
+  values[17] = std::nan("");
+  for (double v : values) {
+    const Status status = scalar->Append(0, v);
+    EXPECT_EQ(status.ok(), std::isfinite(v));
+  }
+  const Status run_status = batched->AppendRun(0, values.data(),
+                                               values.size());
+  EXPECT_FALSE(run_status.ok());
+  // Replay the remainder the way the shard does: split around the bad
+  // value and run the finite pieces.
+  auto batched2 = std::move(FleetAggregateMonitor::Create(AggregateConfig(),
+                                                          thresholds, 1))
+                      .value();
+  ASSERT_TRUE(batched2->AppendRun(0, values.data(), 17).ok());
+  EXPECT_FALSE(batched2->Append(0, values[17]).ok());
+  ASSERT_TRUE(
+      batched2->AppendRun(0, values.data() + 18, values.size() - 18).ok());
+  ASSERT_EQ(SerializeFleetSnapshot(*scalar), SerializeFleetSnapshot(*batched2));
+}
+
+// Engine-level golden replay at batched run lengths: each pinned batch
+// carries `group` consecutive steps (so every stream's run has length
+// `group` in one ApplyBatch), and the seed-path references check alarms
+// once per batch — the same cadence the engine evaluates its plan at.
+// `stream_major` posts all of one stream's values before the next
+// stream's (instead of round-robin by step), exercising GroupRuns'
+// stable scatter under a different interleaving of the same tuples.
+void RunBatchedGoldenReplay(int group, bool stream_major) {
+  EngineConfig econfig;
+  econfig.num_shards = 1;
+  econfig.start_paused = true;
+  econfig.query = GoldenQueryConfig();
+  auto engine = std::move(IngestEngine::Create(AggregateConfig(),
+                                               {{10, 1e9}, {20, 1e9}},
+                                               kStreams, econfig))
+                    .value();
+  auto ring = std::make_shared<RingSink>(1 << 16);
+  engine->alerts().AddSink(ring);
+
+  auto ref_pattern = std::move(Stardust::Create(PatternCoreConfig())).value();
+  auto ref_fleet = std::move(FleetAggregateMonitor::Create(
+                                 AggregateConfig(), {{10, 1e9}, {20, 1e9}},
+                                 kStreams))
+                       .value();
+  for (std::size_t s = 0; s < kStreams; ++s) ref_pattern->AddStream();
+
+  const double kPatternRadius = 0.05;
+  const QueryId pattern_id =
+      std::move(engine->RegisterQuery(
+                    QuerySpec::Pattern(PatternShape(), kPatternRadius)))
+          .value();
+  const std::size_t kAggWindow = 20;
+  const double kAggThreshold = 200.0;
+  QueryId agg_id = 0;
+
+  // Seed Algorithm 2 with per-batch alarm checks: exact rolling sums per
+  // value, rising-edge latch evaluated once per applied batch.
+  std::vector<std::deque<double>> tails(kStreams);
+  std::vector<double> sums(kStreams, 0.0);
+  std::vector<char> edge(kStreams, 0);
+  std::vector<GoldenAlert> seed_aggregate_alerts;
+  std::vector<GoldenAlert> seed_pattern_alerts;
+  std::vector<std::uint64_t> pattern_watermark(kStreams, 0);
+
+  for (int t0 = 0; t0 < kSteps; t0 += group) {
+    const int steps = std::min(group, kSteps - t0);
+    if (t0 <= 50 && 50 < t0 + steps && agg_id == 0) {
+      agg_id = std::move(engine->RegisterQuery(
+                             QuerySpec::Aggregate(kAggWindow, kAggThreshold)))
+                   .value();
+    }
+    // Post the whole group while paused; references see the identical
+    // per-stream value sequences regardless of the posting interleaving.
+    const auto post = [&](StreamId s, int t) {
+      const double v = ValueAt(s, t);
+      ASSERT_TRUE(engine->Post(s, v).ok());
+      ASSERT_TRUE(ref_pattern->Append(s, v).ok());
+      ASSERT_TRUE(ref_fleet->Append(s, v).ok());
+      tails[s].push_back(v);
+      sums[s] += v;
+      if (tails[s].size() > kAggWindow) {
+        sums[s] -= tails[s].front();
+        tails[s].pop_front();
+      }
+    };
+    if (stream_major) {
+      for (StreamId s = 0; s < kStreams; ++s) {
+        for (int k = 0; k < steps; ++k) post(s, t0 + k);
+      }
+    } else {
+      for (int k = 0; k < steps; ++k) {
+        for (StreamId s = 0; s < kStreams; ++s) post(s, t0 + k);
+      }
+    }
+    engine->Resume();
+    ASSERT_TRUE(engine->Flush().ok());
+    engine->Pause();
+    const std::uint64_t appended = static_cast<std::uint64_t>(t0 + steps);
+
+    if (agg_id != 0) {
+      for (StreamId s = 0; s < kStreams; ++s) {
+        if (tails[s].size() < kAggWindow) continue;
+        const bool alarm = sums[s] >= kAggThreshold;
+        if (alarm && edge[s] == 0) {
+          seed_aggregate_alerts.push_back({agg_id, s, 0, kAggWindow,
+                                           appended - 1, sums[s],
+                                           kAggThreshold});
+        }
+        edge[s] = alarm ? 1 : 0;
+      }
+    }
+    const PatternQueryEngine pattern_engine(*ref_pattern);
+    const Result<PatternResult> result =
+        pattern_engine.QueryOnline(PatternShape(), kPatternRadius);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const PatternMatch& match : result.value().matches) {
+      if (match.end_time + 1 <= pattern_watermark[match.stream]) continue;
+      pattern_watermark[match.stream] = match.end_time + 1;
+      seed_pattern_alerts.push_back({pattern_id, match.stream, 0,
+                                     PatternShape().size(), match.end_time,
+                                     match.distance, kPatternRadius});
+    }
+  }
+
+  // State equivalence: checkpoint the engine and require the restored
+  // shard fleet to serialize byte-identically to the per-value reference
+  // fleet (one shard, so stream order lines up).
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/golden_batched_" +
+      std::to_string(group) + (stream_major ? "_sm" : "_rr");
+  ASSERT_TRUE(engine->Checkpoint(dir).ok());
+  const CheckpointManifest manifest =
+      std::move(FindLatestValidCheckpoint(dir)).value();
+  ASSERT_EQ(manifest.shards.size(), 1u);
+  auto restored =
+      std::move(LoadFleetSnapshot(dir + "/" + manifest.shards[0].file))
+          .value();
+  const std::string engine_state = SerializeFleetSnapshot(*restored);
+  const std::string ref_state = SerializeFleetSnapshot(*ref_fleet);
+  EXPECT_EQ(Fnv1a(engine_state), Fnv1a(ref_state));
+  ASSERT_EQ(engine_state, ref_state)
+      << "group=" << group << " fleet state diverged from per-value replay";
+
+  ASSERT_TRUE(engine->Stop().ok());
+  const std::vector<Alert> observed = ring->Snapshot();
+  std::sort(seed_aggregate_alerts.begin(), seed_aggregate_alerts.end());
+  std::sort(seed_pattern_alerts.begin(), seed_pattern_alerts.end());
+  EXPECT_GE(seed_aggregate_alerts.size(), 1u);
+  EXPECT_GE(seed_pattern_alerts.size(), 1u);
+  ExpectSameSequence(seed_aggregate_alerts,
+                     OfKind(observed, QueryKind::kAggregate), "aggregate");
+  ExpectSameSequence(seed_pattern_alerts,
+                     OfKind(observed, QueryKind::kPattern), "pattern");
+}
+
+TEST(BatchedGoldenReplayTest, RunLength2) { RunBatchedGoldenReplay(2, false); }
+TEST(BatchedGoldenReplayTest, RunLength7StreamMajor) {
+  RunBatchedGoldenReplay(7, true);
+}
+TEST(BatchedGoldenReplayTest, RunLength64) {
+  RunBatchedGoldenReplay(64, false);
 }
 
 }  // namespace
