@@ -15,8 +15,22 @@
 //                          [--pattern-base W] [--corr-radius r]
 //                          [--corr-base W] [--corr-window N]
 //                          [--coefficients f] [--max-batch n]
+//   stardust_cli subscribe --tcp host:port [--id name] [--resume seq]
+//                          [--count n] [--idle-timeout ms]
+//   stardust_cli ingest    <data.csv|-> --port p [--host h] [--batch n]
 //
-// `subscribe` replays the CSV through the sharded ingestion engine
+// `ingest` streams CSV rows (column c -> stream c) to a running
+// stardust_server over the binary frame protocol (docs/NETWORK.md).
+// Malformed lines are reported on stderr with their line number and
+// skipped — the run keeps going instead of aborting. `-` reads stdin.
+//
+// `subscribe --tcp` attaches to a running stardust_server as a durable
+// subscriber: every alert arrives as one JSON line on stdout and is
+// acknowledged, so a restarted `subscribe --tcp --id NAME` resumes where
+// the last one stopped. --resume fast-forwards the cursor, --count exits
+// after n alerts, --idle-timeout exits after ms without one.
+//
+// `subscribe` (with a CSV) replays it through the sharded ingestion engine
 // (src/engine) with continuous queries registered up front, and streams
 // every alert as one JSON line on stdout while a run summary goes to
 // stderr — the offline stand-in for subscribing to a live feed
@@ -34,6 +48,8 @@
 // `patterns` uses its first column.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -48,6 +64,7 @@
 #include "core/surprise_monitor.h"
 #include "core/window_advisor.h"
 #include "engine/engine.h"
+#include "net/client.h"
 #include "query/sinks.h"
 #include "stream/io.h"
 #include "stream/preprocess.h"
@@ -74,6 +91,11 @@ struct Args {
                ? fallback
                : static_cast<std::size_t>(
                      std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
   }
 };
 
@@ -372,7 +394,147 @@ int RunAdvise(const Args& args) {
   return 0;
 }
 
+/// TCP producer: CSV rows in, Batch frames out (docs/NETWORK.md).
+/// Malformed lines are diagnosed with their line number and skipped.
+int RunIngest(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "ingest: missing <data.csv|->\n");
+    return 2;
+  }
+  if (args.options.count("port") == 0) {
+    std::fprintf(stderr, "ingest: missing --port\n");
+    return 2;
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetSize("port", 0));
+  const std::size_t batch_rows =
+      std::max<std::size_t>(1, args.GetSize("batch", 64));
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (args.positional[0] != "-") {
+    file.open(args.positional[0], std::ios::binary);
+    if (!file) {
+      std::fprintf(stderr, "ingest: cannot open %s\n",
+                   args.positional[0].c_str());
+      return 1;
+    }
+    in = &file;
+  }
+
+  Result<std::unique_ptr<net::ProducerClient>> client =
+      net::ProducerClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  net::BatchMessage batch;
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t malformed = 0;
+  std::size_t pending_rows = 0;
+
+  auto flush = [&]() -> Status {
+    if (batch.runs.empty()) return Status::OK();
+    Result<net::BatchAckMessage> ack = client.value()->Send(batch);
+    if (!ack.ok()) return ack.status();
+    accepted += ack.value().accepted;
+    dropped += ack.value().dropped;
+    batch.runs.clear();
+    pending_rows = 0;
+    return Status::OK();
+  };
+
+  std::string line;
+  std::vector<double> row;
+  std::size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const Status parsed = ParseCsvRow(line, &row);
+    if (!parsed.ok()) {
+      // Diagnose and keep going — one bad line must not kill a feed.
+      ++malformed;
+      std::fprintf(stderr, "ingest: line %zu: %s (skipped)\n", line_no,
+                   parsed.message().c_str());
+      continue;
+    }
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      if (batch.runs.size() <= s) {
+        batch.runs.push_back({static_cast<std::uint32_t>(s), {}});
+      }
+      batch.runs[s].values.push_back(row[s]);
+    }
+    ++rows;
+    if (++pending_rows >= batch_rows) {
+      const Status st = flush();
+      if (!st.ok()) return Fail(st);
+    }
+  }
+  Status st = flush();
+  if (!st.ok()) return Fail(st);
+  client.value()->Close();
+
+  std::fprintf(stderr,
+               "ingest: %llu row(s) sent, %llu value(s) accepted, "
+               "%llu dropped, %llu malformed line(s) skipped\n",
+               static_cast<unsigned long long>(rows),
+               static_cast<unsigned long long>(accepted),
+               static_cast<unsigned long long>(dropped),
+               static_cast<unsigned long long>(malformed));
+  return 0;
+}
+
+/// Live TCP subscriber: alerts as JSON lines on stdout, each
+/// acknowledged so the server-side cursor survives reconnects.
+int RunSubscribeTcp(const Args& args) {
+  const std::string target = args.options.at("tcp");
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "subscribe: --tcp wants host:port\n");
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoull(target.c_str() + colon + 1, nullptr, 10));
+  const std::string id = args.GetString("id", "stardust-cli");
+  const std::uint64_t resume = args.GetSize("resume", 0);
+  const std::size_t count = args.GetSize("count", 0);
+  const int idle_timeout =
+      static_cast<int>(args.GetSize("idle-timeout", 0));
+
+  Result<std::unique_ptr<net::SubscriberClient>> client =
+      net::SubscriberClient::Connect(host, port, id, resume);
+  if (!client.ok()) return Fail(client.status());
+  std::fprintf(stderr, "subscribed as '%s', resuming after seq %llu\n",
+               id.c_str(),
+               static_cast<unsigned long long>(
+                   client.value()->resume_from()));
+
+  std::size_t received = 0;
+  for (;;) {
+    const int wait_ms = idle_timeout > 0 ? idle_timeout : 1000;
+    Result<net::AlertFrameMessage> alert = client.value()->Next(wait_ms);
+    if (!alert.ok()) {
+      if (alert.status().code() == StatusCode::kNotFound) {
+        if (idle_timeout > 0) break;  // idle long enough; done
+        continue;
+      }
+      return Fail(alert.status());
+    }
+    std::printf("%s\n", alert.value().json.c_str());
+    std::fflush(stdout);
+    const Status st = client.value()->Ack(alert.value().seq);
+    if (!st.ok()) return Fail(st);
+    ++received;
+    if (count > 0 && received >= count) break;
+  }
+  std::fprintf(stderr, "%zu alert(s) received\n", received);
+  return 0;
+}
+
 int RunSubscribe(const Args& args) {
+  if (args.options.count("tcp") != 0) return RunSubscribeTcp(args);
   if (args.positional.empty()) {
     std::fprintf(stderr, "subscribe: missing <data.csv>\n");
     return 2;
@@ -532,7 +694,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: stardust_cli "
-      "<monitor|patterns|correlate|advise|surprise|subscribe> ...\n"
+      "<monitor|patterns|correlate|advise|surprise|subscribe|ingest> ...\n"
       "see the header of examples/stardust_cli.cpp for options\n");
   return 2;
 }
@@ -549,5 +711,6 @@ int main(int argc, char** argv) {
   if (command == "advise") return RunAdvise(args);
   if (command == "surprise") return RunSurprise(args);
   if (command == "subscribe") return RunSubscribe(args);
+  if (command == "ingest") return RunIngest(args);
   return Usage();
 }

@@ -84,6 +84,15 @@ Status AggregateMonitor::Append(double value) {
 
 Status AggregateMonitor::AppendRun(const double* values, std::size_t n) {
   if (n == 0) return Status::OK();
+  if (n <= Stardust::kScalarRunCutoff) {
+    // Cost-based dispatch: short runs never pay the staged-run setup
+    // (see Stardust::kScalarRunCutoff). Append also rejects non-finite
+    // values with the same per-value error, so no pre-scan is needed.
+    for (std::size_t i = 0; i < n; ++i) {
+      SD_RETURN_NOT_OK(Append(values[i]));
+    }
+    return Status::OK();
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (!std::isfinite(values[i])) {
       // Per-value fallback: the prefix before the bad value is applied and

@@ -59,6 +59,14 @@ Status Stardust::AppendRun(StreamId stream, const double* values,
   if (stream >= streams_.size()) {
     return Status::InvalidArgument("unknown stream");
   }
+  if (n <= kScalarRunCutoff) {
+    // Cost-based dispatch: short runs never pay the staged-run setup.
+    // Append also handles non-finite values, so the scan below is skipped.
+    for (std::size_t i = 0; i < n; ++i) {
+      SD_RETURN_NOT_OK(Append(stream, values[i]));
+    }
+    return Status::OK();
+  }
   for (std::size_t i = 0; i < n; ++i) {
     if (!std::isfinite(values[i])) {
       // Fall back to the per-value path: the prefix before the bad value

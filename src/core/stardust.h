@@ -54,6 +54,14 @@ class Stardust {
   /// Feeds one value of one stream, maintaining threads and level indexes.
   Status Append(StreamId stream, double value);
 
+  /// Runs at or below this length take the scalar Append path inside
+  /// AppendRun: the staged-run machinery has a fixed per-run setup cost
+  /// (BeginRun/EndRun, per-level state loads) that only amortizes across
+  /// several values, and bench_feature showed length-1 runs paying ~1.7x
+  /// the scalar cost through it. Shared by every AppendRun entry point
+  /// (Stardust, AggregateMonitor, Shard) so dispatch stays consistent.
+  static constexpr std::size_t kScalarRunCutoff = 2;
+
   /// Batched append — the engine's columnar maintenance path. Produces
   /// summary state bit-identical to n Append calls (see
   /// StreamSummarizer::AppendRun); level indexes receive the same inserts

@@ -15,10 +15,11 @@ namespace {
 
 constexpr char kManifestMagic[4] = {'S', 'D', 'M', 'F'};
 /// v1: shard entries only. v2 appends the query-registry file entry.
-/// v3 appends the per-shard feature-pipeline file entries. All parse; a
-/// v1 manifest restores with an empty registry, and anything below v3
-/// restores with empty query cores (the pre-v3 behavior).
-constexpr std::uint32_t kManifestVersion = 3;
+/// v3 appends the per-shard feature-pipeline file entries. v4 appends
+/// the net-state file entry. All parse; a v1 manifest restores with an
+/// empty registry, anything below v3 restores with empty query cores,
+/// and anything below v4 restores with no network tier state.
+constexpr std::uint32_t kManifestVersion = 4;
 constexpr std::uint32_t kMinManifestVersion = 1;
 /// Lower bound on one serialized shard entry (name length + epoch +
 /// appended + checksum); bounds the declared shard count against the
@@ -27,8 +28,8 @@ constexpr std::uint64_t kMinShardEntryBytes = 32;
 constexpr std::uint64_t kMaxFileNameBytes = 4096;
 
 /// Extracts the sequence number from `manifest-<seq>.ck`,
-/// `shard-<i>-ck<seq>.snap`, `features-<i>-ck<seq>.feat`, or
-/// `queries-ck<seq>.qry`; false otherwise.
+/// `shard-<i>-ck<seq>.snap`, `features-<i>-ck<seq>.feat`,
+/// `queries-ck<seq>.qry`, or `net-ck<seq>.net`; false otherwise.
 bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
   std::string digits;
   if (name.rfind("manifest-", 0) == 0 && name.size() > 12 &&
@@ -47,6 +48,9 @@ bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
   } else if (name.rfind("queries-ck", 0) == 0 && name.size() > 14 &&
              name.compare(name.size() - 4, 4, ".qry") == 0) {
     digits = name.substr(10, name.size() - 14);
+  } else if (name.rfind("net-ck", 0) == 0 && name.size() > 10 &&
+             name.compare(name.size() - 4, 4, ".net") == 0) {
+    digits = name.substr(6, name.size() - 10);
   } else {
     return false;
   }
@@ -99,6 +103,10 @@ std::string CheckpointQueriesFileName(std::uint64_t seq) {
   return "queries-ck" + std::to_string(seq) + ".qry";
 }
 
+std::string CheckpointNetFileName(std::uint64_t seq) {
+  return "net-ck" + std::to_string(seq) + ".net";
+}
+
 std::string CheckpointManifestFileName(std::uint64_t seq) {
   return "manifest-" + std::to_string(seq) + ".ck";
 }
@@ -129,6 +137,9 @@ std::string SerializeManifest(const CheckpointManifest& manifest) {
     payload.Bytes(entry.file.data(), entry.file.size());
     payload.U64(entry.checksum);
   }
+  payload.U64(manifest.net_file.size());
+  payload.Bytes(manifest.net_file.data(), manifest.net_file.size());
+  payload.U64(manifest.net_checksum);
 
   Writer envelope;
   envelope.Bytes(kManifestMagic, sizeof(kManifestMagic));
@@ -215,6 +226,10 @@ Result<CheckpointManifest> ParseManifest(const std::string& bytes) {
       SD_RETURN_NOT_OK(reader.U64(&entry.checksum));
     }
   }
+  if (version >= 4) {
+    SD_RETURN_NOT_OK(ReadFileName(&reader, &manifest.net_file));
+    SD_RETURN_NOT_OK(reader.U64(&manifest.net_checksum));
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("manifest has trailing bytes");
   }
@@ -291,6 +306,17 @@ Result<CheckpointManifest> FindLatestValidCheckpoint(const std::string& dir) {
         last_error = Status::InvalidArgument(
             "checkpoint " + std::to_string(seq) + " query registry file " +
             manifest.queries_file + " missing or corrupt");
+        complete = false;
+      }
+    }
+    if (complete && !manifest.net_file.empty()) {
+      Result<std::string> net_bytes =
+          ReadFileToString((fs::path(dir) / manifest.net_file).string());
+      if (!net_bytes.ok() ||
+          Fnv1a(net_bytes.value()) != manifest.net_checksum) {
+        last_error = Status::InvalidArgument(
+            "checkpoint " + std::to_string(seq) + " net state file " +
+            manifest.net_file + " missing or corrupt");
         complete = false;
       }
     }

@@ -13,9 +13,11 @@
 // one whose own checksum and every referenced file verify; partial or
 // corrupt checkpoints are skipped, never half-loaded. Older manifest
 // versions stay loadable: a v1 manifest restores with an empty registry,
-// and a v1/v2 manifest (no feature files) restores with empty query
-// cores that warm up as tuples flow. docs/ENGINE.md and docs/FEATURES.md
-// document the format and guarantees.
+// a v1/v2 manifest (no feature files) restores with empty query cores
+// that warm up as tuples flow, and a pre-v4 manifest (no net-state file,
+// `net-ck<seq>.net`) restores with a fresh alert sequence allocator and
+// no subscriber cursors. docs/ENGINE.md and docs/FEATURES.md document
+// the format and guarantees; docs/NETWORK.md covers the net state.
 #ifndef STARDUST_ENGINE_CHECKPOINT_H_
 #define STARDUST_ENGINE_CHECKPOINT_H_
 
@@ -70,12 +72,19 @@ struct CheckpointManifest {
   /// manifest v3. Either empty (older manifest: query cores restore
   /// empty) or exactly one entry per shard, in shard order.
   std::vector<CheckpointFeatureEntry> features;
+  /// Serialized network tier state (net/alert_hub.h: the alert sequence
+  /// allocator, subscriber cursors, and replay ring), manifest v4. Empty
+  /// file name when the checkpoint carries none — an older manifest or an
+  /// engine without a network front door attached.
+  std::string net_file;
+  std::uint64_t net_checksum = 0;
 };
 
 /// Canonical file names within a checkpoint directory.
 std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq);
 std::string CheckpointFeaturesFileName(std::size_t shard, std::uint64_t seq);
 std::string CheckpointQueriesFileName(std::uint64_t seq);
+std::string CheckpointNetFileName(std::uint64_t seq);
 std::string CheckpointManifestFileName(std::uint64_t seq);
 
 /// Manifest (de)serialization behind the same magic + version + checksum

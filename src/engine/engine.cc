@@ -206,6 +206,13 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
     engine->next_checkpoint_seq_ = manifest.seq + 1;
     engine->last_checkpoint_seq_.store(manifest.seq,
                                        std::memory_order_release);
+    if (!manifest.net_file.empty()) {
+      const std::filesystem::path net_path =
+          std::filesystem::path(restore_dir) / manifest.net_file;
+      Result<std::string> net_bytes = ReadFileToString(net_path.string());
+      if (!net_bytes.ok()) return net_bytes.status();
+      engine->restored_net_state_ = std::move(net_bytes).value();
+    }
   }
   engine->alert_bus_->Start();
   for (auto& shard : engine->shards_) {
@@ -251,6 +258,19 @@ Status IngestEngine::Post(StreamId stream, double value) {
   if (!slot.ok()) return slot.status();
   return shards_[ShardOf(stream)]->Push(slot.value(), LocalOf(stream),
                                         value);
+}
+
+Result<PostOutcome> IngestEngine::TryPost(StreamId stream, double value) {
+  if (!accepting_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  Result<std::size_t> slot = ProducerSlot();
+  if (!slot.ok()) return slot.status();
+  return shards_[ShardOf(stream)]->TryPush(slot.value(), LocalOf(stream),
+                                           value);
 }
 
 Status IngestEngine::PostBatch(std::span<const StreamValue> tuples) {
@@ -462,6 +482,26 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
     }
   }
 
+  // The network tier's state (alert sequence allocator, subscriber
+  // cursors, replay ring) rides along when a provider is attached
+  // (manifest v4). Taken after the shard snapshots: the hub state may be
+  // slightly fresher than the shards, which errs toward retaining — a
+  // replayed alert is deduplicated by its sequence number downstream.
+  if (net_state_provider_) {
+    const std::string bytes = net_state_provider_();
+    if (!bytes.empty()) {
+      manifest.net_file = CheckpointNetFileName(seq);
+      manifest.net_checksum = Fnv1a(bytes);
+      const std::filesystem::path path =
+          std::filesystem::path(dir) / manifest.net_file;
+      const Status written = AtomicWriteFile(path.string(), bytes);
+      if (!written.ok()) {
+        metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+        return written;
+      }
+    }
+  }
+
   // The manifest is the commit point: until this rename lands, recovery
   // still resolves to the previous checkpoint.
   const std::filesystem::path manifest_path =
@@ -482,6 +522,11 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
   // anything older and any .tmp leftovers of interrupted attempts.
   GarbageCollectCheckpoints(dir, prev != 0 ? prev : seq);
   return Status::OK();
+}
+
+void IngestEngine::SetNetStateProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  net_state_provider_ = std::move(provider);
 }
 
 void IngestEngine::StartCheckpointThread() {

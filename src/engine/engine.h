@@ -94,6 +94,11 @@ class IngestEngine {
   Status Post(StreamId stream, double value);
   /// Enqueues many (stream, value) tuples with one producer-slot lookup.
   Status PostBatch(std::span<const StreamValue> tuples);
+  /// Non-blocking Post for event-loop producers (the network front door,
+  /// src/net): a full queue under kBlock returns kWouldBlock instead of
+  /// spinning, so the caller can pause its transport and retry. Status
+  /// errors are the same precondition/argument failures as Post.
+  Result<PostOutcome> TryPost(StreamId stream, double value);
 
   /// Blocks until everything posted before the call has been applied (or
   /// reclaimed by kDropOldest) and every alert those applies published
@@ -165,6 +170,18 @@ class IngestEngine {
     return last_checkpoint_seq_.load(std::memory_order_acquire);
   }
 
+  /// Attaches the network tier's state to the checkpoint cycle: every
+  /// Checkpoint() calls `provider` (on the checkpointing thread) and
+  /// persists the returned bytes as the manifest v4 net-state file
+  /// (net/alert_hub.h Serialize). An empty provider (or empty bytes)
+  /// writes no net file. Safe to call while checkpoints run.
+  void SetNetStateProvider(std::function<std::string()> provider);
+  /// Net-state bytes recovered by a restoring Create, for the server to
+  /// hand to its AlertHub; empty when the checkpoint carried none.
+  const std::string& restored_net_state() const {
+    return restored_net_state_;
+  }
+
   /// Runs one correlator round synchronously on the caller's thread —
   /// deterministic-replay and test support (pair with a large
   /// QueryConfig::correlator_period_ms so the background thread stays
@@ -209,9 +226,12 @@ class IngestEngine {
   std::atomic<std::uint32_t> next_producer_{0};
 
   /// Serializes Checkpoint() calls (manual and background) and guards the
-  /// sequence counters below.
+  /// sequence counters and the net-state provider below.
   std::mutex checkpoint_mu_;
   std::uint64_t next_checkpoint_seq_ = 1;
+  std::function<std::string()> net_state_provider_;
+  /// Set once during a restoring Create, before any thread starts.
+  std::string restored_net_state_;
   std::atomic<std::uint64_t> last_checkpoint_seq_{0};
 
   std::mutex checkpoint_cv_mu_;

@@ -112,4 +112,22 @@ std::string EngineMetricsJson(
   return out;
 }
 
+std::string MergeMetricsSection(const std::string& json,
+                                const std::string& name,
+                                const std::string& body) {
+  if (json.size() < 2 || json.front() != '{' || json.back() != '}') {
+    return json;
+  }
+  std::string out;
+  out.reserve(json.size() + name.size() + body.size() + 8);
+  out.append(json, 0, json.size() - 1);
+  if (json.size() > 2) out += ',';  // not an empty document
+  out += '"';
+  out += name;
+  out += "\":{";
+  out += body;
+  out += "}}";
+  return out;
+}
+
 }  // namespace stardust

@@ -117,6 +117,16 @@ std::string EngineMetricsJson(const EngineMetrics& metrics,
                               const std::vector<ShardMetricsSnapshot>& shards,
                               const std::vector<QueryMetricsSnapshot>& queries);
 
+/// Inserts `"name":{body}` as a top-level member of an EngineMetricsJson
+/// document (before the closing brace). `body` must be the member list of
+/// a JSON object, without the surrounding braces. Lets layers above the
+/// engine (the network server) extend the document without the engine
+/// knowing their schema. Returns `json` unchanged if it is not a
+/// `{...}`-shaped document.
+std::string MergeMetricsSection(const std::string& json,
+                                const std::string& name,
+                                const std::string& body);
+
 }  // namespace stardust
 
 #endif  // STARDUST_ENGINE_METRICS_H_

@@ -169,6 +169,39 @@ Status Shard::Push(std::size_t producer, StreamId local_stream,
   return Status::OK();
 }
 
+PostOutcome Shard::TryPush(std::size_t producer, StreamId local_stream,
+                           double value) {
+  SD_DCHECK(producer < rings_.size());
+  SpscRing<StreamValue>& ring = *rings_[producer];
+  const StreamValue tuple{local_stream, value};
+  if (!ring.TryPush(tuple)) {
+    switch (policy_) {
+      case OverloadPolicy::kDropNewest:
+        metrics_->dropped_newest.fetch_add(1, std::memory_order_relaxed);
+        return PostOutcome::kDroppedNewest;
+      case OverloadPolicy::kDropOldest: {
+        StreamValue victim;
+        while (!ring.TryPush(tuple)) {
+          if (ring.TryPop(&victim)) {
+            stolen_.fetch_add(1, std::memory_order_relaxed);
+            metrics_->dropped_oldest.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
+      case OverloadPolicy::kBlock:
+        // Unlike Push, a full ring is the caller's backpressure signal:
+        // nothing is enqueued or accounted, and the caller retries after
+        // the worker drains (block_waits stays a Push-only counter).
+        return PostOutcome::kWouldBlock;
+    }
+  }
+  enqueued_.fetch_add(1, std::memory_order_release);
+  metrics_->posted.fetch_add(1, std::memory_order_relaxed);
+  UpdateMaxSize(&queue_high_water_, ring.ApproxSize());
+  return PostOutcome::kEnqueued;
+}
+
 void Shard::WorkerLoop() {
   if (options_.pin) {
     // Best-effort: a failed pin is surfaced once in the metrics and the
@@ -334,11 +367,14 @@ void Shard::ApplyRunLocked(StreamId stream, const double* values,
     std::size_t j = i + 1;
     while (j < count && std::isfinite(values[j])) ++j;
     const std::size_t len = j - i;
-    // Length-1 runs gain nothing from the run machinery (its fixed setup
+    // Short runs gain nothing from the run machinery (its fixed setup
     // cost per level only amortizes across multiple values); take the
-    // scalar path so sparse batches never regress.
-    if (len == 1) {
-      ApplyTupleLocked(stream, values[i]);
+    // scalar path so sparse batches never regress. The cutoff matches
+    // the dispatch inside Stardust::AppendRun (kScalarRunCutoff).
+    if (len <= Stardust::kScalarRunCutoff) {
+      for (std::size_t k = i; k < j; ++k) {
+        ApplyTupleLocked(stream, values[k]);
+      }
       i = j;
       continue;
     }

@@ -47,6 +47,22 @@ struct StreamValue {
   double value = 0.0;
 };
 
+/// Outcome of a non-blocking post (Shard::TryPush, IngestEngine::TryPost).
+/// The network front door uses this instead of Push so a full ring under
+/// kBlock surfaces as kWouldBlock — backpressure the caller can map onto
+/// its transport (pause reads, retry later) — rather than stalling the
+/// server's event loop.
+enum class PostOutcome : std::uint8_t {
+  /// The tuple is in the ring (under kDropOldest possibly at the cost of
+  /// an evicted older tuple, accounted in dropped_oldest).
+  kEnqueued = 0,
+  /// Ring full under kDropNewest: the tuple was discarded and accounted.
+  kDroppedNewest = 1,
+  /// Ring full under kBlock: nothing was enqueued or accounted; retry
+  /// after the worker drains.
+  kWouldBlock = 2,
+};
+
 /// Epoch stamp attached to data read from one shard: `epoch` counts the
 /// batches the shard had applied when the read happened, `appended` the
 /// tuples. Two reads with equal stamps observed identical shard state.
@@ -112,6 +128,11 @@ class Shard {
   /// shard's overload policy when the ring is full. Only thread-safe in
   /// the SPSC sense: one thread per producer slot.
   Status Push(std::size_t producer, StreamId local_stream, double value);
+  /// Non-blocking Push: identical policy handling except that a full
+  /// ring under kBlock returns kWouldBlock immediately instead of
+  /// spinning. Same SPSC contract as Push.
+  PostOutcome TryPush(std::size_t producer, StreamId local_stream,
+                      double value);
 
   /// Tuples ever accepted into this shard's rings.
   std::uint64_t enqueued() const {

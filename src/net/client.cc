@@ -1,0 +1,182 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace stardust::net {
+
+ClientConnection::~ClientConnection() { Close(); }
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status ClientConnection::Connect(const std::string& host,
+                                 std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal("socket: " + std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    return Status::Internal("connect " + host + ":" + std::to_string(port) +
+                            ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+Status ClientConnection::SendFrame(FrameType type,
+                                   const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  const std::string frame = EncodeFrame(type, payload);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Aborted("send: " + std::string(std::strerror(errno)));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status ClientConnection::NextFrame(Frame* out, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is closed");
+  for (;;) {
+    if (parser_.Next(out)) return Status::OK();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Aborted("poll: " + std::string(std::strerror(errno)));
+    }
+    if (ready == 0) return Status::NotFound("no frame within timeout");
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::Aborted("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Aborted("recv: " + std::string(std::strerror(errno)));
+    }
+    parser_.Feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::unique_ptr<ProducerClient>> ProducerClient::Connect(
+    const std::string& host, std::uint16_t port) {
+  std::unique_ptr<ProducerClient> client(new ProducerClient());
+  SD_RETURN_NOT_OK(client->ClientConnection::Connect(host, port));
+  HelloMessage hello;
+  hello.role = PeerRole::kProducer;
+  SD_RETURN_NOT_OK(client->SendFrame(FrameType::kHello, EncodeHello(hello)));
+  Frame frame;
+  SD_RETURN_NOT_OK(client->NextFrame(&frame, 0));
+  if (frame.type != static_cast<std::uint16_t>(FrameType::kHelloAck)) {
+    return Status::Internal("expected hello ack, got frame type " +
+                            std::to_string(frame.type));
+  }
+  HelloAckMessage ack;
+  SD_RETURN_NOT_OK(DecodeHelloAck(frame.payload, &ack));
+  return client;
+}
+
+Result<BatchAckMessage> ProducerClient::Send(const BatchMessage& batch) {
+  SD_RETURN_NOT_OK(SendFrame(FrameType::kBatch, EncodeBatch(batch)));
+  // The server may interleave error reports; the ack for this batch is
+  // the next kBatchAck (one batch in flight per producer client).
+  for (;;) {
+    Frame frame;
+    SD_RETURN_NOT_OK(NextFrame(&frame, 0));
+    if (frame.type == static_cast<std::uint16_t>(FrameType::kBatchAck)) {
+      BatchAckMessage ack;
+      SD_RETURN_NOT_OK(DecodeBatchAck(frame.payload, &ack));
+      return ack;
+    }
+    if (frame.type == static_cast<std::uint16_t>(FrameType::kError)) {
+      ErrorMessage err;
+      if (DecodeError(frame.payload, &err).ok()) {
+        return Status::InvalidArgument("server rejected batch: " +
+                                       err.message);
+      }
+      return Status::InvalidArgument("server rejected batch");
+    }
+    // Anything else (stray frame) is skipped.
+  }
+}
+
+Result<std::unique_ptr<SubscriberClient>> SubscriberClient::Connect(
+    const std::string& host, std::uint16_t port, const std::string& id,
+    std::uint64_t resume_after) {
+  if (id.empty()) {
+    return Status::InvalidArgument("subscriber id must be non-empty");
+  }
+  std::unique_ptr<SubscriberClient> client(new SubscriberClient());
+  SD_RETURN_NOT_OK(client->ClientConnection::Connect(host, port));
+  HelloMessage hello;
+  hello.role = PeerRole::kSubscriber;
+  hello.subscriber_id = id;
+  hello.resume_after = resume_after;
+  SD_RETURN_NOT_OK(client->SendFrame(FrameType::kHello, EncodeHello(hello)));
+  Frame frame;
+  SD_RETURN_NOT_OK(client->NextFrame(&frame, 0));
+  if (frame.type == static_cast<std::uint16_t>(FrameType::kError)) {
+    ErrorMessage err;
+    (void)DecodeError(frame.payload, &err);
+    return Status::InvalidArgument("server rejected subscription: " +
+                                   err.message);
+  }
+  if (frame.type != static_cast<std::uint16_t>(FrameType::kHelloAck)) {
+    return Status::Internal("expected hello ack, got frame type " +
+                            std::to_string(frame.type));
+  }
+  HelloAckMessage ack;
+  SD_RETURN_NOT_OK(DecodeHelloAck(frame.payload, &ack));
+  client->resume_from_ = ack.resume_from;
+  client->server_next_seq_ = ack.next_seq;
+  return client;
+}
+
+Result<AlertFrameMessage> SubscriberClient::Next(int timeout_ms) {
+  for (;;) {
+    Frame frame;
+    SD_RETURN_NOT_OK(NextFrame(&frame, timeout_ms));
+    if (frame.type == static_cast<std::uint16_t>(FrameType::kAlert)) {
+      AlertFrameMessage msg;
+      SD_RETURN_NOT_OK(DecodeAlertFrame(frame.payload, &msg));
+      return msg;
+    }
+    // Errors and stray frames do not end the subscription.
+  }
+}
+
+Status SubscriberClient::Ack(std::uint64_t seq) {
+  SubscriberAckMessage msg;
+  msg.acked_seq = seq;
+  return SendFrame(FrameType::kSubscriberAck, EncodeSubscriberAck(msg));
+}
+
+}  // namespace stardust::net

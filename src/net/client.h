@@ -1,0 +1,88 @@
+// Blocking client helpers for the stardust network protocol — the
+// producer and subscriber counterparts of net/server.h, used by the CLI
+// (examples/stardust_cli.cpp), the loopback tests, and bench_net. One
+// connection per object, not thread-safe; each wraps a blocking socket
+// plus a FrameParser and speaks the Hello handshake on Connect.
+#ifndef STARDUST_NET_CLIENT_H_
+#define STARDUST_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/codec.h"
+#include "net/frame.h"
+
+namespace stardust::net {
+
+/// Shared socket + parser plumbing of the two client roles.
+class ClientConnection {
+ public:
+  ~ClientConnection();
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+
+  void Close();
+  bool closed() const { return fd_ < 0; }
+
+ protected:
+  ClientConnection() = default;
+
+  Status Connect(const std::string& host, std::uint16_t port);
+  Status SendFrame(FrameType type, const std::string& payload);
+  /// Blocks for the next complete frame. `timeout_ms` 0 waits forever;
+  /// expiry returns DeadlineExceeded-as-NotFound (the protocol has no
+  /// deadline status) so pollers can distinguish "nothing yet" from a
+  /// dead socket (Aborted).
+  Status NextFrame(Frame* out, int timeout_ms);
+
+  int fd_ = -1;
+  FrameParser parser_;
+};
+
+/// Ingest-side client: Hello{producer} on connect, then Send per batch
+/// (one round trip: Batch out, BatchAck back).
+class ProducerClient : public ClientConnection {
+ public:
+  static Result<std::unique_ptr<ProducerClient>> Connect(
+      const std::string& host, std::uint16_t port);
+
+  /// Sends one batch and waits for its ack. The ack reports how the
+  /// engine's overload policy treated the values.
+  Result<BatchAckMessage> Send(const BatchMessage& batch);
+
+ private:
+  ProducerClient() = default;
+};
+
+/// Subscribe-side client: Hello{subscriber, id, resume_after} on
+/// connect, then Next per pushed alert and Ack to advance the durable
+/// cursor.
+class SubscriberClient : public ClientConnection {
+ public:
+  static Result<std::unique_ptr<SubscriberClient>> Connect(
+      const std::string& host, std::uint16_t port, const std::string& id,
+      std::uint64_t resume_after = 0);
+
+  /// Sequence the server resumed this subscription after (from the
+  /// HelloAck): alerts arrive with seq > resume_from.
+  std::uint64_t resume_from() const { return resume_from_; }
+  std::uint64_t server_next_seq() const { return server_next_seq_; }
+
+  /// Next pushed alert. NotFound on timeout, Aborted when the server
+  /// closed the connection.
+  Result<AlertFrameMessage> Next(int timeout_ms);
+  /// Cumulative cursor acknowledgement (fire-and-forget).
+  Status Ack(std::uint64_t seq);
+
+ private:
+  SubscriberClient() = default;
+
+  std::uint64_t resume_from_ = 0;
+  std::uint64_t server_next_seq_ = 0;
+};
+
+}  // namespace stardust::net
+
+#endif  // STARDUST_NET_CLIENT_H_

@@ -1,0 +1,159 @@
+#include "net/codec.h"
+
+#include "common/serialize.h"
+
+namespace stardust::net {
+
+namespace {
+
+/// Bound on strings carried in protocol messages (ids, error text,
+/// alert JSON) — far above any legitimate use, far below an allocation
+/// attack.
+constexpr std::uint64_t kMaxStringBytes = 1 << 16;
+
+void WriteString(Writer* w, const std::string& s) {
+  w->U64(s.size());
+  w->Bytes(s.data(), s.size());
+}
+
+Status ReadString(Reader* r, std::string* out) {
+  std::uint64_t size = 0;
+  SD_RETURN_NOT_OK(r->U64(&size));
+  if (size > kMaxStringBytes || size > r->remaining()) {
+    return Status::InvalidArgument("string length out of range");
+  }
+  out->resize(size);
+  for (std::uint64_t i = 0; i < size; ++i) {
+    std::uint8_t c = 0;
+    SD_RETURN_NOT_OK(r->U8(&c));
+    (*out)[i] = static_cast<char>(c);
+  }
+  return Status::OK();
+}
+
+Status ExpectEnd(const Reader& r) {
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("message has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeHello(const HelloMessage& msg) {
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(msg.role));
+  WriteString(&w, msg.subscriber_id);
+  w.U64(msg.resume_after);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeHello(const std::string& payload, HelloMessage* out) {
+  Reader r(payload);
+  std::uint8_t role = 0;
+  SD_RETURN_NOT_OK(r.U8(&role));
+  if (role > static_cast<std::uint8_t>(PeerRole::kSubscriber)) {
+    return Status::InvalidArgument("unknown peer role");
+  }
+  out->role = static_cast<PeerRole>(role);
+  SD_RETURN_NOT_OK(ReadString(&r, &out->subscriber_id));
+  SD_RETURN_NOT_OK(r.U64(&out->resume_after));
+  return ExpectEnd(r);
+}
+
+std::string EncodeHelloAck(const HelloAckMessage& msg) {
+  Writer w;
+  w.U64(msg.next_seq);
+  w.U64(msg.resume_from);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeHelloAck(const std::string& payload, HelloAckMessage* out) {
+  Reader r(payload);
+  SD_RETURN_NOT_OK(r.U64(&out->next_seq));
+  SD_RETURN_NOT_OK(r.U64(&out->resume_from));
+  return ExpectEnd(r);
+}
+
+std::string EncodeBatch(const BatchMessage& msg) {
+  Writer w;
+  w.U64(msg.runs.size());
+  for (const StreamRun& run : msg.runs) {
+    w.U32(run.stream);
+    w.DoubleVector(run.values);
+  }
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeBatch(const std::string& payload, BatchMessage* out) {
+  Reader r(payload);
+  std::uint64_t num_runs = 0;
+  SD_RETURN_NOT_OK(r.U64(&num_runs));
+  // Each run is at least a stream id plus a value count.
+  if (num_runs > r.remaining() / 12) {
+    return Status::InvalidArgument("batch run count out of range");
+  }
+  out->runs.resize(num_runs);
+  for (StreamRun& run : out->runs) {
+    SD_RETURN_NOT_OK(r.U32(&run.stream));
+    SD_RETURN_NOT_OK(r.DoubleVector(&run.values));
+  }
+  return ExpectEnd(r);
+}
+
+std::string EncodeBatchAck(const BatchAckMessage& msg) {
+  Writer w;
+  w.U64(msg.accepted);
+  w.U64(msg.dropped);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeBatchAck(const std::string& payload, BatchAckMessage* out) {
+  Reader r(payload);
+  SD_RETURN_NOT_OK(r.U64(&out->accepted));
+  SD_RETURN_NOT_OK(r.U64(&out->dropped));
+  return ExpectEnd(r);
+}
+
+std::string EncodeAlertFrame(const AlertFrameMessage& msg) {
+  Writer w;
+  w.U64(msg.seq);
+  WriteString(&w, msg.json);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeAlertFrame(const std::string& payload, AlertFrameMessage* out) {
+  Reader r(payload);
+  SD_RETURN_NOT_OK(r.U64(&out->seq));
+  SD_RETURN_NOT_OK(ReadString(&r, &out->json));
+  return ExpectEnd(r);
+}
+
+std::string EncodeSubscriberAck(const SubscriberAckMessage& msg) {
+  Writer w;
+  w.U64(msg.acked_seq);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeSubscriberAck(const std::string& payload,
+                           SubscriberAckMessage* out) {
+  Reader r(payload);
+  SD_RETURN_NOT_OK(r.U64(&out->acked_seq));
+  return ExpectEnd(r);
+}
+
+std::string EncodeError(const ErrorMessage& msg) {
+  Writer w;
+  w.U8(msg.code);
+  WriteString(&w, msg.message);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeError(const std::string& payload, ErrorMessage* out) {
+  Reader r(payload);
+  SD_RETURN_NOT_OK(r.U8(&out->code));
+  SD_RETURN_NOT_OK(ReadString(&r, &out->message));
+  return ExpectEnd(r);
+}
+
+}  // namespace stardust::net

@@ -1,0 +1,62 @@
+#include "net/connection.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace stardust::net {
+
+Connection::Connection(int fd, std::size_t max_frame_bytes,
+                       std::size_t max_outbound)
+    : fd_(fd), max_outbound_(max_outbound), parser_(max_frame_bytes) {}
+
+Connection::~Connection() { ::close(fd_); }
+
+bool Connection::OnReadable() {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      parser_.Feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // orderly close
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+void Connection::QueueFrame(FrameType type, const std::string& payload) {
+  outbound_ += EncodeFrame(type, payload);
+}
+
+bool Connection::OnWritable() {
+  while (has_outbound()) {
+    const ssize_t n =
+        ::send(fd_, outbound_.data() + out_consumed_,
+               outbound_.size() - out_consumed_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_consumed_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  CompactOutbound();
+  return true;
+}
+
+void Connection::CompactOutbound() {
+  if (out_consumed_ == outbound_.size()) {
+    outbound_.clear();
+    out_consumed_ = 0;
+  } else if (out_consumed_ > 4096 &&
+             out_consumed_ * 2 > outbound_.size()) {
+    outbound_.erase(0, out_consumed_);
+    out_consumed_ = 0;
+  }
+}
+
+}  // namespace stardust::net

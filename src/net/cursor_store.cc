@@ -1,0 +1,110 @@
+#include "net/cursor_store.h"
+
+#include <cstring>
+
+#include "common/serialize.h"
+
+namespace stardust::net {
+
+namespace {
+
+constexpr char kCursorMagic[4] = {'S', 'D', 'N', 'C'};
+constexpr std::uint32_t kCursorVersion = 1;
+constexpr std::uint64_t kMaxIdBytes = 4096;
+
+}  // namespace
+
+std::uint64_t CursorStore::Get(const std::string& id) const {
+  const auto it = cursors_.find(id);
+  return it == cursors_.end() ? 0 : it->second;
+}
+
+void CursorStore::Advance(const std::string& id, std::uint64_t seq) {
+  std::uint64_t& cursor = cursors_[id];
+  if (seq > cursor) cursor = seq;
+}
+
+bool CursorStore::Erase(const std::string& id) {
+  return cursors_.erase(id) != 0;
+}
+
+std::uint64_t CursorStore::MinAcked(bool* any) const {
+  *any = !cursors_.empty();
+  std::uint64_t min_acked = UINT64_MAX;
+  for (const auto& [id, seq] : cursors_) {
+    if (seq < min_acked) min_acked = seq;
+  }
+  return cursors_.empty() ? 0 : min_acked;
+}
+
+std::string CursorStore::Serialize() const {
+  Writer payload;
+  payload.U64(cursors_.size());
+  for (const auto& [id, seq] : cursors_) {
+    payload.U64(id.size());
+    payload.Bytes(id.data(), id.size());
+    payload.U64(seq);
+  }
+  Writer envelope;
+  envelope.Bytes(kCursorMagic, sizeof(kCursorMagic));
+  envelope.U32(kCursorVersion);
+  envelope.U64(Fnv1a(payload.buffer()));
+  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
+  return std::move(envelope.TakeBuffer());
+}
+
+Status CursorStore::Restore(const std::string& bytes) {
+  if (bytes.size() < sizeof(kCursorMagic) + 12) {
+    return Status::InvalidArgument("cursor store snapshot too small");
+  }
+  if (std::memcmp(bytes.data(), kCursorMagic, sizeof(kCursorMagic)) != 0) {
+    return Status::InvalidArgument("not a cursor store snapshot");
+  }
+  Reader header(bytes);
+  std::uint8_t b = 0;
+  for (std::size_t i = 0; i < sizeof(kCursorMagic); ++i) {
+    SD_RETURN_NOT_OK(header.U8(&b));
+  }
+  std::uint32_t version = 0;
+  std::uint64_t checksum = 0;
+  SD_RETURN_NOT_OK(header.U32(&version));
+  SD_RETURN_NOT_OK(header.U64(&checksum));
+  if (version != kCursorVersion) {
+    return Status::InvalidArgument("unsupported cursor store version");
+  }
+  const std::string payload = bytes.substr(sizeof(kCursorMagic) + 12);
+  if (Fnv1a(payload) != checksum) {
+    return Status::InvalidArgument("cursor store checksum mismatch");
+  }
+  Reader reader(payload);
+  std::uint64_t count = 0;
+  SD_RETURN_NOT_OK(reader.U64(&count));
+  // Each entry is at least an id length plus a sequence number.
+  if (count > reader.remaining() / 16) {
+    return Status::InvalidArgument("cursor count out of range");
+  }
+  std::map<std::string, std::uint64_t> restored;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id_size = 0;
+    SD_RETURN_NOT_OK(reader.U64(&id_size));
+    if (id_size > kMaxIdBytes || id_size > reader.remaining()) {
+      return Status::InvalidArgument("cursor id length out of range");
+    }
+    std::string id(id_size, '\0');
+    for (std::uint64_t k = 0; k < id_size; ++k) {
+      std::uint8_t c = 0;
+      SD_RETURN_NOT_OK(reader.U8(&c));
+      id[k] = static_cast<char>(c);
+    }
+    std::uint64_t seq = 0;
+    SD_RETURN_NOT_OK(reader.U64(&seq));
+    restored[std::move(id)] = seq;
+  }
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("cursor store has trailing bytes");
+  }
+  cursors_ = std::move(restored);
+  return Status::OK();
+}
+
+}  // namespace stardust::net

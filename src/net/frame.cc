@@ -1,0 +1,119 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/serialize.h"
+
+namespace stardust::net {
+
+namespace {
+
+std::uint16_t ReadU16(const char* p) {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint8_t>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[1])) << 8));
+}
+
+std::uint32_t ReadU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t ReadU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  Writer w;
+  w.Bytes(kFrameMagic, sizeof(kFrameMagic));
+  w.U8(static_cast<std::uint8_t>(kProtocolVersion & 0xff));
+  w.U8(static_cast<std::uint8_t>(kProtocolVersion >> 8));
+  const std::uint16_t t = static_cast<std::uint16_t>(type);
+  w.U8(static_cast<std::uint8_t>(t & 0xff));
+  w.U8(static_cast<std::uint8_t>(t >> 8));
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U64(Fnv1a(payload));
+  w.Bytes(payload.data(), payload.size());
+  return std::move(w.TakeBuffer());
+}
+
+void FrameParser::Feed(const char* data, std::size_t size) {
+  buffer_.append(data, size);
+}
+
+void FrameParser::Compact() {
+  // Reclaim consumed prefix once it dominates the buffer, so a long-lived
+  // connection does not accrete every byte it ever received.
+  if (consumed_ > 4096 && consumed_ * 2 > buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+}
+
+void FrameParser::Skip(std::size_t n) {
+  consumed_ += n;
+  skipped_bytes_ += n;
+}
+
+bool FrameParser::Next(Frame* out) {
+  for (;;) {
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < kFrameHeaderBytes) {
+      Compact();
+      return false;
+    }
+    const char* head = buffer_.data() + consumed_;
+    if (std::memcmp(head, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+      // Resync: scan forward for the next magic. When none is found the
+      // scan stops magic-length-1 bytes short of the end — that tail
+      // could be the prefix of a magic still arriving, so it is kept.
+      std::size_t skip = 1;
+      const std::size_t scan_end = available - (sizeof(kFrameMagic) - 1);
+      while (skip < scan_end &&
+             std::memcmp(head + skip, kFrameMagic, sizeof(kFrameMagic)) !=
+                 0) {
+        ++skip;
+      }
+      Skip(skip);
+      continue;
+    }
+    const std::uint16_t version = ReadU16(head + 4);
+    const std::uint16_t type = ReadU16(head + 6);
+    const std::uint32_t payload_len = ReadU32(head + 8);
+    const std::uint64_t checksum = ReadU64(head + 12);
+    if (version != kProtocolVersion || payload_len > max_frame_bytes_) {
+      // Untrustworthy header: the declared length cannot be believed, so
+      // drop the magic and rescan from the next byte.
+      Skip(sizeof(kFrameMagic));
+      continue;
+    }
+    if (available < kFrameHeaderBytes + payload_len) {
+      Compact();
+      return false;  // incomplete frame; wait for more bytes
+    }
+    std::string payload(head + kFrameHeaderBytes, payload_len);
+    if (Fnv1a(payload) != checksum) {
+      // Damaged payload behind a sane header: drop the whole frame (its
+      // length was bounded and verified plausible) and keep the stream.
+      ++corrupt_frames_;
+      Skip(kFrameHeaderBytes + payload_len);
+      continue;
+    }
+    consumed_ += kFrameHeaderBytes + payload_len;
+    Compact();
+    out->type = type;
+    out->payload = std::move(payload);
+    return true;
+  }
+}
+
+}  // namespace stardust::net

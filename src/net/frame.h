@@ -1,0 +1,96 @@
+// Wire framing of the stardust network protocol (docs/NETWORK.md).
+//
+// Every message travels as one length-prefixed binary frame:
+//
+//   offset  size  field
+//   0       4     magic "SDNF"
+//   4       2     protocol version (little-endian u16, currently 1)
+//   6       2     frame type (net/codec.h FrameType)
+//   8       4     payload length in bytes (little-endian u32)
+//   12      8     FNV-1a 64 checksum of the payload (little-endian u64)
+//   20      n     payload (codec-encoded message body)
+//
+// The checksum covers the payload only; header corruption is caught by
+// the magic/version/length checks. FrameParser is incremental: feed it
+// whatever the socket produced and it emits complete frames, skipping
+// damaged ones. A frame whose checksum does not verify is dropped whole
+// (its length is trusted once magic + version + bounded length check
+// pass), and a stream positioned mid-garbage resynchronizes by scanning
+// forward for the next magic — one bad frame never poisons the
+// connection (the AsterixDB feed discipline: account the loss, keep the
+// feed alive).
+#ifndef STARDUST_NET_FRAME_H_
+#define STARDUST_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace stardust::net {
+
+/// Frame types understood by the protocol (payload schemas in codec.h).
+enum class FrameType : std::uint16_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kBatch = 3,
+  kBatchAck = 4,
+  kAlert = 5,
+  kSubscriberAck = 6,
+  kError = 7,
+};
+
+inline constexpr char kFrameMagic[4] = {'S', 'D', 'N', 'F'};
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 20;
+/// Default upper bound on one frame's payload; parser-rejected above.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/// One complete, checksum-verified frame handed out by FrameParser.
+struct Frame {
+  std::uint16_t type = 0;
+  std::string payload;
+};
+
+/// Encodes `payload` as one complete frame of the given type.
+std::string EncodeFrame(FrameType type, const std::string& payload);
+
+/// Incremental frame extractor with resynchronization. Single-threaded
+/// (one parser per connection, driven by the connection's reader).
+class FrameParser {
+ public:
+  explicit FrameParser(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Appends raw bytes from the socket to the parse buffer.
+  void Feed(const char* data, std::size_t size);
+
+  /// Extracts the next complete, verified frame. Returns false when the
+  /// buffered bytes do not (yet) contain one. Damaged input is consumed
+  /// silently along the way and accounted in the counters.
+  bool Next(Frame* out);
+
+  /// Frames dropped over a payload-checksum mismatch.
+  std::uint64_t corrupt_frames() const { return corrupt_frames_; }
+  /// Bytes skipped while scanning for the next magic (torn or garbage
+  /// input, including the headers of frames with absurd lengths).
+  std::uint64_t skipped_bytes() const { return skipped_bytes_; }
+  /// Bytes currently buffered awaiting a complete frame.
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  void Compact();
+  /// Drops `n` bytes of damaged input and counts them.
+  void Skip(std::size_t n);
+
+  const std::size_t max_frame_bytes_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;
+  std::uint64_t corrupt_frames_ = 0;
+  std::uint64_t skipped_bytes_ = 0;
+};
+
+}  // namespace stardust::net
+
+#endif  // STARDUST_NET_FRAME_H_

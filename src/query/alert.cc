@@ -18,4 +18,17 @@ std::string AlertToJson(const Alert& alert) {
   return buf;
 }
 
+std::string AlertToJson(const Alert& alert, std::uint64_t seq) {
+  char buf[352];
+  std::snprintf(buf, sizeof(buf),
+                "{\"seq\":%" PRIu64 ",\"query\":%" PRIu64
+                ",\"kind\":\"%s\",\"stream\":%u,\"stream_b\":%u,"
+                "\"window\":%zu,\"end_time\":%" PRIu64 ",\"epoch\":%" PRIu64
+                ",\"value\":%.6g,\"threshold\":%.6g}",
+                seq, alert.query, QueryKindName(alert.kind), alert.stream,
+                alert.stream_b, alert.window, alert.end_time, alert.epoch,
+                alert.value, alert.threshold);
+  return buf;
+}
+
 }  // namespace stardust

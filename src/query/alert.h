@@ -47,6 +47,11 @@ struct Alert {
 ///    "end_time":511,"epoch":14,"value":0.0132,"threshold":0.05}
 std::string AlertToJson(const Alert& alert);
 
+/// Same schema with a leading `"seq":<n>` field — the delivery order
+/// stamped by the network fan-out tier (net/alert_hub.h): subscribers
+/// deduplicate replays and detect gaps by it (docs/NETWORK.md).
+std::string AlertToJson(const Alert& alert, std::uint64_t seq);
+
 }  // namespace stardust
 
 #endif  // STARDUST_QUERY_ALERT_H_

@@ -58,6 +58,22 @@ void FitRange(Dataset* dataset) {
 
 }  // namespace
 
+Status ParseCsvRow(const std::string& line, std::vector<double>* out) {
+  out->clear();
+  const std::vector<std::string> fields = SplitFields(line);
+  out->reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    double value = 0.0;
+    if (!ParseDouble(fields[i], &value)) {
+      return Status::InvalidArgument(
+          "column " + std::to_string(i + 1) + ": not a number: '" +
+          fields[i] + "'");
+    }
+    out->push_back(value);
+  }
+  return Status::OK();
+}
+
 Result<Dataset> ParseDatasetCsv(const std::string& text) {
   Dataset dataset;
   std::istringstream in(text);

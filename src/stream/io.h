@@ -8,11 +8,18 @@
 #define STARDUST_STREAM_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "stream/dataset.h"
 
 namespace stardust {
+
+/// Parses one CSV row of numeric fields into `out` (cleared first).
+/// On a malformed field returns InvalidArgument naming the 1-based
+/// column, so line-oriented callers (stardust_cli ingest) can report
+/// "line N: <reason>" and keep going instead of aborting the run.
+Status ParseCsvRow(const std::string& line, std::vector<double>* out);
 
 /// Parses a dataset from CSV text (see the file header for the format).
 /// The value range [r_min, r_max] is fitted from the data with a small

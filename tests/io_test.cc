@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -88,5 +89,36 @@ TEST(CsvTest, MissingFileIsNotFound) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+// --- ParseCsvRow (line-oriented ingest, stardust_cli ingest) ------------
+
+TEST(CsvTest, ParseCsvRowParsesNumericFields) {
+  std::vector<double> row;
+  ASSERT_TRUE(ParseCsvRow("1.5, -2,3e2", &row).ok());
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 1.5);
+  EXPECT_EQ(row[1], -2.0);
+  EXPECT_EQ(row[2], 300.0);
+}
+
+TEST(CsvTest, ParseCsvRowClearsPreviousContents) {
+  std::vector<double> row = {9.0, 9.0};
+  ASSERT_TRUE(ParseCsvRow("4", &row).ok());
+  ASSERT_EQ(row.size(), 1u);
+  EXPECT_EQ(row[0], 4.0);
+}
+
+TEST(CsvTest, ParseCsvRowNamesTheOffendingColumn) {
+  std::vector<double> row;
+  const Status bad = ParseCsvRow("1,oops,3", &row);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("column 2"), std::string::npos);
+  EXPECT_NE(bad.message().find("oops"), std::string::npos);
+  // An empty field (trailing comma) is diagnosed too.
+  EXPECT_FALSE(ParseCsvRow("1,2,", &row).ok());
+  EXPECT_FALSE(ParseCsvRow("", &row).ok());
+}
+
 }  // namespace
 }  // namespace stardust
+

@@ -1,0 +1,368 @@
+// Wire-tier robustness: codec round trips (with hostile-input rejection)
+// and FrameParser behavior on truncated, torn, and bit-flipped streams —
+// one damaged frame must never poison a connection (docs/NETWORK.md).
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "net/codec.h"
+
+namespace stardust::net {
+namespace {
+
+// --- Codec round trips --------------------------------------------------
+
+TEST(CodecTest, HelloRoundTripsBothRoles) {
+  HelloMessage producer;
+  producer.role = PeerRole::kProducer;
+  HelloMessage out;
+  ASSERT_TRUE(DecodeHello(EncodeHello(producer), &out).ok());
+  EXPECT_EQ(out.role, PeerRole::kProducer);
+  EXPECT_TRUE(out.subscriber_id.empty());
+
+  HelloMessage subscriber;
+  subscriber.role = PeerRole::kSubscriber;
+  subscriber.subscriber_id = "dashboard-7";
+  subscriber.resume_after = 123456789;
+  ASSERT_TRUE(DecodeHello(EncodeHello(subscriber), &out).ok());
+  EXPECT_EQ(out.role, PeerRole::kSubscriber);
+  EXPECT_EQ(out.subscriber_id, "dashboard-7");
+  EXPECT_EQ(out.resume_after, 123456789u);
+}
+
+TEST(CodecTest, HelloAckRoundTrips) {
+  HelloAckMessage msg;
+  msg.next_seq = 42;
+  msg.resume_from = 17;
+  HelloAckMessage out;
+  ASSERT_TRUE(DecodeHelloAck(EncodeHelloAck(msg), &out).ok());
+  EXPECT_EQ(out.next_seq, 42u);
+  EXPECT_EQ(out.resume_from, 17u);
+}
+
+TEST(CodecTest, BatchRoundTripsRunsExactly) {
+  BatchMessage msg;
+  msg.runs.push_back({7, {1.5, -2.25, 0.0, 1e300}});
+  msg.runs.push_back({0, {}});  // empty run is legal
+  msg.runs.push_back({4294967295u, {3.14159}});
+  BatchMessage out;
+  ASSERT_TRUE(DecodeBatch(EncodeBatch(msg), &out).ok());
+  ASSERT_EQ(out.runs.size(), 3u);
+  EXPECT_EQ(out.runs[0].stream, 7u);
+  EXPECT_EQ(out.runs[0].values, msg.runs[0].values);
+  EXPECT_TRUE(out.runs[1].values.empty());
+  EXPECT_EQ(out.runs[2].stream, 4294967295u);
+  EXPECT_EQ(out.runs[2].values, msg.runs[2].values);
+  EXPECT_EQ(out.total_values(), 5u);
+}
+
+TEST(CodecTest, RemainingMessagesRoundTrip) {
+  BatchAckMessage ack{100, 3};
+  BatchAckMessage ack_out;
+  ASSERT_TRUE(DecodeBatchAck(EncodeBatchAck(ack), &ack_out).ok());
+  EXPECT_EQ(ack_out.accepted, 100u);
+  EXPECT_EQ(ack_out.dropped, 3u);
+
+  AlertFrameMessage alert;
+  alert.seq = 991;
+  alert.json = "{\"seq\":991,\"query\":1}";
+  AlertFrameMessage alert_out;
+  ASSERT_TRUE(DecodeAlertFrame(EncodeAlertFrame(alert), &alert_out).ok());
+  EXPECT_EQ(alert_out.seq, 991u);
+  EXPECT_EQ(alert_out.json, alert.json);
+
+  SubscriberAckMessage sub{556};
+  SubscriberAckMessage sub_out;
+  ASSERT_TRUE(
+      DecodeSubscriberAck(EncodeSubscriberAck(sub), &sub_out).ok());
+  EXPECT_EQ(sub_out.acked_seq, 556u);
+
+  ErrorMessage err{9, "wrong role"};
+  ErrorMessage err_out;
+  ASSERT_TRUE(DecodeError(EncodeError(err), &err_out).ok());
+  EXPECT_EQ(err_out.code, 9);
+  EXPECT_EQ(err_out.message, "wrong role");
+}
+
+// Every strict prefix of every encoding must fail its own decoder — a
+// torn payload surfaces as InvalidArgument, never as a crash or a bogus
+// partially-filled message.
+TEST(CodecTest, EveryTruncationOfEveryMessageIsRejected) {
+  HelloMessage hello;
+  hello.role = PeerRole::kSubscriber;
+  hello.subscriber_id = "sub";
+  hello.resume_after = 5;
+  BatchMessage batch;
+  batch.runs.push_back({3, {1.0, 2.0}});
+  AlertFrameMessage alert;
+  alert.seq = 8;
+  alert.json = "{}";
+  const auto check = [](const std::string& bytes, auto decode) {
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      EXPECT_FALSE(decode(bytes.substr(0, len)).ok())
+          << "prefix length " << len << " of " << bytes.size();
+    }
+  };
+  check(EncodeHello(hello), [](const std::string& p) {
+    HelloMessage m;
+    return DecodeHello(p, &m);
+  });
+  check(EncodeHelloAck({1, 2}), [](const std::string& p) {
+    HelloAckMessage m;
+    return DecodeHelloAck(p, &m);
+  });
+  check(EncodeBatch(batch), [](const std::string& p) {
+    BatchMessage m;
+    return DecodeBatch(p, &m);
+  });
+  check(EncodeBatchAck({4, 1}), [](const std::string& p) {
+    BatchAckMessage m;
+    return DecodeBatchAck(p, &m);
+  });
+  check(EncodeAlertFrame(alert), [](const std::string& p) {
+    AlertFrameMessage m;
+    return DecodeAlertFrame(p, &m);
+  });
+  check(EncodeSubscriberAck({7}), [](const std::string& p) {
+    SubscriberAckMessage m;
+    return DecodeSubscriberAck(p, &m);
+  });
+  check(EncodeError({1, "x"}), [](const std::string& p) {
+    ErrorMessage m;
+    return DecodeError(p, &m);
+  });
+}
+
+TEST(CodecTest, TrailingBytesAreRejected) {
+  HelloAckMessage out;
+  EXPECT_FALSE(DecodeHelloAck(EncodeHelloAck({1, 2}) + "x", &out).ok());
+  BatchMessage batch;
+  batch.runs.push_back({0, {1.0}});
+  BatchMessage bout;
+  EXPECT_FALSE(
+      DecodeBatch(EncodeBatch(batch) + std::string(1, '\0'), &bout).ok());
+}
+
+// Hostile declared lengths must be rejected before any allocation.
+TEST(CodecTest, RejectsHostileDeclaredLengths) {
+  {
+    Writer w;  // Hello with a 1 GiB subscriber id
+    w.U8(static_cast<std::uint8_t>(PeerRole::kSubscriber));
+    w.U64(std::uint64_t{1} << 30);
+    HelloMessage out;
+    EXPECT_FALSE(DecodeHello(w.buffer(), &out).ok());
+  }
+  {
+    Writer w;  // Batch declaring 2^60 runs
+    w.U64(std::uint64_t{1} << 60);
+    w.U32(0);
+    BatchMessage out;
+    EXPECT_FALSE(DecodeBatch(w.buffer(), &out).ok());
+  }
+  {
+    Writer w;  // Hello with an unknown role
+    w.U8(99);
+    w.U64(0);
+    w.U64(0);
+    HelloMessage out;
+    EXPECT_FALSE(DecodeHello(w.buffer(), &out).ok());
+  }
+}
+
+// --- Frame parser -------------------------------------------------------
+
+std::string Payload(const char* text) { return std::string(text); }
+
+TEST(FrameParserTest, RoundTripsSingleAndBackToBackFrames) {
+  FrameParser parser;
+  const std::string a = EncodeFrame(FrameType::kHello, Payload("one"));
+  const std::string b = EncodeFrame(FrameType::kBatch, Payload("two!"));
+  const std::string wire = a + b;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint16_t>(FrameType::kHello));
+  EXPECT_EQ(frame.payload, "one");
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.type, static_cast<std::uint16_t>(FrameType::kBatch));
+  EXPECT_EQ(frame.payload, "two!");
+  EXPECT_FALSE(parser.Next(&frame));
+  EXPECT_EQ(parser.corrupt_frames(), 0u);
+  EXPECT_EQ(parser.skipped_bytes(), 0u);
+}
+
+TEST(FrameParserTest, EmptyPayloadFrameIsLegal) {
+  FrameParser parser;
+  const std::string wire = EncodeFrame(FrameType::kBatchAck, "");
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameParserTest, ByteAtATimeFeedingEmitsWholeFrames) {
+  FrameParser parser;
+  const std::string wire =
+      EncodeFrame(FrameType::kAlert, Payload("{\"seq\":1}"));
+  Frame frame;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    parser.Feed(wire.data() + i, 1);
+    EXPECT_FALSE(parser.Next(&frame));
+  }
+  parser.Feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "{\"seq\":1}");
+}
+
+TEST(FrameParserTest, ResyncsPastGarbagePrefix) {
+  FrameParser parser;
+  const std::string garbage = "this is not a frame at all.......";
+  const std::string good = EncodeFrame(FrameType::kHello, Payload("ok"));
+  const std::string wire = garbage + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "ok");
+  EXPECT_EQ(parser.skipped_bytes(), garbage.size());
+}
+
+TEST(FrameParserTest, DropsBitFlippedPayloadAndKeepsTheStream) {
+  FrameParser parser;
+  std::string bad = EncodeFrame(FrameType::kBatch, Payload("payload"));
+  bad[kFrameHeaderBytes + 2] ^= 0x10;  // flip one payload bit
+  const std::string good = EncodeFrame(FrameType::kBatch, Payload("clean"));
+  const std::string wire = bad + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "clean");
+  EXPECT_EQ(parser.corrupt_frames(), 1u);
+  EXPECT_EQ(parser.skipped_bytes(), bad.size());
+  EXPECT_FALSE(parser.Next(&frame));
+}
+
+TEST(FrameParserTest, FlippedChecksumDropsTheFrame) {
+  FrameParser parser;
+  std::string bad = EncodeFrame(FrameType::kHello, Payload("abc"));
+  bad[12] ^= 0x01;  // checksum field
+  const std::string good = EncodeFrame(FrameType::kHello, Payload("def"));
+  const std::string wire = bad + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "def");
+  EXPECT_EQ(parser.corrupt_frames(), 1u);
+}
+
+TEST(FrameParserTest, CorruptedMagicSkipsToTheNextFrame) {
+  FrameParser parser;
+  std::string bad = EncodeFrame(FrameType::kHello, Payload("lost"));
+  bad[0] ^= 0xff;
+  const std::string good = EncodeFrame(FrameType::kHello, Payload("found"));
+  const std::string wire = bad + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "found");
+  EXPECT_EQ(parser.skipped_bytes(), bad.size());
+}
+
+TEST(FrameParserTest, TornHeaderResynchronizesOnTheNextFrame) {
+  FrameParser parser;
+  const std::string torn =
+      EncodeFrame(FrameType::kBatch, Payload("never finished"))
+          .substr(0, 10);
+  const std::string good = EncodeFrame(FrameType::kBatch, Payload("whole"));
+  const std::string wire = torn + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "whole");
+  EXPECT_EQ(parser.skipped_bytes(), torn.size());
+}
+
+TEST(FrameParserTest, AbsurdDeclaredLengthIsNotTrusted) {
+  FrameParser parser(/*max_frame_bytes=*/1024);
+  std::string bad = EncodeFrame(FrameType::kBatch, Payload("x"));
+  bad[8] = bad[9] = bad[10] = bad[11] = static_cast<char>(0xff);
+  const std::string good = EncodeFrame(FrameType::kBatch, Payload("sane"));
+  const std::string wire = bad + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "sane");
+  EXPECT_FALSE(parser.Next(&frame));
+}
+
+TEST(FrameParserTest, WrongVersionIsSkipped) {
+  FrameParser parser;
+  std::string bad = EncodeFrame(FrameType::kHello, Payload("v2?"));
+  bad[4] = 0x7f;
+  const std::string good = EncodeFrame(FrameType::kHello, Payload("v1"));
+  const std::string wire = bad + good;
+  parser.Feed(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_TRUE(parser.Next(&frame));
+  EXPECT_EQ(frame.payload, "v1");
+}
+
+// Property test: random batches, framed and fed in random-sized chunks
+// with occasional injected garbage between frames, all survive exactly.
+TEST(FrameParserTest, RandomizedChunkedStreamRoundTrips) {
+  std::mt19937 rng(20260808);
+  FrameParser parser;
+  std::vector<BatchMessage> sent;
+  std::string wire;
+  for (int i = 0; i < 50; ++i) {
+    BatchMessage batch;
+    const std::size_t runs = 1 + rng() % 4;
+    for (std::size_t r = 0; r < runs; ++r) {
+      StreamRun run;
+      run.stream = rng() % 64;
+      const std::size_t n = rng() % 16;
+      for (std::size_t v = 0; v < n; ++v) {
+        run.values.push_back(
+            static_cast<double>(rng()) / 1e3 - 2e6);
+      }
+      batch.runs.push_back(std::move(run));
+    }
+    if (rng() % 5 == 0) {
+      // Injected garbage: the parser must resync past it. Avoid 'S' so
+      // the garbage cannot open a fake magic that swallows real bytes.
+      wire += std::string(1 + rng() % 7, 'g');
+    }
+    wire += EncodeFrame(FrameType::kBatch, EncodeBatch(batch));
+    sent.push_back(std::move(batch));
+  }
+  std::size_t offset = 0;
+  std::size_t decoded = 0;
+  Frame frame;
+  while (offset < wire.size()) {
+    const std::size_t chunk =
+        std::min<std::size_t>(1 + rng() % 37, wire.size() - offset);
+    parser.Feed(wire.data() + offset, chunk);
+    offset += chunk;
+    while (parser.Next(&frame)) {
+      BatchMessage got;
+      ASSERT_TRUE(DecodeBatch(frame.payload, &got).ok());
+      ASSERT_LT(decoded, sent.size());
+      ASSERT_EQ(got.runs.size(), sent[decoded].runs.size());
+      for (std::size_t r = 0; r < got.runs.size(); ++r) {
+        EXPECT_EQ(got.runs[r].stream, sent[decoded].runs[r].stream);
+        EXPECT_EQ(got.runs[r].values, sent[decoded].runs[r].values);
+      }
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, sent.size());
+  EXPECT_EQ(parser.corrupt_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace stardust::net
