@@ -36,6 +36,7 @@ FeatureStore::Slab FeatureStore::MakeSlab(const LevelSpec& spec) const {
   slab.norms.assign(num_streams_ * capacity_, 0.0);
   slab.heads.assign(num_streams_, 0);
   slab.counts.assign(num_streams_, 0);
+  slab.put_epochs.assign(num_streams_, 0);
   return slab;
 }
 
@@ -96,6 +97,12 @@ void FeatureStore::Put(std::size_t level, StreamId stream,
       static_cast<std::uint32_t>((slab->heads[stream] + 1) % capacity_);
   slab->counts[stream] = static_cast<std::uint32_t>(
       std::min<std::size_t>(slab->counts[stream] + 1, capacity_));
+  // Stamp with the epoch this write is visible at. The owning pipeline
+  // bumps the store epoch at the top of FinishBatch, before its puts, so
+  // `epoch_` already names the batch that produced this entry; a reader
+  // that later records epoch() sees these stamps as <= its record.
+  slab->put_epochs[stream] = epoch_;
+  slab->max_put_epoch = epoch_;
   ++puts_;
 }
 
@@ -127,6 +134,18 @@ bool FeatureStore::Find(std::size_t level, StreamId stream,
   }
   ++misses_;
   return false;
+}
+
+std::uint64_t FeatureStore::LevelPutEpoch(std::size_t level) const {
+  const Slab* slab = FindSlab(level);
+  return slab == nullptr ? 0 : slab->max_put_epoch;
+}
+
+std::uint64_t FeatureStore::StreamPutEpoch(std::size_t level,
+                                           StreamId stream) const {
+  const Slab* slab = FindSlab(level);
+  if (slab == nullptr || stream >= num_streams_) return 0;
+  return slab->put_epochs[stream];
 }
 
 bool FeatureStore::Latest(std::size_t level, StreamId stream,
@@ -219,6 +238,13 @@ Status FeatureStore::RestoreFrom(Reader* reader) {
       if (c > capacity_) {
         return Status::InvalidArgument("feature store count out of range");
       }
+    }
+    // Dirty stamps are not serialized; mark every restored stream that
+    // holds entries as changed-at-restore so consumers re-read it.
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      if (slab.counts[s] == 0) continue;
+      slab.put_epochs[s] = epoch;
+      slab.max_put_epoch = epoch;
     }
     specs.push_back(spec);
     slabs.push_back(std::move(slab));

@@ -85,6 +85,22 @@ class FeatureStore {
   bool Latest(std::size_t level, StreamId stream,
               std::uint64_t* time) const;
 
+  // --- Change tracking (correlator dirty epochs) -----------------------
+  // Every Put stamps the entry's (level, stream) — and the level as a
+  // whole — with the current epoch (the pipeline bumps the epoch at the
+  // top of FinishBatch, before the batch's puts, so the stamp names the
+  // batch that produced the entry). A consumer that recorded epoch() at
+  // its last read can then skip a level (or stream) whose stamp has not
+  // moved past that record: no put since the read means no new aligned
+  // feature time, so nothing the consumer derived from the level changed.
+
+  /// Epoch stamp of the newest put on `level`; 0 when the level is
+  /// unmonitored or never written.
+  std::uint64_t LevelPutEpoch(std::size_t level) const;
+  /// Epoch stamp of the newest put on (`level`, `stream`); 0 when never
+  /// written.
+  std::uint64_t StreamPutEpoch(std::size_t level, StreamId stream) const;
+
   /// Drops every cached entry (level set and counters are kept).
   void Clear();
 
@@ -117,6 +133,10 @@ class FeatureStore {
     std::vector<double> norms;          // num_streams × capacity
     std::vector<std::uint32_t> heads;   // next write slot per stream
     std::vector<std::uint32_t> counts;  // cached entries per stream
+    /// Dirty tracking (not serialized — a restore stamps everything with
+    /// the restored epoch, which reads as "changed" to any consumer).
+    std::vector<std::uint64_t> put_epochs;  // per stream
+    std::uint64_t max_put_epoch = 0;
   };
 
   const Slab* FindSlab(std::size_t level) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "transform/feature.h"
@@ -114,7 +115,8 @@ Result<PatternResult> PatternQueryEngine::QueryOnline(
 }
 
 Result<PatternResult> PatternQueryEngine::QueryCompiled(
-    const CompiledPatternQuery& compiled) const {
+    const CompiledPatternQuery& compiled,
+    const std::uint64_t* min_end) const {
   const StardustConfig& config = core_.config();
   if (config.transform != TransformKind::kDwt || !config.index_features ||
       config.update_period != 1 ||
@@ -140,12 +142,21 @@ Result<PatternResult> PatternQueryEngine::QueryCompiled(
   std::vector<Candidate> candidates;
   candidates.reserve(entries.size());
   auto seed_candidate = [&](StreamId stream, const FeatureBox& box) {
+    std::uint64_t end_lo = box.first_time;
+    const std::uint64_t end_hi = box.first_time + box.count - 1;
+    if (min_end != nullptr && min_end[stream] > end_lo) {
+      // Every position in the run below the stream's reportable floor
+      // would be discarded after verification; clamp before paying for
+      // refinement, and drop runs that are entirely historical.
+      if (min_end[stream] > end_hi) return;
+      end_lo = min_end[stream];
+    }
     const double cost = box.extent.MinDist2(first.feature) * first.scale;
     if (cost > total_budget) return;
     Candidate cand;
     cand.stream = stream;
-    cand.end_lo = box.first_time;
-    cand.end_hi = box.first_time + box.count - 1;
+    cand.end_lo = end_lo;
+    cand.end_hi = end_hi;
     cand.budget = total_budget - cost;
     candidates.push_back(cand);
   };
@@ -177,8 +188,8 @@ Result<PatternResult> PatternQueryEngine::QueryCompiled(
       // Match ends below piece.offset + anchor have no feature for this
       // piece (their windows would start before the stream): clamp the
       // candidate run to the valid range rather than dropping it.
-      const std::uint64_t min_end = piece.offset + anchor;
-      const std::uint64_t lo_end = std::max(cand.end_lo, min_end);
+      const std::uint64_t floor_end = piece.offset + anchor;
+      const std::uint64_t lo_end = std::max(cand.end_lo, floor_end);
       if (lo_end > cand.end_hi) continue;
       const std::uint64_t tf_lo = lo_end - piece.offset;
       const std::uint64_t tf_hi = cand.end_hi - piece.offset;
@@ -214,6 +225,80 @@ Result<PatternResult> PatternQueryEngine::QueryCompiled(
       positions.emplace_back(cand.stream, t);
     }
   }
+  PatternResult result;
+  VerifyPositions(compiled.query_norm, compiled.radius, &positions, &result);
+  return result;
+}
+
+Result<PatternResult> PatternQueryEngine::QueryCompiledIncremental(
+    const CompiledPatternQuery& compiled, std::uint64_t* eval_floor) const {
+  const StardustConfig& config = core_.config();
+  if (config.transform != TransformKind::kDwt || !config.index_features ||
+      config.update_period != 1 ||
+      config.update_schedule != UpdateSchedule::kUniform) {
+    return Status::FailedPrecondition(
+        "QueryCompiledIncremental requires the online algorithm (uniform "
+        "T == 1)");
+  }
+  if (compiled.pieces.empty() ||
+      compiled.pieces.back().level >= config.num_levels) {
+    return Status::FailedPrecondition(
+        "compiled query does not match this configuration");
+  }
+  using Piece = CompiledPatternQuery::Piece;
+  const std::vector<Piece>& pieces = compiled.pieces;
+
+  std::vector<std::pair<StreamId, std::uint64_t>> positions;
+  std::vector<const LevelThread*> threads(pieces.size());
+  for (StreamId stream = 0; stream < core_.num_streams(); ++stream) {
+    // Newest position whose every piece feature has been produced; its
+    // match result is final (see header). Positions beyond it are left
+    // for the batch that completes them.
+    std::uint64_t t_max = std::numeric_limits<std::uint64_t>::max();
+    bool have_all = true;
+    for (std::size_t pi = 0; pi < pieces.size(); ++pi) {
+      const LevelThread& thread =
+          core_.summarizer(stream).thread(pieces[pi].level);
+      if (thread.empty()) {
+        have_all = false;
+        break;
+      }
+      threads[pi] = &thread;
+      t_max = std::min(t_max, thread.last_time() + pieces[pi].offset);
+    }
+    if (!have_all) continue;
+    std::uint64_t t = eval_floor[stream];
+    for (; t <= t_max; ++t) {
+      // The same d_min budget chain as the full search, probing each
+      // piece's box directly by time instead of via a range query:
+      // Find() returning null (expired / pre-anchor) drops the position
+      // exactly like the index search and FindBySeq refinement would.
+      double budget = compiled.total_budget;
+      bool alive = true;
+      for (std::size_t pi = 0; pi < pieces.size(); ++pi) {
+        const Piece& piece = pieces[pi];
+        if (t < piece.offset) {
+          alive = false;
+          break;
+        }
+        const FeatureBox* box = threads[pi]->Find(t - piece.offset);
+        if (box == nullptr) {
+          alive = false;
+          break;
+        }
+        const double cost =
+            box->extent.MinDist2(piece.feature) * piece.scale;
+        if (cost > budget) {
+          alive = false;
+          break;
+        }
+        budget -= cost;
+      }
+      if (alive) positions.emplace_back(stream, t);
+    }
+    eval_floor[stream] = t;
+  }
+
   PatternResult result;
   VerifyPositions(compiled.query_norm, compiled.radius, &positions, &result);
   return result;

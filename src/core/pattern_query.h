@@ -102,9 +102,35 @@ class PatternQueryEngine {
                                     double radius) const;
 
   /// Algorithm 3 on a precompiled query. `compiled` must have been built
-  /// by CompilePatternQuery against this core's configuration.
+  /// by CompilePatternQuery against this core's configuration. When
+  /// `min_end` is non-null it points at one minimum reportable match
+  /// end-time per stream (indexed by StreamId); candidate runs ending
+  /// before a stream's minimum are pruned at seed time, before
+  /// refinement and exact verification. Callers that deduplicate
+  /// matches with a per-stream watermark (the shard pattern stage) pass
+  /// the watermark here so standing historical matches are not
+  /// re-verified every batch.
   Result<PatternResult> QueryCompiled(
-      const CompiledPatternQuery& compiled) const;
+      const CompiledPatternQuery& compiled,
+      const std::uint64_t* min_end = nullptr) const;
+
+  /// Incremental Algorithm 3 for standing (continuous) queries: evaluates
+  /// only match-end positions not yet finally decided, instead of
+  /// range-searching the whole level index every batch. `eval_floor`
+  /// points at one cursor per stream — the first end position not yet
+  /// evaluated — which the call advances past every position it decides.
+  ///
+  /// Soundness of evaluate-once: stream windows and DWT features are
+  /// immutable once appended, box extents only grow (so the d_min budget
+  /// chain is a sound lower bound at any evaluation time), and the final
+  /// check is exact — so a position's match result is final the first
+  /// time every piece feature for it exists. Evaluating each position
+  /// exactly once therefore yields, batch over batch, the same cumulative
+  /// match stream as re-running QueryCompiled and keeping only matches at
+  /// new positions; the golden-replay and correlator equivalence suites
+  /// pin this down against the full-search path.
+  Result<PatternResult> QueryCompiledIncremental(
+      const CompiledPatternQuery& compiled, std::uint64_t* eval_floor) const;
 
   /// Algorithm 4. Requires a batch configuration (update_period == W,
   /// box_capacity == 1) and |query| >= 2W - 1.

@@ -14,7 +14,10 @@ Result<std::unique_ptr<Stardust>> Stardust::Create(
   return std::unique_ptr<Stardust>(new Stardust(config));
 }
 
-Stardust::Stardust(const StardustConfig& config) : config_(config) {
+Stardust::Stardust(const StardustConfig& config)
+    : config_(config),
+      indexed_levels_(config.num_levels, true),
+      any_indexed_(config.index_features) {
   if (config_.index_features) {
     indexes_.reserve(config_.num_levels);
     for (std::size_t j = 0; j < config_.num_levels; ++j) {
@@ -37,20 +40,16 @@ Status Stardust::Append(StreamId stream, double value) {
     // A NaN/Inf would silently poison every box it is merged into.
     return Status::InvalidArgument("stream values must be finite");
   }
+  if (!any_indexed_) {
+    // No level index consumes the deltas: skip collecting them (each
+    // BoxRef copies a box extent, measurable per tuple at c == 1).
+    streams_[stream]->Append(value, nullptr, nullptr);
+    return Status::OK();
+  }
   sealed_scratch_.clear();
   expired_scratch_.clear();
   streams_[stream]->Append(value, &sealed_scratch_, &expired_scratch_);
-  if (config_.index_features) {
-    for (const BoxRef& box : sealed_scratch_) {
-      SD_RETURN_NOT_OK(indexes_[box.level]->Insert(
-          box.extent, MakeRecordId(stream, box.seq)));
-    }
-    for (const BoxRef& box : expired_scratch_) {
-      SD_RETURN_NOT_OK(indexes_[box.level]->Delete(
-          box.extent, MakeRecordId(stream, box.seq)));
-    }
-  }
-  return Status::OK();
+  return ApplyRunIndexDeltas(stream, sealed_scratch_, expired_scratch_);
 }
 
 Status Stardust::AppendRun(StreamId stream, const double* values,
@@ -79,7 +78,7 @@ Status Stardust::AppendRun(StreamId stream, const double* values,
       SD_CHECK(false);  // the scan saw a non-finite value; Append rejects it
     }
   }
-  const bool indexed = config_.index_features;
+  const bool indexed = any_indexed_;
   sealed_scratch_.clear();
   expired_scratch_.clear();
   streams_[stream]->AppendRun(values, n, indexed ? &sealed_scratch_ : nullptr,
@@ -91,13 +90,84 @@ Status Stardust::ApplyRunIndexDeltas(StreamId stream,
                                      const std::vector<BoxRef>& sealed,
                                      const std::vector<BoxRef>& expired) {
   if (!config_.index_features) return Status::OK();
-  for (const BoxRef& box : sealed) {
-    SD_RETURN_NOT_OK(
-        indexes_[box.level]->Insert(box.extent, MakeRecordId(stream, box.seq)));
+  if (sealed.empty() && expired.empty()) return Status::OK();
+  // Steady state seals one box per expired box per level, so pair the
+  // k-th expired box with the k-th sealed box of the same level and
+  // replace the record in place: the tree keeps its shape and none of
+  // the Delete condense / Insert overflow churn happens. Pair k's old
+  // record is always present when processed — it either predates the run
+  // or was itself pair (k - retained)'s replacement. Leftovers (warm-up
+  // seals before anything expires, shrink-only runs) fall back to plain
+  // Insert/Delete.
+  for (std::size_t level = 0; level < config_.num_levels; ++level) {
+    if (!indexed_levels_[level]) continue;
+    std::size_t si = 0;
+    std::size_t ei = 0;
+    for (;;) {
+      while (si < sealed.size() && sealed[si].level != level) ++si;
+      while (ei < expired.size() && expired[ei].level != level) ++ei;
+      const bool have_sealed = si < sealed.size();
+      const bool have_expired = ei < expired.size();
+      if (have_sealed && have_expired) {
+        SD_RETURN_NOT_OK(indexes_[level]->Update(
+            expired[ei].extent, MakeRecordId(stream, expired[ei].seq),
+            sealed[si].extent, MakeRecordId(stream, sealed[si].seq)));
+        ++si;
+        ++ei;
+      } else if (have_sealed) {
+        SD_RETURN_NOT_OK(indexes_[level]->Insert(
+            sealed[si].extent, MakeRecordId(stream, sealed[si].seq)));
+        ++si;
+      } else if (have_expired) {
+        SD_RETURN_NOT_OK(indexes_[level]->Delete(
+            expired[ei].extent, MakeRecordId(stream, expired[ei].seq)));
+        ++ei;
+      } else {
+        break;
+      }
+    }
   }
-  for (const BoxRef& box : expired) {
-    SD_RETURN_NOT_OK(
-        indexes_[box.level]->Delete(box.extent, MakeRecordId(stream, box.seq)));
+  return Status::OK();
+}
+
+Status Stardust::RebuildLevelIndex(std::size_t level) {
+  indexes_[level] =
+      std::make_unique<RTree>(config_.FeatureDims(), RTreeOptions{});
+  Status status = Status::OK();
+  for (StreamId s = 0; s < streams_.size(); ++s) {
+    streams_[s]->thread(level).ForEachBox([&](const FeatureBox& box) {
+      if (!box.sealed || !status.ok()) return;
+      const Status st =
+          indexes_[level]->Insert(box.extent, MakeRecordId(s, box.seq));
+      if (!st.ok()) status = st;
+    });
+  }
+  return status;
+}
+
+Status Stardust::SetIndexedLevels(const std::vector<bool>& mask) {
+  if (!config_.index_features) {
+    return Status::InvalidArgument(
+        "SetIndexedLevels requires index_features");
+  }
+  if (mask.size() != config_.num_levels) {
+    return Status::InvalidArgument("indexed-level mask size mismatch");
+  }
+  for (std::size_t level = 0; level < config_.num_levels; ++level) {
+    if (mask[level] == indexed_levels_[level]) continue;
+    if (mask[level]) {
+      // Turning on: rebuild from the live sealed boxes so probes see the
+      // same records per-tuple maintenance would have accumulated.
+      SD_RETURN_NOT_OK(RebuildLevelIndex(level));
+    } else {
+      indexes_[level] =
+          std::make_unique<RTree>(config_.FeatureDims(), RTreeOptions{});
+    }
+    indexed_levels_[level] = mask[level];
+  }
+  any_indexed_ = false;
+  for (std::size_t level = 0; level < config_.num_levels; ++level) {
+    if (indexed_levels_[level]) any_indexed_ = true;
   }
   return Status::OK();
 }
@@ -105,21 +175,14 @@ Status Stardust::ApplyRunIndexDeltas(StreamId stream,
 Status Stardust::RebuildIndexes() {
   if (!config_.index_features) return Status::OK();
   for (std::size_t j = 0; j < config_.num_levels; ++j) {
-    indexes_[j] =
-        std::make_unique<RTree>(config_.FeatureDims(), RTreeOptions{});
-  }
-  Status status = Status::OK();
-  for (StreamId s = 0; s < streams_.size(); ++s) {
-    for (std::size_t j = 0; j < config_.num_levels; ++j) {
-      streams_[s]->thread(j).ForEachBox([&](const FeatureBox& box) {
-        if (!box.sealed || !status.ok()) return;
-        const Status st =
-            indexes_[j]->Insert(box.extent, MakeRecordId(s, box.seq));
-        if (!st.ok()) status = st;
-      });
+    if (indexed_levels_[j]) {
+      SD_RETURN_NOT_OK(RebuildLevelIndex(j));
+    } else {
+      indexes_[j] =
+          std::make_unique<RTree>(config_.FeatureDims(), RTreeOptions{});
     }
   }
-  return status;
+  return Status::OK();
 }
 
 Result<ScalarInterval> Stardust::AggregateInterval(StreamId stream,

@@ -48,8 +48,22 @@ class Stardust {
   const StreamSummarizer& summarizer(StreamId stream) const {
     return *streams_[stream];
   }
-  /// Level index (only maintained when config.index_features is set).
+  /// Level index (only maintained when config.index_features is set and
+  /// the level is enabled — see SetIndexedLevels).
   const RTree& index(std::size_t level) const { return *indexes_[level]; }
+
+  /// Restricts index maintenance to the levels marked true in `mask`
+  /// (size num_levels; requires config.index_features). Levels turning
+  /// off are emptied; levels turning on are rebuilt from the streams'
+  /// live sealed boxes, so the index is immediately queryable. Callers
+  /// that know which levels their queries probe (the engine's compiled
+  /// plans probe only each pattern query's first-piece level) use this
+  /// to stop paying per-tuple maintenance for levels nothing reads.
+  Status SetIndexedLevels(const std::vector<bool>& mask);
+  /// Whether `level`'s index is currently maintained.
+  bool level_indexed(std::size_t level) const {
+    return config_.index_features && indexed_levels_[level];
+  }
 
   /// Feeds one value of one stream, maintaining threads and level indexes.
   Status Append(StreamId stream, double value);
@@ -120,9 +134,17 @@ class Stardust {
  private:
   explicit Stardust(const StardustConfig& config);
 
+  /// Rebuilds one level's index from the streams' live sealed boxes.
+  Status RebuildLevelIndex(std::size_t level);
+
   StardustConfig config_;
   std::vector<std::unique_ptr<StreamSummarizer>> streams_;
   std::vector<std::unique_ptr<RTree>> indexes_;
+  /// Per-level maintenance switch; all-true until SetIndexedLevels.
+  std::vector<bool> indexed_levels_;
+  /// True when any level index is maintained; lets the append paths skip
+  /// sealed/expired delta collection entirely when nothing consumes it.
+  bool any_indexed_ = false;
   std::vector<BoxRef> sealed_scratch_;
   std::vector<BoxRef> expired_scratch_;
 };

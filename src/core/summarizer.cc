@@ -271,7 +271,7 @@ void StreamSummarizer::Append(double value, std::vector<BoxRef>* sealed,
     }
     if (t + 1 > config_.history) {
       const std::uint64_t min_time = t + 1 - config_.history;
-      threads_[j].ExpireBefore(min_time, [&](const FeatureBox& box) {
+      threads_[j].ExpireBeforeFast(min_time, [&](const FeatureBox& box) {
         if (expired != nullptr) {
           expired->push_back({j, box.extent, box.seq});
         }

@@ -214,6 +214,18 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
       engine->restored_net_state_ = std::move(net_bytes).value();
     }
   }
+  if (engine_config.query.enable_correlation) {
+    // Correlator-side state, sized before any thread can observe it: the
+    // per-level eval counters and the probe pool (0 workers on a
+    // single-core host — Run stays inline).
+    const std::size_t levels = engine_config.query.correlation.num_levels;
+    engine->metrics_->correlator_level_evals =
+        std::make_unique<std::atomic<std::uint64_t>[]>(levels);
+    engine->metrics_->correlator_num_levels = levels;
+    engine->probe_pool_ = std::make_unique<ProbePool>(
+        ProbePool::ResolveWorkers(
+            engine_config.query.correlator_probe_workers));
+  }
   engine->alert_bus_->Start();
   for (auto& shard : engine->shards_) {
     if (engine_config.start_paused) shard->set_paused(true);
@@ -594,7 +606,6 @@ void IngestEngine::CorrelatorLoop() {
 void IngestEngine::TriggerCorrelatorRound() { RunCorrelatorRound(); }
 
 void IngestEngine::RunCorrelatorRound() {
-  using Clock = std::chrono::steady_clock;
   std::lock_guard<std::mutex> round_lock(correlator_round_mu_);
   // The correlator consumes the same compiled-plan form as the shard
   // workers: correlation queries grouped by resolved level, recompiled
@@ -629,114 +640,302 @@ void IngestEngine::RunCorrelatorRound() {
       }
       it = live ? std::next(it) : corr_active_pairs_.erase(it);
     }
+    // Prune the persistent per-level indexes of levels the new plan no
+    // longer monitors, so state cannot grow without bound as queries on
+    // exotic levels come and go.
+    for (auto it = corr_levels_.begin(); it != corr_levels_.end();) {
+      bool monitored = false;
+      for (const EvalPlan::CorrelationGroup& group :
+           corr_plan_->correlation) {
+        if (group.level == it->first) {
+          monitored = true;
+          break;
+        }
+      }
+      it = monitored ? std::next(it) : corr_levels_.erase(it);
+    }
   }
   if (corr_plan_->correlation.empty()) return;
 
-  const StardustConfig& cfg = config_.query.correlation;
-  std::vector<CorrelationFeature> features;
-  std::vector<RTreeEntry> hits;
+  bool round_counted = false;
+  std::uint64_t round = 0;
   for (const EvalPlan::CorrelationGroup& group : corr_plan_->correlation) {
-    const std::size_t level = group.level;
-    const std::vector<std::shared_ptr<RegisteredQuery>>& queries =
-        group.queries;
-    // Phase 1: the round time is the slowest stream's latest feature
-    // time at this level — the most recent time every started stream can
-    // still serve. Streams whose window has not filled yet do not hold
-    // the round back; they simply contribute nothing.
-    std::uint64_t t_round = 0;
-    bool any = false;
-    for (const auto& shard : shards_) {
-      if (!shard->has_correlation_core()) continue;
-      for (const Shard::FeatureClock& clock :
-           shard->CorrelationClocks(level)) {
-        if (!clock.has) continue;
-        t_round = any ? std::min(t_round, clock.time) : clock.time;
-        any = true;
-      }
-    }
-    if (!any) continue;
-    const auto last = corr_last_time_.find(level);
-    if (last != corr_last_time_.end() && last->second == t_round) {
-      continue;  // nothing new to evaluate at this level
-    }
-    corr_last_time_[level] = t_round;
-
-    // Phase 2: gather every shard's feature points and exact z-normed
-    // windows at the aligned time. Per-shard mutex-coherent; streams
-    // whose data already expired at t_round are skipped.
-    features.clear();
-    for (const auto& shard : shards_) {
-      if (!shard->has_correlation_core()) continue;
-      if (!shard->CorrelationFeaturesAt(level, t_round, &features).ok()) {
-        return;
-      }
-    }
-    metrics_->correlator_rounds.fetch_add(1, std::memory_order_relaxed);
-    corr_plan_->correlation_evals.fetch_add(1, std::memory_order_relaxed);
-    if (features.size() < 2) continue;
-
-    // One R*-tree over this round's features (c == 1: points), queried
-    // per registered correlation query with its own radius — the range
-    // query + exact verify path of Section 5.3.
-    RTree tree(cfg.coefficients);
-    for (std::size_t i = 0; i < features.size(); ++i) {
-      if (!tree.Insert(Mbr::FromPoint(features[i].feature),
-                       static_cast<RecordId>(i))
-               .ok()) {
-        return;
-      }
-    }
-    const std::size_t w = group.window;
-    const std::uint64_t round =
-        metrics_->correlator_rounds.load(std::memory_order_relaxed);
-    for (const auto& q : queries) {
-      const Clock::time_point start = Clock::now();
-      std::set<std::pair<StreamId, StreamId>>& active =
-          corr_active_pairs_[q->id];
-      std::set<std::pair<StreamId, StreamId>> current;
-      for (std::size_t i = 0; i < features.size(); ++i) {
-        hits.clear();
-        tree.SearchWithin(features[i].feature, q->spec.radius, &hits);
-        for (const RTreeEntry& hit : hits) {
-          const std::size_t j = static_cast<std::size_t>(hit.id);
-          if (j <= i) continue;  // count each pair once
-          const double d2 = Dist2(features[i].znormed, features[j].znormed);
-          if (d2 > q->spec.radius * q->spec.radius) continue;
-          StreamId a = features[i].global_stream;
-          StreamId b = features[j].global_stream;
-          if (a > b) std::swap(a, b);
-          current.emplace(a, b);
-          if (active.count({a, b}) != 0) continue;  // still correlated
-          Alert alert;
-          alert.query = q->id;
-          alert.kind = QueryKind::kCorrelation;
-          alert.stream = a;
-          alert.stream_b = b;
-          alert.window = w;
-          alert.end_time = t_round;
-          alert.epoch = round;
-          alert.value = std::sqrt(d2);
-          alert.threshold = q->spec.radius;
-          q->hits.fetch_add(1, std::memory_order_relaxed);
-          // The pair still entered the current set above, so a suppressed
-          // alert is not re-raised when the token bucket refills.
-          if (!q->AllowAlert()) continue;
-          if (alert_bus_->Publish(alert).ok()) {
-            metrics_->alerts_published.fetch_add(1,
-                                                 std::memory_order_relaxed);
-          }
-        }
-      }
-      active = std::move(current);
-      q->evals.fetch_add(1, std::memory_order_relaxed);
-      q->eval_nanos.fetch_add(
-          static_cast<std::uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(
-                  Clock::now() - start)
-                  .count()),
-          std::memory_order_relaxed);
+    if (!RunCorrelatorGroup(group, &round_counted, &round)) {
+      // A failed gather evaluates nothing and commits nothing for this
+      // level: the same round retries at the next firing, and the
+      // remaining level groups still evaluate. (The pre-index correlator
+      // stamped corr_last_time_ before gathering and returned on the
+      // first failure, silently skipping that round's alerts for this
+      // level and abandoning every later group.)
+      metrics_->correlator_errors.fetch_add(1, std::memory_order_relaxed);
     }
   }
+}
+
+bool IngestEngine::RunCorrelatorGroup(
+    const EvalPlan::CorrelationGroup& group, bool* round_counted,
+    std::uint64_t* round) {
+  using Clock = std::chrono::steady_clock;
+  const std::size_t level = group.level;
+  CorrLevelState& state = corr_levels_[level];
+  if (state.clock_epochs.size() != shards_.size()) {
+    state.clock_epochs.assign(shards_.size(), 0);
+    state.clocks.assign(shards_.size(), Shard::ClockSummary{});
+    state.gathers.resize(shards_.size());
+  }
+
+  // Phase 1: the round time is the slowest started stream's latest
+  // feature time at this level — the most recent time every started
+  // stream can still serve. Streams whose window has not filled yet do
+  // not hold the round back; they simply contribute nothing. Per-shard
+  // summaries are cached and refreshed only when the shard's feature
+  // store saw a put since the last look (dirty epochs), so idle rounds
+  // cost one flag read per shard instead of a full clock scan.
+  std::uint64_t t_round = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    if (!shard.has_correlation_core()) continue;
+    Shard::ClockSummary summary;
+    if (shard.CorrelationClockMinSince(level, state.clock_epochs[i],
+                                       &summary)) {
+      state.clocks[i] = summary;
+      state.clock_epochs[i] = summary.store_epoch;
+    }
+    const Shard::ClockSummary& cached = state.clocks[i];
+    if (!cached.any) continue;
+    t_round = any ? std::min(t_round, cached.min_time) : cached.min_time;
+    any = true;
+  }
+  if (!any) return true;
+  const auto last = corr_last_time_.find(level);
+  if (last != corr_last_time_.end() && last->second == t_round) {
+    return true;  // nothing new to evaluate at this level
+  }
+
+  if (config_.correlator_fault_hook != nullptr &&
+      config_.correlator_fault_hook(level)) {
+    return false;
+  }
+
+  // Phase 2: gather every shard's feature points and exact z-normed
+  // windows at the aligned time into flat reusable buffers. Per-shard
+  // mutex-coherent; streams whose data already expired at t_round are
+  // skipped.
+  const StardustConfig& cfg = config_.query.correlation;
+  const std::size_t dims = cfg.coefficients;
+  const std::size_t window = group.window;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard::CorrelationGather& gather = state.gathers[i];
+    if (!shards_[i]->has_correlation_core()) {
+      gather.streams.clear();
+      continue;
+    }
+    if (!shards_[i]->CorrelationGatherAt(level, t_round, &gather).ok()) {
+      return false;
+    }
+    if (!gather.streams.empty() &&
+        (gather.dims != dims || gather.window != window)) {
+      return false;  // core/plan shape mismatch; retry next round
+    }
+  }
+
+  // Phase 3: sync the persistent candidate index to this round's feature
+  // set — upsert what is present (a no-op for points that did not move),
+  // erase what expired. The index survives to the next round; the
+  // rebuild-from-scratch tree this replaces cost O(n log n) per round
+  // even when nothing moved.
+  double cell = config_.query.correlation_grid_cell;
+  if (cell <= 0.0) {
+    cell = group.max_radius > 0.0 ? group.max_radius : 1.0;
+  }
+  if (state.index == nullptr || state.cell != cell) {
+    state.index = CorrelationIndex::Create(
+        config_.query.correlation_index_kind, dims, cell);
+    state.cell = cell;
+    state.slot_of.clear();
+    state.stream_of.clear();
+    state.live.clear();
+    state.seen_round.clear();
+    state.free_slots.clear();
+    state.features.clear();
+    state.znormed.clear();
+  }
+  ++state.round_serial;
+  state.present.clear();
+  Point point(dims);
+  for (const Shard::CorrelationGather& gather : state.gathers) {
+    for (std::size_t k = 0; k < gather.streams.size(); ++k) {
+      const StreamId global = gather.streams[k];
+      std::size_t slot;
+      const auto it = state.slot_of.find(global);
+      if (it != state.slot_of.end()) {
+        slot = it->second;
+      } else {
+        if (!state.free_slots.empty()) {
+          slot = state.free_slots.back();
+          state.free_slots.pop_back();
+        } else {
+          slot = state.stream_of.size();
+          state.stream_of.push_back(0);
+          state.live.push_back(0);
+          state.seen_round.push_back(0);
+          state.features.resize((slot + 1) * dims);
+          state.znormed.resize((slot + 1) * window);
+        }
+        state.stream_of[slot] = global;
+        state.slot_of.emplace(global, slot);
+      }
+      const double* feature = &gather.features[k * dims];
+      std::copy(feature, feature + dims, point.begin());
+      state.index->Upsert(slot, point);
+      std::copy(feature, feature + dims,
+                state.features.begin() + slot * dims);
+      const double* znormed = &gather.znormed[k * window];
+      std::copy(znormed, znormed + window,
+                state.znormed.begin() + slot * window);
+      state.live[slot] = 1;
+      state.seen_round[slot] = state.round_serial;
+      state.present.push_back(slot);
+    }
+  }
+  for (std::size_t slot = 0; slot < state.stream_of.size(); ++slot) {
+    if (!state.live[slot] || state.seen_round[slot] == state.round_serial) {
+      continue;
+    }
+    state.index->Erase(slot);
+    state.live[slot] = 0;
+    state.slot_of.erase(state.stream_of[slot]);
+    state.free_slots.push_back(slot);
+  }
+  // Canonical probe order (ascending global id) so the merged pair sets
+  // and alert order are identical however the probe tasks interleave.
+  std::sort(state.present.begin(), state.present.end(),
+            [&state](std::size_t a, std::size_t b) {
+              return state.stream_of[a] < state.stream_of[b];
+            });
+
+  // This level produced an evaluable round: account it. Rounds count
+  // once per RunCorrelatorRound invocation however many levels evaluate
+  // (the per-group skew previously leaked into alert.epoch); per-level
+  // counts live in correlator_level_evals.
+  if (!*round_counted) {
+    *round =
+        metrics_->correlator_rounds.fetch_add(1, std::memory_order_relaxed) +
+        1;
+    *round_counted = true;
+  }
+  if (level < metrics_->correlator_num_levels) {
+    metrics_->correlator_level_evals[level].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  corr_plan_->correlation_evals.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 4: probe every present slot against the index, partitioned
+  // across the probe pool (the pool is read-only over the synced index).
+  // One probe at the group's widest radius serves every query; the exact
+  // window distance is computed once per candidate pair and re-filtered
+  // per query below. Each unordered pair is emitted by exactly one task
+  // (the smaller global id probes, the larger is the candidate), so the
+  // per-task outputs are disjoint and their concatenation deterministic.
+  struct PairHit {
+    StreamId a = 0;
+    StreamId b = 0;
+    double d2 = 0.0;
+  };
+  std::vector<std::vector<PairHit>> task_hits(state.present.size());
+  const double max_r = group.max_radius;
+  const double max_r2 = max_r * max_r;
+  const auto probe = [&](std::size_t task) {
+    const std::size_t slot = state.present[task];
+    const StreamId g_i = state.stream_of[slot];
+    const Point q(state.features.begin() + slot * dims,
+                  state.features.begin() + (slot + 1) * dims);
+    std::vector<std::size_t> candidates;
+    state.index->Candidates(q, max_r, &candidates);
+    std::vector<PairHit>& out = task_hits[task];
+    const double* zi = &state.znormed[slot * window];
+    for (const std::size_t cand : candidates) {
+      const StreamId g_j = state.stream_of[cand];
+      if (g_j <= g_i) continue;  // count each pair once
+      const double* zj = &state.znormed[cand * window];
+      double d2 = 0.0;
+      for (std::size_t x = 0; x < window; ++x) {
+        const double d = zi[x] - zj[x];
+        d2 += d * d;
+      }
+      if (d2 > max_r2) continue;
+      out.push_back({g_i, g_j, d2});
+    }
+  };
+  if (probe_pool_ != nullptr) {
+    probe_pool_->Run(state.present.size(), probe);
+  } else {
+    for (std::size_t task = 0; task < state.present.size(); ++task) {
+      probe(task);
+    }
+  }
+
+  // Phase 5: serial per-query merge and rising-edge publication, in
+  // sorted pair order. Every query of the group re-filters the verified
+  // pairs by its own radius. Rounds with fewer than two present features
+  // run through here with zero hits on purpose: the query's active set
+  // is replaced (emptied) either way, so a pair whose features expired
+  // re-alerts when it correlates again. (The pre-index correlator
+  // `continue`d before this step, leaving the stale active set pinned
+  // and suppressing the re-alert forever.)
+  std::vector<PairHit> query_hits;
+  for (const auto& q : group.queries) {
+    const Clock::time_point start = Clock::now();
+    std::set<std::pair<StreamId, StreamId>>& active =
+        corr_active_pairs_[q->id];
+    const double r2 = q->spec.radius * q->spec.radius;
+    query_hits.clear();
+    for (const std::vector<PairHit>& hits : task_hits) {
+      for (const PairHit& hit : hits) {
+        if (hit.d2 <= r2) query_hits.push_back(hit);
+      }
+    }
+    std::sort(query_hits.begin(), query_hits.end(),
+              [](const PairHit& x, const PairHit& y) {
+                return std::make_pair(x.a, x.b) < std::make_pair(y.a, y.b);
+              });
+    std::set<std::pair<StreamId, StreamId>> current;
+    for (const PairHit& hit : query_hits) {
+      current.emplace(hit.a, hit.b);
+      if (active.count({hit.a, hit.b}) != 0) continue;  // still correlated
+      Alert alert;
+      alert.query = q->id;
+      alert.kind = QueryKind::kCorrelation;
+      alert.stream = hit.a;
+      alert.stream_b = hit.b;
+      alert.window = window;
+      alert.end_time = t_round;
+      alert.epoch = *round;
+      alert.value = std::sqrt(hit.d2);
+      alert.threshold = q->spec.radius;
+      q->hits.fetch_add(1, std::memory_order_relaxed);
+      // The pair still entered the current set above, so a suppressed
+      // alert is not re-raised when the token bucket refills.
+      if (!q->AllowAlert()) continue;
+      if (alert_bus_->Publish(alert).ok()) {
+        metrics_->alerts_published.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    active = std::move(current);
+    q->evals.fetch_add(1, std::memory_order_relaxed);
+    q->eval_nanos.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - start)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
+  // Commit the round time only now that the level fully evaluated; any
+  // failure above left it unstamped so the next firing retries.
+  corr_last_time_[level] = t_round;
+  return true;
 }
 
 }  // namespace stardust

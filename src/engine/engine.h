@@ -38,7 +38,9 @@
 #include "engine/metrics.h"
 #include "engine/shard.h"
 #include "query/alert_bus.h"
+#include "query/correlation_index.h"
 #include "query/eval_plan.h"
+#include "query/probe_pool.h"
 #include "query/registry.h"
 #include "stream/threshold.h"
 
@@ -205,6 +207,42 @@ class IngestEngine {
   void StartCorrelatorThread();
   void StopCorrelatorThread();
 
+  /// Persistent per-level correlator state (see RunCorrelatorRound): the
+  /// incremental candidate index over the level's feature points, the
+  /// global-stream -> slot mapping behind it, per-round scratch, and the
+  /// cached per-shard clock summaries the dirty-epoch skip path reuses.
+  struct CorrLevelState {
+    std::unique_ptr<CorrelationIndex> index;
+    /// Grid cell the index was created with; a plan change that moves
+    /// the derived cell rebuilds the index.
+    double cell = 0.0;
+    // Slot table: one dense slot per global stream ever seen live at
+    // this level. Erased slots return to the free list.
+    std::unordered_map<StreamId, std::size_t> slot_of;
+    std::vector<StreamId> stream_of;        // slot -> global id
+    std::vector<char> live;                 // slot currently indexed
+    std::vector<std::uint64_t> seen_round;  // round serial last present
+    std::vector<std::size_t> free_slots;
+    std::uint64_t round_serial = 0;
+    // Slot-indexed columns of the current round (features is slot × dims,
+    // znormed slot × window).
+    std::vector<double> features;
+    std::vector<double> znormed;
+    std::vector<std::size_t> present;  // this round's slots, by global id
+    // Per-shard gather state: cached clock summaries (refreshed only
+    // when the shard's store saw a put since `clock_epochs[i]`) and the
+    // reusable flat gather buffers.
+    std::vector<std::uint64_t> clock_epochs;
+    std::vector<Shard::ClockSummary> clocks;
+    std::vector<Shard::CorrelationGather> gathers;
+  };
+  /// Evaluates one level group of the compiled plan; returns false on a
+  /// gather failure (the caller counts it and moves to the next group
+  /// without committing this level's round time). `round_counted` makes
+  /// correlator_rounds count once per RunCorrelatorRound invocation.
+  bool RunCorrelatorGroup(const EvalPlan::CorrelationGroup& group,
+                          bool* round_counted, std::uint64_t* round);
+
   StreamId LocalOf(StreamId stream) const {
     return stream / static_cast<StreamId>(shards_.size());
   }
@@ -252,8 +290,15 @@ class IngestEngine {
   std::shared_ptr<const EvalPlan> corr_plan_;
   std::uint64_t corr_plan_version_ = 0;
   /// Last evaluated common feature time per monitored level; rounds where
-  /// it did not advance are skipped.
+  /// it did not advance are skipped. Committed only after a level group
+  /// evaluated successfully, so a failed gather retries the same round.
   std::unordered_map<std::size_t, std::uint64_t> corr_last_time_;
+  /// Persistent per-level indexes and scratch; pruned when a plan change
+  /// drops a level.
+  std::unordered_map<std::size_t, CorrLevelState> corr_levels_;
+  /// Probe-phase worker pool (created only when correlation is enabled;
+  /// zero workers on single-core hosts — Run degrades to inline).
+  std::unique_ptr<ProbePool> probe_pool_;
   /// Rising-edge state: pairs (global a < global b) currently within each
   /// query's radius; alerts fire when a pair enters the set.
   std::unordered_map<QueryId, std::set<std::pair<StreamId, StreamId>>>

@@ -43,6 +43,12 @@ struct EngineConfig {
   /// Test hook replacing the affinity syscall (receives the target core,
   /// returns success). Leave null for the real pthread_setaffinity_np.
   std::function<bool(std::size_t core)> pin_hook;
+  /// Test hook injecting correlator gather failures: consulted once per
+  /// level group per round; returning true makes that level's evaluation
+  /// fail as if the feature gather errored (counted in
+  /// correlator_errors; the level retries next round). Leave null in
+  /// production.
+  std::function<bool(std::size_t level)> correlator_fault_hook;
   /// Aligned feature times retained per (level, stream) in each shard's
   /// FeatureStore ring. 0 (the default) derives a capacity from the
   /// cache geometry so a shard's hot store set fits in roughly half the

@@ -70,6 +70,16 @@ void FeaturePipeline::AdoptPlan(const EvalPlan& plan,
     }
     store_.SetLevels(specs);
   }
+  if (pattern_core_ != nullptr && pattern_core_->config().index_features) {
+    // Standing pattern queries evaluate incrementally against the box
+    // threads (QueryCompiledIncremental) and never range-search the level
+    // indexes, so no per-tuple index maintenance is needed at all. The
+    // mask stays all-false rather than dropping index_features so ad-hoc
+    // probes (TopKOnline, full QueryCompiled) can be re-enabled per level
+    // via SetIndexedLevels, which rebuilds from the live threads.
+    const std::vector<bool> mask(pattern_core_->config().num_levels, false);
+    (void)pattern_core_->SetIndexedLevels(mask);
+  }
 }
 
 Status FeaturePipeline::Append(StreamId stream, double value) {

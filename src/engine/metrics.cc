@@ -46,9 +46,15 @@ std::string EngineMetricsJson(
           load(metrics.checkpoints), load(metrics.checkpoint_failures));
   AppendF(&out,
           ",\"alerts_published\":%" PRIu64 ",\"correlator_rounds\":%" PRIu64
-          ",\"pin_failures\":%" PRIu64,
+          ",\"correlator_errors\":%" PRIu64 ",\"pin_failures\":%" PRIu64,
           load(metrics.alerts_published), load(metrics.correlator_rounds),
-          load(metrics.pin_failures));
+          load(metrics.correlator_errors), load(metrics.pin_failures));
+  out += ",\"correlator_level_evals\":[";
+  for (std::size_t i = 0; i < metrics.correlator_num_levels; ++i) {
+    AppendF(&out, "%s%" PRIu64, i == 0 ? "" : ",",
+            load(metrics.correlator_level_evals[i]));
+  }
+  out += "]";
 
   const LatencyHistogram& h = metrics.append_latency;
   AppendF(&out,
@@ -93,8 +99,10 @@ std::string EngineMetricsJson(
             s.tracker_rebuilds, s.store_puts, s.store_hits, s.store_misses);
     AppendF(&out,
             ",\"plan\":{\"version\":%" PRIu64 ",\"aggregate_evals\":%" PRIu64
-            ",\"pattern_evals\":%" PRIu64 "}}",
-            s.plan_version, s.plan_aggregate_evals, s.plan_pattern_evals);
+            ",\"pattern_evals\":%" PRIu64 ",\"correlation_evals\":%" PRIu64
+            "}}",
+            s.plan_version, s.plan_aggregate_evals, s.plan_pattern_evals,
+            s.plan_correlation_evals);
   }
   out += "]";
 

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -39,9 +40,21 @@ struct EngineMetrics {
   /// Alerts accepted by the bus from shard workers and the correlator
   /// (the bus's own counters break this down by drop/delivery).
   std::atomic<std::uint64_t> alerts_published{0};
-  /// Completed correlator rounds (a round may be skipped when the common
-  /// feature time did not advance).
+  /// Correlator rounds that evaluated at least one level group (counted
+  /// once per round even when several levels evaluate; a round where no
+  /// level's common feature time advanced is not counted).
   std::atomic<std::uint64_t> correlator_rounds{0};
+  /// Level groups a correlator round failed to evaluate (feature gather
+  /// error): the round commits nothing for that level and retries it at
+  /// the next firing, so transient failures delay alerts instead of
+  /// dropping them.
+  std::atomic<std::uint64_t> correlator_errors{0};
+  /// Per-resolution-level evaluation counts of the correlator (how many
+  /// rounds actually evaluated each level of the correlation core).
+  /// Sized by the engine before any thread starts; empty when the
+  /// correlation path is disabled.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> correlator_level_evals;
+  std::size_t correlator_num_levels = 0;
   /// Shard workers whose requested core pin failed (warn-once per shard;
   /// the worker keeps running unpinned).
   std::atomic<std::uint64_t> pin_failures{0};

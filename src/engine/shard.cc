@@ -295,6 +295,17 @@ void Shard::RefreshQuerySnapshot() {
     }
     it = live ? std::next(it) : pattern_watermark_.erase(it);
   }
+  for (auto it = pattern_eval_floor_.begin();
+       it != pattern_eval_floor_.end();) {
+    bool live = false;
+    for (const auto& q : query_snapshot_->pattern) {
+      if (q->id == it->first) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : pattern_eval_floor_.erase(it);
+  }
 }
 
 void Shard::GroupRuns(const std::vector<StreamValue>& batch) {
@@ -487,13 +498,21 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
       if (wm.size() != fleet_->num_streams()) {
         wm.assign(fleet_->num_streams(), 0);
       }
+      std::vector<std::uint64_t>& ef = pattern_eval_floor_[q->id];
+      if (ef.size() != fleet_->num_streams()) {
+        ef.assign(fleet_->num_streams(), 0);
+      }
       if (!entry.ok) {
         // Compilation failed for this core's configuration: surfaced the
         // same way the uncompiled path surfaced a per-eval query error.
         q->errors.fetch_add(1, std::memory_order_relaxed);
       } else {
+        // Standing queries evaluate incrementally: only positions past
+        // the per-stream cursor — O(new tuples), not a range search over
+        // the whole level index per batch. The watermark below keeps the
+        // delivered-once guarantee across evaluation-state resets.
         const Result<PatternResult> result =
-            engine.QueryCompiled(entry.compiled);
+            engine.QueryCompiledIncremental(entry.compiled, ef.data());
         if (!result.ok()) {
           q->errors.fetch_add(1, std::memory_order_relaxed);
         } else {
@@ -699,6 +718,61 @@ std::vector<Shard::FeatureClock> Shard::CorrelationClocks(
     }
   }
   return clocks;
+}
+
+bool Shard::CorrelationClockMinSince(std::size_t level,
+                                     std::uint64_t since_epoch,
+                                     ClockSummary* out) const {
+  const Stardust* corr_core = pipeline_->corr_core();
+  SD_CHECK(corr_core != nullptr);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const FeatureStore& store = pipeline_->store();
+  // Dirty short-circuit: a monitored level with no put since the caller's
+  // recorded epoch cannot have moved any stream's clock — every clock
+  // advance of a store-monitored level writes an entry in the same batch
+  // (FeaturePipeline::FinishBatch). Levels the store does not monitor
+  // (plan adoption still in flight) always take the scan.
+  if (since_epoch != 0 && store.has_level(level) &&
+      store.LevelPutEpoch(level) <= since_epoch) {
+    return false;
+  }
+  out->store_epoch = store.epoch();
+  out->any = false;
+  out->min_time = 0;
+  for (StreamId s = 0; s < corr_core->num_streams(); ++s) {
+    const LevelThread& thread = corr_core->summarizer(s).thread(level);
+    if (thread.empty()) continue;
+    const std::uint64_t t = thread.last_time();
+    out->min_time = out->any ? std::min(out->min_time, t) : t;
+    out->any = true;
+  }
+  return true;
+}
+
+Status Shard::CorrelationGatherAt(std::size_t level, std::uint64_t t,
+                                  CorrelationGather* out) const {
+  SD_CHECK(pipeline_->corr_core() != nullptr);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  out->streams.clear();
+  out->features.clear();
+  out->znormed.clear();
+  out->dims = 0;
+  out->window = 0;
+  const std::size_t num_streams = pipeline_->num_streams();
+  for (StreamId s = 0; s < num_streams; ++s) {
+    FeatureStore::View view;
+    if (!pipeline_->CorrelationFeature(level, s, t, &view)) continue;
+    if (out->streams.empty()) {
+      out->dims = view.dims;
+      out->window = view.window;
+    }
+    out->streams.push_back(GlobalOf(s));
+    out->features.insert(out->features.end(), view.feature,
+                         view.feature + view.dims);
+    out->znormed.insert(out->znormed.end(), view.znormed,
+                        view.znormed + view.window);
+  }
+  return Status::OK();
 }
 
 Status Shard::CorrelationFeaturesAt(

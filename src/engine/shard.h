@@ -198,6 +198,21 @@ class Shard {
     std::uint64_t time = 0;
   };
   std::vector<FeatureClock> CorrelationClocks(std::size_t level) const;
+  /// Reduced form of CorrelationClocks for the round-skip decision: the
+  /// minimum clock over this shard's started streams, plus the feature
+  /// store epoch the summary was taken at. The correlator caches one per
+  /// (level, shard) and passes the cached `store_epoch` back as
+  /// `since_epoch`; when the level saw no store put since then the call
+  /// returns false without scanning a single stream (`out` untouched) —
+  /// no put means no stream's aligned feature time moved, so the cached
+  /// summary still holds. Pass 0 to force a scan.
+  struct ClockSummary {
+    std::uint64_t store_epoch = 0;
+    bool any = false;
+    std::uint64_t min_time = 0;
+  };
+  bool CorrelationClockMinSince(std::size_t level, std::uint64_t since_epoch,
+                                ClockSummary* out) const;
   /// Phase 2: appends, for every local stream that still has its feature
   /// and raw window at aligned time `t`, the feature point and the exact
   /// z-normalized window. Streams whose data already expired (or never
@@ -205,6 +220,22 @@ class Shard {
   /// over whatever every shard can still serve coherently.
   Status CorrelationFeaturesAt(std::size_t level, std::uint64_t t,
                                std::vector<CorrelationFeature>* out) const;
+  /// Columnar variant of CorrelationFeaturesAt: one flat buffer per
+  /// column, reusable across rounds so the steady state allocates
+  /// nothing. Stream k of the gather owns features[k*dims .. ) and
+  /// znormed[k*window .. ). Global stream ids are ascending within one
+  /// shard's gather.
+  struct CorrelationGather {
+    std::vector<StreamId> streams;  // global ids
+    std::vector<double> features;   // streams.size() × dims
+    std::vector<double> znormed;    // streams.size() × window
+    std::size_t dims = 0;
+    std::size_t window = 0;
+  };
+  /// Clears and refills `out` with every local stream that still serves
+  /// aligned time `t` at `level`. One state-mutex hold.
+  Status CorrelationGatherAt(std::size_t level, std::uint64_t t,
+                             CorrelationGather* out) const;
   bool has_correlation_core() const {
     return pipeline_->corr_core() != nullptr;
   }
@@ -299,6 +330,10 @@ class Shard {
   /// end_time + 1 <= watermark were already delivered.
   std::unordered_map<QueryId, std::vector<std::uint64_t>>
       pattern_watermark_;
+  /// Incremental-evaluation cursor per (query, local stream): first match
+  /// end position not yet finally decided by QueryCompiledIncremental.
+  std::unordered_map<QueryId, std::vector<std::uint64_t>>
+      pattern_eval_floor_;
   /// Scratch: local streams touched by the current batch.
   std::vector<char> touched_;
   std::vector<StreamId> touched_list_;

@@ -15,33 +15,11 @@ Mbr::Mbr(Point lo, Point hi) : lo_(std::move(lo)), hi_(std::move(hi)) {
 
 Mbr Mbr::FromPoint(const Point& p) { return Mbr(p, p); }
 
-bool Mbr::empty() const {
-  if (lo_.empty()) return true;
-  return lo_[0] > hi_[0];
-}
-
 Point Mbr::Center() const {
   SD_DCHECK(!empty());
   Point c(dims());
   for (std::size_t d = 0; d < dims(); ++d) c[d] = 0.5 * (lo_[d] + hi_[d]);
   return c;
-}
-
-void Mbr::Expand(const Point& p) {
-  SD_DCHECK(p.size() == dims());
-  for (std::size_t d = 0; d < dims(); ++d) {
-    lo_[d] = std::min(lo_[d], p[d]);
-    hi_[d] = std::max(hi_[d], p[d]);
-  }
-}
-
-void Mbr::Expand(const Mbr& other) {
-  SD_DCHECK(other.dims() == dims());
-  if (other.empty()) return;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    lo_[d] = std::min(lo_[d], other.lo_[d]);
-    hi_[d] = std::max(hi_[d], other.hi_[d]);
-  }
 }
 
 void Mbr::Inflate(double delta) {
@@ -52,103 +30,6 @@ void Mbr::Inflate(double delta) {
   }
 }
 
-double Mbr::Area() const {
-  if (empty()) return 0.0;
-  double area = 1.0;
-  for (std::size_t d = 0; d < dims(); ++d) area *= hi_[d] - lo_[d];
-  return area;
-}
-
-double Mbr::Margin() const {
-  if (empty()) return 0.0;
-  double margin = 0.0;
-  for (std::size_t d = 0; d < dims(); ++d) margin += hi_[d] - lo_[d];
-  return margin;
-}
-
-double Mbr::OverlapArea(const Mbr& other) const {
-  SD_DCHECK(other.dims() == dims());
-  if (empty() || other.empty()) return 0.0;
-  double area = 1.0;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    const double w = std::min(hi_[d], other.hi_[d]) -
-                     std::max(lo_[d], other.lo_[d]);
-    if (w <= 0.0) return 0.0;
-    area *= w;
-  }
-  return area;
-}
-
-double Mbr::Enlargement(const Point& p) const {
-  Mbr grown = *this;
-  grown.Expand(p);
-  return grown.Area() - Area();
-}
-
-double Mbr::Enlargement(const Mbr& other) const {
-  Mbr grown = *this;
-  grown.Expand(other);
-  return grown.Area() - Area();
-}
-
-bool Mbr::Intersects(const Mbr& other) const {
-  SD_DCHECK(other.dims() == dims());
-  if (empty() || other.empty()) return false;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    if (lo_[d] > other.hi_[d] || hi_[d] < other.lo_[d]) return false;
-  }
-  return true;
-}
-
-bool Mbr::Contains(const Point& p) const {
-  SD_DCHECK(p.size() == dims());
-  if (empty()) return false;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
-  }
-  return true;
-}
-
-bool Mbr::Contains(const Mbr& other) const {
-  SD_DCHECK(other.dims() == dims());
-  if (empty() || other.empty()) return false;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
-  }
-  return true;
-}
-
-double Mbr::MinDist2(const Point& p) const {
-  SD_DCHECK(p.size() == dims());
-  SD_DCHECK(!empty());
-  double sum = 0.0;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    double diff = 0.0;
-    if (p[d] < lo_[d]) {
-      diff = lo_[d] - p[d];
-    } else if (p[d] > hi_[d]) {
-      diff = p[d] - hi_[d];
-    }
-    sum += diff * diff;
-  }
-  return sum;
-}
-
-double Mbr::MinDist2(const Mbr& other) const {
-  SD_DCHECK(other.dims() == dims());
-  SD_DCHECK(!empty() && !other.empty());
-  double sum = 0.0;
-  for (std::size_t d = 0; d < dims(); ++d) {
-    double diff = 0.0;
-    if (other.hi_[d] < lo_[d]) {
-      diff = lo_[d] - other.hi_[d];
-    } else if (other.lo_[d] > hi_[d]) {
-      diff = other.lo_[d] - hi_[d];
-    }
-    sum += diff * diff;
-  }
-  return sum;
-}
 
 double Mbr::MaxDist2(const Point& p) const {
   SD_DCHECK(p.size() == dims());
@@ -171,16 +52,6 @@ std::string Mbr::ToString() const {
   }
   os << "}";
   return os.str();
-}
-
-double Dist2(const Point& a, const Point& b) {
-  SD_DCHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (std::size_t d = 0; d < a.size(); ++d) {
-    const double diff = a[d] - b[d];
-    sum += diff * diff;
-  }
-  return sum;
 }
 
 }  // namespace stardust

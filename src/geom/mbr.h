@@ -7,6 +7,7 @@
 #ifndef STARDUST_GEOM_MBR_H_
 #define STARDUST_GEOM_MBR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <limits>
 #include <string>
@@ -38,7 +39,7 @@ class Mbr {
   static Mbr FromPoint(const Point& p);
 
   std::size_t dims() const { return lo_.size(); }
-  bool empty() const;
+  bool empty() const { return lo_.empty() || lo_[0] > hi_[0]; }
 
   double lo(std::size_t d) const { return lo_[d]; }
   double hi(std::size_t d) const { return hi_[d]; }
@@ -63,35 +64,138 @@ class Mbr {
   Point Center() const;
 
   /// Grows the box to include the point / other box.
-  void Expand(const Point& p);
-  void Expand(const Mbr& other);
+  /// (The box predicates and accumulators below are defined inline: they
+  /// are the innermost loops of R*-tree descent and range probes.)
+  void Expand(const Point& p) {
+    SD_DCHECK(p.size() == dims());
+    for (std::size_t d = 0; d < dims(); ++d) {
+      lo_[d] = std::min(lo_[d], p[d]);
+      hi_[d] = std::max(hi_[d], p[d]);
+    }
+  }
+  void Expand(const Mbr& other) {
+    SD_DCHECK(other.dims() == dims());
+    if (other.empty()) return;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      lo_[d] = std::min(lo_[d], other.lo_[d]);
+      hi_[d] = std::max(hi_[d], other.hi_[d]);
+    }
+  }
 
   /// Grows the box by `delta` on both sides of every dimension.
   void Inflate(double delta);
 
   /// Product of extents. Zero-width dimensions contribute factor 0.
-  double Area() const;
+  double Area() const {
+    if (empty()) return 0.0;
+    double area = 1.0;
+    for (std::size_t d = 0; d < dims(); ++d) area *= hi_[d] - lo_[d];
+    return area;
+  }
 
   /// Sum of extents over all dimensions (the R*-tree "margin").
-  double Margin() const;
+  double Margin() const {
+    if (empty()) return 0.0;
+    double margin = 0.0;
+    for (std::size_t d = 0; d < dims(); ++d) margin += hi_[d] - lo_[d];
+    return margin;
+  }
 
   /// Area of the intersection with `other`; 0 if disjoint.
-  double OverlapArea(const Mbr& other) const;
+  double OverlapArea(const Mbr& other) const {
+    SD_DCHECK(other.dims() == dims());
+    if (empty() || other.empty()) return 0.0;
+    double area = 1.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      const double w =
+          std::min(hi_[d], other.hi_[d]) - std::max(lo_[d], other.lo_[d]);
+      if (w <= 0.0) return 0.0;
+      area *= w;
+    }
+    return area;
+  }
 
-  /// Area(this ∪ {p or other}) - Area(this).
-  double Enlargement(const Point& p) const;
-  double Enlargement(const Mbr& other) const;
+  /// Area(this ∪ {p or other}) - Area(this), computed without
+  /// materializing the union box.
+  double Enlargement(const Point& p) const {
+    SD_DCHECK(p.size() == dims());
+    if (empty()) return 0.0;
+    double grown = 1.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      grown *= std::max(hi_[d], p[d]) - std::min(lo_[d], p[d]);
+    }
+    return grown - Area();
+  }
+  double Enlargement(const Mbr& other) const {
+    SD_DCHECK(other.dims() == dims());
+    if (other.empty()) return 0.0;
+    if (empty()) return other.Area();
+    double grown = 1.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      grown *= std::max(hi_[d], other.hi_[d]) - std::min(lo_[d], other.lo_[d]);
+    }
+    return grown - Area();
+  }
 
-  bool Intersects(const Mbr& other) const;
-  bool Contains(const Point& p) const;
-  bool Contains(const Mbr& other) const;
+  bool Intersects(const Mbr& other) const {
+    SD_DCHECK(other.dims() == dims());
+    if (empty() || other.empty()) return false;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      if (lo_[d] > other.hi_[d] || hi_[d] < other.lo_[d]) return false;
+    }
+    return true;
+  }
+  bool Contains(const Point& p) const {
+    SD_DCHECK(p.size() == dims());
+    if (empty()) return false;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+    }
+    return true;
+  }
+  bool Contains(const Mbr& other) const {
+    SD_DCHECK(other.dims() == dims());
+    if (empty() || other.empty()) return false;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+    }
+    return true;
+  }
 
   /// Minimum squared L2 distance from point `p` to this box
   /// (0 if p is inside). This is d_min^2 of the paper's Section 5.2.
-  double MinDist2(const Point& p) const;
+  double MinDist2(const Point& p) const {
+    SD_DCHECK(p.size() == dims());
+    SD_DCHECK(!empty());
+    double sum = 0.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      double diff = 0.0;
+      if (p[d] < lo_[d]) {
+        diff = lo_[d] - p[d];
+      } else if (p[d] > hi_[d]) {
+        diff = p[d] - hi_[d];
+      }
+      sum += diff * diff;
+    }
+    return sum;
+  }
 
   /// Minimum squared L2 distance between two boxes (0 if they intersect).
-  double MinDist2(const Mbr& other) const;
+  double MinDist2(const Mbr& other) const {
+    SD_DCHECK(other.dims() == dims());
+    SD_DCHECK(!empty() && !other.empty());
+    double sum = 0.0;
+    for (std::size_t d = 0; d < dims(); ++d) {
+      double diff = 0.0;
+      if (other.hi_[d] < lo_[d]) {
+        diff = lo_[d] - other.hi_[d];
+      } else if (other.lo_[d] > hi_[d]) {
+        diff = other.lo_[d] - hi_[d];
+      }
+      sum += diff * diff;
+    }
+    return sum;
+  }
 
   /// Maximum squared L2 distance from point `p` to any point in this box.
   double MaxDist2(const Point& p) const;
@@ -108,7 +212,15 @@ class Mbr {
 };
 
 /// Squared L2 distance between equal-dimension points.
-double Dist2(const Point& a, const Point& b);
+inline double Dist2(const Point& a, const Point& b) {
+  SD_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    sum += diff * diff;
+  }
+  return sum;
+}
 
 }  // namespace stardust
 

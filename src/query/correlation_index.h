@@ -1,0 +1,76 @@
+// Persistent candidate-pair indexes for the cross-shard correlator.
+//
+// Section 5.3 reports correlated pairs by range-searching the feature
+// points of every live stream at an aligned time. The engine used to
+// rebuild a throwaway R*-tree from scratch every round, which turned the
+// correlator into an O(streams · log streams) rebuild per round even when
+// almost nothing moved. A CorrelationIndex instead lives across rounds:
+// the correlator upserts the streams whose feature changed, erases the
+// ones that expired, and probes the survivors.
+//
+// All three implementations only promise a *superset* of the true
+// neighbor set: Candidates(q, r) returns every live slot whose feature
+// point might lie within `r` of `q` (and possibly more). The correlator
+// verifies every candidate pair exactly on the z-normalized raw windows,
+// and the DWT feature distance lower-bounds the window distance, so every
+// kind yields the identical alert set — kBruteForce (all live slots) is
+// the all-pairs reference the equivalence suite checks the others
+// against.
+//
+// Not thread-safe: the correlator serializes all mutation; concurrent
+// Candidates calls against an unchanging index are safe (const).
+#ifndef STARDUST_QUERY_CORRELATION_INDEX_H_
+#define STARDUST_QUERY_CORRELATION_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/mbr.h"
+
+namespace stardust {
+
+enum class CorrelationIndexKind : std::uint8_t {
+  /// StatStream-style orthogonal grid over the leading DWT coefficients:
+  /// O(1) upsert/erase, neighbors enumerated cell-by-cell. The default.
+  kGrid = 0,
+  /// Persistent R*-tree (src/rtree) maintained with Update/Delete.
+  kRTree = 1,
+  /// No structure at all: every live slot is a candidate. The all-pairs
+  /// reference for equivalence tests and tiny fleets.
+  kBruteForce = 2,
+};
+
+const char* CorrelationIndexKindName(CorrelationIndexKind kind);
+
+/// A set of feature points keyed by dense slot ids (the correlator maps
+/// global stream ids to slots). Upserting an identical point is a no-op —
+/// the change detection that makes periodic workloads cheap.
+class CorrelationIndex {
+ public:
+  /// `dims` is the feature dimensionality; `cell` the grid cell edge
+  /// (ignored by the other kinds; must be positive for kGrid).
+  static std::unique_ptr<CorrelationIndex> Create(CorrelationIndexKind kind,
+                                                  std::size_t dims,
+                                                  double cell);
+  virtual ~CorrelationIndex() = default;
+
+  /// Inserts or moves `slot` to `point` (size dims()). Returns false when
+  /// the slot was already live at exactly this point (nothing changed).
+  virtual bool Upsert(std::size_t slot, const Point& point) = 0;
+  /// Removes `slot`; no-op when not live.
+  virtual void Erase(std::size_t slot) = 0;
+  /// Appends every live slot whose point may lie within `radius` of `q`
+  /// (a superset; callers verify exactly). Never appends duplicates.
+  virtual void Candidates(const Point& q, double radius,
+                          std::vector<std::size_t>* out) const = 0;
+  /// Live slots.
+  virtual std::size_t size() const = 0;
+  virtual std::size_t dims() const = 0;
+  virtual CorrelationIndexKind kind() const = 0;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_QUERY_CORRELATION_INDEX_H_

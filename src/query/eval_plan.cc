@@ -79,7 +79,15 @@ std::shared_ptr<const EvalPlan> CompileEvalPlan(
         group.window = ctx.correlation->LevelWindow(level);
         plan->correlation.push_back(std::move(group));
       }
-      plan->correlation.back().queries.push_back(q);
+      EvalPlan::CorrelationGroup& group = plan->correlation.back();
+      if (group.queries.empty()) {
+        group.min_radius = q->spec.radius;
+        group.max_radius = q->spec.radius;
+      } else {
+        group.min_radius = std::min(group.min_radius, q->spec.radius);
+        group.max_radius = std::max(group.max_radius, q->spec.radius);
+      }
+      group.queries.push_back(q);
     }
   }
 

@@ -13,6 +13,7 @@
 #include "common/overload_policy.h"
 #include "common/status.h"
 #include "core/config.h"
+#include "query/correlation_index.h"
 #include "transform/feature.h"
 
 namespace stardust {
@@ -34,6 +35,23 @@ struct QueryConfig {
   /// all shards on a common feature time and runs every registered
   /// correlation query once if that time advanced.
   std::size_t correlator_period_ms = 10;
+
+  /// Candidate structure the correlator maintains per monitored level
+  /// across rounds (query/correlation_index.h). Every kind yields the
+  /// identical alert set — candidates are verified exactly on the
+  /// z-normalized windows — so this is purely a performance knob.
+  CorrelationIndexKind correlation_index_kind = CorrelationIndexKind::kGrid;
+
+  /// Grid cell edge for kGrid. 0 (the default) derives the cell from the
+  /// largest registered radius of each level group (StatStream's choice:
+  /// cell == radius, so neighbor enumeration reaches one cell out).
+  double correlation_grid_cell = 0.0;
+
+  /// Worker threads of the correlator's probe pool (the calling thread
+  /// always participates too). 0 (the default) auto-sizes to the
+  /// hardware: one less than the concurrency, clamped to [0, 4] — a
+  /// single-core host probes inline with no pool threads at all.
+  std::size_t correlator_probe_workers = 0;
 
   /// Bounded alert-queue capacity and overflow policy (mirrors the
   /// ingestion rings; see common/overload_policy.h). kBlock applies
@@ -81,6 +99,14 @@ struct QueryConfig {
       if (correlator_period_ms == 0) {
         return Status::InvalidArgument(
             "correlator_period_ms must be positive");
+      }
+      if (correlation_grid_cell < 0.0) {
+        return Status::InvalidArgument(
+            "correlation_grid_cell must be non-negative");
+      }
+      if (correlator_probe_workers > 64) {
+        return Status::InvalidArgument(
+            "correlator_probe_workers must be at most 64");
       }
     }
     return Status::OK();

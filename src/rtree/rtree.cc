@@ -15,6 +15,9 @@ namespace stardust {
 struct RTree::Node {
   /// 0 for leaves; an internal node at level L holds children at level L-1.
   std::size_t level = 0;
+  /// Owning node; null for the root. Lets Delete/Update rebuild the
+  /// root-to-leaf path from the record registry instead of searching.
+  Node* parent = nullptr;
 
   struct Slot {
     Mbr box;
@@ -28,8 +31,16 @@ struct RTree::Node {
 
   Mbr BoundingBox(std::size_t dims) const {
     Mbr box(dims);
-    for (const auto& s : slots) box.Expand(s.box);
+    BoundingBoxInto(dims, &box);
     return box;
+  }
+
+  /// Allocation-free BoundingBox: resets `out` in place (reusing its
+  /// extent storage) and expands it over the slots.
+  void BoundingBoxInto(std::size_t dims, Mbr* out) const {
+    out->mutable_lo().assign(dims, std::numeric_limits<double>::infinity());
+    out->mutable_hi().assign(dims, -std::numeric_limits<double>::infinity());
+    for (const auto& s : slots) out->Expand(s.box);
   }
 };
 
@@ -84,6 +95,33 @@ RTree::Node* RTree::ChooseSubtree(const Mbr& box, std::size_t target_level,
   path->push_back(node);
   while (node->level > target_level) {
     std::size_t best = 0;
+    // Zero-enlargement fast path: a child whose box already contains the
+    // new box needs no enlargement and adds no overlap, so the full R*
+    // criteria reduce to "smallest such child" — without the O(M²)
+    // overlap scan below. Ties (common with point records, where every
+    // area is zero) are broken toward the emptiest child so degenerate
+    // duplicate-heavy data spreads across siblings instead of funneling
+    // every insert into the first one.
+    bool contained = false;
+    double contained_area = std::numeric_limits<double>::infinity();
+    std::size_t contained_fill = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < node->slots.size(); ++i) {
+      if (!node->slots[i].box.Contains(box)) continue;
+      const double area = node->slots[i].box.Area();
+      const std::size_t fill = node->slots[i].child->slots.size();
+      if (!contained || area < contained_area ||
+          (area == contained_area && fill < contained_fill)) {
+        contained = true;
+        contained_area = area;
+        contained_fill = fill;
+        best = i;
+      }
+    }
+    if (contained) {
+      node = node->slots[best].child.get();
+      path->push_back(node);
+      continue;
+    }
     if (node->level == target_level + 1 && node->level == 1) {
       // Children are leaves: minimize overlap enlargement
       // (ties: area enlargement, then area).
@@ -139,7 +177,27 @@ void RTree::AdjustBoxesUpward(std::vector<Node*>& path) {
     Node* parent = path[i - 1];
     for (auto& slot : parent->slots) {
       if (slot.child.get() == child) {
-        slot.box = child->BoundingBox(dims_);
+        child->BoundingBoxInto(dims_, &tighten_scratch_);
+        slot.box = tighten_scratch_;
+        break;
+      }
+    }
+  }
+}
+
+void RTree::ExpandUpward(std::vector<Node*>& path, const Mbr& box) {
+  // Pure insertion only grows ancestor boxes, so expanding each path slot
+  // by the inserted box in place is equivalent to a full recompute — and
+  // allocation-free. Once a slot already contains the box, every ancestor
+  // does too (parent boxes cover child boxes), so stop there; with
+  // duplicate-heavy data this exits at the first parent.
+  for (std::size_t i = path.size(); i-- > 1;) {
+    Node* child = path[i];
+    Node* parent = path[i - 1];
+    for (auto& slot : parent->slots) {
+      if (slot.child.get() == child) {
+        if (slot.box.Contains(box)) return;
+        slot.box.Expand(box);
         break;
       }
     }
@@ -155,9 +213,11 @@ void RTree::InsertEntry(const Mbr& box, RecordId id,
   Node::Slot slot;
   slot.box = box;
   slot.id = id;
+  if (child != nullptr) child->parent = node;
   slot.child = std::move(child);
   node->slots.push_back(std::move(slot));
-  AdjustBoxesUpward(path);
+  if (target_level == 0) TrackRecord(id, node);
+  ExpandUpward(path, box);
   if (node->slots.size() > options_.max_entries) {
     HandleOverflow(node, path, reinserted);
   }
@@ -198,6 +258,7 @@ void RTree::Reinsert(Node* node, std::vector<Node*>& path,
   kept.reserve(node->slots.size() - p);
   for (std::size_t i = 0; i < node->slots.size(); ++i) {
     if (take[i]) {
+      if (node->IsLeaf()) UntrackRecord(node->slots[i].id, node);
       removed.push_back(std::move(node->slots[i]));
     } else {
       kept.push_back(std::move(node->slots[i]));
@@ -216,6 +277,21 @@ void RTree::Reinsert(Node* node, std::vector<Node*>& path,
 std::vector<std::size_t> RTree::ChooseSplitRStar(const Node& node) const {
   const std::size_t m = options_.min_entries;
   const std::size_t total = node.slots.size();
+
+  // Degenerate fast path: when every box in the node is identical (heavy
+  // duplication — e.g. point records of a repeating signal), all legal
+  // distributions have the same margin, overlap, and area, so skip the
+  // 2d sort passes and split down the middle.
+  bool all_equal = true;
+  for (std::size_t i = 1; i < total && all_equal; ++i) {
+    all_equal = node.slots[i].box == node.slots[0].box;
+  }
+  if (all_equal) {
+    std::vector<std::size_t> second_group;
+    second_group.reserve(total - total / 2);
+    for (std::size_t i = total / 2; i < total; ++i) second_group.push_back(i);
+    return second_group;
+  }
 
   // R* ChooseSplitAxis: for every axis, sort by lo and by hi and sum the
   // margins of all legal distributions; pick the axis with minimal sum.
@@ -381,6 +457,13 @@ void RTree::SplitNode(Node* node, std::vector<Node*>& path) {
   first_group.reserve(total - second_group.size());
   for (std::size_t i = 0; i < total; ++i) {
     if (to_sibling[i]) {
+      // The slot changes nodes: move its registry entry (leaf records)
+      // or re-point its child (internal slots) to the sibling.
+      if (node->IsLeaf()) {
+        RetrackRecord(node->slots[i].id, node, sibling.get());
+      } else {
+        node->slots[i].child->parent = sibling.get();
+      }
       sibling->slots.push_back(std::move(node->slots[i]));
     } else {
       first_group.push_back(std::move(node->slots[i]));
@@ -391,6 +474,8 @@ void RTree::SplitNode(Node* node, std::vector<Node*>& path) {
   if (node == root_.get()) {
     auto new_root = std::make_unique<Node>();
     new_root->level = node->level + 1;
+    node->parent = new_root.get();
+    sibling->parent = new_root.get();
     Node::Slot left;
     left.box = node->BoundingBox(dims_);
     left.child = std::move(root_);
@@ -406,6 +491,7 @@ void RTree::SplitNode(Node* node, std::vector<Node*>& path) {
   // Attach the sibling to the parent; the parent may overflow in turn.
   SD_DCHECK(path.size() >= 2 && path.back() == node);
   Node* parent = path[path.size() - 2];
+  sibling->parent = parent;
   Node::Slot slot;
   slot.box = sibling->BoundingBox(dims_);
   slot.child = std::move(sibling);
@@ -442,45 +528,99 @@ Status RTree::Insert(const Mbr& box, RecordId id) {
 // Deletion
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Finds the leaf containing (box, id); fills `path` root..leaf.
-bool FindLeafImpl(RTree::Node* node, const Mbr& box, RecordId id,
-                  std::vector<RTree::Node*>* path, std::size_t* slot_index) {
-  path->push_back(node);
-  if (node->IsLeaf()) {
-    for (std::size_t i = 0; i < node->slots.size(); ++i) {
-      if (node->slots[i].id == id && node->slots[i].box == box) {
-        *slot_index = i;
-        return true;
-      }
-    }
-    path->pop_back();
-    return false;
-  }
-  for (auto& slot : node->slots) {
-    if (slot.box.Contains(box)) {
-      if (FindLeafImpl(slot.child.get(), box, id, path, slot_index)) {
-        return true;
-      }
-    }
-  }
-  path->pop_back();
-  return false;
+void RTree::TrackRecord(RecordId id, Node* leaf) {
+  record_nodes_.emplace(id, leaf);
 }
 
-}  // namespace
+void RTree::UntrackRecord(RecordId id, Node* leaf) {
+  auto range = record_nodes_.equal_range(id);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == leaf) {
+      record_nodes_.erase(it);
+      return;
+    }
+  }
+  SD_DCHECK(false);  // every tracked record has exactly one entry
+}
+
+void RTree::RetrackRecord(RecordId id, Node* from, Node* to) {
+  auto range = record_nodes_.equal_range(id);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == from) {
+      it->second = to;
+      return;
+    }
+  }
+  SD_DCHECK(false);
+}
+
+RTree::Node* RTree::LocateRecord(const Mbr& box, RecordId id,
+                                 std::size_t* slot_index) const {
+  auto range = record_nodes_.equal_range(id);
+  for (auto it = range.first; it != range.second; ++it) {
+    Node* leaf = it->second;
+    for (std::size_t i = 0; i < leaf->slots.size(); ++i) {
+      if (leaf->slots[i].id == id && leaf->slots[i].box == box) {
+        *slot_index = i;
+        return leaf;
+      }
+    }
+  }
+  return nullptr;
+}
+
+void RTree::TightenUpward(Node* leaf) {
+  // tighten_scratch_ is reused across calls: Update/Delete run once per
+  // expired-or-resealed feature box, and a fresh Mbr per ancestor level
+  // was measurable allocator traffic on the ingest hot path.
+  for (Node* node = leaf; node->parent != nullptr; node = node->parent) {
+    node->BoundingBoxInto(dims_, &tighten_scratch_);
+    for (auto& slot : node->parent->slots) {
+      if (slot.child.get() == node) {
+        if (slot.box == tighten_scratch_) return;  // ancestors already tight
+        slot.box = tighten_scratch_;
+        break;
+      }
+    }
+  }
+}
+
+Status RTree::Update(const Mbr& old_box, RecordId old_id, const Mbr& new_box,
+                     RecordId new_id) {
+  if (old_box.dims() != dims_ || new_box.dims() != dims_) {
+    return Status::InvalidArgument("box dimensionality mismatch");
+  }
+  if (new_box.empty()) {
+    return Status::InvalidArgument("cannot index an empty box");
+  }
+  std::size_t slot_index = 0;
+  Node* leaf = LocateRecord(old_box, old_id, &slot_index);
+  if (leaf == nullptr) return Status::NotFound("record not present");
+  leaf->slots[slot_index].box = new_box;
+  if (old_id != new_id) {
+    leaf->slots[slot_index].id = new_id;
+    UntrackRecord(old_id, leaf);
+    TrackRecord(new_id, leaf);
+  }
+  TightenUpward(leaf);
+  return Status::OK();
+}
 
 Status RTree::Delete(const Mbr& box, RecordId id) {
   if (box.dims() != dims_) {
     return Status::InvalidArgument("box dimensionality mismatch");
   }
-  std::vector<Node*> path;
   std::size_t slot_index = 0;
-  if (!FindLeafImpl(root_.get(), box, id, &path, &slot_index)) {
-    return Status::NotFound("record not present");
+  Node* leaf = LocateRecord(box, id, &slot_index);
+  if (leaf == nullptr) return Status::NotFound("record not present");
+  // Rebuild the root-to-leaf path from the parent chain; the condense
+  // walk below needs it bottom-up.
+  std::vector<Node*> path;
+  for (Node* node = leaf; node != nullptr; node = node->parent) {
+    path.push_back(node);
   }
-  Node* leaf = path.back();
+  std::reverse(path.begin(), path.end());
+  UntrackRecord(id, leaf);
   leaf->slots.erase(leaf->slots.begin() +
                     static_cast<std::ptrdiff_t>(slot_index));
   --size_;
@@ -493,6 +633,10 @@ Status RTree::Delete(const Mbr& box, RecordId id) {
     Node* parent = path[i - 1];
     if (node->slots.size() < options_.min_entries) {
       for (auto& slot : node->slots) {
+        // Leaf records leave their node; they re-track on reinsertion.
+        // Orphaned subtrees keep their internal registry entries (their
+        // leaves move wholesale) and are re-parented on reinsertion.
+        if (node->IsLeaf()) UntrackRecord(slot.id, node);
         orphans.emplace_back(std::move(slot), node->level);
       }
       for (std::size_t j = 0; j < parent->slots.size(); ++j) {
@@ -503,18 +647,26 @@ Status RTree::Delete(const Mbr& box, RecordId id) {
         }
       }
     } else {
+      bool changed = false;
       for (auto& slot : parent->slots) {
         if (slot.child.get() == node) {
-          slot.box = node->BoundingBox(dims_);
+          Mbr tightened = node->BoundingBox(dims_);
+          changed = !(slot.box == tightened);
+          if (changed) slot.box = std::move(tightened);
           break;
         }
       }
+      // A surviving node with an unchanged box cannot affect anything
+      // above it: ancestors keep their slot counts and their boxes are
+      // unions over unchanged inputs.
+      if (!changed) break;
     }
   }
 
   // Shrink the root while it is an internal node with a single child.
   while (!root_->IsLeaf() && root_->slots.size() == 1) {
     root_ = std::move(root_->slots[0].child);
+    root_->parent = nullptr;
   }
   if (!root_->IsLeaf() && root_->slots.empty()) {
     root_ = std::make_unique<Node>();
@@ -531,6 +683,7 @@ Status RTree::Delete(const Mbr& box, RecordId id) {
       // The tree shrank below this subtree's height: splice its entries.
       std::vector<Node::Slot> pending;
       for (auto& s : slot.child->slots) {
+        if (slot.child->IsLeaf()) UntrackRecord(s.id, slot.child.get());
         pending.push_back(std::move(s));
       }
       for (auto& s : pending) {
@@ -675,6 +828,7 @@ namespace {
 
 Status CheckNode(const RTree::Node* node, std::size_t dims,
                  const RTreeOptions& options, bool is_root,
+                 const std::unordered_multimap<RecordId, RTree::Node*>& registry,
                  std::size_t* record_count) {
   if (!is_root && node->slots.size() < options.min_entries) {
     return Status::Internal("underfull node");
@@ -687,6 +841,15 @@ Status CheckNode(const RTree::Node* node, std::size_t dims,
       if (slot.child != nullptr) {
         return Status::Internal("leaf slot has a child");
       }
+      // Every record must be registered to exactly the leaf holding it.
+      const auto range = registry.equal_range(slot.id);
+      bool tracked = false;
+      for (auto it = range.first; it != range.second && !tracked; ++it) {
+        tracked = it->second == node;
+      }
+      if (!tracked) {
+        return Status::Internal("record not registered to its leaf");
+      }
       ++*record_count;
     } else {
       if (slot.child == nullptr) {
@@ -695,12 +858,15 @@ Status CheckNode(const RTree::Node* node, std::size_t dims,
       if (slot.child->level + 1 != node->level) {
         return Status::Internal("level mismatch between parent and child");
       }
+      if (slot.child->parent != node) {
+        return Status::Internal("child's parent pointer is stale");
+      }
       const Mbr expect = slot.child->BoundingBox(dims);
       if (!(slot.box == expect)) {
         return Status::Internal("parent slot box does not match child");
       }
-      SD_RETURN_NOT_OK(
-          CheckNode(slot.child.get(), dims, options, false, record_count));
+      SD_RETURN_NOT_OK(CheckNode(slot.child.get(), dims, options, false,
+                                 registry, record_count));
     }
   }
   return Status::OK();
@@ -709,12 +875,21 @@ Status CheckNode(const RTree::Node* node, std::size_t dims,
 }  // namespace
 
 Status RTree::CheckInvariants() const {
+  if (root_->parent != nullptr) {
+    return Status::Internal("root has a parent pointer");
+  }
   std::size_t record_count = 0;
-  SD_RETURN_NOT_OK(
-      CheckNode(root_.get(), dims_, options_, true, &record_count));
+  SD_RETURN_NOT_OK(CheckNode(root_.get(), dims_, options_, true, record_nodes_,
+                             &record_count));
   if (record_count != size_) {
     std::ostringstream os;
     os << "size mismatch: counted " << record_count << ", tracked " << size_;
+    return Status::Internal(os.str());
+  }
+  if (record_nodes_.size() != size_) {
+    std::ostringstream os;
+    os << "registry mismatch: " << record_nodes_.size() << " entries, "
+       << size_ << " records";
     return Status::Internal(os.str());
   }
   return Status::OK();

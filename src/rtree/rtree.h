@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -84,8 +85,24 @@ class RTree {
   Status Insert(const Mbr& box, RecordId id);
 
   /// Removes the record with the given id whose stored box equals `box`.
-  /// Returns NotFound if no such record exists.
+  /// Returns NotFound if no such record exists. The leaf holding the
+  /// record is located through a record registry (id -> leaf), so the
+  /// cost is independent of how heavily the indexed boxes overlap —
+  /// point-heavy workloads previously degenerated to scanning every
+  /// subtree whose box contained the target.
   Status Delete(const Mbr& box, RecordId id);
+
+  /// Replaces the record (old_box, old_id) with (new_box, new_id) without
+  /// restructuring the tree: the leaf slot is rewritten in place and only
+  /// the ancestor bounding boxes are recomputed (O(height)). Equivalent to
+  /// Delete(old_box, old_id) + Insert(new_box, new_id) except that the
+  /// record keeps its leaf, so no condense/reinsert churn happens. The
+  /// incremental-maintenance path for indexes that replace records at a
+  /// steady rate (a stream's expiring box replaced by its newest one, the
+  /// correlator's per-level indexes tracking drifting features). Returns
+  /// NotFound when (old_box, old_id) is not present.
+  Status Update(const Mbr& old_box, RecordId old_id, const Mbr& new_box,
+                RecordId new_id);
 
   /// Collects all records whose box intersects `query`.
   void SearchIntersects(const Mbr& query,
@@ -130,11 +147,34 @@ class RTree {
   void Reinsert(Node* node, std::vector<Node*>& path,
                 std::vector<bool>* reinserted);
   void AdjustBoxesUpward(std::vector<Node*>& path);
+  /// Insert-path variant of AdjustBoxesUpward: grows ancestor slot boxes
+  /// by `box` in place (no recompute, no allocation), stopping at the
+  /// first ancestor that already contains it.
+  void ExpandUpward(std::vector<Node*>& path, const Mbr& box);
+  /// Record-registry maintenance: every leaf record has one entry mapping
+  /// its id to the leaf currently holding it (a multimap because the API
+  /// allows duplicate ids with distinct boxes).
+  void TrackRecord(RecordId id, Node* leaf);
+  void UntrackRecord(RecordId id, Node* leaf);
+  void RetrackRecord(RecordId id, Node* from, Node* to);
+  /// Leaf currently holding (box, id), or null. `slot_index` receives the
+  /// matching slot.
+  Node* LocateRecord(const Mbr& box, RecordId id,
+                     std::size_t* slot_index) const;
+  /// Recomputes ancestor bounding boxes from `leaf` to the root, stopping
+  /// early once a parent box is unchanged.
+  void TightenUpward(Node* leaf);
 
   std::size_t dims_;
   RTreeOptions options_;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
+  /// Reusable extent buffer for TightenUpward (allocation-free recompute
+  /// of ancestor boxes on the Update/Delete path).
+  Mbr tighten_scratch_;
+  /// id -> leaf registry backing Delete/Update (and their O(height)
+  /// cost independent of box overlap).
+  std::unordered_multimap<RecordId, Node*> record_nodes_;
 };
 
 }  // namespace stardust
