@@ -18,11 +18,20 @@
 //   stardust_cli subscribe --tcp host:port [--id name] [--resume seq]
 //                          [--count n] [--idle-timeout ms]
 //   stardust_cli ingest    <data.csv|-> --port p [--host h] [--batch n]
+//   stardust_cli run       <scenario.yaml> [--verbose 1]
+//
+// `run` replays a declarative scenario (docs/DSL.md): the file describes
+// the engine shape, the monitors (exact aggregates and sketch measures
+// with their assess ranges), the input tuples, and the expected alert
+// counts. Exit status 0 means every expectation held; a violated bound
+// prints the failing monitors and exits 1. --verbose 1 additionally
+// streams each alert as a JSON line on stdout.
 //
 // `ingest` streams CSV rows (column c -> stream c) to a running
 // stardust_server over the binary frame protocol (docs/NETWORK.md).
-// Malformed lines are reported on stderr with their line number and
-// skipped — the run keeps going instead of aborting. `-` reads stdin.
+// Malformed lines are reported on stderr with the input name and line
+// number and skipped — the run keeps going instead of aborting. `-`
+// reads stdin.
 //
 // `subscribe --tcp` attaches to a running stardust_server as a durable
 // subscriber: every alert arrives as one JSON line on stdout and is
@@ -59,6 +68,7 @@
 #include <thread>
 
 #include "core/aggregate_monitor.h"
+#include "dsl/scenario.h"
 #include "core/correlation_monitor.h"
 #include "core/pattern_query.h"
 #include "core/surprise_monitor.h"
@@ -396,6 +406,42 @@ int RunAdvise(const Args& args) {
 
 /// TCP producer: CSV rows in, Batch frames out (docs/NETWORK.md).
 /// Malformed lines are diagnosed with their line number and skipped.
+/// Workload harness: replay a declarative scenario and assert its
+/// expected alerts (src/dsl, docs/DSL.md).
+int RunScenarioFile(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "run: missing <scenario.yaml>\n");
+    return 2;
+  }
+  Result<dsl::ScenarioDef> scenario =
+      dsl::LoadScenarioFile(args.positional[0]);
+  if (!scenario.ok()) return Fail(scenario.status());
+  std::function<void(const Alert&)> on_alert;
+  if (args.GetSize("verbose", 0) != 0) {
+    on_alert = [](const Alert& alert) {
+      std::printf("%s\n", AlertToJson(alert).c_str());
+      std::fflush(stdout);
+    };
+  }
+  Result<dsl::ScenarioReport> report =
+      dsl::RunScenario(scenario.value(), on_alert);
+  if (!report.ok()) return Fail(report.status());
+  std::fprintf(stderr, "scenario '%s': %zu stream(s), %zu row(s), "
+               "%zu monitor(s)\n",
+               scenario.value().name.c_str(), scenario.value().streams,
+               scenario.value().rows.size(),
+               scenario.value().monitors.size());
+  for (const dsl::MonitorAlertCount& count : report.value().monitors) {
+    std::fprintf(stderr, "  monitor %s: %llu alert(s)\n",
+                 count.name.c_str(),
+                 static_cast<unsigned long long>(count.alerts));
+  }
+  std::fprintf(stderr, "  %llu alert(s) total, expectations met\n",
+               static_cast<unsigned long long>(
+                   report.value().total_alerts));
+  return 0;
+}
+
 int RunIngest(const Args& args) {
   if (args.positional.empty()) {
     std::fprintf(stderr, "ingest: missing <data.csv|->\n");
@@ -444,6 +490,9 @@ int RunIngest(const Args& args) {
     return Status::OK();
   };
 
+  // Name the input in diagnostics so interleaved feeds stay attributable.
+  const std::string input_name =
+      args.positional[0] == "-" ? "stdin" : args.positional[0];
   std::string line;
   std::vector<double> row;
   std::size_t line_no = 0;
@@ -455,8 +504,8 @@ int RunIngest(const Args& args) {
     if (!parsed.ok()) {
       // Diagnose and keep going — one bad line must not kill a feed.
       ++malformed;
-      std::fprintf(stderr, "ingest: line %zu: %s (skipped)\n", line_no,
-                   parsed.message().c_str());
+      std::fprintf(stderr, "ingest: %s:%zu: %s (skipped)\n",
+                   input_name.c_str(), line_no, parsed.message().c_str());
       continue;
     }
     for (std::size_t s = 0; s < row.size(); ++s) {
@@ -694,7 +743,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: stardust_cli "
-      "<monitor|patterns|correlate|advise|surprise|subscribe|ingest> ...\n"
+      "<monitor|patterns|correlate|advise|surprise|subscribe|ingest|run> "
+      "...\n"
       "see the header of examples/stardust_cli.cpp for options\n");
   return 2;
 }
@@ -712,5 +762,6 @@ int main(int argc, char** argv) {
   if (command == "surprise") return RunSurprise(args);
   if (command == "subscribe") return RunSubscribe(args);
   if (command == "ingest") return RunIngest(args);
+  if (command == "run") return RunScenarioFile(args);
   return Usage();
 }

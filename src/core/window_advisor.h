@@ -23,7 +23,7 @@
 #include "common/status.h"
 #include "core/config.h"
 #include "transform/aggregate.h"
-#include "transform/quantile.h"
+#include "sketch/quantile.h"
 #include "transform/regression.h"
 
 namespace stardust {

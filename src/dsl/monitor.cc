@@ -1,0 +1,343 @@
+#include "dsl/monitor.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace stardust::dsl {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Shortest decimal form that strtod parses back to the exact value.
+std::string FormatNumber(double v) {
+  char buf[64];
+  for (int prec = 6; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string FormatBound(double v) {
+  if (std::isinf(v)) return v < 0 ? "-inf" : "inf";
+  return FormatNumber(v);
+}
+
+Result<double> ParseBound(const std::string& text) {
+  const std::string t = Trim(text);
+  if (t == "inf" || t == "+inf") {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (t == "-inf") return -std::numeric_limits<double>::infinity();
+  if (t.empty()) return Status::InvalidArgument("empty range bound");
+  char* end = nullptr;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size()) {
+    return Status::InvalidArgument("not a number: '" + t + "'");
+  }
+  return v;
+}
+
+Status ExpectScalar(const TextNode& node, const std::string& source) {
+  if (node.kind != TextNode::Kind::kScalar || node.literal_block) {
+    return TextError(source, node.line, node.col,
+                     "expected a scalar value");
+  }
+  return Status::OK();
+}
+
+AggregateKind* ExactMeasureKind(const std::string& measure,
+                                AggregateKind* out) {
+  if (measure == "sum") {
+    *out = AggregateKind::kSum;
+  } else if (measure == "max") {
+    *out = AggregateKind::kMax;
+  } else if (measure == "min") {
+    *out = AggregateKind::kMin;
+  } else if (measure == "spread") {
+    *out = AggregateKind::kSpread;
+  } else {
+    return nullptr;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool IsSketchMeasure(const std::string& measure) {
+  return measure == "distinct" || measure == "heavy_hitters" ||
+         measure == "quantile";
+}
+
+Result<AssessRange> ParseAssessRange(const std::string& text) {
+  const std::string t = Trim(text);
+  if (t.empty()) return Status::InvalidArgument("empty assess range");
+  AssessRange range;
+  if (t[0] == '>' || t[0] == '<') {
+    const bool inclusive = t.size() > 1 && t[1] == '=';
+    Result<double> bound = ParseBound(t.substr(inclusive ? 2 : 1));
+    if (!bound.ok()) return bound.status();
+    if (t[0] == '>') {
+      range.lo = bound.value();
+      range.lo_inclusive = inclusive;
+    } else {
+      range.hi = bound.value();
+      range.hi_inclusive = inclusive;
+    }
+  } else if (t[0] == '[' || t[0] == '(') {
+    if (t.size() < 2 || (t.back() != ']' && t.back() != ')')) {
+      return Status::InvalidArgument(
+          "assess interval must end with ']' or ')'");
+    }
+    const std::string body = t.substr(1, t.size() - 2);
+    const std::size_t comma = body.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument(
+          "assess interval wants 'lo, hi' bounds");
+    }
+    Result<double> lo = ParseBound(body.substr(0, comma));
+    if (!lo.ok()) return lo.status();
+    Result<double> hi = ParseBound(body.substr(comma + 1));
+    if (!hi.ok()) return hi.status();
+    range.lo = lo.value();
+    range.hi = hi.value();
+    range.lo_inclusive = t[0] == '[';
+    range.hi_inclusive = t.back() == ']';
+  } else {
+    return Status::InvalidArgument(
+        "assess range wants '[lo, hi]' (or '(', ')') or a comparator "
+        "'>x' '>=x' '<x' '<=x'");
+  }
+  SD_RETURN_NOT_OK(range.Validate());
+  return range;
+}
+
+std::string FormatAssessRange(const AssessRange& range) {
+  std::string out;
+  out += range.lo_inclusive ? '[' : '(';
+  out += FormatBound(range.lo);
+  out += ", ";
+  out += FormatBound(range.hi);
+  out += range.hi_inclusive ? ']' : ')';
+  return out;
+}
+
+std::string FormatMonitor(const MonitorDef& def) {
+  std::string out;
+  char buf[96];
+  out += "- name: " + def.name + "\n";
+  out += "  measure: " + def.measure + "\n";
+  std::snprintf(buf, sizeof(buf), "  window: %zu\n", def.window);
+  out += buf;
+  out += "  assess: \"" + FormatAssessRange(def.assess) + "\"\n";
+  if (def.alert_rate > 0.0) {
+    out += "  alert_rate: " + FormatNumber(def.alert_rate) + "\n";
+    std::snprintf(buf, sizeof(buf), "  alert_burst: %llu\n",
+                  static_cast<unsigned long long>(def.alert_burst));
+    out += buf;
+  }
+  if (IsSketchMeasure(def.measure)) {
+    std::snprintf(buf, sizeof(buf), "  buckets: %zu\n", def.buckets);
+    out += buf;
+    if (def.measure == "distinct") {
+      std::snprintf(buf, sizeof(buf), "  precision: %zu\n", def.precision);
+      out += buf;
+    } else if (def.measure == "heavy_hitters") {
+      out += "  epsilon: " + FormatNumber(def.epsilon) + "\n";
+      std::snprintf(buf, sizeof(buf), "  depth: %zu\n", def.depth);
+      out += buf;
+      out += "  phi: " + FormatNumber(def.phi) + "\n";
+      std::snprintf(buf, sizeof(buf), "  candidates: %zu\n",
+                    def.candidates);
+      out += buf;
+    } else {
+      out += "  q: " + FormatNumber(def.q) + "\n";
+    }
+  }
+  return out;
+}
+
+Result<double> ScalarDouble(const TextNode& node,
+                            const std::string& source) {
+  SD_RETURN_NOT_OK(ExpectScalar(node, source));
+  char* end = nullptr;
+  const std::string t = Trim(node.scalar);
+  const double v = t.empty() ? 0.0 : std::strtod(t.c_str(), &end);
+  if (t.empty() || end != t.c_str() + t.size()) {
+    return TextError(source, node.line, node.col,
+                     "not a number: '" + node.scalar + "'");
+  }
+  return v;
+}
+
+Result<std::size_t> ScalarSize(const TextNode& node,
+                               const std::string& source) {
+  SD_RETURN_NOT_OK(ExpectScalar(node, source));
+  const std::string t = Trim(node.scalar);
+  for (char c : t) {
+    if (c < '0' || c > '9') {
+      return TextError(source, node.line, node.col,
+                       "not a non-negative integer: '" + node.scalar +
+                           "'");
+    }
+  }
+  if (t.empty() || t.size() > 19) {
+    return TextError(source, node.line, node.col,
+                     "not a non-negative integer: '" + node.scalar + "'");
+  }
+  return static_cast<std::size_t>(std::strtoull(t.c_str(), nullptr, 10));
+}
+
+Result<std::string> ScalarString(const TextNode& node,
+                                 const std::string& source) {
+  SD_RETURN_NOT_OK(ExpectScalar(node, source));
+  return node.scalar;
+}
+
+Result<MonitorDef> MonitorFromNode(const TextNode& node,
+                                   const std::string& source) {
+  if (node.kind != TextNode::Kind::kMap) {
+    return TextError(source, node.line, node.col,
+                     "monitor must be a map of 'key: value' entries");
+  }
+  MonitorDef def;
+  bool have_assess = false;
+  for (const auto& [key, value] : node.entries) {
+    if (key == "name") {
+      Result<std::string> v = ScalarString(value, source);
+      if (!v.ok()) return v.status();
+      def.name = v.value();
+    } else if (key == "measure") {
+      Result<std::string> v = ScalarString(value, source);
+      if (!v.ok()) return v.status();
+      def.measure = v.value();
+      AggregateKind exact;
+      if (!IsSketchMeasure(def.measure) &&
+          ExactMeasureKind(def.measure, &exact) == nullptr) {
+        return TextError(source, value.line, value.col,
+                         "unknown measure '" + def.measure +
+                             "' (sum, max, min, spread, distinct, "
+                             "heavy_hitters, quantile)");
+      }
+    } else if (key == "window") {
+      Result<std::size_t> v = ScalarSize(value, source);
+      if (!v.ok()) return v.status();
+      def.window = v.value();
+    } else if (key == "assess") {
+      Result<std::string> v = ScalarString(value, source);
+      if (!v.ok()) return v.status();
+      Result<AssessRange> range = ParseAssessRange(v.value());
+      if (!range.ok()) {
+        return TextError(source, value.line, value.col,
+                         range.status().message());
+      }
+      def.assess = range.value();
+      have_assess = true;
+    } else if (key == "alert_rate") {
+      Result<double> v = ScalarDouble(value, source);
+      if (!v.ok()) return v.status();
+      def.alert_rate = v.value();
+    } else if (key == "alert_burst") {
+      Result<std::size_t> v = ScalarSize(value, source);
+      if (!v.ok()) return v.status();
+      def.alert_burst = v.value();
+    } else if (key == "buckets") {
+      Result<std::size_t> v = ScalarSize(value, source);
+      if (!v.ok()) return v.status();
+      def.buckets = v.value();
+    } else if (key == "precision") {
+      Result<std::size_t> v = ScalarSize(value, source);
+      if (!v.ok()) return v.status();
+      def.precision = v.value();
+    } else if (key == "epsilon") {
+      Result<double> v = ScalarDouble(value, source);
+      if (!v.ok()) return v.status();
+      def.epsilon = v.value();
+    } else if (key == "depth") {
+      Result<std::size_t> v = ScalarSize(value, source);
+      if (!v.ok()) return v.status();
+      def.depth = v.value();
+    } else if (key == "phi") {
+      Result<double> v = ScalarDouble(value, source);
+      if (!v.ok()) return v.status();
+      def.phi = v.value();
+    } else if (key == "candidates") {
+      Result<std::size_t> v = ScalarSize(value, source);
+      if (!v.ok()) return v.status();
+      def.candidates = v.value();
+    } else if (key == "q") {
+      Result<double> v = ScalarDouble(value, source);
+      if (!v.ok()) return v.status();
+      def.q = v.value();
+    } else {
+      return TextError(source, value.line, value.col,
+                       "unknown monitor key '" + key + "'");
+    }
+  }
+  if (def.name.empty()) {
+    return TextError(source, node.line, node.col,
+                     "monitor needs a 'name'");
+  }
+  if (def.measure.empty()) {
+    return TextError(source, node.line, node.col,
+                     "monitor '" + def.name + "' needs a 'measure'");
+  }
+  if (def.window == 0) {
+    return TextError(source, node.line, node.col,
+                     "monitor '" + def.name + "' needs a 'window' >= 1");
+  }
+  if (!have_assess) {
+    return TextError(source, node.line, node.col,
+                     "monitor '" + def.name + "' needs an 'assess' range");
+  }
+  return def;
+}
+
+Result<QuerySpec> CompileMonitor(const MonitorDef& def,
+                                 AggregateKind engine_kind) {
+  const auto fail = [&def](const std::string& message) {
+    return Status::InvalidArgument("monitor '" + def.name + "': " +
+                                   message);
+  };
+  const Status assess_ok = def.assess.Validate();
+  if (!assess_ok.ok()) return fail(assess_ok.message());
+  if (!IsSketchMeasure(def.measure)) {
+    AggregateKind kind;
+    if (ExactMeasureKind(def.measure, &kind) == nullptr) {
+      return fail("unknown measure '" + def.measure + "'");
+    }
+    if (kind != engine_kind) {
+      return fail("measures " + def.measure +
+                  " but the engine's exact aggregate is " +
+                  std::string(AggregateKindName(engine_kind)));
+    }
+    QuerySpec spec = QuerySpec::AggregateRange(def.window, def.assess);
+    return spec.WithAlertRate(def.alert_rate, def.alert_burst);
+  }
+  SketchConfig config;
+  config.kind = def.measure == "distinct"        ? SketchKind::kDistinct
+                : def.measure == "heavy_hitters" ? SketchKind::kHeavyHitters
+                                                 : SketchKind::kQuantile;
+  config.window = def.window;
+  config.buckets = def.buckets;
+  config.hll_precision = def.precision;
+  config.epsilon = def.epsilon;
+  config.depth = def.depth;
+  config.phi = def.phi;
+  config.candidates = def.candidates;
+  config.q = def.q;
+  const Status config_ok = config.Validate();
+  if (!config_ok.ok()) return fail(config_ok.message());
+  QuerySpec spec = QuerySpec::Sketch(config, def.assess);
+  return spec.WithAlertRate(def.alert_rate, def.alert_burst);
+}
+
+}  // namespace stardust::dsl

@@ -1,0 +1,362 @@
+#include "dsl/text.h"
+
+#include <cstdio>
+
+namespace stardust::dsl {
+
+namespace {
+
+/// One physical line: the raw text (for literal blocks, which must keep
+/// `#` and trailing spaces) and the comment-stripped view the structural
+/// parser reads.
+struct Line {
+  std::string raw;
+  std::string text;       // comment stripped, right-trimmed
+  std::size_t indent = 0;  // first non-space index into `text`
+  std::size_t line_no = 0;
+  bool blank = false;      // nothing but whitespace/comment
+};
+
+bool IsSpaceOnly(const std::string& s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+/// Strips a trailing `# comment` (only when the '#' starts the content or
+/// follows whitespace, and is outside double quotes) and right-trims.
+std::string StripComment(const std::string& raw) {
+  bool in_quotes = false;
+  std::size_t end = raw.size();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (c == '#' && !in_quotes &&
+        (i == 0 || raw[i - 1] == ' ' || raw[i - 1] == '\t')) {
+      end = i;
+      break;
+    }
+  }
+  while (end > 0 && (raw[end - 1] == ' ' || raw[end - 1] == '\t' ||
+                     raw[end - 1] == '\r')) {
+    --end;
+  }
+  return raw.substr(0, end);
+}
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string source)
+      : source_(std::move(source)) {
+    std::size_t start = 0;
+    std::size_t line_no = 1;
+    while (start <= text.size()) {
+      std::size_t nl = text.find('\n', start);
+      const std::size_t len =
+          (nl == std::string::npos ? text.size() : nl) - start;
+      Line line;
+      line.raw = text.substr(start, len);
+      if (!line.raw.empty() && line.raw.back() == '\r') line.raw.pop_back();
+      line.text = StripComment(line.raw);
+      line.line_no = line_no;
+      line.blank = IsSpaceOnly(line.text);
+      if (!line.blank) {
+        line.indent = line.text.find_first_not_of(' ');
+      }
+      lines_.push_back(std::move(line));
+      if (nl == std::string::npos) break;
+      start = nl + 1;
+      ++line_no;
+    }
+  }
+
+  Result<TextNode> Parse() {
+    SkipBlank();
+    if (pos_ >= lines_.size()) {
+      return TextError(source_, 1, 1, "empty document");
+    }
+    const Line& first = lines_[pos_];
+    if (first.indent != 0) {
+      return TextError(source_, first.line_no, first.indent + 1,
+                       "top-level content must start in column 1");
+    }
+    Result<TextNode> root = ParseBlock(0);
+    if (!root.ok()) return root.status();
+    SkipBlank();
+    if (pos_ < lines_.size()) {
+      const Line& extra = lines_[pos_];
+      return TextError(source_, extra.line_no, extra.indent + 1,
+                       "unexpected content after document");
+    }
+    if (root.value().kind == TextNode::Kind::kScalar) {
+      return TextError(source_, first.line_no, 1,
+                       "top-level must be a map or a list");
+    }
+    return root;
+  }
+
+ private:
+  void SkipBlank() {
+    while (pos_ < lines_.size() && lines_[pos_].blank) ++pos_;
+  }
+
+  Status IndentError(const Line& line) const {
+    return TextError(source_, line.line_no, line.indent + 1,
+                     "unexpected indentation");
+  }
+
+  /// Parses the block whose first significant line sits at exactly
+  /// `indent`; consumes every line belonging to it.
+  Result<TextNode> ParseBlock(std::size_t indent) {
+    SkipBlank();
+    const Line& first = lines_[pos_];
+    if (first.text[first.indent] == '\t') {
+      return TextError(source_, first.line_no, first.indent + 1,
+                       "tab in indentation");
+    }
+    const bool is_list =
+        first.text[indent] == '-' &&
+        (first.text.size() == indent + 1 || first.text[indent + 1] == ' ');
+    if (is_list) return ParseList(indent);
+    // A line with no top-level colon is a bare scalar block (a scalar
+    // list item after the '-' rewrite); maps require 'key: value'.
+    bool in_quotes = false;
+    bool has_colon = false;
+    for (std::size_t i = indent; i < first.text.size(); ++i) {
+      if (first.text[i] == '"') in_quotes = !in_quotes;
+      if (first.text[i] == ':' && !in_quotes) {
+        has_colon = true;
+        break;
+      }
+    }
+    if (!has_colon) {
+      const std::size_t line_no = first.line_no;
+      const std::string rest = first.text.substr(indent);
+      ++pos_;
+      return ParseScalar(rest, line_no, indent + 1);
+    }
+    return ParseMap(indent);
+  }
+
+  Result<TextNode> ParseList(std::size_t indent) {
+    TextNode node;
+    node.kind = TextNode::Kind::kList;
+    node.line = lines_[pos_].line_no;
+    node.col = indent + 1;
+    for (;;) {
+      SkipBlank();
+      if (pos_ >= lines_.size()) break;
+      Line& line = lines_[pos_];
+      if (line.indent < indent) break;       // block ends
+      if (line.indent > indent) return IndentError(line);
+      if (line.text[indent] == '\t') {
+        return TextError(source_, line.line_no, indent + 1,
+                         "tab in indentation");
+      }
+      if (line.text[indent] != '-') break;   // sibling map key ends the list
+      if (line.text.size() > indent + 1 && line.text[indent + 1] != ' ') {
+        return TextError(source_, line.line_no, indent + 2,
+                         "expected a space after '-'");
+      }
+      // Rewrite "- item..." as "  item..." in place: the item then parses
+      // as an ordinary block at indent+2, and source columns stay true.
+      line.text[indent] = ' ';
+      line.blank = IsSpaceOnly(line.text);
+      if (!line.blank) {
+        line.indent = line.text.find_first_not_of(' ');
+        if (line.indent != indent + 2) {
+          return TextError(source_, line.line_no, line.indent + 1,
+                           "list item must start two columns after '-'");
+        }
+      } else {
+        ++pos_;  // bare "-": the item is the following deeper block
+        SkipBlank();
+        if (pos_ >= lines_.size() || lines_[pos_].indent <= indent) {
+          return TextError(source_, line.line_no, indent + 1,
+                           "empty list item");
+        }
+        if (lines_[pos_].indent < indent + 2) {
+          return IndentError(lines_[pos_]);
+        }
+      }
+      Result<TextNode> item = ParseBlock(lines_[pos_].indent);
+      if (!item.ok()) return item.status();
+      node.items.push_back(std::move(item.value()));
+    }
+    return node;
+  }
+
+  Result<TextNode> ParseMap(std::size_t indent) {
+    TextNode node;
+    node.kind = TextNode::Kind::kMap;
+    node.line = lines_[pos_].line_no;
+    node.col = indent + 1;
+    for (;;) {
+      SkipBlank();
+      if (pos_ >= lines_.size()) break;
+      const Line& line = lines_[pos_];
+      if (line.indent < indent) break;  // block ends
+      if (line.indent > indent) return IndentError(line);
+      if (line.text[indent] == '\t') {
+        return TextError(source_, line.line_no, indent + 1,
+                         "tab in indentation");
+      }
+      if (line.text[indent] == '-') break;  // parent list continues
+      // Split "key: value" at the first ':' outside quotes.
+      std::size_t colon = std::string::npos;
+      bool in_quotes = false;
+      for (std::size_t i = indent; i < line.text.size(); ++i) {
+        const char c = line.text[i];
+        if (c == '"') in_quotes = !in_quotes;
+        if (c == ':' && !in_quotes) {
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string::npos || colon == indent) {
+        return TextError(source_, line.line_no, indent + 1,
+                         "expected 'key: value'");
+      }
+      std::string key = line.text.substr(indent, colon - indent);
+      while (!key.empty() && key.back() == ' ') key.pop_back();
+      if (key.find('"') != std::string::npos) {
+        return TextError(source_, line.line_no, indent + 1,
+                         "quoted keys are not supported");
+      }
+      for (const auto& entry : node.entries) {
+        if (entry.first == key) {
+          return TextError(source_, line.line_no, indent + 1,
+                           "duplicate key '" + key + "'");
+        }
+      }
+      std::size_t value_at = colon + 1;
+      while (value_at < line.text.size() && line.text[value_at] == ' ') {
+        ++value_at;
+      }
+      const std::string rest = line.text.substr(value_at);
+      const std::size_t key_line = line.line_no;
+      ++pos_;
+      Result<TextNode> value =
+          rest.empty()  ? ParseNestedValue(key, key_line, indent)
+          : rest == "|" ? ParseLiteralBlock(key_line, indent)
+                        : ParseScalar(rest, key_line, value_at + 1);
+      if (!value.ok()) return value.status();
+      node.entries.emplace_back(std::move(key), std::move(value.value()));
+    }
+    return node;
+  }
+
+  Result<TextNode> ParseNestedValue(const std::string& key,
+                                    std::size_t key_line,
+                                    std::size_t indent) {
+    SkipBlank();
+    if (pos_ < lines_.size()) {
+      const Line& next = lines_[pos_];
+      // YAML idiom: a list under a key may sit at the key's own indent.
+      if (next.indent == indent && next.text[indent] == '-' &&
+          (next.text.size() == indent + 1 ||
+           next.text[indent + 1] == ' ')) {
+        return ParseList(indent);
+      }
+      if (next.indent > indent) return ParseBlock(next.indent);
+    }
+    return TextError(source_, key_line, indent + 1,
+                     "missing value for key '" + key + "'");
+  }
+
+  Result<TextNode> ParseScalar(const std::string& rest, std::size_t line_no,
+                               std::size_t col) {
+    TextNode node;
+    node.kind = TextNode::Kind::kScalar;
+    node.line = line_no;
+    node.col = col;
+    if (rest.front() == '"') {
+      if (rest.size() < 2 || rest.back() != '"') {
+        return TextError(source_, line_no, col,
+                         "unterminated quoted scalar");
+      }
+      node.scalar = rest.substr(1, rest.size() - 2);
+      if (node.scalar.find('"') != std::string::npos) {
+        return TextError(source_, line_no, col,
+                         "embedded quote in quoted scalar");
+      }
+    } else {
+      node.scalar = rest;
+    }
+    return node;
+  }
+
+  /// `key: |` — collects every following raw line indented past the key
+  /// (blank lines included), dedents by the first content line's indent,
+  /// and joins with '\n'.
+  Result<TextNode> ParseLiteralBlock(std::size_t key_line,
+                                     std::size_t indent) {
+    std::size_t block_indent = 0;
+    bool have_indent = false;
+    std::vector<const Line*> block;
+    while (pos_ < lines_.size()) {
+      const Line& line = lines_[pos_];
+      if (!line.blank && line.raw.find_first_not_of(' ') <= indent) break;
+      if (!line.blank && !have_indent) {
+        block_indent = line.raw.find_first_not_of(' ');
+        have_indent = true;
+      }
+      block.push_back(&line);
+      ++pos_;
+    }
+    // Trailing blank lines belong to the document, not the block.
+    while (!block.empty() && block.back()->blank) {
+      block.pop_back();
+      --pos_;
+    }
+    if (!have_indent) {
+      return TextError(source_, key_line, indent + 1,
+                       "empty literal block");
+    }
+    TextNode node;
+    node.kind = TextNode::Kind::kScalar;
+    node.literal_block = true;
+    node.line = block.front()->line_no;
+    node.col = block_indent + 1;
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (i != 0) node.scalar += '\n';
+      const std::string& raw = block[i]->raw;
+      if (IsSpaceOnly(raw)) continue;  // blank -> empty line
+      const std::size_t at = raw.find_first_not_of(' ');
+      if (at < block_indent) {
+        return TextError(source_, block[i]->line_no, at + 1,
+                         "literal block line dedents past the block");
+      }
+      node.scalar += raw.substr(block_indent);
+    }
+    return node;
+  }
+
+  std::string source_;
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const TextNode* TextNode::Get(const std::string& key) const {
+  for (const auto& entry : entries) {
+    if (entry.first == key) return &entry.second;
+  }
+  return nullptr;
+}
+
+Status TextError(const std::string& source, std::size_t line,
+                 std::size_t col, const std::string& message) {
+  char pos[64];
+  std::snprintf(pos, sizeof(pos), ":%zu:%zu: ", line, col);
+  return Status::InvalidArgument(source + pos + message);
+}
+
+Result<TextNode> ParseTextDocument(const std::string& text,
+                                   const std::string& source) {
+  return Parser(text, source).Parse();
+}
+
+}  // namespace stardust::dsl

@@ -1,0 +1,58 @@
+// Position-aware parser for the monitor DSL's document syntax — a strict
+// YAML subset (docs/DSL.md). Supported: nested maps keyed by indentation,
+// `- ` block lists, scalar values (optionally double-quoted), `key: |`
+// literal block scalars, and `#` comments. Everything else — flow
+// collections, anchors, multi-document streams, tabs — is rejected with a
+// positioned diagnostic, never guessed at. Every node remembers the
+// 1-based line/column it started at so the layers above (monitor and
+// scenario compilation) can report errors against the user's source text.
+#ifndef STARDUST_DSL_TEXT_H_
+#define STARDUST_DSL_TEXT_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace stardust::dsl {
+
+/// One parsed node: a scalar, a map (insertion-ordered, duplicate keys
+/// rejected at parse time), or a list.
+struct TextNode {
+  enum class Kind { kScalar, kMap, kList };
+
+  Kind kind = Kind::kScalar;
+  /// Scalar payload (quotes stripped). For a literal block (`key: |`)
+  /// this is the dedented block joined with '\n'.
+  std::string scalar;
+  /// True when `scalar` came from a `|` literal block — `line` then
+  /// points at the first block line so row-oriented consumers (the
+  /// scenario tuple section) can diagnose per-line.
+  bool literal_block = false;
+  /// Map entries in source order.
+  std::vector<std::pair<std::string, TextNode>> entries;
+  /// List items in source order.
+  std::vector<TextNode> items;
+  /// 1-based source position where the node's value starts.
+  std::size_t line = 0;
+  std::size_t col = 0;
+
+  /// Map lookup; nullptr when absent or when this node is not a map.
+  const TextNode* Get(const std::string& key) const;
+};
+
+/// InvalidArgument formatted "<source>:<line>:<col>: <message>" — the one
+/// diagnostic shape every DSL error uses.
+Status TextError(const std::string& source, std::size_t line,
+                 std::size_t col, const std::string& message);
+
+/// Parses a document into its top-level map or list. `source` names the
+/// input (file name, or something like "<string>") for diagnostics.
+Result<TextNode> ParseTextDocument(const std::string& text,
+                                   const std::string& source);
+
+}  // namespace stardust::dsl
+
+#endif  // STARDUST_DSL_TEXT_H_

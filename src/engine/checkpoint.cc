@@ -16,10 +16,14 @@ namespace {
 constexpr char kManifestMagic[4] = {'S', 'D', 'M', 'F'};
 /// v1: shard entries only. v2 appends the query-registry file entry.
 /// v3 appends the per-shard feature-pipeline file entries. v4 appends
-/// the net-state file entry. All parse; a v1 manifest restores with an
-/// empty registry, anything below v3 restores with empty query cores,
-/// and anything below v4 restores with no network tier state.
-constexpr std::uint32_t kManifestVersion = 4;
+/// the net-state file entry. v5 changes no manifest layout but marks
+/// checkpoints whose feature files carry the SDFP-v2 sketch section and
+/// whose registry is SDQR v3 (both file formats are self-versioned, so
+/// v4 checkpoints restore with sketch measures warming up). All parse; a
+/// v1 manifest restores with an empty registry, anything below v3
+/// restores with empty query cores, and anything below v4 restores with
+/// no network tier state.
+constexpr std::uint32_t kManifestVersion = 5;
 constexpr std::uint32_t kMinManifestVersion = 1;
 /// Lower bound on one serialized shard entry (name length + epoch +
 /// appended + checksum); bounds the declared shard count against the

@@ -16,7 +16,10 @@
 // a v1/v2 manifest (no feature files) restores with empty query cores
 // that warm up as tuples flow, and a pre-v4 manifest (no net-state file,
 // `net-ck<seq>.net`) restores with a fresh alert sequence allocator and
-// no subscriber cursors. docs/ENGINE.md and docs/FEATURES.md document
+// no subscriber cursors. v5 marks checkpoints whose feature files carry
+// the sketch-measure section (SDFP v2) and whose registry is SDQR v3;
+// both formats are self-versioned, so v4 checkpoints restore with sketch
+// measures warming up. docs/ENGINE.md and docs/FEATURES.md document
 // the format and guarantees; docs/NETWORK.md covers the net state.
 #ifndef STARDUST_ENGINE_CHECKPOINT_H_
 #define STARDUST_ENGINE_CHECKPOINT_H_

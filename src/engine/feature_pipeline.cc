@@ -15,7 +15,10 @@ namespace stardust {
 namespace {
 
 constexpr char kPipelineMagic[4] = {'S', 'D', 'F', 'P'};
-constexpr std::uint32_t kPipelineVersion = 1;
+/// v2 appended the sketch-measure section; v1 snapshots restore with no
+/// sketch state (measures warm up from the live stream).
+constexpr std::uint32_t kPipelineVersion = 2;
+constexpr std::uint32_t kMinPipelineVersion = 1;
 
 }  // namespace
 
@@ -60,6 +63,27 @@ void FeaturePipeline::AdoptPlan(const EvalPlan& plan,
       }
     }
   }
+  if (plan.sketch_slots != sketch_configs_) {
+    // Sketch state cannot be rebuilt from raw history (a sketch *is* its
+    // summary of the stream), so slots surviving a plan swap keep their
+    // per-stream measures: claim by config equality, drop the rest, and
+    // let genuinely new slots warm up lazily.
+    std::vector<std::vector<std::unique_ptr<SketchMeasure>>> slots(
+        plan.sketch_slots.size());
+    for (std::size_t i = 0; i < plan.sketch_slots.size(); ++i) {
+      for (std::size_t j = 0; j < sketch_configs_.size(); ++j) {
+        if (sketch_configs_[j] == plan.sketch_slots[i] &&
+            !sketch_slots_[j].empty()) {
+          slots[i] = std::move(sketch_slots_[j]);
+          sketch_slots_[j].clear();
+          break;
+        }
+      }
+      if (slots[i].empty()) slots[i].resize(num_streams_);
+    }
+    sketch_configs_ = plan.sketch_slots;
+    sketch_slots_ = std::move(slots);
+  }
   if (corr_core_ != nullptr) {
     const StardustConfig& cfg = corr_core_->config();
     std::vector<FeatureStore::LevelSpec> specs;
@@ -88,6 +112,13 @@ Status FeaturePipeline::Append(StreamId stream, double value) {
   if (!trackers_.empty() && trackers_[stream] != nullptr) {
     trackers_[stream]->Push(value);
   }
+  for (std::size_t slot = 0; slot < sketch_slots_.size(); ++slot) {
+    std::unique_ptr<SketchMeasure>& measure = sketch_slots_[slot][stream];
+    if (measure == nullptr) {
+      measure = CreateSketchMeasure(sketch_configs_[slot]);
+    }
+    measure->Append(value);
+  }
   if (pattern_core_ != nullptr) {
     SD_RETURN_NOT_OK(pattern_core_->Append(stream, value));
   }
@@ -103,6 +134,13 @@ Status FeaturePipeline::AppendRun(StreamId stream, const double* values,
   appends_ += n;
   if (!trackers_.empty() && trackers_[stream] != nullptr) {
     trackers_[stream]->PushSpan(values, n);
+  }
+  for (std::size_t slot = 0; slot < sketch_slots_.size(); ++slot) {
+    std::unique_ptr<SketchMeasure>& measure = sketch_slots_[slot][stream];
+    if (measure == nullptr) {
+      measure = CreateSketchMeasure(sketch_configs_[slot]);
+    }
+    measure->AppendRun(values, n);
   }
   if (pattern_core_ != nullptr) {
     SD_RETURN_NOT_OK(pattern_core_->AppendRun(stream, values, n));
@@ -166,6 +204,19 @@ void FeaturePipeline::CacheStreamFeatures(const FeatureStore::LevelSpec& spec,
   }
 }
 
+bool FeaturePipeline::SketchReady(StreamId stream, std::size_t slot) const {
+  SD_DCHECK(stream < num_streams_);
+  SD_DCHECK(slot < sketch_slots_.size());
+  const std::unique_ptr<SketchMeasure>& measure = sketch_slots_[slot][stream];
+  return measure != nullptr && measure->Ready();
+}
+
+double FeaturePipeline::SketchEstimate(StreamId stream,
+                                       std::size_t slot) const {
+  SD_DCHECK(SketchReady(stream, slot));
+  return sketch_slots_[slot][stream]->Estimate();
+}
+
 bool FeaturePipeline::TrackerReady(StreamId stream,
                                    std::size_t tracker_index) const {
   SD_DCHECK(stream < num_streams_);
@@ -223,6 +274,15 @@ FeaturePipeline::Counters FeaturePipeline::counters() const {
   c.store_hits = store_.hits();
   c.store_misses = store_.misses();
   c.store_epoch = store_.epoch();
+  for (const auto& per_stream : sketch_slots_) {
+    for (const auto& measure : per_stream) {
+      if (measure == nullptr) continue;
+      c.sketch_appends += measure->appends();
+      c.sketch_merges += measure->merges();
+      c.sketch_estimates += measure->estimate_calls();
+    }
+  }
+  c.sketch_serialized_bytes = sketch_serialized_bytes_;
   return c;
 }
 
@@ -243,6 +303,25 @@ std::string FeaturePipeline::Serialize() const {
     }
   }
   store_.SaveTo(&payload);
+
+  // v2 sketch section: per slot, the config plus every live (stream,
+  // measure) pair, in ascending stream order.
+  const std::size_t before_sketch = payload.buffer().size();
+  payload.U64(sketch_configs_.size());
+  for (std::size_t slot = 0; slot < sketch_configs_.size(); ++slot) {
+    sketch_configs_[slot].SaveTo(&payload);
+    std::uint64_t present = 0;
+    for (const auto& measure : sketch_slots_[slot]) {
+      present += measure != nullptr ? 1 : 0;
+    }
+    payload.U64(present);
+    for (StreamId s = 0; s < num_streams_; ++s) {
+      if (sketch_slots_[slot][s] == nullptr) continue;
+      payload.U64(s);
+      sketch_slots_[slot][s]->SaveTo(&payload);
+    }
+  }
+  sketch_serialized_bytes_ += payload.buffer().size() - before_sketch;
 
   Writer envelope;
   envelope.Bytes(kPipelineMagic, sizeof(kPipelineMagic));
@@ -272,7 +351,7 @@ Status FeaturePipeline::Restore(const std::string& bytes) {
   std::uint64_t checksum = 0;
   SD_RETURN_NOT_OK(header.U32(&version));
   SD_RETURN_NOT_OK(header.U64(&checksum));
-  if (version != kPipelineVersion) {
+  if (version < kMinPipelineVersion || version > kPipelineVersion) {
     return Status::InvalidArgument(
         "unsupported feature pipeline version " + std::to_string(version));
   }
@@ -281,10 +360,11 @@ Status FeaturePipeline::Restore(const std::string& bytes) {
     return Status::InvalidArgument(
         "feature pipeline snapshot checksum mismatch");
   }
-  return RestorePayload(payload);
+  return RestorePayload(payload, version);
 }
 
-Status FeaturePipeline::RestorePayload(const std::string& payload) {
+Status FeaturePipeline::RestorePayload(const std::string& payload,
+                                       std::uint32_t version) {
   Reader reader(payload);
   std::uint8_t has_pattern = 0;
   SD_RETURN_NOT_OK(reader.U8(&has_pattern));
@@ -325,6 +405,52 @@ Status FeaturePipeline::RestorePayload(const std::string& payload) {
     SD_RETURN_NOT_OK(corr_core_->RebuildIndexes());
   }
   SD_RETURN_NOT_OK(store_.RestoreFrom(&reader));
+  if (version >= 2) {
+    std::uint64_t num_slots = 0;
+    SD_RETURN_NOT_OK(reader.U64(&num_slots));
+    // One config is 65 bytes followed by a present count.
+    if (num_slots > reader.remaining() / 73) {
+      return Status::InvalidArgument(
+          "feature pipeline sketch slot count out of range");
+    }
+    std::vector<SketchConfig> configs;
+    std::vector<std::vector<std::unique_ptr<SketchMeasure>>> slots;
+    configs.reserve(num_slots);
+    slots.reserve(num_slots);
+    for (std::uint64_t i = 0; i < num_slots; ++i) {
+      SketchConfig config;
+      SD_RETURN_NOT_OK(config.RestoreFrom(&reader));
+      SD_RETURN_NOT_OK(config.Validate());
+      std::vector<std::unique_ptr<SketchMeasure>> per_stream(num_streams_);
+      std::uint64_t present = 0;
+      SD_RETURN_NOT_OK(reader.U64(&present));
+      if (present > num_streams_) {
+        return Status::InvalidArgument(
+            "feature pipeline sketch stream count out of range");
+      }
+      std::uint64_t last_stream = 0;
+      for (std::uint64_t j = 0; j < present; ++j) {
+        std::uint64_t stream = 0;
+        SD_RETURN_NOT_OK(reader.U64(&stream));
+        // Serialize emits ascending stream ids; anything else is corrupt.
+        if (stream >= num_streams_ || (j > 0 && stream <= last_stream)) {
+          return Status::InvalidArgument(
+              "feature pipeline sketch stream id out of order");
+        }
+        last_stream = stream;
+        auto measure = CreateSketchMeasure(config);
+        SD_RETURN_NOT_OK(measure->RestoreFrom(&reader));
+        per_stream[static_cast<std::size_t>(stream)] = std::move(measure);
+      }
+      configs.push_back(config);
+      slots.push_back(std::move(per_stream));
+    }
+    sketch_configs_ = std::move(configs);
+    sketch_slots_ = std::move(slots);
+  } else {
+    sketch_configs_.clear();
+    sketch_slots_.clear();
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument(
         "feature pipeline snapshot has trailing bytes");

@@ -24,6 +24,7 @@
 
 #include "common/status.h"
 #include "core/feature_store.h"
+#include "sketch/measure.h"
 #include "core/fleet_monitor.h"
 #include "core/stardust.h"
 #include "query/eval_plan.h"
@@ -48,6 +49,12 @@ class FeaturePipeline {
     std::uint64_t store_hits = 0;
     std::uint64_t store_misses = 0;
     std::uint64_t store_epoch = 0;
+    /// Summed over the live sketch measures (sketch/measure.h counters),
+    /// plus the bytes their snapshots contributed to Serialize calls.
+    std::uint64_t sketch_appends = 0;
+    std::uint64_t sketch_merges = 0;
+    std::uint64_t sketch_estimates = 0;
+    std::uint64_t sketch_serialized_bytes = 0;
   };
 
   /// Either core may be null (query kind disabled). Non-null cores must
@@ -83,6 +90,16 @@ class FeaturePipeline {
   /// shard-local ids) so correlator rounds are store hits.
   void FinishBatch(const std::vector<StreamId>& touched);
 
+  // --- Sketch stage (plan measure slots) -------------------------------
+  std::size_t num_sketch_slots() const { return sketch_configs_.size(); }
+  /// True once the measure of (`stream`, plan slot `slot`) exists and has
+  /// seen a full window. Sketches cannot backfill from raw history (their
+  /// state is the stream itself), so a freshly registered sketch query
+  /// warms up for one window before it evaluates.
+  bool SketchReady(StreamId stream, std::size_t slot) const;
+  /// The windowed estimate of the slot. Requires SketchReady.
+  double SketchEstimate(StreamId stream, std::size_t slot) const;
+
   // --- Aggregate stage (plan tracker slots) ---------------------------
   bool has_trackers() const { return !tracker_windows_.empty(); }
   /// True once the tracker of `tracker_index` (an EvalPlan tracker slot)
@@ -104,11 +121,11 @@ class FeaturePipeline {
 
   Counters counters() const;
 
-  /// Serializes the cores and the store under the "SDFP" v1 envelope
-  /// (magic + version + FNV-1a checksum), so a restored engine resumes
-  /// pattern/correlation query evaluation instead of warming from empty.
-  /// Trackers are not serialized; AdoptPlan rebuilds them from the
-  /// restored fleet's raw history.
+  /// Serializes the cores, the store, and the live sketch measures under
+  /// the "SDFP" v2 envelope (magic + version + FNV-1a checksum), so a
+  /// restored engine resumes pattern/correlation/sketch query evaluation
+  /// instead of warming from empty. Trackers are not serialized;
+  /// AdoptPlan rebuilds them from the restored fleet's raw history.
   std::string Serialize() const;
   /// Restores a pipeline serialized by Serialize. Core presence must be
   /// compatible: bytes carrying a core this pipeline does not have are
@@ -117,7 +134,7 @@ class FeaturePipeline {
   Status Restore(const std::string& bytes);
 
  private:
-  Status RestorePayload(const std::string& payload);
+  Status RestorePayload(const std::string& payload, std::uint32_t version);
   /// Caches any new aligned feature times of `stream` at store level
   /// `spec` (newest kDefaultStoreCapacity at most).
   void CacheStreamFeatures(const FeatureStore::LevelSpec& spec,
@@ -132,6 +149,18 @@ class FeaturePipeline {
   /// tracker per local stream over it; empty when no aggregate queries.
   std::vector<std::size_t> tracker_windows_;
   std::vector<std::unique_ptr<SlidingAggregateTracker>> trackers_;
+
+  /// Plan sketch slot set (EvalPlan::sketch_slots) and, slot-major, one
+  /// lazily created measure per local stream that appended since the slot
+  /// existed (bounding memory to the streams actually seen). AdoptPlan
+  /// claims existing per-stream measures whose config matches the new
+  /// plan's slot — sketch state cannot be rebuilt from raw history, and
+  /// claim-by-config is also what re-attaches checkpoint-restored
+  /// measures to the first compiled plan.
+  std::vector<SketchConfig> sketch_configs_;
+  std::vector<std::vector<std::unique_ptr<SketchMeasure>>> sketch_slots_;
+  /// Sketch snapshot bytes contributed by Serialize calls (counters()).
+  mutable std::uint64_t sketch_serialized_bytes_ = 0;
 
   std::uint64_t batches_ = 0;
   std::uint64_t appends_ = 0;

@@ -98,11 +98,17 @@ std::string EngineMetricsJson(
             s.pipeline_batches, s.pipeline_appends, s.znorm_computes,
             s.tracker_rebuilds, s.store_puts, s.store_hits, s.store_misses);
     AppendF(&out,
+            ",\"sketch\":{\"slots\":%zu,\"appends\":%" PRIu64
+            ",\"merges\":%" PRIu64 ",\"estimate_calls\":%" PRIu64
+            ",\"serialized_bytes\":%" PRIu64 "}",
+            s.sketch_slots, s.sketch_appends, s.sketch_merges,
+            s.sketch_estimates, s.sketch_serialized_bytes);
+    AppendF(&out,
             ",\"plan\":{\"version\":%" PRIu64 ",\"aggregate_evals\":%" PRIu64
             ",\"pattern_evals\":%" PRIu64 ",\"correlation_evals\":%" PRIu64
-            "}}",
+            ",\"sketch_evals\":%" PRIu64 "}}",
             s.plan_version, s.plan_aggregate_evals, s.plan_pattern_evals,
-            s.plan_correlation_evals);
+            s.plan_correlation_evals, s.plan_sketch_evals);
   }
   out += "]";
 

@@ -84,12 +84,21 @@ struct ShardMetricsSnapshot {
   std::uint64_t store_hits = 0;
   std::uint64_t store_misses = 0;
 
+  // Sketch-measure maintenance (sketch/measure.h counters summed over
+  // the pipeline's live measures, plus checkpoint bytes they produced).
+  std::uint64_t sketch_appends = 0;
+  std::uint64_t sketch_merges = 0;
+  std::uint64_t sketch_estimates = 0;
+  std::uint64_t sketch_serialized_bytes = 0;
+  std::size_t sketch_slots = 0;
+
   // Compiled-plan stage counters: batches (or correlator rounds) that
   // executed each stage of the shard's current EvalPlan.
   std::uint64_t plan_version = 0;
   std::uint64_t plan_aggregate_evals = 0;
   std::uint64_t plan_pattern_evals = 0;
   std::uint64_t plan_correlation_evals = 0;
+  std::uint64_t plan_sketch_evals = 0;
 
   // Batched-maintenance accounting: whether the worker is pinned to its
   // requested core, nanoseconds spent in state maintenance (fleet +

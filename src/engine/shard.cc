@@ -284,6 +284,16 @@ void Shard::RefreshQuerySnapshot() {
     }
     it = live ? std::next(it) : agg_alarming_.erase(it);
   }
+  for (auto it = sketch_alarming_.begin(); it != sketch_alarming_.end();) {
+    bool live = false;
+    for (const auto& q : query_snapshot_->sketch) {
+      if (q->id == it->first) {
+        live = true;
+        break;
+      }
+    }
+    it = live ? std::next(it) : sketch_alarming_.erase(it);
+  }
   for (auto it = pattern_watermark_.begin();
        it != pattern_watermark_.end();) {
     bool live = false;
@@ -415,7 +425,10 @@ void Shard::ApplyRunLocked(StreamId stream, const double* values,
 void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
   using Clock = std::chrono::steady_clock;
   const EvalPlan& plan = *plan_;
-  if (plan.aggregate.empty() && plan.pattern.empty()) return;
+  if (plan.aggregate.empty() && plan.pattern.empty() &&
+      plan.sketch.empty()) {
+    return;
+  }
 
   const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
 
@@ -448,7 +461,11 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
           for (std::size_t qi = 0; qi < group.queries.size(); ++qi) {
             const auto& q = group.queries[qi];
             std::vector<char>& edge = *edge_scratch_[qi];
-            const bool alarm = exact >= q->spec.threshold;
+            // Alarm == the exact aggregate left the query's assess
+            // range. Specs built via Aggregate() carry the legacy
+            // [-inf, threshold) range, making this bit-identical to the
+            // old `exact >= threshold` check.
+            const bool alarm = !q->spec.assess.Contains(exact);
             if (alarm && !edge[s]) {
               q->hits.fetch_add(1, std::memory_order_relaxed);
               // Edge state flips either way: a rate-limited alert is
@@ -462,7 +479,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
                 alert.end_time = end_time;
                 alert.epoch = epoch;
                 alert.value = exact;
-                alert.threshold = q->spec.threshold;
+                alert.threshold = q->spec.assess.ViolatedBound(exact);
                 out->push_back(alert);
               }
             }
@@ -474,6 +491,62 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
       // cost evenly. Non-evaluable groups (window beyond the retained
       // history) record the evaluation without alarming, exactly like
       // the seed path's silent OutOfRange skip.
+      const std::uint64_t shared =
+          ElapsedNanos(start) / group.queries.size();
+      for (const auto& q : group.queries) {
+        q->evals.fetch_add(1, std::memory_order_relaxed);
+        q->eval_nanos.fetch_add(shared, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  // Sketch stage: every query sharing a config reads the one windowed
+  // measure the pipeline maintains in that slot — one Estimate per
+  // (group, touched stream), with per-query assess ranges checked
+  // against the shared estimate. Edge-triggered like the aggregate
+  // stage: an estimate staying outside its range emits once.
+  if (!plan.sketch.empty()) {
+    plan.sketch_evals.fetch_add(1, std::memory_order_relaxed);
+    for (const EvalPlan::SketchGroup& group : plan.sketch) {
+      const Clock::time_point start = Clock::now();
+      edge_scratch_.clear();
+      for (const auto& q : group.queries) {
+        std::vector<char>& edge = sketch_alarming_[q->id];
+        if (edge.size() != fleet_->num_streams()) {
+          edge.assign(fleet_->num_streams(), 0);
+        }
+        edge_scratch_.push_back(&edge);
+      }
+      for (StreamId s : touched_list_) {
+        // A measure created mid-stream warms up for one full window
+        // before it evaluates (sketch state cannot be backfilled).
+        if (!pipeline_->SketchReady(s, group.slot)) continue;
+        const double estimate = pipeline_->SketchEstimate(s, group.slot);
+        const std::uint64_t end_time = fleet_->AppendCount(s) - 1;
+        for (std::size_t qi = 0; qi < group.queries.size(); ++qi) {
+          const auto& q = group.queries[qi];
+          std::vector<char>& edge = *edge_scratch_[qi];
+          const bool alarm = !q->spec.assess.Contains(estimate);
+          if (alarm && !edge[s]) {
+            q->hits.fetch_add(1, std::memory_order_relaxed);
+            // Edge state flips either way: a rate-limited alert is
+            // suppressed, not re-raised when the bucket refills.
+            if (q->AllowAlert()) {
+              Alert alert;
+              alert.query = q->id;
+              alert.kind = QueryKind::kSketch;
+              alert.stream = GlobalOf(s);
+              alert.window = static_cast<std::size_t>(group.config.window);
+              alert.end_time = end_time;
+              alert.epoch = epoch;
+              alert.value = estimate;
+              alert.threshold = q->spec.assess.ViolatedBound(estimate);
+              out->push_back(alert);
+            }
+          }
+          edge[s] = alarm ? 1 : 0;
+        }
+      }
       const std::uint64_t shared =
           ElapsedNanos(start) / group.queries.size();
       for (const auto& q : group.queries) {
@@ -691,6 +764,11 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
     snapshot.store_puts = counters.store_puts;
     snapshot.store_hits = counters.store_hits;
     snapshot.store_misses = counters.store_misses;
+    snapshot.sketch_appends = counters.sketch_appends;
+    snapshot.sketch_merges = counters.sketch_merges;
+    snapshot.sketch_estimates = counters.sketch_estimates;
+    snapshot.sketch_serialized_bytes = counters.sketch_serialized_bytes;
+    snapshot.sketch_slots = pipeline_->num_sketch_slots();
     if (plan_ != nullptr) {
       snapshot.plan_version = plan_->version;
       snapshot.plan_aggregate_evals =
@@ -699,6 +777,8 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
           plan_->pattern_evals.load(std::memory_order_relaxed);
       snapshot.plan_correlation_evals =
           plan_->correlation_evals.load(std::memory_order_relaxed);
+      snapshot.plan_sketch_evals =
+          plan_->sketch_evals.load(std::memory_order_relaxed);
     }
   }
   return snapshot;

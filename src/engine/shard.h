@@ -326,6 +326,9 @@ class Shard {
   /// Aggregate edge state: last alarm outcome per (query, local stream),
   /// so alerts fire on the false -> true transition only.
   std::unordered_map<QueryId, std::vector<char>> agg_alarming_;
+  /// Same edge state for sketch queries (alarm == estimate left the
+  /// query's assess range).
+  std::unordered_map<QueryId, std::vector<char>> sketch_alarming_;
   /// Pattern delivery watermark per (query, local stream): matches with
   /// end_time + 1 <= watermark were already delivered.
   std::unordered_map<QueryId, std::vector<std::uint64_t>>

@@ -91,6 +91,25 @@ std::shared_ptr<const EvalPlan> CompileEvalPlan(
     }
   }
 
+  // --- Sketch: group by config equality ------------------------------
+  for (const auto& q : snapshot.sketch) {
+    std::size_t slot = plan->sketch.size();
+    for (std::size_t i = 0; i < plan->sketch.size(); ++i) {
+      if (plan->sketch[i].config == q->spec.sketch) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == plan->sketch.size()) {
+      EvalPlan::SketchGroup group;
+      group.config = q->spec.sketch;
+      group.slot = slot;
+      plan->sketch.push_back(std::move(group));
+      plan->sketch_slots.push_back(q->spec.sketch);
+    }
+    plan->sketch[slot].queries.push_back(q);
+  }
+
   return plan;
 }
 

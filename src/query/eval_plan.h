@@ -84,14 +84,30 @@ struct EvalPlan {
   /// Ascending by level.
   std::vector<CorrelationGroup> correlation;
 
+  /// Sketch queries whose configs compare equal share one windowed
+  /// measure per stream, maintained by the feature pipeline in the slot
+  /// named here.
+  struct SketchGroup {
+    SketchConfig config;
+    /// Index into `sketch_slots` (== the pipeline measure slot).
+    std::size_t slot = 0;
+    std::vector<std::shared_ptr<RegisteredQuery>> queries;
+  };
+  /// In first-registration order.
+  std::vector<SketchGroup> sketch;
+  /// The deduplicated configs the pipeline maintains, indexed by slot.
+  std::vector<SketchConfig> sketch_slots;
+
   /// Per-stage evaluation counters over the plan's lifetime (batches or
   /// rounds that executed the stage), surfaced through shard metrics.
   mutable std::atomic<std::uint64_t> aggregate_evals{0};
   mutable std::atomic<std::uint64_t> pattern_evals{0};
   mutable std::atomic<std::uint64_t> correlation_evals{0};
+  mutable std::atomic<std::uint64_t> sketch_evals{0};
 
   bool empty() const {
-    return aggregate.empty() && pattern.empty() && correlation.empty();
+    return aggregate.empty() && pattern.empty() && correlation.empty() &&
+           sketch.empty();
   }
 };
 

@@ -9,6 +9,7 @@
 #ifndef STARDUST_QUERY_QUERY_SPEC_H_
 #define STARDUST_QUERY_QUERY_SPEC_H_
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -16,14 +17,18 @@
 
 #include "common/serialize.h"
 #include "common/status.h"
+#include "sketch/measure.h"
 
 namespace stardust {
 
-/// The three continuous-query classes of the paper (Section 5).
+/// The paper's three continuous-query classes (Section 5) plus sketch
+/// measures (windowed approximate distinct / heavy-hitter / quantile
+/// monitors over the same shard pipeline).
 enum class QueryKind : std::uint8_t {
   kAggregate = 0,
   kPattern = 1,
   kCorrelation = 2,
+  kSketch = 3,
 };
 
 inline const char* QueryKindName(QueryKind kind) {
@@ -31,9 +36,70 @@ inline const char* QueryKindName(QueryKind kind) {
     case QueryKind::kAggregate: return "aggregate";
     case QueryKind::kPattern: return "pattern";
     case QueryKind::kCorrelation: return "correlation";
+    case QueryKind::kSketch: return "sketch";
   }
   return "unknown";
 }
+
+/// Conformance range of a monitored measure (the Stream DaQ "assess"
+/// clause): the measure is healthy while its value lies inside
+/// [lo, hi] / (lo, hi) / half-open variants, and a query alarms when the
+/// value leaves the range. Half-infinite ranges express plain thresholds
+/// (">= 5" conforms on [5, +inf]; "< 5" on [-inf, 5) with hi_inclusive
+/// false).
+struct AssessRange {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_inclusive = true;
+  bool hi_inclusive = true;
+
+  bool operator==(const AssessRange&) const = default;
+
+  bool Contains(double v) const {
+    if (lo_inclusive ? v < lo : v <= lo) return false;
+    if (hi_inclusive ? v > hi : v >= hi) return false;
+    return true;
+  }
+
+  /// The bound a non-conforming value crossed (reported as the alert's
+  /// threshold). For conforming values returns the upper bound.
+  double ViolatedBound(double v) const {
+    if (lo_inclusive ? v < lo : v <= lo) return lo;
+    return hi;
+  }
+
+  /// OK when the range is non-empty and the bounds are not NaN.
+  Status Validate() const {
+    if (std::isnan(lo) || std::isnan(hi)) {
+      return Status::InvalidArgument("assess range bound is NaN");
+    }
+    if (lo > hi || (lo == hi && !(lo_inclusive && hi_inclusive))) {
+      return Status::InvalidArgument("assess range is empty");
+    }
+    return Status::OK();
+  }
+
+  /// 17-byte fixed layout: lo, hi, inclusivity flag bits.
+  void SaveTo(Writer* writer) const {
+    writer->F64(lo);
+    writer->F64(hi);
+    writer->U8(static_cast<std::uint8_t>((lo_inclusive ? 1 : 0) |
+                                         (hi_inclusive ? 2 : 0)));
+  }
+
+  Status RestoreFrom(Reader* reader) {
+    SD_RETURN_NOT_OK(reader->F64(&lo));
+    SD_RETURN_NOT_OK(reader->F64(&hi));
+    std::uint8_t flags = 0;
+    SD_RETURN_NOT_OK(reader->U8(&flags));
+    if (flags > 3) {
+      return Status::InvalidArgument("assess range flags out of range");
+    }
+    lo_inclusive = (flags & 1) != 0;
+    hi_inclusive = (flags & 2) != 0;
+    return Status::OK();
+  }
+};
 
 /// Stable identifier of a registered query. Ids are engine-unique,
 /// monotonically assigned, and never reused. 0 is never a valid id.
@@ -71,6 +137,17 @@ struct QuerySpec {
   /// (window W * 2^level); kTopLevel means the top level.
   std::size_t level = kTopLevel;
 
+  /// kSketch: which windowed sketch to maintain per stream. Queries with
+  /// equal configs share one measure instance per stream (the eval plan
+  /// groups by config).
+  SketchConfig sketch;
+
+  /// kAggregate / kSketch: the conformance range; the query alarms when
+  /// the measure leaves it. Aggregate() initializes it to
+  /// [-inf, threshold) so the legacy "alarm at >= threshold" behavior is
+  /// the upper-bound violation of an assess range.
+  AssessRange assess;
+
   /// Any kind: token-bucket limit on published alerts. 0 disables the
   /// limit (every hit publishes). When positive, at most `alert_burst`
   /// alerts fire back-to-back and the bucket refills at
@@ -90,6 +167,29 @@ struct QuerySpec {
     spec.kind = QueryKind::kAggregate;
     spec.window = window;
     spec.threshold = threshold;
+    spec.assess.hi = threshold;
+    spec.assess.hi_inclusive = false;
+    return spec;
+  }
+
+  /// Aggregate query that conforms to `assess` instead of a single upper
+  /// threshold. `threshold` mirrors the range's finite bound for display.
+  static QuerySpec AggregateRange(std::size_t window, AssessRange assess) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kAggregate;
+    spec.window = window;
+    spec.assess = assess;
+    spec.threshold = std::isfinite(assess.hi) ? assess.hi : assess.lo;
+    return spec;
+  }
+
+  static QuerySpec Sketch(SketchConfig config, AssessRange assess) {
+    QuerySpec spec;
+    spec.kind = QueryKind::kSketch;
+    spec.sketch = config;
+    spec.window = static_cast<std::size_t>(config.window);
+    spec.assess = assess;
+    spec.threshold = std::isfinite(assess.hi) ? assess.hi : assess.lo;
     return spec;
   }
 
@@ -111,8 +211,10 @@ struct QuerySpec {
 
   /// Checkpoint support: fixed-width little-endian encoding, matching the
   /// snapshot conventions (common/serialize.h). The rate-limit fields
-  /// were added in registry envelope v2; `version` selects the layout so
-  /// v1 snapshots stay readable (they restore with the limit disabled).
+  /// were added in registry envelope v2 and the assess-range + sketch
+  /// fields in v3; `version` selects the layout so older snapshots stay
+  /// readable (v1 restores with the limit disabled, v1/v2 restore with
+  /// the legacy [-inf, threshold) assess range).
   void SaveTo(Writer* writer, std::uint32_t version) const {
     writer->U8(static_cast<std::uint8_t>(kind));
     writer->U64(window);
@@ -125,12 +227,18 @@ struct QuerySpec {
       writer->F64(alert_rate_per_sec);
       writer->U64(alert_burst);
     }
+    if (version >= 3) {
+      assess.SaveTo(writer);
+      sketch.SaveTo(writer);
+    }
   }
 
   Status RestoreFrom(Reader* reader, std::uint32_t version) {
     std::uint8_t kind_byte = 0;
     SD_RETURN_NOT_OK(reader->U8(&kind_byte));
-    if (kind_byte > static_cast<std::uint8_t>(QueryKind::kCorrelation)) {
+    const auto max_kind = static_cast<std::uint8_t>(
+        version >= 3 ? QueryKind::kSketch : QueryKind::kCorrelation);
+    if (kind_byte > max_kind) {
       return Status::InvalidArgument("unknown query kind in snapshot");
     }
     kind = static_cast<QueryKind>(kind_byte);
@@ -151,6 +259,17 @@ struct QuerySpec {
     } else {
       alert_rate_per_sec = 0.0;
       alert_burst = 0;
+    }
+    if (version >= 3) {
+      SD_RETURN_NOT_OK(assess.RestoreFrom(reader));
+      SD_RETURN_NOT_OK(sketch.RestoreFrom(reader));
+    } else {
+      assess = AssessRange{};
+      if (kind == QueryKind::kAggregate) {
+        assess.hi = threshold;
+        assess.hi_inclusive = false;
+      }
+      sketch = SketchConfig{};
     }
     return Status::OK();
   }

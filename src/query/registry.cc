@@ -10,15 +10,18 @@ namespace {
 
 constexpr char kRegistryMagic[4] = {'S', 'D', 'Q', 'R'};
 /// v2 appended the per-query alert rate-limit fields (QuerySpec::
-/// alert_rate_per_sec / alert_burst); v1 snapshots restore with the
-/// limit disabled.
-constexpr std::uint32_t kRegistryVersion = 2;
+/// alert_rate_per_sec / alert_burst); v3 appended the assess range and
+/// sketch config. Older snapshots restore with the limit disabled and
+/// the legacy threshold-derived assess range.
+constexpr std::uint32_t kRegistryVersion = 3;
 constexpr std::uint32_t kMinRegistryVersion = 1;
 
 /// Lower bound on one serialized query (id + kind + window + threshold +
-/// pattern length + radius + level, plus rate + burst in v2); bounds the
+/// pattern length + radius + level, plus rate + burst in v2, plus the
+/// 17-byte assess range and 65-byte sketch config in v3); bounds the
 /// declared count against the remaining payload.
 constexpr std::uint64_t MinQueryBytes(std::uint32_t version) {
+  if (version >= 3) return 139;
   return version >= 2 ? 57 : 41;
 }
 
@@ -64,6 +67,7 @@ Status QueryRegistry::ValidateSpec(const QuerySpec& spec) const {
         return Status::InvalidArgument(
             "aggregate query threshold must be finite");
       }
+      SD_RETURN_NOT_OK(spec.assess.Validate());
       return Status::OK();
     }
     case QueryKind::kPattern: {
@@ -119,6 +123,15 @@ Status QueryRegistry::ValidateSpec(const QuerySpec& spec) const {
       }
       return Status::OK();
     }
+    case QueryKind::kSketch: {
+      SD_RETURN_NOT_OK(spec.sketch.Validate());
+      if (spec.window != spec.sketch.window) {
+        return Status::InvalidArgument(
+            "sketch query window must mirror its sketch config window");
+      }
+      SD_RETURN_NOT_OK(spec.assess.Validate());
+      return Status::OK();
+    }
   }
   return Status::InvalidArgument("unknown query kind");
 }
@@ -135,6 +148,9 @@ void QueryRegistry::PublishLocked() {
         break;
       case QueryKind::kCorrelation:
         snapshot->correlation.push_back(query);
+        break;
+      case QueryKind::kSketch:
+        snapshot->sketch.push_back(query);
         break;
     }
   }

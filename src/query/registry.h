@@ -105,9 +105,11 @@ class QueryRegistry {
     std::vector<std::shared_ptr<RegisteredQuery>> aggregate;
     std::vector<std::shared_ptr<RegisteredQuery>> pattern;
     std::vector<std::shared_ptr<RegisteredQuery>> correlation;
+    std::vector<std::shared_ptr<RegisteredQuery>> sketch;
 
     std::size_t size() const {
-      return aggregate.size() + pattern.size() + correlation.size();
+      return aggregate.size() + pattern.size() + correlation.size() +
+             sketch.size();
     }
   };
 

@@ -1,0 +1,141 @@
+#include "sketch/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace stardust {
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  SD_CHECK(p > 0.0 && p < 1.0);
+  desired_ = {1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0};
+  increments_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+namespace {
+
+/// Steady-state P² update of one estimator's marker arrays for one
+/// observation. Both append paths — scalar Add and span AddSpan —
+/// inline this one body, so they run the exact same operation sequence
+/// and stay bit-identical.
+inline void P2Update(std::array<double, 5>& h, std::array<double, 5>& pos,
+                     std::array<double, 5>& des,
+                     const std::array<double, 5>& inc, double value) {
+  // Which cell does the observation fall into? Marker heights are kept
+  // sorted, so the middle case is a branchless rank count — the
+  // data-dependent search loop would mispredict on almost every value.
+  int k;
+  if (value < h[0]) {
+    h[0] = value;
+    k = 0;
+  } else if (value >= h[4]) {
+    h[4] = std::max(h[4], value);
+    k = 3;
+  } else {
+    k = (value >= h[1] ? 1 : 0) + (value >= h[2] ? 1 : 0) +
+        (value >= h[3] ? 1 : 0);
+  }
+
+  for (int j = 1; j < 5; ++j) pos[j] += j > k ? 1.0 : 0.0;
+  for (int j = 0; j < 5; ++j) des[j] += inc[j];
+
+  // Adjust the inner markers: piecewise-parabolic when the candidate
+  // stays between its neighbors, linear otherwise. At steady state the
+  // desired and actual positions drift together, so adjustments are rare
+  // and the guarding branch predicts well — keep it a branch.
+  for (int j = 1; j <= 3; ++j) {
+    const double d = des[j] - pos[j];
+    if ((d >= 1.0 && pos[j + 1] - pos[j] > 1.0) ||
+        (d <= -1.0 && pos[j - 1] - pos[j] < -1.0)) {
+      const int dir = d >= 0.0 ? 1 : -1;
+      const double candidate =
+          h[j] + dir / (pos[j + 1] - pos[j - 1]) *
+                     ((pos[j] - pos[j - 1] + dir) * (h[j + 1] - h[j]) /
+                          (pos[j + 1] - pos[j]) +
+                      (pos[j + 1] - pos[j] - dir) * (h[j] - h[j - 1]) /
+                          (pos[j] - pos[j - 1]));
+      if (h[j - 1] < candidate && candidate < h[j + 1]) {
+        h[j] = candidate;
+      } else {
+        h[j] = h[j] + dir * (h[j + dir] - h[j]) / (pos[j + dir] - pos[j]);
+      }
+      pos[j] += dir;
+    }
+  }
+}
+
+}  // namespace
+
+void P2Quantile::Add(double value) {
+  if (count_ < 5) {
+    heights_[count_] = value;
+    ++count_;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+    }
+    return;
+  }
+  ++count_;
+  P2Update(heights_, positions_, desired_, increments_, value);
+}
+
+void P2Quantile::AddSpan(const double* values, std::size_t n) {
+  std::size_t i = 0;
+  // Warmup: the first five observations are kept verbatim.
+  for (; i < n && count_ < 5; ++i) Add(values[i]);
+  if (i == n) return;
+  // Steady state. Marker state lives in locals for the whole span, so a
+  // long run loads and stores the object once instead of per observation.
+  std::array<double, 5> h = heights_;
+  std::array<double, 5> pos = positions_;
+  std::array<double, 5> des = desired_;
+  const std::array<double, 5> inc = increments_;
+  count_ += n - i;
+  for (; i < n; ++i) {
+    P2Update(h, pos, des, inc, values[i]);
+  }
+  heights_ = h;
+  positions_ = pos;
+  desired_ = des;
+}
+
+
+double P2Quantile::Value() const {
+  SD_DCHECK(count_ >= 1);
+  if (count_ >= 5) return heights_[2];
+  // Exact small-sample quantile on the sorted prefix.
+  std::array<double, 5> sorted{};
+  std::copy(heights_.begin(), heights_.begin() + count_, sorted.begin());
+  std::sort(sorted.begin(), sorted.begin() + count_);
+  const double rank = p_ * static_cast<double>(count_ - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, count_ - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void P2Quantile::SaveTo(Writer* writer) const {
+  writer->F64(p_);
+  writer->U64(count_);
+  for (double h : heights_) writer->F64(h);
+  for (double n : positions_) writer->F64(n);
+  for (double d : desired_) writer->F64(d);
+}
+
+Status P2Quantile::RestoreFrom(Reader* reader) {
+  double p = 0.0;
+  SD_RETURN_NOT_OK(reader->F64(&p));
+  if (p != p_) {
+    return Status::InvalidArgument(
+        "P2 quantile snapshot was taken for a different quantile");
+  }
+  SD_RETURN_NOT_OK(reader->U64(&count_));
+  for (double& h : heights_) SD_RETURN_NOT_OK(reader->F64(&h));
+  for (double& n : positions_) SD_RETURN_NOT_OK(reader->F64(&n));
+  for (double& d : desired_) SD_RETURN_NOT_OK(reader->F64(&d));
+  return Status::OK();
+}
+
+}  // namespace stardust

@@ -1,0 +1,54 @@
+// P² online quantile estimation (Jain & Chlamtac, CACM 1985).
+//
+// Estimates a single quantile of a stream in O(1) space and O(1) time per
+// observation with five markers whose heights are adjusted by a piecewise
+// parabolic (P²) formula. Two consumers: the window advisor keeps three of
+// these (q25, q50, q75) for a burst-robust location/scale estimate of each
+// level's aggregate distribution, and the sketch measure subsystem wraps
+// one per window bucket into a windowed quantile measure
+// (sketch/measure.h).
+#ifndef STARDUST_SKETCH_QUANTILE_H_
+#define STARDUST_SKETCH_QUANTILE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace stardust {
+
+/// Streaming estimator of the p-quantile (0 < p < 1).
+class P2Quantile {
+ public:
+  explicit P2Quantile(double p);
+
+  void Add(double value);
+  /// Span append, state-identical to n Add calls (both inline the same
+  /// per-observation update). Long spans keep the marker state in locals
+  /// instead of round-tripping the object per observation.
+  void AddSpan(const double* values, std::size_t n);
+
+  std::uint64_t count() const { return count_; }
+  /// Current estimate. Exact while count() <= 5; P² approximation after.
+  /// Requires count() >= 1.
+  double Value() const;
+
+  /// Snapshot support: full marker state, fixed-width little-endian
+  /// (common/serialize.h). A restored estimator continues bit-exactly.
+  void SaveTo(Writer* writer) const;
+  /// Restores into an estimator constructed with the same p.
+  Status RestoreFrom(Reader* reader);
+
+ private:
+  double p_;
+  std::uint64_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights q_i
+  std::array<double, 5> positions_{}; // actual positions n_i
+  std::array<double, 5> desired_{};   // desired positions n'_i
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_SKETCH_QUANTILE_H_

@@ -1,4 +1,4 @@
-#include "transform/quantile.h"
+#include "sketch/quantile.h"
 
 #include <algorithm>
 #include <cmath>
@@ -85,6 +85,22 @@ TEST(P2QuantileTest, MonotoneQuantilesStayOrdered) {
       EXPECT_LE(q50.Value(), q75.Value() + 1e-9);
     }
   }
+}
+
+TEST(P2QuantileTest, GoldenQuartilesUnchangedAfterSketchPromotion) {
+  // Pinned outputs from before the estimator moved to src/sketch: the
+  // promotion added snapshot support but must not change the estimates.
+  Rng rng(2024);
+  P2Quantile q25(0.25), q50(0.5), q75(0.75);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble(0.0, 100.0);
+    q25.Add(v);
+    q50.Add(v);
+    q75.Add(v);
+  }
+  EXPECT_NEAR(q25.Value(), 24.941157236296, 1e-9);
+  EXPECT_NEAR(q50.Value(), 50.166019042706, 1e-9);
+  EXPECT_NEAR(q75.Value(), 74.864861642945, 1e-9);
 }
 
 TEST(P2QuantileTest, ConstantStream) {
