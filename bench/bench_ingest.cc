@@ -105,6 +105,84 @@ double RunEngine(const Workload& load,
   return watch.ElapsedSeconds();
 }
 
+// Hot-tenant skew: ~90% of the traffic lands on the streams the
+// modulo-hash default all places on shard 0, so the fixed layout
+// serializes the hot set behind one worker. The deterministic tape
+// interleaves nine hot picks with one cold pick, round-robin within
+// each set, so both the fixed and the rebalanced run replay the exact
+// same sequence.
+std::vector<StreamId> SkewedStreamTape(std::size_t total,
+                                       std::size_t streams,
+                                       std::size_t shards) {
+  std::vector<StreamId> hot;
+  std::vector<StreamId> cold;
+  for (StreamId s = 0; s < streams; ++s) {
+    (s % shards == 0 ? hot : cold).push_back(s);
+  }
+  std::vector<StreamId> tape(total);
+  std::size_t h = 0;
+  std::size_t c = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    tape[i] = (i % 10 != 9) ? hot[h++ % hot.size()]
+                            : cold[c++ % cold.size()];
+  }
+  return tape;
+}
+
+double RunSkewed(const Workload& load, const std::vector<StreamId>& tape,
+                 const std::vector<WindowThreshold>& thresholds,
+                 std::size_t shards, std::size_t producers, bool rebalance,
+                 std::uint64_t* appended, std::uint64_t* migrations) {
+  EngineConfig econfig;
+  econfig.num_shards = shards;
+  econfig.queue_capacity = 4096;
+  econfig.max_producers = producers;
+  econfig.overload = OverloadPolicy::kBlock;
+  if (rebalance) {
+    econfig.rebalance_period_ms = 10;
+    econfig.rebalance_min_delta = 4096;
+  }
+  auto engine = std::move(IngestEngine::Create(StreamConfig(), thresholds,
+                                               load.streams, econfig))
+                    .value();
+  const std::size_t per_producer = tape.size() / producers;
+  Stopwatch watch;
+  watch.Start();
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      const std::size_t begin = p * per_producer;
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        const std::size_t slot = begin + i;
+        const double value = load.values[slot % load.values.size()];
+        if (!engine->Post(tape[slot], value).ok()) std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (!engine->Flush().ok()) std::abort();
+  watch.Stop();
+  *appended = engine->metrics().appended.load();
+  *migrations = engine->metrics().migrations.load();
+  if (!engine->Stop().ok()) std::abort();
+  return watch.ElapsedSeconds();
+}
+
+void EmitSkewLine(const char* mode, std::size_t shards,
+                  std::size_t producers, std::uint64_t appended,
+                  std::uint64_t migrations, double seconds,
+                  double fixed_rate) {
+  const double rate =
+      seconds > 0.0 ? static_cast<double>(appended) / seconds : 0.0;
+  std::printf("{\"bench\":\"ingest\",\"mode\":\"%s\",\"shards\":%zu,"
+              "\"producers\":%zu,\"appended\":%" PRIu64
+              ",\"migrations\":%" PRIu64 ",\"seconds\":%.4f,"
+              "\"appends_per_sec\":%.0f,\"recovery_vs_fixed\":%.2f}\n",
+              mode, shards, producers, appended, migrations, seconds, rate,
+              fixed_rate > 0.0 ? rate / fixed_rate : 0.0);
+  std::fflush(stdout);
+}
+
 void EmitLine(const char* mode, std::size_t shards, std::size_t producers,
               bool pinned, std::uint64_t appended, std::uint64_t dropped,
               double seconds, double baseline_rate) {
@@ -165,6 +243,33 @@ int main() {
                seconds, direct_rate);
       std::fprintf(stderr, "engine metrics (%zu shards, %s): %s\n", shards,
                    pin ? "pinned" : "unpinned", metrics_json.c_str());
+    }
+  }
+
+  // Hot-tenant skew: the same engine at 4 shards, fed the 90/10 skewed
+  // tape that lands all hot streams on shard 0 under the modulo-hash
+  // default. "zipf-fixed" keeps the rebalancer off (the placement
+  // bottleneck); "zipf-rebalanced" turns it on and the load-driven
+  // migrations spread the hot set, recovering the lost parallelism
+  // (recovery_vs_fixed is the throughput ratio; target: BENCH_INGEST.json).
+  {
+    const std::size_t skew_shards = 4;
+    const std::size_t skew_producers = 4;
+    const std::vector<StreamId> tape = SkewedStreamTape(
+        2 * load.values.size(), load.streams, skew_shards);
+    double fixed_rate = 0.0;
+    for (const bool rebalance : {false, true}) {
+      std::uint64_t skew_appended = 0;
+      std::uint64_t migrations = 0;
+      const double seconds =
+          RunSkewed(load, tape, thresholds, skew_shards, skew_producers,
+                    rebalance, &skew_appended, &migrations);
+      const double rate =
+          seconds > 0.0 ? static_cast<double>(skew_appended) / seconds : 0.0;
+      if (!rebalance) fixed_rate = rate;
+      EmitSkewLine(rebalance ? "zipf-rebalanced" : "zipf-fixed",
+                   skew_shards, skew_producers, skew_appended, migrations,
+                   seconds, fixed_rate);
     }
   }
   return 0;

@@ -18,6 +18,8 @@
 //   stardust_cli subscribe --tcp host:port [--id name] [--resume seq]
 //                          [--count n] [--idle-timeout ms]
 //   stardust_cli ingest    <data.csv|-> --port p [--host h] [--batch n]
+//   stardust_cli placement --port p [--host h]
+//   stardust_cli migrate   <stream> <shard> --port p [--host h]
 //   stardust_cli run       <scenario.yaml> [--verbose 1]
 //
 // `run` replays a declarative scenario (docs/DSL.md): the file describes
@@ -32,6 +34,11 @@
 // Malformed lines are reported on stderr with the input name and line
 // number and skipped — the run keeps going instead of aborting. `-`
 // reads stdin.
+//
+// `placement` dumps a running server's stream→shard placement table as
+// JSON. `migrate` live-migrates one stream to a target shard and prints
+// the migration summary — or the engine's refusal — without stopping the
+// feed (docs/ENGINE.md, "Elastic sharding").
 //
 // `subscribe --tcp` attaches to a running stardust_server as a durable
 // subscriber: every alert arrives as one JSON line on stdout and is
@@ -534,6 +541,60 @@ int RunIngest(const Args& args) {
   return 0;
 }
 
+/// Operator plane: connects to a running server and dumps its placement
+/// table (epoch + stream→shard map) as one JSON document on stdout.
+int RunPlacement(const Args& args) {
+  if (args.options.count("port") == 0) {
+    std::fprintf(stderr, "placement: missing --port\n");
+    return 2;
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetSize("port", 0));
+  Result<std::unique_ptr<net::AdminClient>> client =
+      net::AdminClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  Result<net::AdminResultMessage> result = client.value()->PlacementDump();
+  if (!result.ok()) return Fail(result.status());
+  if (!result.value().ok) {
+    std::fprintf(stderr, "placement: %s\n", result.value().message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", result.value().json.c_str());
+  return 0;
+}
+
+/// Operator plane: live-migrates one stream to a target shard on a
+/// running server. Prints the migration summary (stream, shard, new
+/// placement epoch) on success; the engine's refusal goes to stderr.
+int RunMigrate(const Args& args) {
+  if (args.positional.size() < 2) {
+    std::fprintf(stderr, "migrate: need <stream> <shard>\n");
+    return 2;
+  }
+  if (args.options.count("port") == 0) {
+    std::fprintf(stderr, "migrate: missing --port\n");
+    return 2;
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(args.GetSize("port", 0));
+  const std::uint64_t stream =
+      std::strtoull(args.positional[0].c_str(), nullptr, 10);
+  const std::uint64_t shard =
+      std::strtoull(args.positional[1].c_str(), nullptr, 10);
+  Result<std::unique_ptr<net::AdminClient>> client =
+      net::AdminClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  Result<net::AdminResultMessage> result =
+      client.value()->Migrate(stream, shard);
+  if (!result.ok()) return Fail(result.status());
+  if (!result.value().ok) {
+    std::fprintf(stderr, "migrate: %s\n", result.value().message.c_str());
+    return 1;
+  }
+  std::printf("%s\n", result.value().json.c_str());
+  return 0;
+}
+
 /// Live TCP subscriber: alerts as JSON lines on stdout, each
 /// acknowledged so the server-side cursor survives reconnects.
 int RunSubscribeTcp(const Args& args) {
@@ -743,8 +804,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: stardust_cli "
-      "<monitor|patterns|correlate|advise|surprise|subscribe|ingest|run> "
-      "...\n"
+      "<monitor|patterns|correlate|advise|surprise|subscribe|ingest"
+      "|placement|migrate|run> ...\n"
       "see the header of examples/stardust_cli.cpp for options\n");
   return 2;
 }
@@ -762,6 +823,8 @@ int main(int argc, char** argv) {
   if (command == "surprise") return RunSurprise(args);
   if (command == "subscribe") return RunSubscribe(args);
   if (command == "ingest") return RunIngest(args);
+  if (command == "placement") return RunPlacement(args);
+  if (command == "migrate") return RunMigrate(args);
   if (command == "run") return RunScenarioFile(args);
   return Usage();
 }

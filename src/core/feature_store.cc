@@ -166,6 +166,140 @@ void FeatureStore::Clear() {
   }
 }
 
+void FeatureStore::Grow(std::size_t new_num_streams) {
+  SD_CHECK(new_num_streams >= num_streams_);
+  if (new_num_streams == num_streams_) return;
+  for (Slab& slab : slabs_) {
+    slab.times.resize(new_num_streams * capacity_, kNoTime);
+    slab.features.resize(new_num_streams * capacity_ * slab.spec.dims, 0.0);
+    slab.znormed.resize(new_num_streams * capacity_ * slab.spec.window, 0.0);
+    slab.means.resize(new_num_streams * capacity_, 0.0);
+    slab.norms.resize(new_num_streams * capacity_, 0.0);
+    slab.heads.resize(new_num_streams, 0);
+    slab.counts.resize(new_num_streams, 0);
+    slab.put_epochs.resize(new_num_streams, 0);
+  }
+  num_streams_ = new_num_streams;
+}
+
+void FeatureStore::ClearStream(StreamId stream) {
+  SD_CHECK(stream < num_streams_);
+  for (Slab& slab : slabs_) {
+    std::fill(slab.times.begin() + stream * capacity_,
+              slab.times.begin() + (stream + 1) * capacity_, kNoTime);
+    slab.heads[stream] = 0;
+    slab.counts[stream] = 0;
+  }
+}
+
+void FeatureStore::TouchStream(StreamId stream) {
+  SD_CHECK(stream < num_streams_);
+  for (Slab& slab : slabs_) {
+    slab.put_epochs[stream] = epoch_;
+    slab.max_put_epoch = std::max(slab.max_put_epoch, epoch_);
+  }
+}
+
+void FeatureStore::SaveStreamTo(StreamId stream, Writer* writer) const {
+  SD_CHECK(stream < num_streams_);
+  writer->U64(capacity_);
+  writer->U64(slabs_.size());
+  for (const Slab& slab : slabs_) {
+    writer->U64(slab.spec.level);
+    writer->U64(slab.spec.window);
+    writer->U64(slab.spec.dims);
+    writer->U32(slab.heads[stream]);
+    writer->U32(slab.counts[stream]);
+    const std::size_t row = stream * capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      writer->U64(slab.times[row + i]);
+    }
+    for (std::size_t i = 0; i < capacity_ * slab.spec.dims; ++i) {
+      writer->F64(slab.features[row * slab.spec.dims + i]);
+    }
+    for (std::size_t i = 0; i < capacity_ * slab.spec.window; ++i) {
+      writer->F64(slab.znormed[row * slab.spec.window + i]);
+    }
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      writer->F64(slab.means[row + i]);
+    }
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      writer->F64(slab.norms[row + i]);
+    }
+  }
+}
+
+Status FeatureStore::RestoreStreamFrom(StreamId stream, Reader* reader) {
+  SD_CHECK(stream < num_streams_);
+  std::uint64_t capacity = 0, num_slabs = 0;
+  SD_RETURN_NOT_OK(reader->U64(&capacity));
+  if (capacity != capacity_) {
+    return Status::InvalidArgument("feature store slice capacity mismatch");
+  }
+  SD_RETURN_NOT_OK(reader->U64(&num_slabs));
+  if (num_slabs * 24 > reader->remaining()) {
+    return Status::InvalidArgument("feature store slice slab count corrupt");
+  }
+  for (std::uint64_t i = 0; i < num_slabs; ++i) {
+    std::uint64_t level = 0, window = 0, dims = 0;
+    std::uint32_t head = 0, count = 0;
+    SD_RETURN_NOT_OK(reader->U64(&level));
+    SD_RETURN_NOT_OK(reader->U64(&window));
+    SD_RETURN_NOT_OK(reader->U64(&dims));
+    SD_RETURN_NOT_OK(reader->U32(&head));
+    SD_RETURN_NOT_OK(reader->U32(&count));
+    if (window == 0 || dims == 0 || head >= capacity_ || count > capacity_) {
+      return Status::InvalidArgument("feature store slice corrupt");
+    }
+    if (capacity_ * window * 8 > reader->remaining()) {
+      return Status::InvalidArgument("feature store slice truncated");
+    }
+    Slab* slab = nullptr;
+    for (Slab& candidate : slabs_) {
+      if (candidate.spec.level == level && candidate.spec.window == window &&
+          candidate.spec.dims == dims) {
+        slab = &candidate;
+        break;
+      }
+    }
+    // An unmatched slab (the target monitors a different level set) still
+    // consumes its bytes: the stream simply re-warms on its new shard.
+    const std::size_t row = stream * capacity_;
+    for (std::size_t j = 0; j < capacity_; ++j) {
+      std::uint64_t t = kNoTime;
+      SD_RETURN_NOT_OK(reader->U64(&t));
+      if (slab != nullptr) slab->times[row + j] = t;
+    }
+    for (std::size_t j = 0; j < capacity_ * dims; ++j) {
+      double v = 0.0;
+      SD_RETURN_NOT_OK(reader->F64(&v));
+      if (slab != nullptr) slab->features[row * dims + j] = v;
+    }
+    for (std::size_t j = 0; j < capacity_ * window; ++j) {
+      double v = 0.0;
+      SD_RETURN_NOT_OK(reader->F64(&v));
+      if (slab != nullptr) slab->znormed[row * window + j] = v;
+    }
+    for (std::size_t j = 0; j < capacity_; ++j) {
+      double v = 0.0;
+      SD_RETURN_NOT_OK(reader->F64(&v));
+      if (slab != nullptr) slab->means[row + j] = v;
+    }
+    for (std::size_t j = 0; j < capacity_; ++j) {
+      double v = 0.0;
+      SD_RETURN_NOT_OK(reader->F64(&v));
+      if (slab != nullptr) slab->norms[row + j] = v;
+    }
+    if (slab != nullptr) {
+      slab->heads[stream] = head;
+      slab->counts[stream] = count;
+      slab->put_epochs[stream] = epoch_;
+      slab->max_put_epoch = std::max(slab->max_put_epoch, epoch_);
+    }
+  }
+  return Status::OK();
+}
+
 void FeatureStore::SaveTo(Writer* writer) const {
   writer->U64(num_streams_);
   writer->U64(capacity_);

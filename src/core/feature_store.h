@@ -104,6 +104,31 @@ class FeatureStore {
   /// Drops every cached entry (level set and counters are kept).
   void Clear();
 
+  // --- Elastic placement support (engine/shard.cc migration) -----------
+  // Columns are stream-major (stream * capacity + ring), so growing the
+  // stream count appends fresh rows at the tail of every column without
+  // disturbing existing entries.
+
+  /// Grows the store to `new_num_streams` (>= current); added streams
+  /// start empty.
+  void Grow(std::size_t new_num_streams);
+  /// Drops every cached entry of one stream across all slabs (the
+  /// tombstone half of a migration).
+  void ClearStream(StreamId stream);
+  /// Stamps one stream — and every slab — dirty at the current epoch,
+  /// so consumers using the put-epoch short-circuit re-read state that
+  /// changed without a Put (a migration installing or removing the
+  /// stream's summarizer threads).
+  void TouchStream(StreamId stream);
+  /// Per-stream slice of SaveTo: one stream's ring rows across every
+  /// slab, keyed by slab spec.
+  void SaveStreamTo(StreamId stream, Writer* writer) const;
+  /// Installs a SaveStreamTo slice. Rows whose spec matches a current
+  /// slab are copied in; rows for levels this store no longer monitors
+  /// are consumed and dropped (the consumer recomputes on miss). The
+  /// capacity must match the serializing store's.
+  Status RestoreStreamFrom(StreamId stream, Reader* reader);
+
   /// Store epoch: bumped by the owning pipeline once per applied batch,
   /// so consumers can tell whether two reads observed the same state.
   std::uint64_t epoch() const { return epoch_; }

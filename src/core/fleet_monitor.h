@@ -82,6 +82,21 @@ class FleetAggregateMonitor {
   /// never need the mutable Stardust surface.
   std::uint64_t AppendCount(StreamId stream) const;
 
+  // --- Elastic placement support (engine/shard.cc migration) ------------
+
+  /// Appends one fresh monitor (same config + thresholds as the fleet)
+  /// and returns its stream index.
+  Result<StreamId> AddStream();
+  /// Replaces one monitor with a fresh one — the tombstone half of a
+  /// stream migration; the slot can later be reused via
+  /// RestoreStreamFrom.
+  Status ResetStream(StreamId stream);
+  /// Per-stream slice of SaveTo: serializes exactly one monitor.
+  Status SaveStreamTo(StreamId stream, Writer* writer) const;
+  /// Installs a SaveStreamTo slice into one monitor slot (bit-exact,
+  /// same contract as AggregateMonitor::RestoreFrom).
+  Status RestoreStreamFrom(StreamId stream, Reader* reader);
+
  private:
   explicit FleetAggregateMonitor(
       std::vector<std::unique_ptr<AggregateMonitor>> monitors);

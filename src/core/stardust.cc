@@ -32,6 +32,15 @@ StreamId Stardust::AddStream() {
   return static_cast<StreamId>(streams_.size() - 1);
 }
 
+Status Stardust::ResetStream(StreamId stream) {
+  if (stream >= streams_.size()) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  streams_[stream] = std::make_unique<StreamSummarizer>(config_);
+  if (any_indexed_) return RebuildIndexes();
+  return Status::OK();
+}
+
 Status Stardust::Append(StreamId stream, double value) {
   if (stream >= streams_.size()) {
     return Status::InvalidArgument("unknown stream");

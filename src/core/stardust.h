@@ -43,6 +43,12 @@ class Stardust {
   /// Registers a new stream and returns its id (dense, starting at 0).
   StreamId AddStream();
 
+  /// Replaces one stream's summarizer with a fresh (empty) one — the
+  /// tombstone half of a live stream migration. Any indexed levels are
+  /// rebuilt so the departed stream's sealed boxes drop out of the
+  /// R*-trees.
+  Status ResetStream(StreamId stream);
+
   std::size_t num_streams() const { return streams_.size(); }
   const StardustConfig& config() const { return config_; }
   const StreamSummarizer& summarizer(StreamId stream) const {

@@ -19,11 +19,12 @@ constexpr char kManifestMagic[4] = {'S', 'D', 'M', 'F'};
 /// the net-state file entry. v5 changes no manifest layout but marks
 /// checkpoints whose feature files carry the SDFP-v2 sketch section and
 /// whose registry is SDQR v3 (both file formats are self-versioned, so
-/// v4 checkpoints restore with sketch measures warming up). All parse; a
-/// v1 manifest restores with an empty registry, anything below v3
-/// restores with empty query cores, and anything below v4 restores with
-/// no network tier state.
-constexpr std::uint32_t kManifestVersion = 5;
+/// v4 checkpoints restore with sketch measures warming up). v6 appends
+/// the stream-placement file entry. All parse; a v1 manifest restores
+/// with an empty registry, anything below v3 restores with empty query
+/// cores, anything below v4 restores with no network tier state, and
+/// anything below v6 restores with the modulo-hash stream placement.
+constexpr std::uint32_t kManifestVersion = 6;
 constexpr std::uint32_t kMinManifestVersion = 1;
 /// Lower bound on one serialized shard entry (name length + epoch +
 /// appended + checksum); bounds the declared shard count against the
@@ -33,7 +34,8 @@ constexpr std::uint64_t kMaxFileNameBytes = 4096;
 
 /// Extracts the sequence number from `manifest-<seq>.ck`,
 /// `shard-<i>-ck<seq>.snap`, `features-<i>-ck<seq>.feat`,
-/// `queries-ck<seq>.qry`, or `net-ck<seq>.net`; false otherwise.
+/// `edges-<i>-ck<seq>.edge`, `queries-ck<seq>.qry`, `net-ck<seq>.net`,
+/// or `placement-ck<seq>.plc`; false otherwise.
 bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
   std::string digits;
   if (name.rfind("manifest-", 0) == 0 && name.size() > 12 &&
@@ -49,12 +51,20 @@ bool ParseSeqFromName(const std::string& name, std::uint64_t* seq) {
     const std::size_t ck = name.rfind("-ck");
     if (ck == std::string::npos) return false;
     digits = name.substr(ck + 3, name.size() - ck - 8);
+  } else if (name.rfind("edges-", 0) == 0 && name.size() > 5 &&
+             name.compare(name.size() - 5, 5, ".edge") == 0) {
+    const std::size_t ck = name.rfind("-ck");
+    if (ck == std::string::npos) return false;
+    digits = name.substr(ck + 3, name.size() - ck - 8);
   } else if (name.rfind("queries-ck", 0) == 0 && name.size() > 14 &&
              name.compare(name.size() - 4, 4, ".qry") == 0) {
     digits = name.substr(10, name.size() - 14);
   } else if (name.rfind("net-ck", 0) == 0 && name.size() > 10 &&
              name.compare(name.size() - 4, 4, ".net") == 0) {
     digits = name.substr(6, name.size() - 10);
+  } else if (name.rfind("placement-ck", 0) == 0 && name.size() > 16 &&
+             name.compare(name.size() - 4, 4, ".plc") == 0) {
+    digits = name.substr(12, name.size() - 16);
   } else {
     return false;
   }
@@ -103,12 +113,21 @@ std::string CheckpointFeaturesFileName(std::size_t shard,
          ".feat";
 }
 
+std::string CheckpointEdgesFileName(std::size_t shard, std::uint64_t seq) {
+  return "edges-" + std::to_string(shard) + "-ck" + std::to_string(seq) +
+         ".edge";
+}
+
 std::string CheckpointQueriesFileName(std::uint64_t seq) {
   return "queries-ck" + std::to_string(seq) + ".qry";
 }
 
 std::string CheckpointNetFileName(std::uint64_t seq) {
   return "net-ck" + std::to_string(seq) + ".net";
+}
+
+std::string CheckpointPlacementFileName(std::uint64_t seq) {
+  return "placement-ck" + std::to_string(seq) + ".plc";
 }
 
 std::string CheckpointManifestFileName(std::uint64_t seq) {
@@ -144,6 +163,16 @@ std::string SerializeManifest(const CheckpointManifest& manifest) {
   payload.U64(manifest.net_file.size());
   payload.Bytes(manifest.net_file.data(), manifest.net_file.size());
   payload.U64(manifest.net_checksum);
+  payload.U64(manifest.placement_file.size());
+  payload.Bytes(manifest.placement_file.data(),
+                manifest.placement_file.size());
+  payload.U64(manifest.placement_checksum);
+  payload.U64(manifest.edges.size());
+  for (const CheckpointFeatureEntry& entry : manifest.edges) {
+    payload.U64(entry.file.size());
+    payload.Bytes(entry.file.data(), entry.file.size());
+    payload.U64(entry.checksum);
+  }
 
   Writer envelope;
   envelope.Bytes(kManifestMagic, sizeof(kManifestMagic));
@@ -234,6 +263,25 @@ Result<CheckpointManifest> ParseManifest(const std::string& bytes) {
     SD_RETURN_NOT_OK(ReadFileName(&reader, &manifest.net_file));
     SD_RETURN_NOT_OK(reader.U64(&manifest.net_checksum));
   }
+  if (version >= 6) {
+    SD_RETURN_NOT_OK(ReadFileName(&reader, &manifest.placement_file));
+    SD_RETURN_NOT_OK(reader.U64(&manifest.placement_checksum));
+    std::uint64_t num_edges = 0;
+    SD_RETURN_NOT_OK(reader.U64(&num_edges));
+    if (num_edges > reader.remaining() / 16) {
+      return Status::InvalidArgument(
+          "manifest edge entry count exceeds payload");
+    }
+    if (num_edges != 0 && num_edges != manifest.num_shards) {
+      return Status::InvalidArgument(
+          "manifest edge entry count disagrees with the shard count");
+    }
+    manifest.edges.resize(num_edges);
+    for (CheckpointFeatureEntry& entry : manifest.edges) {
+      SD_RETURN_NOT_OK(ReadFileName(&reader, &entry.file));
+      SD_RETURN_NOT_OK(reader.U64(&entry.checksum));
+    }
+  }
   if (!reader.AtEnd()) {
     return Status::InvalidArgument("manifest has trailing bytes");
   }
@@ -321,6 +369,31 @@ Result<CheckpointManifest> FindLatestValidCheckpoint(const std::string& dir) {
         last_error = Status::InvalidArgument(
             "checkpoint " + std::to_string(seq) + " net state file " +
             manifest.net_file + " missing or corrupt");
+        complete = false;
+      }
+    }
+    if (complete) {
+      for (const CheckpointFeatureEntry& entry : manifest.edges) {
+        Result<std::string> edge_bytes =
+            ReadFileToString((fs::path(dir) / entry.file).string());
+        if (!edge_bytes.ok() ||
+            Fnv1a(edge_bytes.value()) != entry.checksum) {
+          last_error = Status::InvalidArgument(
+              "checkpoint " + std::to_string(seq) + " edge file " +
+              entry.file + " missing or corrupt");
+          complete = false;
+          break;
+        }
+      }
+    }
+    if (complete && !manifest.placement_file.empty()) {
+      Result<std::string> placement_bytes = ReadFileToString(
+          (fs::path(dir) / manifest.placement_file).string());
+      if (!placement_bytes.ok() ||
+          Fnv1a(placement_bytes.value()) != manifest.placement_checksum) {
+        last_error = Status::InvalidArgument(
+            "checkpoint " + std::to_string(seq) + " placement file " +
+            manifest.placement_file + " missing or corrupt");
         complete = false;
       }
     }

@@ -19,8 +19,19 @@
 // no subscriber cursors. v5 marks checkpoints whose feature files carry
 // the sketch-measure section (SDFP v2) and whose registry is SDQR v3;
 // both formats are self-versioned, so v4 checkpoints restore with sketch
-// measures warming up. docs/ENGINE.md and docs/FEATURES.md document
-// the format and guarantees; docs/NETWORK.md covers the net state.
+// measures warming up. v6 appends the stream-placement file
+// (`placement-ck<seq>.plc`: the placement epoch plus every shard's
+// local->global slot table), so a checkpoint taken after live migrations
+// restores with streams on the shards that own their state; pre-v6
+// manifests restore with the modulo-hash layout (which is exactly the
+// layout their shard files were written under). v6 also carries one
+// rising-edge snapshot per shard (`edges-<i>-ck<seq>.edge`: alarming
+// flags, pattern watermarks and evaluation floors), so a restored engine
+// continues the alert stream exactly — conditions already announced
+// before the checkpoint are not re-announced; pre-v6 manifests restore
+// with empty edge state and err toward re-announcing. docs/ENGINE.md and
+// docs/FEATURES.md document the format and guarantees; docs/NETWORK.md
+// covers the net state.
 #ifndef STARDUST_ENGINE_CHECKPOINT_H_
 #define STARDUST_ENGINE_CHECKPOINT_H_
 
@@ -81,13 +92,26 @@ struct CheckpointManifest {
   /// engine without a network front door attached.
   std::string net_file;
   std::uint64_t net_checksum = 0;
+  /// Stream placement (engine/placement.h) the shard files were laid out
+  /// under, manifest v6: the placement epoch plus each shard's
+  /// local->global slot table. Empty file name on pre-v6 manifests, which
+  /// restore with the modulo-hash default layout.
+  std::string placement_file;
+  std::uint64_t placement_checksum = 0;
+  /// Per-shard rising-edge snapshots (alarming flags, pattern watermarks),
+  /// manifest v6. Either empty (pre-v6 manifest: edge state restores
+  /// empty, so conditions still alarming at the checkpoint are announced
+  /// once more) or exactly one entry per shard, in shard order.
+  std::vector<CheckpointFeatureEntry> edges;
 };
 
 /// Canonical file names within a checkpoint directory.
 std::string CheckpointShardFileName(std::size_t shard, std::uint64_t seq);
 std::string CheckpointFeaturesFileName(std::size_t shard, std::uint64_t seq);
+std::string CheckpointEdgesFileName(std::size_t shard, std::uint64_t seq);
 std::string CheckpointQueriesFileName(std::uint64_t seq);
 std::string CheckpointNetFileName(std::uint64_t seq);
+std::string CheckpointPlacementFileName(std::uint64_t seq);
 std::string CheckpointManifestFileName(std::uint64_t seq);
 
 /// Manifest (de)serialization behind the same magic + version + checksum

@@ -92,9 +92,73 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
     store_capacity = FeaturePipeline::kDefaultStoreCapacity;
   }
 
+  // Placement: a fresh engine (and any pre-v6 checkpoint) routes by the
+  // modulo-hash default; a v6 checkpoint carries the slot tables its
+  // shard files were laid out under, parsed and validated here.
+  std::uint64_t placement_epoch = 0;
+  std::vector<std::vector<StreamId>> restored_mappings;
+  if (restoring && !manifest.placement_file.empty()) {
+    const std::filesystem::path placement_path =
+        std::filesystem::path(restore_dir) / manifest.placement_file;
+    Result<std::string> read = ReadFileToString(placement_path.string());
+    if (!read.ok()) return read.status();
+    const std::string placement_bytes = std::move(read).value();
+    Reader reader(placement_bytes);
+    std::uint64_t file_shards = 0;
+    SD_RETURN_NOT_OK(reader.U64(&placement_epoch));
+    SD_RETURN_NOT_OK(reader.U64(&file_shards));
+    if (file_shards != num_shards) {
+      return Status::InvalidArgument(
+          "checkpoint placement shard count disagrees with manifest");
+    }
+    restored_mappings.resize(num_shards);
+    std::size_t resident = 0;
+    std::vector<char> seen(num_streams, 0);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      std::uint64_t slots = 0;
+      SD_RETURN_NOT_OK(reader.U64(&slots));
+      if (slots > reader.remaining() / 8) {
+        return Status::InvalidArgument("checkpoint placement truncated");
+      }
+      restored_mappings[s].reserve(slots);
+      for (std::uint64_t i = 0; i < slots; ++i) {
+        std::uint64_t global = 0;
+        SD_RETURN_NOT_OK(reader.U64(&global));
+        const StreamId id = static_cast<StreamId>(global);
+        if (id != kNoStream) {
+          if (global >= num_streams || seen[id] != 0) {
+            return Status::InvalidArgument(
+                "checkpoint placement names an invalid or duplicate "
+                "stream");
+          }
+          seen[id] = 1;
+          ++resident;
+        }
+        restored_mappings[s].push_back(id);
+      }
+    }
+    if (!reader.AtEnd() || resident != num_streams) {
+      return Status::InvalidArgument(
+          "checkpoint placement does not cover every stream");
+    }
+  }
+
   std::unique_ptr<IngestEngine> engine(
       new IngestEngine(engine_config, num_streams));
   engine->core_config_ = config;
+  engine->placement_ =
+      std::make_unique<PlacementTable>(num_streams, num_shards);
+  if (!restored_mappings.empty()) {
+    std::vector<std::uint32_t> shard_of(num_streams, 0);
+    for (std::size_t s = 0; s < restored_mappings.size(); ++s) {
+      for (const StreamId global : restored_mappings[s]) {
+        if (global != kNoStream) {
+          shard_of[global] = static_cast<std::uint32_t>(s);
+        }
+      }
+    }
+    SD_RETURN_NOT_OK(engine->placement_->Reset(placement_epoch, shard_of));
+  }
   engine->registry_ =
       std::make_unique<QueryRegistry>(config, engine_config.query);
   engine->alert_bus_ = std::make_unique<AlertBus>(
@@ -108,9 +172,13 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
   }
   engine->shards_.reserve(num_shards);
   for (std::size_t s = 0; s < num_shards; ++s) {
-    // Streams s, s + N, s + 2N, ... live on shard s.
+    // Default layout: streams s, s + N, s + 2N, ... live on shard s. A
+    // restored v6 placement sizes each shard by its checkpointed slot
+    // table instead (tombstoned slots included).
     const std::size_t local_streams =
-        (num_streams - s + num_shards - 1) / num_shards;
+        restored_mappings.empty()
+            ? (num_streams - s + num_shards - 1) / num_shards
+            : restored_mappings[s].size();
     std::unique_ptr<FleetAggregateMonitor> fleet;
     if (restoring) {
       const std::filesystem::path shard_path =
@@ -196,6 +264,21 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
         SD_RETURN_NOT_OK(
             engine->shards_.back()->RestoreFeatures(feature_bytes.value()));
       }
+      if (!restored_mappings.empty()) {
+        SD_RETURN_NOT_OK(engine->shards_.back()->SetStreamMapping(
+            restored_mappings[s]));
+      }
+      // Manifest v6 carries the rising-edge maps; pre-v6 checkpoints
+      // leave them empty and the restore errs toward re-announcing.
+      if (!manifest.edges.empty()) {
+        const std::filesystem::path edge_path =
+            std::filesystem::path(restore_dir) / manifest.edges[s].file;
+        Result<std::string> edge_bytes =
+            ReadFileToString(edge_path.string());
+        if (!edge_bytes.ok()) return edge_bytes.status();
+        SD_RETURN_NOT_OK(
+            engine->shards_.back()->RestoreEdges(edge_bytes.value()));
+      }
     }
   }
   SD_CHECK(!engine->shards_.empty());
@@ -233,6 +316,7 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
   }
   engine->StartCheckpointThread();
   engine->StartCorrelatorThread();
+  engine->StartRebalanceThread();
   return engine;
 }
 
@@ -241,7 +325,9 @@ IngestEngine::IngestEngine(const EngineConfig& config,
     : engine_id_(g_next_engine_id.fetch_add(1, std::memory_order_relaxed)),
       config_(config),
       num_streams_(num_streams),
-      metrics_(std::make_unique<EngineMetrics>()) {}
+      metrics_(std::make_unique<EngineMetrics>()),
+      producer_seq_(std::make_unique<std::atomic<std::uint64_t>[]>(
+          config.max_producers)) {}
 
 IngestEngine::~IngestEngine() { Stop(); }
 
@@ -268,8 +354,17 @@ Status IngestEngine::Post(StreamId stream, double value) {
   }
   Result<std::size_t> slot = ProducerSlot();
   if (!slot.ok()) return slot.status();
-  return shards_[ShardOf(stream)]->Push(slot.value(), LocalOf(stream),
-                                        value);
+  // Routing window (odd = inside): the placement snapshot is loaded and
+  // the push lands before the counter returns to even, so a migration's
+  // quiescence wait can order its drain barrier after every push that
+  // routed by the superseded epoch.
+  std::atomic<std::uint64_t>& seq = producer_seq_[slot.value()];
+  seq.fetch_add(1, std::memory_order_seq_cst);
+  const PlacementTable::Snapshot* placement = placement_->Acquire();
+  const Status status =
+      shards_[placement->shard_of[stream]]->Push(slot.value(), stream, value);
+  seq.fetch_add(1, std::memory_order_seq_cst);
+  return status;
 }
 
 Result<PostOutcome> IngestEngine::TryPost(StreamId stream, double value) {
@@ -281,8 +376,14 @@ Result<PostOutcome> IngestEngine::TryPost(StreamId stream, double value) {
   }
   Result<std::size_t> slot = ProducerSlot();
   if (!slot.ok()) return slot.status();
-  return shards_[ShardOf(stream)]->TryPush(slot.value(), LocalOf(stream),
-                                           value);
+  std::atomic<std::uint64_t>& seq = producer_seq_[slot.value()];
+  seq.fetch_add(1, std::memory_order_seq_cst);
+  const PlacementTable::Snapshot* placement = placement_->Acquire();
+  const PostOutcome outcome =
+      shards_[placement->shard_of[stream]]->TryPush(slot.value(), stream,
+                                                    value);
+  seq.fetch_add(1, std::memory_order_seq_cst);
+  return outcome;
 }
 
 Status IngestEngine::PostBatch(std::span<const StreamValue> tuples) {
@@ -291,22 +392,62 @@ Status IngestEngine::PostBatch(std::span<const StreamValue> tuples) {
   }
   Result<std::size_t> slot = ProducerSlot();
   if (!slot.ok()) return slot.status();
+  // One routing window for the whole batch: every push routes by one
+  // placement snapshot, and a concurrent migration waits the window out
+  // before reading its drain barrier.
+  std::atomic<std::uint64_t>& seq = producer_seq_[slot.value()];
+  seq.fetch_add(1, std::memory_order_seq_cst);
+  const PlacementTable::Snapshot* placement = placement_->Acquire();
+  Status status = Status::OK();
   for (const StreamValue& tuple : tuples) {
     if (tuple.stream >= num_streams_) {
-      return Status::InvalidArgument("unknown stream");
+      status = Status::InvalidArgument("unknown stream");
+      break;
     }
-    SD_RETURN_NOT_OK(shards_[ShardOf(tuple.stream)]->Push(
-        slot.value(), LocalOf(tuple.stream), tuple.value));
+    status = shards_[placement->shard_of[tuple.stream]]->Push(
+        slot.value(), tuple.stream, tuple.value);
+    if (!status.ok()) break;
   }
-  return Status::OK();
+  seq.fetch_add(1, std::memory_order_seq_cst);
+  return status;
+}
+
+void IngestEngine::WaitProducersQuiescent() const {
+  const std::uint32_t producers =
+      std::min(next_producer_.load(std::memory_order_seq_cst),
+               static_cast<std::uint32_t>(config_.max_producers));
+  for (std::uint32_t i = 0; i < producers; ++i) {
+    const std::uint64_t seq =
+        producer_seq_[i].load(std::memory_order_seq_cst);
+    if ((seq & 1) == 0) continue;  // outside any routing window
+    // Inside a window entered before (or racing) the placement flip:
+    // wait for the counter to move. The next window re-loads the
+    // snapshot and routes by the new epoch.
+    while (producer_seq_[i].load(std::memory_order_seq_cst) == seq) {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    }
+  }
 }
 
 Status IngestEngine::Flush() {
-  std::vector<std::uint64_t> targets;
+  // Per-ring barriers, like a migration's source drain: exact for the
+  // tuples enqueued before the snapshot even while other producers keep
+  // posting concurrently.
+  std::vector<std::vector<std::uint64_t>> targets;
   targets.reserve(shards_.size());
-  for (const auto& shard : shards_) targets.push_back(shard->enqueued());
+  for (const auto& shard : shards_) {
+    targets.push_back(shard->RingEnqueueCursors());
+  }
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    while (shards_[s]->retired() < targets[s]) {
+    while (!shards_[s]->RingsDrainedPast(targets[s])) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // A tuple parked for an in-flight migration is retired from its ring's
+  // point of view but not yet applied; wait until every park has drained
+  // so "flushed" keeps meaning "applied".
+  for (const auto& shard : shards_) {
+    while (!shard->ParkDrained()) {
       std::this_thread::sleep_for(std::chrono::microseconds(50));
     }
   }
@@ -333,8 +474,13 @@ Status IngestEngine::Stop() {
   if (!stopped_.compare_exchange_strong(expected, true)) {
     return Status::OK();
   }
+  StopRebalanceThread();
   StopCheckpointThread();
   StopCorrelatorThread();
+  // Wait out an in-flight manual migration (its worker-progress spins
+  // need the workers alive); a migration that starts after this barrier
+  // sees stopped_ and refuses.
+  { std::lock_guard<std::mutex> migration_lock(migration_mu_); }
   accepting_.store(false, std::memory_order_release);
   for (auto& shard : shards_) {
     shard->set_paused(false);  // a paused worker must wake up to drain
@@ -360,7 +506,16 @@ void IngestEngine::Resume() {
 
 AlarmStats IngestEngine::StreamTotal(StreamId stream) const {
   SD_CHECK(stream < num_streams_);
-  return shards_[ShardOf(stream)]->StreamTotal(LocalOf(stream), nullptr);
+  AlarmStats out;
+  if (shards_[ShardOf(stream)]->FindStreamTotal(stream, &out, nullptr)) {
+    return out;
+  }
+  // Mid-migration gap: the placement names the target before the state
+  // installs there. Whichever shard still holds the slice answers.
+  for (const auto& shard : shards_) {
+    if (shard->FindStreamTotal(stream, &out, nullptr)) return out;
+  }
+  return AlarmStats{};
 }
 
 AlarmStats IngestEngine::FleetTotal(
@@ -393,11 +548,9 @@ Result<std::vector<StreamId>> IngestEngine::CurrentlyAlarming(
     Result<std::vector<StreamId>> local =
         shard->CurrentlyAlarming(window_index, &stamp);
     if (!local.ok()) return local.status();
-    for (const StreamId local_id : local.value()) {
-      // Inverse of the placement map: global = local * N + shard.
-      alarming.push_back(static_cast<StreamId>(
-          local_id * shards_.size() + shard->index()));
-    }
+    // Shards report global ids directly off their slot tables.
+    alarming.insert(alarming.end(), local.value().begin(),
+                    local.value().end());
     if (stamps != nullptr) stamps->push_back(stamp);
   }
   std::sort(alarming.begin(), alarming.end());
@@ -406,7 +559,196 @@ Result<std::vector<StreamId>> IngestEngine::CurrentlyAlarming(
 
 std::uint64_t IngestEngine::StreamAppendCount(StreamId stream) const {
   SD_CHECK(stream < num_streams_);
-  return shards_[ShardOf(stream)]->StreamAppendCount(LocalOf(stream));
+  std::uint64_t count = 0;
+  if (shards_[ShardOf(stream)]->FindStreamAppendCount(stream, &count)) {
+    return count;
+  }
+  for (const auto& shard : shards_) {
+    if (shard->FindStreamAppendCount(stream, &count)) return count;
+  }
+  return 0;
+}
+
+Status IngestEngine::DebugStreamState(StreamId stream,
+                                      std::string* blob) const {
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  const Status owned =
+      shards_[ShardOf(stream)]->SerializeStream(stream, blob);
+  if (owned.ok()) return owned;
+  for (const auto& shard : shards_) {
+    if (shard->SerializeStream(stream, blob).ok()) return Status::OK();
+  }
+  return owned;
+}
+
+Status IngestEngine::MigrateStream(StreamId stream, std::size_t from,
+                                   std::size_t to) {
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  if (from >= shards_.size() || to >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument(
+        "migration source and target are the same shard");
+  }
+  std::lock_guard<std::mutex> lock(migration_mu_);
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("engine is stopped");
+  }
+  if (placement_->ShardOf(stream) != from) {
+    return Status::FailedPrecondition(
+        "stream is not on the requested source shard");
+  }
+  if (shards_[from]->paused() || shards_[to]->paused()) {
+    // A paused worker can neither drain the source's rings nor apply the
+    // target's park; refusing beats deadlocking the migration.
+    return Status::FailedPrecondition(
+        "cannot migrate to or from a paused shard");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  // 1. The target begins parking the stream's tuples in arrival order.
+  SD_RETURN_NOT_OK(shards_[to]->PrepareReceive(stream));
+  // 2. Flip the placement: every routing window opened from here on
+  // pushes the stream to the target (parked until its state installs).
+  SD_RETURN_NOT_OK(placement_->SetShard(stream, to));
+  // 3. Wait out producers still inside a window opened under the old
+  // epoch, then drain the source past a per-ring barrier: after it
+  // passes, every tuple routed here under the old epoch has been
+  // applied, and the rings hold nothing more for this stream, ever.
+  // The barrier must be per-ring — an aggregate retired-vs-enqueued
+  // comparison can be satisfied by post-flip traffic from other
+  // producers' rings while the migrating stream's last tuples still sit
+  // queued, and extracting then would strand them.
+  WaitProducersQuiescent();
+  const std::vector<std::uint64_t> barrier =
+      shards_[from]->RingEnqueueCursors();
+  while (!shards_[from]->RingsDrainedPast(barrier)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  // 4. Move the state. The correlator round lock is held across the
+  // extract/install gap so no round can observe a fleet without the
+  // stream and spuriously re-alert its pairs when it reappears.
+  std::string blob;
+  {
+    std::lock_guard<std::mutex> round_lock(correlator_round_mu_);
+    SD_RETURN_NOT_OK(shards_[from]->ExtractStream(stream, &blob));
+    SD_RETURN_NOT_OK(shards_[to]->InstallStream(stream, blob));
+  }
+  // 5. Live on the target once the parked backlog has applied.
+  while (!shards_[to]->ParkDrained()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  metrics_->migrations.fetch_add(1, std::memory_order_relaxed);
+  metrics_->migrated_bytes.fetch_add(blob.size(),
+                                     std::memory_order_relaxed);
+  metrics_->migration_latency.Record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  return Status::OK();
+}
+
+void IngestEngine::StartRebalanceThread() {
+  if (config_.rebalance_period_ms == 0) return;
+  rebalance_thread_ = std::thread([this] { RebalanceLoop(); });
+}
+
+void IngestEngine::StopRebalanceThread() {
+  if (!rebalance_thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(rebalance_cv_mu_);
+    rebalance_stop_ = true;
+  }
+  rebalance_cv_.notify_all();
+  rebalance_thread_.join();
+}
+
+void IngestEngine::RebalanceLoop() {
+  const auto period =
+      std::chrono::milliseconds(config_.rebalance_period_ms);
+  // Ticks a migrated stream sits out before it may move again — the
+  // second hysteresis stage, against ping-ponging one stream.
+  constexpr std::uint64_t kCooldownTicks = 8;
+  // Ticks the whole loop observes without acting after any migration:
+  // the move itself pollutes the next deltas (the source drained, the
+  // target replayed a parked backlog), and deciding on them would
+  // cascade a second bogus move — e.g. stacking both hot streams onto
+  // the shard that just received one.
+  constexpr std::uint64_t kSettleTicks = 2;
+  std::vector<std::uint64_t> prev_shard(shards_.size(), 0);
+  std::unordered_map<StreamId, std::uint64_t> prev_stream;
+  std::unordered_map<StreamId, std::uint64_t> cooldown_until;
+  std::uint64_t settle_until = 0;
+  std::uint64_t tick = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(rebalance_cv_mu_);
+      if (rebalance_cv_.wait_for(lock, period,
+                                 [this] { return rebalance_stop_; })) {
+        return;
+      }
+    }
+    ++tick;
+    // Per-shard applied deltas over this tick: the load signal.
+    std::size_t hottest = 0;
+    std::size_t coldest = 0;
+    std::uint64_t max_delta = 0;
+    std::uint64_t min_delta = ~std::uint64_t{0};
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const std::uint64_t applied = shards_[s]->applied();
+      const std::uint64_t delta = applied - prev_shard[s];
+      prev_shard[s] = applied;
+      if (delta > max_delta) {
+        max_delta = delta;
+        hottest = s;
+      }
+      if (delta < min_delta) {
+        min_delta = delta;
+        coldest = s;
+      }
+    }
+    // Per-stream deltas, scraped from every shard each tick so a
+    // stream's history stays continuous across its own migrations. The
+    // candidate is the hottest shard's hottest stream not in cooldown.
+    StreamId candidate = kNoStream;
+    std::uint64_t candidate_delta = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      for (const auto& [global, count] : shards_[s]->StreamAppendCounts()) {
+        const auto [it, inserted] = prev_stream.try_emplace(global, 0);
+        const std::uint64_t delta = count - it->second;
+        it->second = count;
+        if (s == hottest && delta > candidate_delta &&
+            tick >= cooldown_until[global]) {
+          candidate = global;
+          candidate_delta = delta;
+        }
+      }
+    }
+    // The counters above are re-baselined every tick even while
+    // settling, so the first post-settle decision sees clean deltas.
+    if (tick < settle_until) continue;
+    if (max_delta < config_.rebalance_min_delta) continue;  // trickle/idle
+    if (static_cast<double>(max_delta) <=
+        config_.rebalance_hysteresis * static_cast<double>(min_delta)) {
+      continue;  // balanced enough; never oscillate a balanced fleet
+    }
+    if (candidate == kNoStream || candidate_delta == 0) continue;
+    if (candidate_delta > max_delta - min_delta) {
+      // Overshoot guard: moving a stream hotter than the whole skew
+      // would only invert the imbalance next tick.
+      continue;
+    }
+    // One migration per tick; the next tick re-measures before moving
+    // anything else.
+    if (MigrateStream(candidate, hottest, coldest).ok()) {
+      cooldown_until[candidate] = tick + kCooldownTicks;
+      settle_until = tick + 1 + kSettleTicks;
+    }
+  }
 }
 
 std::vector<ShardMetricsSnapshot> IngestEngine::ShardMetrics() const {
@@ -422,6 +764,12 @@ std::string IngestEngine::MetricsJson() const {
 
 Status IngestEngine::Checkpoint(const std::string& dir) {
   std::lock_guard<std::mutex> lock(checkpoint_mu_);
+  // No migration may run while the per-shard slot tables are captured:
+  // otherwise a stream could appear in two shards' mappings (or
+  // neither). Ingestion itself keeps flowing. Lock order is always
+  // checkpoint_mu_ then migration_mu_; migrations never take
+  // checkpoint_mu_, so there is no cycle.
+  std::lock_guard<std::mutex> migration_lock(migration_mu_);
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -448,10 +796,15 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
   // fleet bytes, so the two files describe one point in the apply
   // sequence.
   manifest.features.reserve(shards_.size());
-  for (const auto& shard : shards_) {
+  manifest.edges.reserve(shards_.size());
+  std::vector<std::vector<StreamId>> mappings(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard* shard = shards_[s].get();
     ShardStamp stamp;
     std::string feature_bytes;
-    const std::string bytes = shard->SerializeState(&stamp, &feature_bytes);
+    std::string edge_bytes;
+    const std::string bytes = shard->SerializeState(
+        &stamp, &feature_bytes, &mappings[s], &edge_bytes);
     CheckpointShardEntry entry;
     entry.file = CheckpointShardFileName(shard->index(), seq);
     entry.epoch = stamp.epoch;
@@ -477,6 +830,22 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
       return feature_written;
     }
     manifest.features.push_back(std::move(feature_entry));
+
+    // The rising-edge maps ride next to the feature bytes (manifest v6):
+    // without them a restore would re-announce every condition that was
+    // already alarming when the checkpoint was taken.
+    CheckpointFeatureEntry edge_entry;
+    edge_entry.file = CheckpointEdgesFileName(shard->index(), seq);
+    edge_entry.checksum = Fnv1a(edge_bytes);
+    const std::filesystem::path edge_path =
+        std::filesystem::path(dir) / edge_entry.file;
+    const Status edge_written =
+        AtomicWriteFile(edge_path.string(), edge_bytes);
+    if (!edge_written.ok()) {
+      metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      return edge_written;
+    }
+    manifest.edges.push_back(std::move(edge_entry));
   }
 
   // The query registry rides every checkpoint (even when empty, so the
@@ -511,6 +880,33 @@ Status IngestEngine::Checkpoint(const std::string& dir) {
         metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
         return written;
       }
+    }
+  }
+
+  // The stream placement rides the checkpoint (manifest v6): the
+  // placement epoch plus every shard's local->global slot table,
+  // captured under the same migration_mu_ hold as the shard bytes so
+  // the restore lays streams out exactly as the shard files were
+  // written.
+  {
+    Writer placement_writer;
+    placement_writer.U64(placement_->epoch());
+    placement_writer.U64(shards_.size());
+    for (const std::vector<StreamId>& mapping : mappings) {
+      placement_writer.U64(mapping.size());
+      for (const StreamId global : mapping) {
+        placement_writer.U64(global);
+      }
+    }
+    const std::string& bytes = placement_writer.buffer();
+    manifest.placement_file = CheckpointPlacementFileName(seq);
+    manifest.placement_checksum = Fnv1a(bytes);
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / manifest.placement_file;
+    const Status written = AtomicWriteFile(path.string(), bytes);
+    if (!written.ok()) {
+      metrics_->checkpoint_failures.fetch_add(1, std::memory_order_relaxed);
+      return written;
     }
   }
 

@@ -1,11 +1,16 @@
 // IngestEngine: sharded multi-threaded ingestion for the fleet deployment
 // of Section 2.1 ("a system that has M input streams"). The M streams are
-// partitioned across N worker shards (stream id modulo the shard count);
-// each shard owns a private Stardust + monitor set and drains bounded
-// lock-free SPSC rings filled by producer threads via Post/PostBatch.
-// Overload behavior is an explicit policy (block / drop-newest /
-// drop-oldest, with drop counters), and cross-shard reads return coherent
-// per-shard snapshots stamped with sequence epochs. See docs/ENGINE.md.
+// partitioned across N worker shards by an epoch-versioned placement
+// table (engine/placement.h; the default layout is the historical stream
+// id modulo the shard count); each shard owns a private Stardust +
+// monitor set and drains bounded lock-free SPSC rings filled by producer
+// threads via Post/PostBatch. Placement is elastic: MigrateStream moves
+// one stream's full state between shards while ingestion continues (no
+// tuple loss, no duplicate or missing alerts), and an optional background
+// rebalancer drives migrations off the per-shard load signal. Overload
+// behavior is an explicit policy (block / drop-newest / drop-oldest,
+// with drop counters), and cross-shard reads return coherent per-shard
+// snapshots stamped with sequence epochs. See docs/ENGINE.md.
 //
 // Layered on top is the continuous-query subsystem (src/query,
 // docs/QUERIES.md): queries registered at runtime through queries() are
@@ -36,6 +41,7 @@
 #include "engine/checkpoint.h"
 #include "engine/engine_config.h"
 #include "engine/metrics.h"
+#include "engine/placement.h"
 #include "engine/shard.h"
 #include "query/alert_bus.h"
 #include "query/correlation_index.h"
@@ -84,11 +90,15 @@ class IngestEngine {
   }
   const EngineConfig& engine_config() const { return config_; }
 
-  /// Shard that owns a stream (stream id modulo shard count).
+  /// Shard that owns a stream per the live placement table (a fresh
+  /// engine routes stream id modulo shard count; migrations re-map).
   std::size_t ShardOf(StreamId stream) const {
     SD_DCHECK(!shards_.empty());
-    return stream % shards_.size();
+    return placement_->ShardOf(stream);
   }
+  /// The routing table itself (epoch, full stream→shard map); every
+  /// placement decision in the engine goes through it.
+  const PlacementTable& placement() const { return *placement_; }
 
   // --- Producer side ----------------------------------------------------
   /// Enqueues one value. Under kBlock this waits for queue space; under
@@ -190,6 +200,30 @@ class IngestEngine {
   /// quiet). Serialized against the background correlator.
   void TriggerCorrelatorRound();
 
+  // --- Elastic placement (docs/ENGINE.md, "Elastic sharding") -----------
+  /// Moves `stream`'s entire per-stream state (monitor, summarizers,
+  /// sliding trackers, sketch slots, feature-store rows, alert edge
+  /// state) from shard `from` to shard `to` while ingestion continues.
+  /// The protocol: the target starts parking the stream's tuples, the
+  /// placement epoch flips so producers route to the target, the source
+  /// drains everything routed to it under the old epoch, the state moves
+  /// under both the source's state mutex and the correlator round lock,
+  /// and the parked tuples apply in arrival order — no tuple is lost, no
+  /// alert fires twice or goes missing. Serialized against itself, the
+  /// rebalancer, and Checkpoint. FailedPrecondition when `from` no
+  /// longer owns the stream, either shard is paused, or the engine is
+  /// stopped.
+  Status MigrateStream(StreamId stream, std::size_t from, std::size_t to);
+  /// Convenience overload sourcing from the stream's current owner.
+  Status MigrateStream(StreamId stream, std::size_t to) {
+    return MigrateStream(stream, placement_->ShardOf(stream), to);
+  }
+  /// Serialized slice of one stream's live state (the ExtractStream
+  /// bytes without the extraction) — the migration-equivalence oracle:
+  /// two engines that applied the same tuples must produce identical
+  /// slices for every stream, however their placements diverged.
+  Status DebugStreamState(StreamId stream, std::string* blob) const;
+
  private:
   IngestEngine(const EngineConfig& config, std::size_t num_streams);
 
@@ -243,11 +277,21 @@ class IngestEngine {
   bool RunCorrelatorGroup(const EvalPlan::CorrelationGroup& group,
                           bool* round_counted, std::uint64_t* round);
 
-  StreamId LocalOf(StreamId stream) const {
-    return stream / static_cast<StreamId>(shards_.size());
-  }
   /// Producer slot of the calling thread, registering it on first use.
   Result<std::size_t> ProducerSlot();
+
+  /// Blocks until no producer is inside a routing window it entered
+  /// before the call — after a placement flip this guarantees every
+  /// producer's next push routes by the new epoch (see producer_seq_).
+  void WaitProducersQuiescent() const;
+
+  /// Body of the background rebalancer thread (EngineConfig::
+  /// rebalance_period_ms): samples per-shard and per-stream append
+  /// deltas each period and migrates the hottest stream off the hottest
+  /// shard onto the coldest when the skew clears the hysteresis bounds.
+  void RebalanceLoop();
+  void StartRebalanceThread();
+  void StopRebalanceThread();
 
   const std::uint64_t engine_id_;
   const EngineConfig config_;
@@ -258,10 +302,30 @@ class IngestEngine {
   std::unique_ptr<EngineMetrics> metrics_;
   std::unique_ptr<QueryRegistry> registry_;
   std::unique_ptr<AlertBus> alert_bus_;
+  /// The stream→shard routing table; set in Create before any thread
+  /// starts, republished (copy-on-write) by migrations.
+  std::unique_ptr<PlacementTable> placement_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint32_t> next_producer_{0};
+  /// Per-producer routing windows (sized max_producers): a producer
+  /// bumps its counter to odd, loads the placement snapshot, pushes,
+  /// then bumps back to even — all seq_cst. A migration that flipped
+  /// the placement spins until every counter is even or has moved, so
+  /// no push routed by the superseded epoch can land after the source
+  /// drain barrier is read.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> producer_seq_;
+
+  /// Serializes migrations (manual calls, the rebalancer) against each
+  /// other and against Checkpoint's placement capture. Always acquired
+  /// after checkpoint_mu_ when both are held.
+  mutable std::mutex migration_mu_;
+
+  std::mutex rebalance_cv_mu_;
+  std::condition_variable rebalance_cv_;
+  bool rebalance_stop_ = false;
+  std::thread rebalance_thread_;
 
   /// Serializes Checkpoint() calls (manual and background) and guards the
   /// sequence counters and the net-state provider below.

@@ -3,6 +3,7 @@
 #define STARDUST_ENGINE_ENGINE_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -66,6 +67,20 @@ struct EngineConfig {
   /// Directory the background checkpoint thread writes into. Required
   /// when checkpoint_period_ms > 0; created on first use.
   std::string checkpoint_dir;
+  /// Period of the background rebalancer thread in milliseconds; 0 (the
+  /// default) disables it. When enabled the engine samples per-shard and
+  /// per-stream append deltas every period and migrates the hottest
+  /// stream off the hottest shard when the load skew exceeds the
+  /// hysteresis bounds below (docs/ENGINE.md, "Elastic sharding").
+  std::size_t rebalance_period_ms = 0;
+  /// A rebalance tick acts only when the hottest shard's append delta
+  /// exceeds the coldest's by this factor. Must be > 1 (hysteresis: a
+  /// balanced fleet must never oscillate streams back and forth).
+  double rebalance_hysteresis = 1.5;
+  /// Minimum per-tick append delta of the hottest shard before the
+  /// rebalancer considers acting; keeps idle and trickle workloads from
+  /// migrating on noise.
+  std::uint64_t rebalance_min_delta = 4096;
   /// Continuous-query subsystem layered on the shards: pattern /
   /// correlation core configurations, correlator cadence, and the alert
   /// bus shape (src/query, docs/QUERIES.md).
@@ -88,6 +103,10 @@ struct EngineConfig {
     if (checkpoint_period_ms > 0 && checkpoint_dir.empty()) {
       return Status::InvalidArgument(
           "checkpoint_period_ms requires a checkpoint_dir");
+    }
+    if (rebalance_period_ms > 0 && rebalance_hysteresis <= 1.0) {
+      return Status::InvalidArgument(
+          "rebalance_hysteresis must exceed 1.0");
     }
     return Status::OK();
   }

@@ -45,21 +45,8 @@ void FeaturePipeline::AdoptPlan(const EvalPlan& plan,
     trackers_.resize(num_streams_);
     if (!tracker_windows_.empty()) {
       ++tracker_rebuilds_;
-      const AggregateKind kind = fleet.config().aggregate;
       for (StreamId s = 0; s < num_streams_; ++s) {
-        auto tracker =
-            std::make_unique<SlidingAggregateTracker>(kind, tracker_windows_);
-        // Backfill from the retained raw tail so a query registered
-        // mid-stream becomes answerable exactly when the seed path's
-        // Algorithm-2 verification would have been (window fully inside
-        // the retained history).
-        const RingBuffer<double>& raw =
-            fleet.monitor(s).stardust().summarizer(0).raw();
-        const std::uint64_t first = raw.first_position();
-        const std::size_t count = static_cast<std::size_t>(raw.size() - first);
-        raw.CopyWindow(first, count, &window_scratch_);
-        tracker->PushSpan(window_scratch_.data(), count);
-        trackers_[s] = std::move(tracker);
+        trackers_[s] = BackfillTracker(s, fleet);
       }
     }
   }
@@ -262,6 +249,202 @@ bool FeaturePipeline::CorrelationFeature(std::size_t level, StreamId stream,
   out->mean = mean;
   out->norm2 = norm2;
   return true;
+}
+
+std::unique_ptr<SlidingAggregateTracker> FeaturePipeline::BackfillTracker(
+    StreamId stream, const FleetAggregateMonitor& fleet) {
+  auto tracker = std::make_unique<SlidingAggregateTracker>(
+      fleet.config().aggregate, tracker_windows_);
+  // Backfill from the retained raw tail so a query registered mid-stream
+  // becomes answerable exactly when the seed path's Algorithm-2
+  // verification would have been (window fully inside retained history).
+  const RingBuffer<double>& raw =
+      fleet.monitor(stream).stardust().summarizer(0).raw();
+  const std::uint64_t first = raw.first_position();
+  const std::size_t count = static_cast<std::size_t>(raw.size() - first);
+  raw.CopyWindow(first, count, &window_scratch_);
+  tracker->PushSpan(window_scratch_.data(), count);
+  return tracker;
+}
+
+bool FeaturePipeline::AnyLevelIndexed(const Stardust& core) {
+  for (std::size_t level = 0; level < core.config().num_levels; ++level) {
+    if (core.level_indexed(level)) return true;
+  }
+  return false;
+}
+
+StreamId FeaturePipeline::GrowStream(const FleetAggregateMonitor& fleet) {
+  const StreamId local = static_cast<StreamId>(num_streams_);
+  ++num_streams_;
+  if (pattern_core_ != nullptr) {
+    const StreamId id = pattern_core_->AddStream();
+    SD_CHECK(id == local);
+  }
+  if (corr_core_ != nullptr) {
+    const StreamId id = corr_core_->AddStream();
+    SD_CHECK(id == local);
+  }
+  store_.Grow(num_streams_);
+  if (!trackers_.empty() || !tracker_windows_.empty()) {
+    trackers_.resize(num_streams_);
+    if (!tracker_windows_.empty()) {
+      trackers_[local] = std::make_unique<SlidingAggregateTracker>(
+          fleet.config().aggregate, tracker_windows_);
+    }
+  }
+  for (auto& per_stream : sketch_slots_) per_stream.resize(num_streams_);
+  return local;
+}
+
+Status FeaturePipeline::ResetStream(StreamId stream,
+                                    const FleetAggregateMonitor& fleet) {
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  if (pattern_core_ != nullptr) {
+    SD_RETURN_NOT_OK(pattern_core_->ResetStream(stream));
+  }
+  if (corr_core_ != nullptr) {
+    SD_RETURN_NOT_OK(corr_core_->ResetStream(stream));
+  }
+  if (!trackers_.empty()) {
+    trackers_[stream] =
+        tracker_windows_.empty()
+            ? nullptr
+            : std::make_unique<SlidingAggregateTracker>(
+                  fleet.config().aggregate, tracker_windows_);
+  }
+  for (auto& per_stream : sketch_slots_) per_stream[stream] = nullptr;
+  store_.ClearStream(stream);
+  store_.TouchStream(stream);
+  return Status::OK();
+}
+
+Status FeaturePipeline::SaveStreamTo(StreamId stream, Writer* writer) const {
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  writer->U8(pattern_core_ != nullptr ? 1 : 0);
+  if (pattern_core_ != nullptr) {
+    pattern_core_->summarizer(stream).SaveTo(writer);
+  }
+  writer->U8(corr_core_ != nullptr ? 1 : 0);
+  if (corr_core_ != nullptr) {
+    corr_core_->summarizer(stream).SaveTo(writer);
+  }
+  const SlidingAggregateTracker* tracker =
+      trackers_.empty() ? nullptr : trackers_[stream].get();
+  writer->U8(tracker != nullptr ? 1 : 0);
+  if (tracker != nullptr) {
+    writer->U64(tracker->num_windows());
+    for (std::size_t i = 0; i < tracker->num_windows(); ++i) {
+      writer->U64(tracker->window(i));
+    }
+    tracker->SaveTo(writer);
+  }
+  writer->U64(sketch_configs_.size());
+  for (std::size_t slot = 0; slot < sketch_configs_.size(); ++slot) {
+    sketch_configs_[slot].SaveTo(writer);
+    const SketchMeasure* measure = sketch_slots_[slot][stream].get();
+    writer->U8(measure != nullptr ? 1 : 0);
+    if (measure != nullptr) measure->SaveTo(writer);
+  }
+  store_.SaveStreamTo(stream, writer);
+  return Status::OK();
+}
+
+Status FeaturePipeline::RestoreStreamFrom(StreamId stream, Reader* reader,
+                                          const FleetAggregateMonitor& fleet) {
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("unknown stream");
+  }
+  std::uint8_t has_pattern = 0;
+  SD_RETURN_NOT_OK(reader->U8(&has_pattern));
+  if (has_pattern != 0) {
+    if (pattern_core_ == nullptr) {
+      return Status::InvalidArgument(
+          "stream slice carries a pattern core this shard does not run");
+    }
+    SD_RETURN_NOT_OK(
+        pattern_core_->mutable_summarizer(stream)->RestoreFrom(reader));
+    if (AnyLevelIndexed(*pattern_core_)) {
+      SD_RETURN_NOT_OK(pattern_core_->RebuildIndexes());
+    }
+  }
+  std::uint8_t has_corr = 0;
+  SD_RETURN_NOT_OK(reader->U8(&has_corr));
+  if (has_corr != 0) {
+    if (corr_core_ == nullptr) {
+      return Status::InvalidArgument(
+          "stream slice carries a correlation core this shard does not run");
+    }
+    SD_RETURN_NOT_OK(
+        corr_core_->mutable_summarizer(stream)->RestoreFrom(reader));
+    if (AnyLevelIndexed(*corr_core_)) {
+      SD_RETURN_NOT_OK(corr_core_->RebuildIndexes());
+    }
+  }
+  std::uint8_t has_tracker = 0;
+  SD_RETURN_NOT_OK(reader->U8(&has_tracker));
+  if (has_tracker != 0) {
+    std::uint64_t num_windows = 0;
+    SD_RETURN_NOT_OK(reader->U64(&num_windows));
+    if (num_windows > reader->remaining() / 8) {
+      return Status::InvalidArgument("stream slice tracker count corrupt");
+    }
+    std::vector<std::size_t> windows(num_windows);
+    for (std::uint64_t i = 0; i < num_windows; ++i) {
+      std::uint64_t w = 0;
+      SD_RETURN_NOT_OK(reader->U64(&w));
+      if (w == 0) {
+        return Status::InvalidArgument("stream slice tracker window zero");
+      }
+      windows[i] = static_cast<std::size_t>(w);
+    }
+    // Consume the tracker bytes with a tracker of the serialized shape;
+    // keep it only when it matches this shard's plan window set (then
+    // the restore is bit-exact). A mismatch (plan skew between shards)
+    // falls through to the history backfill below.
+    auto restored = std::make_unique<SlidingAggregateTracker>(
+        fleet.config().aggregate, windows);
+    SD_RETURN_NOT_OK(restored->RestoreFrom(reader));
+    if (!tracker_windows_.empty()) {
+      if (trackers_.size() < num_streams_) trackers_.resize(num_streams_);
+      trackers_[stream] = windows == tracker_windows_
+                              ? std::move(restored)
+                              : BackfillTracker(stream, fleet);
+    }
+  } else if (!tracker_windows_.empty()) {
+    if (trackers_.size() < num_streams_) trackers_.resize(num_streams_);
+    trackers_[stream] = BackfillTracker(stream, fleet);
+  }
+  std::uint64_t num_slots = 0;
+  SD_RETURN_NOT_OK(reader->U64(&num_slots));
+  if (num_slots > reader->remaining() / 66) {
+    return Status::InvalidArgument("stream slice sketch count corrupt");
+  }
+  for (std::uint64_t i = 0; i < num_slots; ++i) {
+    SketchConfig config;
+    SD_RETURN_NOT_OK(config.RestoreFrom(reader));
+    SD_RETURN_NOT_OK(config.Validate());
+    std::uint8_t present = 0;
+    SD_RETURN_NOT_OK(reader->U8(&present));
+    if (present == 0) continue;
+    auto measure = CreateSketchMeasure(config);
+    SD_RETURN_NOT_OK(measure->RestoreFrom(reader));
+    // Claim by config: a slot this shard's plan no longer carries is
+    // consumed and dropped (the measure warms up if re-registered).
+    for (std::size_t slot = 0; slot < sketch_configs_.size(); ++slot) {
+      if (sketch_configs_[slot] == config) {
+        sketch_slots_[slot][stream] = std::move(measure);
+        break;
+      }
+    }
+  }
+  SD_RETURN_NOT_OK(store_.RestoreStreamFrom(stream, reader));
+  store_.TouchStream(stream);
+  return Status::OK();
 }
 
 FeaturePipeline::Counters FeaturePipeline::counters() const {

@@ -121,6 +121,27 @@ class FeaturePipeline {
 
   Counters counters() const;
 
+  // --- Elastic placement support (engine/shard.cc migration) -----------
+
+  /// Appends one fresh stream slot (cores, store row, tracker, sketch
+  /// slots) and returns its local index. `fleet` supplies the aggregate
+  /// kind for the new tracker.
+  StreamId GrowStream(const FleetAggregateMonitor& fleet);
+  /// Resets one stream's derived state to empty — the tombstone half of
+  /// a migration. The slot stays valid for later reuse via
+  /// RestoreStreamFrom.
+  Status ResetStream(StreamId stream, const FleetAggregateMonitor& fleet);
+  /// Serializes one stream's slice of every maintained structure:
+  /// summarizers, tracker, sketch measures, and store rows.
+  Status SaveStreamTo(StreamId stream, Writer* writer) const;
+  /// Installs a SaveStreamTo slice into `stream`'s slot. The tracker is
+  /// restored bit-exactly when the serialized window set matches this
+  /// pipeline's plan, otherwise rebuilt from `fleet`'s raw history;
+  /// sketch measures are claimed by config; store rows for levels this
+  /// shard no longer monitors are dropped (recomputed on miss).
+  Status RestoreStreamFrom(StreamId stream, Reader* reader,
+                           const FleetAggregateMonitor& fleet);
+
   /// Serializes the cores, the store, and the live sketch measures under
   /// the "SDFP" v2 envelope (magic + version + FNV-1a checksum), so a
   /// restored engine resumes pattern/correlation/sketch query evaluation
@@ -140,7 +161,14 @@ class FeaturePipeline {
   void CacheStreamFeatures(const FeatureStore::LevelSpec& spec,
                            StreamId stream);
 
-  const std::size_t num_streams_;
+  /// Backfills one tracker from the fleet's retained raw history (the
+  /// AdoptPlan seed path, factored out for migration installs).
+  std::unique_ptr<SlidingAggregateTracker> BackfillTracker(
+      StreamId stream, const FleetAggregateMonitor& fleet);
+  /// True when any level of `core` currently maintains an R*-tree.
+  static bool AnyLevelIndexed(const Stardust& core);
+
+  std::size_t num_streams_;
   std::unique_ptr<Stardust> pattern_core_;
   std::unique_ptr<Stardust> corr_core_;
   FeatureStore store_;

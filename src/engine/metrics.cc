@@ -49,6 +49,13 @@ std::string EngineMetricsJson(
           ",\"correlator_errors\":%" PRIu64 ",\"pin_failures\":%" PRIu64,
           load(metrics.alerts_published), load(metrics.correlator_rounds),
           load(metrics.correlator_errors), load(metrics.pin_failures));
+  const LatencyHistogram& mh = metrics.migration_latency;
+  AppendF(&out,
+          ",\"migrations\":%" PRIu64 ",\"migrated_bytes\":%" PRIu64
+          ",\"migration_ns\":{\"count\":%" PRIu64 ",\"mean\":%.1f"
+          ",\"p50\":%" PRIu64 ",\"p99\":%" PRIu64 "}",
+          load(metrics.migrations), load(metrics.migrated_bytes), mh.Count(),
+          mh.MeanNanos(), mh.PercentileNanos(0.50), mh.PercentileNanos(0.99));
   out += ",\"correlator_level_evals\":[";
   for (std::size_t i = 0; i < metrics.correlator_num_levels; ++i) {
     AppendF(&out, "%s%" PRIu64, i == 0 ? "" : ",",
@@ -83,6 +90,12 @@ std::string EngineMetricsJson(
             ",\"streams\":%zu",
             i == 0 ? "" : ",", s.shard, s.epoch, s.appended, s.batches,
             s.max_batch, s.AvgBatch(), s.queue_high_water, s.num_streams);
+    out += ",\"stream_appends\":[";
+    for (std::size_t k = 0; k < s.stream_appends.size(); ++k) {
+      AppendF(&out, "%s[%u,%" PRIu64 "]", k == 0 ? "" : ",",
+              s.stream_appends[k].first, s.stream_appends[k].second);
+    }
+    out += "]";
     AppendF(&out,
             ",\"pinned\":%s,\"maintain_ns_per_append\":%.1f"
             ",\"apply_batch_ns\":{\"count\":%" PRIu64

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/latency_histogram.h"
+#include "core/config.h"
 #include "query/registry.h"
 
 namespace stardust {
@@ -58,8 +60,15 @@ struct EngineMetrics {
   /// Shard workers whose requested core pin failed (warn-once per shard;
   /// the worker keeps running unpinned).
   std::atomic<std::uint64_t> pin_failures{0};
+  /// Completed live stream migrations (IngestEngine::MigrateStream) and
+  /// the serialized per-stream state bytes they moved between shards.
+  std::atomic<std::uint64_t> migrations{0};
+  std::atomic<std::uint64_t> migrated_bytes{0};
   /// Wall-clock nanoseconds per monitor append, measured by the workers.
   LatencyHistogram append_latency;
+  /// Wall-clock nanoseconds per completed migration (placement flip to
+  /// park drain).
+  LatencyHistogram migration_latency;
 };
 
 /// Point-in-time view of one shard, stamped with the epoch (number of
@@ -72,6 +81,11 @@ struct ShardMetricsSnapshot {
   std::uint64_t max_batch = 0;
   std::size_t queue_high_water = 0;
   std::size_t num_streams = 0;
+  /// Per-resident-stream append counts, keyed by global stream id and
+  /// sorted ascending — the rebalancer's load signal. The counts are the
+  /// fleet's existing per-monitor append counters read at scrape time,
+  /// so maintaining them adds nothing to the hot append path.
+  std::vector<std::pair<StreamId, std::uint64_t>> stream_appends;
 
   // Feature pipeline accounting (docs/FEATURES.md): the exactly-once
   // invariant is pipeline_batches == epoch and pipeline_appends ==

@@ -1,0 +1,82 @@
+#include "engine/placement.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+
+namespace stardust {
+
+PlacementTable::PlacementTable(std::size_t num_streams,
+                               std::size_t num_shards)
+    : num_streams_(num_streams), num_shards_(num_shards) {
+  SD_CHECK(num_shards > 0);
+  auto snap = std::make_unique<Snapshot>();
+  snap->epoch = 0;
+  snap->num_shards = static_cast<std::uint32_t>(num_shards);
+  snap->shard_of.resize(num_streams);
+  for (std::size_t s = 0; s < num_streams; ++s) {
+    snap->shard_of[s] = static_cast<std::uint32_t>(s % num_shards);
+  }
+  Publish(std::move(snap));
+}
+
+PlacementTable::~PlacementTable() = default;
+
+void PlacementTable::Publish(std::unique_ptr<Snapshot> next) {
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.store(next.get(), std::memory_order_seq_cst);
+  versions_.push_back(std::move(next));
+}
+
+Status PlacementTable::SetShard(StreamId stream, std::size_t shard) {
+  if (stream >= num_streams_) {
+    return Status::InvalidArgument("placement: stream out of range");
+  }
+  if (shard >= num_shards_) {
+    return Status::InvalidArgument("placement: shard out of range");
+  }
+  const Snapshot* cur = Acquire();
+  auto next = std::make_unique<Snapshot>(*cur);
+  next->epoch = cur->epoch + 1;
+  next->shard_of[stream] = static_cast<std::uint32_t>(shard);
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+Status PlacementTable::Reset(std::uint64_t epoch,
+                             const std::vector<std::uint32_t>& shard_of) {
+  if (shard_of.size() != num_streams_) {
+    return Status::InvalidArgument("placement: wrong stream count");
+  }
+  for (std::uint32_t shard : shard_of) {
+    if (shard >= num_shards_) {
+      return Status::InvalidArgument("placement: shard out of range");
+    }
+  }
+  auto next = std::make_unique<Snapshot>();
+  next->epoch = epoch;
+  next->num_shards = static_cast<std::uint32_t>(num_shards_);
+  next->shard_of = shard_of;
+  Publish(std::move(next));
+  return Status::OK();
+}
+
+std::string PlacementTable::ToJson() const {
+  const Snapshot* snap = Acquire();
+  std::string out;
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "{\"epoch\":%llu,\"num_shards\":%u,\"shard_of\":[",
+                static_cast<unsigned long long>(snap->epoch),
+                snap->num_shards);
+  out += head;
+  for (std::size_t s = 0; s < snap->shard_of.size(); ++s) {
+    if (s > 0) out += ',';
+    out += std::to_string(snap->shard_of[s]);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace stardust

@@ -1,0 +1,98 @@
+// PlacementTable: the one routing decision point of the sharded engine.
+//
+// Every stream→shard lookup — producer Post/TryPost, the net ingest
+// path (which funnels through TryPost), reader APIs, and the
+// correlator's per-shard feature alignment — goes through an
+// epoch-versioned table published copy-on-write, exactly like registry
+// snapshots: writers build a new immutable Snapshot and flip one atomic
+// pointer; readers grab the pointer with a single seq_cst load and never
+// block. The default layout for an unmapped stream is the historical
+// modulo hash (stream % num_shards), so a fresh table routes identically
+// to the fixed-hash engine it replaces.
+//
+// Retired snapshots are kept until the table is destroyed rather than
+// reference-counted: migrations are rare (human- or rebalancer-paced)
+// and a snapshot is num_streams * 4 bytes, so leaking superseded epochs
+// until teardown buys wait-free readers with no hazard-pointer
+// machinery.
+#ifndef STARDUST_ENGINE_PLACEMENT_H_
+#define STARDUST_ENGINE_PLACEMENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+
+namespace stardust {
+
+/// Sentinel for "no stream" in per-shard slot tables: a tombstoned
+/// local slot left behind by a migration.
+inline constexpr StreamId kNoStream = static_cast<StreamId>(-1);
+
+class PlacementTable {
+ public:
+  /// One immutable published version of the map. shard_of[stream] is
+  /// the owning shard index.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::uint32_t num_shards = 0;
+    std::vector<std::uint32_t> shard_of;
+  };
+
+  /// Builds the modulo-default table: stream s lives on shard
+  /// s % num_shards (the pre-placement fixed hash).
+  PlacementTable(std::size_t num_streams, std::size_t num_shards);
+  ~PlacementTable();
+
+  PlacementTable(const PlacementTable&) = delete;
+  PlacementTable& operator=(const PlacementTable&) = delete;
+
+  std::size_t num_streams() const { return num_streams_; }
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Wait-free read of the current version. The pointer stays valid for
+  /// the lifetime of the table.
+  const Snapshot* Acquire() const {
+    return current_.load(std::memory_order_seq_cst);
+  }
+
+  std::uint64_t epoch() const { return Acquire()->epoch; }
+  std::size_t ShardOf(StreamId stream) const {
+    return Acquire()->shard_of[stream];
+  }
+
+  /// Publishes a new version with `stream` moved to `shard` and the
+  /// epoch bumped. Serialized by the caller (the engine's migration
+  /// lock); concurrent readers see either the old or the new version.
+  Status SetShard(StreamId stream, std::size_t shard);
+
+  /// Replaces the whole map (checkpoint restore). `shard_of` must have
+  /// num_streams entries, each < num_shards.
+  Status Reset(std::uint64_t epoch,
+               const std::vector<std::uint32_t>& shard_of);
+
+  /// JSON object for the CLI / metrics: epoch, shard count, and the
+  /// full stream→shard vector.
+  std::string ToJson() const;
+
+ private:
+  void Publish(std::unique_ptr<Snapshot> next);
+
+  const std::size_t num_streams_;
+  const std::size_t num_shards_;
+
+  std::atomic<const Snapshot*> current_{nullptr};
+  /// All versions ever published, including the live one; guards
+  /// publication and owns the memory.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Snapshot>> versions_;
+};
+
+}  // namespace stardust
+
+#endif  // STARDUST_ENGINE_PLACEMENT_H_

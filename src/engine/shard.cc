@@ -1,5 +1,6 @@
 #include "engine/shard.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <utility>
@@ -10,6 +11,7 @@
 #endif
 
 #include "common/check.h"
+#include "common/serialize.h"
 #include "core/pattern_query.h"
 #include "core/snapshot.h"
 
@@ -67,6 +69,120 @@ std::uint64_t ElapsedNanos(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+// One stream's slice of an edge-state map, serialized sorted by query id
+// so the bytes are deterministic (unordered_map iteration order is not).
+// Absent queries and vectors shorter than the slot read as the default
+// value — exactly what a fresh evaluation would start from.
+template <typename T>
+void SaveEdgeSlice(
+    const std::unordered_map<QueryId, std::vector<T>>& map, StreamId local,
+    Writer* writer) {
+  std::vector<std::pair<QueryId, std::uint64_t>> entries;
+  entries.reserve(map.size());
+  for (const auto& [id, values] : map) {
+    const T value = local < values.size() ? values[local] : T{};
+    entries.emplace_back(id, static_cast<std::uint64_t>(value));
+  }
+  std::sort(entries.begin(), entries.end());
+  writer->U64(entries.size());
+  for (const auto& [id, value] : entries) {
+    writer->U64(id);
+    if constexpr (sizeof(T) == 1) {
+      writer->U8(static_cast<std::uint8_t>(value));
+    } else {
+      writer->U64(value);
+    }
+  }
+}
+
+template <typename T>
+Status LoadEdgeSlice(std::unordered_map<QueryId, std::vector<T>>* map,
+                     StreamId local, std::size_t num_streams,
+                     Reader* reader) {
+  std::uint64_t count = 0;
+  SD_RETURN_NOT_OK(reader->U64(&count));
+  constexpr std::size_t kEntryBytes = 8 + sizeof(T);
+  if (count > reader->remaining() / kEntryBytes) {
+    return Status::InvalidArgument("stream slice edge section truncated");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    SD_RETURN_NOT_OK(reader->U64(&id));
+    std::uint64_t value = 0;
+    if constexpr (sizeof(T) == 1) {
+      std::uint8_t v8 = 0;
+      SD_RETURN_NOT_OK(reader->U8(&v8));
+      value = v8;
+    } else {
+      SD_RETURN_NOT_OK(reader->U64(&value));
+    }
+    std::vector<T>& values = (*map)[id];
+    if (values.size() < num_streams) values.resize(num_streams, T{});
+    values[local] = static_cast<T>(value);
+  }
+  return Status::OK();
+}
+
+// A whole edge-state map (every query, every slot), serialized sorted by
+// query id for deterministic bytes. The full-map form rides checkpoints;
+// the per-stream slice form above rides migration blobs.
+template <typename T>
+void SaveEdgeMap(const std::unordered_map<QueryId, std::vector<T>>& map,
+                 Writer* writer) {
+  std::vector<QueryId> ids;
+  ids.reserve(map.size());
+  for (const auto& [id, values] : map) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  writer->U64(ids.size());
+  for (const QueryId id : ids) {
+    const std::vector<T>& values = map.at(id);
+    writer->U64(id);
+    writer->U64(values.size());
+    for (const T value : values) {
+      if constexpr (sizeof(T) == 1) {
+        writer->U8(static_cast<std::uint8_t>(value));
+      } else {
+        writer->U64(static_cast<std::uint64_t>(value));
+      }
+    }
+  }
+}
+
+template <typename T>
+Status LoadEdgeMap(std::unordered_map<QueryId, std::vector<T>>* map,
+                   std::size_t num_streams, Reader* reader) {
+  std::uint64_t count = 0;
+  SD_RETURN_NOT_OK(reader->U64(&count));
+  if (count > reader->remaining() / 16) {
+    return Status::InvalidArgument("edge map section truncated");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    SD_RETURN_NOT_OK(reader->U64(&id));
+    std::uint64_t len = 0;
+    SD_RETURN_NOT_OK(reader->U64(&len));
+    if (len > reader->remaining() / sizeof(T)) {
+      return Status::InvalidArgument("edge map entry truncated");
+    }
+    std::vector<T> values(num_streams, T{});
+    for (std::uint64_t v = 0; v < len; ++v) {
+      std::uint64_t value = 0;
+      if constexpr (sizeof(T) == 1) {
+        std::uint8_t v8 = 0;
+        SD_RETURN_NOT_OK(reader->U8(&v8));
+        value = v8;
+      } else {
+        SD_RETURN_NOT_OK(reader->U64(&value));
+      }
+      // Slots past the current fleet size (a layout the checkpoint
+      // validation would have rejected anyway) are dropped, not UB.
+      if (v < num_streams) values[v] = static_cast<T>(value);
+    }
+    (*map)[id] = std::move(values);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Shard::Shard(std::size_t index, std::size_t num_shards,
@@ -83,9 +199,9 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
       metrics_(metrics),
       registry_(registry),
       alerts_(alerts),
-      options_(std::move(options)),
-      fleet_(std::move(fleet)),
-      pipeline_(std::move(pipeline)) {
+      options_(std::move(options)) {
+  fleet_ = std::move(fleet);
+  pipeline_ = std::move(pipeline);
   SD_CHECK(fleet_ != nullptr);
   SD_CHECK(pipeline_ != nullptr);
   SD_CHECK(pipeline_->num_streams() == fleet_->num_streams());
@@ -95,15 +211,35 @@ Shard::Shard(std::size_t index, std::size_t num_shards,
   if (pipeline_->pattern_core() != nullptr) {
     SD_CHECK(registry_ != nullptr);
   }
-  touched_.assign(fleet_->num_streams(), 0);
-  run_count_.assign(fleet_->num_streams(), 0);
-  run_cursor_.assign(fleet_->num_streams(), 0);
+  // Default slot table: the engine's historical modulo layout, local
+  // slot l holding global l * num_shards + index. SetStreamMapping
+  // replaces it when a checkpoint restores a post-migration layout.
+  const std::size_t locals = fleet_->num_streams();
+  global_of_.resize(locals);
+  for (StreamId local = 0; local < locals; ++local) {
+    global_of_[local] =
+        static_cast<StreamId>(local * num_shards_ + index_);
+  }
+  if (locals > 0) {
+    local_of_.assign(static_cast<std::size_t>(global_of_.back()) + 1,
+                     kNoStream);
+    for (StreamId local = 0; local < locals; ++local) {
+      local_of_[global_of_[local]] = local;
+    }
+  }
+  RebuildSortedLocalsLocked();
+  touched_.assign(locals, 0);
+  run_count_.assign(locals, 0);
+  run_cursor_.assign(locals, 0);
   run_values_.reserve(max_batch_);
-  run_begin_.reserve(fleet_->num_streams());
+  run_begin_.reserve(locals);
+  local_scratch_.reserve(max_batch_);
   rings_.reserve(num_producers);
   for (std::size_t i = 0; i < num_producers; ++i) {
     rings_.push_back(std::make_unique<SpscRing<StreamValue>>(queue_capacity));
   }
+  ring_enqueued_.reset(new std::atomic<std::uint64_t>[num_producers]());
+  ring_retired_.reset(new std::atomic<std::uint64_t>[num_producers]());
 }
 
 Shard::~Shard() {
@@ -126,11 +262,10 @@ void Shard::set_paused(bool paused) {
   paused_.store(paused, std::memory_order_release);
 }
 
-Status Shard::Push(std::size_t producer, StreamId local_stream,
-                   double value) {
+Status Shard::Push(std::size_t producer, StreamId stream, double value) {
   SD_DCHECK(producer < rings_.size());
   SpscRing<StreamValue>& ring = *rings_[producer];
-  const StreamValue tuple{local_stream, value};
+  const StreamValue tuple{stream, value};
   if (!ring.TryPush(tuple)) {
     switch (policy_) {
       case OverloadPolicy::kDropNewest:
@@ -141,6 +276,7 @@ Status Shard::Push(std::size_t producer, StreamId local_stream,
         while (!ring.TryPush(tuple)) {
           if (ring.TryPop(&victim)) {
             stolen_.fetch_add(1, std::memory_order_relaxed);
+            ring_retired_[producer].fetch_add(1, std::memory_order_release);
             metrics_->dropped_oldest.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -164,16 +300,17 @@ Status Shard::Push(std::size_t producer, StreamId local_stream,
     }
   }
   enqueued_.fetch_add(1, std::memory_order_release);
+  ring_enqueued_[producer].fetch_add(1, std::memory_order_release);
   metrics_->posted.fetch_add(1, std::memory_order_relaxed);
   UpdateMaxSize(&queue_high_water_, ring.ApproxSize());
   return Status::OK();
 }
 
-PostOutcome Shard::TryPush(std::size_t producer, StreamId local_stream,
+PostOutcome Shard::TryPush(std::size_t producer, StreamId stream,
                            double value) {
   SD_DCHECK(producer < rings_.size());
   SpscRing<StreamValue>& ring = *rings_[producer];
-  const StreamValue tuple{local_stream, value};
+  const StreamValue tuple{stream, value};
   if (!ring.TryPush(tuple)) {
     switch (policy_) {
       case OverloadPolicy::kDropNewest:
@@ -184,6 +321,7 @@ PostOutcome Shard::TryPush(std::size_t producer, StreamId local_stream,
         while (!ring.TryPush(tuple)) {
           if (ring.TryPop(&victim)) {
             stolen_.fetch_add(1, std::memory_order_relaxed);
+            ring_retired_[producer].fetch_add(1, std::memory_order_release);
             metrics_->dropped_oldest.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -197,9 +335,29 @@ PostOutcome Shard::TryPush(std::size_t producer, StreamId local_stream,
     }
   }
   enqueued_.fetch_add(1, std::memory_order_release);
+  ring_enqueued_[producer].fetch_add(1, std::memory_order_release);
   metrics_->posted.fetch_add(1, std::memory_order_relaxed);
   UpdateMaxSize(&queue_high_water_, ring.ApproxSize());
   return PostOutcome::kEnqueued;
+}
+
+std::vector<std::uint64_t> Shard::RingEnqueueCursors() const {
+  std::vector<std::uint64_t> cursors(rings_.size());
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    cursors[r] = ring_enqueued_[r].load(std::memory_order_acquire);
+  }
+  return cursors;
+}
+
+bool Shard::RingsDrainedPast(
+    const std::vector<std::uint64_t>& targets) const {
+  SD_DCHECK(targets.size() == rings_.size());
+  for (std::size_t r = 0; r < rings_.size(); ++r) {
+    if (ring_retired_[r].load(std::memory_order_acquire) < targets[r]) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void Shard::WorkerLoop() {
@@ -217,6 +375,10 @@ void Shard::WorkerLoop() {
   }
   std::vector<StreamValue> batch;
   batch.reserve(max_batch_);
+  // Pops per ring in the current sweep; committed to ring_retired_ only
+  // after ApplyBatch returns, so a passed drain barrier means applied
+  // (or parked), never merely popped into an in-flight batch.
+  std::vector<std::uint32_t> pop_counts(rings_.size(), 0);
   std::size_t idle_spins = 0;
   std::size_t drain_start = 0;
   for (;;) {
@@ -231,16 +393,23 @@ void Shard::WorkerLoop() {
     // starve under sustained overload (kBlock producers stuck forever).
     const std::size_t num_rings = rings_.size();
     for (std::size_t k = 0; k < num_rings; ++k) {
-      SpscRing<StreamValue>& ring =
-          *rings_[(drain_start + k) % num_rings];
+      const std::size_t r = (drain_start + k) % num_rings;
+      SpscRing<StreamValue>& ring = *rings_[r];
       StreamValue tuple;
       while (batch.size() < max_batch_ && ring.TryPop(&tuple)) {
         batch.push_back(tuple);
+        ++pop_counts[r];
       }
       if (batch.size() >= max_batch_) break;
     }
     drain_start = (drain_start + 1) % num_rings;
     if (batch.empty()) {
+      if (park_pending_.load(std::memory_order_acquire)) {
+        // An installed migration released parked tuples while the rings
+        // were idle; apply them without waiting for fresh traffic.
+        ApplyBatch(batch);
+        continue;
+      }
       if (stop_.load(std::memory_order_acquire)) {
         // Producers are quiesced before RequestStop, so one final empty
         // sweep over every ring means the shard is fully drained.
@@ -253,6 +422,13 @@ void Shard::WorkerLoop() {
     }
     idle_spins = 0;
     ApplyBatch(batch);
+    for (std::size_t r = 0; r < num_rings; ++r) {
+      if (pop_counts[r] != 0) {
+        ring_retired_[r].fetch_add(pop_counts[r],
+                                   std::memory_order_release);
+        pop_counts[r] = 0;
+      }
+    }
   }
 }
 
@@ -262,7 +438,8 @@ void Shard::RefreshQuerySnapshot() {
   query_snapshot_ = registry_->snapshot();
   query_version_ = version;
   // Compile outside the state mutex (compilation only reads immutable
-  // configs); the next ApplyBatch commits it and re-points the pipeline.
+  // configs); the next ApplyBatch commits it, prunes stale evaluation
+  // state, and re-points the pipeline.
   PlanContext ctx;
   ctx.fleet = &fleet_->config();
   ctx.pattern = pipeline_->pattern_core() != nullptr
@@ -272,8 +449,13 @@ void Shard::RefreshQuerySnapshot() {
                         ? &pipeline_->corr_core()->config()
                         : nullptr;
   pending_plan_ = CompileEvalPlan(*query_snapshot_, version, ctx);
+}
+
+void Shard::PruneQueryStateLocked() {
   // Prune evaluation state of queries that left the registry so the maps
-  // cannot grow without bound under register/unregister churn.
+  // cannot grow without bound under register/unregister churn. Runs at
+  // plan commit with state_mu_ held: migrations serialize and install
+  // edge-state slices under the same mutex.
   for (auto it = agg_alarming_.begin(); it != agg_alarming_.end();) {
     bool live = false;
     for (const auto& q : query_snapshot_->aggregate) {
@@ -322,19 +504,35 @@ void Shard::GroupRuns(const std::vector<StreamValue>& batch) {
   touched_list_.clear();
   run_begin_.clear();
   invalid_.clear();
-  // Pass 1: count tuples per stream (first touch resets the stale count
-  // from the previous batch, so no O(num_streams) clear is needed).
+  local_scratch_.clear();
+  newly_parked_ = 0;
+  // An unknown global surfaces through the scalar path as an
+  // out-of-range local append, so append_errors accounting matches the
+  // pre-placement engine's handling of an unmapped stream id.
+  const StreamId unknown_local =
+      static_cast<StreamId>(fleet_->num_streams());
+  // Pass 1: translate to local slots and count tuples per stream (first
+  // touch resets the stale count from the previous batch, so no
+  // O(num_streams) clear is needed).
   for (const StreamValue& tuple : batch) {
-    if (tuple.stream >= touched_.size()) {
-      invalid_.push_back(tuple);
+    const StreamId local = LocalOfLocked(tuple.stream);
+    if (local == kNoStream) {
+      if (tuple.stream == parked_stream_) {
+        park_.push_back(tuple);
+        ++newly_parked_;
+      } else {
+        invalid_.push_back(StreamValue{unknown_local, tuple.value});
+      }
+      local_scratch_.push_back(kNoStream);
       continue;
     }
-    if (!touched_[tuple.stream]) {
-      touched_[tuple.stream] = 1;
-      touched_list_.push_back(tuple.stream);
-      run_count_[tuple.stream] = 0;
+    local_scratch_.push_back(local);
+    if (!touched_[local]) {
+      touched_[local] = 1;
+      touched_list_.push_back(local);
+      run_count_[local] = 0;
     }
-    ++run_count_[tuple.stream];
+    ++run_count_[local];
   }
   // Prefix offsets: one contiguous run per touched stream, packed in
   // first-touch order.
@@ -347,9 +545,10 @@ void Shard::GroupRuns(const std::vector<StreamValue>& batch) {
   run_values_.resize(offset);
   // Pass 2: stable scatter — per-stream value order is batch order, so a
   // run replays exactly the subsequence the scalar path would append.
-  for (const StreamValue& tuple : batch) {
-    if (tuple.stream >= touched_.size()) continue;
-    run_values_[run_cursor_[tuple.stream]++] = tuple.value;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const StreamId local = local_scratch_[i];
+    if (local == kNoStream) continue;
+    run_values_[run_cursor_[local]++] = batch[i].value;
   }
   for (StreamId s : touched_list_) touched_[s] = 0;
 }
@@ -431,6 +630,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
   }
 
   const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  const std::size_t num_streams = fleet_->num_streams();
 
   // Aggregate stage: every query sharing a window reads the one tracker
   // the pipeline maintains for that window — the Algorithm-2 check costs
@@ -446,9 +646,10 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
         edge_scratch_.clear();
         for (const auto& q : group.queries) {
           std::vector<char>& edge = agg_alarming_[q->id];
-          if (edge.size() != fleet_->num_streams()) {
-            edge.assign(fleet_->num_streams(), 0);
-          }
+          // Prefix-preserving growth: a migration installing a fresh
+          // slot must not wipe the other streams' edge state (a wipe
+          // re-alerts every currently-alarming stream).
+          if (edge.size() < num_streams) edge.resize(num_streams, 0);
           edge_scratch_.push_back(&edge);
         }
         for (StreamId s : touched_list_) {
@@ -474,7 +675,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
                 Alert alert;
                 alert.query = q->id;
                 alert.kind = QueryKind::kAggregate;
-                alert.stream = GlobalOf(s);
+                alert.stream = global_of_[s];
                 alert.window = group.window;
                 alert.end_time = end_time;
                 alert.epoch = epoch;
@@ -512,9 +713,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
       edge_scratch_.clear();
       for (const auto& q : group.queries) {
         std::vector<char>& edge = sketch_alarming_[q->id];
-        if (edge.size() != fleet_->num_streams()) {
-          edge.assign(fleet_->num_streams(), 0);
-        }
+        if (edge.size() < num_streams) edge.resize(num_streams, 0);
         edge_scratch_.push_back(&edge);
       }
       for (StreamId s : touched_list_) {
@@ -535,7 +734,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
               Alert alert;
               alert.query = q->id;
               alert.kind = QueryKind::kSketch;
-              alert.stream = GlobalOf(s);
+              alert.stream = global_of_[s];
               alert.window = static_cast<std::size_t>(group.config.window);
               alert.end_time = end_time;
               alert.epoch = epoch;
@@ -568,13 +767,9 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
       const auto& q = entry.query;
       const Clock::time_point start = Clock::now();
       std::vector<std::uint64_t>& wm = pattern_watermark_[q->id];
-      if (wm.size() != fleet_->num_streams()) {
-        wm.assign(fleet_->num_streams(), 0);
-      }
+      if (wm.size() < num_streams) wm.resize(num_streams, 0);
       std::vector<std::uint64_t>& ef = pattern_eval_floor_[q->id];
-      if (ef.size() != fleet_->num_streams()) {
-        ef.assign(fleet_->num_streams(), 0);
-      }
+      if (ef.size() < num_streams) ef.resize(num_streams, 0);
       if (!entry.ok) {
         // Compilation failed for this core's configuration: surfaced the
         // same way the uncompiled path surfaced a per-eval query error.
@@ -599,7 +794,7 @@ void Shard::EvaluateQueriesLocked(std::vector<Alert>* out) {
             Alert alert;
             alert.query = q->id;
             alert.kind = QueryKind::kPattern;
-            alert.stream = GlobalOf(match.stream);
+            alert.stream = global_of_[match.stream];
             alert.window = q->spec.pattern.size();
             alert.end_time = match.end_time;
             alert.epoch = epoch;
@@ -621,13 +816,28 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
   const Clock::time_point batch_start = Clock::now();
   if (registry_ != nullptr) RefreshQuerySnapshot();
   std::vector<Alert> alerts;
+  std::size_t work_size = 0;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     if (pending_plan_ != nullptr) {
       plan_ = std::move(pending_plan_);
       pending_plan_ = nullptr;
+      PruneQueryStateLocked();
       pipeline_->AdoptPlan(*plan_, *fleet_);
     }
+    // A completed migration released its parked tuples: apply them
+    // first, in arrival order, ahead of this batch — exactly the order
+    // the ring would have delivered had the stream been resident.
+    const std::vector<StreamValue>* work = &batch;
+    if (!park_.empty() && parked_stream_ == kNoStream) {
+      merged_.clear();
+      merged_.swap(park_);
+      parked_.fetch_sub(merged_.size(), std::memory_order_release);
+      park_pending_.store(false, std::memory_order_release);
+      merged_.insert(merged_.end(), batch.begin(), batch.end());
+      work = &merged_;
+    }
+    work_size = work->size();
     // Batched columnar maintenance: regroup the batch into one
     // contiguous run per stream and append each run through the fleet
     // and pipeline run entry points (one state load/store per level per
@@ -635,13 +845,16 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
     // across streams — while keeping each stream's values in batch
     // order — leaves every per-stream monitor, tracker, and summarizer
     // byte-identical to the scalar per-tuple path.
-    GroupRuns(batch);
+    GroupRuns(*work);
+    if (newly_parked_ > 0) {
+      parked_.fetch_add(newly_parked_, std::memory_order_release);
+    }
     for (std::size_t i = 0; i < touched_list_.size(); ++i) {
       const StreamId stream = touched_list_[i];
       ApplyRunLocked(stream, run_values_.data() + run_begin_[i],
                      run_count_[stream]);
     }
-    // Tuples naming an out-of-range stream cannot be grouped; push them
+    // Tuples naming an unknown stream cannot be grouped; push them
     // through the scalar path so their errors are accounted identically.
     for (const StreamValue& tuple : invalid_) {
       ApplyTupleLocked(tuple.stream, tuple.value);
@@ -656,8 +869,10 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
       EvaluateQueriesLocked(&alerts);
     }
     // Publish inside the lock so a reader's stamp always matches the
-    // monitor state it observed.
-    applied_.fetch_add(batch.size(), std::memory_order_release);
+    // monitor state it observed. Parked tuples are not applied yet;
+    // they count when the post-install drain actually applies them.
+    applied_.fetch_add(work_size - newly_parked_,
+                       std::memory_order_release);
     epoch_.fetch_add(1, std::memory_order_release);
   }
   // Alerts are published after the state lock is released: a kBlock bus
@@ -672,7 +887,7 @@ void Shard::ApplyBatch(const std::vector<StreamValue>& batch) {
   alert_progress_.store(applied_.load(std::memory_order_relaxed),
                         std::memory_order_release);
   batches_.fetch_add(1, std::memory_order_relaxed);
-  UpdateMax(&batch_max_, batch.size());
+  UpdateMax(&batch_max_, work_size);
   apply_batch_latency_.Record(ElapsedNanos(batch_start));
 }
 
@@ -684,11 +899,25 @@ ShardStamp Shard::StampLocked() const {
   return stamp;
 }
 
-AlarmStats Shard::StreamTotal(StreamId local_stream,
-                              ShardStamp* stamp) const {
+void Shard::RebuildSortedLocalsLocked() {
+  sorted_locals_.clear();
+  for (StreamId local = 0; local < global_of_.size(); ++local) {
+    if (global_of_[local] != kNoStream) sorted_locals_.push_back(local);
+  }
+  std::sort(sorted_locals_.begin(), sorted_locals_.end(),
+            [this](StreamId a, StreamId b) {
+              return global_of_[a] < global_of_[b];
+            });
+}
+
+bool Shard::FindStreamTotal(StreamId global_stream, AlarmStats* out,
+                            ShardStamp* stamp) const {
   std::lock_guard<std::mutex> lock(state_mu_);
+  const StreamId local = LocalOfLocked(global_stream);
+  if (local == kNoStream) return false;
   if (stamp != nullptr) *stamp = StampLocked();
-  return fleet_->StreamTotal(local_stream);
+  *out = fleet_->StreamTotal(local);
+  return true;
 }
 
 AlarmStats Shard::ShardTotal(ShardStamp* stamp) const {
@@ -701,19 +930,56 @@ Result<std::vector<StreamId>> Shard::CurrentlyAlarming(
     std::size_t window_index, ShardStamp* stamp) const {
   std::lock_guard<std::mutex> lock(state_mu_);
   if (stamp != nullptr) *stamp = StampLocked();
-  return fleet_->CurrentlyAlarming(window_index);
+  Result<std::vector<StreamId>> locals =
+      fleet_->CurrentlyAlarming(window_index);
+  if (!locals.ok()) return locals.status();
+  std::vector<StreamId> globals;
+  globals.reserve(locals.value().size());
+  for (StreamId local : locals.value()) {
+    const StreamId global = global_of_[local];
+    // A tombstoned slot holds a freshly reset monitor and cannot alarm;
+    // the skip is a correctness net, not a steady-state path.
+    if (global != kNoStream) globals.push_back(global);
+  }
+  std::sort(globals.begin(), globals.end());
+  return globals;
 }
 
-std::uint64_t Shard::StreamAppendCount(StreamId local_stream) const {
+bool Shard::FindStreamAppendCount(StreamId global_stream,
+                                  std::uint64_t* out) const {
   std::lock_guard<std::mutex> lock(state_mu_);
-  return fleet_->AppendCount(local_stream);
+  const StreamId local = LocalOfLocked(global_stream);
+  if (local == kNoStream) return false;
+  *out = fleet_->AppendCount(local);
+  return true;
 }
 
-std::string Shard::SerializeState(ShardStamp* stamp,
-                                  std::string* features) const {
+std::vector<std::pair<StreamId, std::uint64_t>> Shard::StreamAppendCounts()
+    const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<std::pair<StreamId, std::uint64_t>> counts;
+  counts.reserve(sorted_locals_.size());
+  for (StreamId local : sorted_locals_) {
+    counts.emplace_back(global_of_[local], fleet_->AppendCount(local));
+  }
+  return counts;
+}
+
+std::string Shard::SerializeState(ShardStamp* stamp, std::string* features,
+                                  std::vector<StreamId>* mapping,
+                                  std::string* edges) const {
   std::lock_guard<std::mutex> lock(state_mu_);
   if (stamp != nullptr) *stamp = StampLocked();
   if (features != nullptr) *features = pipeline_->Serialize();
+  if (mapping != nullptr) *mapping = global_of_;
+  if (edges != nullptr) {
+    Writer writer;
+    SaveEdgeMap(agg_alarming_, &writer);
+    SaveEdgeMap(sketch_alarming_, &writer);
+    SaveEdgeMap(pattern_watermark_, &writer);
+    SaveEdgeMap(pattern_eval_floor_, &writer);
+    *edges = writer.TakeBuffer();
+  }
   return SerializeFleetSnapshot(*fleet_);
 }
 
@@ -721,6 +987,58 @@ Status Shard::RestoreFeatures(const std::string& bytes) {
   SD_CHECK(!worker_.joinable());
   std::lock_guard<std::mutex> lock(state_mu_);
   return pipeline_->Restore(bytes);
+}
+
+Status Shard::RestoreEdges(const std::string& bytes) {
+  SD_CHECK(!worker_.joinable());
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const std::size_t num_streams = fleet_->num_streams();
+  Reader reader(bytes);
+  SD_RETURN_NOT_OK(LoadEdgeMap(&agg_alarming_, num_streams, &reader));
+  SD_RETURN_NOT_OK(LoadEdgeMap(&sketch_alarming_, num_streams, &reader));
+  SD_RETURN_NOT_OK(LoadEdgeMap(&pattern_watermark_, num_streams, &reader));
+  SD_RETURN_NOT_OK(
+      LoadEdgeMap(&pattern_eval_floor_, num_streams, &reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("edge snapshot has trailing bytes");
+  }
+  return Status::OK();
+}
+
+Status Shard::SetStreamMapping(const std::vector<StreamId>& globals) {
+  SD_CHECK(!worker_.joinable());
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (globals.size() != fleet_->num_streams()) {
+    return Status::InvalidArgument(
+        "stream mapping size does not match the shard's slot count");
+  }
+  StreamId max_global = 0;
+  bool any = false;
+  for (StreamId global : globals) {
+    if (global == kNoStream) continue;
+    max_global = std::max(max_global, global);
+    any = true;
+  }
+  std::vector<StreamId> local_of(
+      any ? static_cast<std::size_t>(max_global) + 1 : 0, kNoStream);
+  std::vector<StreamId> free_slots;
+  for (StreamId local = 0; local < globals.size(); ++local) {
+    const StreamId global = globals[local];
+    if (global == kNoStream) {
+      free_slots.push_back(local);
+      continue;
+    }
+    if (local_of[global] != kNoStream) {
+      return Status::InvalidArgument(
+          "stream mapping assigns one global id to two slots");
+    }
+    local_of[global] = local;
+  }
+  global_of_ = globals;
+  local_of_ = std::move(local_of);
+  free_slots_ = std::move(free_slots);
+  RebuildSortedLocalsLocked();
+  return Status::OK();
 }
 
 void Shard::RestoreProgress(std::uint64_t epoch, std::uint64_t appended) {
@@ -736,6 +1054,136 @@ Status Shard::worker_status() const {
   return worker_status_;
 }
 
+// --- Live migration ----------------------------------------------------
+
+Status Shard::PrepareReceive(StreamId global_stream) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (parked_stream_ != kNoStream) {
+    return Status::FailedPrecondition(
+        "another migration is already in flight to this shard");
+  }
+  if (LocalOfLocked(global_stream) != kNoStream) {
+    return Status::FailedPrecondition(
+        "stream is already resident on the target shard");
+  }
+  SD_CHECK(park_.empty());
+  parked_stream_ = global_stream;
+  return Status::OK();
+}
+
+Status Shard::SaveStreamLocked(StreamId local, Writer* writer) const {
+  SD_RETURN_NOT_OK(fleet_->SaveStreamTo(local, writer));
+  SD_RETURN_NOT_OK(pipeline_->SaveStreamTo(local, writer));
+  SaveEdgeSlice(agg_alarming_, local, writer);
+  SaveEdgeSlice(sketch_alarming_, local, writer);
+  SaveEdgeSlice(pattern_watermark_, local, writer);
+  SaveEdgeSlice(pattern_eval_floor_, local, writer);
+  return Status::OK();
+}
+
+Status Shard::ExtractStream(StreamId global_stream, std::string* blob) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const StreamId local = LocalOfLocked(global_stream);
+  if (local == kNoStream) {
+    return Status::NotFound("stream is not resident on this shard");
+  }
+  Writer writer;
+  SD_RETURN_NOT_OK(SaveStreamLocked(local, &writer));
+  *blob = writer.TakeBuffer();
+  // Tombstone the slot: reset every per-stream structure to empty and
+  // mark the local id reusable. The caller already re-routed the stream
+  // and drained this shard's rings, so no tuple can reach the slot.
+  SD_RETURN_NOT_OK(fleet_->ResetStream(local));
+  SD_RETURN_NOT_OK(pipeline_->ResetStream(local, *fleet_));
+  for (auto& [id, edge] : agg_alarming_) {
+    if (local < edge.size()) edge[local] = 0;
+  }
+  for (auto& [id, edge] : sketch_alarming_) {
+    if (local < edge.size()) edge[local] = 0;
+  }
+  for (auto& [id, wm] : pattern_watermark_) {
+    if (local < wm.size()) wm[local] = 0;
+  }
+  for (auto& [id, ef] : pattern_eval_floor_) {
+    if (local < ef.size()) ef[local] = 0;
+  }
+  global_of_[local] = kNoStream;
+  local_of_[global_stream] = kNoStream;
+  free_slots_.push_back(local);
+  RebuildSortedLocalsLocked();
+  return Status::OK();
+}
+
+Status Shard::InstallStream(StreamId global_stream,
+                            const std::string& blob) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (parked_stream_ != global_stream) {
+    return Status::FailedPrecondition(
+        "InstallStream without a matching PrepareReceive");
+  }
+  StreamId local = kNoStream;
+  if (!free_slots_.empty()) {
+    local = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    Result<StreamId> grown = fleet_->AddStream();
+    if (!grown.ok()) return grown.status();
+    local = grown.value();
+    const StreamId pipeline_local = pipeline_->GrowStream(*fleet_);
+    SD_CHECK(pipeline_local == local);
+    const std::size_t num_streams = fleet_->num_streams();
+    touched_.resize(num_streams, 0);
+    run_count_.resize(num_streams, 0);
+    run_cursor_.resize(num_streams, 0);
+    global_of_.resize(num_streams, kNoStream);
+  }
+  Reader reader(blob);
+  SD_RETURN_NOT_OK(fleet_->RestoreStreamFrom(local, &reader));
+  SD_RETURN_NOT_OK(pipeline_->RestoreStreamFrom(local, &reader, *fleet_));
+  const std::size_t num_streams = fleet_->num_streams();
+  SD_RETURN_NOT_OK(
+      LoadEdgeSlice(&agg_alarming_, local, num_streams, &reader));
+  SD_RETURN_NOT_OK(
+      LoadEdgeSlice(&sketch_alarming_, local, num_streams, &reader));
+  SD_RETURN_NOT_OK(
+      LoadEdgeSlice(&pattern_watermark_, local, num_streams, &reader));
+  SD_RETURN_NOT_OK(
+      LoadEdgeSlice(&pattern_eval_floor_, local, num_streams, &reader));
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("stream slice has trailing bytes");
+  }
+  global_of_[local] = global_stream;
+  if (local_of_.size() <= global_stream) {
+    local_of_.resize(static_cast<std::size_t>(global_stream) + 1,
+                     kNoStream);
+  }
+  local_of_[global_stream] = local;
+  RebuildSortedLocalsLocked();
+  parked_stream_ = kNoStream;
+  if (!park_.empty()) {
+    park_pending_.store(true, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status Shard::SerializeStream(StreamId global_stream,
+                              std::string* blob) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const StreamId local = LocalOfLocked(global_stream);
+  if (local == kNoStream) {
+    return Status::NotFound("stream is not resident on this shard");
+  }
+  Writer writer;
+  SD_RETURN_NOT_OK(SaveStreamLocked(local, &writer));
+  *blob = writer.TakeBuffer();
+  return Status::OK();
+}
+
+bool Shard::ParkDrained() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return parked_stream_ == kNoStream && park_.empty();
+}
+
 ShardMetricsSnapshot Shard::MetricsSnapshot() const {
   ShardMetricsSnapshot snapshot;
   snapshot.shard = index_;
@@ -745,7 +1193,6 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
   snapshot.max_batch = batch_max_.load(std::memory_order_relaxed);
   snapshot.queue_high_water =
       queue_high_water_.load(std::memory_order_relaxed);
-  snapshot.num_streams = fleet_->num_streams();
   snapshot.pinned = pinned_.load(std::memory_order_acquire);
   snapshot.apply_batch_count = apply_batch_latency_.Count();
   snapshot.apply_batch_mean_ns = apply_batch_latency_.MeanNanos();
@@ -755,7 +1202,13 @@ ShardMetricsSnapshot Shard::MetricsSnapshot() const {
     // Pipeline counters and the committed plan are guarded by the state
     // mutex (metrics scraping is a cold path).
     std::lock_guard<std::mutex> lock(state_mu_);
+    snapshot.num_streams = sorted_locals_.size();
     snapshot.maintain_ns = maintain_ns_;
+    snapshot.stream_appends.reserve(sorted_locals_.size());
+    for (StreamId local : sorted_locals_) {
+      snapshot.stream_appends.emplace_back(global_of_[local],
+                                           fleet_->AppendCount(local));
+    }
     const FeaturePipeline::Counters counters = pipeline_->counters();
     snapshot.pipeline_batches = counters.batches;
     snapshot.pipeline_appends = counters.appends;
@@ -810,8 +1263,10 @@ bool Shard::CorrelationClockMinSince(std::size_t level,
   // Dirty short-circuit: a monitored level with no put since the caller's
   // recorded epoch cannot have moved any stream's clock — every clock
   // advance of a store-monitored level writes an entry in the same batch
-  // (FeaturePipeline::FinishBatch). Levels the store does not monitor
-  // (plan adoption still in flight) always take the scan.
+  // (FeaturePipeline::FinishBatch), and migrations installing or
+  // clearing a stream stamp it dirty (FeatureStore::TouchStream).
+  // Levels the store does not monitor (plan adoption still in flight)
+  // always take the scan.
   if (since_epoch != 0 && store.has_level(level) &&
       store.LevelPutEpoch(level) <= since_epoch) {
     return false;
@@ -838,15 +1293,17 @@ Status Shard::CorrelationGatherAt(std::size_t level, std::uint64_t t,
   out->znormed.clear();
   out->dims = 0;
   out->window = 0;
-  const std::size_t num_streams = pipeline_->num_streams();
-  for (StreamId s = 0; s < num_streams; ++s) {
+  // Walk the slot table in ascending-global order so the gather's
+  // globals stay sorted regardless of how migrations shuffled the
+  // local slots.
+  for (StreamId s : sorted_locals_) {
     FeatureStore::View view;
     if (!pipeline_->CorrelationFeature(level, s, t, &view)) continue;
     if (out->streams.empty()) {
       out->dims = view.dims;
       out->window = view.window;
     }
-    out->streams.push_back(GlobalOf(s));
+    out->streams.push_back(global_of_[s]);
     out->features.insert(out->features.end(), view.feature,
                          view.feature + view.dims);
     out->znormed.insert(out->znormed.end(), view.znormed,
@@ -860,8 +1317,7 @@ Status Shard::CorrelationFeaturesAt(
     std::vector<CorrelationFeature>* out) const {
   SD_CHECK(pipeline_->corr_core() != nullptr);
   std::lock_guard<std::mutex> lock(state_mu_);
-  const std::size_t num_streams = pipeline_->num_streams();
-  for (StreamId s = 0; s < num_streams; ++s) {
+  for (StreamId s : sorted_locals_) {
     // Served from the shared FeatureStore when the pipeline cached this
     // aligned time (the steady state); recomputed from the correlation
     // core only for rounds lagging behind the cache ring. Streams whose
@@ -869,7 +1325,7 @@ Status Shard::CorrelationFeaturesAt(
     FeatureStore::View view;
     if (!pipeline_->CorrelationFeature(level, s, t, &view)) continue;
     CorrelationFeature feature;
-    feature.global_stream = GlobalOf(s);
+    feature.global_stream = global_of_[s];
     feature.feature.assign(view.feature, view.feature + view.dims);
     feature.znormed.assign(view.znormed, view.znormed + view.window);
     out->push_back(std::move(feature));

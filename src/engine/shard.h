@@ -6,6 +6,15 @@
 // (number of applied batches) so cross-shard reads can report exactly how
 // fresh each shard's contribution was.
 //
+// Stream ownership is elastic: the shard holds a local slot table
+// (global_of_/local_of_) seeded with the engine's modulo-hash layout and
+// mutated by live migrations (ExtractStream/InstallStream). Rings carry
+// GLOBAL stream ids end to end; the worker translates to local slots when
+// it groups a batch, so re-routing a stream never needs a ring flush.
+// Tuples racing ahead of an in-flight migration are parked
+// (PrepareReceive) and applied in arrival order once the stream's state
+// is installed — no tuple is lost and no alert fires twice.
+//
 // Every piece of derived query state the shard maintains lives in its
 // FeaturePipeline (engine/feature_pipeline.h): the online unit-sphere DWT
 // core (pattern queries, Algorithm 3), the batch z-normalized DWT core
@@ -24,6 +33,7 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/latency_histogram.h"
@@ -34,14 +44,16 @@
 #include "engine/engine_config.h"
 #include "engine/feature_pipeline.h"
 #include "engine/metrics.h"
+#include "engine/placement.h"
 #include "query/alert_bus.h"
 #include "query/eval_plan.h"
 #include "query/registry.h"
 
 namespace stardust {
 
-/// One (stream, value) arrival. Inside a shard queue `stream` is the
-/// shard-local index; at the engine API boundary it is the global id.
+/// One (stream, value) arrival. `stream` is the GLOBAL stream id both at
+/// the engine API boundary and inside the shard queues; the worker
+/// translates to the shard-local slot when it groups a batch.
 struct StreamValue {
   StreamId stream = 0;
   double value = 0.0;
@@ -98,11 +110,11 @@ struct ShardOptions {
 /// worker thread. Producers only touch the rings and atomic counters.
 class Shard {
  public:
-  /// `num_shards` is the engine's effective shard count (for local ->
-  /// global stream id mapping in alerts). `pipeline` must be non-null
-  /// and sized for the fleet's streams; its cores may be absent (query
-  /// kind disabled). `registry` and `alerts` may be null only together
-  /// (no query evaluation); a pattern core requires a registry.
+  /// `num_shards` is the engine's effective shard count (for the default
+  /// modulo local -> global stream id mapping). `pipeline` must be
+  /// non-null and sized for the fleet's streams; its cores may be absent
+  /// (query kind disabled). `registry` and `alerts` may be null only
+  /// together (no query evaluation); a pattern core requires a registry.
   Shard(std::size_t index, std::size_t num_shards,
         std::size_t num_producers, std::size_t queue_capacity,
         OverloadPolicy policy, std::size_t max_batch,
@@ -123,31 +135,47 @@ class Shard {
   /// Worker stops draining while paused (queues fill; drop policies
   /// apply). Used to quiesce for maintenance and to test overload.
   void set_paused(bool paused);
+  bool paused() const { return paused_.load(std::memory_order_acquire); }
 
   /// Enqueues one tuple from producer slot `producer`, applying the
-  /// shard's overload policy when the ring is full. Only thread-safe in
-  /// the SPSC sense: one thread per producer slot.
-  Status Push(std::size_t producer, StreamId local_stream, double value);
+  /// shard's overload policy when the ring is full. `stream` is the
+  /// global id. Only thread-safe in the SPSC sense: one thread per
+  /// producer slot.
+  Status Push(std::size_t producer, StreamId stream, double value);
   /// Non-blocking Push: identical policy handling except that a full
   /// ring under kBlock returns kWouldBlock immediately instead of
   /// spinning. Same SPSC contract as Push.
-  PostOutcome TryPush(std::size_t producer, StreamId local_stream,
-                      double value);
+  PostOutcome TryPush(std::size_t producer, StreamId stream, double value);
 
   /// Tuples ever accepted into this shard's rings.
   std::uint64_t enqueued() const {
     return enqueued_.load(std::memory_order_acquire);
   }
-  /// Tuples that left the rings: applied by the worker or reclaimed by
-  /// kDropOldest. enqueued() == retired() means fully drained.
+  /// Tuples that left the rings: applied by the worker, parked for an
+  /// in-flight migration, or reclaimed by kDropOldest. enqueued() ==
+  /// retired() means the rings are fully drained (parked tuples are
+  /// retired from the ring's point of view; ParkDrained() tells whether
+  /// they have been applied).
   std::uint64_t retired() const {
     return applied_.load(std::memory_order_acquire) +
-           stolen_.load(std::memory_order_acquire);
+           stolen_.load(std::memory_order_acquire) +
+           parked_.load(std::memory_order_acquire);
   }
   /// Tuples applied by the worker.
   std::uint64_t applied() const {
     return applied_.load(std::memory_order_acquire);
   }
+  /// Snapshot of every ring's enqueue cursor, one entry per producer
+  /// slot, for RingsDrainedPast.
+  std::vector<std::uint64_t> RingEnqueueCursors() const;
+  /// True once every ring's retire cursor has reached `targets` (a
+  /// prior RingEnqueueCursors snapshot): each tuple the snapshot counts
+  /// has been applied, parked, or reclaimed. The aggregate
+  /// retired() >= enqueued() comparison does not give that guarantee —
+  /// under concurrent posting it can be satisfied by post-snapshot
+  /// traffic from *other* rings while an older tuple still sits queued,
+  /// which is exactly what a migration's drain barrier must rule out.
+  bool RingsDrainedPast(const std::vector<std::uint64_t>& targets) const;
   /// Applied-tuple watermark whose batch alerts have all been handed to
   /// the alert bus; trails applied() by at most one in-flight batch.
   /// Flush uses it to wait out alert publication, which happens after the
@@ -157,29 +185,59 @@ class Shard {
   }
 
   std::size_t index() const { return index_; }
+  /// Local slots (including tombstoned ones left by migrations).
   std::size_t num_streams() const { return fleet_->num_streams(); }
   std::size_t num_windows() const { return fleet_->num_windows(); }
 
   // --- Snapshot reads (mutex-coherent against the worker) --------------
-  AlarmStats StreamTotal(StreamId local_stream, ShardStamp* stamp) const;
+  /// Stats of one globally-identified stream. Returns false when the
+  /// stream is not resident on this shard (`*out` untouched) — the
+  /// engine retries against the owner named by the placement table.
+  bool FindStreamTotal(StreamId global_stream, AlarmStats* out,
+                       ShardStamp* stamp) const;
   AlarmStats ShardTotal(ShardStamp* stamp) const;
-  /// Alarming streams as shard-local ids.
+  /// Alarming streams as GLOBAL ids (ascending).
   Result<std::vector<StreamId>> CurrentlyAlarming(std::size_t window_index,
                                                   ShardStamp* stamp) const;
-  /// Values ever applied to one stream's monitor.
-  std::uint64_t StreamAppendCount(StreamId local_stream) const;
+  /// Values ever applied to one resident stream's monitor; false when the
+  /// stream is not resident here.
+  bool FindStreamAppendCount(StreamId global_stream,
+                             std::uint64_t* out) const;
+  /// Append count of every resident stream, keyed by global id and
+  /// sorted ascending. One mutex hold; feeds the rebalancer and the
+  /// per-stream metrics surface (the counters themselves are maintained
+  /// by the fleet on the append path, so scraping adds no hot-loop
+  /// work).
+  std::vector<std::pair<StreamId, std::uint64_t>> StreamAppendCounts()
+      const;
   /// Serialized v2 fleet snapshot of this shard's monitors, taken under
   /// the state mutex so the bytes and the stamp describe the same point
   /// in the apply sequence. Ingestion continues around the call; only
   /// this shard's worker waits for the serialization. When `features` is
   /// non-null it receives the feature pipeline's "SDFP" snapshot taken
-  /// under the same mutex hold, so both byte strings describe one point
-  /// in the apply sequence.
+  /// under the same mutex hold; when `mapping` is non-null it receives
+  /// the local -> global slot table (kNoStream tombstones included) of
+  /// the same instant, so a checkpoint can persist the placement the
+  /// bytes were laid out under; when `edges` is non-null it receives the
+  /// serialized rising-edge state (alarming flags, pattern watermarks and
+  /// evaluation floors) of the same instant, so a restore continues the
+  /// alert stream without re-announcing conditions that were already
+  /// alarming at the checkpoint.
   std::string SerializeState(ShardStamp* stamp,
-                             std::string* features = nullptr) const;
+                             std::string* features = nullptr,
+                             std::vector<StreamId>* mapping = nullptr,
+                             std::string* edges = nullptr) const;
   /// Restores the feature pipeline (query cores + feature store) from an
   /// "SDFP" snapshot. Only valid before Start().
   Status RestoreFeatures(const std::string& bytes);
+  /// Restores the rising-edge maps serialized by SerializeState's
+  /// `edges` output. Only valid before Start().
+  Status RestoreEdges(const std::string& bytes);
+  /// Replaces the local -> global slot table (checkpoint restore of a
+  /// post-migration layout). `globals` must have one entry per fleet
+  /// slot; kNoStream entries become free slots. Only valid before
+  /// Start().
+  Status SetStreamMapping(const std::vector<StreamId>& globals);
   /// Seeds the progress counters after a restore so stamps and metrics
   /// continue the pre-crash lineage. Only valid before Start().
   void RestoreProgress(std::uint64_t epoch, std::uint64_t appended);
@@ -188,11 +246,37 @@ class Shard {
 
   ShardMetricsSnapshot MetricsSnapshot() const;
 
+  // --- Live migration (engine MigrateStream; see docs/ENGINE.md) -------
+  /// Marks `global_stream` as in-flight to this shard: tuples for it are
+  /// parked (in arrival order) instead of applied until InstallStream
+  /// lands its state. Fails when another migration is already parked
+  /// here or the stream is already resident.
+  Status PrepareReceive(StreamId global_stream);
+  /// Serializes every piece of per-stream state (monitor, summarizers,
+  /// tracker, sketch measures, store rows, alert edge state) into
+  /// `blob`, then tombstones the local slot. The caller must have
+  /// drained this shard's rings of the stream first (placement flip +
+  /// producer quiescence + ring drain barrier).
+  Status ExtractStream(StreamId global_stream, std::string* blob);
+  /// Installs an ExtractStream blob under `global_stream`, reusing a
+  /// tombstoned slot when one is free (growing the fleet otherwise), and
+  /// releases the parked tuples to the worker. Requires a matching
+  /// PrepareReceive.
+  Status InstallStream(StreamId global_stream, const std::string& blob);
+  /// Non-destructive ExtractStream: the same byte string without the
+  /// tombstoning — the migration-equivalence oracle (two engines that
+  /// processed the same tuples must serialize identical stream slices,
+  /// migrated or not).
+  Status SerializeStream(StreamId global_stream, std::string* blob) const;
+  /// True once no migration is parked here and every parked tuple has
+  /// been applied.
+  bool ParkDrained() const;
+
   // --- Correlator support (requires a correlation core) ----------------
   /// Phase 1 of a correlator round: the latest aligned feature time of
   /// every local stream at `level` of the correlation core (one entry
-  /// per local stream; `has == false` while a stream's window has not
-  /// filled yet).
+  /// per local slot; `has == false` while a stream's window has not
+  /// filled yet, and forever for tombstoned slots).
   struct FeatureClock {
     bool has = false;
     std::uint64_t time = 0;
@@ -224,7 +308,8 @@ class Shard {
   /// column, reusable across rounds so the steady state allocates
   /// nothing. Stream k of the gather owns features[k*dims .. ) and
   /// znormed[k*window .. ). Global stream ids are ascending within one
-  /// shard's gather.
+  /// shard's gather (the scan walks the slot table in global order, so
+  /// the invariant survives migrations reshuffling local slots).
   struct CorrelationGather {
     std::vector<StreamId> streams;  // global ids
     std::vector<double> features;   // streams.size() × dims
@@ -252,16 +337,24 @@ class Shard {
   void ApplyBatch(const std::vector<StreamValue>& batch);
   ShardStamp StampLocked() const;
 
-  /// Re-fetches the registry snapshot when its version moved, compiles
-  /// it into a fresh EvalPlan (staged in pending_plan_ until the next
-  /// batch commits it under the state mutex), and prunes evaluation
-  /// state of unregistered queries. Worker thread only.
+  /// Re-fetches the registry snapshot when its version moved and
+  /// compiles it into a fresh EvalPlan (staged in pending_plan_ until
+  /// the next batch commits it under the state mutex). Worker thread
+  /// only; touches no evaluation state.
   void RefreshQuerySnapshot();
+  /// Prunes evaluation state of unregistered queries so the edge maps
+  /// cannot grow without bound under register/unregister churn. Called
+  /// at plan commit with state_mu_ held (migrations read the maps under
+  /// the same mutex).
+  void PruneQueryStateLocked();
   /// Groups the batch into one contiguous per-stream run each (stable:
-  /// per-stream value order is batch order), filling touched_list_,
-  /// run_begin_/run_count_ and the packed run_values_ buffer in two
-  /// allocation-free passes. Tuples naming an out-of-range stream cannot
-  /// be grouped and are diverted to invalid_.
+  /// per-stream value order is batch order), translating global ids to
+  /// local slots and filling touched_list_, run_begin_/run_count_ and
+  /// the packed run_values_ buffer in two allocation-free passes.
+  /// Tuples of the parked in-flight stream are diverted to park_;
+  /// tuples naming an unknown global are diverted to invalid_ with an
+  /// out-of-range local id so the scalar path accounts them as append
+  /// errors. Called with state_mu_ held.
   void GroupRuns(const std::vector<StreamValue>& batch);
   /// Applies one stream's run through the batched maintenance path,
   /// splitting at non-finite values so rejected tuples surface the exact
@@ -279,9 +372,20 @@ class Shard {
   /// the lock is released.
   void EvaluateQueriesLocked(std::vector<Alert>* out);
 
-  StreamId GlobalOf(StreamId local_stream) const {
-    return static_cast<StreamId>(local_stream * num_shards_ + index_);
+  /// Local slot of a global id; kNoStream when not resident. Called with
+  /// state_mu_ held.
+  StreamId LocalOfLocked(StreamId global_stream) const {
+    return global_stream < local_of_.size() ? local_of_[global_stream]
+                                            : kNoStream;
   }
+  /// Rebuilds the global-ascending slot scan order after any slot-table
+  /// mutation. Called with state_mu_ held.
+  void RebuildSortedLocalsLocked();
+  /// One stream's full serialized slice (monitor + pipeline + edge
+  /// state); shared by ExtractStream and SerializeStream so the
+  /// destructive and the oracle path emit identical bytes. Called with
+  /// state_mu_ held.
+  Status SaveStreamLocked(StreamId local, Writer* writer) const;
 
   const std::size_t index_;
   const std::size_t num_shards_;
@@ -295,11 +399,22 @@ class Shard {
   std::atomic<bool> pinned_{false};
 
   std::vector<std::unique_ptr<SpscRing<StreamValue>>> rings_;
+  /// Per-ring drain cursors. ring_enqueued_[p] counts tuples producer p
+  /// ever pushed into its ring; ring_retired_[p] counts tuples that
+  /// left it with their batch fully applied (or parked / reclaimed by
+  /// kDropOldest). FIFO per ring makes each pair exact regardless of
+  /// concurrent traffic on the other rings — the property the
+  /// migration and Flush drain barriers are built on.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ring_enqueued_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> ring_retired_;
 
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<std::uint64_t> alert_progress_{0};
   std::atomic<std::uint64_t> stolen_{0};
+  /// Tuples currently held in park_ awaiting an InstallStream; moves to
+  /// applied_ when the worker drains the park.
+  std::atomic<std::uint64_t> parked_{0};
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batch_max_{0};
@@ -307,10 +422,15 @@ class Shard {
 
   std::atomic<bool> stop_{false};
   std::atomic<bool> paused_{false};
+  /// Fast worker-visible flag: an installed migration left parked tuples
+  /// behind; the next batch (or idle sweep) must drain them.
+  std::atomic<bool> park_pending_{false};
 
-  /// Guards fleet_, the feature pipeline, the committed plan_, and
-  /// worker_status_: held by the worker while applying a batch (and
-  /// evaluating queries) and by readers while snapshotting.
+  /// Guards fleet_, the feature pipeline, the committed plan_, the slot
+  /// tables, the park, the query edge maps, and worker_status_: held by
+  /// the worker while applying a batch (and evaluating queries), by
+  /// readers while snapshotting, and by migrations while extracting or
+  /// installing stream state.
   mutable std::mutex state_mu_;
   std::unique_ptr<FleetAggregateMonitor> fleet_;
   std::unique_ptr<FeaturePipeline> pipeline_;
@@ -318,7 +438,23 @@ class Shard {
   std::shared_ptr<const EvalPlan> plan_;
   Status worker_status_;
 
-  // --- Query evaluation state (worker thread only) ---------------------
+  // --- Elastic slot tables (guarded by state_mu_) ----------------------
+  /// local slot -> global id; kNoStream marks a tombstoned slot.
+  std::vector<StreamId> global_of_;
+  /// global id -> local slot (dense; kNoStream = not resident). Sized
+  /// lazily to the largest global ever resident here.
+  std::vector<StreamId> local_of_;
+  /// Tombstoned local slots available for reuse by InstallStream.
+  std::vector<StreamId> free_slots_;
+  /// Live local slots in ascending-global order (the scan order of
+  /// correlator gathers and metrics).
+  std::vector<StreamId> sorted_locals_;
+  /// Global id currently in flight to this shard; kNoStream when none.
+  StreamId parked_stream_ = kNoStream;
+  /// Tuples of parked_stream_ in arrival order.
+  std::vector<StreamValue> park_;
+
+  // --- Query evaluation state (state_mu_; written by the worker) -------
   std::shared_ptr<const QueryRegistry::Snapshot> query_snapshot_;
   /// Freshly compiled plan awaiting commit (worker thread only).
   std::shared_ptr<const EvalPlan> pending_plan_;
@@ -340,7 +476,7 @@ class Shard {
   /// Scratch: local streams touched by the current batch.
   std::vector<char> touched_;
   std::vector<StreamId> touched_list_;
-  // --- Batched-maintenance scratch (worker thread only) ----------------
+  // --- Batched-maintenance scratch (worker thread, state_mu_ held) -----
   /// Tuples of the current batch per stream (indexed by local stream,
   /// reset through touched_list_, so reset cost is O(touched)).
   std::vector<std::uint32_t> run_count_;
@@ -351,9 +487,16 @@ class Shard {
   std::vector<std::size_t> run_begin_;
   /// The batch's values regrouped into per-stream contiguous runs.
   std::vector<double> run_values_;
-  /// Tuples naming an out-of-range local stream (cannot be grouped);
-  /// applied through the scalar path for identical error accounting.
+  /// Per-tuple local translation of the current batch (kNoStream =
+  /// parked or unknown, already diverted in pass 1).
+  std::vector<StreamId> local_scratch_;
+  /// Tuples naming an unknown global (cannot be grouped); applied
+  /// through the scalar path for identical error accounting.
   std::vector<StreamValue> invalid_;
+  /// Tuples of the current batch diverted to park_ by GroupRuns.
+  std::size_t newly_parked_ = 0;
+  /// Merged (park + batch) scratch for the drain-after-install batch.
+  std::vector<StreamValue> merged_;
   /// Nanoseconds spent in batched maintenance (fleet + pipeline appends
   /// and batch close), guarded by state_mu_; feeds
   /// maintain_ns_per_append in metrics.

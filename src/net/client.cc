@@ -179,4 +179,50 @@ Status SubscriberClient::Ack(std::uint64_t seq) {
   return SendFrame(FrameType::kSubscriberAck, EncodeSubscriberAck(msg));
 }
 
+Result<std::unique_ptr<AdminClient>> AdminClient::Connect(
+    const std::string& host, std::uint16_t port) {
+  std::unique_ptr<AdminClient> client(new AdminClient());
+  SD_RETURN_NOT_OK(client->ClientConnection::Connect(host, port));
+  return client;
+}
+
+Result<AdminResultMessage> AdminClient::PlacementDump() {
+  AdminRequestMessage request;
+  request.op = AdminOp::kPlacementDump;
+  return RoundTrip(request);
+}
+
+Result<AdminResultMessage> AdminClient::Migrate(std::uint64_t stream,
+                                                std::uint64_t shard) {
+  AdminRequestMessage request;
+  request.op = AdminOp::kMigrate;
+  request.stream = stream;
+  request.shard = shard;
+  return RoundTrip(request);
+}
+
+Result<AdminResultMessage> AdminClient::RoundTrip(
+    const AdminRequestMessage& request) {
+  SD_RETURN_NOT_OK(
+      SendFrame(FrameType::kAdmin, EncodeAdminRequest(request)));
+  // A migration drains the source shard before the reply, so no timeout:
+  // the reply arrives when the engine is done (or the socket dies).
+  for (;;) {
+    Frame frame;
+    SD_RETURN_NOT_OK(NextFrame(&frame, 0));
+    if (frame.type == static_cast<std::uint16_t>(FrameType::kAdminResult)) {
+      AdminResultMessage result;
+      SD_RETURN_NOT_OK(DecodeAdminResult(frame.payload, &result));
+      return result;
+    }
+    if (frame.type == static_cast<std::uint16_t>(FrameType::kError)) {
+      ErrorMessage err;
+      (void)DecodeError(frame.payload, &err);
+      return Status::InvalidArgument("server rejected admin request: " +
+                                     err.message);
+    }
+    // Stray frames are skipped.
+  }
+}
+
 }  // namespace stardust::net

@@ -83,6 +83,27 @@ class SubscriberClient : public ClientConnection {
   std::uint64_t server_next_seq_ = 0;
 };
 
+/// Operator-plane client: no Hello handshake, one AdminRequest →
+/// AdminResult round trip per call (stardust_cli placement / migrate).
+class AdminClient : public ClientConnection {
+ public:
+  static Result<std::unique_ptr<AdminClient>> Connect(
+      const std::string& host, std::uint16_t port);
+
+  /// Dumps the server's placement table (epoch + stream→shard map) as
+  /// the result's `json`.
+  Result<AdminResultMessage> PlacementDump();
+  /// Live-migrates `stream` to `shard`. A !ok result carries the
+  /// engine's refusal in `message`; ok carries a JSON summary.
+  Result<AdminResultMessage> Migrate(std::uint64_t stream,
+                                     std::uint64_t shard);
+
+ private:
+  AdminClient() = default;
+
+  Result<AdminResultMessage> RoundTrip(const AdminRequestMessage& request);
+};
+
 }  // namespace stardust::net
 
 #endif  // STARDUST_NET_CLIENT_H_

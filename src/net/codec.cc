@@ -10,16 +10,21 @@ namespace {
 /// alert JSON) — far above any legitimate use, far below an allocation
 /// attack.
 constexpr std::uint64_t kMaxStringBytes = 1 << 16;
+/// Bound on an admin result's JSON body: a placement dump enumerates
+/// every stream, so it outgrows the 64 KiB string bound long before the
+/// 1 MiB frame bound (net/frame.h kDefaultMaxFrameBytes) stops it.
+constexpr std::uint64_t kMaxAdminJsonBytes = 1 << 20;
 
 void WriteString(Writer* w, const std::string& s) {
   w->U64(s.size());
   w->Bytes(s.data(), s.size());
 }
 
-Status ReadString(Reader* r, std::string* out) {
+Status ReadBoundedString(Reader* r, std::uint64_t max_bytes,
+                         std::string* out) {
   std::uint64_t size = 0;
   SD_RETURN_NOT_OK(r->U64(&size));
-  if (size > kMaxStringBytes || size > r->remaining()) {
+  if (size > max_bytes || size > r->remaining()) {
     return Status::InvalidArgument("string length out of range");
   }
   out->resize(size);
@@ -29,6 +34,10 @@ Status ReadString(Reader* r, std::string* out) {
     (*out)[i] = static_cast<char>(c);
   }
   return Status::OK();
+}
+
+Status ReadString(Reader* r, std::string* out) {
+  return ReadBoundedString(r, kMaxStringBytes, out);
 }
 
 Status ExpectEnd(const Reader& r) {
@@ -153,6 +162,49 @@ Status DecodeError(const std::string& payload, ErrorMessage* out) {
   Reader r(payload);
   SD_RETURN_NOT_OK(r.U8(&out->code));
   SD_RETURN_NOT_OK(ReadString(&r, &out->message));
+  return ExpectEnd(r);
+}
+
+std::string EncodeAdminRequest(const AdminRequestMessage& msg) {
+  Writer w;
+  w.U8(static_cast<std::uint8_t>(msg.op));
+  w.U64(msg.stream);
+  w.U64(msg.shard);
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeAdminRequest(const std::string& payload,
+                          AdminRequestMessage* out) {
+  Reader r(payload);
+  std::uint8_t op = 0;
+  SD_RETURN_NOT_OK(r.U8(&op));
+  if (op < static_cast<std::uint8_t>(AdminOp::kPlacementDump) ||
+      op > static_cast<std::uint8_t>(AdminOp::kMigrate)) {
+    return Status::InvalidArgument("unknown admin op");
+  }
+  out->op = static_cast<AdminOp>(op);
+  SD_RETURN_NOT_OK(r.U64(&out->stream));
+  SD_RETURN_NOT_OK(r.U64(&out->shard));
+  return ExpectEnd(r);
+}
+
+std::string EncodeAdminResult(const AdminResultMessage& msg) {
+  Writer w;
+  w.U8(msg.ok ? 1 : 0);
+  WriteString(&w, msg.message);
+  w.U64(msg.json.size());
+  w.Bytes(msg.json.data(), msg.json.size());
+  return std::move(w.TakeBuffer());
+}
+
+Status DecodeAdminResult(const std::string& payload,
+                         AdminResultMessage* out) {
+  Reader r(payload);
+  std::uint8_t ok = 0;
+  SD_RETURN_NOT_OK(r.U8(&ok));
+  out->ok = ok != 0;
+  SD_RETURN_NOT_OK(ReadString(&r, &out->message));
+  SD_RETURN_NOT_OK(ReadBoundedString(&r, kMaxAdminJsonBytes, &out->json));
   return ExpectEnd(r);
 }
 

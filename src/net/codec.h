@@ -94,6 +94,31 @@ struct ErrorMessage {
   std::string message;
 };
 
+/// Operator-plane operation carried by a kAdmin frame.
+enum class AdminOp : std::uint8_t {
+  /// Dump the engine's placement table (epoch + stream→shard map);
+  /// `stream`/`shard` are ignored.
+  kPlacementDump = 1,
+  /// Live-migrate `stream` to `shard` (IngestEngine::MigrateStream from
+  /// its current owner).
+  kMigrate = 2,
+};
+
+/// One admin request (stardust_cli placement / migrate).
+struct AdminRequestMessage {
+  AdminOp op = AdminOp::kPlacementDump;
+  std::uint64_t stream = 0;
+  std::uint64_t shard = 0;
+};
+
+/// Server reply to an AdminRequest. `json` carries the placement dump
+/// (or migration summary); `message` the failure text when !ok.
+struct AdminResultMessage {
+  bool ok = false;
+  std::string message;
+  std::string json;
+};
+
 std::string EncodeHello(const HelloMessage& msg);
 Status DecodeHello(const std::string& payload, HelloMessage* out);
 
@@ -115,6 +140,14 @@ Status DecodeSubscriberAck(const std::string& payload,
 
 std::string EncodeError(const ErrorMessage& msg);
 Status DecodeError(const std::string& payload, ErrorMessage* out);
+
+std::string EncodeAdminRequest(const AdminRequestMessage& msg);
+Status DecodeAdminRequest(const std::string& payload,
+                          AdminRequestMessage* out);
+
+std::string EncodeAdminResult(const AdminResultMessage& msg);
+Status DecodeAdminResult(const std::string& payload,
+                         AdminResultMessage* out);
 
 }  // namespace stardust::net
 

@@ -39,6 +39,11 @@ enum class FrameType : std::uint16_t {
   kAlert = 5,
   kSubscriberAck = 6,
   kError = 7,
+  /// Operator plane (stardust_cli placement / migrate): an AdminRequest
+  /// names an operation against the engine's placement table, the
+  /// server answers with one AdminResult.
+  kAdmin = 8,
+  kAdminResult = 9,
 };
 
 inline constexpr char kFrameMagic[4] = {'S', 'D', 'N', 'F'};

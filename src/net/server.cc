@@ -14,6 +14,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "query/alert.h"
@@ -267,6 +268,8 @@ bool NetServer::HandleFrame(Connection* conn, const Frame& frame) {
       return HandleHello(conn, frame.payload);
     case FrameType::kBatch:
       return HandleBatch(conn, frame.payload);
+    case FrameType::kAdmin:
+      return HandleAdmin(conn, frame.payload);
     case FrameType::kSubscriberAck: {
       if (!conn->hello_done || conn->role != PeerRole::kSubscriber) {
         SendError(conn, kErrWrongRole, "ack from a non-subscriber");
@@ -342,6 +345,45 @@ bool NetServer::HandleBatch(Connection* conn, const std::string& payload) {
     ++conn->backpressure_episodes;
     backpressure_episodes_.fetch_add(1, std::memory_order_relaxed);
   }
+  return true;
+}
+
+bool NetServer::HandleAdmin(Connection* conn, const std::string& payload) {
+  AdminRequestMessage req;
+  if (!DecodeAdminRequest(payload, &req).ok()) {
+    SendError(conn, kErrBadFrame, "bad admin request");
+    return true;
+  }
+  admin_requests_.fetch_add(1, std::memory_order_relaxed);
+  AdminResultMessage result;
+  switch (req.op) {
+    case AdminOp::kPlacementDump: {
+      result.ok = true;
+      result.json = engine_->placement().ToJson();
+      break;
+    }
+    case AdminOp::kMigrate: {
+      if (req.stream > std::numeric_limits<StreamId>::max()) {
+        result.ok = false;
+        result.message = "stream id out of range";
+        break;
+      }
+      const Status migrated = engine_->MigrateStream(
+          static_cast<StreamId>(req.stream),
+          static_cast<std::size_t>(req.shard));
+      result.ok = migrated.ok();
+      if (migrated.ok()) {
+        AppendF(&result.json,
+                "{\"stream\":%" PRIu64 ",\"shard\":%" PRIu64
+                ",\"epoch\":%" PRIu64 "}",
+                req.stream, req.shard, engine_->placement().epoch());
+      } else {
+        result.message = migrated.message();
+      }
+      break;
+    }
+  }
+  conn->QueueFrame(FrameType::kAdminResult, EncodeAdminResult(result));
   return true;
 }
 
@@ -483,6 +525,7 @@ NetMetricsSnapshot NetServer::Metrics() const {
   snap.acks = load64(acks_);
   snap.protocol_errors = load64(protocol_errors_);
   snap.skipped_alerts = load64(skipped_alerts_);
+  snap.admin_requests = load64(admin_requests_);
   return snap;
 }
 
@@ -505,8 +548,8 @@ std::string NetServer::MetricsJson() const {
           s.accepted, s.dropped, s.backpressure_episodes, s.alerts_sent);
   AppendF(&body,
           ",\"acks\":%" PRIu64 ",\"protocol_errors\":%" PRIu64
-          ",\"skipped_alerts\":%" PRIu64,
-          s.acks, s.protocol_errors, s.skipped_alerts);
+          ",\"skipped_alerts\":%" PRIu64 ",\"admin_requests\":%" PRIu64,
+          s.acks, s.protocol_errors, s.skipped_alerts, s.admin_requests);
   AppendF(&body,
           ",\"hub\":{\"next_seq\":%" PRIu64 ",\"stamped\":%" PRIu64
           ",\"retained\":%zu,\"replay_high_water\":%zu"

@@ -59,6 +59,7 @@ struct NetMetricsSnapshot {
   std::uint64_t acks = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t skipped_alerts = 0;
+  std::uint64_t admin_requests = 0;
 };
 
 class NetServer {
@@ -113,6 +114,11 @@ class NetServer {
   bool HandleFrame(Connection* conn, const Frame& frame);
   bool HandleHello(Connection* conn, const std::string& payload);
   bool HandleBatch(Connection* conn, const std::string& payload);
+  /// Operator plane: placement dump / live migration. Runs on the loop
+  /// thread, so a migration briefly pauses network service — acceptable
+  /// for a rare operator action, and it keeps the engine call free of
+  /// extra synchronization. No Hello is required for admin frames.
+  bool HandleAdmin(Connection* conn, const std::string& payload);
   /// Feeds the parked batch into the engine from where it stalled.
   /// Returns false when it stalled again (kWouldBlock).
   bool DrainPendingBatch(Connection* conn);
@@ -164,6 +170,7 @@ class NetServer {
   std::atomic<std::uint64_t> acks_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> skipped_alerts_{0};
+  std::atomic<std::uint64_t> admin_requests_{0};
 };
 
 }  // namespace stardust::net

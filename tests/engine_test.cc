@@ -417,9 +417,13 @@ TEST(ShardTest, DrainRotationKeepsSaturatedProducerFromStarvingOthers) {
     std::this_thread::sleep_for(std::chrono::microseconds(100));
   }
   ASSERT_GE(shard.applied(), 12u * 16u) << "worker made no progress";
-  EXPECT_GE(shard.StreamAppendCount(1), 16u)
+  std::uint64_t count1 = 0;
+  std::uint64_t count2 = 0;
+  ASSERT_TRUE(shard.FindStreamAppendCount(1, &count1));
+  ASSERT_TRUE(shard.FindStreamAppendCount(2, &count2));
+  EXPECT_GE(count1, 16u)
       << "producer 1 starved behind the saturated ring 0";
-  EXPECT_GE(shard.StreamAppendCount(2), 16u)
+  EXPECT_GE(count2, 16u)
       << "producer 2 starved behind the saturated ring 0";
   shard.RequestStop();
   pusher.join();

@@ -411,6 +411,57 @@ TEST(NetServerTest, BlockPolicyParksTheBatchUntilTheEngineDrains) {
   ASSERT_TRUE(engine->Stop().ok());
 }
 
+// --- Admin plane --------------------------------------------------------
+
+TEST(NetServerTest, AdminFramesDumpPlacementAndDriveMigration) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  auto engine = MakeEngine(4, econfig);
+  auto server = std::move(NetServer::Start(engine.get())).value();
+  auto admin =
+      std::move(AdminClient::Connect("127.0.0.1", server->port())).value();
+
+  // Placement dump: the live table as JSON, no Hello required.
+  Result<AdminResultMessage> dump = admin->PlacementDump();
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  EXPECT_TRUE(dump.value().ok);
+  EXPECT_NE(dump.value().json.find("\"epoch\":0"), std::string::npos);
+  EXPECT_NE(dump.value().json.find("\"num_shards\":2"), std::string::npos);
+
+  // Migrate stream 0 off its modulo-default shard 0.
+  Result<AdminResultMessage> moved = admin->Migrate(0, 1);
+  ASSERT_TRUE(moved.ok()) << moved.status().ToString();
+  EXPECT_TRUE(moved.value().ok) << moved.value().message;
+  EXPECT_EQ(engine->placement().ShardOf(0), 1u);
+  EXPECT_EQ(engine->metrics().migrations.load(), 1u);
+  EXPECT_NE(moved.value().json.find("\"epoch\":1"), std::string::npos);
+
+  // A refusal travels back as ok=0 with the engine's message, and the
+  // connection survives to serve the next request.
+  Result<AdminResultMessage> refused = admin->Migrate(0, 99);
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  EXPECT_FALSE(refused.value().ok);
+  EXPECT_FALSE(refused.value().message.empty());
+
+  Result<AdminResultMessage> dump2 = admin->PlacementDump();
+  ASSERT_TRUE(dump2.ok()) << dump2.status().ToString();
+  EXPECT_NE(dump2.value().json.find("\"epoch\":1"), std::string::npos);
+
+  // The migrated stream still ingests through the front door.
+  auto producer =
+      std::move(ProducerClient::Connect("127.0.0.1", server->port()))
+          .value();
+  Result<BatchAckMessage> ack = producer->Send(UniformBatch(4, 8, 1.0));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack.value().accepted, 4u * 8u);
+  ASSERT_TRUE(engine->Flush().ok());
+  EXPECT_EQ(engine->StreamAppendCount(0), 8u);
+
+  EXPECT_EQ(server->Metrics().admin_requests, 4u);
+  ASSERT_TRUE(server->Stop().ok());
+  ASSERT_TRUE(engine->Stop().ok());
+}
+
 // --- AlertHub unit behavior ---------------------------------------------
 
 TEST(AlertHubTest, SnapshotRoundTripsAndRejectsCorruption) {

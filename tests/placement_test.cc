@@ -1,0 +1,419 @@
+// Elastic stream placement: the PlacementTable routing map, live
+// MigrateStream correctness (state equivalence against an unmigrated
+// twin engine), the rebalancer thread, and the checkpoint v6 placement
+// manifest — including crash injection on the placement file write and
+// pre-v6 manifest compatibility.
+#include "engine/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/atomic_file.h"
+#include "common/serialize.h"
+#include "engine/checkpoint.h"
+#include "engine/engine.h"
+#include "stream/bursty_source.h"
+#include "stream/threshold.h"
+
+namespace stardust {
+namespace {
+
+namespace fs = std::filesystem;
+
+StardustConfig StreamConfig() {
+  StardustConfig config;
+  config.transform = TransformKind::kAggregate;
+  config.aggregate = AggregateKind::kSum;
+  config.base_window = 10;
+  config.num_levels = 4;
+  config.history = 200;
+  config.box_capacity = 2;
+  config.update_period = 1;
+  return config;
+}
+
+std::vector<WindowThreshold> Thresholds(double lambda) {
+  BurstySource source(21);
+  const std::vector<double> training = source.Take(3000);
+  return TrainThresholds(AggregateKind::kSum, training, {10, 20, 40},
+                         lambda);
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::unique_ptr<IngestEngine> MakeEngine(std::size_t streams,
+                                         std::size_t shards,
+                                         const std::string& restore_dir = {}) {
+  EngineConfig econfig;
+  econfig.num_shards = shards;
+  Result<std::unique_ptr<IngestEngine>> engine = IngestEngine::Create(
+      StreamConfig(), Thresholds(2.0), streams, econfig, restore_dir);
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return engine.ok() ? std::move(engine).value() : nullptr;
+}
+
+std::vector<BurstySource> Sources(std::size_t streams, std::uint64_t seed) {
+  std::vector<BurstySource> sources;
+  sources.reserve(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    sources.emplace_back(seed + s);
+  }
+  return sources;
+}
+
+void Feed(IngestEngine* engine, std::vector<BurstySource>* sources,
+          int count) {
+  for (int t = 0; t < count; ++t) {
+    for (StreamId s = 0; s < engine->num_streams(); ++s) {
+      ASSERT_TRUE(engine->Post(s, (*sources)[s].Next()).ok());
+    }
+  }
+  ASSERT_TRUE(engine->Flush().ok());
+}
+
+/// Every externally observable monitoring answer of the two engines must
+/// agree exactly — including the serialized per-stream state bytes.
+void ExpectSameAnswers(const IngestEngine& a, const IngestEngine& b) {
+  ASSERT_EQ(a.num_streams(), b.num_streams());
+  ASSERT_EQ(a.num_windows(), b.num_windows());
+  for (StreamId s = 0; s < a.num_streams(); ++s) {
+    const AlarmStats want = a.StreamTotal(s);
+    const AlarmStats got = b.StreamTotal(s);
+    EXPECT_EQ(got.candidates, want.candidates) << "stream " << s;
+    EXPECT_EQ(got.true_alarms, want.true_alarms) << "stream " << s;
+    EXPECT_EQ(got.checks, want.checks) << "stream " << s;
+    EXPECT_EQ(b.StreamAppendCount(s), a.StreamAppendCount(s))
+        << "stream " << s;
+    std::string want_state;
+    std::string got_state;
+    ASSERT_TRUE(a.DebugStreamState(s, &want_state).ok()) << "stream " << s;
+    ASSERT_TRUE(b.DebugStreamState(s, &got_state).ok()) << "stream " << s;
+    EXPECT_EQ(got_state, want_state)
+        << "serialized state diverged on stream " << s;
+  }
+  for (std::size_t w = 0; w < a.num_windows(); ++w) {
+    auto want = a.CurrentlyAlarming(w);
+    auto got = b.CurrentlyAlarming(w);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(got.value(), want.value()) << "window " << w;
+  }
+}
+
+// --- PlacementTable unit -------------------------------------------------
+
+TEST(PlacementTableTest, DefaultsToModuloHash) {
+  PlacementTable table(7, 3);
+  EXPECT_EQ(table.epoch(), 0u);
+  for (StreamId s = 0; s < 7; ++s) {
+    EXPECT_EQ(table.ShardOf(s), s % 3) << "stream " << s;
+  }
+}
+
+TEST(PlacementTableTest, SetShardBumpsEpochAndKeepsOldSnapshotsValid) {
+  PlacementTable table(4, 2);
+  const PlacementTable::Snapshot* before = table.Acquire();
+  ASSERT_TRUE(table.SetShard(1, 0).ok());
+  EXPECT_EQ(table.epoch(), 1u);
+  EXPECT_EQ(table.ShardOf(1), 0u);
+  // The retired snapshot is immutable and still readable (wait-free
+  // readers may hold it across the flip).
+  EXPECT_EQ(before->epoch, 0u);
+  EXPECT_EQ(before->shard_of[1], 1u);
+  ASSERT_TRUE(table.SetShard(1, 1).ok());
+  EXPECT_EQ(table.epoch(), 2u);
+  EXPECT_EQ(table.ShardOf(1), 1u);
+}
+
+TEST(PlacementTableTest, RejectsOutOfRangeArguments) {
+  PlacementTable table(4, 2);
+  EXPECT_FALSE(table.SetShard(4, 0).ok());
+  EXPECT_FALSE(table.SetShard(0, 2).ok());
+  EXPECT_FALSE(table.Reset(1, {0, 1, 0}).ok());     // wrong length
+  EXPECT_FALSE(table.Reset(1, {0, 1, 0, 2}).ok());  // shard out of range
+  ASSERT_TRUE(table.Reset(5, {1, 0, 1, 0}).ok());
+  EXPECT_EQ(table.epoch(), 5u);
+  EXPECT_EQ(table.ShardOf(0), 1u);
+}
+
+TEST(PlacementTableTest, ToJsonCarriesEpochAndMap) {
+  PlacementTable table(3, 2);
+  ASSERT_TRUE(table.SetShard(2, 1).ok());
+  const std::string json = table.ToJson();
+  EXPECT_NE(json.find("\"epoch\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"num_shards\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shard_of\":[0,1,1]"), std::string::npos) << json;
+}
+
+// --- Live migration ------------------------------------------------------
+
+TEST(MigrateStreamTest, RejectsInvalidArguments) {
+  auto engine = MakeEngine(4, 2);
+  ASSERT_NE(engine, nullptr);
+  EXPECT_FALSE(engine->MigrateStream(99, 0, 1).ok());  // unknown stream
+  EXPECT_FALSE(engine->MigrateStream(0, 0, 9).ok());   // bad target
+  EXPECT_FALSE(engine->MigrateStream(0, 9, 1).ok());   // bad source
+  EXPECT_FALSE(engine->MigrateStream(0, 0, 0).ok());   // from == to
+  EXPECT_FALSE(engine->MigrateStream(0, 1, 0).ok());   // wrong owner
+  ASSERT_TRUE(engine->Stop().ok());
+  EXPECT_FALSE(engine->MigrateStream(0, 1).ok());  // stopped engine
+}
+
+TEST(MigrateStreamTest, RefusesPausedShards) {
+  auto engine = MakeEngine(4, 2);
+  ASSERT_NE(engine, nullptr);
+  engine->Pause();
+  EXPECT_FALSE(engine->MigrateStream(0, 1).ok());
+  engine->Resume();
+  EXPECT_TRUE(engine->MigrateStream(0, 1).ok());
+  ASSERT_TRUE(engine->Stop().ok());
+}
+
+// The core elasticity property: a migrated engine answers every
+// monitoring question exactly as an unmigrated twin fed the identical
+// data, and the moved stream's serialized state is byte-identical.
+TEST(MigrateStreamTest, MigratedEngineMatchesUnmigratedTwin) {
+  const std::size_t kStreams = 6;
+  auto subject = MakeEngine(kStreams, 3);
+  auto golden = MakeEngine(kStreams, 3);
+  ASSERT_NE(subject, nullptr);
+  ASSERT_NE(golden, nullptr);
+  auto subject_sources = Sources(kStreams, 500);
+  auto golden_sources = Sources(kStreams, 500);
+
+  Feed(subject.get(), &subject_sources, 300);
+  Feed(golden.get(), &golden_sources, 300);
+
+  // Move stream 0 off its home shard, feed more, move it again (to the
+  // third shard), feed, and finally return it home: state must survive
+  // arbitrary itineraries, not just one hop.
+  ASSERT_TRUE(subject->MigrateStream(0, 0, 1).ok());
+  EXPECT_EQ(subject->ShardOf(0), 1u);
+  EXPECT_EQ(subject->placement().epoch(), 1u);
+  Feed(subject.get(), &subject_sources, 200);
+  Feed(golden.get(), &golden_sources, 200);
+
+  ASSERT_TRUE(subject->MigrateStream(0, 2).ok());
+  ASSERT_TRUE(subject->MigrateStream(5, 0).ok());
+  Feed(subject.get(), &subject_sources, 200);
+  Feed(golden.get(), &golden_sources, 200);
+
+  ASSERT_TRUE(subject->MigrateStream(0, 0).ok());
+  Feed(subject.get(), &subject_sources, 100);
+  Feed(golden.get(), &golden_sources, 100);
+
+  EXPECT_EQ(subject->metrics().migrations.load(), 4u);
+  EXPECT_GT(subject->metrics().migrated_bytes.load(), 0u);
+  ExpectSameAnswers(*golden, *subject);
+  ASSERT_TRUE(subject->Stop().ok());
+  ASSERT_TRUE(golden->Stop().ok());
+}
+
+// Migration under live concurrent producers: no tuple is lost or
+// duplicated while the placement flips mid-ingest.
+TEST(MigrateStreamTest, ConservesTuplesUnderConcurrentProducers) {
+  const std::size_t kStreams = 4;
+  auto engine = MakeEngine(kStreams, 2);
+  ASSERT_NE(engine, nullptr);
+  constexpr int kPerProducer = 20000;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&engine, p] {
+      BurstySource source(900 + p);
+      for (int t = 0; t < kPerProducer; ++t) {
+        const StreamId s = static_cast<StreamId>((p * 2 + t) % kStreams);
+        ASSERT_TRUE(engine->Post(s, source.Next()).ok());
+      }
+    });
+  }
+  // Bounce stream 0 between the shards while the producers run.
+  for (int hop = 0; hop < 6; ++hop) {
+    const Status moved =
+        engine->MigrateStream(0, engine->ShardOf(0) == 0 ? 1 : 0);
+    ASSERT_TRUE(moved.ok()) << moved.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread& p : producers) p.join();
+  const Status flushed = engine->Flush();
+  ASSERT_TRUE(flushed.ok()) << flushed.ToString();
+  std::uint64_t appended = 0;
+  for (StreamId s = 0; s < kStreams; ++s) {
+    appended += engine->StreamAppendCount(s);
+  }
+  EXPECT_EQ(appended, 2u * kPerProducer);
+  ASSERT_TRUE(engine->Stop().ok());
+}
+
+// --- Rebalancer ----------------------------------------------------------
+
+// A hot-skewed workload (every active stream hashes to shard 0) must
+// make the background rebalancer move load off the hot shard.
+TEST(RebalancerTest, MovesAStreamOffTheHotShard) {
+  EngineConfig econfig;
+  econfig.num_shards = 2;
+  econfig.rebalance_period_ms = 5;
+  econfig.rebalance_min_delta = 64;
+  Result<std::unique_ptr<IngestEngine>> created = IngestEngine::Create(
+      StreamConfig(), Thresholds(2.0), 4, econfig);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto engine = std::move(created).value();
+
+  // Streams 0 and 2 both live on shard 0 under the modulo default; feed
+  // them exclusively until a rebalance tick separates them.
+  BurstySource source(77);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (engine->metrics().migrations.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int t = 0; t < 512; ++t) {
+      ASSERT_TRUE(engine->Post(0, source.Next()).ok());
+      ASSERT_TRUE(engine->Post(2, source.Next()).ok());
+    }
+    ASSERT_TRUE(engine->Flush().ok());
+  }
+  EXPECT_GE(engine->metrics().migrations.load(), 1u);
+  // The two hot streams no longer share shard 0.
+  EXPECT_NE(engine->ShardOf(0), engine->ShardOf(2));
+  ASSERT_TRUE(engine->Stop().ok());
+}
+
+// --- Checkpoint v6 -------------------------------------------------------
+
+TEST(PlacementCheckpointTest, FileNameEncodesSeq) {
+  EXPECT_EQ(CheckpointPlacementFileName(3), "placement-ck3.plc");
+  EXPECT_EQ(CheckpointPlacementFileName(12), "placement-ck12.plc");
+}
+
+TEST(PlacementCheckpointTest, ManifestRoundTripCarriesPlacement) {
+  CheckpointManifest manifest;
+  manifest.seq = 4;
+  manifest.num_streams = 2;
+  manifest.num_shards = 1;
+  manifest.shards = {{"shard-0-ck4.snap", 1, 1, 1}};
+  manifest.placement_file = "placement-ck4.plc";
+  manifest.placement_checksum = 0xbeef;
+  Result<CheckpointManifest> parsed =
+      ParseManifest(SerializeManifest(manifest));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().placement_file, "placement-ck4.plc");
+  EXPECT_EQ(parsed.value().placement_checksum, 0xbeefULL);
+}
+
+// A version-5 manifest (everything through the net-state entry, no
+// placement fields) must still parse; it restores with the modulo
+// default placement.
+TEST(PlacementCheckpointTest, ParsesVersion5ManifestsWithoutPlacement) {
+  Writer payload;
+  payload.U64(7);     // seq
+  payload.U64(2);     // num_streams
+  payload.U64(1);     // num_shards
+  payload.U64(1024);  // queue_capacity
+  payload.U64(8);     // max_producers
+  payload.U64(256);   // max_batch
+  payload.U8(0);      // overload
+  payload.U64(1);     // shard entries
+  const std::string file = "shard-0-ck7.snap";
+  payload.U64(file.size());
+  payload.Bytes(file.data(), file.size());
+  payload.U64(3);      // epoch
+  payload.U64(99);     // appended
+  payload.U64(0xabc);  // checksum
+  payload.U64(0);      // queries file (none)
+  payload.U64(0);      // queries checksum
+  payload.U64(0);      // feature entries
+  payload.U64(0);      // net file (none)
+  payload.U64(0);      // net checksum
+
+  Writer envelope;
+  const char magic[4] = {'S', 'D', 'M', 'F'};
+  envelope.Bytes(magic, sizeof(magic));
+  envelope.U32(5);  // the pre-placement manifest version
+  envelope.U64(Fnv1a(payload.buffer()));
+  envelope.Bytes(payload.buffer().data(), payload.buffer().size());
+
+  Result<CheckpointManifest> parsed =
+      ParseManifest(std::move(envelope.TakeBuffer()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().seq, 7u);
+  EXPECT_TRUE(parsed.value().placement_file.empty());
+  EXPECT_EQ(parsed.value().placement_checksum, 0u);
+}
+
+// Checkpoint after migrations, restore, and the restored engine both
+// keeps the migrated placement and matches the origin's answers.
+TEST(PlacementCheckpointTest, RestoreKeepsMigratedPlacement) {
+  const std::string dir = FreshDir("placement_restore");
+  const std::size_t kStreams = 5;
+  auto origin = MakeEngine(kStreams, 2);
+  ASSERT_NE(origin, nullptr);
+  auto sources = Sources(kStreams, 640);
+  Feed(origin.get(), &sources, 400);
+  ASSERT_TRUE(origin->MigrateStream(0, 1).ok());
+  ASSERT_TRUE(origin->MigrateStream(3, 0).ok());
+  Feed(origin.get(), &sources, 100);
+  ASSERT_TRUE(origin->Checkpoint(dir).ok());
+
+  auto restored = MakeEngine(kStreams, 2, dir);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->placement().epoch(), origin->placement().epoch());
+  for (StreamId s = 0; s < kStreams; ++s) {
+    EXPECT_EQ(restored->ShardOf(s), origin->ShardOf(s)) << "stream " << s;
+  }
+  ExpectSameAnswers(*origin, *restored);
+
+  // The restored engine keeps working — including migrating the moved
+  // stream again.
+  auto origin_more = sources;
+  Feed(origin.get(), &sources, 100);
+  Feed(restored.get(), &origin_more, 100);
+  ASSERT_TRUE(restored->MigrateStream(0, 0).ok());
+  EXPECT_EQ(restored->StreamAppendCount(0), 600u);
+  ASSERT_TRUE(origin->Stop().ok());
+  ASSERT_TRUE(restored->Stop().ok());
+}
+
+// A crash while writing the placement file must not produce a corrupt
+// "latest" checkpoint: recovery falls back to the previous complete one.
+TEST(PlacementCheckpointTest, CrashOnPlacementWriteKeepsPreviousCheckpoint) {
+  const std::string dir = FreshDir("placement_crash");
+  const std::size_t kStreams = 4;
+  auto origin = MakeEngine(kStreams, 2);
+  ASSERT_NE(origin, nullptr);
+  auto sources = Sources(kStreams, 820);
+  Feed(origin.get(), &sources, 200);
+  ASSERT_TRUE(origin->Checkpoint(dir).ok());
+
+  ASSERT_TRUE(origin->MigrateStream(1, 0).ok());
+  Feed(origin.get(), &sources, 200);
+  SetAtomicFileHookForTest(
+      [](AtomicWritePhase, const std::string& path) {
+        return path.find("placement-ck") == std::string::npos;
+      });
+  EXPECT_FALSE(origin->Checkpoint(dir).ok());
+  SetAtomicFileHookForTest(nullptr);
+  EXPECT_GE(origin->metrics().checkpoint_failures.load(), 1u);
+
+  // Recovery lands on checkpoint 1: 200 rows per stream, modulo layout.
+  auto restored = MakeEngine(kStreams, 2, dir);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->placement().epoch(), 0u);
+  for (StreamId s = 0; s < kStreams; ++s) {
+    EXPECT_EQ(restored->StreamAppendCount(s), 200u) << "stream " << s;
+    EXPECT_EQ(restored->ShardOf(s), s % 2) << "stream " << s;
+  }
+  ASSERT_TRUE(origin->Stop().ok());
+  ASSERT_TRUE(restored->Stop().ok());
+}
+
+}  // namespace
+}  // namespace stardust

@@ -184,8 +184,9 @@ TEST_F(SketchCheckpointTest, MeasuresSurviveRestore) {
   }
 
   // Restore: the sketch slots come back warm — measures are Ready with
-  // their append counters intact, so a couple of fresh high-variety
-  // ticks re-raise the alarm without re-warming a full window.
+  // their append counters intact — and the rising-edge state comes back
+  // too (manifest v6), so the alarm that was already announced before
+  // the checkpoint is not re-announced.
   Result<std::unique_ptr<IngestEngine>> engine = IngestEngine::Create(
       fleet, thresholds, 2, econfig, dir_.string());
   ASSERT_TRUE(engine.ok()) << engine.status().ToString();
@@ -201,15 +202,28 @@ TEST_F(SketchCheckpointTest, MeasuresSurviveRestore) {
   EXPECT_EQ(engine.value()->queries().snapshot()->sketch.size(), 1u);
   auto ring = std::make_shared<RingSink>();
   engine.value()->alerts().AddSink(ring);
-  for (int t = 0; t < 4; ++t) {
-    ASSERT_TRUE(engine.value()->Post(0, static_cast<double>(t)).ok());
+  // Constant feed: the distinct window collapses to one value, the
+  // condition conforms, and the restored edge state resets. The alarm
+  // was announced before the checkpoint, so nothing fires here.
+  for (int t = 0; t < 20; ++t) {
+    ASSERT_TRUE(engine.value()->Post(0, 0.0).ok());
+    ASSERT_TRUE(engine.value()->Post(1, 1.0).ok());
+  }
+  ASSERT_TRUE(engine.value()->Flush().ok());
+  EXPECT_TRUE(ring->Snapshot().empty())
+      << "restored edge state should suppress the already-announced alarm";
+  // High-variety feed: the distinct count crosses the bound again and
+  // the fresh rising edge alerts — without re-warming a full window,
+  // because the measure state survived the restore.
+  for (int t = 0; t < 16; ++t) {
+    ASSERT_TRUE(engine.value()->Post(0, static_cast<double>(t % 8)).ok());
     ASSERT_TRUE(engine.value()->Post(1, 1.0).ok());
   }
   ASSERT_TRUE(engine.value()->Flush().ok());
   ASSERT_TRUE(engine.value()->Stop().ok());
   const std::vector<Alert> alerts = ring->Snapshot();
   ASSERT_FALSE(alerts.empty())
-      << "restored sketch state should alarm without a warm-up window";
+      << "a fresh rising edge after restore should alarm";
   EXPECT_EQ(alerts[0].kind, QueryKind::kSketch);
   EXPECT_EQ(alerts[0].stream, 0u);
   EXPECT_GE(alerts[0].value, 5.0);
