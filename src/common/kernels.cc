@@ -1,0 +1,268 @@
+#include "common/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace stardust {
+namespace kernels {
+
+// ---------------------------------------------------------------------------
+// Scalar reference backend. Every other backend must match these loops
+// bit-for-bit (elementwise and comparison kernels) or within the documented
+// ULP bound (reassociating reductions).
+
+namespace {
+
+void HaarDownScalar(const double* in, std::size_t half, double scale,
+                    double* out) {
+  for (std::size_t k = 0; k < half; ++k) {
+    out[k] = (in[2 * k] + in[2 * k + 1]) * scale;
+  }
+}
+
+void HaarStepScalar(const double* in, std::size_t half, double scale,
+                    double* approx, double* detail) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const double sum = (in[2 * k] + in[2 * k + 1]) * scale;
+    detail[k] = (in[2 * k] - in[2 * k + 1]) * scale;
+    approx[k] = sum;
+  }
+}
+
+double ReduceMaxScalar(const double* v, std::size_t n) {
+  double mx = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (mx < v[i]) mx = v[i];
+  }
+  return mx;
+}
+
+double ReduceMinScalar(const double* v, std::size_t n) {
+  double mn = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < mn) mn = v[i];
+  }
+  return mn;
+}
+
+void ReduceSpreadScalar(const double* v, std::size_t n, double* mx,
+                        double* mn) {
+  double hi = v[0];
+  double lo = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = v[i];
+    if (!(x < hi)) hi = x;
+    if (x < lo) lo = x;
+  }
+  *mx = hi;
+  *mn = lo;
+}
+
+double ReduceSumScalar(const double* v, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+void ZNormApplyScalar(const double* src, std::size_t n, double mean,
+                      double scale, double* dst) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = (src[i] - mean) * scale;
+}
+
+void ZNormMomentsScalar(const double* src, std::size_t n, double* mean,
+                        double* norm2) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) m += src[i];
+  m /= static_cast<double>(n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = src[i] - m;
+    s += d * d;
+  }
+  *mean = m;
+  *norm2 = s;
+}
+
+void CopyScalar(const double* src, std::size_t n, double* dst) {
+  std::memcpy(dst, src, n * sizeof(double));
+}
+
+constexpr KernelTable kScalarTable = {
+    HaarDownScalar,   HaarStepScalar,   ReduceMaxScalar,
+    ReduceMinScalar,  ReduceSpreadScalar, ReduceSumScalar,
+    ZNormApplyScalar, ZNormMomentsScalar, CopyScalar,
+};
+
+}  // namespace
+
+// Defined in kernels_avx2.cc / kernels_avx512.cc (compiled with the
+// matching -m flags; declared here so this TU needs no ISA flags).
+extern const KernelTable kAvx2Table;
+extern const KernelTable kAvx512Table;
+
+namespace internal {
+std::atomic<const KernelTable*> g_active{&kScalarTable};
+std::atomic<std::uint64_t> g_counts[kNumKernels] = {};
+std::atomic<bool> g_fast_reductions{false};
+// Constant-initialized to the scalar-tier crossover; Select() re-resolves
+// it whenever the backend or the override changes.
+std::atomic<std::size_t> g_run_cutoff{2};
+}  // namespace internal
+
+namespace {
+
+std::atomic<Backend> g_selected{Backend::kScalar};
+// Calibrated per-backend run-length crossovers (see BatchedRunCutoff()).
+// Index by static_cast<int>(Backend). The staged-run setup cost is
+// dominated by per-run bookkeeping, not kernel width, so the crossover is
+// the same on every measured tier; the table keeps the knob per-backend so
+// a recalibration can differentiate them without touching call sites.
+constexpr std::size_t kRunCutoff[3] = {2, 2, 2};
+std::atomic<std::size_t> g_run_cutoff_override{0};  // 0 = use kRunCutoff
+
+const KernelTable* TableFor(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return &kScalarTable;
+    case Backend::kAvx2:
+      return &kAvx2Table;
+    case Backend::kAvx512:
+      return &kAvx512Table;
+  }
+  return &kScalarTable;
+}
+
+void Select(Backend backend) {
+  if (backend > MaxSupportedBackend()) backend = MaxSupportedBackend();
+  g_selected.store(backend, std::memory_order_relaxed);
+  internal::g_active.store(TableFor(backend), std::memory_order_relaxed);
+  const std::size_t forced =
+      g_run_cutoff_override.load(std::memory_order_relaxed);
+  internal::g_run_cutoff.store(
+      forced != 0 ? forced : kRunCutoff[static_cast<int>(backend)],
+      std::memory_order_relaxed);
+}
+
+// Startup resolution: CPUID pick, then the env overrides. Runs at static
+// initialization of this TU; kernels called before that (static init in
+// other TUs) safely use the constant-initialized scalar table.
+struct StartupResolver {
+  StartupResolver() {
+    const char* forced = std::getenv("STARDUST_KERNELS");
+    if (forced == nullptr || !SetBackend(forced)) {
+      Select(MaxSupportedBackend());
+    }
+    const char* fast = std::getenv("STARDUST_FAST_REDUCE");
+    if (fast != nullptr && fast[0] == '1') SetFastReductions(true);
+    const char* cutoff = std::getenv("STARDUST_RUN_CUTOFF");
+    if (cutoff != nullptr) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(cutoff, &end, 10);
+      if (end != cutoff && *end == '\0' && v != 0) {
+        g_run_cutoff_override.store(static_cast<std::size_t>(v),
+                                    std::memory_order_relaxed);
+        internal::g_run_cutoff.store(static_cast<std::size_t>(v),
+                                     std::memory_order_relaxed);
+      }
+    }
+  }
+};
+const StartupResolver g_startup_resolver;
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+Backend MaxSupportedBackend() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const Backend max = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return Backend::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return Backend::kAvx2;
+    return Backend::kScalar;
+  }();
+  return max;
+#else
+  return Backend::kScalar;
+#endif
+}
+
+Backend SelectedBackend() {
+  return g_selected.load(std::memory_order_relaxed);
+}
+
+bool SetBackend(const std::string& name) {
+  if (name.empty() || name == "auto") {
+    Select(MaxSupportedBackend());
+    return true;
+  }
+  if (name == "scalar") {
+    Select(Backend::kScalar);
+    return true;
+  }
+  if (name == "avx2") {
+    Select(Backend::kAvx2);
+    return true;
+  }
+  if (name == "avx512") {
+    Select(Backend::kAvx512);
+    return true;
+  }
+  return false;
+}
+
+void SetFastReductions(bool enabled) {
+  internal::g_fast_reductions.store(enabled, std::memory_order_relaxed);
+}
+
+const char* KernelName(std::size_t id) {
+  switch (id) {
+    case kIdHaarDown:
+      return "haar_down";
+    case kIdHaarStep:
+      return "haar_step";
+    case kIdReduceMax:
+      return "reduce_max";
+    case kIdReduceMin:
+      return "reduce_min";
+    case kIdReduceSpread:
+      return "reduce_spread";
+    case kIdReduceSum:
+      return "reduce_sum";
+    case kIdZNormApply:
+      return "znorm_apply";
+    case kIdZNormMoments:
+      return "znorm_moments";
+    case kIdCopy:
+      return "copy";
+    default:
+      return "?";
+  }
+}
+
+std::uint64_t KernelCount(std::size_t id) {
+  if (id >= kNumKernels) return 0;
+  return internal::g_counts[id].load(std::memory_order_relaxed);
+}
+
+void ResetKernelCounters() {
+  for (auto& c : internal::g_counts) {
+    c.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace kernels
+}  // namespace stardust

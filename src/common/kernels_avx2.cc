@@ -1,0 +1,334 @@
+// AVX2 backend of the kernel dispatch table (common/kernels.h).
+//
+// This translation unit is compiled with -mavx2 but WITHOUT -mfma and with
+// -ffp-contract=off: the bit-equivalence gate requires (a + b) * s to round
+// exactly like the scalar reference, which an FMA contraction would break.
+// Vector bodies process full 4-lane blocks; remainders run the scalar
+// expression verbatim, so every lane count n >= 1 is covered.
+#include "common/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace stardust {
+namespace kernels {
+
+namespace {
+
+// out[k] = (in[2k] + in[2k+1]) * scale. In-place safe: the k-th vector
+// iteration loads in[2k, 2k+8) before storing out[k, k+4), and later
+// iterations read from 2(k+4) >= k+8, past everything already written.
+void HaarDownAvx2(const double* in, std::size_t half, double scale,
+                  double* out) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m256d x0 = _mm256_loadu_pd(in + 2 * k);
+    const __m256d x1 = _mm256_loadu_pd(in + 2 * k + 4);
+    // hadd gives [s0, s2, s1, s3] (per-128-lane pairs); permute restores
+    // element order. The additions are the same (in[2k] + in[2k+1]) as the
+    // scalar loop, so each lane is bit-identical.
+    const __m256d sums = _mm256_hadd_pd(x0, x1);
+    const __m256d ordered =
+        _mm256_permute4x64_pd(sums, _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_pd(out + k, _mm256_mul_pd(ordered, vscale));
+  }
+  for (; k < half; ++k) {
+    out[k] = (in[2 * k] + in[2 * k + 1]) * scale;
+  }
+}
+
+void HaarStepAvx2(const double* in, std::size_t half, double scale,
+                  double* approx, double* detail) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  std::size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m256d x0 = _mm256_loadu_pd(in + 2 * k);
+    const __m256d x1 = _mm256_loadu_pd(in + 2 * k + 4);
+    const __m256d sums = _mm256_permute4x64_pd(_mm256_hadd_pd(x0, x1),
+                                               _MM_SHUFFLE(3, 1, 2, 0));
+    const __m256d diffs = _mm256_permute4x64_pd(_mm256_hsub_pd(x0, x1),
+                                                _MM_SHUFFLE(3, 1, 2, 0));
+    _mm256_storeu_pd(detail + k, _mm256_mul_pd(diffs, vscale));
+    _mm256_storeu_pd(approx + k, _mm256_mul_pd(sums, vscale));
+  }
+  for (; k < half; ++k) {
+    const double sum = (in[2 * k] + in[2 * k + 1]) * scale;
+    detail[k] = (in[2 * k] - in[2 * k + 1]) * scale;
+    approx[k] = sum;
+  }
+}
+
+double ReduceMaxScalarRef(const double* v, std::size_t n) {
+  double mx = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (mx < v[i]) mx = v[i];
+  }
+  return mx;
+}
+
+double ReduceMinScalarRef(const double* v, std::size_t n) {
+  double mn = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < mn) mn = v[i];
+  }
+  return mn;
+}
+
+// Finite inputs make max/min order-insensitive up to ties, and tied finite
+// doubles are bit-identical except ±0.0. A zero result therefore may have
+// picked the wrong zero sign for the reference tie order; rerun the scalar
+// loop in that (rare) case to restore it.
+double ReduceMaxAvx2(const double* v, std::size_t n) {
+  if (n < 8) return ReduceMaxScalarRef(v, n);
+  __m256d acc = _mm256_loadu_pd(v);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_max_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double mx = lanes[0];
+  if (mx < lanes[1]) mx = lanes[1];
+  if (mx < lanes[2]) mx = lanes[2];
+  if (mx < lanes[3]) mx = lanes[3];
+  for (; i < n; ++i) {
+    if (mx < v[i]) mx = v[i];
+  }
+  if (mx == 0.0) return ReduceMaxScalarRef(v, n);
+  return mx;
+}
+
+double ReduceMinAvx2(const double* v, std::size_t n) {
+  if (n < 8) return ReduceMinScalarRef(v, n);
+  __m256d acc = _mm256_loadu_pd(v);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_min_pd(acc, _mm256_loadu_pd(v + i));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double mn = lanes[0];
+  if (lanes[1] < mn) mn = lanes[1];
+  if (lanes[2] < mn) mn = lanes[2];
+  if (lanes[3] < mn) mn = lanes[3];
+  for (; i < n; ++i) {
+    if (v[i] < mn) mn = v[i];
+  }
+  if (mn == 0.0) return ReduceMinScalarRef(v, n);
+  return mn;
+}
+
+void ReduceSpreadScalarRef(const double* v, std::size_t n, double* mx,
+                           double* mn) {
+  double hi = v[0];
+  double lo = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = v[i];
+    if (!(x < hi)) hi = x;  // last maximum (minmax_element tie order)
+    if (x < lo) lo = x;     // first minimum
+  }
+  *mx = hi;
+  *mn = lo;
+}
+
+void ReduceSpreadAvx2(const double* v, std::size_t n, double* mx,
+                      double* mn) {
+  if (n < 8) {
+    ReduceSpreadScalarRef(v, n, mx, mn);
+    return;
+  }
+  __m256d amax = _mm256_loadu_pd(v);
+  __m256d amin = amax;
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(v + i);
+    amax = _mm256_max_pd(amax, x);
+    amin = _mm256_min_pd(amin, x);
+  }
+  double lmax[4], lmin[4];
+  _mm256_storeu_pd(lmax, amax);
+  _mm256_storeu_pd(lmin, amin);
+  double hi = lmax[0];
+  double lo = lmin[0];
+  for (int l = 1; l < 4; ++l) {
+    if (!(lmax[l] < hi)) hi = lmax[l];
+    if (lmin[l] < lo) lo = lmin[l];
+  }
+  for (; i < n; ++i) {
+    if (!(v[i] < hi)) hi = v[i];
+    if (v[i] < lo) lo = v[i];
+  }
+  if (hi == 0.0 || lo == 0.0) {
+    ReduceSpreadScalarRef(v, n, mx, mn);
+    return;
+  }
+  *mx = hi;
+  *mn = lo;
+}
+
+// Reassociating: one vector accumulator, lanes folded left-to-right, tail
+// appended scalar. Deterministic for a given (backend, n), but rounds
+// differently from the scalar left-to-right loop — gated behind the fast-
+// reduction opt-in (see kernels.h).
+double ReduceSumAvx2(const double* v, std::size_t n) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d acc = _mm256_loadu_pd(v);
+    for (i = 4; i + 4 <= n; i += 4) {
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(v + i));
+    }
+    double lanes[4];
+    _mm256_storeu_pd(lanes, acc);
+    sum = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  }
+  for (; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+void ZNormApplyAvx2(const double* src, std::size_t n, double mean,
+                    double scale, double* dst) {
+  const __m256d vmean = _mm256_set1_pd(mean);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_loadu_pd(src + i);
+    _mm256_storeu_pd(dst + i,
+                     _mm256_mul_pd(_mm256_sub_pd(x, vmean), vscale));
+  }
+  for (; i < n; ++i) dst[i] = (src[i] - mean) * scale;
+}
+
+void ZNormMomentsAvx2(const double* src, std::size_t n, double* mean,
+                      double* norm2) {
+  const double m = ReduceSumAvx2(src, n) / static_cast<double>(n);
+  const __m256d vmean = _mm256_set1_pd(m);
+  double s = 0.0;
+  std::size_t i = 0;
+  if (n >= 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (; i + 4 <= n; i += 4) {
+      const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(src + i), vmean);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(d, d));
+    }
+    double lanes[4];
+    _mm256_storeu_pd(lanes, acc);
+    s = ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3];
+  }
+  for (; i < n; ++i) {
+    const double d = src[i] - m;
+    s += d * d;
+  }
+  *mean = m;
+  *norm2 = s;
+}
+
+void CopyAvx2(const double* src, std::size_t n, double* dst) {
+  std::memcpy(dst, src, n * sizeof(double));
+}
+
+}  // namespace
+
+extern const KernelTable kAvx2Table;
+const KernelTable kAvx2Table = {
+    HaarDownAvx2,   HaarStepAvx2,   ReduceMaxAvx2,
+    ReduceMinAvx2,  ReduceSpreadAvx2, ReduceSumAvx2,
+    ZNormApplyAvx2, ZNormMomentsAvx2, CopyAvx2,
+};
+
+}  // namespace kernels
+}  // namespace stardust
+
+#else  // !defined(__AVX2__)
+
+// Toolchain/arch without AVX2: alias the tier to scalar semantics so the
+// dispatch table still links (SetBackend clamps via MaxSupportedBackend,
+// so this table is only reachable on such builds anyway).
+namespace stardust {
+namespace kernels {
+
+namespace {
+
+void HaarDownFallback(const double* in, std::size_t half, double scale,
+                      double* out) {
+  for (std::size_t k = 0; k < half; ++k) {
+    out[k] = (in[2 * k] + in[2 * k + 1]) * scale;
+  }
+}
+void HaarStepFallback(const double* in, std::size_t half, double scale,
+                      double* approx, double* detail) {
+  for (std::size_t k = 0; k < half; ++k) {
+    const double sum = (in[2 * k] + in[2 * k + 1]) * scale;
+    detail[k] = (in[2 * k] - in[2 * k + 1]) * scale;
+    approx[k] = sum;
+  }
+}
+double ReduceMaxFallback(const double* v, std::size_t n) {
+  double mx = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (mx < v[i]) mx = v[i];
+  }
+  return mx;
+}
+double ReduceMinFallback(const double* v, std::size_t n) {
+  double mn = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < mn) mn = v[i];
+  }
+  return mn;
+}
+void ReduceSpreadFallback(const double* v, std::size_t n, double* mx,
+                          double* mn) {
+  double hi = v[0];
+  double lo = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = v[i];
+    if (!(x < hi)) hi = x;
+    if (x < lo) lo = x;
+  }
+  *mx = hi;
+  *mn = lo;
+}
+double ReduceSumFallback(const double* v, std::size_t n) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum += v[i];
+  return sum;
+}
+void ZNormApplyFallback(const double* src, std::size_t n, double mean,
+                        double scale, double* dst) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = (src[i] - mean) * scale;
+}
+void ZNormMomentsFallback(const double* src, std::size_t n, double* mean,
+                          double* norm2) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) m += src[i];
+  m /= static_cast<double>(n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = src[i] - m;
+    s += d * d;
+  }
+  *mean = m;
+  *norm2 = s;
+}
+void CopyFallback(const double* src, std::size_t n, double* dst) {
+  std::memcpy(dst, src, n * sizeof(double));
+}
+
+}  // namespace
+
+extern const KernelTable kAvx2Table;
+const KernelTable kAvx2Table = {
+    HaarDownFallback,   HaarStepFallback,   ReduceMaxFallback,
+    ReduceMinFallback,  ReduceSpreadFallback, ReduceSumFallback,
+    ZNormApplyFallback, ZNormMomentsFallback, CopyFallback,
+};
+
+}  // namespace kernels
+}  // namespace stardust
+
+#endif  // __AVX2__

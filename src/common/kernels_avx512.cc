@@ -1,0 +1,255 @@
+// AVX-512 backend of the kernel dispatch table (common/kernels.h).
+//
+// Compiled with -mavx512f -mavx512dq -mavx512vl, no -mfma, and
+// -ffp-contract=off — same bit-equivalence rules as the AVX2 backend
+// (kernels_avx2.cc): elementwise lanes evaluate the scalar expression
+// exactly; comparison reductions resolve ±0.0 ties with a scalar rescan;
+// reassociating sums are opt-in only.
+#include "common/kernels.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace stardust {
+namespace kernels {
+
+namespace {
+
+// Deinterleave selectors: evens/odds of the concatenation [a | b].
+const __m512i kEvenIdx =
+    _mm512_setr_epi64(0, 2, 4, 6, 8, 10, 12, 14);
+const __m512i kOddIdx =
+    _mm512_setr_epi64(1, 3, 5, 7, 9, 11, 13, 15);
+
+void HaarDownAvx512(const double* in, std::size_t half, double scale,
+                    double* out) {
+  const __m512d vscale = _mm512_set1_pd(scale);
+  std::size_t k = 0;
+  // In-place safe: iteration k loads in[2k, 2k+16) before storing
+  // out[k, k+8); later iterations read from 2(k+8) >= k+16.
+  for (; k + 8 <= half; k += 8) {
+    const __m512d z0 = _mm512_loadu_pd(in + 2 * k);
+    const __m512d z1 = _mm512_loadu_pd(in + 2 * k + 8);
+    const __m512d even = _mm512_permutex2var_pd(z0, kEvenIdx, z1);
+    const __m512d odd = _mm512_permutex2var_pd(z0, kOddIdx, z1);
+    _mm512_storeu_pd(out + k,
+                     _mm512_mul_pd(_mm512_add_pd(even, odd), vscale));
+  }
+  for (; k < half; ++k) {
+    out[k] = (in[2 * k] + in[2 * k + 1]) * scale;
+  }
+}
+
+void HaarStepAvx512(const double* in, std::size_t half, double scale,
+                    double* approx, double* detail) {
+  const __m512d vscale = _mm512_set1_pd(scale);
+  std::size_t k = 0;
+  for (; k + 8 <= half; k += 8) {
+    const __m512d z0 = _mm512_loadu_pd(in + 2 * k);
+    const __m512d z1 = _mm512_loadu_pd(in + 2 * k + 8);
+    const __m512d even = _mm512_permutex2var_pd(z0, kEvenIdx, z1);
+    const __m512d odd = _mm512_permutex2var_pd(z0, kOddIdx, z1);
+    _mm512_storeu_pd(detail + k,
+                     _mm512_mul_pd(_mm512_sub_pd(even, odd), vscale));
+    _mm512_storeu_pd(approx + k,
+                     _mm512_mul_pd(_mm512_add_pd(even, odd), vscale));
+  }
+  for (; k < half; ++k) {
+    const double sum = (in[2 * k] + in[2 * k + 1]) * scale;
+    detail[k] = (in[2 * k] - in[2 * k + 1]) * scale;
+    approx[k] = sum;
+  }
+}
+
+double ReduceMaxScalarRef(const double* v, std::size_t n) {
+  double mx = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (mx < v[i]) mx = v[i];
+  }
+  return mx;
+}
+
+double ReduceMinScalarRef(const double* v, std::size_t n) {
+  double mn = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    if (v[i] < mn) mn = v[i];
+  }
+  return mn;
+}
+
+double ReduceMaxAvx512(const double* v, std::size_t n) {
+  if (n < 16) return ReduceMaxScalarRef(v, n);
+  __m512d acc = _mm512_loadu_pd(v);
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_max_pd(acc, _mm512_loadu_pd(v + i));
+  }
+  double lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  double mx = lanes[0];
+  for (int l = 1; l < 8; ++l) {
+    if (mx < lanes[l]) mx = lanes[l];
+  }
+  for (; i < n; ++i) {
+    if (mx < v[i]) mx = v[i];
+  }
+  if (mx == 0.0) return ReduceMaxScalarRef(v, n);  // ±0.0 tie order
+  return mx;
+}
+
+double ReduceMinAvx512(const double* v, std::size_t n) {
+  if (n < 16) return ReduceMinScalarRef(v, n);
+  __m512d acc = _mm512_loadu_pd(v);
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm512_min_pd(acc, _mm512_loadu_pd(v + i));
+  }
+  double lanes[8];
+  _mm512_storeu_pd(lanes, acc);
+  double mn = lanes[0];
+  for (int l = 1; l < 8; ++l) {
+    if (lanes[l] < mn) mn = lanes[l];
+  }
+  for (; i < n; ++i) {
+    if (v[i] < mn) mn = v[i];
+  }
+  if (mn == 0.0) return ReduceMinScalarRef(v, n);
+  return mn;
+}
+
+void ReduceSpreadScalarRef(const double* v, std::size_t n, double* mx,
+                           double* mn) {
+  double hi = v[0];
+  double lo = v[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    const double x = v[i];
+    if (!(x < hi)) hi = x;
+    if (x < lo) lo = x;
+  }
+  *mx = hi;
+  *mn = lo;
+}
+
+void ReduceSpreadAvx512(const double* v, std::size_t n, double* mx,
+                        double* mn) {
+  if (n < 16) {
+    ReduceSpreadScalarRef(v, n, mx, mn);
+    return;
+  }
+  __m512d amax = _mm512_loadu_pd(v);
+  __m512d amin = amax;
+  std::size_t i = 8;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(v + i);
+    amax = _mm512_max_pd(amax, x);
+    amin = _mm512_min_pd(amin, x);
+  }
+  double lmax[8], lmin[8];
+  _mm512_storeu_pd(lmax, amax);
+  _mm512_storeu_pd(lmin, amin);
+  double hi = lmax[0];
+  double lo = lmin[0];
+  for (int l = 1; l < 8; ++l) {
+    if (!(lmax[l] < hi)) hi = lmax[l];
+    if (lmin[l] < lo) lo = lmin[l];
+  }
+  for (; i < n; ++i) {
+    if (!(v[i] < hi)) hi = v[i];
+    if (v[i] < lo) lo = v[i];
+  }
+  if (hi == 0.0 || lo == 0.0) {
+    ReduceSpreadScalarRef(v, n, mx, mn);
+    return;
+  }
+  *mx = hi;
+  *mn = lo;
+}
+
+double ReduceSumAvx512(const double* v, std::size_t n) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  if (n >= 8) {
+    __m512d acc = _mm512_loadu_pd(v);
+    for (i = 8; i + 8 <= n; i += 8) {
+      acc = _mm512_add_pd(acc, _mm512_loadu_pd(v + i));
+    }
+    double lanes[8];
+    _mm512_storeu_pd(lanes, acc);
+    sum = lanes[0];
+    for (int l = 1; l < 8; ++l) sum += lanes[l];
+  }
+  for (; i < n; ++i) sum += v[i];
+  return sum;
+}
+
+void ZNormApplyAvx512(const double* src, std::size_t n, double mean,
+                      double scale, double* dst) {
+  const __m512d vmean = _mm512_set1_pd(mean);
+  const __m512d vscale = _mm512_set1_pd(scale);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d x = _mm512_loadu_pd(src + i);
+    _mm512_storeu_pd(dst + i,
+                     _mm512_mul_pd(_mm512_sub_pd(x, vmean), vscale));
+  }
+  for (; i < n; ++i) dst[i] = (src[i] - mean) * scale;
+}
+
+void ZNormMomentsAvx512(const double* src, std::size_t n, double* mean,
+                        double* norm2) {
+  const double m = ReduceSumAvx512(src, n) / static_cast<double>(n);
+  const __m512d vmean = _mm512_set1_pd(m);
+  double s = 0.0;
+  std::size_t i = 0;
+  if (n >= 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (; i + 8 <= n; i += 8) {
+      const __m512d d = _mm512_sub_pd(_mm512_loadu_pd(src + i), vmean);
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(d, d));
+    }
+    double lanes[8];
+    _mm512_storeu_pd(lanes, acc);
+    for (int l = 0; l < 8; ++l) s += lanes[l];
+  }
+  for (; i < n; ++i) {
+    const double d = src[i] - m;
+    s += d * d;
+  }
+  *mean = m;
+  *norm2 = s;
+}
+
+void CopyAvx512(const double* src, std::size_t n, double* dst) {
+  std::memcpy(dst, src, n * sizeof(double));
+}
+
+}  // namespace
+
+extern const KernelTable kAvx512Table;
+const KernelTable kAvx512Table = {
+    HaarDownAvx512,   HaarStepAvx512,   ReduceMaxAvx512,
+    ReduceMinAvx512,  ReduceSpreadAvx512, ReduceSumAvx512,
+    ZNormApplyAvx512, ZNormMomentsAvx512, CopyAvx512,
+};
+
+}  // namespace kernels
+}  // namespace stardust
+
+#else  // no AVX-512 toolchain support
+
+namespace stardust {
+namespace kernels {
+
+// Unreachable on such builds (SetBackend clamps via MaxSupportedBackend);
+// alias to the AVX2 tier's table so the symbol links.
+extern const KernelTable kAvx2Table;
+extern const KernelTable kAvx512Table;
+const KernelTable kAvx512Table = kAvx2Table;
+
+}  // namespace kernels
+}  // namespace stardust
+
+#endif

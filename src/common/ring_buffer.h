@@ -11,6 +11,7 @@
 #ifndef STARDUST_COMMON_RING_BUFFER_H_
 #define STARDUST_COMMON_RING_BUFFER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -81,6 +82,18 @@ class RingBuffer {
   const T& At(std::uint64_t pos) const {
     SD_DCHECK(Contains(pos));
     return data_[pos % capacity_];
+  }
+
+  /// Copies the window [first, first + count) into `out` (at least
+  /// `count` slots) in at most two contiguous segments — no per-element
+  /// modulo. Requires the whole window to be buffered.
+  void CopySpanTo(std::uint64_t first, std::size_t count, T* out) const {
+    SD_DCHECK(count == 0 || (Contains(first) && Contains(first + count - 1)));
+    const std::size_t start = static_cast<std::size_t>(first % capacity_);
+    const std::size_t head =
+        capacity_ - start < count ? capacity_ - start : count;
+    std::copy(data_.begin() + start, data_.begin() + start + head, out);
+    std::copy(data_.begin(), data_.begin() + (count - head), out + head);
   }
 
   /// Copies the window [first, first + count) into `out` (resized).

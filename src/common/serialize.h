@@ -38,7 +38,10 @@ class Writer {
     buffer_.append(static_cast<const char*>(data), size);
   }
 
-  void DoubleVector(const std::vector<double>& values) {
+  /// Allocator-generic so over-aligned hot arrays (common/aligned.h)
+  /// serialize identically to plain vectors.
+  template <typename Alloc>
+  void DoubleVector(const std::vector<double, Alloc>& values) {
     U64(values.size());
     for (double v : values) F64(v);
   }
@@ -98,8 +101,9 @@ class Reader {
   }
 
   /// Reads a length-prefixed vector with a sanity cap against corrupt
-  /// lengths blowing up memory.
-  Status DoubleVector(std::vector<double>* out,
+  /// lengths blowing up memory. Allocator-generic (see Writer).
+  template <typename Alloc>
+  Status DoubleVector(std::vector<double, Alloc>* out,
                       std::uint64_t max_size = (1ULL << 32)) {
     std::uint64_t size = 0;
     SD_RETURN_NOT_OK(U64(&size));

@@ -1,7 +1,10 @@
 #include "core/aggregate_monitor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
+
+#include "transform/aggregate.h"
 
 namespace stardust {
 
@@ -84,9 +87,9 @@ Status AggregateMonitor::Append(double value) {
 
 Status AggregateMonitor::AppendRun(const double* values, std::size_t n) {
   if (n == 0) return Status::OK();
-  if (n <= Stardust::kScalarRunCutoff) {
+  if (n <= Stardust::ScalarRunCutoff()) {
     // Cost-based dispatch: short runs never pay the staged-run setup
-    // (see Stardust::kScalarRunCutoff). Append also rejects non-finite
+    // (see Stardust::ScalarRunCutoff). Append also rejects non-finite
     // values with the same per-value error, so no pre-scan is needed.
     for (std::size_t i = 0; i < n; ++i) {
       SD_RETURN_NOT_OK(Append(values[i]));
@@ -108,6 +111,18 @@ Status AggregateMonitor::AppendRun(const double* values, std::size_t n) {
   run_sealed_.clear();
   run_expired_.clear();
   summarizer->BeginRun(values, n);
+  if (summarizer->FlatRunEligible()) {
+    // Two-phase form: all maintenance first (level-major, recording the
+    // as-of extent rings), then the per-arrival checks composed from the
+    // rings — same checks against the same values as the interleaved
+    // loop below, with the per-arrival level dispatch amortized away.
+    summarizer->RunLevelPass(indexed ? &run_sealed_ : nullptr);
+    const Status checks = RunChecksFlat(*summarizer, values, n);
+    summarizer->EndRun(indexed ? &run_expired_ : nullptr);
+    SD_RETURN_NOT_OK(checks);
+    return stardust_->ApplyRunIndexDeltas(stream_, run_sealed_,
+                                          run_expired_);
+  }
   for (std::size_t i = 0; i < n; ++i) {
     summarizer->AppendRunStep(i, indexed ? &run_sealed_ : nullptr);
     tracker_.Push(values[i]);
@@ -133,6 +148,79 @@ Status AggregateMonitor::AppendRun(const double* values, std::size_t n) {
   }
   summarizer->EndRun(indexed ? &run_expired_ : nullptr);
   return stardust_->ApplyRunIndexDeltas(stream_, run_sealed_, run_expired_);
+}
+
+Status AggregateMonitor::RunChecksFlat(const StreamSummarizer& summarizer,
+                                       const double* values, std::size_t n) {
+  const StardustConfig& config = stardust_->config();
+  const AggregateKind kind = config.aggregate;
+  const std::size_t dims = config.FeatureDims();
+  const std::size_t w_base = config.base_window;
+  for (std::size_t i = 0; i < n; ++i) {
+    tracker_.Push(values[i]);
+    const std::uint64_t t = summarizer.RunTime(i);
+    for (std::size_t w = 0; w < thresholds_.size(); ++w) {
+      if (!tracker_.Ready(w)) continue;
+      // Same Algorithm-2 walk as Stardust::AggregateIntervalAt, with the
+      // lowest set bit's sub-aggregate read from the as-of ring (the box
+      // covering t as of this arrival) and every higher bit from a final
+      // box extent (complete by arrival t under FlatRunEligible's
+      // capacity bound). Merge operand order matches exactly: the box
+      // extent is the left input, the accumulator the right.
+      const std::size_t b = thresholds_[w].window / w_base;
+      std::uint64_t tj = t;
+      double acc_lo[2], acc_hi[2];
+      bool first = true;
+      bool composed = true;
+      for (std::size_t j = 0; (b >> j) != 0; ++j) {
+        if (((b >> j) & 1) == 0) continue;
+        if (first) {
+          const double* rl = summarizer.RunRingLo(j) + i * dims;
+          const double* rh = summarizer.RunRingHi(j) + i * dims;
+          for (std::size_t d = 0; d < dims; ++d) {
+            acc_lo[d] = rl[d];
+            acc_hi[d] = rh[d];
+          }
+          first = false;
+        } else {
+          const FeatureBox* box = summarizer.thread(j).Find(tj);
+          if (box == nullptr) {
+            composed = false;
+            break;
+          }
+          AggregateMergeExtentSpans(kind, box->extent.lo().data(),
+                                    box->extent.hi().data(), acc_lo, acc_hi,
+                                    acc_lo, acc_hi);
+        }
+        tj -= config.LevelWindow(j);
+      }
+      ScalarInterval interval;
+      if (composed) {
+        // AggregateScalarBound on the accumulated extent.
+        if (kind == AggregateKind::kSpread) {
+          interval = {std::max(0.0, acc_lo[0] - acc_hi[1]),
+                      acc_hi[0] - acc_lo[1]};
+        } else {
+          interval = {acc_lo[0], acc_hi[0]};
+        }
+      } else {
+        // Defensive fallback (a box the walk needs is missing): compose
+        // through the full-path lookup, which reports the precise error.
+        Result<ScalarInterval> r = stardust_->AggregateIntervalAt(
+            stream_, thresholds_[w].window, t, &extent_scratch_);
+        if (!r.ok()) return r.status();
+        interval = r.value();
+      }
+      AlarmStats& stats = stats_[w];
+      ++stats.checks;
+      if (interval.hi < thresholds_[w].threshold) continue;
+      ++stats.candidates;
+      if (tracker_.Current(w) >= thresholds_[w].threshold) {
+        ++stats.true_alarms;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 void AggregateMonitor::SaveTo(Writer* writer) const {

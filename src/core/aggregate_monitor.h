@@ -82,6 +82,15 @@ class AggregateMonitor {
   AggregateMonitor(std::unique_ptr<Stardust> stardust,
                    std::vector<WindowThreshold> thresholds);
 
+  /// Per-arrival threshold checks for a level-major run (the summarizer's
+  /// RunLevelPass must have completed for the open run): composes each
+  /// window's extent exactly like Stardust::AggregateIntervalAt, reading
+  /// the lowest set bit's sub-aggregate from the as-of ring and the
+  /// higher bits from final box extents — bit-identical to checking
+  /// arrival by arrival (see StreamSummarizer::FlatRunEligible).
+  Status RunChecksFlat(const StreamSummarizer& summarizer,
+                       const double* values, std::size_t n);
+
   std::unique_ptr<Stardust> stardust_;
   std::vector<WindowThreshold> thresholds_;
   SlidingAggregateTracker tracker_;

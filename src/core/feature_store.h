@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "core/config.h"
@@ -152,10 +153,12 @@ class FeatureStore {
   struct Slab {
     LevelSpec spec;
     std::vector<std::uint64_t> times;   // num_streams × capacity
-    std::vector<double> features;       // num_streams × capacity × dims
-    std::vector<double> znormed;        // num_streams × capacity × window
-    std::vector<double> means;          // num_streams × capacity
-    std::vector<double> norms;          // num_streams × capacity
+    // 64-byte aligned (common/aligned.h): the correlator's kernels stream
+    // straight over these columns with full-width vector loads.
+    AlignedVector<double> features;     // num_streams × capacity × dims
+    AlignedVector<double> znormed;      // num_streams × capacity × window
+    AlignedVector<double> means;        // num_streams × capacity
+    AlignedVector<double> norms;        // num_streams × capacity
     std::vector<std::uint32_t> heads;   // next write slot per stream
     std::vector<std::uint32_t> counts;  // cached entries per stream
     /// Dirty tracking (not serialized — a restore stamps everything with

@@ -23,7 +23,7 @@ const FeatureBox* LevelThread::Append(std::uint64_t t, const Mbr& feature) {
   }
   if (boxes_.empty() || boxes_.back().sealed) {
     FeatureBox box;
-    box.extent = Mbr(dims_);
+    box.extent = TakeRecycledExtent();
     box.first_time = t;
     box.seq = next_seq_++;
     boxes_.push_back(std::move(box));
@@ -66,13 +66,14 @@ void LevelThread::ExpireBefore(
     std::uint64_t min_time,
     const std::function<void(const FeatureBox&)>& on_remove) {
   while (!boxes_.empty()) {
-    const FeatureBox& front = boxes_.front();
+    FeatureBox& front = boxes_.front();
     if (!front.sealed) break;  // never drop the box still filling
     const std::uint64_t last_feature_time =
         front.first_time + static_cast<std::uint64_t>(front.count - 1) *
                                stride_;
     if (last_feature_time >= min_time) break;
     if (on_remove) on_remove(front);
+    RecycleExtent(&front.extent);
     boxes_.pop_front();
   }
 }

@@ -47,9 +47,55 @@ class LevelThread {
   /// the box sealed by this append, or nullptr.
   const FeatureBox* Append(std::uint64_t t, const Mbr& feature);
 
+  /// Append for the level-major batched path (StreamSummarizer's flat
+  /// run): the feature extent arrives as raw lo/hi spans of dims() values
+  /// and the box extent immediately after the append — the "as-of"
+  /// snapshot run composition needs — is copied into snap_lo/snap_hi
+  /// (also dims() values each). State transitions and every min/max are
+  /// bit-identical to Append(t, Mbr(lo, hi)).
+  const FeatureBox* AppendSpans(std::uint64_t t, const double* lo,
+                                const double* hi, double* snap_lo,
+                                double* snap_hi) {
+    if (!has_first_) {
+      has_first_ = true;
+      anchor_time_ = t;
+    } else {
+      SD_DCHECK(t == last_time() + stride_);
+    }
+    if (boxes_.empty() || boxes_.back().sealed) {
+      FeatureBox box;
+      box.extent = TakeRecycledExtent();
+      box.first_time = t;
+      box.seq = next_seq_++;
+      boxes_.push_back(std::move(box));
+    }
+    FeatureBox& box = boxes_.back();
+    box.extent.ExpandSpans(lo, hi);
+    ++box.count;
+    const Point& blo = box.extent.lo();
+    const Point& bhi = box.extent.hi();
+    for (std::size_t d = 0; d < dims_; ++d) {
+      snap_lo[d] = blo[d];
+      snap_hi[d] = bhi[d];
+    }
+    if (box.count == capacity_) {
+      box.sealed = true;
+      return &box;
+    }
+    return nullptr;
+  }
+
   /// The box covering feature end-time `t` (sealed or still filling), or
   /// nullptr if `t` is misaligned, expired, or not yet produced.
   const FeatureBox* Find(std::uint64_t t) const;
+
+  /// End-time of the very first feature of the thread. Requires at least
+  /// one feature to have been appended (used by the flat run path's box
+  /// cursor, which only runs on levels that already fired).
+  std::uint64_t anchor_time() const {
+    SD_DCHECK(has_first_);
+    return anchor_time_;
+  }
 
   /// Box with the given sequence number, or nullptr if expired / unknown.
   const FeatureBox* FindBySeq(std::uint64_t seq) const;
@@ -66,13 +112,14 @@ class LevelThread {
   template <typename Fn>
   void ExpireBeforeFast(std::uint64_t min_time, Fn&& on_remove) {
     while (!boxes_.empty()) {
-      const FeatureBox& front = boxes_.front();
+      FeatureBox& front = boxes_.front();
       if (!front.sealed) break;  // never drop the box still filling
       const std::uint64_t last_feature_time =
           front.first_time +
           static_cast<std::uint64_t>(front.count - 1) * stride_;
       if (last_feature_time >= min_time) break;
       on_remove(front);
+      RecycleExtent(&front.extent);
       boxes_.pop_front();
     }
   }
@@ -107,10 +154,29 @@ class LevelThread {
   Status RestoreFrom(Reader* reader);
 
  private:
+  /// Expired boxes donate their extent storage to a small free list so
+  /// steady-state appends never allocate: boxes expire at the same rate
+  /// new ones open, so the list holds at most a couple of entries. Runtime
+  /// only — never serialized, empty after RestoreFrom.
+  Mbr TakeRecycledExtent() {
+    if (extent_pool_.empty()) return Mbr(dims_);
+    Mbr extent = std::move(extent_pool_.back());
+    extent_pool_.pop_back();
+    extent.ResetEmpty(dims_);
+    return extent;
+  }
+  void RecycleExtent(Mbr* extent) {
+    // Unbounded on purpose: the pool never exceeds the boxes churned by
+    // one batched run at this level (at most run length / capacity + 1),
+    // itself bounded by the retention the deque already pays for.
+    extent_pool_.push_back(std::move(*extent));
+  }
+
   std::size_t dims_;
   std::size_t capacity_;
   std::size_t stride_;
   std::deque<FeatureBox> boxes_;
+  std::vector<Mbr> extent_pool_;
   bool has_first_ = false;
   /// End-time of the very first feature at this level (alignment anchor).
   std::uint64_t anchor_time_ = 0;

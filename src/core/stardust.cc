@@ -4,8 +4,11 @@
 #include <limits>
 
 #include "common/check.h"
+#include "common/kernels.h"
 
 namespace stardust {
+
+std::size_t Stardust::ScalarRunCutoff() { return kernels::BatchedRunCutoff(); }
 
 Result<std::unique_ptr<Stardust>> Stardust::Create(
     const StardustConfig& config) {
@@ -67,7 +70,7 @@ Status Stardust::AppendRun(StreamId stream, const double* values,
   if (stream >= streams_.size()) {
     return Status::InvalidArgument("unknown stream");
   }
-  if (n <= kScalarRunCutoff) {
+  if (n <= ScalarRunCutoff()) {
     // Cost-based dispatch: short runs never pay the staged-run setup.
     // Append also handles non-finite values, so the scan below is skipped.
     for (std::size_t i = 0; i < n; ++i) {

@@ -80,7 +80,10 @@ class Stardust {
   /// several values, and bench_feature showed length-1 runs paying ~1.7x
   /// the scalar cost through it. Shared by every AppendRun entry point
   /// (Stardust, AggregateMonitor, Shard) so dispatch stays consistent.
-  static constexpr std::size_t kScalarRunCutoff = 2;
+  /// The value is the per-kernel-backend calibrated crossover from
+  /// kernels::BatchedRunCutoff() (STARDUST_RUN_CUTOFF overrides). Callers
+  /// that dispatch many runs should read it once per run, not per level.
+  static std::size_t ScalarRunCutoff();
 
   /// Batched append — the engine's columnar maintenance path. Produces
   /// summary state bit-identical to n Append calls (see

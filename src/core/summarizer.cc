@@ -18,6 +18,23 @@ StreamSummarizer::StreamSummarizer(const StardustConfig& config)
     threads_.emplace_back(config_.FeatureDims(), config_.box_capacity,
                           config_.LevelPeriod(j));
   }
+  // See FlatRunEligible(): the capacity bound c <= base window guarantees
+  // left-merge inputs are final by their merge's arrival time, which is
+  // what lets RunLevelPass read them from the post-pass deque.
+  flat_eligible_ = config_.transform == TransformKind::kAggregate &&
+                   !config_.exact_levels &&
+                   config_.box_capacity <= config_.base_window;
+  for (std::size_t j = 0; flat_eligible_ && j < config_.num_levels; ++j) {
+    if (config_.LevelPeriod(j) != 1) flat_eligible_ = false;
+  }
+  // RunExactLevelPass eligibility: every level computes exactly from raw
+  // (the per-level `exact` predicate of ComputeFeature holds at all j).
+  exact_levels_only_ = true;
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    const bool exact =
+        j == 0 || config_.exact_levels || config_.LevelPeriod(j) > 1;
+    if (!exact) exact_levels_only_ = false;
+  }
 }
 
 Status StreamSummarizer::GetWindow(std::uint64_t end_time, std::size_t length,
@@ -197,9 +214,8 @@ void StreamSummarizer::BeginRun(const double* values, std::size_t n) {
   if (tail_lo < raw_.first_position()) tail_lo = raw_.first_position();
   const std::size_t tail_n = static_cast<std::size_t>(t_begin - tail_lo);
   linear_.resize(tail_n + n);
-  for (std::size_t i = 0; i < tail_n; ++i) {
-    linear_[i] = raw_.At(tail_lo + i);
-  }
+  // Two-segment ring copy — no per-element modulo.
+  raw_.CopySpanTo(tail_lo, tail_n, linear_.data());
   std::copy(values, values + n, linear_.begin() + tail_n);
   // The ring only feeds the linear buffer (already copied) during the run,
   // so the whole run can be committed to it up front in two segments.
@@ -247,12 +263,134 @@ void StreamSummarizer::EndRun(std::vector<BoxRef>* expired) {
   run_n_ = 0;
 }
 
+void StreamSummarizer::RunLevelPass(std::vector<BoxRef>* sealed) {
+  SD_DCHECK(run_n_ > 0);
+  SD_DCHECK(flat_eligible_);
+  const std::size_t dims = config_.FeatureDims();
+  const std::size_t n = run_n_;
+  if (run_ring_lo_.size() != config_.num_levels) {
+    run_ring_lo_.resize(config_.num_levels);
+    run_ring_hi_.resize(config_.num_levels);
+  }
+  const AggregateKind kind = config_.aggregate;
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    const std::size_t w = config_.LevelWindow(j);
+    // First run position whose arrival time satisfies t + 1 >= w; under
+    // the uniform period-1 schedule every later arrival fires too.
+    std::size_t i0 = 0;
+    if (run_first_t_ + 1 < w) {
+      const std::uint64_t skip = w - 1 - run_first_t_;
+      if (skip >= n) break;  // higher levels have even larger windows
+      i0 = static_cast<std::size_t>(skip);
+    }
+    run_ring_lo_[j].resize(n * dims);
+    run_ring_hi_[j].resize(n * dims);
+    double* ring_lo = run_ring_lo_[j].data();
+    double* ring_hi = run_ring_hi_[j].data();
+    LevelThread& thread = threads_[j];
+    double flo[2], fhi[2];
+    if (j == 0) {
+      // Exact features: each window is a contiguous span of linear_,
+      // sliding one value per arrival.
+      const double* span =
+          linear_.data() +
+          static_cast<std::size_t>(run_first_t_ + i0 + 1 - w - linear_base_);
+      for (std::size_t i = i0; i < n; ++i, ++span) {
+        const std::uint64_t t = run_first_t_ + i;
+        AggregateExactFeatureSpans(kind, span, w, flo, fhi);
+        const FeatureBox* sealed_box =
+            thread.AppendSpans(t, flo, fhi, ring_lo + i * dims,
+                               ring_hi + i * dims);
+        if (sealed_box != nullptr && sealed != nullptr) {
+          sealed->push_back({j, sealed_box->extent, sealed_box->seq});
+        }
+      }
+      continue;
+    }
+    // Incremental levels: left input is the level-(j-1) box covering
+    // t - w/2 — final by arrival t (see FlatRunEligible), so the
+    // post-pass deque extent is exactly what the arrival-major merge
+    // read. Right input is level-(j-1)'s as-of snapshot for position i.
+    // The left box advances every `capacity` arrivals; a countdown
+    // cursor avoids re-running Find's deque arithmetic per arrival.
+    const std::size_t half = w / 2;
+    const LevelThread& prev = threads_[j - 1];
+    const double* prev_lo = run_ring_lo_[j - 1].data();
+    const double* prev_hi = run_ring_hi_[j - 1].data();
+    const std::size_t cap = prev.capacity();
+    const std::uint64_t anchor = prev.anchor_time();
+    const FeatureBox* left = nullptr;
+    std::size_t left_remaining = 0;
+    for (std::size_t i = i0; i < n; ++i) {
+      const std::uint64_t t = run_first_t_ + i;
+      if (left_remaining == 0) {
+        const std::uint64_t tl = t - half;
+        left = prev.Find(tl);
+        SD_CHECK(left != nullptr);
+        left_remaining = cap - static_cast<std::size_t>((tl - anchor) % cap);
+      }
+      --left_remaining;
+      AggregateMergeExtentSpans(kind, left->extent.lo().data(),
+                                left->extent.hi().data(), prev_lo + i * dims,
+                                prev_hi + i * dims, flo, fhi);
+      const FeatureBox* sealed_box = thread.AppendSpans(
+          t, flo, fhi, ring_lo + i * dims, ring_hi + i * dims);
+      if (sealed_box != nullptr && sealed != nullptr) {
+        sealed->push_back({j, sealed_box->extent, sealed_box->seq});
+      }
+    }
+  }
+}
+
+void StreamSummarizer::RunExactLevelPass(std::vector<BoxRef>* sealed) {
+  SD_DCHECK(run_n_ > 0);
+  SD_DCHECK(exact_levels_only_);
+  const std::size_t n = run_n_;
+  for (std::size_t j = 0; j < config_.num_levels; ++j) {
+    const std::size_t w = config_.LevelWindow(j);
+    const std::size_t period = config_.LevelPeriod(j);
+    // First firing position: the first i with t + 1 >= w and
+    // (t + 1 - w) % period == 0 (at t + 1 == w the offset is 0, so the
+    // level always fires there first).
+    std::size_t i = 0;
+    if (run_first_t_ + 1 < w) {
+      const std::uint64_t skip = w - 1 - run_first_t_;
+      if (skip >= n) break;  // higher levels have even larger windows
+      i = static_cast<std::size_t>(skip);
+    } else {
+      const std::uint64_t rem = (run_first_t_ + 1 - w) % period;
+      if (rem != 0) {
+        const std::uint64_t skip = period - rem;
+        if (skip >= n) continue;  // other levels may still fire this run
+        i = static_cast<std::size_t>(skip);
+      }
+    }
+    LevelThread& thread = threads_[j];
+    for (; i < n; i += period) {
+      const std::uint64_t t = run_first_t_ + i;
+      ExactFeatureIntoFromSpan(
+          linear_.data() + static_cast<std::size_t>(t + 1 - w - linear_base_),
+          w, &feature_scratch_);
+      const FeatureBox* sealed_box = thread.Append(t, feature_scratch_);
+      if (sealed_box != nullptr && sealed != nullptr) {
+        sealed->push_back({j, sealed_box->extent, sealed_box->seq});
+      }
+    }
+  }
+}
+
 void StreamSummarizer::AppendRun(const double* values, std::size_t n,
                                  std::vector<BoxRef>* sealed,
                                  std::vector<BoxRef>* expired) {
   if (n == 0) return;
   BeginRun(values, n);
-  for (std::size_t i = 0; i < n; ++i) AppendRunStep(i, sealed);
+  if (flat_eligible_) {
+    RunLevelPass(sealed);
+  } else if (exact_levels_only_) {
+    RunExactLevelPass(sealed);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) AppendRunStep(i, sealed);
+  }
   EndRun(expired);
 }
 

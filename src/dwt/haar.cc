@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/kernels.h"
 
 namespace stardust {
 
@@ -125,14 +126,12 @@ void HaarDwtInto(const std::vector<double>& x, std::vector<double>* out,
   std::size_t len = n;
   // Same halving recurrence as HaarDwt, with the approximation vector
   // shrinking in place: a[k] is only written after a[2k] and a[2k+1] were
-  // read (k <= 2k), so no temporary is needed.
+  // read (k <= 2k), so no temporary is needed. The dispatched haar_step
+  // kernel (common/kernels.h) is bit-identical to the scalar recurrence on
+  // every backend.
   while (len > 1) {
     const std::size_t half = len / 2;
-    for (std::size_t k = 0; k < half; ++k) {
-      const double sum = (a[2 * k] + a[2 * k + 1]) * kInvSqrt2;
-      o[half + k] = (a[2 * k] - a[2 * k + 1]) * kInvSqrt2;
-      a[k] = sum;
-    }
+    kernels::HaarStep(a, half, kInvSqrt2, a, o + half);
     len = half;
   }
   o[0] = a[0];
@@ -144,11 +143,11 @@ void HaarApproxInPlace(std::vector<double>* x, std::size_t out_len) {
   SD_CHECK(out_len <= x->size());
   std::size_t len = x->size();
   double* data = x->data();
+  // In-place halving through the dispatched haar_down kernel
+  // (common/kernels.h) — bit-identical on every backend.
   while (len > out_len) {
     const std::size_t half = len / 2;
-    for (std::size_t k = 0; k < half; ++k) {
-      data[k] = (data[2 * k] + data[2 * k + 1]) * kInvSqrt2;
-    }
+    kernels::HaarDown(data, half, kInvSqrt2, data);
     len = half;
   }
   x->resize(out_len);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/kernels.h"
 
 namespace stardust {
 
@@ -34,13 +35,16 @@ void MergeHalvesHaarSpan(const double* left, const double* right,
   SD_CHECK(f > 0);
   const double scale = rescale / std::sqrt(2.0);
   // Concatenated vector c = [left | right]; Haar low-pass pairs c[2k],
-  // c[2k+1]. Avoid materializing c.
-  auto at = [&](std::size_t i) -> double {
-    return i < f ? left[i] : right[i - f];
-  };
-  for (std::size_t k = 0; k < f; ++k) {
-    out[k] = (at(2 * k) + at(2 * k + 1)) * scale;
+  // c[2k+1]. The first ⌊f/2⌋ outputs pair within `left`, the last ⌊f/2⌋
+  // pair within `right`, and an odd f leaves one output straddling the
+  // seam — split there so both segments run the dispatched haar_down
+  // kernel over contiguous input (bit-identical to the fused loop).
+  const std::size_t half = f / 2;
+  kernels::HaarDown(left, half, scale, out);
+  if (f % 2 != 0) {
+    out[half] = (left[f - 1] + right[0]) * scale;
   }
+  kernels::HaarDown(right + (f % 2), half, scale, out + half + (f % 2));
 }
 
 std::vector<double> MergeHalvesHaar(const std::vector<double>& left,

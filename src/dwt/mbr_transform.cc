@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/kernels.h"
 #include "dwt/incremental.h"
 
 namespace stardust {
@@ -120,25 +121,19 @@ void MergeMbrHalvesHaarInto(const Mbr& left, const Mbr& right, double rescale,
   const double* rhi = right.hi().data();
   // Output k reads concatenated inputs 2k and 2k+1: the first ⌊f/2⌋
   // outputs pair within `left`, the last ⌊f/2⌋ pair within `right`, and an
-  // odd f leaves one output straddling the seam. Splitting the loop at the
-  // seam removes the per-index half-selection branch of
-  // MergeMbrHalvesHaar; the arithmetic per output is unchanged.
+  // odd f leaves one output straddling the seam. Each contiguous segment
+  // runs the dispatched haar_down kernel (common/kernels.h) —
+  // bit-identical to the fused per-index loop of MergeMbrHalvesHaar.
   const std::size_t half = f / 2;
-  for (std::size_t k = 0; k < half; ++k) {
-    out_lo[k] = (llo[2 * k] + llo[2 * k + 1]) * scale;
-    out_hi[k] = (lhi[2 * k] + lhi[2 * k + 1]) * scale;
+  const std::size_t seam = f % 2;
+  kernels::HaarDown(llo, half, scale, out_lo.data());
+  kernels::HaarDown(lhi, half, scale, out_hi.data());
+  if (seam != 0) {
+    out_lo[half] = (llo[f - 1] + rlo[0]) * scale;
+    out_hi[half] = (lhi[f - 1] + rhi[0]) * scale;
   }
-  std::size_t k = half;
-  if (f % 2 != 0) {
-    out_lo[k] = (llo[f - 1] + rlo[0]) * scale;
-    out_hi[k] = (lhi[f - 1] + rhi[0]) * scale;
-    ++k;
-  }
-  for (; k < f; ++k) {
-    const std::size_t i = 2 * k - f;
-    out_lo[k] = (rlo[i] + rlo[i + 1]) * scale;
-    out_hi[k] = (rhi[i] + rhi[i + 1]) * scale;
-  }
+  kernels::HaarDown(rlo + seam, half, scale, out_lo.data() + half + seam);
+  kernels::HaarDown(rhi + seam, half, scale, out_hi.data() + half + seam);
 }
 
 }  // namespace stardust

@@ -10,6 +10,7 @@
 
 #include "common/atomic_file.h"
 #include "common/check.h"
+#include "common/kernels.h"
 #include "common/serialize.h"
 #include "core/snapshot.h"
 #include "geom/mbr.h"
@@ -40,6 +41,11 @@ Result<std::unique_ptr<IngestEngine>> IngestEngine::Create(
   SD_RETURN_NOT_OK(engine_config.Validate());
   if (num_streams == 0) {
     return Status::InvalidArgument("need at least one stream");
+  }
+  if (!engine_config.kernel_backend.empty()) {
+    // Validate() vetted the name; SetBackend clamps requests above what
+    // this CPU supports. Process-wide, like the STARDUST_KERNELS override.
+    kernels::SetBackend(engine_config.kernel_backend);
   }
   const std::size_t num_shards =
       std::min(engine_config.num_shards, num_streams);

@@ -574,6 +574,9 @@ void Shard::ApplyTupleLocked(StreamId stream, double value) {
 void Shard::ApplyRunLocked(StreamId stream, const double* values,
                            std::size_t count) {
   using Clock = std::chrono::steady_clock;
+  // One cutoff decision per run, not per segment: the backend-calibrated
+  // crossover is loaded from atomics and cannot change mid-run.
+  const std::size_t cutoff = Stardust::ScalarRunCutoff();
   std::size_t i = 0;
   while (i < count) {
     // Non-finite values are rejected per tuple by the scalar path (fleet
@@ -590,8 +593,8 @@ void Shard::ApplyRunLocked(StreamId stream, const double* values,
     // Short runs gain nothing from the run machinery (its fixed setup
     // cost per level only amortizes across multiple values); take the
     // scalar path so sparse batches never regress. The cutoff matches
-    // the dispatch inside Stardust::AppendRun (kScalarRunCutoff).
-    if (len <= Stardust::kScalarRunCutoff) {
+    // the dispatch inside Stardust::AppendRun (ScalarRunCutoff).
+    if (len <= cutoff) {
       for (std::size_t k = i; k < j; ++k) {
         ApplyTupleLocked(stream, values[k]);
       }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels.h"
 
 namespace stardust {
 
@@ -56,8 +57,18 @@ class Mbr {
   /// storage. Allocation-free equivalent of `*this = Mbr::FromPoint(...)`
   /// once the vectors have reached their steady-state size.
   void AssignPoint(const double* p, std::size_t dims) {
-    lo_.assign(p, p + dims);
-    hi_.assign(p, p + dims);
+    lo_.resize(dims);
+    hi_.resize(dims);
+    kernels::Copy(p, dims, lo_.data());
+    kernels::Copy(p, dims, hi_.data());
+  }
+
+  /// Resizes to `dims` dimensions and resets to the inverted-empty form,
+  /// reusing existing storage. Allocation-free equivalent of
+  /// `*this = Mbr(dims)` once the vectors have reached steady-state size.
+  void ResetEmpty(std::size_t dims) {
+    lo_.assign(dims, std::numeric_limits<double>::infinity());
+    hi_.assign(dims, -std::numeric_limits<double>::infinity());
   }
 
   /// Center of the box (midpoint per dimension). Requires !empty().
@@ -79,6 +90,14 @@ class Mbr {
     for (std::size_t d = 0; d < dims(); ++d) {
       lo_[d] = std::min(lo_[d], other.lo_[d]);
       hi_[d] = std::max(hi_[d], other.hi_[d]);
+    }
+  }
+  /// Expand by a non-empty box given as raw lo/hi spans of dims() values.
+  /// Bit-identical to Expand(Mbr(lo, hi)) without materializing the box.
+  void ExpandSpans(const double* lo, const double* hi) {
+    for (std::size_t d = 0; d < dims(); ++d) {
+      lo_[d] = std::min(lo_[d], lo[d]);
+      hi_[d] = std::max(hi_[d], hi[d]);
     }
   }
 

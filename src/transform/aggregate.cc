@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/kernels.h"
 
 namespace stardust {
 
@@ -48,44 +49,106 @@ Point AggregateExactFeature(AggregateKind kind,
 void AggregateExactFeatureInto(AggregateKind kind, const double* values,
                                std::size_t count, Mbr* out) {
   SD_CHECK(count > 0);
-  // Each branch mirrors AggregateExactFeature exactly: kSum adds in the
-  // same left-to-right order; the comparison forms reproduce the tie
-  // handling of max_element (first maximum), min_element (first minimum),
-  // and minmax_element (first minimum, last maximum), so results are
-  // bit-identical even for signed-zero ties.
+  // Each branch mirrors AggregateExactFeature exactly through the
+  // dispatched reduction kernels (common/kernels.h): reduce_max/min/spread
+  // reproduce the tie handling of max_element (first maximum), min_element
+  // (first minimum), and minmax_element (first minimum, last maximum) on
+  // every backend, so results are bit-identical even for signed-zero ties.
+  // kSum keeps the scalar left-to-right loop unless the reassociating fast
+  // reduction was explicitly opted into (rounding differs).
   switch (kind) {
     case AggregateKind::kSum: {
-      double sum = 0.0;
-      for (std::size_t i = 0; i < count; ++i) sum += values[i];
+      double sum;
+      if (kernels::FastReductionsEnabled()) {
+        sum = kernels::ReduceSum(values, count);
+      } else {
+        sum = 0.0;
+        for (std::size_t i = 0; i < count; ++i) sum += values[i];
+      }
       out->AssignPoint(&sum, 1);
       return;
     }
     case AggregateKind::kMax: {
-      double mx = values[0];
-      for (std::size_t i = 1; i < count; ++i) {
-        if (mx < values[i]) mx = values[i];
-      }
+      const double mx = kernels::ReduceMax(values, count);
       out->AssignPoint(&mx, 1);
       return;
     }
     case AggregateKind::kMin: {
-      double mn = values[0];
-      for (std::size_t i = 1; i < count; ++i) {
-        if (values[i] < mn) mn = values[i];
-      }
+      const double mn = kernels::ReduceMin(values, count);
       out->AssignPoint(&mn, 1);
       return;
     }
     case AggregateKind::kSpread: {
-      double mx = values[0];
-      double mn = values[0];
-      for (std::size_t i = 1; i < count; ++i) {
-        const double v = values[i];
-        if (!(v < mx)) mx = v;
-        if (v < mn) mn = v;
-      }
-      const double feature[2] = {mx, mn};
+      double feature[2];
+      kernels::ReduceSpread(values, count, &feature[0], &feature[1]);
       out->AssignPoint(feature, 2);
+      return;
+    }
+  }
+}
+
+void AggregateExactFeatureSpans(AggregateKind kind, const double* values,
+                                std::size_t count, double* lo, double* hi) {
+  SD_DCHECK(count > 0);
+  // Same kernel calls (and therefore the same bits) as
+  // AggregateExactFeatureInto, minus the Mbr bookkeeping.
+  switch (kind) {
+    case AggregateKind::kSum: {
+      double sum;
+      if (kernels::FastReductionsEnabled()) {
+        sum = kernels::ReduceSum(values, count);
+      } else {
+        sum = 0.0;
+        for (std::size_t i = 0; i < count; ++i) sum += values[i];
+      }
+      lo[0] = hi[0] = sum;
+      return;
+    }
+    case AggregateKind::kMax:
+      lo[0] = hi[0] = kernels::ReduceMax(values, count);
+      return;
+    case AggregateKind::kMin:
+      lo[0] = hi[0] = kernels::ReduceMin(values, count);
+      return;
+    case AggregateKind::kSpread: {
+      double mx, mn;
+      kernels::ReduceSpread(values, count, &mx, &mn);
+      lo[0] = hi[0] = mx;
+      lo[1] = hi[1] = mn;
+      return;
+    }
+  }
+}
+
+void AggregateMergeExtentSpans(AggregateKind kind, const double* left_lo,
+                               const double* left_hi, const double* right_lo,
+                               const double* right_hi, double* out_lo,
+                               double* out_hi) {
+  // Same reads-before-writes discipline and operand order as
+  // AggregateMergeExtentsInto, so outputs are bit-identical and aliasing
+  // is safe.
+  const double llo0 = left_lo[0], lhi0 = left_hi[0];
+  const double rlo0 = right_lo[0], rhi0 = right_hi[0];
+  switch (kind) {
+    case AggregateKind::kSum:
+      out_lo[0] = llo0 + rlo0;
+      out_hi[0] = lhi0 + rhi0;
+      return;
+    case AggregateKind::kMax:
+      out_lo[0] = std::max(llo0, rlo0);
+      out_hi[0] = std::max(lhi0, rhi0);
+      return;
+    case AggregateKind::kMin:
+      out_lo[0] = std::min(llo0, rlo0);
+      out_hi[0] = std::min(lhi0, rhi0);
+      return;
+    case AggregateKind::kSpread: {
+      const double llo1 = left_lo[1], lhi1 = left_hi[1];
+      const double rlo1 = right_lo[1], rhi1 = right_hi[1];
+      out_lo[0] = std::max(llo0, rlo0);
+      out_lo[1] = std::min(llo1, rlo1);
+      out_hi[0] = std::max(lhi0, rhi0);
+      out_hi[1] = std::min(lhi1, rhi1);
       return;
     }
   }

@@ -12,6 +12,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/serialize.h"
 #include "common/status.h"
 #include "transform/aggregate.h"
@@ -60,8 +61,9 @@ class SlidingAggregateTracker {
   AggregateKind kind_;
   std::vector<std::size_t> windows_;
   std::uint64_t count_ = 0;
-  /// Ring of the last max(windows) values (for running sums).
-  std::vector<double> recent_;
+  /// Ring of the last max(windows) values (for running sums). 64-byte
+  /// aligned so PushSpan's kernel reads never straddle a cache line.
+  AlignedVector<double> recent_;
   std::size_t recent_capacity_ = 0;
   /// Per-window running sums with Neumaier compensation (kSum): the true
   /// window sum is sums_[i] + comps_[i]. Subtract-on-evict alone loses one

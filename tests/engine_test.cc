@@ -258,7 +258,8 @@ TEST(IngestEngineTest, MetricsJsonHasTheSchemaFields) {
         "\"dropped_oldest\":0", "\"append_latency_ns\"", "\"p99\"",
         "\"buckets\"", "\"shards\":[", "\"queue_high_water\"",
         "\"epoch\"", "\"pin_failures\":0", "\"pinned\":false",
-        "\"maintain_ns_per_append\"", "\"apply_batch_ns\""}) {
+        "\"maintain_ns_per_append\"", "\"apply_batch_ns\"",
+        "\"kernels\":{\"backend\":\"", "\"haar_down\":", "\"run_cutoff\":"}) {
     EXPECT_NE(json.find(field), std::string::npos)
         << "missing " << field << " in " << json;
   }
